@@ -1,0 +1,61 @@
+//! Ablation: scheduling strategy vs race-detection probability.
+//!
+//! The deployment problem of §3.2 — detection flakiness — depends entirely
+//! on how adversarial the schedule is. The setup prints per-strategy
+//! detection rates across the corpus (random walk vs PCT vs round-robin);
+//! the timed section measures the cost of exploring under each strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs::detector::{ExploreConfig, Explorer};
+use grs::patterns::registry;
+use grs::runtime::Strategy;
+
+fn detection_stats(strategy: Strategy) -> (f64, usize, usize) {
+    let explorer = Explorer::new(ExploreConfig::quick().runs(40).strategy(strategy));
+    let mut rate_sum = 0.0;
+    let mut found = 0;
+    let mut total = 0;
+    for pattern in registry() {
+        let r = explorer.explore(&pattern.racy_program());
+        rate_sum += r.detection_rate();
+        total += 1;
+        if r.found_race() {
+            found += 1;
+        }
+    }
+    (rate_sum / total as f64, found, total)
+}
+
+fn bench_sched(c: &mut Criterion) {
+    println!("\n===== Scheduler ablation (detection across the corpus) =====");
+    for (name, strategy) in [
+        ("random-walk", Strategy::Random),
+        ("pct-depth3", Strategy::Pct { depth: 3 }),
+        ("round-robin", Strategy::RoundRobin),
+    ] {
+        let (mean_rate, found, total) = detection_stats(strategy);
+        println!(
+            "{name:<12} mean per-run detection rate {:>5.1}%  patterns detected {found}/{total}",
+            mean_rate * 100.0
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ablation_sched");
+    group.sample_size(10);
+    let pattern = grs::patterns::find("missing_lock").expect("in corpus");
+    for (name, strategy) in [
+        ("random", Strategy::Random),
+        ("pct3", Strategy::Pct { depth: 3 }),
+        ("round_robin", Strategy::RoundRobin),
+    ] {
+        group.bench_function(name, |b| {
+            let explorer = Explorer::new(ExploreConfig::quick().runs(20).strategy(strategy));
+            b.iter(|| explorer.explore(&pattern.racy_program()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

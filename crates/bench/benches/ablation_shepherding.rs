@@ -1,0 +1,59 @@
+//! Ablation: deployment policy vs campaign outcome.
+//!
+//! The paper closes §3.5 with: "We believe that the presence of race
+//! detection as part of a CI workflow will help address this problem by
+//! preventing new races from being introduced, apart from reducing the
+//! outstanding race count to zero" (Remark 1). This bench runs the
+//! campaign under three policies — the historical one (shepherding ends),
+//! permanent shepherding, and CI gating — and prints the resulting
+//! outstanding-race trajectories.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs::deploy::campaign::{Campaign, CampaignConfig};
+
+fn bench_policies(c: &mut Criterion) {
+    let historical = Campaign::new(CampaignConfig::paper()).run(42);
+    let shepherd_forever = Campaign::new(CampaignConfig {
+        shepherding_end: 10_000, // never stops
+        ..CampaignConfig::paper()
+    })
+    .run(42);
+    let ci_gated = Campaign::new(CampaignConfig::paper_with_ci_gating()).run(42);
+
+    println!("\n===== Deployment-policy ablation (outstanding at day 60/120/179) =====");
+    for (name, r) in [
+        ("historical (paper)", &historical),
+        ("shepherding-forever", &shepherd_forever),
+        ("ci-gating (Remark 1)", &ci_gated),
+    ] {
+        println!(
+            "{name:<22} day60={:>5} day120={:>5} day179={:>5}  fixed={}",
+            r.daily[60].outstanding,
+            r.daily[120].outstanding,
+            r.daily[179].outstanding,
+            r.total_fixed
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ablation_shepherding");
+    group.sample_size(20);
+    group.bench_function("historical", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            Campaign::new(CampaignConfig::paper()).run(seed)
+        });
+    });
+    group.bench_function("ci_gating", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            Campaign::new(CampaignConfig::paper_with_ci_gating()).run(seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 1: the fleet concurrency CDF.
+//!
+//! Prints the series (per-language medians and selected CDF points), then
+//! benchmarks census sampling + CDF construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs::experiments::figure1;
+use grs::fleet::Language;
+
+fn bench_fig1(c: &mut Criterion) {
+    let fleet = figure1(0.05, 11);
+    println!("\n===== Figure 1 (reproduced) =====");
+    for lang in Language::all() {
+        let cdf = fleet.cdf(lang);
+        let pts: Vec<String> = cdf
+            .points()
+            .iter()
+            .map(|(v, f)| format!("{v}:{:.2}", f))
+            .collect();
+        println!(
+            "{lang:<7} median={} max={} cdf=[{}]",
+            cdf.median(),
+            cdf.max(),
+            pts.join(" ")
+        );
+    }
+    println!(
+        "medians paper: NodeJS 16, Python 16, Java 256, Go 2048 (Go/Java = 8x)\n"
+    );
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(20);
+    group.bench_function("census_2k_processes", |b| {
+        b.iter(|| figure1(0.01, 11));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

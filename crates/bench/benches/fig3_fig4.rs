@@ -1,0 +1,50 @@
+//! Figures 3 & 4 and the §3.5 statistics: the deployment campaign.
+//!
+//! Prints both series (decimated) and the headline stats, then benchmarks
+//! one full 180-day campaign run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs::experiments::figure3_figure4;
+
+fn bench_campaign(c: &mut Criterion) {
+    let (result, stats) = figure3_figure4(42);
+    println!("\n===== Figure 3 (outstanding vs day, every 10th day) =====");
+    let f3: Vec<String> = result
+        .figure3_series()
+        .iter()
+        .step_by(10)
+        .map(|(d, o)| format!("d{d}:{o}"))
+        .collect();
+    println!("{}", f3.join(" "));
+    println!("\n===== Figure 4 (created/resolved cumulative, every 10th day) =====");
+    let f4: Vec<String> = result
+        .figure4_series()
+        .iter()
+        .step_by(10)
+        .map(|(d, c, r)| format!("d{d}:{c}/{r}"))
+        .collect();
+    println!("{}", f4.join(" "));
+    println!("\n===== §3.5 statistics =====");
+    println!(
+        "detected={} (paper ~2000)  fixed={} (1011)  engineers={} (210)  patches={} (790)  new/day={:.1} (~5)\n",
+        stats.total_detected,
+        stats.total_fixed,
+        stats.unique_engineers,
+        stats.unique_patches,
+        stats.new_per_day
+    );
+
+    let mut group = c.benchmark_group("fig3_fig4");
+    group.sample_size(20);
+    group.bench_function("campaign_180_days", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            figure3_figure4(seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

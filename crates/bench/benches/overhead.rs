@@ -1,0 +1,64 @@
+//! §3.5's detector-overhead experiment.
+//!
+//! The paper: "the 95th percentile of the running time of all tests without
+//! data race detection is 25 minutes, whereas it increases by 4× to about
+//! 100 minutes with data race enabled" (and cites 2×–20× runtime overhead
+//! for TSan generally). Here the same workload program runs under no
+//! monitor, the Eraser lockset detector, FastTrack, and the combined
+//! TSan-style detector; the ratio of the medians is our measured overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs::detector::{Eraser, FastTrack, Tsan};
+use grs::experiments::{overhead_probe, overhead_workload};
+use grs::runtime::{NullMonitor, Program, RunConfig, Runtime};
+
+fn run_once<M: grs::runtime::Monitor + 'static>(p: &Program, seed: u64, m: M) {
+    let _ = Runtime::new(RunConfig::with_seed(seed)).run(p, m);
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let p = overhead_workload();
+    let probe = overhead_probe(&p, 30, 3);
+    println!("\n===== §3.5 overhead probe =====");
+    println!(
+        "baseline {} ns/run, tsan {} ns/run => {:.2}x slowdown (paper: 4x test time; TSan cited at 2x-20x)\n",
+        probe.baseline_ns,
+        probe.detector_ns,
+        probe.ratio()
+    );
+
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(30);
+    group.bench_function("baseline_null_monitor", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_once(&p, seed, NullMonitor);
+        });
+    });
+    group.bench_function("eraser", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_once(&p, seed, Eraser::new());
+        });
+    });
+    group.bench_function("fasttrack", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_once(&p, seed, FastTrack::new());
+        });
+    });
+    group.bench_function("tsan_combined", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_once(&p, seed, Tsan::new());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 1: concurrency-construct densities, Go vs Java.
+//!
+//! Prints the reproduced table once, then benchmarks the generate+scan
+//! pipeline at a small scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs::experiments::table1;
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate and print the paper's table once.
+    let table = table1(0.002, 7);
+    println!("\n===== Table 1 (reproduced) =====");
+    println!("{}", table.render());
+    println!(
+        "ratios Go/Java: creation {:.2}x (paper ~1.14x), p2p {:.2}x (3.7x), group {:.2}x (1.9x), maps {:.2}x (1.34x)\n",
+        table.creation_ratio(),
+        table.p2p_ratio(),
+        table.group_ratio(),
+        table.map_ratio()
+    );
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("generate_and_scan_9k_loc", |b| {
+        b.iter(|| table1(0.0002, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 2: fixed-race counts by Go language feature.
+//!
+//! Prints the mixture-recovery table (injected population proportional to
+//! the paper's counts, detected and re-classified from race reports), then
+//! benchmarks the per-instance detect+classify step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs::classify;
+use grs::detector::{ExploreConfig, Explorer};
+use grs::experiments::{table2, TallyConfig};
+use grs::patterns;
+
+fn bench_table2(c: &mut Criterion) {
+    let result = table2(&TallyConfig {
+        scale_divisor: 20.0,
+        runs_per_instance: 40,
+        seed: 5,
+    });
+    println!("\n===== Table 2 (reproduced as mixture recovery) =====");
+    println!("{}", result.render());
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let pattern = patterns::find("slice_concurrent_append").expect("in corpus");
+    group.bench_function("detect_and_classify_one_instance", |b| {
+        let explorer = Explorer::new(ExploreConfig::quick().runs(40));
+        b.iter(|| {
+            let r = explorer.explore(&pattern.racy_program());
+            r.unique_races.first().map(classify)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

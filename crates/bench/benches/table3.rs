@@ -1,0 +1,24 @@
+//! Table 3: fixed-race counts for language-agnostic categories.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs::experiments::{table3, TallyConfig};
+
+fn bench_table3(c: &mut Criterion) {
+    let result = table3(&TallyConfig {
+        scale_divisor: 20.0,
+        runs_per_instance: 40,
+        seed: 6,
+    });
+    println!("\n===== Table 3 (reproduced as mixture recovery) =====");
+    println!("{}", result.render());
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("tally_quick", |b| {
+        b.iter(|| table3(&TallyConfig::quick(6)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Benchmark harness crate. All benchmarks live under `benches/`; each
+//! regenerates one table or figure of the paper (printing the series) and
+//! then times the underlying pipeline. See DESIGN.md for the index.

@@ -1,0 +1,250 @@
+//! Eraser-style locksets.
+//!
+//! The lockset algorithm (Savage et al., TOCS 1997 — reference \[76\] of the
+//! study) tracks, for every shared variable, the set of locks held on
+//! *every* access so far. If the set ever becomes empty while more than one
+//! thread has touched the variable, no single lock consistently protects it
+//! and a potential race is reported. Locksets ignore happens-before, so
+//! they over-approximate (flag races that ordered channel communication
+//! would rule out) — which is exactly why ThreadSanitizer combines them
+//! with vector clocks.
+
+use std::fmt;
+
+/// Identity of a lock object (mutex, rwlock) as seen by the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(u64);
+
+impl LockId {
+    /// Creates a lock identity from a raw id (typically an allocation
+    /// counter in the runtime).
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        LockId(raw)
+    }
+
+    /// The raw id.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A set of locks, stored sorted for O(n) intersection.
+///
+/// Locksets in real programs are tiny (0–3 locks), so a sorted `Vec`
+/// outperforms hash sets and keeps the type `Ord`-able for deterministic
+/// reporting.
+///
+/// # Example
+///
+/// ```
+/// use grs_clock::{LockId, Lockset};
+///
+/// let a = LockId::new(1);
+/// let b = LockId::new(2);
+/// let held: Lockset = [a, b].into_iter().collect();
+/// let other: Lockset = [b].into_iter().collect();
+/// let common = held.intersection(&other);
+/// assert!(!common.is_empty());
+/// assert!(common.contains(b));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lockset {
+    locks: Vec<LockId>,
+}
+
+impl Lockset {
+    /// Creates an empty lockset.
+    #[must_use]
+    pub fn new() -> Self {
+        Lockset { locks: Vec::new() }
+    }
+
+    /// Inserts a lock; returns `true` if it was newly added.
+    pub fn insert(&mut self, lock: LockId) -> bool {
+        match self.locks.binary_search(&lock) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.locks.insert(pos, lock);
+                true
+            }
+        }
+    }
+
+    /// Removes a lock; returns `true` if it was present.
+    pub fn remove(&mut self, lock: LockId) -> bool {
+        match self.locks.binary_search(&lock) {
+            Ok(pos) => {
+                self.locks.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// True when `lock` is a member.
+    #[must_use]
+    pub fn contains(&self, lock: LockId) -> bool {
+        self.locks.binary_search(&lock).is_ok()
+    }
+
+    /// Number of locks held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// True when no locks are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+
+    /// The set intersection — Eraser's core refinement step.
+    #[must_use]
+    pub fn intersection(&self, other: &Lockset) -> Lockset {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.locks.len() && j < other.locks.len() {
+            match self.locks[i].cmp(&other.locks[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.locks[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Lockset { locks: out }
+    }
+
+    /// Intersects `other` into `self` in place.
+    pub fn intersect_with(&mut self, other: &Lockset) {
+        *self = self.intersection(other);
+    }
+
+    /// True when the intersection with `other` is non-empty, i.e. at least
+    /// one lock consistently protects both accesses.
+    #[must_use]
+    pub fn shares_lock_with(&self, other: &Lockset) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.locks.len() && j < other.locks.len() {
+            match self.locks[i].cmp(&other.locks[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Iterates over the member locks in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = LockId> + '_ {
+        self.locks.iter().copied()
+    }
+}
+
+impl FromIterator<LockId> for Lockset {
+    fn from_iter<I: IntoIterator<Item = LockId>>(iter: I) -> Self {
+        let mut s = Lockset::new();
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+impl Extend<LockId> for Lockset {
+    fn extend<I: IntoIterator<Item = LockId>>(&mut self, iter: I) {
+        for l in iter {
+            self.insert(l);
+        }
+    }
+}
+
+impl fmt::Display for Lockset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.locks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u64) -> LockId {
+        LockId::new(i)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = Lockset::new();
+        assert!(s.insert(l(2)));
+        assert!(s.insert(l(1)));
+        assert!(!s.insert(l(2))); // duplicate
+        assert!(s.contains(l(1)));
+        assert!(s.contains(l(2)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(l(1)));
+        assert!(!s.remove(l(1)));
+        assert!(!s.contains(l(1)));
+    }
+
+    #[test]
+    fn intersection_keeps_common_locks() {
+        let a: Lockset = [l(1), l(2), l(3)].into_iter().collect();
+        let b: Lockset = [l(2), l(4)].into_iter().collect();
+        let c = a.intersection(&b);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(l(2)));
+        assert!(a.shares_lock_with(&b));
+    }
+
+    #[test]
+    fn empty_intersection_signals_potential_race() {
+        let a: Lockset = [l(1)].into_iter().collect();
+        let b: Lockset = [l(2)].into_iter().collect();
+        assert!(a.intersection(&b).is_empty());
+        assert!(!a.shares_lock_with(&b));
+        // No locks held at all — Eraser's most common racy state.
+        let none = Lockset::new();
+        assert!(!none.shares_lock_with(&a));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s: Lockset = [l(9), l(3), l(7)].into_iter().collect();
+        let order: Vec<u64> = s.iter().map(LockId::raw).collect();
+        assert_eq!(order, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s: Lockset = [l(1), l(5)].into_iter().collect();
+        assert_eq!(s.to_string(), "{L1,L5}");
+        assert_eq!(Lockset::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn intersect_with_mutates_in_place() {
+        let mut a: Lockset = [l(1), l(2)].into_iter().collect();
+        let b: Lockset = [l(2), l(3)].into_iter().collect();
+        a.intersect_with(&b);
+        assert_eq!(a, [l(2)].into_iter().collect());
+    }
+}

@@ -1,0 +1,326 @@
+//! Vector clocks over a dense, growable index space of goroutines.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::ClockOrder;
+
+/// Identity of a goroutine (or OS thread) in logical-clock space.
+///
+/// `Tid` is a dense index: the detector assigns `0, 1, 2, ...` in spawn
+/// order, which keeps [`VectorClock`] a flat vector rather than a map.
+///
+/// # Example
+///
+/// ```
+/// use grs_clock::Tid;
+/// let t = Tid::new(3);
+/// assert_eq!(t.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(u32);
+
+impl Tid {
+    /// Creates a `Tid` from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Tid(index)
+    }
+
+    /// The dense index of this goroutine.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<u32> for Tid {
+    fn from(v: u32) -> Self {
+        Tid(v)
+    }
+}
+
+/// A Mattern/Fidge vector clock.
+///
+/// Component `i` holds the most recent logical time of goroutine `i` that
+/// the owner of the clock has synchronized with. Missing trailing components
+/// are implicitly zero, so clocks over different numbers of goroutines
+/// compare correctly.
+///
+/// The happens-before relation of the Go memory model is tracked by joining
+/// clocks at synchronization events (channel send→receive, mutex
+/// unlock→lock, `WaitGroup` done→wait, goroutine spawn and join).
+///
+/// # Example
+///
+/// ```
+/// use grs_clock::{Tid, VectorClock};
+/// let mut c = VectorClock::new();
+/// c.tick(Tid::new(2));
+/// assert_eq!(c.get(Tid::new(2)), 1);
+/// assert_eq!(c.get(Tid::new(7)), 0); // implicit zero
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    slots: Vec<u32>,
+}
+
+impl VectorClock {
+    /// Creates the zero clock (no events observed).
+    #[must_use]
+    pub fn new() -> Self {
+        VectorClock { slots: Vec::new() }
+    }
+
+    /// Creates a clock with `n` zeroed components preallocated.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        VectorClock {
+            slots: Vec::with_capacity(n),
+        }
+    }
+
+    /// The component for `tid` (zero if never observed).
+    #[must_use]
+    pub fn get(&self, tid: Tid) -> u32 {
+        self.slots.get(tid.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for `tid`, growing the clock as needed.
+    pub fn set(&mut self, tid: Tid, value: u32) {
+        let i = tid.index();
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, 0);
+        }
+        self.slots[i] = value;
+    }
+
+    /// Increments the component for `tid` and returns the new value.
+    ///
+    /// This is the local-step rule: a goroutine ticks its own component at
+    /// each release operation.
+    pub fn tick(&mut self, tid: Tid) -> u32 {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+        v
+    }
+
+    /// Joins `other` into `self`: the component-wise maximum.
+    ///
+    /// This is the acquire rule: after `a.join(&b)`, everything ordered
+    /// before `b` is ordered before subsequent events of `a`'s owner.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (s, &o) in self.slots.iter_mut().zip(other.slots.iter()) {
+            if o > *s {
+                *s = o;
+            }
+        }
+    }
+
+    /// Returns the component-wise maximum of two clocks without mutating
+    /// either.
+    #[must_use]
+    pub fn joined(&self, other: &VectorClock) -> VectorClock {
+        let mut r = self.clone();
+        r.join(other);
+        r
+    }
+
+    /// True when every component of `self` is `<=` the corresponding
+    /// component of `other` (reflexive happens-before: `self ⊑ other`).
+    #[must_use]
+    pub fn le(&self, other: &VectorClock) -> bool {
+        for (i, &s) in self.slots.iter().enumerate() {
+            if s > other.slots.get(i).copied().unwrap_or(0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when `self` strictly happens-before `other`.
+    #[must_use]
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// True when neither clock happens-before the other and they differ.
+    #[must_use]
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.order(other) == ClockOrder::Concurrent
+    }
+
+    /// Classifies the relation between two clocks.
+    #[must_use]
+    pub fn order(&self, other: &VectorClock) -> ClockOrder {
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => ClockOrder::Equal,
+            (true, false) => ClockOrder::Before,
+            (false, true) => ClockOrder::After,
+            (false, false) => ClockOrder::Concurrent,
+        }
+    }
+
+    /// Number of explicitly stored components (trailing zeros may be
+    /// omitted).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no component has ever been set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|&v| v == 0)
+    }
+
+    /// Iterates over `(Tid, value)` pairs with non-zero values.
+    pub fn iter(&self) -> impl Iterator<Item = (Tid, u32)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0)
+            .map(|(i, &v)| (Tid::new(i as u32), v))
+    }
+}
+
+impl Index<Tid> for VectorClock {
+    type Output = u32;
+
+    fn index(&self, tid: Tid) -> &u32 {
+        self.slots.get(tid.index()).unwrap_or(&0)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl FromIterator<(Tid, u32)> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = (Tid, u32)>>(iter: I) -> Self {
+        let mut c = VectorClock::new();
+        for (t, v) in iter {
+            c.set(t, v);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> Tid {
+        Tid::new(i)
+    }
+
+    #[test]
+    fn zero_clock_is_le_everything() {
+        let z = VectorClock::new();
+        let mut c = VectorClock::new();
+        c.tick(t(0));
+        assert!(z.le(&c));
+        assert!(z.le(&z));
+        assert!(z.happens_before(&c));
+        assert!(!c.happens_before(&z));
+    }
+
+    #[test]
+    fn tick_increments() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.tick(t(3)), 1);
+        assert_eq!(c.tick(t(3)), 2);
+        assert_eq!(c.get(t(3)), 2);
+        assert_eq!(c.get(t(0)), 0);
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VectorClock::new();
+        a.set(t(0), 5);
+        a.set(t(1), 1);
+        let mut b = VectorClock::new();
+        b.set(t(0), 2);
+        b.set(t(2), 7);
+        a.join(&b);
+        assert_eq!(a.get(t(0)), 5);
+        assert_eq!(a.get(t(1)), 1);
+        assert_eq!(a.get(t(2)), 7);
+    }
+
+    #[test]
+    fn concurrent_detection() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        a.tick(t(0));
+        b.tick(t(1));
+        assert_eq!(a.order(&b), ClockOrder::Concurrent);
+        assert!(a.concurrent_with(&b));
+        b.join(&a);
+        assert_eq!(a.order(&b), ClockOrder::Before);
+        assert_eq!(b.order(&a), ClockOrder::After);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zeros() {
+        let mut a = VectorClock::new();
+        a.set(t(0), 1);
+        let mut b = VectorClock::new();
+        b.set(t(0), 1);
+        b.set(t(5), 0);
+        // Structural equality differs, but ordering treats them the same.
+        assert_eq!(a.order(&b), ClockOrder::Equal);
+        assert!(a.le(&b) && b.le(&a));
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut c = VectorClock::new();
+        c.set(t(0), 1);
+        c.set(t(2), 3);
+        assert_eq!(c.to_string(), "<1,0,3>");
+        assert_eq!(t(4).to_string(), "g4");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: VectorClock = vec![(t(1), 4), (t(3), 2)].into_iter().collect();
+        assert_eq!(c.get(t(1)), 4);
+        assert_eq!(c.get(t(3)), 2);
+        assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn index_operator() {
+        let mut c = VectorClock::new();
+        c.set(t(1), 9);
+        assert_eq!(c[t(1)], 9);
+        assert_eq!(c[t(42)], 0);
+    }
+}

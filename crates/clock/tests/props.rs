@@ -1,0 +1,119 @@
+//! Property tests for the logical-clock lattice and lockset algebra.
+
+use grs_clock::{ClockOrder, Epoch, LockId, Lockset, Tid, VectorClock};
+use proptest::prelude::*;
+
+fn arb_clock() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..50, 0..8).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, c)| (Tid::new(i as u32), c))
+            .collect()
+    })
+}
+
+fn arb_lockset() -> impl Strategy<Value = Lockset> {
+    prop::collection::vec(0u64..12, 0..6)
+        .prop_map(|v| v.into_iter().map(LockId::new).collect())
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(a in arb_clock(), b in arb_clock()) {
+        let ab = a.joined(&b);
+        let ba = b.joined(&a);
+        prop_assert_eq!(ab.order(&ba), ClockOrder::Equal);
+    }
+
+    #[test]
+    fn join_is_associative(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        let left = a.joined(&b).joined(&c);
+        let right = a.joined(&b.joined(&c));
+        prop_assert_eq!(left.order(&right), ClockOrder::Equal);
+    }
+
+    #[test]
+    fn join_is_idempotent(a in arb_clock()) {
+        prop_assert_eq!(a.joined(&a).order(&a), ClockOrder::Equal);
+    }
+
+    #[test]
+    fn join_is_upper_bound(a in arb_clock(), b in arb_clock()) {
+        let j = a.joined(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    #[test]
+    fn le_is_antisymmetric_up_to_order(a in arb_clock(), b in arb_clock()) {
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(a.order(&b), ClockOrder::Equal);
+        }
+    }
+
+    #[test]
+    fn le_is_transitive(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    #[test]
+    fn order_is_consistent_with_le(a in arb_clock(), b in arb_clock()) {
+        match a.order(&b) {
+            ClockOrder::Before => prop_assert!(a.le(&b) && !b.le(&a)),
+            ClockOrder::After => prop_assert!(b.le(&a) && !a.le(&b)),
+            ClockOrder::Equal => prop_assert!(a.le(&b) && b.le(&a)),
+            ClockOrder::Concurrent => prop_assert!(!a.le(&b) && !b.le(&a)),
+        }
+    }
+
+    #[test]
+    fn tick_strictly_advances(a in arb_clock(), t in 0u32..8) {
+        let mut after = a.clone();
+        after.tick(Tid::new(t));
+        prop_assert!(a.happens_before(&after));
+    }
+
+    /// FastTrack's O(1) epoch test must agree with the full VC comparison.
+    #[test]
+    fn epoch_fast_path_equals_vc_comparison(
+        a in arb_clock(), t in 0u32..8, c in 0u32..60,
+    ) {
+        let e = Epoch::new(Tid::new(t), c);
+        prop_assert_eq!(e.le_clock(&a), e.to_clock().le(&a));
+    }
+
+    #[test]
+    fn lockset_intersection_commutative(a in arb_lockset(), b in arb_lockset()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn lockset_intersection_is_subset(a in arb_lockset(), b in arb_lockset()) {
+        let i = a.intersection(&b);
+        for l in i.iter() {
+            prop_assert!(a.contains(l) && b.contains(l));
+        }
+        prop_assert!(i.len() <= a.len().min(b.len()));
+    }
+
+    /// Eraser's refinement loop only ever shrinks the candidate set.
+    #[test]
+    fn repeated_intersection_monotonically_shrinks(
+        sets in prop::collection::vec(arb_lockset(), 1..6),
+    ) {
+        let mut candidate = sets[0].clone();
+        let mut prev_len = candidate.len();
+        for s in &sets[1..] {
+            candidate.intersect_with(s);
+            prop_assert!(candidate.len() <= prev_len);
+            prev_len = candidate.len();
+        }
+    }
+
+    #[test]
+    fn shares_lock_agrees_with_intersection(a in arb_lockset(), b in arb_lockset()) {
+        prop_assert_eq!(a.shares_lock_with(&b), !a.intersection(&b).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! `grs` — the umbrella crate for the PLDI'22 study reproduction.
+//!
+//! *"A Study of Real-World Data Races in Golang"* (Chabbi & Ramanathan,
+//! Uber) is reproduced here as a family of crates; this one re-exports them
+//! under stable module names and provides one runner per table/figure of
+//! the paper's evaluation in [`experiments`].
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`runtime`] | `grs-runtime` | deterministic Go-semantics runtime |
+//! | [`clock`] | `grs-clock` | vector clocks, epochs, locksets |
+//! | [`detector`] | `grs-detector` | FastTrack / Eraser / TSan + explorer |
+//! | [`patterns`] | `grs-patterns` | executable §4 pattern corpus |
+//! | [`deploy`] | `grs-deploy` | §3.3 pipeline + campaign simulation |
+//! | [`golite`] | `grs-golite` | Go subset frontend, scanner, lints |
+//! | [`corpus`] | `grs-corpus` | synthetic monorepos (Table 1) |
+//! | [`interp`] | `grs-interp` | Go-lite interpreter on the runtime |
+//! | [`fleet`] | `grs-fleet` | fleet concurrency census (Figure 1) |
+//!
+//! # Example: detect Listing 1's race end to end
+//!
+//! ```
+//! use grs::detector::{ExploreConfig, Explorer};
+//! use grs::patterns;
+//!
+//! let listing1 = patterns::find("loop_index_capture").expect("in corpus");
+//! let result = Explorer::new(ExploreConfig::quick()).explore(&listing1.racy_program());
+//! assert!(result.found_race());
+//! println!("{}", result.unique_races[0]);
+//! ```
+
+pub use grs_clock as clock;
+pub use grs_corpus as corpus;
+pub use grs_deploy as deploy;
+pub use grs_detector as detector;
+pub use grs_fleet as fleet;
+pub use grs_golite as golite;
+pub use grs_interp as interp;
+pub use grs_patterns as patterns;
+pub use grs_runtime as runtime;
+
+pub mod classify;
+pub mod experiments;
+pub mod study;
+
+pub use classify::classify;
+pub use experiments::{
+    figure1, figure3_figure4, overhead_probe, table1, table2, table3, CategoryTally,
+    DeploymentStats, OverheadProbe, TallyConfig,
+};
+pub use study::{Study, StudyReport};

@@ -1,0 +1,174 @@
+//! [`Study`] — the one-call reproduction of the whole paper.
+//!
+//! Runs every experiment at a configurable scale and assembles a
+//! [`StudyReport`] whose [`render`](StudyReport::render) output is the
+//! paper's evaluation section regenerated: Table 1, Figure 1's medians,
+//! Figures 3–4 with the §3.5 statistics, Tables 2–3 as mixture recovery,
+//! and the detector-overhead probe.
+
+use grs_corpus::Table1;
+use grs_deploy::campaign::CampaignResult;
+use grs_fleet::{Census, Language};
+
+use crate::experiments::{
+    figure1, figure3_figure4, overhead_probe, overhead_workload, table1, table2, table3,
+    DeploymentStats, OverheadProbe, TallyConfig, TallyResult,
+};
+
+/// Experiment scales.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Seed for every stochastic component.
+    pub seed: u64,
+    /// Go-corpus scale for Table 1 (Java runs at 10×; `0.002` ≈ 92 KLoC Go).
+    pub table1_go_scale: f64,
+    /// Fleet scale for Figure 1 (`0.05` ≈ 9.8K processes).
+    pub fleet_scale: f64,
+    /// Table 2/3 population configuration.
+    pub tally: TallyConfig,
+    /// Runs for the overhead probe.
+    pub overhead_runs: u32,
+}
+
+impl Study {
+    /// A configuration that finishes in seconds (used by tests).
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        Study {
+            seed,
+            table1_go_scale: 0.0005,
+            fleet_scale: 0.01,
+            tally: TallyConfig::quick(seed),
+            overhead_runs: 10,
+        }
+    }
+
+    /// The scale used for the published numbers in `EXPERIMENTS.md`
+    /// (a couple of minutes end to end).
+    #[must_use]
+    pub fn standard(seed: u64) -> Self {
+        Study {
+            seed,
+            table1_go_scale: 0.002,
+            fleet_scale: 0.05,
+            tally: TallyConfig {
+                scale_divisor: 20.0,
+                runs_per_instance: 40,
+                seed,
+            },
+            overhead_runs: 30,
+        }
+    }
+
+    /// Runs every experiment.
+    #[must_use]
+    pub fn run(&self) -> StudyReport {
+        let t1 = table1(self.table1_go_scale, self.seed);
+        let fleet = figure1(self.fleet_scale, self.seed);
+        let (campaign, stats) = figure3_figure4(self.seed);
+        let t2 = table2(&self.tally);
+        let t3 = table3(&self.tally);
+        let overhead = overhead_probe(&overhead_workload(), self.overhead_runs, self.seed);
+        StudyReport {
+            table1: t1,
+            fleet,
+            campaign,
+            deployment: stats,
+            table2: t2,
+            table3: t3,
+            overhead,
+        }
+    }
+}
+
+/// Everything the paper's evaluation section reports, regenerated.
+#[derive(Debug)]
+pub struct StudyReport {
+    /// Table 1.
+    pub table1: Table1,
+    /// Figure 1's census.
+    pub fleet: Census,
+    /// Figures 3–4.
+    pub campaign: CampaignResult,
+    /// §3.5 headline statistics.
+    pub deployment: DeploymentStats,
+    /// Table 2 mixture recovery.
+    pub table2: TallyResult,
+    /// Table 3 mixture recovery.
+    pub table3: TallyResult,
+    /// §3.5 overhead probe.
+    pub overhead: OverheadProbe,
+}
+
+impl StudyReport {
+    /// Renders the full report as text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("================ Table 1 ================\n");
+        s.push_str(&self.table1.render());
+        s.push_str(&format!(
+            "ratios Go/Java: creation {:.2}x (paper ~1.14x), p2p {:.2}x (3.7x), group {:.2}x (1.9x), maps {:.2}x (1.34x)\n\n",
+            self.table1.creation_ratio(),
+            self.table1.p2p_ratio(),
+            self.table1.group_ratio(),
+            self.table1.map_ratio()
+        ));
+        s.push_str("================ Figure 1 ================\n");
+        for lang in Language::all() {
+            let cdf = self.fleet.cdf(lang);
+            s.push_str(&format!(
+                "{lang:<7} median {:>6}  p90 {:>6}  max {:>7}\n",
+                cdf.median(),
+                cdf.quantile(0.9),
+                cdf.max()
+            ));
+        }
+        s.push_str("(paper medians: NodeJS 16, Python 16, Java 256, Go 2048)\n\n");
+        s.push_str("================ Figures 3-4 / Section 3.5 ================\n");
+        let d = &self.deployment;
+        s.push_str(&format!(
+            "detected {} (~2000)  fixed {} (1011)  engineers {} (210)  patches {} (790)  new/day {:.1} (~5)\n",
+            d.total_detected, d.total_fixed, d.unique_engineers, d.unique_patches, d.new_per_day
+        ));
+        let out = |i: usize| self.campaign.daily[i].outstanding;
+        s.push_str(&format!(
+            "outstanding day10 {} -> day70 {} (shepherded drop); day115 {} -> day179 {} (post-shepherding rise)\n\n",
+            out(10),
+            out(70),
+            out(115),
+            out(179)
+        ));
+        s.push_str("================ Table 2 ================\n");
+        s.push_str(&self.table2.render());
+        s.push_str("\n================ Table 3 ================\n");
+        s.push_str(&self.table3.render());
+        s.push_str(&format!(
+            "\n================ Overhead (Section 3.5) ================\ndetector on/off: {:.2}x (paper: 4x test time; TSan 2x-20x)\n",
+            self.overhead.ratio()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_runs_end_to_end() {
+        let report = Study::quick(3).run();
+        let rendered = report.render();
+        assert!(rendered.contains("Table 1"));
+        assert!(rendered.contains("Figure 1"));
+        assert!(rendered.contains("Table 2"));
+        assert!(rendered.contains("Table 3"));
+        assert!(rendered.contains("Overhead"));
+        // Core shape checks survive at quick scale.
+        assert!(report.table1.p2p_ratio() > 1.5);
+        assert_eq!(report.fleet.cdf(Language::Go).median(), 2048);
+        assert!(report.deployment.total_detected > report.deployment.total_fixed);
+        assert!(report.table2.classifier_accuracy >= 0.7);
+        assert!(report.table3.classifier_accuracy >= 0.7);
+    }
+}

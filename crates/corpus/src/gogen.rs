@@ -1,0 +1,393 @@
+//! The Go-lite monorepo generator.
+//!
+//! Emits syntactically valid Go-lite source whose construct densities match
+//! a [`GoCorpusSpec`] (defaulting to the paper's Table 1 Go column), while
+//! recording ground-truth [`ConstructCounts`] for every construct emitted.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use grs_golite::ConstructCounts;
+
+/// Target densities (per million lines) and repo shape.
+#[derive(Debug, Clone)]
+pub struct GoCorpusSpec {
+    /// Total lines to generate.
+    pub target_lines: u64,
+    /// Number of services (files are distributed across them).
+    pub services: u32,
+    /// `go` statements per MLoC (paper: 11515 / 46 MLoC ≈ 250.3).
+    pub go_per_mloc: f64,
+    /// `Lock`+`Unlock` calls per MLoC (paper: 19062 / 46 ≈ 414.4).
+    pub lock_unlock_per_mloc: f64,
+    /// `RLock`+`RUnlock` calls per MLoC (paper: 5511 / 46 ≈ 119.8).
+    pub rlock_runlock_per_mloc: f64,
+    /// Channel send/recv per MLoC (paper: 10120 / 46 ≈ 220.0).
+    pub chan_ops_per_mloc: f64,
+    /// `WaitGroup` instances per MLoC (paper: 4795 / 46 ≈ 104.2).
+    pub waitgroup_per_mloc: f64,
+    /// Map constructs per MLoC (paper: 273713 / 46 ≈ 5950).
+    pub map_per_mloc: f64,
+}
+
+impl GoCorpusSpec {
+    /// The paper's densities at a scaled-down line count.
+    ///
+    /// `scale = 1.0` would be the full 46 MLoC / 2100 services; benches use
+    /// small fractions.
+    #[must_use]
+    pub fn paper_scaled(scale: f64) -> Self {
+        GoCorpusSpec {
+            target_lines: (46_000_000.0 * scale) as u64,
+            services: ((2100.0 * scale).ceil() as u32).max(1),
+            go_per_mloc: 11_515.0 / 46.0,
+            lock_unlock_per_mloc: 19_062.0 / 46.0,
+            rlock_runlock_per_mloc: 5_511.0 / 46.0,
+            chan_ops_per_mloc: 10_120.0 / 46.0,
+            waitgroup_per_mloc: 4_795.0 / 46.0,
+            map_per_mloc: 273_713.0 / 46.0,
+        }
+    }
+}
+
+impl Default for GoCorpusSpec {
+    fn default() -> Self {
+        Self::paper_scaled(0.001)
+    }
+}
+
+/// A generated Go monorepo: file sources plus emission-time ground truth.
+#[derive(Debug)]
+pub struct GoCorpus {
+    /// `(path, source)` pairs.
+    pub files: Vec<(String, String)>,
+    /// Number of services.
+    pub services: u32,
+    /// Ground-truth construct counts accumulated during emission.
+    pub truth: ConstructCounts,
+}
+
+impl GoCorpus {
+    /// Generates a corpus for `spec` under `seed`.
+    #[must_use]
+    pub fn generate(spec: &GoCorpusSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut truth = ConstructCounts::default();
+        let lines = spec.target_lines.max(200);
+        let mloc = lines as f64 / 1_000_000.0;
+
+        // Construct budgets for the whole repo.
+        let go_budget = (spec.go_per_mloc * mloc).round() as u64;
+        // Each lock snippet yields one Lock and one Unlock (2 ops).
+        let lock_budget = (spec.lock_unlock_per_mloc * mloc / 2.0).round() as u64;
+        let rlock_budget = (spec.rlock_runlock_per_mloc * mloc / 2.0).round() as u64;
+        // Each channel snippet yields one send and one recv (2 ops).
+        let chan_budget = (spec.chan_ops_per_mloc * mloc / 2.0).round() as u64;
+        let wg_budget = (spec.waitgroup_per_mloc * mloc).round() as u64;
+        let map_budget = (spec.map_per_mloc * mloc).round() as u64;
+
+        // Build the snippet work list, then distribute over files.
+        #[derive(Clone, Copy)]
+        enum Snip {
+            Go,
+            Lock,
+            RLock,
+            Chan,
+            Wg,
+            Map,
+        }
+        let mut work: Vec<Snip> = Vec::new();
+        work.extend(std::iter::repeat_n(Snip::Go, go_budget as usize));
+        work.extend(std::iter::repeat_n(Snip::Lock, lock_budget as usize));
+        work.extend(std::iter::repeat_n(Snip::RLock, rlock_budget as usize));
+        work.extend(std::iter::repeat_n(Snip::Chan, chan_budget as usize));
+        work.extend(std::iter::repeat_n(Snip::Wg, wg_budget as usize));
+        work.extend(std::iter::repeat_n(Snip::Map, map_budget as usize));
+        work.shuffle(&mut rng);
+
+        let files_total = (lines / 400).max(1) as usize;
+        let mut files = Vec::with_capacity(files_total);
+        let per_file = work.len() / files_total + 1;
+        let mut uniq = 0u64;
+        let mut work_iter = work.into_iter().peekable();
+
+        for fi in 0..files_total {
+            let service = fi as u32 % spec.services;
+            let mut body = String::new();
+            body.push_str(&format!("package svc{service}\n\nimport \"sync\"\n\nvar sink int\n\n"));
+            let mut file_lines: u64 = 6;
+            let target_file_lines = lines / files_total as u64;
+            let mut func_idx = 0;
+            let mut taken = 0;
+            while file_lines < target_file_lines || (taken < per_file && work_iter.peek().is_some())
+            {
+                // One function with a mix of snippets and filler.
+                body.push_str(&format!("func handler{func_idx}(x int) int {{\n"));
+                file_lines += 1;
+                func_idx += 1;
+                let stmts_in_func = rng.gen_range(8..28);
+                let mut emitted = 0;
+                while emitted < stmts_in_func {
+                    let use_snippet = taken < per_file
+                        && work_iter.peek().is_some()
+                        && rng.gen_bool(0.25);
+                    if use_snippet {
+                        let snip = work_iter.next().expect("peeked");
+                        taken += 1;
+                        uniq += 1;
+                        let (text, lines_added) = match snip {
+                            Snip::Go => {
+                                truth.go_statements += 1;
+                                truth.func_lits += 1;
+                                (
+                                    format!(
+                                        "\tgo func(v int) {{\n\t\tsink = sink + v\n\t}}({})\n",
+                                        rng.gen_range(1..100)
+                                    ),
+                                    3,
+                                )
+                            }
+                            Snip::Lock => {
+                                truth.mutex_decls += 1;
+                                truth.lock_calls += 1;
+                                truth.unlock_calls += 1;
+                                (
+                                    format!(
+                                        "\tvar mu{uniq} sync.Mutex\n\tmu{uniq}.Lock()\n\tsink = sink + 1\n\tmu{uniq}.Unlock()\n"
+                                    ),
+                                    4,
+                                )
+                            }
+                            Snip::RLock => {
+                                truth.rwmutex_decls += 1;
+                                truth.rlock_calls += 1;
+                                truth.runlock_calls += 1;
+                                (
+                                    format!(
+                                        "\tvar rw{uniq} sync.RWMutex\n\trw{uniq}.RLock()\n\tx = x + sink\n\trw{uniq}.RUnlock()\n"
+                                    ),
+                                    4,
+                                )
+                            }
+                            Snip::Chan => {
+                                truth.chan_types += 1;
+                                truth.chan_sends += 1;
+                                truth.chan_recvs += 1;
+                                (
+                                    format!(
+                                        "\tch{uniq} := make(chan int, 1)\n\tch{uniq} <- x\n\tx = <-ch{uniq}\n"
+                                    ),
+                                    3,
+                                )
+                            }
+                            Snip::Wg => {
+                                truth.waitgroup_decls += 1;
+                                truth.waitgroup_calls += 3;
+                                (
+                                    format!(
+                                        "\tvar wg{uniq} sync.WaitGroup\n\twg{uniq}.Add(1)\n\twg{uniq}.Done()\n\twg{uniq}.Wait()\n"
+                                    ),
+                                    4,
+                                )
+                            }
+                            Snip::Map => {
+                                truth.map_constructs += 1;
+                                (
+                                    format!(
+                                        "\tm{uniq} := make(map[string]int)\n\tm{uniq}[\"k\"] = x\n\tx = m{uniq}[\"k\"]\n"
+                                    ),
+                                    3,
+                                )
+                            }
+                        };
+                        body.push_str(&text);
+                        file_lines += lines_added;
+                        emitted += lines_added;
+                    } else {
+                        // Filler statements.
+                        match rng.gen_range(0..3) {
+                            0 => {
+                                body.push_str(&format!(
+                                    "\tx = x + {}\n",
+                                    rng.gen_range(1..50)
+                                ));
+                                file_lines += 1;
+                                emitted += 1;
+                            }
+                            1 => {
+                                body.push_str(&format!(
+                                    "\tif x > {} {{\n\t\tx = x - 1\n\t}}\n",
+                                    rng.gen_range(1..100)
+                                ));
+                                file_lines += 3;
+                                emitted += 3;
+                            }
+                            _ => {
+                                body.push_str(
+                                    "\tfor i := 0; i < 3; i = i + 1 {\n\t\tx = x + i\n\t}\n",
+                                );
+                                file_lines += 3;
+                                emitted += 3;
+                            }
+                        }
+                    }
+                }
+                body.push_str("\treturn x\n}\n\n");
+                file_lines += 3;
+                truth.func_decls += 1;
+                if file_lines >= target_file_lines && taken >= per_file {
+                    break;
+                }
+                if file_lines > target_file_lines * 3 {
+                    break; // safety: don't balloon a single file
+                }
+            }
+            truth.lines += body.lines().count() as u64;
+            files.push((format!("svc{service}/file{fi}.go"), body));
+        }
+        // Drain any leftover work into one final file so budgets are exact.
+        if work_iter.peek().is_some() {
+            let mut body =
+                String::from("package svcoverflow\n\nimport \"sync\"\n\nvar sink int\n\n");
+            body.push_str("func overflow(x int) int {\n");
+            for snip in work_iter {
+                uniq += 1;
+                match snip {
+                    Snip::Go => {
+                        truth.go_statements += 1;
+                        truth.func_lits += 1;
+                        body.push_str("\tgo func(v int) {\n\t\tsink = sink + v\n\t}(1)\n");
+                    }
+                    Snip::Lock => {
+                        truth.mutex_decls += 1;
+                        truth.lock_calls += 1;
+                        truth.unlock_calls += 1;
+                        body.push_str(&format!(
+                            "\tvar mu{uniq} sync.Mutex\n\tmu{uniq}.Lock()\n\tsink = sink + 1\n\tmu{uniq}.Unlock()\n"
+                        ));
+                    }
+                    Snip::RLock => {
+                        truth.rwmutex_decls += 1;
+                        truth.rlock_calls += 1;
+                        truth.runlock_calls += 1;
+                        body.push_str(&format!(
+                            "\tvar rw{uniq} sync.RWMutex\n\trw{uniq}.RLock()\n\tx = x + sink\n\trw{uniq}.RUnlock()\n"
+                        ));
+                    }
+                    Snip::Chan => {
+                        truth.chan_types += 1;
+                        truth.chan_sends += 1;
+                        truth.chan_recvs += 1;
+                        body.push_str(&format!(
+                            "\tch{uniq} := make(chan int, 1)\n\tch{uniq} <- x\n\tx = <-ch{uniq}\n"
+                        ));
+                    }
+                    Snip::Wg => {
+                        truth.waitgroup_decls += 1;
+                        truth.waitgroup_calls += 3;
+                        body.push_str(&format!(
+                            "\tvar wg{uniq} sync.WaitGroup\n\twg{uniq}.Add(1)\n\twg{uniq}.Done()\n\twg{uniq}.Wait()\n"
+                        ));
+                    }
+                    Snip::Map => {
+                        truth.map_constructs += 1;
+                        body.push_str(&format!(
+                            "\tm{uniq} := make(map[string]int)\n\tm{uniq}[\"k\"] = x\n\tx = m{uniq}[\"k\"]\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str("\treturn x\n}\n");
+            truth.func_decls += 1;
+            truth.lines += body.lines().count() as u64;
+            files.push(("svcoverflow/overflow.go".to_string(), body));
+        }
+
+        GoCorpus {
+            files,
+            services: spec.services,
+            truth,
+        }
+    }
+
+    /// Scans every file with the Go-lite AST scanner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a generated file fails to parse — that would be a
+    /// generator bug, which the test suite is designed to catch.
+    #[must_use]
+    pub fn scan(&self) -> ConstructCounts {
+        let mut total = ConstructCounts::default();
+        for (path, src) in &self.files {
+            let counts = grs_golite::scan_source(src)
+                .unwrap_or_else(|e| panic!("generated file {path} does not parse: {e}"));
+            total.merge(&counts);
+        }
+        total
+    }
+
+    /// Total generated lines.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.truth.lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_corpus_parses_and_scan_matches_truth() {
+        let spec = GoCorpusSpec::paper_scaled(0.0002); // ~9K lines
+        let corpus = GoCorpus::generate(&spec, 11);
+        let scanned = corpus.scan();
+        let truth = &corpus.truth;
+        assert_eq!(scanned.go_statements, truth.go_statements);
+        assert_eq!(scanned.lock_calls, truth.lock_calls);
+        assert_eq!(scanned.unlock_calls, truth.unlock_calls);
+        assert_eq!(scanned.rlock_calls, truth.rlock_calls);
+        assert_eq!(scanned.runlock_calls, truth.runlock_calls);
+        assert_eq!(scanned.chan_sends, truth.chan_sends);
+        assert_eq!(scanned.chan_recvs, truth.chan_recvs);
+        assert_eq!(scanned.waitgroup_decls, truth.waitgroup_decls);
+        assert_eq!(scanned.map_constructs, truth.map_constructs);
+        assert_eq!(scanned.lines, truth.lines);
+    }
+
+    #[test]
+    fn densities_land_near_the_spec() {
+        let spec = GoCorpusSpec::paper_scaled(0.0005); // ~23K lines
+        let corpus = GoCorpus::generate(&spec, 3);
+        let c = corpus.scan();
+        let per_mloc = |n: u64| n as f64 * 1e6 / c.lines as f64;
+        // Within 35% of the target (small corpora are noisy; budgets are
+        // exact but line counts wobble with filler).
+        let go_density = per_mloc(c.go_statements);
+        assert!(
+            (go_density - spec.go_per_mloc).abs() / spec.go_per_mloc < 0.35,
+            "go density {go_density} vs target {}",
+            spec.go_per_mloc
+        );
+        let p2p = per_mloc(c.point_to_point());
+        let target_p2p = spec.lock_unlock_per_mloc
+            + spec.rlock_runlock_per_mloc
+            + spec.chan_ops_per_mloc;
+        assert!(
+            (p2p - target_p2p).abs() / target_p2p < 0.35,
+            "p2p density {p2p} vs target {target_p2p}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = GoCorpusSpec::paper_scaled(0.0001);
+        let a = GoCorpus::generate(&spec, 5);
+        let b = GoCorpus::generate(&spec, 5);
+        assert_eq!(a.files, b.files);
+        let c = GoCorpus::generate(&spec, 6);
+        assert_ne!(a.files, c.files);
+    }
+}

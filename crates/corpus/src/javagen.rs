@@ -1,0 +1,211 @@
+//! The Java-lite monorepo generator (Table 1's comparison column).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Target densities (per MLoC) and repo shape for the Java column.
+#[derive(Debug, Clone)]
+pub struct JavaCorpusSpec {
+    /// Total lines to generate.
+    pub target_lines: u64,
+    /// Number of services.
+    pub services: u32,
+    /// `.start()` thread creations per MLoC (paper: 4162 / 19 ≈ 219.1).
+    pub start_per_mloc: f64,
+    /// `synchronized` blocks per MLoC (paper: 2378 / 19 ≈ 125.2).
+    pub synchronized_per_mloc: f64,
+    /// `acquire`+`release` pairs per MLoC (paper: 652 / 19 ≈ 34.3 ops).
+    pub acquire_release_per_mloc: f64,
+    /// `lock`+`unlock` pairs per MLoC (paper: 624 / 19 ≈ 32.8 ops).
+    pub lock_unlock_per_mloc: f64,
+    /// Latch/Barrier/Phaser instances per MLoC (paper: 1007 / 19 ≈ 53.0).
+    pub group_per_mloc: f64,
+    /// Map constructs per MLoC (paper: 83392 / 19 ≈ 4389).
+    pub map_per_mloc: f64,
+}
+
+impl JavaCorpusSpec {
+    /// The paper's densities at a scaled-down line count (`scale = 1.0` is
+    /// the full 19 MLoC / 857 services).
+    #[must_use]
+    pub fn paper_scaled(scale: f64) -> Self {
+        JavaCorpusSpec {
+            target_lines: (19_000_000.0 * scale) as u64,
+            services: ((857.0 * scale).ceil() as u32).max(1),
+            start_per_mloc: 4_162.0 / 19.0,
+            synchronized_per_mloc: 2_378.0 / 19.0,
+            acquire_release_per_mloc: 652.0 / 19.0,
+            lock_unlock_per_mloc: 624.0 / 19.0,
+            group_per_mloc: 1_007.0 / 19.0,
+            map_per_mloc: 83_392.0 / 19.0,
+        }
+    }
+}
+
+impl Default for JavaCorpusSpec {
+    fn default() -> Self {
+        Self::paper_scaled(0.001)
+    }
+}
+
+/// A generated Java monorepo.
+#[derive(Debug)]
+pub struct JavaCorpus {
+    /// `(path, source)` pairs.
+    pub files: Vec<(String, String)>,
+    /// Number of services.
+    pub services: u32,
+}
+
+impl JavaCorpus {
+    /// Generates a corpus for `spec` under `seed`.
+    #[must_use]
+    pub fn generate(spec: &JavaCorpusSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lines = spec.target_lines.max(200);
+        let mloc = lines as f64 / 1_000_000.0;
+
+        let mut work: Vec<Snip> = Vec::new();
+        work.extend(
+            std::iter::repeat_n(Snip::Start, (spec.start_per_mloc * mloc).round() as usize),
+        );
+        work.extend(
+            std::iter::repeat_n(Snip::Synchronized, (spec.synchronized_per_mloc * mloc).round() as usize),
+        );
+        work.extend(
+            std::iter::repeat_n(Snip::AcquireRelease, (spec.acquire_release_per_mloc * mloc / 2.0).round() as usize),
+        );
+        work.extend(
+            std::iter::repeat_n(Snip::LockUnlock, (spec.lock_unlock_per_mloc * mloc / 2.0).round() as usize),
+        );
+        work.extend(
+            std::iter::repeat_n(Snip::Group, (spec.group_per_mloc * mloc).round() as usize),
+        );
+        // Each map snippet (`Map<K,V> m = new HashMap<>()`) counts as TWO
+        // constructs under the scanner, so the budget is halved.
+        work.extend(
+            std::iter::repeat_n(Snip::Map, (spec.map_per_mloc * mloc / 2.0).round() as usize),
+        );
+        work.shuffle(&mut rng);
+
+        let files_total = (lines / 400).max(1) as usize;
+        let per_file = work.len() / files_total + 1;
+        let mut work_iter = work.into_iter().peekable();
+        let mut files = Vec::with_capacity(files_total);
+
+        for fi in 0..files_total {
+            let service = fi as u32 % spec.services;
+            let mut body = String::new();
+            body.push_str(&format!(
+                "package com.example.svc{service};\n\npublic class Handler{fi} {{\n    private int sink = 0;\n"
+            ));
+            let mut file_lines: u64 = 4;
+            let target_file_lines = lines / files_total as u64;
+            let mut method = 0;
+            let mut taken = 0;
+            while file_lines < target_file_lines
+                || (taken < per_file && work_iter.peek().is_some())
+            {
+                body.push_str(&format!("    public int handle{method}(int x) {{\n"));
+                file_lines += 1;
+                method += 1;
+                let stmts = rng.gen_range(6..20);
+                let mut emitted = 0;
+                while emitted < stmts {
+                    if taken < per_file && work_iter.peek().is_some() && rng.gen_bool(0.2) {
+                        let snip = work_iter.next().expect("peeked");
+                        taken += 1;
+                        let (text, n) = java_snippet(snip, &mut rng);
+                        body.push_str(&text);
+                        file_lines += n;
+                        emitted += n;
+                    } else {
+                        body.push_str(&format!("        x = x + {};\n", rng.gen_range(1..50)));
+                        file_lines += 1;
+                        emitted += 1;
+                    }
+                }
+                body.push_str("        return x;\n    }\n");
+                file_lines += 2;
+                if file_lines > target_file_lines * 3 {
+                    break;
+                }
+            }
+            body.push_str("}\n");
+            files.push((format!("svc{service}/Handler{fi}.java"), body));
+        }
+        // Drain leftovers.
+        if work_iter.peek().is_some() {
+            let mut body = String::from(
+                "package com.example.overflow;\n\npublic class Overflow {\n    public int run(int x) {\n",
+            );
+            for snip in work_iter {
+                let (text, _) = java_snippet(snip, &mut rng);
+                body.push_str(&text);
+            }
+            body.push_str("        return x;\n    }\n}\n");
+            files.push(("overflow/Overflow.java".to_string(), body));
+        }
+        JavaCorpus {
+            files,
+            services: spec.services,
+        }
+    }
+
+    /// Total lines across all files.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.files
+            .iter()
+            .map(|(_, s)| s.lines().count() as u64)
+            .sum()
+    }
+}
+
+/// One concurrency construct to embed in generated Java.
+#[derive(Debug, Clone, Copy)]
+enum Snip {
+    Start,
+    Synchronized,
+    AcquireRelease,
+    LockUnlock,
+    Group,
+    Map,
+}
+
+fn java_snippet(snip: Snip, rng: &mut StdRng) -> (String, u64) {
+    match snip {
+        Snip::Start => (
+            "        new Thread(() -> { sink += 1; }).start();\n".to_string(),
+            1,
+        ),
+        Snip::Synchronized => (
+            "        synchronized (this) {\n            sink += 1;\n        }\n".to_string(),
+            3,
+        ),
+        Snip::AcquireRelease => (
+            "        semaphore.acquire();\n        sink += 1;\n        semaphore.release();\n"
+                .to_string(),
+            3,
+        ),
+        Snip::LockUnlock => (
+            "        lock.lock();\n        sink += 1;\n        lock.unlock();\n".to_string(),
+            3,
+        ),
+        Snip::Group => {
+            let cls = ["CountDownLatch", "CyclicBarrier", "Phaser"][rng.gen_range(0..3)];
+            (
+                format!("        {cls} gate{} = new {cls}(2);\n", rng.gen_range(0..10_000)),
+                1,
+            )
+        }
+        Snip::Map => (
+            format!(
+                "        Map<String, Integer> m{} = new HashMap<>();\n",
+                rng.gen_range(0..10_000)
+            ),
+            1,
+        ),
+    }
+}

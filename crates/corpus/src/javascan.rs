@@ -1,0 +1,237 @@
+//! The coarse textual Java scanner.
+//!
+//! The paper's own Java counts came from repository-wide textual look-ups
+//! ("the exact regular expressions are more involved" — Table 1 footnote),
+//! not from a Java frontend. This scanner takes the same approach: it
+//! counts token-shaped substring occurrences outside string literals and
+//! comments.
+
+/// Counts of the Java constructs Table 1 tracks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JavaCounts {
+    /// Physical lines.
+    pub lines: u64,
+    /// `.start(` — thread creation.
+    pub thread_starts: u64,
+    /// `synchronized` keyword.
+    pub synchronized_blocks: u64,
+    /// `.acquire(` calls.
+    pub acquires: u64,
+    /// `.release(` calls.
+    pub releases: u64,
+    /// `.lock(` calls.
+    pub lock_calls: u64,
+    /// `.unlock(` calls.
+    pub unlock_calls: u64,
+    /// `CountDownLatch` / `CyclicBarrier` / `Phaser` mentions at
+    /// construction (`new X(`).
+    pub group_constructs: u64,
+    /// `HashMap` / `Map<` constructs.
+    pub map_constructs: u64,
+}
+
+impl JavaCounts {
+    /// Point-to-point synchronization (Table 1's middle block for Java):
+    /// `synchronized` + acquire/release + lock/unlock.
+    #[must_use]
+    pub fn point_to_point(&self) -> u64 {
+        self.synchronized_blocks
+            + self.acquires
+            + self.releases
+            + self.lock_calls
+            + self.unlock_calls
+    }
+
+    /// Group communication constructs.
+    #[must_use]
+    pub fn group_sync(&self) -> u64 {
+        self.group_constructs
+    }
+
+    /// Thread creation constructs.
+    #[must_use]
+    pub fn concurrency_creation(&self) -> u64 {
+        self.thread_starts
+    }
+
+    /// Adds another file's counts.
+    pub fn merge(&mut self, other: &JavaCounts) {
+        self.lines += other.lines;
+        self.thread_starts += other.thread_starts;
+        self.synchronized_blocks += other.synchronized_blocks;
+        self.acquires += other.acquires;
+        self.releases += other.releases;
+        self.lock_calls += other.lock_calls;
+        self.unlock_calls += other.unlock_calls;
+        self.group_constructs += other.group_constructs;
+        self.map_constructs += other.map_constructs;
+    }
+}
+
+/// Scans one Java source file.
+#[must_use]
+pub fn scan_java(src: &str) -> JavaCounts {
+    let stripped = strip_strings_and_comments(src);
+    JavaCounts {
+        lines: src.lines().count() as u64,
+        thread_starts: count_occurrences(&stripped, ".start("),
+        synchronized_blocks: count_word(&stripped, "synchronized"),
+        acquires: count_occurrences(&stripped, ".acquire("),
+        releases: count_occurrences(&stripped, ".release("),
+        lock_calls: count_occurrences(&stripped, ".lock("),
+        unlock_calls: count_occurrences(&stripped, ".unlock("),
+        group_constructs: count_occurrences(&stripped, "new CountDownLatch(")
+            + count_occurrences(&stripped, "new CyclicBarrier(")
+            + count_occurrences(&stripped, "new Phaser("),
+        map_constructs: count_occurrences(&stripped, "new HashMap")
+            + count_prefix_bounded(&stripped, "Map<"),
+    }
+}
+
+/// Replaces string/char literal contents and comments with spaces so the
+/// counters cannot match inside them.
+fn strip_strings_and_comments(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' | b'\'' => {
+                let quote = bytes[i];
+                out.push(b' ');
+                i += 1;
+                while i < bytes.len() && bytes[i] != quote {
+                    if bytes[i] == b'\\' {
+                        i += 1;
+                        out.push(b' ');
+                    }
+                    out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                if i < bytes.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                out.push(b' ');
+                out.push(b' ');
+                i = (i + 2).min(bytes.len());
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn count_occurrences(haystack: &str, needle: &str) -> u64 {
+    haystack.matches(needle).count() as u64
+}
+
+/// Counts occurrences whose first character sits at a word boundary (so
+/// `Map<` does not also match inside `HashMap<>`).
+fn count_prefix_bounded(haystack: &str, needle: &str) -> u64 {
+    let mut count = 0;
+    let mut start = 0;
+    while let Some(idx) = haystack[start..].find(needle) {
+        let abs = start + idx;
+        let before_ok = abs == 0 || {
+            let b = haystack.as_bytes()[abs - 1];
+            !b.is_ascii_alphanumeric() && b != b'_'
+        };
+        if before_ok {
+            count += 1;
+        }
+        start = abs + needle.len();
+    }
+    count
+}
+
+/// Counts whole-word occurrences (no identifier character on either side).
+fn count_word(haystack: &str, word: &str) -> u64 {
+    let mut count = 0;
+    let mut start = 0;
+    while let Some(idx) = haystack[start..].find(word) {
+        let abs = start + idx;
+        let before_ok = abs == 0
+            || !haystack.as_bytes()[abs - 1].is_ascii_alphanumeric()
+                && haystack.as_bytes()[abs - 1] != b'_';
+        let after = abs + word.len();
+        let after_ok = after >= haystack.len()
+            || !haystack.as_bytes()[after].is_ascii_alphanumeric()
+                && haystack.as_bytes()[after] != b'_';
+        if before_ok && after_ok {
+            count += 1;
+        }
+        start = abs + word.len();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_core_constructs() {
+        let src = r#"
+public class W {
+    public void run() {
+        new Thread(() -> { x += 1; }).start();
+        synchronized (this) { x += 1; }
+        sem.acquire();
+        sem.release();
+        lock.lock();
+        lock.unlock();
+        CountDownLatch l = new CountDownLatch(1);
+        Map<String, Integer> m = new HashMap<>();
+    }
+}
+"#;
+        let c = scan_java(src);
+        assert_eq!(c.thread_starts, 1);
+        assert_eq!(c.synchronized_blocks, 1);
+        assert_eq!(c.acquires, 1);
+        assert_eq!(c.releases, 1);
+        assert_eq!(c.lock_calls, 1);
+        assert_eq!(c.unlock_calls, 1);
+        assert_eq!(c.group_constructs, 1);
+        assert_eq!(c.map_constructs, 2, "Map< and new HashMap");
+        assert_eq!(c.point_to_point(), 5);
+    }
+
+    #[test]
+    fn ignores_strings_and_comments() {
+        let src = r#"
+public class W {
+    // synchronized in a comment
+    /* lock.lock() in a block comment */
+    String s = "synchronized .start( .lock(";
+    public void run() { synchronized (this) { } }
+}
+"#;
+        let c = scan_java(src);
+        assert_eq!(c.synchronized_blocks, 1);
+        assert_eq!(c.thread_starts, 0);
+        assert_eq!(c.lock_calls, 0);
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let src = "int mysynchronized = 1; int synchronizedx = 2;";
+        assert_eq!(scan_java(src).synchronized_blocks, 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The Table 1 experiment: generate both monorepos, scan them, and compare
+//! per-MLoC densities.
+
+use crate::gogen::{GoCorpus, GoCorpusSpec};
+use crate::javagen::{JavaCorpus, JavaCorpusSpec};
+use crate::javascan::{scan_java, JavaCounts};
+
+/// Scale factors for the two corpora.
+#[derive(Debug, Clone)]
+pub struct Table1Config {
+    /// Go corpus spec.
+    pub go: GoCorpusSpec,
+    /// Java corpus spec.
+    pub java: JavaCorpusSpec,
+}
+
+impl Table1Config {
+    /// Both corpora at the same fraction of the paper's sizes.
+    ///
+    /// Note: Java's sync-construct densities are ~50× sparser than its map
+    /// density, so very small scales give integer-noise ratios; prefer
+    /// [`Table1Config::balanced`] for density comparisons.
+    #[must_use]
+    pub fn scaled(scale: f64) -> Self {
+        Table1Config {
+            go: GoCorpusSpec::paper_scaled(scale),
+            java: JavaCorpusSpec::paper_scaled(scale),
+        }
+    }
+
+    /// Asymmetric scales chosen so both corpora contain enough sync
+    /// constructs for stable per-MLoC densities (the Java scanner is
+    /// textual and cheap, so its corpus can be much larger).
+    #[must_use]
+    pub fn balanced(go_scale: f64) -> Self {
+        Table1Config {
+            go: GoCorpusSpec::paper_scaled(go_scale),
+            java: JavaCorpusSpec::paper_scaled(go_scale * 10.0),
+        }
+    }
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Self::scaled(0.001)
+    }
+}
+
+/// One column of Table 1 (normalized to what both languages share).
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Lines of code scanned.
+    pub loc: u64,
+    /// Number of services.
+    pub services: u32,
+    /// Concurrency-creation constructs.
+    pub concurrency_creation: u64,
+    /// Point-to-point synchronization constructs.
+    pub point_to_point: u64,
+    /// Group-communication constructs.
+    pub group_sync: u64,
+    /// Map constructs.
+    pub maps: u64,
+}
+
+impl Table1Row {
+    /// Per-MLoC density of `n`.
+    #[must_use]
+    pub fn per_mloc(&self, n: u64) -> f64 {
+        if self.loc == 0 {
+            0.0
+        } else {
+            n as f64 * 1e6 / self.loc as f64
+        }
+    }
+}
+
+/// The reproduced Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1 {
+    /// The Go column.
+    pub go: Table1Row,
+    /// The Java column.
+    pub java: Table1Row,
+}
+
+impl Table1 {
+    /// Go/Java ratio of point-to-point sync densities (paper: ≈ 3.7×).
+    #[must_use]
+    pub fn p2p_ratio(&self) -> f64 {
+        self.go.per_mloc(self.go.point_to_point) / self.java.per_mloc(self.java.point_to_point)
+    }
+
+    /// Go/Java ratio of group-sync densities (paper: ≈ 1.9×).
+    #[must_use]
+    pub fn group_ratio(&self) -> f64 {
+        self.go.per_mloc(self.go.group_sync) / self.java.per_mloc(self.java.group_sync)
+    }
+
+    /// Go/Java ratio of concurrency-creation densities (paper: ≈ 1.14×,
+    /// "not significantly different").
+    #[must_use]
+    pub fn creation_ratio(&self) -> f64 {
+        self.go.per_mloc(self.go.concurrency_creation)
+            / self.java.per_mloc(self.java.concurrency_creation)
+    }
+
+    /// Go/Java ratio of map-construct densities (paper: ≈ 1.34×).
+    #[must_use]
+    pub fn map_ratio(&self) -> f64 {
+        self.go.per_mloc(self.go.maps) / self.java.per_mloc(self.java.maps)
+    }
+
+    /// Renders the table in the paper's layout.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("| Feature                     |        Java |          Go |\n");
+        s.push_str("|-----------------------------|-------------|-------------|\n");
+        s.push_str(&format!(
+            "| LoC                         | {:>11} | {:>11} |\n",
+            self.java.loc, self.go.loc
+        ));
+        s.push_str(&format!(
+            "| services                    | {:>11} | {:>11} |\n",
+            self.java.services, self.go.services
+        ));
+        s.push_str(&format!(
+            "| concurrency creation        | {:>11} | {:>11} |\n",
+            self.java.concurrency_creation, self.go.concurrency_creation
+        ));
+        s.push_str(&format!(
+            "|   total/MLoC                | {:>11.1} | {:>11.1} |\n",
+            self.java.per_mloc(self.java.concurrency_creation),
+            self.go.per_mloc(self.go.concurrency_creation)
+        ));
+        s.push_str(&format!(
+            "| point-to-point sync         | {:>11} | {:>11} |\n",
+            self.java.point_to_point, self.go.point_to_point
+        ));
+        s.push_str(&format!(
+            "|   total/MLoC                | {:>11.1} | {:>11.1} |\n",
+            self.java.per_mloc(self.java.point_to_point),
+            self.go.per_mloc(self.go.point_to_point)
+        ));
+        s.push_str(&format!(
+            "| group communication         | {:>11} | {:>11} |\n",
+            self.java.group_sync, self.go.group_sync
+        ));
+        s.push_str(&format!(
+            "|   total/MLoC                | {:>11.1} | {:>11.1} |\n",
+            self.java.per_mloc(self.java.group_sync),
+            self.go.per_mloc(self.go.group_sync)
+        ));
+        s.push_str(&format!(
+            "| map constructs/MLoC         | {:>11.1} | {:>11.1} |\n",
+            self.java.per_mloc(self.java.maps),
+            self.go.per_mloc(self.go.maps)
+        ));
+        s
+    }
+}
+
+/// Generates both corpora under `seed`, scans them, and assembles Table 1.
+#[must_use]
+pub fn generate_and_scan(config: &Table1Config, seed: u64) -> Table1 {
+    let go_corpus = GoCorpus::generate(&config.go, seed);
+    let go_counts = go_corpus.scan();
+    let java_corpus = JavaCorpus::generate(&config.java, seed.wrapping_add(1));
+    let mut java_counts = JavaCounts::default();
+    for (_, src) in &java_corpus.files {
+        java_counts.merge(&scan_java(src));
+    }
+    Table1 {
+        go: Table1Row {
+            loc: go_counts.lines,
+            services: go_corpus.services,
+            concurrency_creation: go_counts.concurrency_creation(),
+            point_to_point: go_counts.point_to_point(),
+            group_sync: go_counts.group_sync(),
+            maps: go_counts.map_constructs,
+        },
+        java: Table1Row {
+            loc: java_counts.lines,
+            services: java_corpus.services,
+            concurrency_creation: java_counts.concurrency_creation(),
+            point_to_point: java_counts.point_to_point(),
+            group_sync: java_counts.group_sync(),
+            maps: java_counts.map_constructs,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_match_the_paper_shape() {
+        let t = generate_and_scan(&Table1Config::balanced(0.002), 7);
+        // Paper: Go ≈ 3.7× point-to-point, ≈ 1.9× group, ≈ 1.14× creation.
+        assert!(
+            (2.8..=4.6).contains(&t.p2p_ratio()),
+            "p2p ratio {} (paper 3.7)",
+            t.p2p_ratio()
+        );
+        assert!(
+            (1.4..=2.5).contains(&t.group_ratio()),
+            "group ratio {} (paper 1.9)",
+            t.group_ratio()
+        );
+        assert!(
+            (0.9..=1.5).contains(&t.creation_ratio()),
+            "creation ratio {} (paper ~1.14)",
+            t.creation_ratio()
+        );
+        assert!(
+            (1.0..=1.8).contains(&t.map_ratio()),
+            "map ratio {} (paper 1.34)",
+            t.map_ratio()
+        );
+    }
+
+    #[test]
+    fn render_contains_both_columns() {
+        let t = generate_and_scan(&Table1Config::scaled(0.0002), 3);
+        let rendered = t.render();
+        assert!(rendered.contains("concurrency creation"));
+        assert!(rendered.contains("point-to-point"));
+        assert!(rendered.contains("group communication"));
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let a = generate_and_scan(&Table1Config::scaled(0.0002), 9);
+        let b = generate_and_scan(&Table1Config::scaled(0.0002), 9);
+        assert_eq!(a.go.point_to_point, b.go.point_to_point);
+        assert_eq!(a.java.point_to_point, b.java.point_to_point);
+    }
+}

@@ -1,0 +1,38 @@
+//! The post-facto race reporting pipeline of §3.3 and the deployment
+//! campaign simulation behind Figures 3–4 and the §3.5 statistics.
+//!
+//! The paper's deployment runs the detector daily over the monorepo's unit
+//! tests, then:
+//!
+//! 1. **deduplicates** detected races with a hash that ignores source line
+//!    numbers and orders the two call chains lexicographically
+//!    ([`fingerprint::race_fingerprint`], §3.3.1),
+//! 2. **assigns** each unique race to a developer via a heuristic anchored
+//!    on the *root* frames of the two stacks, with an explanation log
+//!    ([`assignee::determine_assignee`], §3.3.2),
+//! 3. **files** a task in a bug tracker, suppressing duplicates only while
+//!    a task with the same fingerprint is open ([`tracker::BugTracker`]),
+//! 4. repeats daily for six months, producing the dynamics of Figures 3–4
+//!    ([`campaign::Campaign`]).
+//!
+//! # Example
+//!
+//! ```
+//! use grs_deploy::campaign::{Campaign, CampaignConfig};
+//!
+//! let result = Campaign::new(CampaignConfig::paper()).run(42);
+//! assert!(result.total_filed >= 1500, "paper: ~2000 detected");
+//! assert!(result.total_fixed >= 700, "paper: 1011 fixed");
+//! ```
+
+pub mod assignee;
+pub mod campaign;
+pub mod fingerprint;
+pub mod pipeline;
+pub mod tracker;
+
+pub use assignee::{determine_assignee, AssigneeDecision, OwnerDb};
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, DayStats};
+pub use fingerprint::{naive_fingerprint, race_fingerprint, Fingerprint};
+pub use pipeline::{FileOutcome, Pipeline};
+pub use tracker::{BugTracker, TaskId, TaskState};

@@ -1,0 +1,170 @@
+//! The end-to-end reporting pipeline: detector output → fingerprint →
+//! assignee → tracker.
+//!
+//! This is Figure 2's architecture in miniature: the daily workflow runs
+//! the instrumented tests (here: the explorer over simulated programs),
+//! captures race reports, deduplicates them, and files tasks to owners.
+
+use grs_detector::RaceReport;
+
+use crate::assignee::{determine_assignee, OwnerDb};
+use crate::fingerprint::race_fingerprint;
+use crate::tracker::{BugTracker, TaskId};
+
+/// What happened to one submitted race report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileOutcome {
+    /// A new task was filed.
+    Filed {
+        /// The new task.
+        task: TaskId,
+        /// Assignee chosen by the heuristic, if any.
+        assignee: Option<String>,
+    },
+    /// Suppressed: a task with the same fingerprint is already open.
+    Duplicate,
+}
+
+/// The reporting pipeline.
+///
+/// # Example
+///
+/// ```
+/// use grs_deploy::{OwnerDb, Pipeline};
+/// use grs_detector::{ExploreConfig, Explorer};
+/// use grs_patterns::find;
+///
+/// let mut pipeline = Pipeline::new(OwnerDb::new());
+/// let races = Explorer::new(ExploreConfig::quick().runs(40))
+///     .explore(&find("missing_lock").unwrap().racy_program())
+///     .unique_races;
+/// let outcomes = pipeline.submit_all(&races, 0);
+/// assert!(pipeline.tracker().total_filed() >= 1);
+/// assert_eq!(outcomes.len(), races.len());
+/// ```
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    owners: OwnerDb,
+    tracker: BugTracker,
+}
+
+impl Pipeline {
+    /// A pipeline with the given ownership database.
+    #[must_use]
+    pub fn new(owners: OwnerDb) -> Self {
+        Pipeline {
+            owners,
+            tracker: BugTracker::new(),
+        }
+    }
+
+    /// Submits one detected race on `day`.
+    pub fn submit(&mut self, report: &RaceReport, day: u32) -> FileOutcome {
+        let fp = race_fingerprint(report);
+        let decision = determine_assignee(report, &self.owners);
+        match self
+            .tracker
+            .file_with_repro(fp, day, decision.assignee.clone(), report.repro_seed)
+        {
+            Some(task) => FileOutcome::Filed {
+                task,
+                assignee: decision.assignee,
+            },
+            None => FileOutcome::Duplicate,
+        }
+    }
+
+    /// Submits a batch (one day's detection output).
+    pub fn submit_all(&mut self, reports: &[RaceReport], day: u32) -> Vec<FileOutcome> {
+        reports.iter().map(|r| self.submit(r, day)).collect()
+    }
+
+    /// Marks a task fixed.
+    pub fn fix(&mut self, task: TaskId, day: u32, engineer: &str, patch: u64) {
+        self.tracker.fix(task, day, engineer, patch);
+    }
+
+    /// The underlying tracker (statistics, task list).
+    #[must_use]
+    pub fn tracker(&self) -> &BugTracker {
+        &self.tracker
+    }
+
+    /// The ownership database.
+    #[must_use]
+    pub fn owners(&self) -> &OwnerDb {
+        &self.owners
+    }
+
+    /// Mutable ownership database (to record churn during a campaign).
+    pub fn owners_mut(&mut self) -> &mut OwnerDb {
+        &mut self.owners
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grs_clock::Lockset;
+    use grs_detector::{DetectorKind, RaceAccess};
+    use grs_runtime::{AccessKind, Addr, Frame, Gid, SourceLoc, Stack};
+    use std::sync::Arc;
+
+    fn report(line: u32) -> RaceReport {
+        let mk = |gid: u32, kind: AccessKind, line: u32| RaceAccess {
+            gid: Gid(gid),
+            kind,
+            stack: Stack::from_frames(vec![Frame {
+                func: Arc::from("HandleRequest"),
+                call_line: line,
+            }]),
+            loc: SourceLoc {
+                file: "h.go",
+                line,
+            },
+            locks_held: Lockset::new(),
+        };
+        RaceReport {
+            addr: Addr(1),
+            object: Arc::from("counter"),
+            prior: mk(0, AccessKind::Write, line),
+            current: mk(1, AccessKind::Read, line + 1),
+            detector: DetectorKind::Tsan,
+            program: None,
+            repro_seed: None,
+        }
+    }
+
+    #[test]
+    fn duplicate_suppression_across_line_shifts() {
+        let mut p = Pipeline::new(OwnerDb::new());
+        let first = p.submit(&report(10), 0);
+        assert!(matches!(first, FileOutcome::Filed { .. }));
+        // Same logical race, different line numbers (unrelated edit):
+        let second = p.submit(&report(99), 1);
+        assert_eq!(second, FileOutcome::Duplicate);
+        assert_eq!(p.tracker().total_filed(), 1);
+    }
+
+    #[test]
+    fn refiles_after_fix() {
+        let mut p = Pipeline::new(OwnerDb::new());
+        let FileOutcome::Filed { task, .. } = p.submit(&report(10), 0) else {
+            panic!("first must file");
+        };
+        p.fix(task, 2, "alice", 7);
+        assert!(matches!(p.submit(&report(10), 3), FileOutcome::Filed { .. }));
+    }
+
+    #[test]
+    fn assignee_flows_into_the_task() {
+        let mut db = OwnerDb::new();
+        db.add_author("HandleRequest", "erin", 4, true);
+        let mut p = Pipeline::new(db);
+        let FileOutcome::Filed { task, assignee } = p.submit(&report(10), 0) else {
+            panic!("must file");
+        };
+        assert_eq!(assignee.as_deref(), Some("erin"));
+        assert_eq!(p.tracker().task(task).assignee.as_deref(), Some("erin"));
+    }
+}

@@ -1,0 +1,259 @@
+//! The bug tracker: open/fixed tasks keyed by race fingerprint.
+//!
+//! §3.3.1's suppression rule is deliberately *stateful*: a newly detected
+//! race is suppressed iff a task with the same fingerprint is currently
+//! **open**. Once that task is fixed, a re-detection files a fresh task —
+//! that is how regressions (or incomplete fixes) resurface.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::fingerprint::Fingerprint;
+
+/// Identity of a filed task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Filed, not yet fixed.
+    Open,
+    /// Fixed by a patch.
+    Fixed,
+}
+
+/// One filed race task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Task id.
+    pub id: TaskId,
+    /// The race fingerprint the task tracks.
+    pub fingerprint: Fingerprint,
+    /// Day the task was filed (campaign time).
+    pub filed_day: u32,
+    /// Current state.
+    pub state: TaskState,
+    /// Day the task was fixed, when fixed.
+    pub fixed_day: Option<u32>,
+    /// Engineer who fixed it, when fixed.
+    pub fixed_by: Option<String>,
+    /// Patch identifier (several tasks may share one patch — the paper
+    /// observed 1011 fixes across 790 unique patches).
+    pub patch: Option<u64>,
+    /// Assignee, when the heuristic found one.
+    pub assignee: Option<String>,
+    /// Reproduction instructions (§3.4): the scheduler seed that replays
+    /// the detected interleaving.
+    pub repro_seed: Option<u64>,
+}
+
+/// An in-memory bug database.
+///
+/// # Example
+///
+/// ```
+/// use grs_deploy::{BugTracker, Fingerprint};
+///
+/// let mut tracker = BugTracker::new();
+/// let fp = Fingerprint(0xabcd);
+/// let id = tracker.file(fp, 0, None).expect("first filing is new");
+/// assert!(tracker.file(fp, 1, None).is_none(), "open task suppresses");
+/// tracker.fix(id, 5, "alice", 1);
+/// assert!(tracker.file(fp, 6, None).is_some(), "re-files after the fix");
+/// ```
+#[derive(Debug, Default)]
+pub struct BugTracker {
+    tasks: Vec<Task>,
+    open_by_fp: HashMap<Fingerprint, TaskId>,
+}
+
+impl BugTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Files a task for `fp` on `day` unless one is already open; returns
+    /// the new task id, or `None` when suppressed as a duplicate.
+    pub fn file(&mut self, fp: Fingerprint, day: u32, assignee: Option<String>) -> Option<TaskId> {
+        self.file_with_repro(fp, day, assignee, None)
+    }
+
+    /// Like [`BugTracker::file`], also recording reproduction instructions
+    /// (the scheduler seed that replays the race, §3.4).
+    pub fn file_with_repro(
+        &mut self,
+        fp: Fingerprint,
+        day: u32,
+        assignee: Option<String>,
+        repro_seed: Option<u64>,
+    ) -> Option<TaskId> {
+        if self.open_by_fp.contains_key(&fp) {
+            return None;
+        }
+        let id = TaskId(self.tasks.len() as u64);
+        self.tasks.push(Task {
+            id,
+            fingerprint: fp,
+            filed_day: day,
+            state: TaskState::Open,
+            fixed_day: None,
+            fixed_by: None,
+            patch: None,
+            assignee,
+            repro_seed,
+        });
+        self.open_by_fp.insert(fp, id);
+        Some(id)
+    }
+
+    /// Marks `id` fixed on `day` by `engineer` under `patch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task does not exist or is already fixed (a tracker
+    /// invariant violation, not a user input).
+    pub fn fix(&mut self, id: TaskId, day: u32, engineer: &str, patch: u64) {
+        let task = &mut self.tasks[id.0 as usize];
+        assert_eq!(task.state, TaskState::Open, "double fix of {id}");
+        task.state = TaskState::Fixed;
+        task.fixed_day = Some(day);
+        task.fixed_by = Some(engineer.to_string());
+        task.patch = Some(patch);
+        self.open_by_fp.remove(&task.fingerprint);
+    }
+
+    /// The task for `id`.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// All tasks, in filing order.
+    #[must_use]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Ids of currently open tasks.
+    pub fn open_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.open_by_fp.values().copied()
+    }
+
+    /// Number of currently open tasks.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.open_by_fp.len()
+    }
+
+    /// Total tasks ever filed.
+    #[must_use]
+    pub fn total_filed(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total tasks fixed.
+    #[must_use]
+    pub fn total_fixed(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Fixed)
+            .count()
+    }
+
+    /// Number of distinct engineers who fixed at least one task.
+    #[must_use]
+    pub fn unique_fixers(&self) -> usize {
+        let mut set: Vec<&str> = self
+            .tasks
+            .iter()
+            .filter_map(|t| t.fixed_by.as_deref())
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+
+    /// Number of distinct patches used by fixes (the paper's proxy for
+    /// unique root causes: 790 patches for 1011 fixes ≈ 78%).
+    #[must_use]
+    pub fn unique_patches(&self) -> usize {
+        let mut set: Vec<u64> = self.tasks.iter().filter_map(|t| t.patch).collect();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_only_while_open() {
+        let mut t = BugTracker::new();
+        let fp = Fingerprint(7);
+        let id = t.file(fp, 0, Some("alice".into())).expect("new");
+        assert_eq!(t.outstanding(), 1);
+        assert!(t.file(fp, 3, None).is_none());
+        t.fix(id, 4, "alice", 100);
+        assert_eq!(t.outstanding(), 0);
+        let id2 = t.file(fp, 5, None).expect("re-filed after fix");
+        assert_ne!(id, id2);
+        assert_eq!(t.total_filed(), 2);
+        assert_eq!(t.total_fixed(), 1);
+    }
+
+    #[test]
+    fn distinct_fingerprints_coexist() {
+        let mut t = BugTracker::new();
+        assert!(t.file(Fingerprint(1), 0, None).is_some());
+        assert!(t.file(Fingerprint(2), 0, None).is_some());
+        assert_eq!(t.outstanding(), 2);
+    }
+
+    #[test]
+    fn statistics_count_engineers_and_patches() {
+        let mut t = BugTracker::new();
+        let a = t.file(Fingerprint(1), 0, None).unwrap();
+        let b = t.file(Fingerprint(2), 0, None).unwrap();
+        let c = t.file(Fingerprint(3), 0, None).unwrap();
+        t.fix(a, 1, "alice", 100);
+        t.fix(b, 2, "alice", 100); // same patch fixes two tasks
+        t.fix(c, 3, "bob", 101);
+        assert_eq!(t.total_fixed(), 3);
+        assert_eq!(t.unique_fixers(), 2);
+        assert_eq!(t.unique_patches(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double fix")]
+    fn double_fix_panics() {
+        let mut t = BugTracker::new();
+        let id = t.file(Fingerprint(1), 0, None).unwrap();
+        t.fix(id, 1, "a", 1);
+        t.fix(id, 2, "b", 2);
+    }
+
+    #[test]
+    fn task_metadata_round_trips() {
+        let mut t = BugTracker::new();
+        let id = t.file(Fingerprint(9), 4, Some("team-x".into())).unwrap();
+        t.fix(id, 9, "carol", 55);
+        let task = t.task(id);
+        assert_eq!(task.filed_day, 4);
+        assert_eq!(task.fixed_day, Some(9));
+        assert_eq!(task.assignee.as_deref(), Some("team-x"));
+        assert_eq!(task.fixed_by.as_deref(), Some("carol"));
+        assert_eq!(task.patch, Some(55));
+        assert_eq!(id.to_string(), "T0");
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the deployment pipeline: fingerprint invariances
+//! (§3.3.1) and tracker bookkeeping under random workloads.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use grs_clock::Lockset;
+use grs_deploy::{naive_fingerprint, race_fingerprint, BugTracker, Fingerprint};
+use grs_detector::{DetectorKind, RaceAccess, RaceReport};
+use grs_runtime::{AccessKind, Addr, Frame, Gid, SourceLoc, Stack};
+
+fn arb_chain() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[A-Z][a-z]{1,6}", 1..5)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    object: &str,
+    chain_a: &[String],
+    lines_a: &[u32],
+    chain_b: &[String],
+    lines_b: &[u32],
+    line_a: u32,
+    line_b: u32,
+) -> RaceReport {
+    let stack = |chain: &[String], lines: &[u32]| {
+        Stack::from_frames(
+            chain
+                .iter()
+                .zip(lines.iter().chain(std::iter::repeat(&0)))
+                .map(|(f, l)| Frame {
+                    func: Arc::from(f.as_str()),
+                    call_line: *l,
+                })
+                .collect(),
+        )
+    };
+    RaceReport {
+        addr: Addr(1),
+        object: Arc::from(object),
+        prior: RaceAccess {
+            gid: Gid(0),
+            kind: AccessKind::Write,
+            stack: stack(chain_a, lines_a),
+            loc: SourceLoc {
+                file: "a.go",
+                line: line_a,
+            },
+            locks_held: Lockset::new(),
+        },
+        current: RaceAccess {
+            gid: Gid(1),
+            kind: AccessKind::Read,
+            stack: stack(chain_b, lines_b),
+            loc: SourceLoc {
+                file: "a.go",
+                line: line_b,
+            },
+            locks_held: Lockset::new(),
+        },
+        detector: DetectorKind::Tsan,
+        program: None,
+            repro_seed: None,
+    }
+}
+
+proptest! {
+    /// The paper fingerprint ignores every line number in the report.
+    #[test]
+    fn fingerprint_ignores_all_line_numbers(
+        object in "[a-z]{1,8}",
+        chain_a in arb_chain(),
+        chain_b in arb_chain(),
+        lines1 in prop::collection::vec(0u32..1000, 8),
+        lines2 in prop::collection::vec(0u32..1000, 8),
+    ) {
+        let r1 = report(&object, &chain_a, &lines1[..4], &chain_b, &lines1[4..], lines1[0], lines1[1]);
+        let r2 = report(&object, &chain_a, &lines2[..4], &chain_b, &lines2[4..], lines2[0], lines2[1]);
+        prop_assert_eq!(race_fingerprint(&r1), race_fingerprint(&r2));
+    }
+
+    /// Swapping the two call chains (the other detection order) does not
+    /// change the fingerprint.
+    #[test]
+    fn fingerprint_is_orientation_free(
+        object in "[a-z]{1,8}",
+        chain_a in arb_chain(),
+        chain_b in arb_chain(),
+    ) {
+        let fwd = report(&object, &chain_a, &[], &chain_b, &[], 1, 2);
+        let mut rev = report(&object, &chain_b, &[], &chain_a, &[], 2, 1);
+        std::mem::swap(&mut rev.prior.kind, &mut rev.current.kind);
+        prop_assert_eq!(race_fingerprint(&fwd), race_fingerprint(&rev));
+    }
+
+    /// Distinct chains (almost) never collide — and whenever the paper
+    /// fingerprint separates two reports, so does identity of their chains.
+    #[test]
+    fn distinct_chains_get_distinct_fingerprints(
+        object in "[a-z]{1,8}",
+        chain_a in arb_chain(),
+        chain_b in arb_chain(),
+        chain_c in arb_chain(),
+    ) {
+        prop_assume!(chain_b != chain_c);
+        let r1 = report(&object, &chain_a, &[], &chain_b, &[], 1, 2);
+        let r2 = report(&object, &chain_a, &[], &chain_c, &[], 1, 2);
+        // Orientation-freedom means {a,b} vs {a,c} may still coincide when
+        // sorting reorders them into the same pair; rule that out.
+        let mut p1 = [chain_a.clone(), chain_b];
+        let mut p2 = [chain_a, chain_c];
+        p1.sort();
+        p2.sort();
+        prop_assume!(p1 != p2);
+        prop_assert_ne!(race_fingerprint(&r1), race_fingerprint(&r2));
+    }
+
+    /// The naive fingerprint IS line-sensitive (that is exactly its flaw).
+    #[test]
+    fn naive_fingerprint_changes_with_lines(
+        object in "[a-z]{1,8}",
+        chain in arb_chain(),
+        l1 in 1u32..500,
+        delta in 1u32..500,
+    ) {
+        let r1 = report(&object, &chain, &[], &chain, &[], l1, l1);
+        let r2 = report(&object, &chain, &[], &chain, &[], l1 + delta, l1 + delta);
+        prop_assert_ne!(naive_fingerprint(&r1), naive_fingerprint(&r2));
+        prop_assert_eq!(race_fingerprint(&r1), race_fingerprint(&r2));
+    }
+
+    /// Tracker bookkeeping: after any interleaving of filings and fixes,
+    /// outstanding == filed - fixed, and a fingerprint has at most one open
+    /// task.
+    #[test]
+    fn tracker_accounting_invariants(
+        ops in prop::collection::vec((0u64..10, any::<bool>()), 1..60),
+    ) {
+        let mut tracker = BugTracker::new();
+        for (day, (fp_raw, fix_after)) in ops.into_iter().enumerate() {
+            let fp = Fingerprint(fp_raw);
+            let id = tracker.file(fp, day as u32, None);
+            if fix_after {
+                if let Some(id) = id {
+                    tracker.fix(id, day as u32, "eng", day as u64);
+                }
+            }
+            prop_assert_eq!(
+                tracker.outstanding(),
+                tracker.total_filed() - tracker.total_fixed()
+            );
+            // No fingerprint may have two open tasks.
+            let mut open_fps: Vec<_> = tracker
+                .open_tasks()
+                .map(|t| tracker.task(t).fingerprint)
+                .collect();
+            let before = open_fps.len();
+            open_fps.sort_unstable();
+            open_fps.dedup();
+            prop_assert_eq!(open_fps.len(), before, "duplicate open fingerprints");
+        }
+    }
+}

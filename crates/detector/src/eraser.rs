@@ -1,0 +1,227 @@
+//! The Eraser lockset race detector.
+//!
+//! Eraser (Savage et al., TOCS 1997) ignores happens-before entirely: each
+//! shared variable carries a candidate set of locks, refined by intersection
+//! with the accessor's held locks at every access once the variable is
+//! shared. An empty candidate set on a shared-modified variable means no
+//! single lock consistently protects it — a *potential* race.
+//!
+//! Because channel communication, `WaitGroup`s, and goroutine spawn order
+//! establish happens-before without any lock, Eraser over-reports on idiomatic
+//! Go: the detector-comparison benchmark quantifies exactly that, which is
+//! why ThreadSanitizer anchors its verdicts on vector clocks (§3.1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use grs_clock::{LockId, Lockset};
+use grs_runtime::event::{Event, EventKind};
+use grs_runtime::{AccessKind, Addr, Gid, Monitor, SourceLoc, Stack};
+
+use crate::report::{DetectorKind, RaceAccess, RaceReport};
+
+/// Eraser's per-variable state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    /// Only one goroutine has ever touched the variable.
+    Exclusive(Gid),
+    /// Multiple goroutines read it (no cross-goroutine write yet).
+    Shared,
+    /// Written by one goroutine and accessed by another: races possible.
+    SharedModified,
+}
+
+#[derive(Debug, Clone)]
+struct LastAccess {
+    gid: Gid,
+    kind: AccessKind,
+    stack: Stack,
+    loc: SourceLoc,
+    locks: Lockset,
+}
+
+#[derive(Debug)]
+struct EraserVar {
+    object: Arc<str>,
+    state: VarState,
+    candidate: Lockset,
+    last: LastAccess,
+    reported: bool,
+}
+
+/// The Eraser monitor.
+///
+/// # Example
+///
+/// ```
+/// use grs_detector::Eraser;
+/// use grs_runtime::{Program, RunConfig, Runtime};
+///
+/// // Channel-synchronized program: race-free, but Eraser still flags it
+/// // because no LOCK protects the variable (a false positive by design).
+/// let p = Program::new("chan_synced", |ctx| {
+///     let x = ctx.cell("x", 0i64);
+///     let ch = ctx.chan::<()>("done", 0);
+///     let (x2, tx) = (x.clone(), ch.clone());
+///     ctx.go("writer", move |ctx| {
+///         ctx.write(&x2, 1);
+///         tx.send(ctx, ());
+///     });
+///     let _ = ch.recv(ctx);
+///     let _ = ctx.read(&x);
+/// });
+/// let (_, er) = Runtime::new(RunConfig::with_seed(0)).run(&p, Eraser::new());
+/// assert_eq!(er.reports().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Eraser {
+    held: Vec<Lockset>,
+    vars: HashMap<u64, EraserVar>,
+    reports: Vec<RaceReport>,
+}
+
+impl Eraser {
+    /// A fresh Eraser monitor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The potential races reported so far.
+    #[must_use]
+    pub fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    /// Consumes the detector, returning its reports.
+    #[must_use]
+    pub fn into_reports(self) -> Vec<RaceReport> {
+        self.reports
+    }
+
+    fn held_mut(&mut self, gid: Gid) -> &mut Lockset {
+        let i = gid.index();
+        while self.held.len() <= i {
+            self.held.push(Lockset::new());
+        }
+        &mut self.held[i]
+    }
+
+    fn on_access(
+        &mut self,
+        gid: Gid,
+        addr: Addr,
+        object: &Arc<str>,
+        kind: AccessKind,
+        stack: &Stack,
+        loc: SourceLoc,
+    ) {
+        let held = self.held_mut(gid).clone();
+        let current = LastAccess {
+            gid,
+            kind,
+            stack: stack.clone(),
+            loc,
+            locks: held.clone(),
+        };
+        match self.vars.get_mut(&addr.0) {
+            None => {
+                self.vars.insert(
+                    addr.0,
+                    EraserVar {
+                        object: object.clone(),
+                        state: VarState::Exclusive(gid),
+                        candidate: held,
+                        last: current,
+                        reported: false,
+                    },
+                );
+            }
+            Some(var) => {
+                let mut check = false;
+                match var.state {
+                    VarState::Exclusive(owner) if owner == gid => {
+                        // Still exclusive; remember the most recent lockset
+                        // but do not refine yet (classic Eraser).
+                        var.candidate = held.clone();
+                    }
+                    VarState::Exclusive(_) => {
+                        var.state = if kind.is_write() || var.last.kind.is_write() {
+                            VarState::SharedModified
+                        } else {
+                            VarState::Shared
+                        };
+                        var.candidate.intersect_with(&held);
+                        check = var.state == VarState::SharedModified;
+                    }
+                    VarState::Shared => {
+                        var.candidate.intersect_with(&held);
+                        if kind.is_write() {
+                            var.state = VarState::SharedModified;
+                            check = true;
+                        }
+                    }
+                    VarState::SharedModified => {
+                        var.candidate.intersect_with(&held);
+                        check = true;
+                    }
+                }
+                if check && var.candidate.is_empty() && !var.reported {
+                    // Suppress pairs where both sides used sync/atomic.
+                    if !(kind.is_atomic() && var.last.kind.is_atomic()) {
+                        var.reported = true;
+                        let report = RaceReport {
+                            addr,
+                            object: var.object.clone(),
+                            prior: RaceAccess {
+                                gid: var.last.gid,
+                                kind: var.last.kind,
+                                stack: var.last.stack.clone(),
+                                loc: var.last.loc,
+                                locks_held: var.last.locks.clone(),
+                            },
+                            current: RaceAccess {
+                                gid,
+                                kind,
+                                stack: stack.clone(),
+                                loc,
+                                locks_held: held,
+                            },
+                            detector: DetectorKind::Eraser,
+                            program: None,
+            repro_seed: None,
+                        };
+                        self.reports.push(report);
+                    }
+                }
+                if let Some(var) = self.vars.get_mut(&addr.0) {
+                    var.last = current;
+                }
+            }
+        }
+    }
+}
+
+impl Monitor for Eraser {
+    fn on_event(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::Access {
+                addr,
+                object,
+                kind,
+                stack,
+                loc,
+            } => {
+                let (object, stack) = (object.clone(), stack.clone());
+                self.on_access(event.gid, *addr, &object, *kind, &stack, *loc);
+            }
+            EventKind::Acquire { lock, .. } => {
+                self.held_mut(event.gid).insert(LockId::new(lock.0));
+            }
+            EventKind::Release { lock, .. } => {
+                self.held_mut(event.gid).remove(LockId::new(lock.0));
+            }
+            _ => {}
+        }
+    }
+}

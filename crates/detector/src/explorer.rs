@@ -1,0 +1,190 @@
+//! The interleaving explorer: rerun a program across seeds, aggregate races.
+//!
+//! Dynamic race detection is schedule-dependent — the central deployment
+//! problem of §3.2: "the detected set of races depend on the thread
+//! interleavings and can vary across multiple runs, even though the input
+//! to the program remains unchanged." The explorer makes that first-class:
+//! it reruns a program under many seeds (optionally mixing strategies),
+//! deduplicates the races found, and reports the per-run detection
+//! probability, which the deployment simulator (`grs-deploy`) uses as the
+//! flakiness parameter of daily test runs.
+
+use grs_runtime::{Program, RunConfig, RunOutcome, Runtime, Strategy};
+
+use crate::report::RaceReport;
+use crate::tsan::Tsan;
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Number of runs.
+    pub runs: usize,
+    /// First seed; run `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Scheduling strategy for every run.
+    pub strategy: Strategy,
+    /// Per-run step budget.
+    pub max_steps: u64,
+}
+
+impl ExploreConfig {
+    /// 30 random-walk runs — enough for the depth-2 races that dominate the
+    /// study's corpus.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExploreConfig {
+            runs: 30,
+            base_seed: 1,
+            strategy: Strategy::Random,
+            max_steps: 1_000_000,
+        }
+    }
+
+    /// 200 random-walk runs — for stubborn interleavings and statistics.
+    #[must_use]
+    pub fn thorough() -> Self {
+        ExploreConfig {
+            runs: 200,
+            ..ExploreConfig::quick()
+        }
+    }
+
+    /// Sets the number of runs (builder style).
+    #[must_use]
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the base seed (builder style).
+    #[must_use]
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the strategy (builder style).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Aggregated result of exploring one program.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// Program name.
+    pub program: String,
+    /// Total runs executed.
+    pub runs: usize,
+    /// Runs in which at least one race was reported.
+    pub racy_runs: usize,
+    /// Distinct races across all runs (within-explorer dedup by site).
+    pub unique_races: Vec<RaceReport>,
+    /// Runs that deadlocked.
+    pub deadlock_runs: usize,
+    /// Runs that leaked goroutines.
+    pub leaked_runs: usize,
+    /// Runs with Go-level runtime errors (panics).
+    pub error_runs: usize,
+    /// Outcome of the first run (representative sample for diagnostics).
+    pub sample_outcome: Option<RunOutcome>,
+}
+
+impl ExploreResult {
+    /// True when any run exposed a race.
+    #[must_use]
+    pub fn found_race(&self) -> bool {
+        !self.unique_races.is_empty()
+    }
+
+    /// Fraction of runs that exposed at least one race — the flakiness the
+    /// paper's deployment design works around.
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.racy_runs as f64 / self.runs as f64
+        }
+    }
+}
+
+/// Reruns programs under many schedules and aggregates the races.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Default)]
+pub struct Explorer {
+    config: ExploreConfig,
+}
+
+impl Explorer {
+    /// An explorer with the given configuration.
+    #[must_use]
+    pub fn new(config: ExploreConfig) -> Self {
+        Explorer { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExploreConfig {
+        &self.config
+    }
+
+    /// Explores `program`, returning aggregated races and statistics.
+    #[must_use]
+    pub fn explore(&self, program: &Program) -> ExploreResult {
+        let mut result = ExploreResult {
+            program: program.name().to_string(),
+            runs: self.config.runs,
+            racy_runs: 0,
+            unique_races: Vec::new(),
+            deadlock_runs: 0,
+            leaked_runs: 0,
+            error_runs: 0,
+            sample_outcome: None,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..self.config.runs {
+            let seed = self.config.base_seed + i as u64;
+            let cfg = RunConfig {
+                seed,
+                strategy: self.config.strategy,
+                max_steps: self.config.max_steps,
+                ..RunConfig::default()
+            };
+            let (outcome, tsan) = Runtime::new(cfg).run(program, Tsan::new());
+            let reports = tsan.into_reports();
+            if !reports.is_empty() {
+                result.racy_runs += 1;
+            }
+            for mut r in reports {
+                r.program = Some(std::sync::Arc::from(program.name()));
+                r.repro_seed = Some(seed);
+                if seen.insert(r.site_key()) {
+                    result.unique_races.push(r);
+                }
+            }
+            if outcome.deadlock.is_some() {
+                result.deadlock_runs += 1;
+            }
+            if !outcome.leaked.is_empty() {
+                result.leaked_runs += 1;
+            }
+            if !outcome.errors.is_empty() {
+                result.error_runs += 1;
+            }
+            if result.sample_outcome.is_none() {
+                result.sample_outcome = Some(outcome);
+            }
+        }
+        result
+    }
+}

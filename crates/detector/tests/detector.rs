@@ -1,0 +1,524 @@
+//! Correctness tests for the detectors: true positives on the racy shapes
+//! the study catalogs, and — just as important — **no false positives** on
+//! properly synchronized programs (the happens-before detector's precision
+//! guarantee under an observed schedule).
+
+use grs_detector::{Eraser, ExploreConfig, Explorer, FastTrack, FastTrackConfig, Tsan};
+use grs_runtime::{Program, RunConfig, Runtime, Strategy};
+
+/// Runs `p` under many seeds with the TSan monitor; returns true when any
+/// run reports a race.
+fn tsan_finds_race(p: &Program, seeds: u64) -> bool {
+    (0..seeds).any(|seed| {
+        let (_, t) = Runtime::new(RunConfig::with_seed(seed)).run(p, Tsan::new());
+        !t.reports().is_empty()
+    })
+}
+
+/// Asserts that no seed produces a race report (precision check).
+fn assert_race_free(p: &Program, seeds: u64) {
+    for seed in 0..seeds {
+        let (outcome, t) = Runtime::new(RunConfig::with_seed(seed)).run(p, Tsan::new());
+        assert!(
+            t.reports().is_empty(),
+            "false positive at seed {seed}: {}\noutcome: {:?}",
+            t.reports()[0],
+            outcome.errors
+        );
+    }
+}
+
+#[test]
+fn detects_unsynchronized_write_write() {
+    let p = Program::new("ww", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let x2 = x.clone();
+        ctx.go("w1", move |ctx| ctx.write(&x2, 1));
+        ctx.write(&x, 2);
+    });
+    assert!(tsan_finds_race(&p, 30));
+}
+
+#[test]
+fn detects_unsynchronized_read_write() {
+    let p = Program::new("rw", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let x2 = x.clone();
+        ctx.go("w", move |ctx| ctx.write(&x2, 1));
+        let _ = ctx.read(&x);
+    });
+    assert!(tsan_finds_race(&p, 30));
+}
+
+#[test]
+fn no_race_between_reads() {
+    let p = Program::new("rr", |ctx| {
+        let x = ctx.cell("x", 7i64);
+        for _ in 0..3 {
+            let x2 = x.clone();
+            ctx.go("r", move |ctx| {
+                let _ = ctx.read(&x2);
+            });
+        }
+        let _ = ctx.read(&x);
+    });
+    assert_race_free(&p, 30);
+}
+
+#[test]
+fn mutex_protection_is_race_free() {
+    let p = Program::new("mutexed", |ctx| {
+        let mu = ctx.mutex("mu");
+        let x = ctx.cell("x", 0i64);
+        let wg = ctx.waitgroup("wg");
+        for _ in 0..3 {
+            wg.add(ctx, 1);
+            let (mu, x, wg) = (mu.clone(), x.clone(), wg.clone());
+            ctx.go("w", move |ctx| {
+                mu.lock(ctx);
+                ctx.update(&x, |v| v + 1);
+                mu.unlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+        assert_eq!(ctx.read(&x), 3);
+    });
+    assert_race_free(&p, 40);
+}
+
+#[test]
+fn unbuffered_channel_orders_accesses() {
+    let p = Program::new("chan_sync", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let ch = ctx.chan::<()>("done", 0);
+        let (x2, tx) = (x.clone(), ch.clone());
+        ctx.go("writer", move |ctx| {
+            ctx.write(&x2, 1);
+            tx.send(ctx, ());
+        });
+        let _ = ch.recv(ctx);
+        assert_eq!(ctx.read(&x), 1);
+    });
+    assert_race_free(&p, 40);
+}
+
+#[test]
+fn rendezvous_orders_both_directions() {
+    // Receiver writes AFTER recv; sender reads AFTER its send completes.
+    // For an unbuffered channel the recv happens-before send-completion,
+    // so the sender's read is ordered after the receiver's... no wait:
+    // sender reads x only after send() returns, and the receiver wrote x
+    // before recv() — the recv→send-complete edge orders write before read.
+    let p = Program::new("rendezvous_back_edge", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let ch = ctx.chan::<()>("ch", 0);
+        let (x2, rx) = (x.clone(), ch.clone());
+        ctx.go("receiver", move |ctx| {
+            ctx.write(&x2, 5); // before the recv
+            let _ = rx.recv(ctx);
+        });
+        ch.send(ctx, ());
+        // send completed => rendezvous done => receiver's pre-recv write is
+        // ordered before us.
+        assert_eq!(ctx.read(&x), 5);
+    });
+    assert_race_free(&p, 40);
+}
+
+#[test]
+fn buffered_channel_backpressure_edge() {
+    // cap-1 channel: send #1 can only complete after recv #0, so the
+    // receiver's write between recv#0 and nothing... construct: receiver
+    // writes x after recv #0; main writes x after send #1 completes.
+    let p = Program::new("backpressure_edge", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let ch = ctx.chan::<i64>("ch", 1);
+        let (x2, rx) = (x.clone(), ch.clone());
+        ctx.go("consumer", move |ctx| {
+            ctx.write(&x2, 1); // happens-before recv #0
+            let _ = rx.recv(ctx); // recv #0 — happens-before send #1 completes
+        });
+        ch.send(ctx, 10); // send #0 (fills the buffer)
+        ch.send(ctx, 20); // send #1 (cannot complete until recv #0) — edge!
+        ctx.write(&x, 2); // ordered after consumer's write via that edge
+    });
+    assert_race_free(&p, 60);
+}
+
+#[test]
+fn close_orders_with_drain_recv() {
+    let p = Program::new("close_sync", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let ch = ctx.chan::<i64>("ch", 4);
+        let (x2, tx) = (x.clone(), ch.clone());
+        ctx.go("producer", move |ctx| {
+            ctx.write(&x2, 1);
+            tx.close(ctx);
+        });
+        // Drain until closed; the close edge orders the write before us.
+        loop {
+            if ch.recv(ctx).is_closed() {
+                break;
+            }
+        }
+        assert_eq!(ctx.read(&x), 1);
+    });
+    assert_race_free(&p, 40);
+}
+
+#[test]
+fn waitgroup_orders_worker_writes() {
+    let p = Program::new("wg_sync", |ctx| {
+        let wg = ctx.waitgroup("wg");
+        let x = ctx.cell("x", 0i64);
+        wg.add(ctx, 1);
+        let (wg2, x2) = (wg.clone(), x.clone());
+        ctx.go("worker", move |ctx| {
+            ctx.write(&x2, 9);
+            wg2.done(ctx);
+        });
+        wg.wait(ctx);
+        assert_eq!(ctx.read(&x), 9);
+    });
+    assert_race_free(&p, 40);
+}
+
+#[test]
+fn once_orders_initialization() {
+    let p = Program::new("once_sync", |ctx| {
+        let once = ctx.once("init");
+        let x = ctx.cell("x", 0i64);
+        let wg = ctx.waitgroup("wg");
+        for _ in 0..3 {
+            wg.add(ctx, 1);
+            let (once, x, wg) = (once.clone(), x.clone(), wg.clone());
+            ctx.go("user", move |ctx| {
+                once.do_once(ctx, |ctx| ctx.write(&x, 42));
+                let _ = ctx.read(&x); // ordered after the once body
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+    });
+    assert_race_free(&p, 40);
+}
+
+#[test]
+fn rwmutex_writer_vs_reader_is_race_free() {
+    let p = Program::new("rw_sync", |ctx| {
+        let rw = ctx.rwmutex("rw");
+        let x = ctx.cell("x", 0i64);
+        let (rw2, x2) = (rw.clone(), x.clone());
+        ctx.go("writer", move |ctx| {
+            rw2.lock(ctx);
+            ctx.write(&x2, 1);
+            rw2.unlock(ctx);
+        });
+        rw.rlock(ctx);
+        let _ = ctx.read(&x);
+        rw.runlock(ctx);
+    });
+    assert_race_free(&p, 40);
+}
+
+#[test]
+fn detects_write_under_reader_lock() {
+    // Listing 11: two goroutines both hold the READ lock and write.
+    // RLock does not order readers with each other => real race, and the
+    // HB detector catches it even though a lock is held.
+    let p = Program::new("rlock_write", |ctx| {
+        let rw = ctx.rwmutex("g.mutex");
+        let ready = ctx.cell("g.ready", false);
+        let wg = ctx.waitgroup("wg");
+        for _ in 0..2 {
+            wg.add(ctx, 1);
+            let (rw, ready, wg) = (rw.clone(), ready.clone(), wg.clone());
+            ctx.go("updateGate", move |ctx| {
+                rw.rlock(ctx);
+                ctx.write(&ready, true); // write in a read-locked section!
+                rw.runlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+    });
+    assert!(tsan_finds_race(&p, 60));
+}
+
+#[test]
+fn atomic_accesses_do_not_race_with_each_other() {
+    let p = Program::new("atomics_ok", |ctx| {
+        let a = ctx.atomic("a", 0);
+        let a2 = a.clone();
+        ctx.go("w", move |ctx| {
+            a2.add(ctx, 1);
+        });
+        let _ = a.load(ctx);
+        a.add(ctx, 1);
+    });
+    assert_race_free(&p, 40);
+}
+
+#[test]
+fn detects_plain_access_mixed_with_atomic() {
+    // §4.9.2: atomic for writes, plain for reads.
+    let p = Program::new("partial_atomic", |ctx| {
+        let a = ctx.atomic("counter", 0);
+        let a2 = a.clone();
+        ctx.go("w", move |ctx| a2.store(ctx, 1));
+        let _ = a.load_plain(ctx); // plain read vs atomic write
+    });
+    assert!(tsan_finds_race(&p, 40));
+}
+
+#[test]
+fn atomic_publish_orders_plain_payload() {
+    // Correct atomic flag protocol: plain payload write, atomic flag store,
+    // atomic flag load observed, plain payload read. No race.
+    let p = Program::new("atomic_publish", |ctx| {
+        let data = ctx.cell("data", 0i64);
+        let flag = ctx.atomic("flag", 0);
+        let (d2, f2) = (data.clone(), flag.clone());
+        ctx.go("producer", move |ctx| {
+            ctx.write(&d2, 99);
+            f2.store(ctx, 1);
+        });
+        // Spin until the flag is set (bounded for the step budget).
+        for _ in 0..200 {
+            if flag.load(ctx) == 1 {
+                assert_eq!(ctx.read(&data), 99);
+                return;
+            }
+        }
+    });
+    assert_race_free(&p, 40);
+}
+
+#[test]
+fn spawn_edge_orders_parent_writes() {
+    let p = Program::new("spawn_edge", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        ctx.write(&x, 1); // before spawn
+        let x2 = x.clone();
+        ctx.go("reader", move |ctx| {
+            let _ = ctx.read(&x2); // ordered after parent's write
+        });
+    });
+    assert_race_free(&p, 40);
+}
+
+#[test]
+fn pure_vc_and_epochs_agree() {
+    let programs = vec![
+        Program::new("racy", |ctx| {
+            let x = ctx.cell("x", 0i64);
+            let x2 = x.clone();
+            ctx.go("w", move |ctx| ctx.write(&x2, 1));
+            let _ = ctx.read(&x);
+        }),
+        Program::new("clean", |ctx| {
+            let x = ctx.cell("x", 0i64);
+            let ch = ctx.chan::<()>("ch", 0);
+            let (x2, tx) = (x.clone(), ch.clone());
+            ctx.go("w", move |ctx| {
+                ctx.write(&x2, 1);
+                tx.send(ctx, ());
+            });
+            let _ = ch.recv(ctx);
+            let _ = ctx.read(&x);
+        }),
+    ];
+    for p in &programs {
+        for seed in 0..20 {
+            let (_, ft) = Runtime::new(RunConfig::with_seed(seed)).run(p, FastTrack::new());
+            let (_, vc) = Runtime::new(RunConfig::with_seed(seed))
+                .run(p, FastTrack::with_config(FastTrackConfig::pure_vc()));
+            assert_eq!(
+                ft.reports().is_empty(),
+                vc.reports().is_empty(),
+                "verdict mismatch on {} seed {seed}",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn epoch_fast_path_dominates_on_thread_local_data() {
+    let p = Program::new("local_heavy", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        for _ in 0..100 {
+            ctx.update(&x, |v| v + 1);
+        }
+    });
+    let (_, ft) = Runtime::new(RunConfig::with_seed(0)).run(&p, FastTrack::new());
+    assert!(ft.accesses_processed() >= 200);
+    let hit_rate = ft.epoch_fast_hits() as f64 / ft.accesses_processed() as f64;
+    assert!(
+        hit_rate > 0.95,
+        "thread-local accesses must hit the epoch fast path (got {hit_rate})"
+    );
+}
+
+#[test]
+fn eraser_flags_unlocked_shared_writes() {
+    let p = Program::new("unlocked", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let x2 = x.clone();
+        ctx.go("w", move |ctx| ctx.write(&x2, 1));
+        ctx.sleep(2);
+        ctx.write(&x, 2);
+    });
+    let mut any = false;
+    for seed in 0..30 {
+        let (_, er) = Runtime::new(RunConfig::with_seed(seed)).run(&p, Eraser::new());
+        any |= !er.reports().is_empty();
+    }
+    assert!(any);
+}
+
+#[test]
+fn eraser_false_positive_on_channel_sync_fasttrack_clean() {
+    // The motivating comparison: lockset alone cannot see channel ordering.
+    let p = Program::new("chan_synced", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let ch = ctx.chan::<()>("ch", 0);
+        let (x2, tx) = (x.clone(), ch.clone());
+        ctx.go("w", move |ctx| {
+            ctx.write(&x2, 1);
+            tx.send(ctx, ());
+        });
+        let _ = ch.recv(ctx);
+        let _ = ctx.read(&x);
+    });
+    let (_, er) = Runtime::new(RunConfig::with_seed(3)).run(&p, Eraser::new());
+    assert!(!er.reports().is_empty(), "Eraser should over-report here");
+    let (_, ft) = Runtime::new(RunConfig::with_seed(3)).run(&p, FastTrack::new());
+    assert!(ft.reports().is_empty(), "FastTrack must not");
+}
+
+#[test]
+fn eraser_accepts_consistent_locking() {
+    let p = Program::new("locked", |ctx| {
+        let mu = ctx.mutex("mu");
+        let x = ctx.cell("x", 0i64);
+        let (mu2, x2) = (mu.clone(), x.clone());
+        ctx.go("w", move |ctx| {
+            mu2.lock(ctx);
+            ctx.write(&x2, 1);
+            mu2.unlock(ctx);
+        });
+        mu.lock(ctx);
+        ctx.write(&x, 2);
+        mu.unlock(ctx);
+    });
+    for seed in 0..20 {
+        let (_, er) = Runtime::new(RunConfig::with_seed(seed)).run(&p, Eraser::new());
+        assert!(er.reports().is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn explorer_aggregates_and_dedups() {
+    let p = Program::new("flaky_race", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let x2 = x.clone();
+        ctx.go("w", move |ctx| ctx.write(&x2, 1));
+        let _ = ctx.read(&x);
+    });
+    let result = Explorer::new(ExploreConfig::quick().runs(50)).explore(&p);
+    assert!(result.found_race());
+    assert!(result.detection_rate() > 0.0 && result.detection_rate() <= 1.0);
+    // One racy pair of source locations => at most 2 unique races
+    // (read-vs-write orientations share a site key, write orderings may
+    // produce a distinct pair).
+    assert!(result.unique_races.len() <= 2, "{:#?}", result.unique_races);
+    for r in &result.unique_races {
+        assert_eq!(r.program.as_deref(), Some("flaky_race"));
+    }
+}
+
+#[test]
+fn explorer_is_deterministic() {
+    let p = Program::new("det", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let x2 = x.clone();
+        ctx.go("w", move |ctx| ctx.write(&x2, 1));
+        let _ = ctx.read(&x);
+    });
+    let r1 = Explorer::new(ExploreConfig::quick()).explore(&p);
+    let r2 = Explorer::new(ExploreConfig::quick()).explore(&p);
+    assert_eq!(r1.racy_runs, r2.racy_runs);
+    assert_eq!(r1.unique_races.len(), r2.unique_races.len());
+}
+
+#[test]
+fn explorer_strategies_expose_races() {
+    let p = Program::new("strat", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let x2 = x.clone();
+        ctx.go("w", move |ctx| ctx.write(&x2, 1));
+        let _ = ctx.read(&x);
+    });
+    for strategy in [Strategy::Random, Strategy::Pct { depth: 3 }] {
+        let r = Explorer::new(ExploreConfig::quick().runs(40).strategy(strategy)).explore(&p);
+        assert!(r.found_race(), "{strategy:?} found nothing");
+    }
+}
+
+#[test]
+fn race_report_carries_both_stacks() {
+    let p = Program::new("stacked", |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let x2 = x.clone();
+        ctx.go("worker", move |ctx| {
+            ctx.call("ProcessJob", |ctx| ctx.write(&x2, 1));
+        });
+        ctx.call("Collect", |ctx| {
+            let _ = ctx.read(&x);
+        });
+    });
+    let result = Explorer::new(ExploreConfig::quick().runs(60)).explore(&p);
+    let race = result
+        .unique_races
+        .first()
+        .expect("race must be detected");
+    let (s1, s2) = race.stacks();
+    let all: Vec<String> = s1
+        .func_names()
+        .into_iter()
+        .chain(s2.func_names())
+        .map(String::from)
+        .collect();
+    assert!(all.iter().any(|f| f == "ProcessJob"));
+    assert!(all.iter().any(|f| f == "Collect"));
+}
+
+#[test]
+fn report_cap_bounds_memory_on_extremely_racy_programs() {
+    // A program with many distinct racy sites must not accumulate reports
+    // past the configured cap.
+    let p = Program::new("racy_everywhere", |ctx| {
+        let cells: Vec<_> = (0..40).map(|i| ctx.cell(&format!("c{i}"), 0i64)).collect();
+        for c in &cells {
+            let c = c.clone();
+            ctx.go("w", move |ctx| ctx.write(&c, 1));
+        }
+        for c in &cells {
+            let _ = ctx.read(c);
+        }
+    });
+    let cfg = FastTrackConfig {
+        max_reports: 5,
+        ..FastTrackConfig::default()
+    };
+    let mut max_seen = 0;
+    for seed in 0..10 {
+        let (_, ft) =
+            Runtime::new(RunConfig::with_seed(seed)).run(&p, FastTrack::with_config(cfg.clone()));
+        max_seen = max_seen.max(ft.reports().len());
+        assert!(ft.reports().len() <= 5, "cap exceeded: {}", ft.reports().len());
+    }
+    assert!(max_seen > 0, "some race must still be reported");
+}

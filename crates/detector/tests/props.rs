@@ -1,0 +1,217 @@
+//! Property tests for the detectors.
+//!
+//! The strongest guarantee a happens-before detector offers is *no false
+//! positives under the observed schedule*: a program whose accesses are all
+//! ordered by synchronization must never be flagged, for any shape, seed,
+//! or strategy. Conversely, removing the synchronization from the same
+//! shape must eventually be caught.
+
+use proptest::prelude::*;
+
+use grs_detector::{Eraser, FastTrack, FastTrackConfig, Tsan};
+use grs_runtime::{Program, RunConfig, Runtime, Strategy as Sched};
+
+#[derive(Debug, Clone)]
+struct Shape {
+    workers: u8,
+    ops: u8,
+    sync: SyncKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SyncKind {
+    Mutex,
+    Channel,
+    WaitGroupPublish,
+    Atomic,
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (
+        1u8..4,
+        1u8..4,
+        prop_oneof![
+            Just(SyncKind::Mutex),
+            Just(SyncKind::Channel),
+            Just(SyncKind::WaitGroupPublish),
+            Just(SyncKind::Atomic),
+        ],
+    )
+        .prop_map(|(workers, ops, sync)| Shape { workers, ops, sync })
+}
+
+/// A fully synchronized program of the given shape.
+fn synced(shape: &Shape) -> Program {
+    let shape = shape.clone();
+    Program::new("prop_synced", move |ctx| match shape.sync {
+        SyncKind::Mutex => {
+            let mu = ctx.mutex("mu");
+            let x = ctx.cell("x", 0i64);
+            let wg = ctx.waitgroup("wg");
+            for _ in 0..shape.workers {
+                wg.add(ctx, 1);
+                let (mu, x, wg) = (mu.clone(), x.clone(), wg.clone());
+                let ops = shape.ops;
+                ctx.go("w", move |ctx| {
+                    for _ in 0..ops {
+                        mu.lock(ctx);
+                        ctx.update(&x, |v| v + 1);
+                        mu.unlock(ctx);
+                    }
+                    wg.done(ctx);
+                });
+            }
+            wg.wait(ctx);
+            mu.lock(ctx);
+            let _ = ctx.read(&x);
+            mu.unlock(ctx);
+        }
+        SyncKind::Channel => {
+            // Ownership transfer: each worker writes a private cell, then
+            // sends it; main reads after receiving.
+            let ch = ctx.chan::<grs_runtime::Cell<i64>>("ch", 0);
+            for w in 0..shape.workers {
+                let ch = ch.clone();
+                let ops = shape.ops;
+                ctx.go("w", move |ctx| {
+                    let mine = ctx.cell("mine", 0i64);
+                    for _ in 0..ops {
+                        ctx.update(&mine, |v| v + i64::from(w));
+                    }
+                    ch.send(ctx, mine);
+                });
+            }
+            for _ in 0..shape.workers {
+                if let Some(cell) = ch.recv(ctx).value() {
+                    let _ = ctx.read(&cell);
+                }
+            }
+        }
+        SyncKind::WaitGroupPublish => {
+            let wg = ctx.waitgroup("wg");
+            let mut cells = Vec::new();
+            for w in 0..shape.workers {
+                wg.add(ctx, 1);
+                let cell = ctx.cell("slot", 0i64);
+                cells.push(cell.clone());
+                let wg = wg.clone();
+                let ops = shape.ops;
+                ctx.go("w", move |ctx| {
+                    for _ in 0..ops {
+                        ctx.update(&cell, |v| v + i64::from(w));
+                    }
+                    wg.done(ctx);
+                });
+            }
+            wg.wait(ctx);
+            for c in &cells {
+                let _ = ctx.read(c);
+            }
+        }
+        SyncKind::Atomic => {
+            let a = ctx.atomic("a", 0);
+            let done = ctx.chan::<()>("done", usize::from(shape.workers));
+            for _ in 0..shape.workers {
+                let (a, done) = (a.clone(), done.clone());
+                let ops = shape.ops;
+                ctx.go("w", move |ctx| {
+                    for _ in 0..ops {
+                        a.add(ctx, 1);
+                    }
+                    done.send(ctx, ());
+                });
+            }
+            for _ in 0..shape.workers {
+                let _ = done.recv(ctx);
+            }
+            let _ = a.load(ctx);
+        }
+    })
+}
+
+/// The same shape with its synchronization removed.
+fn unsynced(shape: &Shape) -> Program {
+    let shape = shape.clone();
+    Program::new("prop_unsynced", move |ctx| {
+        let x = ctx.cell("x", 0i64);
+        let done = ctx.chan::<()>("done", usize::from(shape.workers));
+        for _ in 0..shape.workers {
+            let (x, done) = (x.clone(), done.clone());
+            let ops = shape.ops;
+            ctx.go("w", move |ctx| {
+                for _ in 0..ops {
+                    ctx.update(&x, |v| v + 1); // no lock
+                }
+                done.send(ctx, ());
+            });
+        }
+        for _ in 0..shape.workers {
+            let _ = done.recv(ctx);
+        }
+        let _ = ctx.read(&x);
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// HB detectors never flag synchronized programs — any shape, seed, or
+    /// strategy, epochs or pure vector clocks.
+    #[test]
+    fn no_false_positives_on_synced_shapes(shape in arb_shape(), seed in 0u64..500) {
+        let p = synced(&shape);
+        for strategy in [Sched::Random, Sched::Pct { depth: 3 }] {
+            let cfg = RunConfig::with_seed(seed).strategy(strategy);
+            let (_, tsan) = Runtime::new(cfg.clone()).run(&p, Tsan::new());
+            prop_assert!(
+                tsan.reports().is_empty(),
+                "tsan false positive on {shape:?}: {}",
+                tsan.reports()[0]
+            );
+            let (_, vc) = Runtime::new(cfg)
+                .run(&p, FastTrack::with_config(FastTrackConfig::pure_vc()));
+            prop_assert!(vc.reports().is_empty(), "pure-vc false positive");
+        }
+    }
+
+    /// Multi-worker unsynchronized shapes are caught within a seed budget.
+    #[test]
+    fn unsynced_shapes_are_caught(shape in arb_shape()) {
+        prop_assume!(shape.workers >= 2);
+        let p = unsynced(&shape);
+        let mut found = false;
+        for seed in 0..40 {
+            let (_, tsan) = Runtime::new(RunConfig::with_seed(seed)).run(&p, Tsan::new());
+            if !tsan.reports().is_empty() {
+                found = true;
+                break;
+            }
+        }
+        prop_assert!(found, "no seed caught {shape:?}");
+    }
+
+    /// Epoch and pure-VC FastTrack agree on every run.
+    #[test]
+    fn epoch_and_pure_vc_verdicts_agree(shape in arb_shape(), seed in 0u64..200) {
+        for p in [synced(&shape), unsynced(&shape)] {
+            let (_, ft) = Runtime::new(RunConfig::with_seed(seed)).run(&p, FastTrack::new());
+            let (_, vc) = Runtime::new(RunConfig::with_seed(seed))
+                .run(&p, FastTrack::with_config(FastTrackConfig::pure_vc()));
+            prop_assert_eq!(
+                ft.reports().is_empty(),
+                vc.reports().is_empty(),
+                "verdict mismatch on {} {:?} seed {}",
+                p.name(), shape, seed
+            );
+        }
+    }
+
+    /// Eraser accepts consistently locked shapes (its soundness case).
+    #[test]
+    fn eraser_accepts_locked_shapes(shape in arb_shape(), seed in 0u64..200) {
+        prop_assume!(shape.sync == SyncKind::Mutex);
+        let p = synced(&shape);
+        let (_, er) = Runtime::new(RunConfig::with_seed(seed)).run(&p, Eraser::new());
+        prop_assert!(er.reports().is_empty(), "eraser flagged a locked shape");
+    }
+}

@@ -1,0 +1,44 @@
+//! Lexing and parsing errors.
+
+use std::fmt;
+
+use crate::token::Pos;
+
+/// An error with a source position, produced by the lexer or parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `pos`.
+    #[must_use]
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(Pos { line: 4, col: 2 }, "unexpected token");
+        assert_eq!(e.to_string(), "4:2: unexpected token");
+    }
+}

@@ -1,0 +1,530 @@
+//! The Go-lite lexer, including Go's automatic semicolon insertion (ASI).
+//!
+//! Go's grammar is semicolon-terminated, but programmers rarely write
+//! semicolons: the lexer inserts one at each newline that follows a token
+//! from a fixed trigger set (identifiers, literals, `return`-like keywords,
+//! `++`/`--`, and closing delimiters). Implementing ASI in the lexer — as
+//! gc does — keeps the parser a plain semicolon-driven recursive descent.
+
+use crate::error::ParseError;
+use crate::token::{Keyword, Pos, Tok, Token};
+
+/// Tokenizes `src` completely (the final token is [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns the first lexical error (unterminated string, stray character).
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(src).collect_all()
+}
+
+/// A streaming lexer over source text.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    offset: usize,
+    pos: Pos,
+    last_significant: Option<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    #[must_use]
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            offset: 0,
+            pos: Pos::START,
+            last_significant: None,
+        }
+    }
+
+    /// Runs the lexer to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first lexical error.
+    pub fn collect_all(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.tok == Tok::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.offset).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.offset + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.offset += 1;
+        if b == b'\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(b)
+    }
+
+    /// Skips whitespace and comments; returns `true` when a newline (or a
+    /// comment containing one) was crossed, which may trigger ASI.
+    fn skip_trivia(&mut self) -> Result<bool, ParseError> {
+        let mut newline = false;
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r') => {
+                    self.bump();
+                }
+                Some(b'\n') => {
+                    newline = true;
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            newline = true;
+                        }
+                        if b == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(ParseError::new(start, "unterminated block comment"));
+                    }
+                }
+                _ => return Ok(newline),
+            }
+        }
+    }
+
+    /// Produces the next token, applying ASI at newlines.
+    ///
+    /// # Errors
+    ///
+    /// Returns lexical errors with their positions.
+    pub fn next_token(&mut self) -> Result<Token, ParseError> {
+        let newline = self.skip_trivia()?;
+        if newline
+            && self
+                .last_significant
+                .as_ref()
+                .is_some_and(Tok::triggers_asi)
+        {
+            self.last_significant = Some(Tok::Semi);
+            return Ok(Token {
+                tok: Tok::Semi,
+                pos: self.pos,
+            });
+        }
+        let pos = self.pos;
+        let Some(b) = self.peek() else {
+            // ASI also applies at EOF after a trigger token.
+            if self
+                .last_significant
+                .as_ref()
+                .is_some_and(Tok::triggers_asi)
+            {
+                self.last_significant = Some(Tok::Semi);
+                return Ok(Token {
+                    tok: Tok::Semi,
+                    pos,
+                });
+            }
+            return Ok(Token {
+                tok: Tok::Eof,
+                pos,
+            });
+        };
+        let tok = match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+            b'0'..=b'9' => self.number(),
+            b'"' => self.string(b'"')?,
+            b'`' => self.raw_string()?,
+            b'\'' => self.rune()?,
+            _ => self.operator()?,
+        };
+        self.last_significant = Some(tok.clone());
+        Ok(Token { tok, pos })
+    }
+
+    fn ident(&mut self) -> Tok {
+        let start = self.offset;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.offset])
+            .expect("ASCII identifier bytes");
+        match Keyword::lookup(text) {
+            Some(kw) => Tok::Kw(kw),
+            None => Tok::Ident(text.to_string()),
+        }
+    }
+
+    fn number(&mut self) -> Tok {
+        let start = self.offset;
+        let mut is_float = false;
+        // Hex/octal/binary prefixes.
+        if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'))
+        {
+            self.bump();
+            self.bump();
+            while let Some(b) = self.peek() {
+                if b.is_ascii_hexdigit() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0'..=b'9' | b'_' => {
+                        self.bump();
+                    }
+                    b'.' if !is_float
+                        && self.peek2().is_some_and(|c| c.is_ascii_digit()) =>
+                    {
+                        is_float = true;
+                        self.bump();
+                    }
+                    b'e' | b'E' => {
+                        is_float = true;
+                        self.bump();
+                        if matches!(self.peek(), Some(b'+' | b'-')) {
+                            self.bump();
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.offset])
+            .expect("ASCII number bytes")
+            .to_string();
+        if is_float {
+            Tok::Float(text)
+        } else {
+            Tok::Int(text)
+        }
+    }
+
+    fn string(&mut self, quote: u8) -> Result<Tok, ParseError> {
+        let start_pos = self.pos;
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => {
+                    return Err(ParseError::new(start_pos, "unterminated string literal"))
+                }
+                Some(b'\\') => {
+                    // Keep escapes unprocessed; values are irrelevant here.
+                    if let Some(e) = self.bump() {
+                        out.push('\\');
+                        out.push(e as char);
+                    }
+                }
+                Some(b) if b == quote => break,
+                Some(b) => out.push(b as char),
+            }
+        }
+        Ok(Tok::Str(out))
+    }
+
+    fn raw_string(&mut self) -> Result<Tok, ParseError> {
+        let start_pos = self.pos;
+        self.bump(); // opening backquote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(ParseError::new(start_pos, "unterminated raw string")),
+                Some(b'`') => break,
+                Some(b) => out.push(b as char),
+            }
+        }
+        Ok(Tok::Str(out))
+    }
+
+    fn rune(&mut self) -> Result<Tok, ParseError> {
+        let start_pos = self.pos;
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => {
+                    return Err(ParseError::new(start_pos, "unterminated rune literal"))
+                }
+                Some(b'\\') => {
+                    if let Some(e) = self.bump() {
+                        out.push('\\');
+                        out.push(e as char);
+                    }
+                }
+                Some(b'\'') => break,
+                Some(b) => out.push(b as char),
+            }
+        }
+        Ok(Tok::Rune(out))
+    }
+
+    fn operator(&mut self) -> Result<Tok, ParseError> {
+        let pos = self.pos;
+        let b = self.bump().expect("caller checked non-empty");
+        let two = |l: &mut Lexer<'a>, next: u8, yes: Tok, no: Tok| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let tok = match b {
+            b'+' => match self.peek() {
+                Some(b'+') => {
+                    self.bump();
+                    Tok::Inc
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Tok::OpAssign("+=")
+                }
+                _ => Tok::Plus,
+            },
+            b'-' => match self.peek() {
+                Some(b'-') => {
+                    self.bump();
+                    Tok::Dec
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Tok::OpAssign("-=")
+                }
+                _ => Tok::Minus,
+            },
+            b'*' => two(self, b'=', Tok::OpAssign("*="), Tok::Star),
+            b'/' => two(self, b'=', Tok::OpAssign("/="), Tok::Slash),
+            b'%' => two(self, b'=', Tok::OpAssign("%="), Tok::Percent),
+            b'&' => match self.peek() {
+                Some(b'&') => {
+                    self.bump();
+                    Tok::AndAnd
+                }
+                Some(b'^') => {
+                    self.bump();
+                    Tok::AmpCaret
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Tok::OpAssign("&=")
+                }
+                _ => Tok::Amp,
+            },
+            b'|' => match self.peek() {
+                Some(b'|') => {
+                    self.bump();
+                    Tok::OrOr
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Tok::OpAssign("|=")
+                }
+                _ => Tok::Pipe,
+            },
+            b'^' => two(self, b'=', Tok::OpAssign("^="), Tok::Caret),
+            b'<' => match self.peek() {
+                Some(b'-') => {
+                    self.bump();
+                    Tok::Arrow
+                }
+                Some(b'<') => {
+                    self.bump();
+                    two(self, b'=', Tok::OpAssign("<<="), Tok::Shl)
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Tok::Le
+                }
+                _ => Tok::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    two(self, b'=', Tok::OpAssign(">>="), Tok::Shr)
+                }
+                Some(b'=') => {
+                    self.bump();
+                    Tok::Ge
+                }
+                _ => Tok::Gt,
+            },
+            b'=' => two(self, b'=', Tok::EqEq, Tok::Assign),
+            b'!' => two(self, b'=', Tok::NotEq, Tok::Not),
+            b':' => two(self, b'=', Tok::Define, Tok::Colon),
+            b'.' => {
+                if self.peek() == Some(b'.') && self.peek2() == Some(b'.') {
+                    self.bump();
+                    self.bump();
+                    Tok::Ellipsis
+                } else {
+                    Tok::Dot
+                }
+            }
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b',' => Tok::Comma,
+            b';' => Tok::Semi,
+            _ => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected character {:?}", b as char),
+                ))
+            }
+        };
+        Ok(tok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            toks("var a int"),
+            vec![
+                Tok::Kw(Keyword::Var),
+                Tok::Ident("a".into()),
+                Tok::Ident("int".into()),
+                Tok::Semi, // ASI at EOF
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn asi_inserts_semicolons_at_newlines() {
+        let t = toks("x := 1\ny := 2\n");
+        let semis = t.iter().filter(|t| **t == Tok::Semi).count();
+        assert_eq!(semis, 2);
+    }
+
+    #[test]
+    fn asi_does_not_fire_mid_expression() {
+        // After a binary operator no semicolon is inserted.
+        let t = toks("x := 1 +\n2\n");
+        let idx_plus = t.iter().position(|t| *t == Tok::Plus).expect("plus");
+        assert_ne!(t[idx_plus + 1], Tok::Semi);
+    }
+
+    #[test]
+    fn channel_arrow_and_define() {
+        assert_eq!(
+            toks("ch <- v"),
+            vec![
+                Tok::Ident("ch".into()),
+                Tok::Arrow,
+                Tok::Ident("v".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+        assert!(toks("x := <-ch").contains(&Tok::Arrow));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_count_as_newlines() {
+        let t = toks("x := 1 // trailing\ny := 2");
+        assert_eq!(t.iter().filter(|t| **t == Tok::Semi).count(), 2);
+        let t = toks("a /* block\ncomment */ b");
+        // Block comment containing a newline triggers ASI after `a`.
+        assert_eq!(t[1], Tok::Semi);
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(toks(r#"s := "hi \"there\"""#)[2], Tok::Str(r#"hi \"there\""#.into()));
+        assert_eq!(toks("s := `raw\nstring`")[2], Tok::Str("raw\nstring".into()));
+        assert_eq!(toks("c := 'x'")[2], Tok::Rune("x".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42")[0], Tok::Int("42".into()));
+        assert_eq!(toks("0xFF")[0], Tok::Int("0xFF".into()));
+        assert_eq!(toks("3.25")[0], Tok::Float("3.25".into()));
+        assert_eq!(toks("1e9")[0], Tok::Float("1e9".into()));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let t = toks("a &^= b; c <<= d; e != f; g <= h; i >= j; k && l || m");
+        assert!(t.contains(&Tok::NotEq));
+        assert!(t.contains(&Tok::Le));
+        assert!(t.contains(&Tok::Ge));
+        assert!(t.contains(&Tok::AndAnd));
+        assert!(t.contains(&Tok::OrOr));
+        // &^= lexes as AmpCaret + Assign in Go-lite (we do not need the
+        // three-char compound).
+        assert!(t.contains(&Tok::OpAssign("<<=")));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("s := \"oops").is_err());
+        assert!(tokenize("s := `oops").is_err());
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let tokens = tokenize("a\nbb\n  c").expect("lexes");
+        let c = tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("c".into()))
+            .expect("c");
+        assert_eq!(c.pos.line, 3);
+        assert_eq!(c.pos.col, 3);
+    }
+}

@@ -1,0 +1,1001 @@
+//! Static race lints for the §4 patterns.
+//!
+//! The paper closes with: "We believe the bug patterns in Go presented in
+//! this paper can inspire further research in static race detection for
+//! Go." These lints are that idea in miniature: syntactic detectors, one
+//! per pattern, over the Go-lite AST. They are heuristics — a free-variable
+//! approximation stands in for full scope resolution — but each fires on
+//! its paper listing and stays quiet on the fixed variants (see the crate's
+//! listing tests).
+
+#![allow(clippy::collapsible_match)]
+
+use std::collections::HashSet;
+
+use crate::ast::*;
+use crate::token::Pos;
+
+/// Which lint fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Listing 1: a goroutine closure captures a loop variable.
+    LoopVarCapture,
+    /// Listing 2: a goroutine closure captures an `err` variable also
+    /// assigned outside.
+    ErrCapture,
+    /// Listings 3–4: a goroutine closure captures a named return variable.
+    NamedReturnCapture,
+    /// Listing 10: `WaitGroup.Add` inside the goroutine it accounts for.
+    WaitGroupAddInGoroutine,
+    /// Listing 7: a `sync.Mutex`/`sync.RWMutex` parameter passed by value.
+    MutexByValue,
+    /// Listing 6: a map declared outside a goroutine written inside it.
+    MapWriteInGoroutine,
+    /// Listing 11: an assignment inside an `RLock`-protected section.
+    WriteUnderRLock,
+    /// Table 3's "incorrect order of statements": a goroutine is launched
+    /// before a variable it reads is initialized in the same block.
+    GoroutineBeforeInit,
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Rule::LoopVarCapture => "loop-variable captured by goroutine",
+            Rule::ErrCapture => "err variable captured by goroutine",
+            Rule::NamedReturnCapture => "named return captured by goroutine",
+            Rule::WaitGroupAddInGoroutine => "WaitGroup.Add inside goroutine",
+            Rule::MutexByValue => "mutex passed by value",
+            Rule::MapWriteInGoroutine => "map written inside goroutine",
+            Rule::WriteUnderRLock => "write under RLock",
+            Rule::GoroutineBeforeInit => "goroutine launched before initialization",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Source position.
+    pub pos: Pos,
+    /// Enclosing function name.
+    pub func: String,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: [{}] in {}: {}", self.pos, self.rule, self.func, self.message)
+    }
+}
+
+/// Lints every function in the file.
+#[must_use]
+pub fn lint_file(file: &File) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for decl in &file.decls {
+        if let Decl::Func(f) = decl {
+            lint_func(f, &mut findings);
+        }
+    }
+    findings
+}
+
+/// A goroutine launched with an inline closure: `go func(...) {...}(args)`.
+struct GoClosure<'a> {
+    pos: Pos,
+    sig: &'a Signature,
+    body: &'a Block,
+    args: &'a [Expr],
+}
+
+fn lint_func(f: &FuncDecl, findings: &mut Vec<Finding>) {
+    let Some(body) = &f.body else { return };
+
+    // Rule: MutexByValue — any by-value sync.Mutex/RWMutex parameter.
+    for p in &f.sig.params {
+        if matches!(
+            p.ty.name(),
+            Some("sync.Mutex" | "sync.RWMutex")
+        ) {
+            findings.push(Finding {
+                rule: Rule::MutexByValue,
+                pos: f.pos,
+                func: f.name.clone(),
+                message: format!(
+                    "parameter `{}` copies the mutex; critical sections using the \
+                     copy exclude nothing (use *{})",
+                    p.name,
+                    p.ty.name().unwrap_or("sync.Mutex")
+                ),
+            });
+        }
+    }
+
+    let named_returns: Vec<&str> = f
+        .sig
+        .results
+        .iter()
+        .filter(|r| !r.name.is_empty() && r.name != "_")
+        .map(|r| r.name.as_str())
+        .collect();
+
+    // Collect all goroutine closures (with their surrounding loop vars) and
+    // the set of assignment targets in the function outside closures.
+    let mut closures: Vec<(GoClosure<'_>, Vec<String>)> = Vec::new();
+    collect_go_closures(body, &mut Vec::new(), &mut closures);
+    let outer_assigned = assigned_names_outside_closures(body);
+    let has_wait_call = calls_method(body, "Wait");
+
+    for (gc, loop_vars) in &closures {
+        let free = free_idents(gc.sig, gc.body);
+        // Loop variable capture — unless the variable is re-passed as a
+        // call argument with the same name (the privatizing idiom).
+        for lv in loop_vars {
+            if free.contains(lv.as_str()) && !arg_shadows(gc, lv) {
+                findings.push(Finding {
+                    rule: Rule::LoopVarCapture,
+                    pos: gc.pos,
+                    func: f.name.clone(),
+                    message: format!(
+                        "goroutine captures loop variable `{lv}` by reference; the \
+                         loop advances it concurrently"
+                    ),
+                });
+            }
+        }
+        // err capture: `err` free in the closure AND assigned outside too.
+        if free.contains("err")
+            && outer_assigned.contains("err")
+            && !arg_shadows(gc, "err")
+        {
+            findings.push(Finding {
+                rule: Rule::ErrCapture,
+                pos: gc.pos,
+                func: f.name.clone(),
+                message: "goroutine captures `err` by reference while the enclosing \
+                          function keeps assigning it"
+                    .to_string(),
+            });
+        }
+        // Named return capture.
+        for nr in &named_returns {
+            if free.contains(*nr) && !arg_shadows(gc, nr) {
+                findings.push(Finding {
+                    rule: Rule::NamedReturnCapture,
+                    pos: gc.pos,
+                    func: f.name.clone(),
+                    message: format!(
+                        "goroutine captures named return `{nr}`; every return \
+                         statement writes it"
+                    ),
+                });
+            }
+        }
+        // WaitGroup.Add inside the goroutine body.
+        if has_wait_call && calls_method(gc.body, "Add") {
+            findings.push(Finding {
+                rule: Rule::WaitGroupAddInGoroutine,
+                pos: gc.pos,
+                func: f.name.clone(),
+                message: "wg.Add inside the goroutine may run after Wait() — move \
+                          it before the `go` statement"
+                    .to_string(),
+            });
+        }
+        // Map write in goroutine: indexed assignment to a free base.
+        for (base, pos) in indexed_assign_bases(gc.body) {
+            if free.contains(base.as_str()) {
+                findings.push(Finding {
+                    rule: Rule::MapWriteInGoroutine,
+                    pos,
+                    func: f.name.clone(),
+                    message: format!(
+                        "`{base}[...]` is written inside a goroutine while declared \
+                         outside; Go maps are not thread-safe"
+                    ),
+                });
+            }
+        }
+    }
+
+    // WriteUnderRLock: statement-ordered scan of each block.
+    lint_rlock_writes(body, &f.name, findings);
+
+    // GoroutineBeforeInit: a `go` closure reading a variable the SAME block
+    // assigns afterwards.
+    lint_goroutine_before_init(body, &f.name, findings);
+}
+
+/// Scans each block for `go func(){ ... x ... }()` followed (later in the
+/// same block) by an assignment to `x` — the launch raced ahead of the
+/// initialization it depends on.
+fn lint_goroutine_before_init(block: &Block, func: &str, findings: &mut Vec<Finding>) {
+    for (i, stmt) in block.stmts.iter().enumerate() {
+        if let Stmt::Go { pos, call } = stmt {
+            if let Expr::Call { func: callee, args, .. } = call {
+                if let Expr::FuncLit { sig, body, .. } = callee.as_ref() {
+                    let gc = GoClosure {
+                        pos: *pos,
+                        sig,
+                        body,
+                        args,
+                    };
+                    let free = free_idents(sig, body);
+                    // Names assigned by LATER statements of this block
+                    // (top level only; nested goroutines have their own
+                    // ordering).
+                    let mut later = HashSet::new();
+                    for s in &block.stmts[i + 1..] {
+                        collect_assign_targets(s, &mut later);
+                    }
+                    for name in free.intersection(&later) {
+                        if name == "err" || arg_shadows(&gc, name) {
+                            continue; // ErrCapture owns the err idiom
+                        }
+                        findings.push(Finding {
+                            rule: Rule::GoroutineBeforeInit,
+                            pos: *pos,
+                            func: func.to_string(),
+                            message: format!(
+                                "goroutine reads `{name}`, which is assigned only                                  after the `go` statement"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Recurse into nested blocks.
+        match stmt {
+            Stmt::If { then, els, .. } => {
+                lint_goroutine_before_init(then, func, findings);
+                if let Some(e) = els {
+                    if let Stmt::Block(b) = e.as_ref() {
+                        lint_goroutine_before_init(b, func, findings);
+                    }
+                }
+            }
+            Stmt::Block(b) => lint_goroutine_before_init(b, func, findings),
+            Stmt::For { body, .. } => lint_goroutine_before_init(body, func, findings),
+            _ => {}
+        }
+    }
+}
+
+/// Top-level assignment/define targets of one statement (identifier bases
+/// of selectors and indexes included; closure bodies excluded).
+fn collect_assign_targets(stmt: &Stmt, out: &mut HashSet<String>) {
+    fn base_ident(e: &Expr, out: &mut HashSet<String>) {
+        match e {
+            Expr::Ident(_, n) => {
+                out.insert(n.clone());
+            }
+            Expr::Selector(b, _) | Expr::Index(b, _) | Expr::Paren(b) => base_ident(b, out),
+            Expr::Unary { op: "*", expr } => base_ident(expr, out),
+            _ => {}
+        }
+    }
+    match stmt {
+        Stmt::Assign { lhs, .. } => {
+            for e in lhs {
+                base_ident(e, out);
+            }
+        }
+        Stmt::Define { names, .. } => out.extend(names.iter().cloned()),
+        Stmt::IncDec { expr, .. } => base_ident(expr, out),
+        _ => {}
+    }
+}
+
+/// Is `name` passed as an argument whose parameter has the same name (the
+/// `}(job)` privatizing idiom)?
+fn arg_shadows(gc: &GoClosure<'_>, name: &str) -> bool {
+    gc.sig.params.iter().any(|p| p.name == name)
+        || gc
+            .args
+            .iter()
+            .any(|a| a.as_ident() == Some(name))
+}
+
+fn collect_go_closures<'a>(
+    block: &'a Block,
+    loop_vars: &mut Vec<String>,
+    out: &mut Vec<(GoClosure<'a>, Vec<String>)>,
+) {
+    for stmt in &block.stmts {
+        collect_go_in_stmt(stmt, loop_vars, out);
+    }
+}
+
+fn collect_go_in_stmt<'a>(
+    stmt: &'a Stmt,
+    loop_vars: &mut Vec<String>,
+    out: &mut Vec<(GoClosure<'a>, Vec<String>)>,
+) {
+    match stmt {
+        Stmt::Go { pos, call } => {
+            if let Expr::Call { func, args, .. } = call {
+                if let Expr::FuncLit { sig, body, .. } = func.as_ref() {
+                    out.push((
+                        GoClosure {
+                            pos: *pos,
+                            sig,
+                            body,
+                            args,
+                        },
+                        loop_vars.clone(),
+                    ));
+                    // Nested goroutines inside this closure still matter.
+                    collect_go_closures(body, loop_vars, out);
+                }
+            }
+        }
+
+        Stmt::For { range, init, body, .. } => {
+            let mut added = 0;
+            if let Some(r) = range {
+                if r.define {
+                    for v in [&r.key, &r.value] {
+                        if !v.is_empty() && v != "_" {
+                            loop_vars.push(v.clone());
+                            added += 1;
+                        }
+                    }
+                }
+            }
+            if let Some(i) = init {
+                if let Stmt::Define { names, .. } = i.as_ref() {
+                    for n in names {
+                        if n != "_" {
+                            loop_vars.push(n.clone());
+                            added += 1;
+                        }
+                    }
+                }
+            }
+            collect_go_closures(body, loop_vars, out);
+            loop_vars.truncate(loop_vars.len() - added);
+        }
+        Stmt::If { then, els, .. } => {
+            collect_go_closures(then, loop_vars, out);
+            if let Some(e) = els {
+                collect_go_in_stmt(e, loop_vars, out);
+            }
+        }
+        Stmt::Block(b) => collect_go_closures(b, loop_vars, out),
+        Stmt::Switch { cases, .. } => {
+            for c in cases {
+                for s in &c.body {
+                    collect_go_in_stmt(s, loop_vars, out);
+                }
+            }
+        }
+        Stmt::Select { cases, .. } => {
+            for c in cases {
+                for s in &c.body {
+                    collect_go_in_stmt(s, loop_vars, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Names bound inside a closure: parameters, `:=` defines, `var` decls,
+/// and range variables (an approximation that ignores block scoping).
+fn bound_names(sig: &Signature, block: &Block) -> HashSet<String> {
+    let mut bound: HashSet<String> = sig
+        .params
+        .iter()
+        .map(|p| p.name.clone())
+        .filter(|n| !n.is_empty())
+        .collect();
+    fn walk(b: &Block, bound: &mut HashSet<String>) {
+        for s in &b.stmts {
+            walk_stmt(s, bound);
+        }
+    }
+    fn walk_stmt(s: &Stmt, bound: &mut HashSet<String>) {
+        match s {
+            Stmt::Decl(v) => bound.extend(v.names.iter().cloned()),
+            Stmt::Define { names, .. } => bound.extend(names.iter().cloned()),
+            Stmt::If { init, then, els, .. } => {
+                if let Some(i) = init {
+                    walk_stmt(i, bound);
+                }
+                walk(then, bound);
+                if let Some(e) = els {
+                    walk_stmt(e, bound);
+                }
+            }
+            Stmt::Block(b) => walk(b, bound),
+            Stmt::For {
+                init, range, body, ..
+            } => {
+                if let Some(i) = init {
+                    walk_stmt(i, bound);
+                }
+                if let Some(r) = range {
+                    if r.define {
+                        bound.insert(r.key.clone());
+                        bound.insert(r.value.clone());
+                    }
+                }
+                walk(body, bound);
+            }
+            Stmt::Switch { cases, .. } => {
+                for c in cases {
+                    for s in &c.body {
+                        walk_stmt(s, bound);
+                    }
+                }
+            }
+            Stmt::Select { cases, .. } => {
+                for c in cases {
+                    if let Some(comm) = &c.comm {
+                        walk_stmt(comm, bound);
+                    }
+                    for s in &c.body {
+                        walk_stmt(s, bound);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(block, &mut bound);
+    bound
+}
+
+/// Identifiers referenced inside the closure body (selector field names and
+/// nested closure parameters excluded).
+fn free_idents(sig: &Signature, body: &Block) -> HashSet<String> {
+    let bound = bound_names(sig, body);
+    let mut used = HashSet::new();
+    collect_used_block(body, &mut used);
+    used.retain(|u| !bound.contains(u));
+    used
+}
+
+fn collect_used_block(b: &Block, used: &mut HashSet<String>) {
+    for s in &b.stmts {
+        collect_used_stmt(s, used);
+    }
+}
+
+fn collect_used_stmt(s: &Stmt, used: &mut HashSet<String>) {
+    match s {
+        Stmt::Decl(v) => {
+            for e in &v.values {
+                collect_used_expr(e, used);
+            }
+        }
+        Stmt::Define { values, .. } => {
+            for e in values {
+                collect_used_expr(e, used);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            for e in lhs.iter().chain(rhs.iter()) {
+                collect_used_expr(e, used);
+            }
+        }
+        Stmt::IncDec { expr, .. } => collect_used_expr(expr, used),
+        Stmt::Expr(e) => collect_used_expr(e, used),
+        Stmt::Send { chan, value, .. } => {
+            collect_used_expr(chan, used);
+            collect_used_expr(value, used);
+        }
+        Stmt::Go { call, .. } | Stmt::Defer { call, .. } => collect_used_expr(call, used),
+        Stmt::Return { values, .. } => {
+            for e in values {
+                collect_used_expr(e, used);
+            }
+        }
+        Stmt::If {
+            init,
+            cond,
+            then,
+            els,
+            ..
+        } => {
+            if let Some(i) = init {
+                collect_used_stmt(i, used);
+            }
+            collect_used_expr(cond, used);
+            collect_used_block(then, used);
+            if let Some(e) = els {
+                collect_used_stmt(e, used);
+            }
+        }
+        Stmt::Block(b) => collect_used_block(b, used),
+        Stmt::For {
+            init,
+            cond,
+            post,
+            range,
+            body,
+            ..
+        } => {
+            if let Some(i) = init {
+                collect_used_stmt(i, used);
+            }
+            if let Some(c) = cond {
+                collect_used_expr(c, used);
+            }
+            if let Some(p) = post {
+                collect_used_stmt(p, used);
+            }
+            if let Some(r) = range {
+                collect_used_expr(&r.expr, used);
+            }
+            collect_used_block(body, used);
+        }
+        Stmt::Switch { tag, cases, .. } => {
+            if let Some(t) = tag {
+                collect_used_expr(t, used);
+            }
+            for c in cases {
+                for e in &c.exprs {
+                    collect_used_expr(e, used);
+                }
+                for s in &c.body {
+                    collect_used_stmt(s, used);
+                }
+            }
+        }
+        Stmt::Select { cases, .. } => {
+            for c in cases {
+                if let Some(comm) = &c.comm {
+                    collect_used_stmt(comm, used);
+                }
+                for s in &c.body {
+                    collect_used_stmt(s, used);
+                }
+            }
+        }
+        Stmt::Branch { .. } | Stmt::Empty => {}
+    }
+}
+
+fn collect_used_expr(e: &Expr, used: &mut HashSet<String>) {
+    match e {
+        Expr::Ident(_, n) => {
+            used.insert(n.clone());
+        }
+        Expr::Int(..) | Expr::Float(..) | Expr::Str(..) | Expr::Rune(..) => {}
+        Expr::Selector(base, _) => collect_used_expr(base, used),
+        Expr::Call { func, args, .. } => {
+            collect_used_expr(func, used);
+            for a in args {
+                collect_used_expr(a, used);
+            }
+        }
+        Expr::Index(b, i) => {
+            collect_used_expr(b, used);
+            collect_used_expr(i, used);
+        }
+        Expr::SliceExpr { expr, low, high } => {
+            collect_used_expr(expr, used);
+            if let Some(l) = low {
+                collect_used_expr(l, used);
+            }
+            if let Some(h) = high {
+                collect_used_expr(h, used);
+            }
+        }
+        Expr::Unary { expr, .. } => collect_used_expr(expr, used),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_used_expr(lhs, used);
+            collect_used_expr(rhs, used);
+        }
+        Expr::FuncLit { sig, body, .. } => {
+            // Nested closure: only its own free variables escape to us.
+            for f in free_idents(sig, body) {
+                used.insert(f);
+            }
+        }
+        Expr::CompositeLit { elems, .. } => {
+            for (k, v) in elems {
+                if let Some(k) = k {
+                    collect_used_expr(k, used);
+                }
+                collect_used_expr(v, used);
+            }
+        }
+        Expr::Paren(inner) => collect_used_expr(inner, used),
+        Expr::TypeExpr(_) => {}
+    }
+}
+
+/// Names assigned (`=`, `:=`) at any depth outside goroutine closures.
+fn assigned_names_outside_closures(block: &Block) -> HashSet<String> {
+    let mut names = HashSet::new();
+    fn walk(b: &Block, names: &mut HashSet<String>) {
+        for s in &b.stmts {
+            walk_stmt(s, names);
+        }
+    }
+    fn walk_stmt(s: &Stmt, names: &mut HashSet<String>) {
+        match s {
+            Stmt::Define { names: ns, .. } => names.extend(ns.iter().cloned()),
+            Stmt::Assign { lhs, .. } => {
+                for e in lhs {
+                    if let Some(n) = e.as_ident() {
+                        names.insert(n.to_string());
+                    }
+                }
+            }
+            Stmt::If { init, then, els, .. } => {
+                if let Some(i) = init {
+                    walk_stmt(i, names);
+                }
+                walk(then, names);
+                if let Some(e) = els {
+                    walk_stmt(e, names);
+                }
+            }
+            Stmt::Block(b) => walk(b, names),
+            Stmt::For { init, body, .. } => {
+                if let Some(i) = init {
+                    walk_stmt(i, names);
+                }
+                walk(body, names);
+            }
+            Stmt::Go { .. } => {} // closures excluded
+            Stmt::Defer { .. } => {}
+            Stmt::Switch { cases, .. } => {
+                for c in cases {
+                    for s in &c.body {
+                        walk_stmt(s, names);
+                    }
+                }
+            }
+            Stmt::Select { cases, .. } => {
+                for c in cases {
+                    if let Some(comm) = &c.comm {
+                        walk_stmt(comm, names);
+                    }
+                    for s in &c.body {
+                        walk_stmt(s, names);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(block, &mut names);
+    names
+}
+
+/// Does the block (at any depth) call a method with this name?
+fn calls_method(block: &Block, method: &str) -> bool {
+    let mut found = false;
+    let mut check = |e: &Expr| {
+        if let Expr::Call { func, .. } = e {
+            if let Expr::Selector(_, m) = func.as_ref() {
+                if m == method {
+                    found = true;
+                }
+            }
+        }
+    };
+    walk_exprs(block, &mut check);
+    found
+}
+
+/// Base identifiers of indexed assignments `base[...] = ...` at any depth.
+fn indexed_assign_bases(block: &Block) -> Vec<(String, Pos)> {
+    let mut out = Vec::new();
+    fn walk(b: &Block, out: &mut Vec<(String, Pos)>) {
+        for s in &b.stmts {
+            walk_stmt(s, out);
+        }
+    }
+    fn walk_stmt(s: &Stmt, out: &mut Vec<(String, Pos)>) {
+        match s {
+            Stmt::Assign { pos, lhs, .. } => {
+                for e in lhs {
+                    if let Expr::Index(base, _) = e {
+                        if let Some(n) = base.as_ident() {
+                            out.push((n.to_string(), *pos));
+                        }
+                    }
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                walk(then, out);
+                if let Some(e) = els {
+                    walk_stmt(e, out);
+                }
+            }
+            Stmt::Block(b) => walk(b, out),
+            Stmt::For { body, .. } => walk(body, out),
+            Stmt::Switch { cases, .. } => {
+                for c in cases {
+                    for s in &c.body {
+                        walk_stmt(s, out);
+                    }
+                }
+            }
+            Stmt::Select { cases, .. } => {
+                for c in cases {
+                    for s in &c.body {
+                        walk_stmt(s, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(block, &mut out);
+    out
+}
+
+/// Applies `f` to every expression in the block, at any depth (closures
+/// included).
+fn walk_exprs(block: &Block, f: &mut (dyn FnMut(&Expr) + '_)) {
+    for s in &block.stmts {
+        walk_exprs_stmt(s, f);
+    }
+}
+
+fn walk_exprs_stmt_dyn(s: &Stmt, f: &mut (dyn FnMut(&Expr) + '_)) {
+    walk_exprs_stmt(s, f);
+}
+
+fn walk_exprs_stmt(s: &Stmt, f: &mut (dyn FnMut(&Expr) + '_)) {
+    let on_expr = |e: &Expr, f: &mut dyn FnMut(&Expr)| walk_exprs_expr(e, f);
+    match s {
+        Stmt::Decl(v) => {
+            for e in &v.values {
+                on_expr(e, f);
+            }
+        }
+        Stmt::Define { values, .. } => {
+            for e in values {
+                on_expr(e, f);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            for e in lhs.iter().chain(rhs.iter()) {
+                on_expr(e, f);
+            }
+        }
+        Stmt::IncDec { expr, .. } => on_expr(expr, f),
+        Stmt::Expr(e) => on_expr(e, f),
+        Stmt::Send { chan, value, .. } => {
+            on_expr(chan, f);
+            on_expr(value, f);
+        }
+        Stmt::Go { call, .. } | Stmt::Defer { call, .. } => on_expr(call, f),
+        Stmt::Return { values, .. } => {
+            for e in values {
+                on_expr(e, f);
+            }
+        }
+        Stmt::If {
+            init,
+            cond,
+            then,
+            els,
+            ..
+        } => {
+            if let Some(i) = init {
+                walk_exprs_stmt(i, f);
+            }
+            on_expr(cond, f);
+            walk_exprs(then, f);
+            if let Some(e) = els {
+                walk_exprs_stmt(e, f);
+            }
+        }
+        Stmt::Block(b) => walk_exprs(b, f),
+        Stmt::For {
+            init,
+            cond,
+            post,
+            range,
+            body,
+            ..
+        } => {
+            if let Some(i) = init {
+                walk_exprs_stmt(i, f);
+            }
+            if let Some(c) = cond {
+                on_expr(c, f);
+            }
+            if let Some(p) = post {
+                walk_exprs_stmt(p, f);
+            }
+            if let Some(r) = range {
+                on_expr(&r.expr, f);
+            }
+            walk_exprs(body, f);
+        }
+        Stmt::Switch { tag, cases, .. } => {
+            if let Some(t) = tag {
+                on_expr(t, f);
+            }
+            for c in cases {
+                for e in &c.exprs {
+                    on_expr(e, f);
+                }
+                for s in &c.body {
+                    walk_exprs_stmt(s, f);
+                }
+            }
+        }
+        Stmt::Select { cases, .. } => {
+            for c in cases {
+                if let Some(comm) = &c.comm {
+                    walk_exprs_stmt(comm, f);
+                }
+                for s in &c.body {
+                    walk_exprs_stmt(s, f);
+                }
+            }
+        }
+        Stmt::Branch { .. } | Stmt::Empty => {}
+    }
+}
+
+fn walk_exprs_expr(e: &Expr, f: &mut (dyn FnMut(&Expr) + '_)) {
+    f(e);
+    match e {
+        Expr::Selector(base, _) => walk_exprs_expr(base, f),
+        Expr::Call { func, args, .. } => {
+            walk_exprs_expr(func, f);
+            for a in args {
+                walk_exprs_expr(a, f);
+            }
+        }
+        Expr::Index(b, i) => {
+            walk_exprs_expr(b, f);
+            walk_exprs_expr(i, f);
+        }
+        Expr::SliceExpr { expr, low, high } => {
+            walk_exprs_expr(expr, f);
+            if let Some(l) = low {
+                walk_exprs_expr(l, f);
+            }
+            if let Some(h) = high {
+                walk_exprs_expr(h, f);
+            }
+        }
+        Expr::Unary { expr, .. } => walk_exprs_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_exprs_expr(lhs, f);
+            walk_exprs_expr(rhs, f);
+        }
+        Expr::FuncLit { body, .. } => {
+            for st in &body.stmts {
+                walk_exprs_stmt_dyn(st, f);
+            }
+        }
+        Expr::CompositeLit { elems, .. } => {
+            for (k, v) in elems {
+                if let Some(k) = k {
+                    walk_exprs_expr(k, f);
+                }
+                walk_exprs_expr(v, f);
+            }
+        }
+        Expr::Paren(inner) => walk_exprs_expr(inner, f),
+        _ => {}
+    }
+}
+
+/// Scans each block for writes between `x.RLock()` and `x.RUnlock()`.
+/// Handles both the sequential form and the `defer x.RUnlock()` form (where
+/// the rest of the block is the critical section).
+fn lint_rlock_writes(block: &Block, func: &str, findings: &mut Vec<Finding>) {
+    scan_block_rlock(block, func, findings);
+}
+
+fn scan_block_rlock(block: &Block, func: &str, findings: &mut Vec<Finding>) {
+    let mut rlocked: Option<String> = None;
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Expr(Expr::Call { func: callee, .. }) => {
+                if let Expr::Selector(base, m) = callee.as_ref() {
+                    if m == "RLock" {
+                        rlocked = base.dotted();
+                    } else if m == "RUnlock" {
+                        rlocked = None;
+                    }
+                }
+            }
+            Stmt::Defer { call, .. } => {
+                if let Expr::Call { func: callee, .. } = call {
+                    if let Expr::Selector(_, m) = callee.as_ref() {
+                        if m == "RUnlock" {
+                            // defer RUnlock: the section stays read-locked to
+                            // the end of the block; keep `rlocked` as-is.
+                        }
+                    }
+                }
+            }
+            Stmt::Assign { pos, lhs, .. } if rlocked.is_some() => {
+                for e in lhs {
+                    if matches!(e, Expr::Selector(..) | Expr::Index(..) | Expr::Ident(..)) {
+                        findings.push(Finding {
+                            rule: Rule::WriteUnderRLock,
+                            pos: *pos,
+                            func: func.to_string(),
+                            message: format!(
+                                "assignment inside a section protected only by \
+                                 {}.RLock(); concurrent readers may also write",
+                                rlocked.as_deref().unwrap_or("?")
+                            ),
+                        });
+                    }
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                if rlocked.is_some() {
+                    // Writes inside a conditional within the critical
+                    // section (exactly Listing 11's shape).
+                    scan_nested_rlock(then, rlocked.as_deref(), func, findings);
+                    if let Some(e) = els {
+                        if let Stmt::Block(b) = e.as_ref() {
+                            scan_nested_rlock(b, rlocked.as_deref(), func, findings);
+                        }
+                    }
+                } else {
+                    scan_block_rlock(then, func, findings);
+                    if let Some(e) = els {
+                        if let Stmt::Block(b) = e.as_ref() {
+                            scan_block_rlock(b, func, findings);
+                        }
+                    }
+                }
+            }
+            Stmt::Block(b) => scan_block_rlock(b, func, findings),
+            Stmt::For { body, .. } => scan_block_rlock(body, func, findings),
+            _ => {}
+        }
+    }
+}
+
+fn scan_nested_rlock(
+    block: &Block,
+    rlocked: Option<&str>,
+    func: &str,
+    findings: &mut Vec<Finding>,
+) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Assign { pos, lhs, .. } => {
+                for e in lhs {
+                    if matches!(e, Expr::Selector(..) | Expr::Index(..) | Expr::Ident(..)) {
+                        findings.push(Finding {
+                            rule: Rule::WriteUnderRLock,
+                            pos: *pos,
+                            func: func.to_string(),
+                            message: format!(
+                                "assignment inside a section protected only by \
+                                 {}.RLock(); concurrent readers may also write",
+                                rlocked.unwrap_or("?")
+                            ),
+                        });
+                    }
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                scan_nested_rlock(then, rlocked, func, findings);
+                if let Some(e) = els {
+                    if let Stmt::Block(b) = e.as_ref() {
+                        scan_nested_rlock(b, rlocked, func, findings);
+                    }
+                }
+            }
+            Stmt::Block(b) => scan_nested_rlock(b, rlocked, func, findings),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Tokens and source positions for Go-lite.
+
+use std::fmt;
+
+/// A 1-based line/column source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (byte-oriented).
+    pub col: u32,
+}
+
+impl Pos {
+    /// The start of a file.
+    pub const START: Pos = Pos { line: 1, col: 1 };
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Go keywords recognized by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Break,
+    Case,
+    Chan,
+    Const,
+    Continue,
+    Default,
+    Defer,
+    Else,
+    Fallthrough,
+    For,
+    Func,
+    Go,
+    Goto,
+    If,
+    Import,
+    Interface,
+    Map,
+    Package,
+    Range,
+    Return,
+    Select,
+    Struct,
+    Switch,
+    Type,
+    Var,
+}
+
+impl Keyword {
+    /// Looks up an identifier as a keyword.
+    #[must_use]
+    pub fn lookup(ident: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match ident {
+            "break" => Break,
+            "case" => Case,
+            "chan" => Chan,
+            "const" => Const,
+            "continue" => Continue,
+            "default" => Default,
+            "defer" => Defer,
+            "else" => Else,
+            "fallthrough" => Fallthrough,
+            "for" => For,
+            "func" => Func,
+            "go" => Go,
+            "goto" => Goto,
+            "if" => If,
+            "import" => Import,
+            "interface" => Interface,
+            "map" => Map,
+            "package" => Package,
+            "range" => Range,
+            "return" => Return,
+            "select" => Select,
+            "struct" => Struct,
+            "switch" => Switch,
+            "type" => Type,
+            "var" => Var,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Break => "break",
+            Case => "case",
+            Chan => "chan",
+            Const => "const",
+            Continue => "continue",
+            Default => "default",
+            Defer => "defer",
+            Else => "else",
+            Fallthrough => "fallthrough",
+            For => "for",
+            Func => "func",
+            Go => "go",
+            Goto => "goto",
+            If => "if",
+            Import => "import",
+            Interface => "interface",
+            Map => "map",
+            Package => "package",
+            Range => "range",
+            Return => "return",
+            Select => "select",
+            Struct => "struct",
+            Switch => "switch",
+            Type => "type",
+            Var => "var",
+        }
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Keyword),
+    /// Integer literal (value kept as text; Table 1 does not need values).
+    Int(String),
+    /// Float literal.
+    Float(String),
+    /// Interpreted or raw string literal (unquoted content).
+    Str(String),
+    /// Rune literal (unquoted content).
+    Rune(String),
+
+    // Operators and delimiters.
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&^`
+    AmpCaret,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `<-`
+    Arrow,
+    /// `++`
+    Inc,
+    /// `--`
+    Dec,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Assign,
+    /// `:=`
+    Define,
+    /// `!`
+    Not,
+    /// `...`
+    Ellipsis,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;` (explicit or inserted)
+    Semi,
+    /// `:`
+    Colon,
+    /// Compound assignment, e.g. `+=` (operator spelled out).
+    OpAssign(&'static str),
+    /// End of file.
+    Eof,
+}
+
+impl Tok {
+    /// True when automatic semicolon insertion applies after this token
+    /// (Go spec: identifiers, literals, `break`/`continue`/`fallthrough`/
+    /// `return`, `++`/`--`, and closing delimiters).
+    #[must_use]
+    pub fn triggers_asi(&self) -> bool {
+        matches!(
+            self,
+            Tok::Ident(_)
+                | Tok::Int(_)
+                | Tok::Float(_)
+                | Tok::Str(_)
+                | Tok::Rune(_)
+                | Tok::Kw(Keyword::Break)
+                | Tok::Kw(Keyword::Continue)
+                | Tok::Kw(Keyword::Fallthrough)
+                | Tok::Kw(Keyword::Return)
+                | Tok::Inc
+                | Tok::Dec
+                | Tok::RParen
+                | Tok::RBracket
+                | Tok::RBrace
+        )
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Kw(k) => write!(f, "{}", k.as_str()),
+            Tok::Int(s) | Tok::Float(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Rune(s) => write!(f, "'{s}'"),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Star => f.write_str("*"),
+            Tok::Slash => f.write_str("/"),
+            Tok::Percent => f.write_str("%"),
+            Tok::Amp => f.write_str("&"),
+            Tok::Pipe => f.write_str("|"),
+            Tok::Caret => f.write_str("^"),
+            Tok::Shl => f.write_str("<<"),
+            Tok::Shr => f.write_str(">>"),
+            Tok::AmpCaret => f.write_str("&^"),
+            Tok::AndAnd => f.write_str("&&"),
+            Tok::OrOr => f.write_str("||"),
+            Tok::Arrow => f.write_str("<-"),
+            Tok::Inc => f.write_str("++"),
+            Tok::Dec => f.write_str("--"),
+            Tok::EqEq => f.write_str("=="),
+            Tok::NotEq => f.write_str("!="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
+            Tok::Assign => f.write_str("="),
+            Tok::Define => f.write_str(":="),
+            Tok::Not => f.write_str("!"),
+            Tok::Ellipsis => f.write_str("..."),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::Comma => f.write_str(","),
+            Tok::Dot => f.write_str("."),
+            Tok::Semi => f.write_str(";"),
+            Tok::Colon => f.write_str(":"),
+            Tok::OpAssign(op) => write!(f, "{op}"),
+            Tok::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Start position.
+    pub pos: Pos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [Keyword::Go, Keyword::Defer, Keyword::Select, Keyword::Chan] {
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::lookup("goroutine"), None);
+    }
+
+    #[test]
+    fn asi_trigger_set() {
+        assert!(Tok::Ident("x".into()).triggers_asi());
+        assert!(Tok::Int("5".into()).triggers_asi());
+        assert!(Tok::RParen.triggers_asi());
+        assert!(Tok::Kw(Keyword::Return).triggers_asi());
+        assert!(!Tok::Kw(Keyword::If).triggers_asi());
+        assert!(!Tok::Comma.triggers_asi());
+        assert!(!Tok::Arrow.triggers_asi());
+    }
+
+    #[test]
+    fn display_is_spelling() {
+        assert_eq!(Tok::Arrow.to_string(), "<-");
+        assert_eq!(Tok::Define.to_string(), ":=");
+        assert_eq!(Tok::Kw(Keyword::Func).to_string(), "func");
+        assert_eq!(Pos { line: 3, col: 7 }.to_string(), "3:7");
+    }
+}

@@ -1,0 +1,436 @@
+//! Grammar-coverage tests for the Go-lite parser: every supported
+//! construct, the classic ambiguities, and error diagnostics with
+//! positions.
+
+use grs_golite::ast::*;
+use grs_golite::parser::{parse_expr, parse_file};
+
+fn parse_ok(src: &str) -> File {
+    parse_file(src).unwrap_or_else(|e| panic!("parse error: {e}\nsource:\n{src}"))
+}
+
+fn first_func(file: &File) -> &FuncDecl {
+    file.decls
+        .iter()
+        .find_map(|d| match d {
+            Decl::Func(f) => Some(f),
+            _ => None,
+        })
+        .expect("a function")
+}
+
+#[test]
+fn package_and_imports() {
+    let f = parse_ok(
+        r#"
+package server
+
+import "sync"
+import ctx "context"
+import (
+    "fmt"
+    "strings"
+)
+"#,
+    );
+    assert_eq!(f.package, "server");
+    assert_eq!(f.imports, vec!["sync", "context", "fmt", "strings"]);
+}
+
+#[test]
+fn declarations_all_forms() {
+    let f = parse_ok(
+        r#"
+package p
+
+var a int
+var b, c string
+var d = 5
+var (
+    e int
+    g = "hi"
+)
+const limit = 10
+type ID int
+type pair struct {
+    x, y int
+    tag  string
+}
+type handler func(int) error
+type reader interface {
+    Read(p []byte) (int, error)
+}
+"#,
+    );
+    assert_eq!(f.decls.len(), 9);
+    let struct_decl = f
+        .decls
+        .iter()
+        .find_map(|d| match d {
+            Decl::Type(t) if t.name == "pair" => Some(t),
+            _ => None,
+        })
+        .expect("pair");
+    let Type::Struct(fields) = &struct_decl.ty else {
+        panic!("not a struct");
+    };
+    assert_eq!(fields.len(), 3, "x, y share a type; tag separate");
+}
+
+#[test]
+fn signatures_and_receivers() {
+    let f = parse_ok(
+        r#"
+package p
+
+func plain() {}
+func args(a int, b, c string, v ...int) {}
+func results() (int, error) { return 0, nil }
+func named() (n int, err error) { return }
+func (s *Server) Method(x int) int { return x }
+func (s Server) ValueMethod() {}
+"#,
+    );
+    let funcs: Vec<&FuncDecl> = f
+        .decls
+        .iter()
+        .filter_map(|d| match d {
+            Decl::Func(fd) => Some(fd),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(funcs.len(), 6);
+    assert_eq!(funcs[1].sig.params.len(), 4);
+    assert_eq!(funcs[1].sig.params[1].ty, funcs[1].sig.params[2].ty);
+    assert!(matches!(funcs[1].sig.params[3].ty, Type::Slice(_)));
+    assert_eq!(funcs[2].sig.results.len(), 2);
+    assert!(funcs[3].sig.has_named_results());
+    let m = funcs[4].receiver.as_ref().expect("receiver");
+    assert!(matches!(m.ty, Type::Pointer(_)));
+    assert!(matches!(
+        funcs[5].receiver.as_ref().expect("value receiver").ty,
+        Type::Name(_)
+    ));
+}
+
+#[test]
+fn types_all_forms() {
+    let f = parse_ok(
+        r#"
+package p
+
+var a *int
+var b []string
+var c [4]byte
+var d [N]byte
+var e map[string][]int
+var f chan int
+var g chan<- int
+var h <-chan int
+var i func(int, string) (bool, error)
+var j sync.Mutex
+"#,
+    );
+    let tys: Vec<&Type> = f
+        .decls
+        .iter()
+        .filter_map(|d| match d {
+            Decl::Var(v) => v.ty.as_ref(),
+            _ => None,
+        })
+        .collect();
+    assert!(matches!(tys[0], Type::Pointer(_)));
+    assert!(matches!(tys[1], Type::Slice(_)));
+    assert!(matches!(tys[2], Type::Array(s, _) if s == "4"));
+    assert!(matches!(tys[3], Type::Array(s, _) if s == "N"));
+    assert!(matches!(tys[4], Type::Map(_, _)));
+    assert!(matches!(tys[5], Type::Chan(ChanDir::Both, _)));
+    assert!(matches!(tys[6], Type::Chan(ChanDir::Send, _)));
+    assert!(matches!(tys[7], Type::Chan(ChanDir::Recv, _)));
+    assert!(matches!(tys[8], Type::Func(_)));
+    assert!(matches!(tys[9], Type::Name(n) if n == "sync.Mutex"));
+}
+
+#[test]
+fn statement_forms() {
+    let f = parse_ok(
+        r#"
+package p
+
+func f(ch chan int, m map[string]int) {
+    x := 1
+    x, y := 2, 3
+    x = y
+    x += y
+    x++
+    y--
+    ch <- x
+    v := <-ch
+    go g(v)
+    defer h()
+    var local [2]int
+    _ = local
+    if x > 0 {
+        x = 0
+    } else if y > 0 {
+        y = 0
+    } else {
+        x = 1
+    }
+    if err := try(); err != nil {
+        return
+    }
+    for {
+        break
+    }
+    for x < 10 {
+        x++
+    }
+    for i := 0; i < 3; i++ {
+        continue
+    }
+    for k, v := range m {
+        _ = k
+        _ = v
+    }
+    for range ch {
+        break
+    }
+    switch x {
+    case 1, 2:
+        x = 0
+    default:
+        x = 9
+    }
+    switch {
+    case x > 0:
+    }
+    select {
+    case v := <-ch:
+        _ = v
+    case ch <- 1:
+    default:
+    }
+    {
+        scoped := 1
+        _ = scoped
+    }
+    return
+}
+"#,
+    );
+    let body = first_func(&f).body.as_ref().expect("body");
+    assert!(body.stmts.len() >= 20);
+}
+
+#[test]
+fn expressions_and_precedence() {
+    let e = parse_expr("1 + 2*3 - 4%3").expect("parses");
+    // (1 + (2*3)) - (4%3)
+    let Expr::Binary { op: "-", lhs, .. } = &e else {
+        panic!("top is -: {e:?}");
+    };
+    assert!(matches!(**lhs, Expr::Binary { op: "+", .. }));
+
+    let e = parse_expr("a && b || c == d").expect("parses");
+    let Expr::Binary { op: "||", .. } = &e else {
+        panic!("|| binds loosest: {e:?}");
+    };
+
+    let e = parse_expr("!ok && -x < 3").expect("parses");
+    assert!(matches!(e, Expr::Binary { op: "&&", .. }));
+
+    let e = parse_expr("f(a)(b)[c].d").expect("parses");
+    assert!(matches!(e, Expr::Selector(..)));
+}
+
+#[test]
+fn composite_literals_and_calls() {
+    let f = parse_ok(
+        r#"
+package p
+
+func f() {
+    s := []int{1, 2, 3}
+    m := map[string]int{"a": 1, "b": 2}
+    p := Point{x: 1, y: 2}
+    q := pkg.Remote{a: 1}
+    n := nested{inner: []int{1}, pairs: map[int]int{1: 2}}
+    c := make(chan int, 8)
+    mm := make(map[string]error)
+    sl := make([]int, 4)
+    b := []byte("text")
+    _ = s
+    _ = m
+    _ = p
+    _ = q
+    _ = n
+    _ = c
+    _ = mm
+    _ = sl
+    _ = b
+}
+"#,
+    );
+    let body = first_func(&f).body.as_ref().expect("body");
+    assert_eq!(body.stmts.len(), 18);
+}
+
+#[test]
+fn composite_literal_vs_block_ambiguity() {
+    // `if x == T{}` must NOT parse `T{}` as a composite literal in the
+    // header; parenthesized it must.
+    let f = parse_ok(
+        r#"
+package p
+
+func f(x Point) bool {
+    if x == (Point{}) {
+        return true
+    }
+    for i := zero(); i < max; i++ {
+    }
+    return false
+}
+"#,
+    );
+    assert_eq!(first_func(&f).name, "f");
+    // A bare `T{}` in a header parses as `(x == Point) {block}` — the `{}`
+    // becomes the then-block, exactly gc's tokenization of the ambiguity.
+    let g = parse_ok("package p\nfunc f(x Point) bool { if x == Point { } \nreturn false }");
+    let body = first_func(&g).body.as_ref().expect("body");
+    let Stmt::If { cond, .. } = &body.stmts[0] else {
+        panic!("if statement");
+    };
+    assert!(
+        matches!(cond, Expr::Binary { op: "==", rhs, .. }
+            if matches!(**rhs, Expr::Ident(..))),
+        "Point stays a bare identifier in the header: {cond:?}"
+    );
+}
+
+#[test]
+fn closures_and_goroutines() {
+    let f = parse_ok(
+        r#"
+package p
+
+func f(jobs []int) {
+    total := 0
+    add := func(n int) { total = total + n }
+    for _, j := range jobs {
+        go func(j int) {
+            add(j)
+        }(j)
+    }
+    go func() { add(1) }()
+    defer func() { total = 0 }()
+}
+"#,
+    );
+    let body = first_func(&f).body.as_ref().expect("body");
+    let go_count = body
+        .stmts
+        .iter()
+        .filter(|s| matches!(s, Stmt::For { .. } | Stmt::Go { .. }))
+        .count();
+    assert_eq!(go_count, 2, "range loop + direct go");
+}
+
+#[test]
+fn type_assertions_and_conversions() {
+    parse_ok(
+        r#"
+package p
+
+func f(v interface{}) int {
+    n := v.(int)
+    s := v.(string)
+    _ = s
+    t := v.(type2)
+    _ = t
+    return n
+}
+"#,
+    );
+}
+
+#[test]
+fn slices_of_slices_and_slicing() {
+    let f = parse_ok(
+        r#"
+package p
+
+func f(grid [][]int) []int {
+    row := grid[0]
+    part := row[1:3]
+    head := row[:2]
+    tail := row[2:]
+    all := row[:]
+    _ = part
+    _ = head
+    _ = tail
+    _ = all
+    return row
+}
+"#,
+    );
+    assert_eq!(first_func(&f).name, "f");
+}
+
+#[test]
+fn error_positions_are_reported() {
+    let err = parse_file("package p\nfunc f() {\n    x := := 2\n}\n").expect_err("bad");
+    assert_eq!(err.pos.line, 3);
+    let err = parse_file("package p\nfunc {").expect_err("bad");
+    assert_eq!(err.pos.line, 2);
+    let err = parse_file("func f() {}").expect_err("no package clause");
+    assert_eq!(err.pos.line, 1);
+}
+
+#[test]
+fn unterminated_constructs_error_cleanly() {
+    assert!(parse_file("package p\nfunc f() {").is_err());
+    assert!(parse_file("package p\nvar s = \"unterminated").is_err());
+    assert!(parse_file("package p\n/* unterminated").is_err());
+    assert!(parse_file("package p\ntype i interface {").is_err());
+}
+
+#[test]
+fn grouped_type_declarations() {
+    let f = parse_ok(
+        r#"
+package p
+
+type (
+    A int
+    B string
+)
+"#,
+    );
+    // The group parses (first member kept, rest validated).
+    assert!(matches!(&f.decls[0], Decl::Type(t) if t.name == "A"));
+}
+
+#[test]
+fn struct_tags_and_embedded_fields() {
+    let f = parse_ok(
+        r#"
+package p
+
+type Entity struct {
+    Base
+    Name string `json:"name"`
+    Age  int    `json:"age"`
+}
+"#,
+    );
+    let Decl::Type(t) = &f.decls[0] else {
+        panic!("type decl");
+    };
+    let Type::Struct(fields) = &t.ty else {
+        panic!("struct");
+    };
+    assert_eq!(fields.len(), 3);
+    assert!(fields[0].name.is_empty(), "embedded field");
+}

@@ -1,0 +1,124 @@
+//! Property tests for the Go-lite frontend: the lexer/parser never panic,
+//! generated programs round-trip through the scanner, and ASI behaves.
+
+use grs_golite::lexer::tokenize;
+use grs_golite::parser::parse_file;
+use grs_golite::scan::scan_source;
+use grs_golite::token::Tok;
+use proptest::prelude::*;
+
+/// Replaces every `Pos { line: _, col: _ }` in a debug rendering so two
+/// ASTs can be compared structurally.
+fn scrub_positions(file: &grs_golite::ast::File) -> String {
+    let mut out = String::new();
+    let rendered = format!("{file:?}");
+    let mut rest = rendered.as_str();
+    while let Some(i) = rest.find("Pos {") {
+        out.push_str(&rest[..i]);
+        out.push_str("Pos{..}");
+        match rest[i..].find('}') {
+            Some(j) => rest = &rest[i + j + 1..],
+            None => {
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+proptest! {
+    /// The lexer is total: any byte soup either tokenizes or errors — it
+    /// never panics, and positions stay in range.
+    #[test]
+    fn lexer_never_panics(src in "[ -~\n\t]{0,200}") {
+        if let Ok(tokens) = tokenize(&src) {
+            let max_line = src.lines().count() as u32 + 1;
+            for t in &tokens {
+                prop_assert!(t.pos.line <= max_line + 1);
+            }
+            prop_assert_eq!(tokens.last().map(|t| t.tok.clone()), Some(Tok::Eof));
+        }
+    }
+
+    /// The parser is total over arbitrary token soup.
+    #[test]
+    fn parser_never_panics(src in "[ -~\n]{0,300}") {
+        let _ = parse_file(&src);
+    }
+
+    /// Identifier-shaped programs built from fragments parse and scan
+    /// without panicking.
+    #[test]
+    fn assembled_functions_parse(
+        names in prop::collection::vec(
+            // Any lowercase identifier that is not a Go keyword (proptest
+            // found `go := 5`, which the parser rightly rejects).
+            "[a-z][a-z0-9]{0,6}".prop_filter("not a keyword", |n| {
+                grs_golite::token::Keyword::lookup(n).is_none()
+            }),
+            1..5,
+        ),
+        ints in prop::collection::vec(0i64..1000, 1..5),
+    ) {
+        let mut body = String::from("package p\n\nfunc f(x int) int {\n");
+        for (n, v) in names.iter().zip(ints.iter()) {
+            body.push_str(&format!("    {n} := {v}\n    x = x + {n}\n"));
+        }
+        body.push_str("    return x\n}\n");
+        let file = parse_file(&body).expect("assembled program parses");
+        let counts = scan_source(&body).expect("scans");
+        prop_assert_eq!(counts.func_decls, 1);
+        prop_assert_eq!(file.decls.len(), 1);
+    }
+
+    /// ASI: a newline after a complete expression statement terminates it;
+    /// the same statements joined by explicit semicolons parse identically.
+    #[test]
+    fn asi_matches_explicit_semicolons(
+        vals in prop::collection::vec(0i64..100, 1..6),
+    ) {
+        let stmts: Vec<String> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("x{i} := {v}"))
+            .collect();
+        let with_newlines = format!(
+            "package p\nfunc f() {{\n{}\n}}\n",
+            stmts.join("\n")
+        );
+        let with_semis = format!(
+            "package p\nfunc f() {{ {} }}\n",
+            stmts.join("; ")
+        );
+        let a = parse_file(&with_newlines).expect("newline form parses");
+        let b = parse_file(&with_semis).expect("semicolon form parses");
+        // Positions legitimately differ between the layouts; compare the
+        // position-scrubbed structure.
+        prop_assert_eq!(scrub_positions(&a), scrub_positions(&b));
+    }
+
+    /// Scanner counts are additive: scanning two files separately and
+    /// merging equals scanning their concatenation (minus the second
+    /// package clause, which we rename into a comment).
+    #[test]
+    fn scanner_counts_are_additive(goers in 0u8..5, senders in 0u8..5) {
+        let mk = |goers: u8, senders: u8| {
+            let mut s = String::from("package p\nfunc f(ch chan int) {\n");
+            for _ in 0..goers {
+                s.push_str("    go g()\n");
+            }
+            for _ in 0..senders {
+                s.push_str("    ch <- 1\n");
+            }
+            s.push_str("}\nfunc g() {}\n");
+            s
+        };
+        let a = scan_source(&mk(goers, senders)).expect("a");
+        let b = scan_source(&mk(senders, goers)).expect("b");
+        let mut merged = a;
+        merged.merge(&b);
+        prop_assert_eq!(merged.go_statements, u64::from(goers) + u64::from(senders));
+        prop_assert_eq!(merged.chan_sends, u64::from(goers) + u64::from(senders));
+    }
+}

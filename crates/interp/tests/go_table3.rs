@@ -1,0 +1,242 @@
+//! Table 3's language-agnostic shapes as Go source, executed through the
+//! interpreter: missing/partial locking, globals, statement order, and the
+//! parallel-test idiom (§4.8) modeled as concurrently launched subtests.
+
+use grs_detector::{ExploreConfig, Explorer};
+use grs_interp::Interp;
+
+fn explore(src: &str, name: &str) -> grs_detector::ExploreResult {
+    let interp = Interp::from_source(src).unwrap_or_else(|e| panic!("{name}: parse error {e}"));
+    let program = interp.program(name, "main");
+    Explorer::new(ExploreConfig::quick().runs(60)).explore(&program)
+}
+
+fn assert_racy(src: &str, name: &str) {
+    let r = explore(src, name);
+    assert!(r.found_race(), "{name}: no race detected: {:?}", r.sample_outcome);
+}
+
+fn assert_clean(src: &str, name: &str) {
+    let r = explore(src, name);
+    assert!(
+        !r.found_race(),
+        "{name}: false positive {}",
+        r.unique_races[0]
+    );
+    assert_eq!(r.error_runs, 0, "{name}: errors {:?}", r.sample_outcome);
+}
+
+#[test]
+fn partial_locking_go_source() {
+    // The writer locks; the reader forgot — Observation 10's most common
+    // shape.
+    assert_racy(
+        r#"
+package main
+
+var version int
+var mu sync.Mutex
+
+func setConfig(v int) {
+    mu.Lock()
+    version = v
+    mu.Unlock()
+}
+
+func getConfig() int {
+    return version // no lock!
+}
+
+func main() {
+    done := make(chan bool, 1)
+    go func() {
+        setConfig(2)
+        done <- true
+    }()
+    _ = getConfig()
+    <-done
+}
+"#,
+        "partial_locking_go",
+    );
+}
+
+#[test]
+fn consistent_locking_go_source_is_clean() {
+    assert_clean(
+        r#"
+package main
+
+var version int
+var mu sync.Mutex
+
+func setConfig(v int) {
+    mu.Lock()
+    version = v
+    mu.Unlock()
+}
+
+func getConfig() int {
+    mu.Lock()
+    v := version
+    mu.Unlock()
+    return v
+}
+
+func main() {
+    done := make(chan bool, 1)
+    go func() {
+        setConfig(2)
+        done <- true
+    }()
+    _ = getConfig()
+    <-done
+}
+"#,
+        "consistent_locking_go",
+    );
+}
+
+#[test]
+fn global_counter_go_source() {
+    assert_racy(
+        r#"
+package main
+
+var requestCount int
+
+func handle() {
+    requestCount = requestCount + 1
+}
+
+func main() {
+    done := make(chan bool, 3)
+    for i := 0; i < 3; i++ {
+        go func() {
+            handle()
+            done <- true
+        }()
+    }
+    <-done
+    <-done
+    <-done
+}
+"#,
+        "global_counter_go",
+    );
+}
+
+#[test]
+fn statement_order_go_source() {
+    assert_racy(
+        r#"
+package main
+
+type Poller struct {
+    interval int
+}
+
+func main() {
+    p := Poller{}
+    done := make(chan bool, 1)
+    go func() {
+        _ = p.interval // reads config...
+        done <- true
+    }()
+    p.interval = 30 // ...assigned after the go statement
+    <-done
+}
+"#,
+        "statement_order_go",
+    );
+}
+
+#[test]
+fn parallel_subtests_go_source() {
+    // §4.8: table-driven subtests run "in parallel" (modeled as goroutines)
+    // sharing one fixture.
+    assert_racy(
+        r#"
+package main
+
+type Fixture struct {
+    mode int
+}
+
+func main() {
+    fixture := Fixture{}
+    cases := []int{1, 2, 3}
+    done := make(chan bool, 3)
+    for _, c := range cases {
+        go func(c int) {
+            fixture.mode = c // t.Parallel() subtests share the fixture
+            _ = fixture.mode
+            done <- true
+        }(c)
+    }
+    <-done
+    <-done
+    <-done
+}
+"#,
+        "parallel_subtests_go",
+    );
+}
+
+#[test]
+fn parallel_subtests_private_fixture_clean() {
+    assert_clean(
+        r#"
+package main
+
+type Fixture struct {
+    mode int
+}
+
+func main() {
+    cases := []int{1, 2, 3}
+    done := make(chan bool, 3)
+    for _, c := range cases {
+        go func(c int) {
+            fixture := Fixture{} // each subtest builds its own
+            fixture.mode = c
+            _ = fixture.mode
+            done <- true
+        }(c)
+    }
+    <-done
+    <-done
+    <-done
+}
+"#,
+        "parallel_private_fixture_go",
+    );
+}
+
+#[test]
+fn channel_pipeline_refactor_clean() {
+    // The "fixed by a major refactor" end state: ownership transferred by
+    // messages, no shared accumulator.
+    assert_clean(
+        r#"
+package main
+
+func main() {
+    results := make(chan int, 3)
+    for i := 0; i < 3; i++ {
+        go func(i int) {
+            results <- i * 10
+        }(i)
+    }
+    total := 0
+    for i := 0; i < 3; i++ {
+        total = total + <-results
+    }
+    if total != 30 {
+        panic("bad total")
+    }
+}
+"#,
+        "pipeline_refactor_go",
+    );
+}

@@ -1,0 +1,112 @@
+//! Observation 6: pass-by-value vs pass-by-reference confusion
+//! (Listings 7–8).
+
+use grs_runtime::Program;
+
+use crate::{Category, Pattern};
+
+/// The by-value/by-pointer patterns.
+#[must_use]
+pub fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            id: "mutex_by_value",
+            listing: Some(7),
+            observation: 6,
+            category: Category::PassByValue,
+            description: "a sync.Mutex passed by value gives each goroutine \
+                          its own copy; the critical sections exclude nothing",
+            racy: listing7_racy,
+            fixed: listing7_fixed,
+        },
+        Pattern {
+            id: "accidental_pointer_receiver",
+            listing: None,
+            observation: 6,
+            category: Category::PassByValue,
+            description: "a method meant to work on a value copy accidentally \
+                          takes a pointer receiver, sharing internal state",
+            racy: pointer_receiver_racy,
+            fixed: pointer_receiver_fixed,
+        },
+    ]
+}
+
+/// Listing 7: `go CriticalSection(mutex)` copies the mutex.
+fn listing7_racy() -> Program {
+    Program::new("listing7_mutex_by_value", |ctx| {
+        let _f = ctx.frame("main");
+        let a = ctx.cell("a", 0i64); // the global being "protected"
+        let mutex = ctx.mutex("mutex");
+        for _ in 0..2 {
+            // `go CriticalSection(mutex)` — pass by VALUE: a fresh copy.  ▶
+            let m_copy = mutex.copy_value(ctx);
+            let a = a.clone();
+            ctx.go("CriticalSection", move |ctx| {
+                let _f = ctx.frame("CriticalSection");
+                m_copy.lock(ctx);
+                ctx.update(&a, |v| v + 1); // ◀▶ unprotected in reality
+                m_copy.unlock(ctx);
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+/// Fix: pass `&mutex`; the handle clone aliases the same lock.
+fn listing7_fixed() -> Program {
+    Program::new("listing7_fixed_mutex_pointer", |ctx| {
+        let _f = ctx.frame("main");
+        let a = ctx.cell("a", 0i64);
+        let mutex = ctx.mutex("mutex");
+        let wg = ctx.waitgroup("wg");
+        for _ in 0..2 {
+            wg.add(ctx, 1);
+            // `go CriticalSection(&mutex)` — same lock object.
+            let (m, a, wg) = (mutex.clone(), a.clone(), wg.clone());
+            ctx.go("CriticalSection", move |ctx| {
+                let _f = ctx.frame("CriticalSection");
+                m.lock(ctx);
+                ctx.update(&a, |v| v + 1);
+                m.unlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+    })
+}
+
+/// The converse: a developer intends each goroutine to mutate its own copy
+/// of a struct, but the method has a pointer receiver, so all goroutines
+/// share one instance.
+fn pointer_receiver_racy() -> Program {
+    Program::new("accidental_pointer_receiver", |ctx| {
+        let _f = ctx.frame("RunWorkers");
+        // `func (s *Stats) bump()` — receiver is a pointer: shared state.
+        let shared_counter = ctx.cell("stats.count", 0i64);
+        for _ in 0..3 {
+            let c = shared_counter.clone();
+            ctx.go("worker", move |ctx| {
+                let _f = ctx.frame("Stats.bump");
+                ctx.update(&c, |v| v + 1); // ◀▶ all hit the same instance
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+/// Fix: value receiver — each goroutine gets its own copy.
+fn pointer_receiver_fixed() -> Program {
+    Program::new("value_receiver_fixed", |ctx| {
+        let _f = ctx.frame("RunWorkers");
+        for _ in 0..3 {
+            ctx.go("worker", move |ctx| {
+                let _f = ctx.frame("Stats.bump");
+                // `func (s Stats) bump()` — private copy per goroutine.
+                let own = ctx.cell("stats.count", 0i64);
+                ctx.update(&own, |v| v + 1);
+            });
+        }
+        ctx.sleep(4);
+    })
+}

@@ -1,0 +1,215 @@
+//! Observation 3: races due to transparent capture-by-reference
+//! (Listings 1–4).
+//!
+//! Go closures capture every free variable by reference without any marker
+//! in the syntax; combined with `go func(){...}()` this silently shares the
+//! enclosing function's locals with the new goroutine. In the runtime
+//! model, cloning a [`grs_runtime::Cell`] is exactly that aliasing.
+
+use grs_runtime::Program;
+
+use crate::{Category, Pattern};
+
+/// The Observation-3 patterns.
+#[must_use]
+pub fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            id: "loop_index_capture",
+            listing: Some(1),
+            observation: 3,
+            category: Category::LoopIndexCapture,
+            description: "goroutine reads the loop index variable while the \
+                          loop advances it",
+            racy: listing1_racy,
+            fixed: listing1_fixed,
+        },
+        Pattern {
+            id: "err_capture",
+            listing: Some(2),
+            observation: 3,
+            category: Category::ErrCapture,
+            description: "the idiomatic err variable is redefined in the \
+                          enclosing function while a goroutine assigns it",
+            racy: listing2_racy,
+            fixed: listing2_fixed,
+        },
+        Pattern {
+            id: "named_return_capture",
+            listing: Some(3),
+            observation: 3,
+            category: Category::NamedReturnCapture,
+            description: "`return 20` compiles to a write of the named \
+                          return variable a goroutine is reading",
+            racy: listing3_racy,
+            fixed: listing3_fixed,
+        },
+        Pattern {
+            id: "named_return_defer",
+            listing: Some(4),
+            observation: 3,
+            category: Category::NamedReturnCapture,
+            description: "a deferred function writes the named return err \
+                          after return, racing a goroutine's read",
+            racy: listing4_racy,
+            fixed: listing4_fixed,
+        },
+    ]
+}
+
+/// Listing 1: `for _, job := range jobs { go func() { ProcessJob(job) }() }`.
+fn listing1_racy() -> Program {
+    Program::new("listing1_loop_index_capture", |ctx| {
+        let _f = ctx.frame("ProcessJobs");
+        let jobs = [11i64, 22, 33];
+        // `job` is ONE variable reused across iterations, as in Go.
+        let job = ctx.cell("job", 0i64);
+        for &j in &jobs {
+            ctx.write(&job, j); // ◀ the range loop advances `job`
+            let job = job.clone(); // captured by reference
+            ctx.go("anon-goroutine", move |ctx| {
+                let _f = ctx.frame("ProcessJob");
+                let _v = ctx.read(&job); // ▶ concurrent read of `job`
+            });
+        }
+    })
+}
+
+/// The Go-recommended fix: privatize the loop variable (`job := job`).
+fn listing1_fixed() -> Program {
+    Program::new("listing1_fixed_privatized", |ctx| {
+        let _f = ctx.frame("ProcessJobs");
+        let jobs = [11i64, 22, 33];
+        for &j in &jobs {
+            // `job := job` — each iteration gets its own variable; we pass
+            // the value into the goroutine instead of sharing the cell.
+            ctx.go("anon-goroutine", move |ctx| {
+                let _f = ctx.frame("ProcessJob");
+                let job = ctx.cell("job-private", j);
+                let _v = ctx.read(&job);
+            });
+        }
+    })
+}
+
+/// Listing 2: `x, err := Foo(); go func(){ _, err = Bar(); ... }();
+/// y, err := Baz()` — both writes target the same `err`.
+fn listing2_racy() -> Program {
+    Program::new("listing2_err_capture", |ctx| {
+        let _f = ctx.frame("HandleRequest");
+        let err = ctx.cell("err", 0i64); // 0 = nil
+        // x, err := Foo()
+        ctx.write(&err, 0);
+        let _ = ctx.read(&err); // if err != nil
+        let err_in_goroutine = err.clone();
+        ctx.go("anon-goroutine", move |ctx| {
+            let _f = ctx.frame("AsyncWork");
+            // _, err = Bar()  ◀ write to the captured err
+            ctx.write(&err_in_goroutine, 1);
+            let _ = ctx.read(&err_in_goroutine); // if err != nil
+        });
+        // y, err := Baz()  ▶ concurrent write to the same err
+        ctx.write(&err, 0);
+        let _ = ctx.read(&err);
+    })
+}
+
+/// Fix: the goroutine declares its own error variable (`err2 :=`).
+fn listing2_fixed() -> Program {
+    Program::new("listing2_fixed_fresh_err", |ctx| {
+        let _f = ctx.frame("HandleRequest");
+        let err = ctx.cell("err", 0i64);
+        ctx.write(&err, 0);
+        let _ = ctx.read(&err);
+        ctx.go("anon-goroutine", move |ctx| {
+            let _f = ctx.frame("AsyncWork");
+            let err2 = ctx.cell("err2", 0i64); // fresh variable
+            ctx.write(&err2, 1);
+            let _ = ctx.read(&err2);
+        });
+        ctx.write(&err, 0);
+        let _ = ctx.read(&err);
+    })
+}
+
+/// Listing 3: `func NamedReturnCallee() (result int) { ... go func(){ use
+/// result }(); return 20 }` — the constant return writes `result`.
+fn listing3_racy() -> Program {
+    Program::new("listing3_named_return", |ctx| {
+        let _f = ctx.frame("NamedReturnCallee");
+        let result = ctx.cell("result", 0i64);
+        ctx.write(&result, 10); // result = 10
+        let captured = result.clone();
+        ctx.go("anon-goroutine", move |ctx| {
+            let _f = ctx.frame("UseResult");
+            let _ = ctx.read(&captured); // ◀ read of the named return
+        });
+        // `return 20` — the compiler copies 20 into `result`:
+        ctx.write(&result, 20); // ▶ the hidden write
+    })
+}
+
+/// Fix: snapshot the value before launching the goroutine.
+fn listing3_fixed() -> Program {
+    Program::new("listing3_fixed_snapshot", |ctx| {
+        let _f = ctx.frame("NamedReturnCallee");
+        let result = ctx.cell("result", 0i64);
+        ctx.write(&result, 10);
+        let snapshot = ctx.read(&result); // capture by VALUE
+        ctx.go("anon-goroutine", move |ctx| {
+            let _f = ctx.frame("UseResult");
+            let local = ctx.cell("result-copy", snapshot);
+            let _ = ctx.read(&local);
+        });
+        ctx.write(&result, 20);
+    })
+}
+
+/// Listing 4: `func Redeem(request) (resp Response, err error) {
+/// defer func(){ resp, err = c.Foo(request, err) }(); err = CheckRequest(...);
+/// go func(){ ProcessRequest(request, err != nil) }(); return }`.
+fn listing4_racy() -> Program {
+    Program::new("listing4_named_return_defer", |ctx| {
+        let _f = ctx.frame("Redeem");
+        let err = ctx.cell("err", 0i64);
+        let resp = ctx.cell("resp", 0i64);
+        // err = CheckRequest(request)
+        ctx.write(&err, 0);
+        let err_in_goroutine = err.clone();
+        ctx.go("anon-goroutine", move |ctx| {
+            let _f = ctx.frame("ProcessRequest");
+            // ProcessRequest(request, err != nil)  ◀ read of err
+            let _ = ctx.read(&err_in_goroutine);
+        });
+        // `return` — then the deferred function runs:
+        {
+            let _d = ctx.frame("deferred");
+            // resp, err = c.Foo(request, err)  ▶ write of err after return
+            let _ = ctx.read(&err);
+            ctx.write(&resp, 1);
+            ctx.write(&err, 1);
+        }
+    })
+}
+
+/// Fix: pass the error value into the goroutine instead of the variable.
+fn listing4_fixed() -> Program {
+    Program::new("listing4_fixed_value_arg", |ctx| {
+        let _f = ctx.frame("Redeem");
+        let err = ctx.cell("err", 0i64);
+        let resp = ctx.cell("resp", 0i64);
+        ctx.write(&err, 0);
+        let err_is_nil = ctx.read(&err) == 0; // evaluated BEFORE the go
+        ctx.go("anon-goroutine", move |ctx| {
+            let _f = ctx.frame("ProcessRequest");
+            let local = ctx.cell("errNotNil", i64::from(!err_is_nil));
+            let _ = ctx.read(&local);
+        });
+        {
+            let _d = ctx.frame("deferred");
+            let _ = ctx.read(&err);
+            ctx.write(&resp, 1);
+            ctx.write(&err, 1);
+        }
+    })
+}

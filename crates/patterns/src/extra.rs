@@ -1,0 +1,540 @@
+//! Second-wave pattern variants.
+//!
+//! The paper's categories each cover many manifestations (391 slice races
+//! alone); this module adds further shapes per category beyond the primary
+//! listings, so the mixture-recovery experiments rotate over a more
+//! diverse population and the corpus covers idioms the text describes but
+//! does not list (double-checked locking, shutdown-flag protocols,
+//! map-fixture parallel tests, premature `Done`-style variants).
+
+use grs_runtime::{GoMap, GoSlice, Program};
+
+use crate::{Category, Pattern};
+
+/// The extra pattern variants.
+#[must_use]
+pub fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            id: "range_map_key_capture",
+            listing: None,
+            observation: 3,
+            category: Category::LoopIndexCapture,
+            description: "range-over-map key variable captured by the \
+                          per-entry goroutine",
+            racy: range_map_capture_racy,
+            fixed: range_map_capture_fixed,
+        },
+        Pattern {
+            id: "slice_reader_vs_appender",
+            listing: None,
+            observation: 4,
+            category: Category::SliceConcurrent,
+            description: "a monitoring goroutine len()s a slice another \
+                          goroutine appends to",
+            racy: slice_reader_racy,
+            fixed: slice_reader_fixed,
+        },
+        Pattern {
+            id: "map_delete_vs_get",
+            listing: None,
+            observation: 5,
+            category: Category::MapConcurrent,
+            description: "cache eviction deletes keys while request \
+                          handlers read them",
+            racy: map_delete_racy,
+            fixed: map_delete_fixed,
+        },
+        Pattern {
+            id: "struct_with_mutex_by_value",
+            listing: Some(8),
+            observation: 6,
+            category: Category::PassByValue,
+            description: "a struct embedding a sync.Mutex is copied; the \
+                          copy's lock shares no state (Listing 8's caveat)",
+            racy: struct_mutex_copy_racy,
+            fixed: struct_mutex_copy_fixed,
+        },
+        Pattern {
+            id: "shutdown_flag_race",
+            listing: None,
+            observation: 7,
+            category: Category::MessagePassingShm,
+            description: "a bool shutdown flag guards channel sends but is \
+                          written without synchronization",
+            racy: shutdown_flag_racy,
+            fixed: shutdown_flag_fixed,
+        },
+        Pattern {
+            id: "waitgroup_forgotten_wait",
+            listing: None,
+            observation: 8,
+            category: Category::GroupSync,
+            description: "results are consumed before wg.Wait() (wait \
+                          placed after the read)",
+            racy: forgotten_wait_racy,
+            fixed: forgotten_wait_fixed,
+        },
+        Pattern {
+            id: "parallel_subtests_shared_map",
+            listing: None,
+            observation: 9,
+            category: Category::ParallelTest,
+            description: "table-driven subtests record results in one \
+                          shared map fixture",
+            racy: subtest_map_racy,
+            fixed: subtest_map_fixed,
+        },
+        Pattern {
+            id: "double_checked_locking",
+            listing: None,
+            observation: 10,
+            category: Category::MissingLock,
+            description: "check-lock-check lazy init: the first check reads \
+                          the pointer without the lock",
+            racy: double_checked_racy,
+            fixed: double_checked_fixed,
+        },
+        Pattern {
+            id: "single_writer_many_readers",
+            listing: None,
+            observation: 10,
+            category: Category::MissingLock,
+            description: "a refresher goroutine rewrites a config snapshot \
+                          read by handlers with no lock",
+            racy: single_writer_racy,
+            fixed: single_writer_fixed,
+        },
+        Pattern {
+            id: "cas_with_plain_read",
+            listing: None,
+            observation: 10,
+            category: Category::AtomicMisuse,
+            description: "a CAS retry loop pairs atomic swaps with a plain \
+                          initial read",
+            racy: cas_plain_read_racy,
+            fixed: cas_plain_read_fixed,
+        },
+    ]
+}
+
+fn range_map_capture_racy() -> Program {
+    Program::new("range_map_key_capture", |ctx| {
+        let _f = ctx.frame("NotifyAll");
+        let subscribers: GoMap<i64, i64> = GoMap::make(ctx, "subscribers");
+        for id in 0..3 {
+            subscribers.insert(ctx, id, id * 7);
+        }
+        // `for id := range subscribers { go func(){ notify(id) }() }`
+        let key = ctx.cell("id", 0i64);
+        for (k, _) in subscribers.iterate(ctx) {
+            ctx.write(&key, k); // ◀ the range variable advances
+            let key = key.clone();
+            ctx.go("notifier", move |ctx| {
+                let _f = ctx.frame("notify");
+                let _ = ctx.read(&key); // ▶ captured by reference
+            });
+        }
+    })
+}
+
+fn range_map_capture_fixed() -> Program {
+    Program::new("range_map_key_capture_fixed", |ctx| {
+        let _f = ctx.frame("NotifyAll");
+        let subscribers: GoMap<i64, i64> = GoMap::make(ctx, "subscribers");
+        for id in 0..3 {
+            subscribers.insert(ctx, id, id * 7);
+        }
+        for (k, _) in subscribers.iterate(ctx) {
+            // `id := id` privatization: pass the value in.
+            ctx.go("notifier", move |ctx| {
+                let _f = ctx.frame("notify");
+                let key = ctx.cell("id-private", k);
+                let _ = ctx.read(&key);
+            });
+        }
+    })
+}
+
+fn slice_reader_racy() -> Program {
+    Program::new("slice_reader_vs_appender", |ctx| {
+        let _f = ctx.frame("Collector");
+        let buffer = GoSlice::<i64>::empty(ctx, "buffer");
+        let b2 = buffer.clone();
+        ctx.go("appender", move |ctx| {
+            let _f = ctx.frame("collect");
+            for i in 0..3 {
+                b2.append(ctx, i); // ◀ header writes
+            }
+        });
+        let _m = ctx.frame("monitor");
+        for _ in 0..3 {
+            let _ = buffer.len(ctx); // ▶ unguarded header read
+            ctx.sleep(1);
+        }
+    })
+}
+
+fn slice_reader_fixed() -> Program {
+    Program::new("slice_reader_fixed", |ctx| {
+        let _f = ctx.frame("Collector");
+        let buffer = GoSlice::<i64>::empty(ctx, "buffer");
+        let mu = ctx.mutex("mu");
+        let (b2, mu2) = (buffer.clone(), mu.clone());
+        let done = ctx.chan::<()>("done", 1);
+        let d2 = done.clone();
+        ctx.go("appender", move |ctx| {
+            let _f = ctx.frame("collect");
+            for i in 0..3 {
+                mu2.lock(ctx);
+                b2.append(ctx, i);
+                mu2.unlock(ctx);
+            }
+            d2.send(ctx, ());
+        });
+        let _m = ctx.frame("monitor");
+        for _ in 0..3 {
+            mu.lock(ctx);
+            let _ = buffer.len(ctx);
+            mu.unlock(ctx);
+        }
+        let _ = done.recv(ctx);
+    })
+}
+
+fn map_delete_racy() -> Program {
+    Program::new("map_delete_vs_get", |ctx| {
+        let _f = ctx.frame("CacheService");
+        let cache: GoMap<i64, i64> = GoMap::make(ctx, "cache");
+        for k in 0..4 {
+            cache.insert(ctx, k, k * 2);
+        }
+        let c2 = cache.clone();
+        ctx.go("evictor", move |ctx| {
+            let _f = ctx.frame("evict");
+            c2.delete(ctx, &1); // ▶ structure write
+            c2.delete(ctx, &3);
+        });
+        let _h = ctx.frame("handler");
+        let _ = cache.get(ctx, &2); // ◀ structure read
+        let _ = cache.get(ctx, &0);
+    })
+}
+
+fn map_delete_fixed() -> Program {
+    Program::new("map_delete_fixed", |ctx| {
+        let _f = ctx.frame("CacheService");
+        let cache: GoMap<i64, i64> = GoMap::make(ctx, "cache");
+        let rw = ctx.rwmutex("rw");
+        for k in 0..4 {
+            cache.insert(ctx, k, k * 2);
+        }
+        let (c2, rw2) = (cache.clone(), rw.clone());
+        ctx.go("evictor", move |ctx| {
+            let _f = ctx.frame("evict");
+            rw2.lock(ctx);
+            c2.delete(ctx, &1);
+            c2.delete(ctx, &3);
+            rw2.unlock(ctx);
+        });
+        let _h = ctx.frame("handler");
+        rw.rlock(ctx);
+        let _ = cache.get(ctx, &2);
+        let _ = cache.get(ctx, &0);
+        rw.runlock(ctx);
+    })
+}
+
+/// Listing 8's commentary: a struct containing a `sync.Mutex` copied by
+/// value duplicates the lock.
+fn struct_mutex_copy_racy() -> Program {
+    Program::new("struct_with_mutex_by_value", |ctx| {
+        let _f = ctx.frame("main");
+        // type SafeCounter struct { mu sync.Mutex; n int }
+        let shared_n = ctx.cell("counter.n", 0i64);
+        let mu_original = ctx.mutex("counter.mu");
+        for _ in 0..2 {
+            // Passing the struct by value copies mu but (bug) the code
+            // still targets the shared n through a captured pointer.
+            let mu_copy = mu_original.copy_value(ctx); // ▶ distinct lock
+            let n = shared_n.clone();
+            ctx.go("incrementer", move |ctx| {
+                let _f = ctx.frame("SafeCounter.Inc");
+                mu_copy.lock(ctx);
+                ctx.update(&n, |v| v + 1); // ◀▶ unprotected in effect
+                mu_copy.unlock(ctx);
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+fn struct_mutex_copy_fixed() -> Program {
+    Program::new("struct_mutex_pointer_fixed", |ctx| {
+        let _f = ctx.frame("main");
+        let shared_n = ctx.cell("counter.n", 0i64);
+        let mu = ctx.mutex("counter.mu");
+        let wg = ctx.waitgroup("wg");
+        for _ in 0..2 {
+            wg.add(ctx, 1);
+            let (mu, n, wg) = (mu.clone(), shared_n.clone(), wg.clone());
+            ctx.go("incrementer", move |ctx| {
+                let _f = ctx.frame("SafeCounter.Inc");
+                mu.lock(ctx);
+                ctx.update(&n, |v| v + 1);
+                mu.unlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+    })
+}
+
+fn shutdown_flag_racy() -> Program {
+    Program::new("shutdown_flag_race", |ctx| {
+        let _f = ctx.frame("Dispatcher");
+        let closed = ctx.cell("f.closed", 0i64);
+        let events = ctx.chan::<i64>("events", 4);
+        let (c2, e2) = (closed.clone(), events.clone());
+        ctx.go("producer", move |ctx| {
+            let _f = ctx.frame("Future.publish");
+            // if !f.closed { f.ch <- ev }  — flag read without sync  ◀
+            if ctx.read(&c2) == 0 {
+                e2.send(ctx, 1);
+            }
+        });
+        let _s = ctx.frame("Shutdown");
+        ctx.write(&closed, 1); // ▶ flag write without sync
+        let _ = events.try_recv(ctx);
+    })
+}
+
+fn shutdown_flag_fixed() -> Program {
+    Program::new("shutdown_flag_fixed", |ctx| {
+        let _f = ctx.frame("Dispatcher");
+        let closed = ctx.cell("f.closed", 0i64);
+        let mu = ctx.mutex("f.mu");
+        let events = ctx.chan::<i64>("events", 4);
+        let (c2, m2, e2) = (closed.clone(), mu.clone(), events.clone());
+        ctx.go("producer", move |ctx| {
+            let _f = ctx.frame("Future.publish");
+            m2.lock(ctx);
+            if ctx.read(&c2) == 0 {
+                e2.send(ctx, 1);
+            }
+            m2.unlock(ctx);
+        });
+        let _s = ctx.frame("Shutdown");
+        mu.lock(ctx);
+        ctx.write(&closed, 1);
+        mu.unlock(ctx);
+        let _ = events.try_recv(ctx);
+    })
+}
+
+fn forgotten_wait_racy() -> Program {
+    Program::new("waitgroup_forgotten_wait", |ctx| {
+        let _f = ctx.frame("WaitGrpExample");
+        let wg = ctx.waitgroup("wg");
+        let summary = ctx.cell("summary", 0i64);
+        wg.add(ctx, 1);
+        let (wg2, s2) = (wg.clone(), summary.clone());
+        ctx.go("processItem", move |ctx| {
+            let _f = ctx.frame("processItem");
+            ctx.write(&s2, 42); // ◀
+            wg2.done(ctx);
+        });
+        let _ = ctx.read(&summary); // ▶ read BEFORE the wait
+        wg.wait(ctx); // ✗ too late
+    })
+}
+
+fn forgotten_wait_fixed() -> Program {
+    Program::new("wait_before_read_fixed", |ctx| {
+        let _f = ctx.frame("WaitGrpExample");
+        let wg = ctx.waitgroup("wg");
+        let summary = ctx.cell("summary", 0i64);
+        wg.add(ctx, 1);
+        let (wg2, s2) = (wg.clone(), summary.clone());
+        ctx.go("processItem", move |ctx| {
+            let _f = ctx.frame("processItem");
+            ctx.write(&s2, 42);
+            wg2.done(ctx);
+        });
+        wg.wait(ctx); // ✓ wait first
+        assert_eq!(ctx.read(&summary), 42);
+    })
+}
+
+fn subtest_map_racy() -> Program {
+    Program::new("parallel_subtests_shared_map", |ctx| {
+        let _f = ctx.frame("TestMatrix");
+        let results: GoMap<i64, i64> = GoMap::make(ctx, "testResults");
+        for case in 0..3 {
+            let results = results.clone();
+            ctx.go("subtest", move |ctx| {
+                let _f = ctx.frame("subtest.record");
+                results.insert(ctx, case, 1); // ◀▶ shared fixture map
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+fn subtest_map_fixed() -> Program {
+    Program::new("parallel_subtests_map_fixed", |ctx| {
+        let _f = ctx.frame("TestMatrix");
+        let results: GoMap<i64, i64> = GoMap::make(ctx, "testResults");
+        let mu = ctx.mutex("fixture.mu");
+        let wg = ctx.waitgroup("wg");
+        for case in 0..3 {
+            wg.add(ctx, 1);
+            let (results, mu, wg) = (results.clone(), mu.clone(), wg.clone());
+            ctx.go("subtest", move |ctx| {
+                let _f = ctx.frame("subtest.record");
+                mu.lock(ctx);
+                results.insert(ctx, case, 1);
+                mu.unlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+    })
+}
+
+fn double_checked_racy() -> Program {
+    Program::new("double_checked_locking", |ctx| {
+        let _f = ctx.frame("GetInstance");
+        let instance = ctx.cell("instance", 0i64);
+        let mu = ctx.mutex("initMu");
+        for _ in 0..2 {
+            let (instance, mu) = (instance.clone(), mu.clone());
+            ctx.go("getter", move |ctx| {
+                let _f = ctx.frame("getInstance");
+                // if instance == nil {           ◀ unlocked first check
+                if ctx.read(&instance) == 0 {
+                    mu.lock(ctx);
+                    if ctx.read(&instance) == 0 {
+                        ctx.write(&instance, 99); // ▶ write under lock
+                    }
+                    mu.unlock(ctx);
+                }
+                let _ = ctx.read(&instance);
+            });
+        }
+        ctx.sleep(6);
+    })
+}
+
+fn double_checked_fixed() -> Program {
+    Program::new("once_init_fixed", |ctx| {
+        let _f = ctx.frame("GetInstance");
+        let instance = ctx.cell("instance", 0i64);
+        let once = ctx.once("initOnce");
+        let wg = ctx.waitgroup("wg");
+        for _ in 0..2 {
+            wg.add(ctx, 1);
+            let (instance, once, wg) = (instance.clone(), once.clone(), wg.clone());
+            ctx.go("getter", move |ctx| {
+                let _f = ctx.frame("getInstance");
+                once.do_once(ctx, |ctx| ctx.write(&instance, 99));
+                let _ = ctx.read(&instance);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+    })
+}
+
+fn single_writer_racy() -> Program {
+    Program::new("single_writer_many_readers", |ctx| {
+        let _f = ctx.frame("ConfigWatcher");
+        let snapshot = ctx.cell("config.snapshot", 1i64);
+        let s2 = snapshot.clone();
+        ctx.go("refresher", move |ctx| {
+            let _f = ctx.frame("refresh");
+            for v in 2..5 {
+                ctx.write(&s2, v); // ▶ periodic rewrite, no lock
+                ctx.sleep(1);
+            }
+        });
+        for _ in 0..3 {
+            let s = snapshot.clone();
+            ctx.go("handler", move |ctx| {
+                let _f = ctx.frame("handle");
+                let _ = ctx.read(&s); // ◀ unguarded read
+            });
+        }
+        ctx.sleep(6);
+    })
+}
+
+fn single_writer_fixed() -> Program {
+    Program::new("single_writer_rwlock_fixed", |ctx| {
+        let _f = ctx.frame("ConfigWatcher");
+        let snapshot = ctx.cell("config.snapshot", 1i64);
+        let rw = ctx.rwmutex("config.rw");
+        let wg = ctx.waitgroup("wg");
+        wg.add(ctx, 1);
+        let (s2, rw2, wg2) = (snapshot.clone(), rw.clone(), wg.clone());
+        ctx.go("refresher", move |ctx| {
+            let _f = ctx.frame("refresh");
+            for v in 2..5 {
+                rw2.lock(ctx);
+                ctx.write(&s2, v);
+                rw2.unlock(ctx);
+            }
+            wg2.done(ctx);
+        });
+        for _ in 0..3 {
+            wg.add(ctx, 1);
+            let (s, rw, wg) = (snapshot.clone(), rw.clone(), wg.clone());
+            ctx.go("handler", move |ctx| {
+                let _f = ctx.frame("handle");
+                rw.rlock(ctx);
+                let _ = ctx.read(&s);
+                rw.runlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+    })
+}
+
+fn cas_plain_read_racy() -> Program {
+    Program::new("cas_with_plain_read", |ctx| {
+        let _f = ctx.frame("IDAllocator");
+        let next = ctx.atomic("nextID", 0);
+        let n2 = next.clone();
+        ctx.go("allocator", move |ctx| {
+            let _f = ctx.frame("alloc");
+            loop {
+                let cur = n2.load(ctx);
+                if n2.compare_and_swap(ctx, cur, cur + 1) {
+                    break;
+                }
+            }
+        });
+        let _p = ctx.frame("peek");
+        let _ = next.load_plain(ctx); // ◀▶ plain read vs atomic CAS
+    })
+}
+
+fn cas_plain_read_fixed() -> Program {
+    Program::new("cas_all_atomic_fixed", |ctx| {
+        let _f = ctx.frame("IDAllocator");
+        let next = ctx.atomic("nextID", 0);
+        let n2 = next.clone();
+        ctx.go("allocator", move |ctx| {
+            let _f = ctx.frame("alloc");
+            loop {
+                let cur = n2.load(ctx);
+                if n2.compare_and_swap(ctx, cur, cur + 1) {
+                    break;
+                }
+            }
+        });
+        let _p = ctx.frame("peek");
+        let _ = next.load(ctx); // ✓ atomic read
+    })
+}

@@ -1,0 +1,221 @@
+//! Observation 10: incorrect or missing mutual exclusion — the single
+//! largest category of the study (470 missing/partial-lock races,
+//! Listing 11's reader-lock mutation).
+
+use grs_runtime::Program;
+
+use crate::{Category, Pattern};
+
+/// The locking-mistake patterns.
+#[must_use]
+pub fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            id: "missing_lock",
+            listing: None,
+            observation: 10,
+            category: Category::MissingLock,
+            description: "shared counter updated with no lock at all",
+            racy: missing_lock_racy,
+            fixed: missing_lock_fixed,
+        },
+        Pattern {
+            id: "partial_lock",
+            listing: None,
+            observation: 10,
+            category: Category::MissingLock,
+            description: "locked in one place, forgotten in another touching \
+                          the same variable",
+            racy: partial_lock_racy,
+            fixed: partial_lock_fixed,
+        },
+        Pattern {
+            id: "premature_unlock",
+            listing: None,
+            observation: 10,
+            category: Category::MissingLock,
+            description: "unlock called before the last access of the \
+                          critical section",
+            racy: premature_unlock_racy,
+            fixed: premature_unlock_fixed,
+        },
+        Pattern {
+            id: "rlock_write",
+            listing: Some(11),
+            observation: 10,
+            category: Category::RLockWrite,
+            description: "a read-locked critical section mutates shared \
+                          state (HealthGate.updateGate)",
+            racy: listing11_racy,
+            fixed: listing11_fixed,
+        },
+    ]
+}
+
+fn missing_lock_racy() -> Program {
+    Program::new("missing_lock", |ctx| {
+        let _f = ctx.frame("ServeRequests");
+        let hits = ctx.cell("hits", 0i64);
+        for _ in 0..3 {
+            let hits = hits.clone();
+            ctx.go("handler", move |ctx| {
+                let _f = ctx.frame("handle");
+                ctx.update(&hits, |v| v + 1); // ◀▶ no lock anywhere
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+fn missing_lock_fixed() -> Program {
+    Program::new("missing_lock_fixed", |ctx| {
+        let _f = ctx.frame("ServeRequests");
+        let hits = ctx.cell("hits", 0i64);
+        let mu = ctx.mutex("mu");
+        let wg = ctx.waitgroup("wg");
+        for _ in 0..3 {
+            wg.add(ctx, 1);
+            let (hits, mu, wg) = (hits.clone(), mu.clone(), wg.clone());
+            ctx.go("handler", move |ctx| {
+                let _f = ctx.frame("handle");
+                mu.lock(ctx);
+                ctx.update(&hits, |v| v + 1);
+                mu.unlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+    })
+}
+
+/// The subtle variant: the getter forgot the lock the setter uses.
+fn partial_lock_racy() -> Program {
+    Program::new("partial_lock", |ctx| {
+        let _f = ctx.frame("ConfigService");
+        let mu = ctx.mutex("mu");
+        let version = ctx.cell("config.version", 1i64);
+        let (mu2, v2) = (mu.clone(), version.clone());
+        ctx.go("Updater", move |ctx| {
+            let _f = ctx.frame("SetConfig");
+            mu2.lock(ctx);
+            ctx.write(&v2, 2); // ◀ writer locks correctly
+            mu2.unlock(ctx);
+        });
+        let _f2 = ctx.frame("GetConfig");
+        let _ = ctx.read(&version); // ▶ reader forgot the lock
+        let _ = mu;
+    })
+}
+
+fn partial_lock_fixed() -> Program {
+    Program::new("partial_lock_fixed", |ctx| {
+        let _f = ctx.frame("ConfigService");
+        let mu = ctx.mutex("mu");
+        let version = ctx.cell("config.version", 1i64);
+        let (mu2, v2) = (mu.clone(), version.clone());
+        ctx.go("Updater", move |ctx| {
+            let _f = ctx.frame("SetConfig");
+            mu2.lock(ctx);
+            ctx.write(&v2, 2);
+            mu2.unlock(ctx);
+        });
+        let _f2 = ctx.frame("GetConfig");
+        mu.lock(ctx);
+        let _ = ctx.read(&version);
+        mu.unlock(ctx);
+    })
+}
+
+/// Unlock too early, leaving the last access outside the critical section.
+fn premature_unlock_racy() -> Program {
+    Program::new("premature_unlock", |ctx| {
+        let _f = ctx.frame("Accumulate");
+        let mu = ctx.mutex("mu");
+        let total = ctx.cell("total", 0i64);
+        let (mu2, t2) = (mu.clone(), total.clone());
+        ctx.go("adder", move |ctx| {
+            let _f = ctx.frame("add");
+            mu2.lock(ctx);
+            let v = ctx.read(&t2);
+            mu2.unlock(ctx); // ✗ released before the write-back
+            ctx.write(&t2, v + 1); // ▶ outside the critical section
+        });
+        mu.lock(ctx);
+        ctx.update(&total, |v| v + 10); // ◀
+        mu.unlock(ctx);
+    })
+}
+
+fn premature_unlock_fixed() -> Program {
+    Program::new("premature_unlock_fixed", |ctx| {
+        let _f = ctx.frame("Accumulate");
+        let mu = ctx.mutex("mu");
+        let total = ctx.cell("total", 0i64);
+        let (mu2, t2) = (mu.clone(), total.clone());
+        ctx.go("adder", move |ctx| {
+            let _f = ctx.frame("add");
+            mu2.lock(ctx);
+            let v = ctx.read(&t2);
+            ctx.write(&t2, v + 1); // ✓ still inside
+            mu2.unlock(ctx);
+        });
+        mu.lock(ctx);
+        ctx.update(&total, |v| v + 10);
+        mu.unlock(ctx);
+    })
+}
+
+/// Listing 11: `updateGate` takes `RLock` but sets `g.ready` and performs a
+/// non-idempotent network call.
+fn listing11_racy() -> Program {
+    Program::new("listing11_rlock_write", |ctx| {
+        let _f = ctx.frame("HealthChecker");
+        let rw = ctx.rwmutex("g.mutex");
+        let ready = ctx.cell("g.ready", 0i64);
+        let accepts = ctx.cell("g.gate.accepts", 0i64);
+        for _ in 0..2 {
+            let (rw, ready, accepts) = (rw.clone(), ready.clone(), accepts.clone());
+            ctx.go("updateGate", move |ctx| {
+                let _f = ctx.frame("HealthGate.updateGate");
+                rw.rlock(ctx);
+                // ... several read-only operations ...
+                if ctx.read(&ready) == 0 {
+                    ctx.write(&ready, 1); // ◀▶ write under RLock
+                    ctx.update(&accepts, |v| v + 1); // more than one Accept()
+                }
+                rw.runlock(ctx);
+            });
+        }
+        ctx.sleep(6);
+    })
+}
+
+/// Fix: upgrade to the write lock for the mutating path.
+fn listing11_fixed() -> Program {
+    Program::new("listing11_fixed_write_lock", |ctx| {
+        let _f = ctx.frame("HealthChecker");
+        let rw = ctx.rwmutex("g.mutex");
+        let ready = ctx.cell("g.ready", 0i64);
+        let accepts = ctx.cell("g.gate.accepts", 0i64);
+        let wg = ctx.waitgroup("wg");
+        for _ in 0..2 {
+            wg.add(ctx, 1);
+            let (rw, ready, accepts, wg) =
+                (rw.clone(), ready.clone(), accepts.clone(), wg.clone());
+            ctx.go("updateGate", move |ctx| {
+                let _f = ctx.frame("HealthGate.updateGate");
+                rw.lock(ctx); // ✓ exclusive
+                if ctx.read(&ready) == 0 {
+                    ctx.write(&ready, 1);
+                    ctx.update(&accepts, |v| v + 1);
+                }
+                rw.unlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+        rw.rlock(ctx);
+        assert_eq!(ctx.read(&accepts), 1, "Accept() must be idempotent");
+        rw.runlock(ctx);
+    })
+}

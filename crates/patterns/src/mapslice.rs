@@ -1,0 +1,237 @@
+//! Observation 4 (slices, Listing 5) and Observation 5 (maps, Listing 6).
+
+use grs_runtime::{GoMap, GoSlice, Program};
+
+use crate::{Category, Pattern};
+
+/// The slice and map patterns.
+#[must_use]
+pub fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            id: "slice_header_copy",
+            listing: Some(5),
+            observation: 4,
+            category: Category::SliceConcurrent,
+            description: "lock-protected append races with the unprotected \
+                          slice-header copy made by passing the slice by value",
+            racy: listing5_racy,
+            fixed: listing5_fixed,
+        },
+        Pattern {
+            id: "slice_concurrent_append",
+            listing: None,
+            observation: 4,
+            category: Category::SliceConcurrent,
+            description: "plain concurrent appends to a shared slice with no \
+                          lock at all (the common Table 2 case)",
+            racy: slice_append_racy,
+            fixed: slice_append_fixed,
+        },
+        Pattern {
+            id: "map_concurrent_write",
+            listing: Some(6),
+            observation: 5,
+            category: Category::MapConcurrent,
+            description: "per-item goroutines write disjoint keys of one \
+                          map; the sparse structure still races",
+            racy: listing6_racy,
+            fixed: listing6_fixed,
+        },
+        Pattern {
+            id: "map_read_during_write",
+            listing: None,
+            observation: 5,
+            category: Category::MapConcurrent,
+            description: "map iteration in one goroutine races an insert in \
+                          another",
+            racy: map_iter_racy,
+            fixed: map_iter_fixed,
+        },
+    ]
+}
+
+/// Listing 5: `safeAppend` locks correctly, but the call site passes the
+/// slice by value — copying the meta fields without the lock.
+fn listing5_racy() -> Program {
+    Program::new("listing5_slice_header_copy", |ctx| {
+        let _f = ctx.frame("ProcessAll");
+        let my_results = GoSlice::<i64>::empty(ctx, "myResults");
+        let mutex = ctx.mutex("mutex");
+        for id in 0..3i64 {
+            // `}(uuid, myResults)` — the by-value pass copies the header
+            // WITHOUT holding the lock:  ▶
+            let arg_copy = my_results.copy_value(ctx);
+            let (mutex, my_results) = (mutex.clone(), my_results.clone());
+            ctx.go("anon-goroutine", move |ctx| {
+                let _f = ctx.frame("worker");
+                let res = id * 10; // res := Foo(id)
+                {
+                    let _s = ctx.frame("safeAppend");
+                    mutex.lock(ctx);
+                    my_results.append(ctx, res); // ◀ locked append
+                    mutex.unlock(ctx);
+                }
+                // The copied slice is also readable here, as in the paper.
+                let _ = arg_copy;
+            });
+        }
+    })
+}
+
+/// The paper's suggested refactor: no by-value pass, only the closure
+/// capture, all accesses behind the mutex.
+fn listing5_fixed() -> Program {
+    Program::new("listing5_fixed_pointer_arg", |ctx| {
+        let _f = ctx.frame("ProcessAll");
+        let my_results = GoSlice::<i64>::empty(ctx, "myResults");
+        let mutex = ctx.mutex("mutex");
+        let wg = ctx.waitgroup("wg");
+        for id in 0..3i64 {
+            wg.add(ctx, 1);
+            let (mutex, my_results, wg) = (mutex.clone(), my_results.clone(), wg.clone());
+            ctx.go("anon-goroutine", move |ctx| {
+                let _f = ctx.frame("worker");
+                let res = id * 10;
+                {
+                    let _s = ctx.frame("safeAppend");
+                    mutex.lock(ctx);
+                    my_results.append(ctx, res);
+                    mutex.unlock(ctx);
+                }
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+        mutex.lock(ctx);
+        let _ = my_results.len(ctx);
+        mutex.unlock(ctx);
+    })
+}
+
+/// The plain version dominating Table 2: concurrent unguarded appends.
+fn slice_append_racy() -> Program {
+    Program::new("slice_concurrent_append", |ctx| {
+        let _f = ctx.frame("CollectResults");
+        let results = GoSlice::<i64>::empty(ctx, "results");
+        for i in 0..3i64 {
+            let results = results.clone();
+            ctx.go("worker", move |ctx| {
+                let _f = ctx.frame("appendResult");
+                results.append(ctx, i); // ◀▶ unguarded header read+write
+            });
+        }
+        ctx.sleep(4);
+        let _ = results.len(ctx);
+    })
+}
+
+fn slice_append_fixed() -> Program {
+    Program::new("slice_append_fixed_locked", |ctx| {
+        let _f = ctx.frame("CollectResults");
+        let results = GoSlice::<i64>::empty(ctx, "results");
+        let mu = ctx.mutex("mu");
+        let wg = ctx.waitgroup("wg");
+        for i in 0..3i64 {
+            wg.add(ctx, 1);
+            let (results, mu, wg) = (results.clone(), mu.clone(), wg.clone());
+            ctx.go("worker", move |ctx| {
+                let _f = ctx.frame("appendResult");
+                mu.lock(ctx);
+                results.append(ctx, i);
+                mu.unlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+        mu.lock(ctx);
+        let _ = results.len(ctx);
+        mu.unlock(ctx);
+    })
+}
+
+/// Listing 6: `processOrders` records per-uuid failures in a shared map
+/// from per-item goroutines.
+fn listing6_racy() -> Program {
+    Program::new("listing6_map_concurrent", |ctx| {
+        let _f = ctx.frame("processOrders");
+        let err_map: GoMap<i64, i64> = GoMap::make(ctx, "errMap");
+        let uuids = [1i64, 2, 3];
+        for &uuid in &uuids {
+            let err_map = err_map.clone();
+            ctx.go("anon-goroutine", move |ctx| {
+                let _f = ctx.frame("GetOrder");
+                // if err := GetOrder(uuid); err != nil {
+                //     errMap[uuid] = err            ◀▶ structure write
+                err_map.insert(ctx, uuid, uuid * 100);
+            });
+        }
+        ctx.sleep(4);
+        // return combineErrors(errMap)
+        let _ = err_map.len(ctx);
+    })
+}
+
+/// Fix: a mutex around the map plus a `WaitGroup` before the combine.
+fn listing6_fixed() -> Program {
+    Program::new("listing6_fixed_locked_map", |ctx| {
+        let _f = ctx.frame("processOrders");
+        let err_map: GoMap<i64, i64> = GoMap::make(ctx, "errMap");
+        let mu = ctx.mutex("mu");
+        let wg = ctx.waitgroup("wg");
+        let uuids = [1i64, 2, 3];
+        for &uuid in &uuids {
+            wg.add(ctx, 1);
+            let (err_map, mu, wg) = (err_map.clone(), mu.clone(), wg.clone());
+            ctx.go("anon-goroutine", move |ctx| {
+                let _f = ctx.frame("GetOrder");
+                mu.lock(ctx);
+                err_map.insert(ctx, uuid, uuid * 100);
+                mu.unlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+        mu.lock(ctx);
+        let _ = err_map.len(ctx);
+        mu.unlock(ctx);
+    })
+}
+
+/// Iteration in one goroutine vs insert in another.
+fn map_iter_racy() -> Program {
+    Program::new("map_read_during_write", |ctx| {
+        let _f = ctx.frame("ServeMetrics");
+        let stats: GoMap<i64, i64> = GoMap::make(ctx, "stats");
+        stats.insert(ctx, 1, 1);
+        let writer_map = stats.clone();
+        ctx.go("recorder", move |ctx| {
+            let _f = ctx.frame("Record");
+            writer_map.insert(ctx, 2, 2); // ▶ insert
+        });
+        let _f2 = ctx.frame("Dump");
+        let _ = stats.iterate(ctx); // ◀ range over the map
+    })
+}
+
+fn map_iter_fixed() -> Program {
+    Program::new("map_iter_fixed_rwlock", |ctx| {
+        let _f = ctx.frame("ServeMetrics");
+        let stats: GoMap<i64, i64> = GoMap::make(ctx, "stats");
+        let rw = ctx.rwmutex("rw");
+        rw.lock(ctx);
+        stats.insert(ctx, 1, 1);
+        rw.unlock(ctx);
+        let (writer_map, rw2) = (stats.clone(), rw.clone());
+        ctx.go("recorder", move |ctx| {
+            let _f = ctx.frame("Record");
+            rw2.lock(ctx);
+            writer_map.insert(ctx, 2, 2);
+            rw2.unlock(ctx);
+        });
+        let _f2 = ctx.frame("Dump");
+        rw.rlock(ctx);
+        let _ = stats.iterate(ctx);
+        rw.runlock(ctx);
+    })
+}

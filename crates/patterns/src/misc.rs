@@ -1,0 +1,406 @@
+//! The remaining Table 3 categories: contract violations, globals, atomics,
+//! statement order, multi-component interactions, metrics/logging, and the
+//! three "fixed by avoidance" buckets.
+
+use grs_runtime::{GoMap, Program};
+
+use crate::{Category, Pattern};
+
+/// The language-agnostic miscellaneous patterns.
+#[must_use]
+pub fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            id: "contract_violation",
+            listing: None,
+            observation: 10,
+            category: Category::ContractViolation,
+            description: "an API documented thread-safe keeps an unguarded \
+                          internal cache",
+            racy: contract_racy,
+            fixed: contract_fixed,
+        },
+        Pattern {
+            id: "global_variable",
+            listing: None,
+            observation: 10,
+            category: Category::GlobalVar,
+            description: "package-level variable mutated by concurrent \
+                          request handlers",
+            racy: global_racy,
+            fixed: global_fixed,
+        },
+        Pattern {
+            id: "partial_atomic",
+            listing: None,
+            observation: 10,
+            category: Category::AtomicMisuse,
+            description: "atomic used for the write but not the read of the \
+                          same variable (§4.9.2)",
+            racy: atomic_racy,
+            fixed: atomic_fixed,
+        },
+        Pattern {
+            id: "statement_order",
+            listing: None,
+            observation: 10,
+            category: Category::StatementOrder,
+            description: "goroutine launched before the state it reads is \
+                          initialized",
+            racy: order_racy,
+            fixed: order_fixed,
+        },
+        Pattern {
+            id: "complex_interaction",
+            listing: None,
+            observation: 10,
+            category: Category::ComplexInteraction,
+            description: "a config hot-reloader and a request pipeline race \
+                          through two components",
+            racy: complex_racy,
+            fixed: complex_fixed,
+        },
+        Pattern {
+            id: "racy_metrics",
+            listing: None,
+            observation: 10,
+            category: Category::MetricsLogging,
+            description: "per-request metrics counters bumped without \
+                          synchronization",
+            racy: metrics_racy,
+            fixed: metrics_fixed,
+        },
+        Pattern {
+            id: "fixed_by_removing_concurrency",
+            listing: None,
+            observation: 10,
+            category: Category::RemovedConcurrency,
+            description: "racy fan-out whose eventual fix was to serialize \
+                          the work",
+            racy: removed_concurrency_racy,
+            fixed: removed_concurrency_fixed,
+        },
+        Pattern {
+            id: "fixed_by_disabling_test",
+            listing: None,
+            observation: 9,
+            category: Category::DisabledTests,
+            description: "racy parallel test whose \"fix\" was to stop \
+                          running it in parallel",
+            racy: disabled_test_racy,
+            fixed: disabled_test_fixed,
+        },
+        Pattern {
+            id: "fixed_by_refactor",
+            listing: None,
+            observation: 10,
+            category: Category::MajorRefactor,
+            description: "shared mutable aggregation replaced wholesale by a \
+                          channel pipeline",
+            racy: refactor_racy,
+            fixed: refactor_fixed,
+        },
+    ]
+}
+
+/// A "thread-safe" client with an unguarded memoization map.
+fn contract_racy() -> Program {
+    Program::new("contract_violation", |ctx| {
+        let _f = ctx.frame("main");
+        let cache: GoMap<i64, i64> = GoMap::make(ctx, "client.cache");
+        for req in 0..3i64 {
+            let cache = cache.clone();
+            ctx.go("caller", move |ctx| {
+                let _f = ctx.frame("Client.Resolve");
+                // Documented: "Resolve is safe for concurrent use." It is not.
+                if cache.get(ctx, &req).is_none() {
+                    cache.insert(ctx, req, req * 2); // ◀▶
+                }
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+fn contract_fixed() -> Program {
+    Program::new("contract_fixed", |ctx| {
+        let _f = ctx.frame("main");
+        let cache: GoMap<i64, i64> = GoMap::make(ctx, "client.cache");
+        let mu = ctx.mutex("client.mu");
+        let wg = ctx.waitgroup("wg");
+        for req in 0..3i64 {
+            wg.add(ctx, 1);
+            let (cache, mu, wg) = (cache.clone(), mu.clone(), wg.clone());
+            ctx.go("caller", move |ctx| {
+                let _f = ctx.frame("Client.Resolve");
+                mu.lock(ctx);
+                if cache.get(ctx, &req).is_none() {
+                    cache.insert(ctx, req, req * 2);
+                }
+                mu.unlock(ctx);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+    })
+}
+
+/// A package-level `var requestCount int` bumped by handlers.
+fn global_racy() -> Program {
+    Program::new("global_variable", |ctx| {
+        let _f = ctx.frame("Server");
+        let global = ctx.cell("pkg.requestCount", 0i64);
+        for _ in 0..3 {
+            let global = global.clone();
+            ctx.go("handler", move |ctx| {
+                let _f = ctx.frame("ServeHTTP");
+                ctx.update(&global, |v| v + 1); // ◀▶
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+fn global_fixed() -> Program {
+    Program::new("global_fixed_atomic", |ctx| {
+        let _f = ctx.frame("Server");
+        let global = ctx.atomic("pkg.requestCount", 0);
+        for _ in 0..3 {
+            let global = global.clone();
+            ctx.go("handler", move |ctx| {
+                let _f = ctx.frame("ServeHTTP");
+                global.add(ctx, 1); // atomic.AddInt64
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+/// §4.9.2's atomic half-measure.
+fn atomic_racy() -> Program {
+    Program::new("partial_atomic", |ctx| {
+        let _f = ctx.frame("RateLimiter");
+        let tokens = ctx.atomic("tokens", 10);
+        let t2 = tokens.clone();
+        ctx.go("refill", move |ctx| {
+            let _f = ctx.frame("refill");
+            t2.store(ctx, 10); // ◀ atomic write...
+        });
+        let _f2 = ctx.frame("Allow");
+        let _ = tokens.load_plain(ctx); // ▶ ...plain read
+    })
+}
+
+fn atomic_fixed() -> Program {
+    Program::new("full_atomic", |ctx| {
+        let _f = ctx.frame("RateLimiter");
+        let tokens = ctx.atomic("tokens", 10);
+        let t2 = tokens.clone();
+        ctx.go("refill", move |ctx| {
+            let _f = ctx.frame("refill");
+            t2.store(ctx, 10);
+        });
+        let _f2 = ctx.frame("Allow");
+        let _ = tokens.load(ctx); // ✓ atomic read
+    })
+}
+
+/// Goroutine launched one statement too early.
+fn order_racy() -> Program {
+    Program::new("statement_order", |ctx| {
+        let _f = ctx.frame("NewPoller");
+        let interval = ctx.cell("p.interval", 0i64);
+        let i2 = interval.clone();
+        ctx.go("poll-loop", move |ctx| {
+            let _f = ctx.frame("poll");
+            let _ = ctx.read(&i2); // ◀ reads config...
+        });
+        ctx.write(&interval, 30); // ▶ ...initialized after the go
+    })
+}
+
+fn order_fixed() -> Program {
+    Program::new("statement_order_fixed", |ctx| {
+        let _f = ctx.frame("NewPoller");
+        let interval = ctx.cell("p.interval", 0i64);
+        ctx.write(&interval, 30); // ✓ initialize first
+        let i2 = interval.clone();
+        ctx.go("poll-loop", move |ctx| {
+            let _f = ctx.frame("poll");
+            let _ = ctx.read(&i2); // ordered by the spawn edge
+        });
+    })
+}
+
+/// Two components: a hot-reloader swaps config while the pipeline reads two
+/// dependent fields, through a channel used only for *notification*.
+fn complex_racy() -> Program {
+    Program::new("complex_interaction", |ctx| {
+        let _f = ctx.frame("Gateway");
+        let host = ctx.cell("cfg.host", 1i64);
+        let port = ctx.cell("cfg.port", 80i64);
+        let reloaded = ctx.chan::<()>("reloaded", 1);
+        let (h2, p2, n2) = (host.clone(), port.clone(), reloaded.clone());
+        ctx.go("hot-reloader", move |ctx| {
+            let _f = ctx.frame("reload");
+            ctx.write(&h2, 2); // ◀ swap the config fields
+            n2.send(ctx, ()); // notify (but the reader doesn't wait!)
+            ctx.write(&p2, 8080); // second field after the notify
+        });
+        let _f2 = ctx.frame("route");
+        let _ = ctx.read(&host); // ▶ torn read across components
+        let _ = ctx.read(&port);
+        let _ = reloaded.recv(ctx);
+    })
+}
+
+fn complex_fixed() -> Program {
+    Program::new("complex_fixed_publish", |ctx| {
+        let _f = ctx.frame("Gateway");
+        let host = ctx.cell("cfg.host", 1i64);
+        let port = ctx.cell("cfg.port", 80i64);
+        let reloaded = ctx.chan::<()>("reloaded", 1);
+        let (h2, p2, n2) = (host.clone(), port.clone(), reloaded.clone());
+        ctx.go("hot-reloader", move |ctx| {
+            let _f = ctx.frame("reload");
+            ctx.write(&h2, 2);
+            ctx.write(&p2, 8080);
+            n2.send(ctx, ()); // ✓ publish completely, then notify
+        });
+        let _f2 = ctx.frame("route");
+        let _ = reloaded.recv(ctx); // ✓ wait for the notification first
+        let _ = ctx.read(&host);
+        let _ = ctx.read(&port);
+    })
+}
+
+/// Fire-and-forget metrics from request handlers.
+fn metrics_racy() -> Program {
+    Program::new("racy_metrics", |ctx| {
+        let _f = ctx.frame("API");
+        let latency_sum = ctx.cell("metrics.latencySum", 0i64);
+        for r in 0..3i64 {
+            let m = latency_sum.clone();
+            ctx.go("handler", move |ctx| {
+                let _f = ctx.frame("recordLatency");
+                ctx.update(&m, |v| v + r); // ◀▶ metrics are "just counters"
+            });
+        }
+        ctx.sleep(4);
+        let _f2 = ctx.frame("scrape");
+        let _ = ctx.read(&latency_sum);
+    })
+}
+
+fn metrics_fixed() -> Program {
+    Program::new("metrics_fixed_atomic", |ctx| {
+        let _f = ctx.frame("API");
+        let latency_sum = ctx.atomic("metrics.latencySum", 0);
+        let wg = ctx.waitgroup("wg");
+        for r in 0..3i64 {
+            wg.add(ctx, 1);
+            let (m, wg) = (latency_sum.clone(), wg.clone());
+            ctx.go("handler", move |ctx| {
+                let _f = ctx.frame("recordLatency");
+                m.add(ctx, r);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+        let _f2 = ctx.frame("scrape");
+        let _ = latency_sum.load(ctx);
+    })
+}
+
+/// Racy fan-out "fixed" by serializing — the conservative strategy the
+/// paper notes developers resort to when they cannot root-cause.
+fn removed_concurrency_racy() -> Program {
+    Program::new("fixed_by_removing_concurrency", |ctx| {
+        let _f = ctx.frame("EnrichAll");
+        let enriched = ctx.cell("enrichedCount", 0i64);
+        for _ in 0..3 {
+            let e = enriched.clone();
+            ctx.go("enricher", move |ctx| {
+                let _f = ctx.frame("enrich");
+                ctx.update(&e, |v| v + 1); // ◀▶
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+fn removed_concurrency_fixed() -> Program {
+    Program::new("concurrency_removed", |ctx| {
+        let _f = ctx.frame("EnrichAll");
+        let enriched = ctx.cell("enrichedCount", 0i64);
+        for _ in 0..3 {
+            // The "fix": no more goroutines.
+            let _f = ctx.frame("enrich");
+            ctx.update(&enriched, |v| v + 1);
+        }
+    })
+}
+
+/// A racy parallel test whose "fix" was dropping `t.Parallel()`.
+fn disabled_test_racy() -> Program {
+    Program::new("fixed_by_disabling_test", |ctx| {
+        let _f = ctx.frame("TestSuite");
+        let shared = ctx.cell("sharedServer.state", 0i64);
+        for case in 0..3i64 {
+            let s = shared.clone();
+            ctx.go("parallel-subtest", move |ctx| {
+                let _f = ctx.frame("subtest");
+                ctx.write(&s, case); // ◀▶
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+fn disabled_test_fixed() -> Program {
+    Program::new("test_serialized", |ctx| {
+        let _f = ctx.frame("TestSuite");
+        let shared = ctx.cell("sharedServer.state", 0i64);
+        for case in 0..3i64 {
+            // t.Parallel() removed: subtests run one after another.
+            let _f = ctx.frame("subtest");
+            ctx.write(&shared, case);
+        }
+    })
+}
+
+/// Aggregation over shared state, later refactored into a channel pipeline.
+fn refactor_racy() -> Program {
+    Program::new("fixed_by_refactor", |ctx| {
+        let _f = ctx.frame("Aggregate");
+        let totals = ctx.cell("totals", 0i64);
+        for i in 0..3i64 {
+            let t = totals.clone();
+            ctx.go("shard", move |ctx| {
+                let _f = ctx.frame("sumShard");
+                ctx.update(&t, |v| v + i); // ◀▶ shared accumulator
+            });
+        }
+        ctx.sleep(4);
+        let _ = ctx.read(&totals);
+    })
+}
+
+fn refactor_fixed() -> Program {
+    Program::new("refactored_to_pipeline", |ctx| {
+        let _f = ctx.frame("Aggregate");
+        let results = ctx.chan::<i64>("results", 3);
+        for i in 0..3i64 {
+            let tx = results.clone();
+            ctx.go("shard", move |ctx| {
+                let _f = ctx.frame("sumShard");
+                tx.send(ctx, i); // ✓ ownership transferred by message
+            });
+        }
+        let mut total = 0;
+        for _ in 0..3 {
+            total += results.recv(ctx).value().unwrap_or(0);
+        }
+        assert_eq!(total, 3);
+    })
+}

@@ -1,0 +1,173 @@
+//! Observation 7: mixing message passing with shared memory (Listing 9).
+//!
+//! The paper's `Future` couples a channel (for signaling) with shared
+//! `response`/`err` fields. The cancellation arm of the `select` writes the
+//! same `err` field the completion goroutine writes — a race — and when the
+//! context wins, nobody ever receives from the channel, leaking the sender
+//! forever.
+
+use grs_runtime::chan::select2_recv;
+use grs_runtime::{GoContext, Program, Selected2};
+
+use crate::{Category, Pattern};
+
+/// The mixed channel/shared-memory patterns.
+#[must_use]
+pub fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            id: "future_cancel",
+            listing: Some(9),
+            observation: 7,
+            category: Category::MessagePassingShm,
+            description: "a Future's completion goroutine and the \
+                          context-cancellation select arm both write f.err",
+            racy: listing9_racy,
+            fixed: listing9_fixed,
+        },
+        Pattern {
+            id: "chan_plus_flag",
+            listing: None,
+            observation: 7,
+            category: Category::MessagePassingShm,
+            description: "a done-channel signals completion but a side flag \
+                          is read without the channel edge",
+            racy: chan_plus_flag_racy,
+            fixed: chan_plus_flag_fixed,
+        },
+    ]
+}
+
+/// Listing 9: `Future.Start` + `Future.Wait` with context cancellation.
+fn listing9_racy() -> Program {
+    Program::new("listing9_future_cancel", |ctx| {
+        let _f = ctx.frame("main");
+        // The Future's fields:
+        let response = ctx.cell("f.response", 0i64);
+        let err = ctx.cell("f.err", 0i64);
+        let ch = ctx.chan::<i64>("f.ch", 0);
+        let gctx = GoContext::with_cancel(ctx, "ctx");
+
+        // f.Start()
+        {
+            let _s = ctx.frame("Future.Start");
+            let (response, err, ch) = (response.clone(), err.clone(), ch.clone());
+            ctx.go("future-body", move |ctx| {
+                let _f = ctx.frame("registered-func");
+                ctx.sleep(3); // resp, err := f.f() — takes a while
+                ctx.write(&response, 42);
+                ctx.write(&err, 0); // ◀ write to f.err
+                ch.send(ctx, 1); // may block forever!
+            });
+        }
+
+        // The canceller models the context deadline firing.
+        {
+            let g = gctx.clone();
+            ctx.go("deadline", move |ctx| {
+                ctx.sleep(2);
+                g.cancel(ctx);
+            });
+        }
+
+        // f.Wait(ctx)
+        {
+            let _w = ctx.frame("Future.Wait");
+            match select2_recv(ctx, &ch, gctx.done()) {
+                Selected2::First(_) => {
+                    // Future completed: HB edge via the channel; safe.
+                    let _ = ctx.read(&err);
+                }
+                Selected2::Second(_) => {
+                    // Context cancelled:
+                    ctx.write(&err, -1); // ▶ f.err = ErrCancelled — races!
+                }
+            }
+        }
+    })
+}
+
+/// The standard fix: a buffered channel (no leak) and a mutex around the
+/// shared fields.
+fn listing9_fixed() -> Program {
+    Program::new("listing9_fixed_future", |ctx| {
+        let _f = ctx.frame("main");
+        let response = ctx.cell("f.response", 0i64);
+        let err = ctx.cell("f.err", 0i64);
+        let mu = ctx.mutex("f.mu");
+        let ch = ctx.chan::<i64>("f.ch", 1); // buffered: sender never blocks
+        let gctx = GoContext::with_cancel(ctx, "ctx");
+
+        {
+            let _s = ctx.frame("Future.Start");
+            let (response, err, mu, ch) =
+                (response.clone(), err.clone(), mu.clone(), ch.clone());
+            ctx.go("future-body", move |ctx| {
+                let _f = ctx.frame("registered-func");
+                ctx.sleep(3);
+                mu.lock(ctx);
+                ctx.write(&response, 42);
+                ctx.write(&err, 0);
+                mu.unlock(ctx);
+                ch.send(ctx, 1);
+            });
+        }
+        {
+            let g = gctx.clone();
+            ctx.go("deadline", move |ctx| {
+                ctx.sleep(2);
+                g.cancel(ctx);
+            });
+        }
+        {
+            let _w = ctx.frame("Future.Wait");
+            match select2_recv(ctx, &ch, gctx.done()) {
+                Selected2::First(_) => {
+                    mu.lock(ctx);
+                    let _ = ctx.read(&err);
+                    mu.unlock(ctx);
+                }
+                Selected2::Second(_) => {
+                    mu.lock(ctx);
+                    ctx.write(&err, -1);
+                    mu.unlock(ctx);
+                }
+            }
+        }
+    })
+}
+
+/// A done-channel used for signaling while a side result is read without
+/// the corresponding receive.
+fn chan_plus_flag_racy() -> Program {
+    Program::new("chan_plus_flag", |ctx| {
+        let _f = ctx.frame("FetchAll");
+        let partial = ctx.cell("partialResult", 0i64);
+        let done = ctx.chan::<()>("done", 1);
+        let (p2, d2) = (partial.clone(), done.clone());
+        ctx.go("fetcher", move |ctx| {
+            let _f = ctx.frame("fetch");
+            ctx.write(&p2, 7); // ◀ result written before signalling
+            d2.send(ctx, ());
+        });
+        // BUG: peek at the partial result without receiving from `done`.
+        let _ = ctx.read(&partial); // ▶ unordered read
+        let _ = done.recv(ctx);
+    })
+}
+
+fn chan_plus_flag_fixed() -> Program {
+    Program::new("chan_plus_flag_fixed", |ctx| {
+        let _f = ctx.frame("FetchAll");
+        let partial = ctx.cell("partialResult", 0i64);
+        let done = ctx.chan::<()>("done", 1);
+        let (p2, d2) = (partial.clone(), done.clone());
+        ctx.go("fetcher", move |ctx| {
+            let _f = ctx.frame("fetch");
+            ctx.write(&p2, 7);
+            d2.send(ctx, ());
+        });
+        let _ = done.recv(ctx); // the channel edge first
+        let _ = ctx.read(&partial); // now ordered
+    })
+}

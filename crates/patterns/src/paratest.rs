@@ -1,0 +1,116 @@
+//! Observation 9: the parallel table-driven testing idiom.
+//!
+//! Go's `testing.T.Parallel()` runs subtests concurrently. Table-driven
+//! suites with tens of subtests share fixtures (or exercise product code
+//! written without thread safety); the paper attributes 139 fixed races to
+//! this idiom.
+
+use grs_runtime::Program;
+
+use crate::{Category, Pattern};
+
+/// The parallel-testing patterns.
+#[must_use]
+pub fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            id: "parallel_subtests_shared_fixture",
+            listing: None,
+            observation: 9,
+            category: Category::ParallelTest,
+            description: "table-driven subtests run with t.Parallel() mutate \
+                          a shared test fixture",
+            racy: shared_fixture_racy,
+            fixed: shared_fixture_fixed,
+        },
+        Pattern {
+            id: "parallel_subtests_product_state",
+            listing: None,
+            observation: 9,
+            category: Category::ParallelTest,
+            description: "parallel subtests drive a product API whose \
+                          internal cache was written assuming serial calls",
+            racy: product_state_racy,
+            fixed: product_state_fixed,
+        },
+    ]
+}
+
+const SUBTESTS: usize = 4;
+
+/// Subtests sharing one fixture struct, each "configuring" it before use.
+fn shared_fixture_racy() -> Program {
+    Program::new("parallel_subtests_shared_fixture", |ctx| {
+        let _f = ctx.frame("TestHandlers");
+        // One fixture, built once, shared by every subtest row.
+        let fixture_mode = ctx.cell("fixture.mode", 0i64);
+        for case in 0..SUBTESTS as i64 {
+            let fixture_mode = fixture_mode.clone();
+            // t.Run(name, func(t *testing.T){ t.Parallel(); ... })
+            ctx.go("subtest", move |ctx| {
+                let _f = ctx.frame("subtest.body");
+                ctx.write(&fixture_mode, case); // ◀▶ per-case configuration
+                let _ = ctx.read(&fixture_mode); // the assertion reads it back
+            });
+        }
+        ctx.sleep(6);
+    })
+}
+
+/// Fix: each subtest builds its own fixture (the standard guidance).
+fn shared_fixture_fixed() -> Program {
+    Program::new("parallel_subtests_own_fixture", |ctx| {
+        let _f = ctx.frame("TestHandlers");
+        for case in 0..SUBTESTS as i64 {
+            ctx.go("subtest", move |ctx| {
+                let _f = ctx.frame("subtest.body");
+                let fixture_mode = ctx.cell("fixture.mode", 0i64); // private
+                ctx.write(&fixture_mode, case);
+                let _ = ctx.read(&fixture_mode);
+            });
+        }
+        ctx.sleep(6);
+    })
+}
+
+/// Product code with an internal memoization cell, safe serially, raced by
+/// parallel subtests.
+fn product_state_racy() -> Program {
+    Program::new("parallel_subtests_product_state", |ctx| {
+        let _f = ctx.frame("TestPricing");
+        let memo = ctx.cell("pricer.memo", -1i64); // product-internal cache
+        for case in 0..SUBTESTS as i64 {
+            let memo = memo.clone();
+            ctx.go("subtest", move |ctx| {
+                let _f = ctx.frame("Pricer.Quote");
+                // if p.memo < 0 { p.memo = compute() } — racy lazy init.
+                if ctx.read(&memo) < 0 {
+                    ctx.write(&memo, case * 10);
+                }
+                let _ = ctx.read(&memo);
+            });
+        }
+        ctx.sleep(6);
+    })
+}
+
+/// Fix: guard the lazy initialization with `sync.Once`.
+fn product_state_fixed() -> Program {
+    Program::new("parallel_subtests_product_once", |ctx| {
+        let _f = ctx.frame("TestPricing");
+        let memo = ctx.cell("pricer.memo", -1i64);
+        let once = ctx.once("pricer.init");
+        let wg = ctx.waitgroup("wg");
+        for _case in 0..SUBTESTS as i64 {
+            wg.add(ctx, 1);
+            let (memo, once, wg) = (memo.clone(), once.clone(), wg.clone());
+            ctx.go("subtest", move |ctx| {
+                let _f = ctx.frame("Pricer.Quote");
+                once.do_once(ctx, |ctx| ctx.write(&memo, 10));
+                let _ = ctx.read(&memo);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+    })
+}

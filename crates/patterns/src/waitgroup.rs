@@ -1,0 +1,120 @@
+//! Observation 8: incorrect use of flexible group synchronization
+//! (Listing 10).
+
+use grs_runtime::{GoSlice, Program};
+
+use crate::{Category, Pattern};
+
+/// The `WaitGroup` misuse patterns.
+#[must_use]
+pub fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            id: "waitgroup_add_inside",
+            listing: Some(10),
+            observation: 8,
+            category: Category::GroupSync,
+            description: "wg.Add(1) placed inside the goroutine body lets \
+                          Wait() return before workers registered",
+            racy: listing10_racy,
+            fixed: listing10_fixed,
+        },
+        Pattern {
+            id: "waitgroup_premature_done",
+            listing: None,
+            observation: 8,
+            category: Category::GroupSync,
+            description: "Done() called before the goroutine finished \
+                          publishing its result",
+            racy: premature_done_racy,
+            fixed: premature_done_fixed,
+        },
+    ]
+}
+
+const ITEMS: usize = 4;
+
+/// Listing 10: `go func(idx int){ wg.Add(1); defer wg.Done(); results[idx]
+/// = ... }(i)` then `wg.Wait()`.
+fn listing10_racy() -> Program {
+    Program::new("listing10_wg_add_inside", |ctx| {
+        let _f = ctx.frame("WaitGrpExample");
+        let wg = ctx.waitgroup("wg");
+        let results = GoSlice::<i64>::make(ctx, "results", ITEMS);
+        for i in 0..ITEMS {
+            let (wg, results) = (wg.clone(), results.clone());
+            ctx.go("anon-goroutine", move |ctx| {
+                let _f = ctx.frame("processItem");
+                wg.add(ctx, 1); // ✗ should be before the `go`
+                results.set(ctx, i, 1); // ◀ write
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx); // can unblock before any Add ran
+        let mut total = 0;
+        for i in 0..ITEMS {
+            total += results.get(ctx, i); // ▶ read, possibly concurrent
+        }
+        let _ = total;
+    })
+}
+
+/// Fix: `wg.Add(1)` before each `go`.
+fn listing10_fixed() -> Program {
+    Program::new("listing10_fixed_add_before_go", |ctx| {
+        let _f = ctx.frame("WaitGrpExample");
+        let wg = ctx.waitgroup("wg");
+        let results = GoSlice::<i64>::make(ctx, "results", ITEMS);
+        for i in 0..ITEMS {
+            wg.add(ctx, 1); // ✓ registered before the goroutine exists
+            let (wg, results) = (wg.clone(), results.clone());
+            ctx.go("anon-goroutine", move |ctx| {
+                let _f = ctx.frame("processItem");
+                results.set(ctx, i, 1);
+                wg.done(ctx);
+            });
+        }
+        wg.wait(ctx);
+        let mut total = 0;
+        for i in 0..ITEMS {
+            total += results.get(ctx, i);
+        }
+        assert_eq!(total, ITEMS as i64);
+    })
+}
+
+/// "We also found data races arising from a premature placement of the
+/// Done() call": Done before the result write.
+fn premature_done_racy() -> Program {
+    Program::new("wg_premature_done", |ctx| {
+        let _f = ctx.frame("GatherStats");
+        let wg = ctx.waitgroup("wg");
+        let stat = ctx.cell("stat", 0i64);
+        wg.add(ctx, 1);
+        let (wg2, stat2) = (wg.clone(), stat.clone());
+        ctx.go("collector", move |ctx| {
+            let _f = ctx.frame("collect");
+            wg2.done(ctx); // ✗ signalled before publishing
+            ctx.write(&stat2, 5); // ◀ write after Done
+        });
+        wg.wait(ctx);
+        let _ = ctx.read(&stat); // ▶ read believed safe
+    })
+}
+
+fn premature_done_fixed() -> Program {
+    Program::new("wg_done_after_publish", |ctx| {
+        let _f = ctx.frame("GatherStats");
+        let wg = ctx.waitgroup("wg");
+        let stat = ctx.cell("stat", 0i64);
+        wg.add(ctx, 1);
+        let (wg2, stat2) = (wg.clone(), stat.clone());
+        ctx.go("collector", move |ctx| {
+            let _f = ctx.frame("collect");
+            ctx.write(&stat2, 5);
+            wg2.done(ctx); // ✓ publish, then signal
+        });
+        wg.wait(ctx);
+        assert_eq!(ctx.read(&stat), 5);
+    })
+}

@@ -1,0 +1,438 @@
+//! Go channels: buffered and unbuffered, with `close` and 2-way `select`.
+//!
+//! Happens-before edges follow the Go memory model:
+//!
+//! * the `k`-th send happens-before the `k`-th receive completes,
+//! * for a channel of capacity `C`, the `k`-th receive happens-before the
+//!   `k+C`-th send completes (backpressure edge),
+//! * for an unbuffered channel the receive also happens-before the send
+//!   *completes* (rendezvous),
+//! * `close` happens-before any receive that observes the closed state.
+//!
+//! The runtime emits `ChanSend`/`ChanRecv`/`ChanSendComplete`/`ChanClose`
+//! events carrying per-channel sequence numbers; the detector reconstructs
+//! the edges from those.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::ctx::Ctx;
+use crate::event::EventKind;
+use crate::ids::ChanId;
+use crate::kernel::{BlockReason, ChanState, KState, Kernel};
+use crate::runtime::RuntimeError;
+
+/// Result of a (blocking) receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvResult<T> {
+    /// A value was received.
+    Value(T),
+    /// The channel is closed and drained; Go returns the zero value with
+    /// `ok == false`.
+    Closed,
+}
+
+impl<T> RecvResult<T> {
+    /// The received value, if any.
+    pub fn value(self) -> Option<T> {
+        match self {
+            RecvResult::Value(v) => Some(v),
+            RecvResult::Closed => None,
+        }
+    }
+
+    /// True when the channel was closed (Go's `ok == false`).
+    pub fn is_closed(&self) -> bool {
+        matches!(self, RecvResult::Closed)
+    }
+}
+
+/// Which arm a two-channel `select` took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selected2<A, B> {
+    /// The first channel was ready.
+    First(RecvResult<A>),
+    /// The second channel was ready.
+    Second(RecvResult<B>),
+}
+
+/// A Go channel carrying values of type `T`.
+///
+/// Handles are cheap to clone and all alias the same channel, as in Go.
+///
+/// # Example
+///
+/// ```
+/// use grs_runtime::{NullMonitor, Program, RunConfig, Runtime};
+///
+/// let p = Program::new("chan", |ctx| {
+///     let ch = ctx.chan::<i64>("results", 0); // unbuffered
+///     let tx = ch.clone();
+///     ctx.go("producer", move |ctx| tx.send(ctx, 42));
+///     assert_eq!(ch.recv(ctx).value(), Some(42));
+/// });
+/// let (outcome, _) = Runtime::new(RunConfig::with_seed(1)).run(&p, NullMonitor);
+/// assert!(outcome.is_clean());
+/// ```
+pub struct Chan<T> {
+    id: ChanId,
+    name: Arc<str>,
+    buf: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Chan<T> {
+    fn clone(&self) -> Self {
+        Chan {
+            id: self.id,
+            name: self.name.clone(),
+            buf: self.buf.clone(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Chan<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chan")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl Ctx {
+    /// Creates a channel with the given capacity (`0` = unbuffered).
+    pub fn chan<T: Send + 'static>(&self, name: &str, cap: usize) -> Chan<T> {
+        let id = self.kernel().alloc_id();
+        let mut k = self.kernel().lock();
+        k.chans.insert(id, ChanState::new(cap));
+        drop(k);
+        Chan {
+            id: ChanId(id),
+            name: Arc::from(name),
+            buf: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+}
+
+fn wake_senders(k: &mut KState, id: u64) {
+    let list = std::mem::take(&mut k.chans.get_mut(&id).expect("channel exists").send_waiters);
+    for g in list {
+        Kernel::wake(k, g);
+    }
+}
+
+fn wake_receivers(k: &mut KState, id: u64) {
+    let list = std::mem::take(&mut k.chans.get_mut(&id).expect("channel exists").recv_waiters);
+    for g in list {
+        Kernel::wake(k, g);
+    }
+}
+
+fn wake_all(k: &mut KState, id: u64) {
+    wake_senders(k, id);
+    wake_receivers(k, id);
+}
+
+impl<T: Send + 'static> Chan<T> {
+    /// The channel's identity.
+    #[must_use]
+    pub fn id(&self) -> ChanId {
+        self.id
+    }
+
+    /// The debug name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sends `value`, blocking while the buffer is full (or, for an
+    /// unbuffered channel, until a receiver takes the value).
+    ///
+    /// Sending on a closed channel records
+    /// [`RuntimeError::SendOnClosedChannel`] (Go panics) and drops the
+    /// value.
+    pub fn send(&self, ctx: &Ctx, value: T) {
+        let kernel = ctx.kernel().clone();
+        let gid = ctx.gid();
+        kernel.yield_point(gid);
+        let mut pending = Some(value);
+        let mut k = kernel.lock();
+        loop {
+            let cs = k.chans.get(&self.id.0).expect("channel exists");
+            if cs.closed {
+                let name = self.name.to_string();
+                k.errors.push(RuntimeError::SendOnClosedChannel { channel: name });
+                return;
+            }
+            let can_proceed = if cs.cap == 0 {
+                cs.qlen == 0 && !cs.recv_waiters.is_empty()
+            } else {
+                cs.qlen < cs.cap
+            };
+            if can_proceed {
+                let (cap, seq) = {
+                    let cs = k.chans.get_mut(&self.id.0).expect("channel exists");
+                    cs.qlen += 1;
+                    let seq = cs.send_seq;
+                    cs.send_seq += 1;
+                    (cs.cap, seq)
+                };
+                self.buf
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push_back(pending.take().expect("value still pending"));
+                kernel.emit_locked(&mut k, gid, EventKind::ChanSend { chan: self.id, seq });
+                wake_receivers(&mut k, self.id.0);
+                if cap == 0 {
+                    // Rendezvous: block until the value is consumed.
+                    loop {
+                        let cs = k.chans.get(&self.id.0).expect("channel exists");
+                        if cs.recv_seq > seq || cs.closed {
+                            break;
+                        }
+                        k.chans
+                            .get_mut(&self.id.0)
+                            .expect("channel exists")
+                            .send_waiters
+                            .push(gid);
+                        k = kernel.park(k, gid, BlockReason::ChanSend(self.id));
+                    }
+                }
+                kernel.emit_locked(
+                    &mut k,
+                    gid,
+                    EventKind::ChanSendComplete {
+                        chan: self.id,
+                        seq,
+                        cap,
+                    },
+                );
+                return;
+            }
+            k.chans
+                .get_mut(&self.id.0)
+                .expect("channel exists")
+                .send_waiters
+                .push(gid);
+            k = kernel.park(k, gid, BlockReason::ChanSend(self.id));
+        }
+    }
+
+    /// Receives a value, blocking while the channel is empty and open.
+    pub fn recv(&self, ctx: &Ctx) -> RecvResult<T> {
+        let kernel = ctx.kernel().clone();
+        let gid = ctx.gid();
+        kernel.yield_point(gid);
+        let mut k = kernel.lock();
+        loop {
+            match self.try_take_locked(ctx, &mut k) {
+                Some(r) => return r,
+                None => {
+                    k.chans
+                        .get_mut(&self.id.0)
+                        .expect("channel exists")
+                        .recv_waiters
+                        .push(gid);
+                    k = kernel.park(k, gid, BlockReason::ChanRecv(self.id));
+                }
+            }
+        }
+    }
+
+    /// Non-blocking send attempt: returns the value back when the channel
+    /// cannot accept it right now (used by `select` send arms).
+    ///
+    /// Sending on a closed channel records the error (like [`Chan::send`])
+    /// and reports success (the arm "fired", as Go's select would panic).
+    /// On an unbuffered channel, success requires a parked receiver and —
+    /// as in Go — the send then completes the rendezvous (briefly
+    /// blocking until the value is consumed).
+    pub fn try_send(&self, ctx: &Ctx, value: T) -> Result<(), T> {
+        let kernel = ctx.kernel().clone();
+        let gid = ctx.gid();
+        kernel.yield_point(gid);
+        let mut k = kernel.lock();
+        let cs = k.chans.get(&self.id.0).expect("channel exists");
+        if cs.closed {
+            let name = self.name.to_string();
+            k.errors.push(RuntimeError::SendOnClosedChannel { channel: name });
+            return Ok(());
+        }
+        let can_proceed = if cs.cap == 0 {
+            cs.qlen == 0 && !cs.recv_waiters.is_empty()
+        } else {
+            cs.qlen < cs.cap
+        };
+        if !can_proceed {
+            return Err(value);
+        }
+        let (cap, seq) = {
+            let cs = k.chans.get_mut(&self.id.0).expect("channel exists");
+            cs.qlen += 1;
+            let seq = cs.send_seq;
+            cs.send_seq += 1;
+            (cs.cap, seq)
+        };
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(value);
+        kernel.emit_locked(&mut k, gid, EventKind::ChanSend { chan: self.id, seq });
+        wake_receivers(&mut k, self.id.0);
+        if cap == 0 {
+            loop {
+                let cs = k.chans.get(&self.id.0).expect("channel exists");
+                if cs.recv_seq > seq || cs.closed {
+                    break;
+                }
+                k.chans
+                    .get_mut(&self.id.0)
+                    .expect("channel exists")
+                    .send_waiters
+                    .push(gid);
+                k = kernel.park(k, gid, BlockReason::ChanSend(self.id));
+            }
+        }
+        kernel.emit_locked(
+            &mut k,
+            gid,
+            EventKind::ChanSendComplete {
+                chan: self.id,
+                seq,
+                cap,
+            },
+        );
+        Ok(())
+    }
+
+    /// Non-blocking receive: `None` when nothing is immediately available
+    /// and the channel is open (the `default` arm of a Go `select`).
+    pub fn try_recv(&self, ctx: &Ctx) -> Option<RecvResult<T>> {
+        let kernel = ctx.kernel().clone();
+        kernel.yield_point(ctx.gid());
+        let mut k = kernel.lock();
+        self.try_take_locked(ctx, &mut k)
+    }
+
+    /// Attempts to take a value (or observe closure) under the kernel lock.
+    /// Also prods rendezvous senders on an unbuffered channel.
+    fn try_take_locked(&self, ctx: &Ctx, k: &mut KState) -> Option<RecvResult<T>> {
+        let kernel = ctx.kernel();
+        let gid = ctx.gid();
+        let cs = k.chans.get(&self.id.0).expect("channel exists");
+        if cs.qlen > 0 {
+            let seq = {
+                let cs = k.chans.get_mut(&self.id.0).expect("channel exists");
+                cs.qlen -= 1;
+                let seq = cs.recv_seq;
+                cs.recv_seq += 1;
+                seq
+            };
+            let v = self
+                .buf
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+                .expect("buffer tracks qlen");
+            kernel.emit_locked(k, gid, EventKind::ChanRecv { chan: self.id, seq });
+            wake_senders(k, self.id.0);
+            return Some(RecvResult::Value(v));
+        }
+        if cs.closed {
+            kernel.emit_locked(k, gid, EventKind::ChanRecvClosed { chan: self.id });
+            return Some(RecvResult::Closed);
+        }
+        // Unbuffered and empty: prod parked senders so they can rendezvous
+        // with us once we register as a receiver.
+        if cs.cap == 0 && !cs.send_waiters.is_empty() {
+            wake_senders(k, self.id.0);
+        }
+        None
+    }
+
+    /// Closes the channel. Receivers drain remaining values, then observe
+    /// closure. Double-close records [`RuntimeError::CloseOfClosedChannel`]
+    /// (Go panics).
+    pub fn close(&self, ctx: &Ctx) {
+        let kernel = ctx.kernel().clone();
+        let gid = ctx.gid();
+        kernel.yield_point(gid);
+        let mut k = kernel.lock();
+        let cs = k.chans.get_mut(&self.id.0).expect("channel exists");
+        if cs.closed {
+            let name = self.name.to_string();
+            k.errors
+                .push(RuntimeError::CloseOfClosedChannel { channel: name });
+            return;
+        }
+        cs.closed = true;
+        kernel.emit_locked(&mut k, gid, EventKind::ChanClose { chan: self.id });
+        wake_all(&mut k, self.id.0);
+    }
+
+    /// Whether the channel has been closed (instrumentation-free peek used
+    /// by tests).
+    #[must_use]
+    pub fn is_closed(&self, ctx: &Ctx) -> bool {
+        let k = ctx.kernel().lock();
+        k.chans.get(&self.id.0).expect("channel exists").closed
+    }
+}
+
+/// Blocking `select` over two receive arms (covers the study's patterns,
+/// e.g. Listing 9's `select { case <-f.ch: ...; case <-ctx.Done(): ... }`).
+///
+/// When both channels are ready one is chosen pseudo-randomly (Go's
+/// semantics), using the run's seeded RNG so the choice is reproducible.
+pub fn select2_recv<A: Send + 'static, B: Send + 'static>(
+    ctx: &Ctx,
+    a: &Chan<A>,
+    b: &Chan<B>,
+) -> Selected2<A, B> {
+    let kernel = ctx.kernel().clone();
+    let gid = ctx.gid();
+    kernel.yield_point(gid);
+    let mut k = kernel.lock();
+    loop {
+        let a_ready = chan_ready(&k, a.id.0);
+        let b_ready = chan_ready(&k, b.id.0);
+        let take_first = match (a_ready, b_ready) {
+            (true, true) => {
+                use rand::Rng;
+                k.rng.gen_bool(0.5)
+            }
+            (true, false) => true,
+            (false, true) => false,
+            (false, false) => {
+                for id in [a.id.0, b.id.0] {
+                    let cs = k.chans.get(&id).expect("channel exists");
+                    if cs.cap == 0 && !cs.send_waiters.is_empty() {
+                        wake_senders(&mut k, id);
+                    }
+                    k.chans
+                        .get_mut(&id)
+                        .expect("channel exists")
+                        .recv_waiters
+                        .push(gid);
+                }
+                k = kernel.park(k, gid, BlockReason::Select);
+                continue;
+            }
+        };
+        if take_first {
+            if let Some(r) = a.try_take_locked(ctx, &mut k) {
+                return Selected2::First(r);
+            }
+        } else if let Some(r) = b.try_take_locked(ctx, &mut k) {
+            return Selected2::Second(r);
+        }
+        // Raced with another consumer between the readiness check and the
+        // take; go around again.
+    }
+}
+
+fn chan_ready(k: &KState, id: u64) -> bool {
+    let cs = k.chans.get(&id).expect("channel exists");
+    cs.qlen > 0 || cs.closed
+}

@@ -1,0 +1,69 @@
+//! A Go-style `context.Context` with cancellation.
+//!
+//! Contexts "carry deadlines, cancelation signals, and other request-scoped
+//! values across API boundaries" — the paper notes they are pervasive in
+//! microservices, and Listing 9's Future race fires exactly when a context
+//! cancellation arm of a `select` runs concurrently with the future's
+//! completion goroutine.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::chan::Chan;
+use crate::ctx::Ctx;
+
+/// A cancellable context: `Done()` exposes a channel that is closed on
+/// cancellation, as in Go.
+///
+/// # Example
+///
+/// ```
+/// use grs_runtime::{GoContext, NullMonitor, Program, RunConfig, Runtime};
+///
+/// let p = Program::new("ctx_cancel", |ctx| {
+///     let gctx = GoContext::with_cancel(ctx, "request");
+///     let g2 = gctx.clone();
+///     ctx.go("canceller", move |ctx| g2.cancel(ctx));
+///     // Blocks until the cancellation closes the done channel.
+///     let r = gctx.done().recv(ctx);
+///     assert!(r.is_closed());
+/// });
+/// let (outcome, _) = Runtime::new(RunConfig::with_seed(5)).run(&p, NullMonitor);
+/// assert!(outcome.is_clean());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoContext {
+    done: Chan<()>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl GoContext {
+    /// Creates a cancellable context (Go's `context.WithCancel`).
+    #[must_use]
+    pub fn with_cancel(ctx: &Ctx, name: &str) -> Self {
+        GoContext {
+            done: ctx.chan(&format!("{name}.done"), 0),
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The `Done()` channel: closed when the context is cancelled.
+    #[must_use]
+    pub fn done(&self) -> &Chan<()> {
+        &self.done
+    }
+
+    /// Cancels the context (idempotent, callable from any goroutine).
+    pub fn cancel(&self, ctx: &Ctx) {
+        if self.cancelled.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.done.close(ctx);
+    }
+
+    /// Whether cancellation has been requested (uninstrumented peek).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}

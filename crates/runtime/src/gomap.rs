@@ -1,0 +1,209 @@
+//! [`GoMap`] — Go's built-in, thread-unsafe hash table.
+//!
+//! Observation 5: Go developers misread `m[k]` array-style syntax as
+//! touching only the entry for `k`, but a map is a sparse structure — every
+//! insertion or deletion mutates shared internals (buckets, counts,
+//! possibly a rehash). The model therefore gives the map one *structure*
+//! address written by every mutation and read by every lookup, plus one
+//! address per key slot; concurrent writes under distinct keys still
+//! conflict on the structure word, exactly as Go's `-race` (and the Go
+//! runtime's own `concurrent map writes` throw) reports.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+use crate::ctx::Ctx;
+use crate::event::{AccessKind, SourceLoc};
+use crate::ids::Addr;
+
+/// A Go map from `K` to `V`.
+///
+/// Cloning the handle aliases the same map (Go maps are reference types).
+///
+/// # Example
+///
+/// ```
+/// use grs_runtime::{GoMap, NullMonitor, Program, RunConfig, Runtime};
+///
+/// let p = Program::new("map", |ctx| {
+///     let m: GoMap<String, i64> = GoMap::make(ctx, "errMap");
+///     m.insert(ctx, "a".into(), 1);
+///     assert_eq!(m.get(ctx, &"a".into()), Some(1));
+///     assert_eq!(m.get(ctx, &"b".into()), None); // zero value, no error
+///     assert_eq!(m.len(ctx), 1);
+/// });
+/// let (outcome, _) = Runtime::new(RunConfig::with_seed(4)).run(&p, NullMonitor);
+/// assert!(outcome.is_clean());
+/// ```
+pub struct GoMap<K, V> {
+    name: Arc<str>,
+    addr_struct: Addr,
+    inner: Arc<Mutex<MapInner<K, V>>>,
+}
+
+struct MapInner<K, V> {
+    entries: HashMap<K, (Addr, V)>,
+}
+
+impl<K, V> Clone for GoMap<K, V> {
+    fn clone(&self) -> Self {
+        GoMap {
+            name: self.name.clone(),
+            addr_struct: self.addr_struct,
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for GoMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GoMap").field("name", &self.name).finish()
+    }
+}
+
+impl<K, V> GoMap<K, V>
+where
+    K: Eq + Hash + Clone + Send + std::fmt::Debug + 'static,
+    V: Clone + Send + 'static,
+{
+    /// Go's `make(map[K]V)`.
+    #[must_use]
+    pub fn make(ctx: &Ctx, name: &str) -> Self {
+        GoMap {
+            name: Arc::from(name),
+            addr_struct: Addr(ctx.kernel().alloc_id()),
+            inner: Arc::new(Mutex::new(MapInner {
+                entries: HashMap::new(),
+            })),
+        }
+    }
+
+    /// The debug name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The structure-word shadow address.
+    #[must_use]
+    pub fn structure_addr(&self) -> Addr {
+        self.addr_struct
+    }
+
+    fn struct_object(&self) -> Arc<str> {
+        Arc::from(format!("{}[structure]", self.name).as_str())
+    }
+
+    /// `m[k] = v` — writes the structure word and the key slot.
+    #[track_caller]
+    pub fn insert(&self, ctx: &Ctx, key: K, value: V) {
+        let loc = SourceLoc::here();
+        ctx.access(self.addr_struct, self.struct_object(), AccessKind::Write, loc);
+        let (slot_addr, object) = {
+            let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let object: Arc<str> = Arc::from(format!("{}[{:?}]", self.name, key).as_str());
+            let addr = match m.entries.get(&key) {
+                Some((a, _)) => *a,
+                None => Addr(ctx.kernel().alloc_id()),
+            };
+            m.entries.insert(key, (addr, value));
+            (addr, object)
+        };
+        ctx.access(slot_addr, object, AccessKind::Write, loc);
+    }
+
+    /// `v, ok := m[k]` — reads the structure word and, when present, the
+    /// key slot. Missing keys return `None` (Go returns the zero value
+    /// without complaint — the "error tolerance" the paper flags).
+    #[track_caller]
+    #[must_use]
+    pub fn get(&self, ctx: &Ctx, key: &K) -> Option<V> {
+        let loc = SourceLoc::here();
+        ctx.access(self.addr_struct, self.struct_object(), AccessKind::Read, loc);
+        let found = {
+            let m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            m.entries.get(key).map(|(a, v)| (*a, v.clone()))
+        };
+        match found {
+            Some((addr, v)) => {
+                let object: Arc<str> = Arc::from(format!("{}[{:?}]", self.name, key).as_str());
+                ctx.access(addr, object, AccessKind::Read, loc);
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// `delete(m, k)` — writes the structure word (and the slot if present).
+    #[track_caller]
+    pub fn delete(&self, ctx: &Ctx, key: &K) {
+        let loc = SourceLoc::here();
+        ctx.access(self.addr_struct, self.struct_object(), AccessKind::Write, loc);
+        let removed = {
+            let mut m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            m.entries.remove(key)
+        };
+        if let Some((addr, _)) = removed {
+            let object: Arc<str> = Arc::from(format!("{}[{:?}]", self.name, key).as_str());
+            ctx.access(addr, object, AccessKind::Write, loc);
+        }
+    }
+
+    /// `len(m)` — reads the structure word.
+    #[track_caller]
+    #[must_use]
+    pub fn len(&self, ctx: &Ctx) -> usize {
+        let loc = SourceLoc::here();
+        ctx.access(self.addr_struct, self.struct_object(), AccessKind::Read, loc);
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+
+    /// True when the map has no entries.
+    #[track_caller]
+    #[must_use]
+    pub fn is_empty(&self, ctx: &Ctx) -> bool {
+        self.len(ctx) == 0
+    }
+
+    /// `for k, v := range m` — reads the structure word and every slot.
+    /// Iteration order is sorted by the debug representation of the key so
+    /// runs stay deterministic (Go randomizes; determinism matters more
+    /// here).
+    #[track_caller]
+    #[must_use]
+    pub fn iterate(&self, ctx: &Ctx) -> Vec<(K, V)> {
+        let loc = SourceLoc::here();
+        ctx.access(self.addr_struct, self.struct_object(), AccessKind::Read, loc);
+        let mut items: Vec<(K, (Addr, V))> = {
+            let m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            m.entries
+                .iter()
+                .map(|(k, (a, v))| (k.clone(), (*a, v.clone())))
+                .collect()
+        };
+        items.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        items
+            .into_iter()
+            .map(|(k, (addr, v))| {
+                let object: Arc<str> = Arc::from(format!("{}[{:?}]", self.name, k).as_str());
+                ctx.access(addr, object, AccessKind::Read, loc);
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// Uninstrumented snapshot for test assertions.
+    #[must_use]
+    pub fn snapshot(&self) -> HashMap<K, V> {
+        let m = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        m.entries
+            .iter()
+            .map(|(k, (_, v))| (k.clone(), v.clone()))
+            .collect()
+    }
+}

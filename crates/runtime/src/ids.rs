@@ -1,0 +1,107 @@
+//! Identities for the objects the runtime instruments.
+//!
+//! Every shared variable, lock, channel, wait group, and goroutine gets a
+//! small copyable id. Detectors key their shadow state by these ids.
+
+use std::fmt;
+
+/// Identity of a goroutine, assigned densely in spawn order.
+///
+/// The main goroutine of a run is always `Gid::MAIN` (index 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gid(pub u32);
+
+impl Gid {
+    /// The main goroutine of every run.
+    pub const MAIN: Gid = Gid(0);
+
+    /// Dense index of this goroutine.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Gid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "goroutine-{}", self.0)
+    }
+}
+
+/// Shadow address of one shared memory word.
+///
+/// A [`crate::Cell`] owns one address; compound objects own several (a
+/// [`crate::GoSlice`] has three header words plus one per element, a
+/// [`crate::GoMap`] has a structure word plus one per key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.0)
+    }
+}
+
+/// Identity of a mutex or rwlock.
+///
+/// Named `LockUid` to avoid clashing with `grs_clock::LockId`, which is the
+/// detector-side representation this converts into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockUid(pub u64);
+
+impl fmt::Display for LockUid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lock-{}", self.0)
+    }
+}
+
+/// Identity of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChanId(pub u64);
+
+impl fmt::Display for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chan-{}", self.0)
+    }
+}
+
+/// Identity of a `WaitGroup`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WgId(pub u64);
+
+impl fmt::Display for WgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "waitgroup-{}", self.0)
+    }
+}
+
+/// Identity of a `sync.Once`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OnceId(pub u64);
+
+impl fmt::Display for OnceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "once-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_goroutine_is_zero() {
+        assert_eq!(Gid::MAIN, Gid(0));
+        assert_eq!(Gid::MAIN.index(), 0);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(Gid(3).to_string(), "goroutine-3");
+        assert_eq!(Addr(255).to_string(), "0x000000ff");
+        assert_eq!(LockUid(1).to_string(), "lock-1");
+        assert_eq!(ChanId(2).to_string(), "chan-2");
+        assert_eq!(WgId(4).to_string(), "waitgroup-4");
+        assert_eq!(OnceId(5).to_string(), "once-5");
+    }
+}

@@ -1,0 +1,140 @@
+//! The [`Monitor`] trait — the runtime/detector boundary.
+//!
+//! The runtime emits a totally ordered [`Event`] stream while the program
+//! executes; a monitor consumes it. Race detectors (`grs-detector`) are
+//! monitors, but so are simple recorders and counters used in tests and in
+//! the instrumentation-overhead experiment (§3.5 reports a 4× test-time
+//! increase with the detector on; our overhead bench compares
+//! [`NullMonitor`] against a real detector).
+
+use crate::event::Event;
+
+/// Consumes the instrumentation event stream of one program run.
+///
+/// Implementations run under the runtime's internal lock, so they must not
+/// call back into the runtime. They receive events in a total order
+/// consistent with the executed interleaving.
+pub trait Monitor: Send {
+    /// Called once per instrumentation event, in execution order.
+    fn on_event(&mut self, event: &Event);
+
+    /// Called once when the run finishes (all goroutines ended, leaked, or
+    /// the run deadlocked). A good place to flush per-run state.
+    fn on_run_end(&mut self) {}
+
+    /// True when the monitor ignores all events. The runtime then skips
+    /// event construction entirely (no stack snapshots, no dispatch) while
+    /// keeping the schedule identical — modeling a binary compiled
+    /// *without* `-race`, which is the §3.5 overhead baseline.
+    fn is_noop(&self) -> bool {
+        false
+    }
+}
+
+/// A monitor that ignores everything — the "race detector off" baseline.
+///
+/// # Example
+///
+/// ```
+/// use grs_runtime::{NullMonitor, Program, RunConfig, Runtime};
+///
+/// let p = Program::new("noop", |_ctx| {});
+/// let (outcome, _mon) = Runtime::new(RunConfig::with_seed(1)).run(&p, NullMonitor);
+/// assert!(outcome.is_clean());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {
+    fn on_event(&mut self, _event: &Event) {}
+
+    fn is_noop(&self) -> bool {
+        true
+    }
+}
+
+/// A monitor that records every event; useful for tests and trace debugging.
+#[derive(Debug, Default)]
+pub struct RecordingMonitor {
+    events: Vec<Event>,
+}
+
+impl RecordingMonitor {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in execution order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning the events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl Monitor for RecordingMonitor {
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A monitor that only counts events — cheap enough for overhead baselines
+/// that still exercise the dispatch path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingMonitor {
+    count: u64,
+}
+
+impl CountingMonitor {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Monitor for CountingMonitor {
+    fn on_event(&mut self, _event: &Event) {
+        self.count += 1;
+    }
+}
+
+/// Object-safe bridge that lets the kernel hand a type-erased monitor back
+/// to [`crate::Runtime::run`], which downcasts it to the caller's concrete
+/// type.
+pub(crate) trait AnyMonitor: Monitor {
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+impl<M: Monitor + std::any::Any> AnyMonitor for M {
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+impl<M: Monitor + ?Sized> Monitor for Box<M> {
+    fn on_event(&mut self, event: &Event) {
+        (**self).on_event(event);
+    }
+
+    fn on_run_end(&mut self) {
+        (**self).on_run_end();
+    }
+
+    fn is_noop(&self) -> bool {
+        (**self).is_noop()
+    }
+}

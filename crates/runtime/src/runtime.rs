@@ -1,0 +1,272 @@
+//! The run driver: [`Program`], [`RunConfig`], [`Runtime`], [`RunOutcome`].
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::ctx::Ctx;
+use crate::ids::Gid;
+use crate::kernel::{Kernel, PoisonExit};
+use crate::monitor::Monitor;
+use crate::sched::Strategy;
+
+/// A re-runnable simulated Go program: a name plus the main goroutine body.
+///
+/// Programs are `Fn` (not `FnOnce`) so the same program can be executed
+/// under many seeds and strategies — the explorer in `grs-detector` relies
+/// on this to hunt interleavings, mirroring how the paper's deployment
+/// reruns unit tests daily.
+#[derive(Clone)]
+pub struct Program {
+    name: Arc<str>,
+    body: Arc<dyn Fn(&Ctx) + Send + Sync>,
+}
+
+impl Program {
+    /// Creates a program from its main-goroutine body.
+    pub fn new(name: &str, body: impl Fn(&Ctx) + Send + Sync + 'static) -> Self {
+        Program {
+            name: Arc::from(name),
+            body: Arc::new(body),
+        }
+    }
+
+    /// The program's name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The main-goroutine body.
+    pub fn body(&self) -> &(dyn Fn(&Ctx) + Send + Sync) {
+        &*self.body
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program").field("name", &self.name).finish()
+    }
+}
+
+/// Configuration of one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Seed driving all scheduling randomness.
+    pub seed: u64,
+    /// Scheduling policy.
+    pub strategy: Strategy,
+    /// Hard bound on scheduler steps (guards against livelock in simulated
+    /// programs; exceeding it aborts the run with
+    /// [`RuntimeError::StepBudgetExhausted`]).
+    pub max_steps: u64,
+    /// Expected program length used to place PCT priority-change points.
+    pub pct_steps_hint: u64,
+}
+
+impl RunConfig {
+    /// A config with the given seed and default strategy/limits.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        RunConfig {
+            seed,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Sets the scheduling strategy (builder style).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the step budget (builder style).
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0,
+            strategy: Strategy::Random,
+            max_steps: 1_000_000,
+            pct_steps_hint: 1_000,
+        }
+    }
+}
+
+/// A user-visible error the simulated program committed; the Go analogues
+/// are runtime panics or throws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// `panic: send on closed channel`.
+    SendOnClosedChannel {
+        /// Channel name.
+        channel: String,
+    },
+    /// `panic: close of closed channel`.
+    CloseOfClosedChannel {
+        /// Channel name.
+        channel: String,
+    },
+    /// `fatal error: sync: unlock of unlocked mutex`.
+    UnlockOfUnlockedMutex {
+        /// Mutex name.
+        mutex: String,
+    },
+    /// `panic: sync: negative WaitGroup counter`.
+    NegativeWaitGroup {
+        /// WaitGroup name.
+        waitgroup: String,
+    },
+    /// A goroutine body panicked.
+    GoroutinePanic {
+        /// Goroutine name.
+        goroutine: String,
+        /// Panic message.
+        message: String,
+    },
+    /// The scheduler's step budget ran out (livelock guard).
+    StepBudgetExhausted {
+        /// The configured budget.
+        max_steps: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::SendOnClosedChannel { channel } => {
+                write!(f, "send on closed channel {channel}")
+            }
+            RuntimeError::CloseOfClosedChannel { channel } => {
+                write!(f, "close of closed channel {channel}")
+            }
+            RuntimeError::UnlockOfUnlockedMutex { mutex } => {
+                write!(f, "unlock of unlocked mutex {mutex}")
+            }
+            RuntimeError::NegativeWaitGroup { waitgroup } => {
+                write!(f, "negative WaitGroup counter on {waitgroup}")
+            }
+            RuntimeError::GoroutinePanic { goroutine, message } => {
+                write!(f, "goroutine {goroutine} panicked: {message}")
+            }
+            RuntimeError::StepBudgetExhausted { max_steps } => {
+                write!(f, "step budget of {max_steps} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Diagnostic for a run where every live goroutine was blocked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockInfo {
+    /// `(goroutine, "name: reason")` for each blocked goroutine.
+    pub blocked: Vec<(Gid, String)>,
+}
+
+impl fmt::Display for DeadlockInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "all goroutines are asleep - deadlock!")?;
+        for (gid, what) in &self.blocked {
+            writeln!(f, "  {gid} blocked: {what}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What happened during one run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Name of the executed program.
+    pub program: String,
+    /// The seed that produced this interleaving.
+    pub seed: u64,
+    /// Total scheduler steps taken.
+    pub steps: u64,
+    /// Number of goroutines created (including main).
+    pub goroutines_spawned: usize,
+    /// Go-level runtime errors (panics/throws) the program committed.
+    pub errors: Vec<RuntimeError>,
+    /// Present when the run deadlocked (main blocked, nothing runnable).
+    pub deadlock: Option<DeadlockInfo>,
+    /// Goroutines still blocked when main finished — Go would leak them
+    /// silently (Listing 9's forever-blocked Future sender).
+    pub leaked: Vec<(Gid, String)>,
+}
+
+impl RunOutcome {
+    /// True when the run finished with no errors, deadlock, or leaks.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty() && self.deadlock.is_none() && self.leaked.is_empty()
+    }
+}
+
+/// Executes [`Program`]s deterministically.
+///
+/// See the crate-level docs for a complete example.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    config: RunConfig,
+}
+
+impl Runtime {
+    /// Creates a runtime with the given configuration.
+    #[must_use]
+    pub fn new(config: RunConfig) -> Self {
+        Runtime { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Runs `program` to completion under `monitor`, returning the outcome
+    /// and the monitor (with whatever it accumulated — race reports, event
+    /// traces, counts).
+    pub fn run<M: Monitor + 'static>(&self, program: &Program, monitor: M) -> (RunOutcome, M) {
+        let kernel = Kernel::new(&self.config, Box::new(monitor));
+        let ctx = Ctx::new(Gid::MAIN, Arc::clone(&kernel));
+        let result = panic::catch_unwind(AssertUnwindSafe(|| (program.body)(&ctx)));
+        let panicked = match result {
+            Ok(()) => None,
+            Err(payload) => {
+                if payload.downcast_ref::<PoisonExit>().is_some() {
+                    None // run aborted (deadlock/step budget); already recorded
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    Some((*s).to_string())
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    Some(s.clone())
+                } else {
+                    Some("<non-string panic payload>".to_string())
+                }
+            }
+        };
+        kernel.main_finished_and_wait(panicked);
+        let (raw, monitor) = kernel.take_outcome();
+        let outcome = RunOutcome {
+            program: program.name().to_string(),
+            seed: self.config.seed,
+            steps: raw.steps,
+            goroutines_spawned: raw.goroutines_spawned,
+            errors: raw.errors,
+            deadlock: raw.deadlock,
+            leaked: raw.leaked,
+        };
+        let monitor = *monitor
+            .into_any()
+            .downcast::<M>()
+            .expect("monitor type preserved across the run");
+        (outcome, monitor)
+    }
+}

@@ -1,0 +1,204 @@
+//! Scheduling strategies.
+//!
+//! The kernel asks the strategy which runnable goroutine runs next at every
+//! preemption point. Because only one goroutine runs at a time and all
+//! randomness flows through the seeded RNG held by the kernel, a `(seed,
+//! strategy)` pair fully determines the interleaving.
+//!
+//! Three strategies are provided:
+//!
+//! * [`Strategy::Random`] — a uniform random walk over runnable goroutines;
+//!   the workhorse for race exposure, analogous to the stress of running Go
+//!   unit tests many times.
+//! * [`Strategy::Pct`] — Probabilistic Concurrency Testing (Burckhardt et
+//!   al., ASPLOS 2010): strict priorities with `depth - 1` random priority
+//!   change points, giving guarantees for low-depth bugs. Most of the
+//!   paper's patterns are depth-2 or depth-3 bugs.
+//! * [`Strategy::RoundRobin`] — cooperative round-robin; deterministic even
+//!   across seeds, useful as a "friendly" schedule that often *misses* races
+//!   (the baseline for the scheduler ablation).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::ids::Gid;
+
+/// Which scheduling policy drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Strategy {
+    /// Uniform random walk over runnable goroutines at every step.
+    #[default]
+    Random,
+    /// Probabilistic Concurrency Testing with the given bug depth
+    /// (number of ordering constraints, `>= 1`).
+    Pct {
+        /// Target bug depth `d`; the scheduler inserts `d - 1` priority
+        /// change points.
+        depth: u32,
+    },
+    /// Round-robin in goroutine-id order, switching at every step.
+    RoundRobin,
+}
+
+
+/// Scheduler state evolved across one run.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    strategy: Strategy,
+    /// PCT: priority per goroutine (higher runs first).
+    priorities: Vec<i64>,
+    /// PCT: steps at which the running goroutine's priority is demoted.
+    change_points: Vec<u64>,
+    /// PCT: next fresh (lowest) priority to hand out on demotion.
+    next_low: i64,
+    /// Round-robin cursor.
+    rr_cursor: usize,
+    steps_taken: u64,
+}
+
+impl Scheduler {
+    /// `max_steps` bounds how far apart PCT change points may be placed.
+    pub(crate) fn new(strategy: Strategy, rng: &mut StdRng, max_steps: u64) -> Self {
+        let mut change_points = Vec::new();
+        if let Strategy::Pct { depth } = strategy {
+            for _ in 1..depth {
+                change_points.push(rng.gen_range(0..max_steps.max(1)));
+            }
+            change_points.sort_unstable();
+        }
+        Scheduler {
+            strategy,
+            priorities: Vec::new(),
+            change_points,
+            next_low: -1,
+            rr_cursor: 0,
+            steps_taken: 0,
+        }
+    }
+
+    /// Registers a goroutine, assigning it a PCT priority.
+    pub(crate) fn register(&mut self, gid: Gid, rng: &mut StdRng) {
+        let i = gid.index();
+        if i >= self.priorities.len() {
+            self.priorities.resize(i + 1, 0);
+        }
+        // Random initial priority; ties broken by id below.
+        self.priorities[i] = rng.gen_range(0..1_000_000);
+    }
+
+    /// Picks the next goroutine among `runnable` (non-empty), given the
+    /// currently running goroutine `current` (which may itself be in the
+    /// runnable set).
+    pub(crate) fn pick(
+        &mut self,
+        runnable: &[Gid],
+        current: Option<Gid>,
+        rng: &mut StdRng,
+    ) -> Gid {
+        debug_assert!(!runnable.is_empty());
+        self.steps_taken += 1;
+        match self.strategy {
+            Strategy::Random => runnable[rng.gen_range(0..runnable.len())],
+            Strategy::RoundRobin => {
+                self.rr_cursor = (self.rr_cursor + 1) % runnable.len();
+                // Rotate relative to the current goroutine's position so
+                // control actually moves around the ring.
+                if let Some(cur) = current {
+                    if let Some(pos) = runnable.iter().position(|&g| g == cur) {
+                        return runnable[(pos + 1) % runnable.len()];
+                    }
+                }
+                runnable[self.rr_cursor]
+            }
+            Strategy::Pct { .. } => {
+                // Demote the running goroutine at change points.
+                if let Some(cur) = current {
+                    if self
+                        .change_points
+                        .first()
+                        .is_some_and(|&cp| self.steps_taken >= cp)
+                    {
+                        self.change_points.remove(0);
+                        let i = cur.index();
+                        if i < self.priorities.len() {
+                            self.priorities[i] = self.next_low;
+                            self.next_low -= 1;
+                        }
+                    }
+                }
+                *runnable
+                    .iter()
+                    .max_by_key(|g| (self.priorities.get(g.index()).copied().unwrap_or(0), g.0))
+                    .expect("runnable is non-empty")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn g(i: u32) -> Gid {
+        Gid(i)
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let runnable = vec![g(0), g(1), g(2)];
+        let pick_seq = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = Scheduler::new(Strategy::Random, &mut rng, 100);
+            (0..20)
+                .map(|_| s.pick(&runnable, Some(g(0)), &mut rng).0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pick_seq(42), pick_seq(42));
+        assert_ne!(pick_seq(42), pick_seq(43)); // overwhelmingly likely
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = Scheduler::new(Strategy::RoundRobin, &mut rng, 100);
+        let runnable = vec![g(0), g(1), g(2)];
+        let n1 = s.pick(&runnable, Some(g(0)), &mut rng);
+        assert_eq!(n1, g(1));
+        let n2 = s.pick(&runnable, Some(g(1)), &mut rng);
+        assert_eq!(n2, g(2));
+        let n3 = s.pick(&runnable, Some(g(2)), &mut rng);
+        assert_eq!(n3, g(0));
+    }
+
+    #[test]
+    fn pct_prefers_highest_priority() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = Scheduler::new(Strategy::Pct { depth: 1 }, &mut rng, 1000);
+        s.register(g(0), &mut rng);
+        s.register(g(1), &mut rng);
+        let runnable = vec![g(0), g(1)];
+        let first = s.pick(&runnable, None, &mut rng);
+        // With depth 1 there are no change points, so the choice is stable.
+        for _ in 0..5 {
+            assert_eq!(s.pick(&runnable, Some(first), &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn pct_demotes_at_change_points() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // max_steps=1 forces the single change point to step 0.
+        let mut s = Scheduler::new(Strategy::Pct { depth: 2 }, &mut rng, 1);
+        s.register(g(0), &mut rng);
+        s.register(g(1), &mut rng);
+        let runnable = vec![g(0), g(1)];
+        let first = s.pick(&runnable, None, &mut rng);
+        // The first pick consumed the change point demoting `current=None`?
+        // No: demotion only applies when someone is running. Run `first`,
+        // then expect it to be demoted on the next pick.
+        let second = s.pick(&runnable, Some(first), &mut rng);
+        assert_ne!(first, second, "change point must demote the running goroutine");
+    }
+}

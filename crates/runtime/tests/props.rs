@@ -1,0 +1,180 @@
+//! Property tests for the runtime: randomly generated programs obey the
+//! structural invariants no schedule may violate.
+
+use proptest::prelude::*;
+
+use grs_runtime::event::EventKind;
+use grs_runtime::{Program, RecordingMonitor, RunConfig, Runtime, Strategy as Sched};
+
+/// A small random program shape: `workers` goroutines each performing `ops`
+/// operations of a given kind, all correctly synchronized.
+#[derive(Debug, Clone)]
+struct Shape {
+    workers: u8,
+    ops: u8,
+    use_mutex: bool,
+    chan_cap: usize,
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (1u8..5, 1u8..6, any::<bool>(), 0usize..4).prop_map(|(workers, ops, use_mutex, chan_cap)| {
+        Shape {
+            workers,
+            ops,
+            use_mutex,
+            chan_cap,
+        }
+    })
+}
+
+fn synchronized_program(shape: &Shape) -> Program {
+    let shape = shape.clone();
+    Program::new("prop_synced", move |ctx| {
+        let mu = ctx.mutex("mu");
+        let total = ctx.cell("total", 0i64);
+        let ch = ctx.chan::<i64>("ch", shape.chan_cap);
+        let wg = ctx.waitgroup("wg");
+        for w in 0..shape.workers {
+            wg.add(ctx, 1);
+            let (mu, total, ch, wg) = (mu.clone(), total.clone(), ch.clone(), wg.clone());
+            let shape = shape.clone();
+            ctx.go("worker", move |ctx| {
+                for i in 0..shape.ops {
+                    if shape.use_mutex {
+                        mu.lock(ctx);
+                        ctx.update(&total, |v| v + 1);
+                        mu.unlock(ctx);
+                    }
+                    ch.send(ctx, i64::from(w) * 100 + i64::from(i));
+                }
+                wg.done(ctx);
+            });
+        }
+        let expected = u32::from(shape.workers) * u32::from(shape.ops);
+        for _ in 0..expected {
+            let _ = ch.recv(ctx);
+        }
+        wg.wait(ctx);
+        if shape.use_mutex {
+            assert_eq!(ctx.read(&total), i64::from(expected as i32));
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Correctly synchronized programs finish cleanly under every strategy.
+    #[test]
+    fn synchronized_programs_run_clean(shape in arb_shape(), seed in 0u64..1000) {
+        let p = synchronized_program(&shape);
+        for strategy in [Sched::Random, Sched::RoundRobin, Sched::Pct { depth: 3 }] {
+            let cfg = RunConfig::with_seed(seed).strategy(strategy);
+            let (outcome, _) = Runtime::new(cfg).run(&p, grs_runtime::NullMonitor);
+            prop_assert!(
+                outcome.is_clean(),
+                "{strategy:?}/{seed}: {:?} {:?} {:?}",
+                outcome.errors, outcome.deadlock, outcome.leaked
+            );
+        }
+    }
+
+    /// Identical seeds replay identical event traces; the event stream is a
+    /// total order with strictly increasing steps.
+    #[test]
+    fn traces_replay_and_steps_increase(shape in arb_shape(), seed in 0u64..1000) {
+        let p = synchronized_program(&shape);
+        let run = |s| {
+            let (_, mon) = Runtime::new(RunConfig::with_seed(s)).run(&p, RecordingMonitor::new());
+            mon.into_events()
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.step, y.step);
+            prop_assert_eq!(x.gid, y.gid);
+        }
+        for w in a.windows(2) {
+            prop_assert!(w[0].step < w[1].step, "steps must strictly increase");
+        }
+    }
+
+    /// Channel FIFO: per channel, receive seqs replay the send seqs in
+    /// order, and every receive has a matching earlier send.
+    #[test]
+    fn channel_fifo_invariant(shape in arb_shape(), seed in 0u64..1000) {
+        let p = synchronized_program(&shape);
+        let (_, mon) = Runtime::new(RunConfig::with_seed(seed)).run(&p, RecordingMonitor::new());
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        let mut sent_at = std::collections::HashMap::new();
+        for e in mon.events() {
+            match &e.kind {
+                EventKind::ChanSend { seq, .. } => {
+                    sends.push(*seq);
+                    sent_at.insert(*seq, e.step);
+                }
+                EventKind::ChanRecv { seq, .. } => {
+                    recvs.push(*seq);
+                    let s = sent_at.get(seq).copied();
+                    prop_assert!(s.is_some(), "recv of unseen send {seq}");
+                    prop_assert!(s.expect("checked") < e.step, "recv before send");
+                }
+                _ => {}
+            }
+        }
+        // FIFO: both sides observe 0,1,2,... in order.
+        let sorted: Vec<u64> = (0..sends.len() as u64).collect();
+        prop_assert_eq!(&sends, &sorted);
+        let sorted_r: Vec<u64> = (0..recvs.len() as u64).collect();
+        prop_assert_eq!(&recvs, &sorted_r);
+    }
+
+    /// Lock events alternate acquire/release per lock, and the WaitGroup
+    /// counter never goes negative in the event stream.
+    #[test]
+    fn lock_and_wg_event_invariants(shape in arb_shape(), seed in 0u64..1000) {
+        let p = synchronized_program(&shape);
+        let (_, mon) = Runtime::new(RunConfig::with_seed(seed)).run(&p, RecordingMonitor::new());
+        let mut held: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+        for e in mon.events() {
+            match &e.kind {
+                EventKind::Acquire { lock, .. } => {
+                    let h = held.entry(lock.0).or_insert(false);
+                    prop_assert!(!*h, "double acquire without release");
+                    *h = true;
+                }
+                EventKind::Release { lock, .. } => {
+                    let h = held.entry(lock.0).or_insert(false);
+                    prop_assert!(*h, "release without acquire");
+                    *h = false;
+                }
+                EventKind::WgAdd { counter, .. } => {
+                    prop_assert!(*counter >= 0, "negative WaitGroup counter");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Spawn events precede any event of the spawned goroutine.
+    #[test]
+    fn spawn_precedes_child_events(shape in arb_shape(), seed in 0u64..1000) {
+        let p = synchronized_program(&shape);
+        let (_, mon) = Runtime::new(RunConfig::with_seed(seed)).run(&p, RecordingMonitor::new());
+        let mut spawned_at = std::collections::HashMap::new();
+        spawned_at.insert(grs_runtime::Gid(0), 0u64);
+        for e in mon.events() {
+            if let EventKind::Spawn { child, .. } = &e.kind {
+                spawned_at.insert(*child, e.step);
+            }
+            let born = spawned_at.get(&e.gid);
+            prop_assert!(
+                born.is_some_and(|&b| b <= e.step),
+                "event from unspawned goroutine {}",
+                e.gid
+            );
+        }
+    }
+}

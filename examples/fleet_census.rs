@@ -1,0 +1,42 @@
+//! Figure 1: the fleet concurrency census as an ASCII CDF.
+//!
+//! ```sh
+//! cargo run --example fleet_census
+//! ```
+
+use grs::experiments::figure1;
+use grs::fleet::Language;
+
+fn main() {
+    let fleet = figure1(0.05, 11);
+    println!("== Figure 1: cumulative distribution of per-process concurrency ==\n");
+    let levels: Vec<u32> = (3..=17).map(|p| 1u32 << p).collect(); // 8 .. 131072
+    print!("{:<8}", "level");
+    for lang in Language::all() {
+        print!("{:>9}", lang.to_string());
+    }
+    println!();
+    for &level in &levels {
+        print!("{:<8}", level);
+        for lang in Language::all() {
+            let f = fleet.cdf(lang).fraction_at(level);
+            print!("{:>8.0}%", f * 100.0);
+        }
+        println!();
+    }
+    println!("\nMedians (paper: NodeJS 16, Python 16, Java 256, Go 2048):");
+    for lang in Language::all() {
+        let cdf = fleet.cdf(lang);
+        println!(
+            "  {:<7} median {:>6}   p90 {:>6}   max {:>7}   ({} processes)",
+            lang.to_string(),
+            cdf.median(),
+            cdf.quantile(0.9),
+            cdf.max(),
+            cdf.sample_size()
+        );
+    }
+    let ratio = f64::from(fleet.cdf(Language::Go).median())
+        / f64::from(fleet.cdf(Language::Java).median());
+    println!("\nGo exposes {ratio:.0}x the runtime concurrency of Java (paper: ~8x).");
+}

@@ -1,0 +1,18 @@
+//! The entire paper in one command: regenerate every table and figure at
+//! the standard scale and print the report.
+//!
+//! ```sh
+//! cargo run --release --example full_reproduction
+//! ```
+
+use grs::Study;
+
+fn main() {
+    let study = Study::standard(42);
+    println!(
+        "Reproducing 'A Study of Real-World Data Races in Golang' (PLDI 2022), seed {}...\n",
+        study.seed
+    );
+    let report = study.run();
+    println!("{}", report.render());
+}

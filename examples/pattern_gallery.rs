@@ -1,0 +1,56 @@
+//! The full §4 pattern gallery: every listing and Table 2/3 shape, run
+//! under the explorer, with detection rates for the racy variant and a
+//! cleanliness check for the fixed one.
+//!
+//! ```sh
+//! cargo run --release --example pattern_gallery
+//! ```
+
+use grs::classify;
+use grs::detector::{ExploreConfig, Explorer};
+use grs::patterns::registry;
+
+fn main() {
+    let explorer = Explorer::new(ExploreConfig::quick().runs(60));
+    println!(
+        "{:<34} {:<8} {:>6} {:>9} {:>7} {:<30}",
+        "pattern", "listing", "racy%", "fixed-ok", "class", "category"
+    );
+    println!("{}", "-".repeat(100));
+    for pattern in registry() {
+        let racy = explorer.explore(&pattern.racy_program());
+        let fixed = explorer.explore(&pattern.fixed_program());
+        let classified = racy
+            .unique_races
+            .first()
+            .map(|r| {
+                if classify(r) == pattern.category {
+                    "ok"
+                } else {
+                    "MISS"
+                }
+            })
+            .unwrap_or("n/a");
+        println!(
+            "{:<34} {:<8} {:>5.0}% {:>9} {:>7} {:<30}",
+            pattern.id,
+            pattern
+                .listing
+                .map_or_else(|| "-".to_string(), |l| format!("L{l}")),
+            racy.detection_rate() * 100.0,
+            if fixed.found_race() { "FLAGGED" } else { "clean" },
+            classified,
+            pattern.category.description(),
+        );
+    }
+
+    println!("\nSample report (Listing 5 — the slice-header race):");
+    let listing5 = registry()
+        .into_iter()
+        .find(|p| p.listing == Some(5))
+        .expect("listing 5 in corpus");
+    let result = explorer.explore(&listing5.racy_program());
+    if let Some(race) = result.unique_races.first() {
+        println!("{race}");
+    }
+}

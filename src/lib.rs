@@ -1,0 +1,2 @@
+//! Root package: hosts the workspace examples and integration tests.
+pub use grs;

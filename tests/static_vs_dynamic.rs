@@ -1,0 +1,212 @@
+//! Cross-validation of the two analysis routes the project provides: the
+//! *static* Go-lite lints (Remark on future static race detection, §5) and
+//! the *dynamic* detector over the runtime model. For each pattern that has
+//! both a Go-source rendition and an executable `grs` rendition, the two
+//! must agree: lint fires ⟺ dynamic race detected.
+
+use grs::detector::{ExploreConfig, Explorer};
+use grs::golite::{lint_file, parse_file, Rule};
+use grs::patterns;
+
+struct Case {
+    pattern_id: &'static str,
+    rule: Rule,
+    go_racy: &'static str,
+    go_fixed: &'static str,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            pattern_id: "loop_index_capture",
+            rule: Rule::LoopVarCapture,
+            go_racy: r#"
+package p
+func ProcessJobs(jobs []int) {
+    for _, job := range jobs {
+        go func() { process(job) }()
+    }
+}
+"#,
+            go_fixed: r#"
+package p
+func ProcessJobs(jobs []int) {
+    for _, job := range jobs {
+        go func(job int) { process(job) }(job)
+    }
+}
+"#,
+        },
+        Case {
+            pattern_id: "err_capture",
+            rule: Rule::ErrCapture,
+            go_racy: r#"
+package p
+func Handle() {
+    x, err := Foo()
+    go func() {
+        _, err = Bar(x)
+        use(err)
+    }()
+    y, err := Baz()
+    use2(y, err)
+}
+"#,
+            go_fixed: r#"
+package p
+func Handle() {
+    x, err := Foo()
+    go func() {
+        _, err2 := Bar(x)
+        use(err2)
+    }()
+    y, err := Baz()
+    use2(y, err)
+}
+"#,
+        },
+        Case {
+            pattern_id: "waitgroup_add_inside",
+            rule: Rule::WaitGroupAddInGoroutine,
+            go_racy: r#"
+package p
+func Run(items []int) {
+    var wg sync.WaitGroup
+    for _, it := range items {
+        go func(it int) {
+            wg.Add(1)
+            defer wg.Done()
+            process(it)
+        }(it)
+    }
+    wg.Wait()
+}
+"#,
+            go_fixed: r#"
+package p
+func Run(items []int) {
+    var wg sync.WaitGroup
+    for _, it := range items {
+        wg.Add(1)
+        go func(it int) {
+            defer wg.Done()
+            process(it)
+        }(it)
+    }
+    wg.Wait()
+}
+"#,
+        },
+        Case {
+            pattern_id: "mutex_by_value",
+            rule: Rule::MutexByValue,
+            go_racy: r#"
+package p
+func CriticalSection(m sync.Mutex) {
+    m.Lock()
+    a = a + 1
+    m.Unlock()
+}
+"#,
+            go_fixed: r#"
+package p
+func CriticalSection(m *sync.Mutex) {
+    m.Lock()
+    a = a + 1
+    m.Unlock()
+}
+"#,
+        },
+        Case {
+            pattern_id: "map_concurrent_write",
+            rule: Rule::MapWriteInGoroutine,
+            go_racy: r#"
+package p
+func processOrders(uuids []string) {
+    errMap := make(map[string]error)
+    for _, id := range uuids {
+        go func(id string) {
+            errMap[id] = GetOrder(id)
+        }(id)
+    }
+}
+"#,
+            go_fixed: r#"
+package p
+func processOrders(uuids []string) {
+    for _, id := range uuids {
+        go func(id string) {
+            local := make(map[string]error)
+            local[id] = GetOrder(id)
+        }(id)
+    }
+}
+"#,
+        },
+        Case {
+            pattern_id: "rlock_write",
+            rule: Rule::WriteUnderRLock,
+            go_racy: r#"
+package p
+func (g *Gate) update() {
+    g.mu.RLock()
+    defer g.mu.RUnlock()
+    if ok() {
+        g.ready = true
+    }
+}
+"#,
+            go_fixed: r#"
+package p
+func (g *Gate) update() {
+    g.mu.Lock()
+    defer g.mu.Unlock()
+    if ok() {
+        g.ready = true
+    }
+}
+"#,
+        },
+    ]
+}
+
+#[test]
+fn lints_and_dynamic_detection_agree() {
+    let explorer = Explorer::new(ExploreConfig::quick().runs(60));
+    for case in cases() {
+        // Static: lint fires on the Go source.
+        let racy_file = parse_file(case.go_racy)
+            .unwrap_or_else(|e| panic!("{}: parse error {e}", case.pattern_id));
+        let racy_rules: Vec<Rule> = lint_file(&racy_file).into_iter().map(|f| f.rule).collect();
+        assert!(
+            racy_rules.contains(&case.rule),
+            "{}: lint {:?} missing on the racy Go source (got {racy_rules:?})",
+            case.pattern_id,
+            case.rule
+        );
+        let fixed_file = parse_file(case.go_fixed)
+            .unwrap_or_else(|e| panic!("{}: parse error {e}", case.pattern_id));
+        let fixed_rules: Vec<Rule> =
+            lint_file(&fixed_file).into_iter().map(|f| f.rule).collect();
+        assert!(
+            !fixed_rules.contains(&case.rule),
+            "{}: lint {:?} fired on the FIXED Go source",
+            case.pattern_id,
+            case.rule
+        );
+
+        // Dynamic: the corresponding executable pattern races / is clean.
+        let pattern = patterns::find(case.pattern_id)
+            .unwrap_or_else(|| panic!("pattern {} missing", case.pattern_id));
+        assert!(
+            explorer.explore(&pattern.racy_program()).found_race(),
+            "{}: dynamic detection missed the racy program",
+            case.pattern_id
+        );
+        assert!(
+            !explorer.explore(&pattern.fixed_program()).found_race(),
+            "{}: dynamic detector flagged the fixed program",
+            case.pattern_id
+        );
+    }
+}
