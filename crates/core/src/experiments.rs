@@ -8,6 +8,7 @@
 //! | [`table2`] | Table 2 — races by Go feature |
 //! | [`table3`] | Table 3 — language-agnostic races |
 //! | [`overhead_probe`] | §3.5 — detector runtime overhead |
+//! | [`static_dynamic_agreement`] | §5 — static lint rules vs the dynamic detector |
 
 use std::time::Instant;
 
@@ -15,7 +16,8 @@ use grs_corpus::table1::{self as t1, Table1, Table1Config};
 use grs_deploy::campaign::{Campaign, CampaignConfig, CampaignResult};
 use grs_detector::{ExploreConfig, Explorer, Tsan};
 use grs_fleet::{census, Census, CensusConfig};
-use grs_patterns::{registry, Category, Pattern, Table};
+use grs_golite::{lint_file, parse_file, Rule};
+use grs_patterns::{gosrc, registry, Category, Pattern, Table};
 use grs_runtime::{NullMonitor, Program, RunConfig, Runtime};
 
 use crate::classify::classify;
@@ -240,6 +242,130 @@ fn tally(config: &TallyConfig, table: Table) -> TallyResult {
     }
 }
 
+/// One row of the static-vs-dynamic agreement matrix: the same bug, once
+/// as Go-lite source in front of the lint engine and once as an
+/// executable program in front of the dynamic explorer.
+#[derive(Debug, Clone)]
+pub struct AgreementRow {
+    /// The executable pattern's registry ID.
+    pub pattern_id: &'static str,
+    /// The lint rule under test.
+    pub rule: Rule,
+    /// The lint fired `rule` on the racy source (want `true`).
+    pub static_racy: bool,
+    /// The lint fired `rule` on the fixed source (want `false`).
+    pub static_fixed: bool,
+    /// The explorer detected a race in the racy program (want `true`).
+    pub dynamic_racy: bool,
+    /// The explorer detected a race in the fixed program (want `false`).
+    pub dynamic_fixed: bool,
+}
+
+impl AgreementRow {
+    /// Both verdict pairs match: lint fires exactly where the explorer
+    /// observes a race.
+    #[must_use]
+    pub fn agrees(&self) -> bool {
+        self.static_racy == self.dynamic_racy && self.static_fixed == self.dynamic_fixed
+    }
+
+    /// The ideal cell: racy flagged by both tools, fixed flagged by neither.
+    #[must_use]
+    pub fn perfect(&self) -> bool {
+        self.static_racy && self.dynamic_racy && !self.static_fixed && !self.dynamic_fixed
+    }
+}
+
+/// Result of the agreement experiment.
+#[derive(Debug, Clone)]
+pub struct AgreementResult {
+    /// One row per lint rule, in `GR001`…`GR012` order.
+    pub rows: Vec<AgreementRow>,
+    /// Fraction of (rendition, variant) verdict pairs where the two tools
+    /// agree: 1.0 means the static engine is a perfect oracle for what the
+    /// dynamic detector observes on this corpus.
+    pub agreement: f64,
+}
+
+impl AgreementResult {
+    /// Renders the matrix as a markdown table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(
+            "| Rule  | Pattern                  | Static racy | Static fixed | Dynamic racy | Dynamic fixed | Agree |\n",
+        );
+        s.push_str(
+            "|-------|--------------------------|-------------|--------------|--------------|---------------|-------|\n",
+        );
+        for r in &self.rows {
+            s.push_str(&format!(
+                "| {} | {:<24} | {:>11} | {:>12} | {:>12} | {:>13} | {:>5} |\n",
+                r.rule.id(),
+                r.pattern_id,
+                r.static_racy,
+                r.static_fixed,
+                r.dynamic_racy,
+                r.dynamic_fixed,
+                if r.agrees() { "yes" } else { "NO" },
+            ));
+        }
+        s.push_str(&format!("| agreement: {:.1}%\n", self.agreement * 100.0));
+        s
+    }
+}
+
+/// Scores the static lint engine against the dynamic explorer over the
+/// Go-rendition corpus: for each rule's racy/fixed source pair, does the
+/// lint fire exactly where the explorer observes a race in the executable
+/// twin?
+///
+/// `runs` is the explorer's schedule budget per program; 60 suffices for
+/// every pattern in the corpus.
+///
+/// # Panics
+/// Panics if a rendition references an unknown pattern, an unknown rule
+/// ID, or Go source that does not parse — all three are corpus bugs, not
+/// data-dependent conditions.
+#[must_use]
+pub fn static_dynamic_agreement(runs: usize, seed: u64) -> AgreementResult {
+    let explorer = Explorer::new(ExploreConfig::quick().runs(runs).base_seed(seed));
+    let fires = |src: &str, rule: Rule| -> bool {
+        let file = parse_file(src).expect("rendition source parses");
+        lint_file(&file).iter().any(|f| f.rule == rule)
+    };
+    let mut rows = Vec::new();
+    for r in gosrc::renditions() {
+        let rule = Rule::from_id(r.rule).expect("rendition names a known rule");
+        let pattern =
+            grs_patterns::find(r.pattern_id).expect("rendition has an executable twin");
+        rows.push(AgreementRow {
+            pattern_id: r.pattern_id,
+            rule,
+            static_racy: fires(r.racy, rule),
+            static_fixed: fires(r.fixed, rule),
+            dynamic_racy: explorer.explore(&pattern.racy_program()).found_race(),
+            dynamic_fixed: explorer.explore(&pattern.fixed_program()).found_race(),
+        });
+    }
+    let pairs = rows.len() * 2;
+    let agreeing: usize = rows
+        .iter()
+        .map(|r| {
+            usize::from(r.static_racy == r.dynamic_racy)
+                + usize::from(r.static_fixed == r.dynamic_fixed)
+        })
+        .sum();
+    AgreementResult {
+        rows,
+        agreement: if pairs == 0 {
+            0.0
+        } else {
+            agreeing as f64 / pairs as f64
+        },
+    }
+}
+
 /// A quick wall-clock probe of detector overhead (§3.5 reports 4× test
 /// time; Criterion benches measure this precisely — this probe is for
 /// examples and smoke tests).
@@ -377,6 +503,22 @@ mod tests {
             );
         }
         assert!(r.classifier_accuracy >= 0.7, "{}", r.render());
+    }
+
+    #[test]
+    fn agreement_matrix_is_perfect_on_the_corpus() {
+        let r = static_dynamic_agreement(60, 9);
+        assert_eq!(r.rows.len(), 12, "one row per lint rule");
+        for row in &r.rows {
+            assert!(
+                row.perfect(),
+                "{} ({}) disagrees:\n{}",
+                row.rule.id(),
+                row.pattern_id,
+                r.render()
+            );
+        }
+        assert!((r.agreement - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod study;
 
 pub use classify::classify;
 pub use experiments::{
-    figure1, figure3_figure4, overhead_probe, table1, table2, table3, CategoryTally,
-    DeploymentStats, OverheadProbe, TallyConfig,
+    figure1, figure3_figure4, overhead_probe, static_dynamic_agreement, table1, table2, table3,
+    AgreementResult, AgreementRow, CategoryTally, DeploymentStats, OverheadProbe, TallyConfig,
 };
 pub use study::{Study, StudyReport};

@@ -28,11 +28,13 @@
 //! ```
 
 pub mod gogen;
+pub mod golint;
 pub mod javagen;
 pub mod javascan;
 pub mod table1;
 
 pub use gogen::{GoCorpus, GoCorpusSpec};
+pub use golint::{lint_corpus, LintReport};
 pub use javagen::{JavaCorpus, JavaCorpusSpec};
 pub use javascan::JavaCounts;
 pub use table1::{Table1, Table1Config, Table1Row};

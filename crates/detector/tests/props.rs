@@ -6,6 +6,12 @@
 //! or strategy. Conversely, removing the synchronization from the same
 //! shape must eventually be caught.
 
+
+// Gated behind the `props` feature: proptest is an external crate and
+// the tier-1 build must succeed without registry access (restore the
+// dev-dependency to run these).
+#![cfg(feature = "props")]
+
 use proptest::prelude::*;
 
 use grs_detector::{Eraser, FastTrack, FastTrackConfig, Tsan};

@@ -1,0 +1,972 @@
+//! Intraprocedural control-flow graphs over the Go-lite AST.
+//!
+//! The CFG is built per function declaration, with one **context** per
+//! execution thread the function creates: context 0 is the function's own
+//! body, and every `go func(){...}(...)` statement spawns a fresh context
+//! whose entry block is connected to the spawning block by a spawn edge.
+//! Blocks carry *events* — the only facts the lockset pass needs:
+//!
+//! * [`Event::Acquire`]/[`Event::Release`] for `x.Lock()`, `x.Unlock()`,
+//!   `x.RLock()`, `x.RUnlock()` (a `defer x.Unlock()` simply never emits a
+//!   release, which models "held to the end of the function" exactly),
+//! * [`Event::Access`] for reads/writes of trackable variables, with an
+//!   `atomic` flag for `sync/atomic` calls and a `cond_of` tag linking a
+//!   read to the `if` branch it guards (the double-checked-locking shape).
+//!
+//! Variable identity comes from [`resolve`](crate::resolve): a package-level
+//! variable keys the same in every function of the file, a receiver field
+//! keys by *receiver type* (so `(g *Gate) get` and `(g *Gate) set` meet),
+//! and locals key by their resolved symbol — two locals that shadow each
+//! other never collide.
+
+use crate::ast::{Block, Decl, Expr, File, FuncDecl, Stmt, Type};
+use crate::resolve::{Resolution, SymbolId, SymbolKind};
+use crate::token::Pos;
+
+/// Index into [`FuncCfg::blocks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(pub usize);
+
+/// How a lock is held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockMode {
+    /// `RLock` — excludes writers only.
+    Read,
+    /// `Lock` — exclusive.
+    Write,
+}
+
+/// The root of a place expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VarRoot {
+    /// A package-level variable, keyed by name (file-wide identity).
+    Global(String),
+    /// A field chain on a method receiver, keyed by the receiver's type
+    /// name (so all methods of one type agree).
+    Field(String),
+    /// A function-local symbol (param, `:=`, `var`, loop var, named
+    /// result) — identity is the resolved symbol.
+    Local(SymbolId),
+}
+
+/// A trackable place: root plus selector path (`".mu"`, `".stats.n"`, `""`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarKey {
+    /// The root binding.
+    pub root: VarRoot,
+    /// Dotted selector path below the root (empty for the root itself).
+    pub path: String,
+}
+
+impl VarKey {
+    /// True when the key has file-wide identity (global or receiver field)
+    /// rather than per-function identity.
+    #[must_use]
+    pub fn is_file_wide(&self) -> bool {
+        matches!(self.root, VarRoot::Global(_) | VarRoot::Field(_))
+    }
+}
+
+/// One analysis-relevant fact inside a block.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// `x.Lock()` / `x.RLock()`.
+    Acquire {
+        /// The lock's identity.
+        lock: VarKey,
+        /// Exclusive or shared.
+        mode: LockMode,
+        /// Source spelling, for messages (`"g.mu"`).
+        display: String,
+        /// Call position.
+        pos: Pos,
+    },
+    /// `x.Unlock()` / `x.RUnlock()` (not deferred — deferred releases
+    /// never emit, keeping the lock held to function exit).
+    Release {
+        /// The lock's identity.
+        lock: VarKey,
+        /// Exclusive or shared.
+        mode: LockMode,
+        /// Call position.
+        pos: Pos,
+    },
+    /// A read or write of a trackable variable.
+    Access {
+        /// The variable.
+        var: VarKey,
+        /// Source spelling, for messages.
+        display: String,
+        /// Write (or read-modify-write) vs read.
+        write: bool,
+        /// Performed through `sync/atomic`.
+        atomic: bool,
+        /// Declaration-initializer write (`x := v`, `var x = v`): excluded
+        /// from race evidence, Eraser-style.
+        init: bool,
+        /// When this read occurs in an `if` condition, the branch tag of
+        /// that `if` (for double-checked-locking detection).
+        cond_of: Option<u32>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// One basic block.
+#[derive(Debug, Default)]
+pub struct BasicBlock {
+    /// Events in execution order.
+    pub events: Vec<Event>,
+    /// Successor blocks (same context).
+    pub succs: Vec<BlockId>,
+    /// Contexts spawned from this block (`go` statements).
+    pub spawns: Vec<u32>,
+    /// The context this block belongs to.
+    pub ctx: u32,
+    /// Branch tags of every enclosing `if` then/else region, innermost
+    /// last.
+    pub branch_tags: Vec<u32>,
+}
+
+/// One execution context: the function body (id 0) or a spawned goroutine.
+#[derive(Debug)]
+pub struct Context {
+    /// Context id (index into [`FuncCfg::contexts`]).
+    pub id: u32,
+    /// Entry block of the context.
+    pub entry: BlockId,
+    /// Spawning context, `None` for the function body.
+    pub parent: Option<u32>,
+    /// The `go` statement position, when spawned.
+    pub spawn_pos: Option<Pos>,
+    /// Spawned inside a loop — concurrent with other instances of itself.
+    pub in_loop: bool,
+}
+
+/// The CFG of one function declaration.
+#[derive(Debug)]
+pub struct FuncCfg {
+    /// Function name.
+    pub func: String,
+    /// Receiver type name for methods (pointer stripped).
+    pub recv_type: Option<String>,
+    /// All blocks, across all contexts.
+    pub blocks: Vec<BasicBlock>,
+    /// All contexts; index 0 is the function body.
+    pub contexts: Vec<Context>,
+}
+
+impl FuncCfg {
+    /// Blocks belonging to context `ctx`, in creation order.
+    pub fn blocks_of(&self, ctx: u32) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(move |(_, b)| b.ctx == ctx)
+            .map(|(i, b)| (BlockId(i), b))
+    }
+}
+
+/// Builds a CFG for every function in `file` that has a body.
+#[must_use]
+pub fn build_file(file: &File, res: &Resolution) -> Vec<FuncCfg> {
+    file.decls
+        .iter()
+        .filter_map(|d| match d {
+            Decl::Func(f) => build_func(f, res),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Builds the CFG for `f` (returns `None` for bodyless declarations).
+#[must_use]
+pub fn build_func(f: &FuncDecl, res: &Resolution) -> Option<FuncCfg> {
+    let body = f.body.as_ref()?;
+    let recv_type = f.receiver.as_ref().map(|r| type_root_name(&r.ty));
+    let mut b = Builder {
+        res,
+        recv_type: recv_type.clone(),
+        blocks: vec![BasicBlock::default()],
+        contexts: vec![Context {
+            id: 0,
+            entry: BlockId(0),
+            parent: None,
+            spawn_pos: None,
+            in_loop: false,
+        }],
+        current: BlockId(0),
+        ctx: 0,
+        loop_stack: Vec::new(),
+        loop_depth: 0,
+        branch_stack: Vec::new(),
+        next_branch: 0,
+    };
+    b.stmts(&body.stmts);
+    Some(FuncCfg {
+        func: f.name.clone(),
+        recv_type,
+        blocks: b.blocks,
+        contexts: b.contexts,
+    })
+}
+
+fn type_root_name(ty: &Type) -> String {
+    match ty {
+        Type::Pointer(inner) => type_root_name(inner),
+        Type::Name(n) => n.clone(),
+        _ => String::from("?"),
+    }
+}
+
+/// A resolved place expression.
+struct Place {
+    key: VarKey,
+    display: String,
+    pos: Pos,
+}
+
+struct LoopFrame {
+    head: BlockId,
+    after: BlockId,
+}
+
+struct Builder<'a> {
+    res: &'a Resolution,
+    recv_type: Option<String>,
+    blocks: Vec<BasicBlock>,
+    contexts: Vec<Context>,
+    current: BlockId,
+    ctx: u32,
+    loop_stack: Vec<LoopFrame>,
+    loop_depth: u32,
+    branch_stack: Vec<u32>,
+    next_branch: u32,
+}
+
+impl Builder<'_> {
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len());
+        self.blocks.push(BasicBlock {
+            ctx: self.ctx,
+            branch_tags: self.branch_stack.clone(),
+            ..BasicBlock::default()
+        });
+        id
+    }
+
+    fn link(&mut self, from: BlockId, to: BlockId) {
+        if !self.blocks[from.0].succs.contains(&to) {
+            self.blocks[from.0].succs.push(to);
+        }
+    }
+
+    fn emit(&mut self, e: Event) {
+        self.blocks[self.current.0].events.push(e);
+    }
+
+    /// Resolves `e` as a trackable place (identifier / selector chain /
+    /// index expression rooted in a local, global, or receiver).
+    fn place(&self, e: &Expr) -> Option<Place> {
+        match e {
+            Expr::Ident(pos, name) => {
+                let sym = self.res.symbol_at(*pos)?;
+                let root = match sym.kind {
+                    SymbolKind::GlobalVar => VarRoot::Global(name.clone()),
+                    // An unresolved name in single-file analysis is almost
+                    // always a package-level symbol from a sibling file —
+                    // treat it as a global (builtin literals excepted).
+                    SymbolKind::Universe
+                        if !matches!(name.as_str(), "true" | "false" | "nil" | "iota") =>
+                    {
+                        VarRoot::Global(name.clone())
+                    }
+                    k if k.capturable() => VarRoot::Local(sym.id),
+                    _ => return None,
+                };
+                Some(Place {
+                    key: VarKey {
+                        root,
+                        path: String::new(),
+                    },
+                    display: name.clone(),
+                    pos: *pos,
+                })
+            }
+            Expr::Selector(base, sel) => {
+                let b = self.place(base)?;
+                // A selector directly on the method receiver keys by the
+                // receiver TYPE so all methods of the type agree.
+                let key = match (&b.key.root, self.recv_type.as_ref()) {
+                    (VarRoot::Local(id), Some(ty))
+                        if b.key.path.is_empty()
+                            && self.res.symbol(*id).kind == SymbolKind::Receiver =>
+                    {
+                        VarKey {
+                            root: VarRoot::Field(ty.clone()),
+                            path: format!(".{sel}"),
+                        }
+                    }
+                    _ => VarKey {
+                        root: b.key.root.clone(),
+                        path: format!("{}.{sel}", b.key.path),
+                    },
+                };
+                Some(Place {
+                    key,
+                    display: format!("{}.{sel}", b.display),
+                    pos: b.pos,
+                })
+            }
+            // `m[k]` accesses the container `m`.
+            Expr::Index(base, _) => self.place(base),
+            Expr::Paren(inner) => self.place(inner),
+            // `*p` accesses what `p` points at; approximate by `p` itself.
+            Expr::Unary { op: "*", expr } => self.place(expr),
+            _ => None,
+        }
+    }
+
+    fn access(&mut self, p: Place, write: bool, atomic: bool, cond_of: Option<u32>) {
+        self.emit(Event::Access {
+            var: p.key,
+            display: p.display,
+            write,
+            atomic,
+            init: false,
+            cond_of,
+            pos: p.pos,
+        });
+    }
+
+    fn init_write(&mut self, id: SymbolId, name: &str, pos: Pos) {
+        self.emit(Event::Access {
+            var: VarKey {
+                root: VarRoot::Local(id),
+                path: String::new(),
+            },
+            display: name.to_string(),
+            write: true,
+            atomic: false,
+            init: true,
+            cond_of: None,
+            pos,
+        });
+    }
+
+    /// The symbol declared by a `var`/`:=` at `pos` under `name`.
+    fn declared_symbol(&self, pos: Pos, name: &str) -> Option<SymbolId> {
+        self.res
+            .symbols()
+            .iter()
+            .find(|s| s.decl_pos == Some(pos) && s.name == name && s.kind.capturable())
+            .map(|s| s.id)
+    }
+
+    /// Emits read accesses for every trackable place in `e`, handling lock
+    /// and atomic calls specially.
+    fn reads(&mut self, e: &Expr, cond_of: Option<u32>) {
+        if let Some(p) = self.place(e) {
+            self.access(p, false, false, cond_of);
+            // Still visit index sub-expressions: `m[k]` reads `k` too.
+            self.read_index_parts(e, cond_of);
+            return;
+        }
+        match e {
+            Expr::Call { func, args, .. } => self.call(func, args, cond_of),
+            Expr::Unary { expr, .. } => self.reads(expr, cond_of),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.reads(lhs, cond_of);
+                self.reads(rhs, cond_of);
+            }
+            Expr::Paren(inner) => self.reads(inner, cond_of),
+            Expr::Index(b, i) => {
+                self.reads(b, cond_of);
+                self.reads(i, cond_of);
+            }
+            Expr::SliceExpr { expr, low, high } => {
+                self.reads(expr, cond_of);
+                if let Some(l) = low {
+                    self.reads(l, cond_of);
+                }
+                if let Some(h) = high {
+                    self.reads(h, cond_of);
+                }
+            }
+            Expr::CompositeLit { elems, .. } => {
+                for (k, v) in elems {
+                    // A bare-identifier key is a struct field name, not a
+                    // variable read; anything else (map keys) is evaluated.
+                    if let Some(k) = k {
+                        if k.as_ident().is_none() {
+                            self.reads(k, cond_of);
+                        }
+                    }
+                    self.reads(v, cond_of);
+                }
+            }
+            Expr::Selector(base, _) => self.reads(base, cond_of),
+            // Closures not launched by `go` run at an unknown time; their
+            // bodies are outside this CFG (conservative: no events).
+            Expr::FuncLit { .. } => {}
+            _ => {}
+        }
+    }
+
+    fn read_index_parts(&mut self, e: &Expr, cond_of: Option<u32>) {
+        match e {
+            Expr::Index(b, i) => {
+                self.read_index_parts(b, cond_of);
+                self.reads(i, cond_of);
+            }
+            Expr::Selector(b, _) | Expr::Paren(b) => self.read_index_parts(b, cond_of),
+            Expr::Unary { expr, .. } => self.read_index_parts(expr, cond_of),
+            _ => {}
+        }
+    }
+
+    /// Handles a call expression: lock operations, `sync/atomic`, inline
+    /// `func(){...}()` literals, and plain calls.
+    fn call(&mut self, callee: &Expr, args: &[Expr], cond_of: Option<u32>) {
+        if let Expr::Selector(base, method) = callee {
+            let lock_op = match method.as_str() {
+                "Lock" => Some((LockMode::Write, true)),
+                "Unlock" => Some((LockMode::Write, false)),
+                "RLock" => Some((LockMode::Read, true)),
+                "RUnlock" => Some((LockMode::Read, false)),
+                _ => None,
+            };
+            if let Some((mode, acquire)) = lock_op {
+                if let Some(p) = self.place(base) {
+                    let ev = if acquire {
+                        Event::Acquire {
+                            lock: p.key,
+                            mode,
+                            display: p.display,
+                            pos: p.pos,
+                        }
+                    } else {
+                        Event::Release {
+                            lock: p.key,
+                            mode,
+                            pos: p.pos,
+                        }
+                    };
+                    self.emit(ev);
+                    return;
+                }
+            }
+            // `atomic.AddInt64(&v, 1)` family: the first argument is the
+            // atomically-accessed place; `Load*` reads, everything else
+            // (Add/Store/Swap/CompareAndSwap) writes.
+            if base.as_ident() == Some("atomic") {
+                let write = !method.starts_with("Load");
+                if let Some(Expr::Unary { op: "&", expr }) = args.first() {
+                    if let Some(p) = self.place(expr) {
+                        self.access(p, write, true, cond_of);
+                    }
+                }
+                for a in args.iter().skip(1) {
+                    self.reads(a, cond_of);
+                }
+                return;
+            }
+            // Ordinary method call: the receiver chain itself is not a data
+            // access we model (`wg.Add(1)` mutates through a method, which
+            // the dedicated lints handle); arguments are evaluated here.
+            for a in args {
+                self.reads(a, cond_of);
+            }
+            return;
+        }
+        // Immediately-invoked closure: runs here, on this thread.
+        if let Expr::FuncLit { body, .. } = callee {
+            for a in args {
+                self.reads(a, cond_of);
+            }
+            self.stmts(&body.stmts);
+            return;
+        }
+        for a in args {
+            self.reads(a, cond_of);
+        }
+    }
+
+    fn write_target(&mut self, e: &Expr) {
+        if let Some(p) = self.place(e) {
+            self.access(p, true, false, None);
+        }
+        // Index parts of the target are still reads (`m[k] = v` reads k).
+        self.read_index_parts(e, None);
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(v) => {
+                for e in &v.values {
+                    self.reads(e, None);
+                }
+                if !v.values.is_empty() {
+                    for name in &v.names {
+                        if let Some(id) = self.declared_symbol(v.pos, name) {
+                            self.init_write(id, name, v.pos);
+                        }
+                    }
+                }
+            }
+            Stmt::Define { pos, names, values } => {
+                for e in values {
+                    self.reads(e, None);
+                }
+                for name in names {
+                    if name == "_" {
+                        continue;
+                    }
+                    // A define that reuses an existing same-scope symbol is
+                    // a real write; a fresh declaration is an init write.
+                    if let Some(id) = self.declared_symbol(*pos, name) {
+                        self.init_write(id, name, *pos);
+                    } else if let Some(id) = self.res.use_at(*pos) {
+                        if self.res.symbol(id).name == *name {
+                            self.emit(Event::Access {
+                                var: VarKey {
+                                    root: VarRoot::Local(id),
+                                    path: String::new(),
+                                },
+                                display: name.clone(),
+                                write: true,
+                                atomic: false,
+                                init: false,
+                                cond_of: None,
+                                pos: *pos,
+                            });
+                        }
+                    }
+                }
+            }
+            Stmt::Assign { lhs, rhs, op, .. } => {
+                for e in rhs {
+                    self.reads(e, None);
+                }
+                for e in lhs {
+                    if *op != "=" {
+                        // Compound assignment reads the target too.
+                        self.reads(e, None);
+                    }
+                    self.write_target(e);
+                }
+            }
+            Stmt::IncDec { expr, .. } => {
+                self.reads(expr, None);
+                self.write_target(expr);
+            }
+            Stmt::Expr(e) => self.reads(e, None),
+            Stmt::Send { chan, value, .. } => {
+                self.reads(chan, None);
+                self.reads(value, None);
+            }
+            Stmt::Go { pos, call } => {
+                if let Expr::Call { func, args, .. } = call {
+                    // Arguments evaluate on the spawning thread.
+                    for a in args {
+                        self.reads(a, None);
+                    }
+                    if let Expr::FuncLit { body, .. } = func.as_ref() {
+                        self.spawn(*pos, body);
+                    } else {
+                        // `go f(x)` — the callee body is out of scope for an
+                        // intraprocedural pass.
+                        self.reads(func, None);
+                    }
+                } else {
+                    self.reads(call, None);
+                }
+            }
+            Stmt::Defer { call, .. } => {
+                // `defer x.Unlock()` keeps the lock held to function exit:
+                // modeled by NOT emitting a release. Deferred closures run
+                // at exit; their bodies are skipped (conservative).
+                if let Expr::Call { func, args, .. } = call {
+                    let is_unlock = matches!(
+                        func.as_ref(),
+                        Expr::Selector(_, m) if m == "Unlock" || m == "RUnlock"
+                    );
+                    if !is_unlock && !matches!(func.as_ref(), Expr::FuncLit { .. }) {
+                        for a in args {
+                            self.reads(a, None);
+                        }
+                    }
+                }
+            }
+            Stmt::Return { values, .. } => {
+                for e in values {
+                    self.reads(e, None);
+                }
+                // Control leaves the function; the rest of the block is
+                // unreachable — continue in a fresh, disconnected block.
+                self.current = self.new_block();
+            }
+            Stmt::If {
+                init,
+                cond,
+                then,
+                els,
+                ..
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                let tag = self.next_branch;
+                self.next_branch += 1;
+                self.reads(cond, Some(tag));
+                let head = self.current;
+                let join = self.new_block();
+
+                self.branch_stack.push(tag);
+                let then_entry = self.new_block();
+                self.link(head, then_entry);
+                self.current = then_entry;
+                self.stmts(&then.stmts);
+                let then_exit = self.current;
+                self.link(then_exit, join);
+                self.branch_stack.pop();
+
+                if let Some(e) = els {
+                    self.branch_stack.push(tag);
+                    let else_entry = self.new_block();
+                    self.link(head, else_entry);
+                    self.current = else_entry;
+                    self.stmt(e);
+                    let else_exit = self.current;
+                    self.link(else_exit, join);
+                    self.branch_stack.pop();
+                } else {
+                    self.link(head, join);
+                }
+                self.current = join;
+            }
+            Stmt::Block(b) => self.stmts(&b.stmts),
+            Stmt::For {
+                init,
+                cond,
+                post,
+                range,
+                body,
+                ..
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                let head = self.new_block();
+                self.link(self.current, head);
+                self.current = head;
+                if let Some(c) = cond {
+                    self.reads(c, None);
+                }
+                if let Some(r) = range {
+                    self.reads(&r.expr, None);
+                }
+                let after = self.new_block();
+                self.link(head, after);
+
+                let body_entry = self.new_block();
+                self.link(head, body_entry);
+                self.current = body_entry;
+                self.loop_stack.push(LoopFrame { head, after });
+                self.loop_depth += 1;
+                self.stmts(&body.stmts);
+                if let Some(p) = post {
+                    self.stmt(p);
+                }
+                self.loop_depth -= 1;
+                self.loop_stack.pop();
+                let body_exit = self.current;
+                self.link(body_exit, head);
+                self.current = after;
+            }
+            Stmt::Switch { tag, cases, .. } => {
+                if let Some(t) = tag {
+                    self.reads(t, None);
+                }
+                let head = self.current;
+                let join = self.new_block();
+                for c in cases {
+                    self.current = head;
+                    for e in &c.exprs {
+                        self.reads(e, None);
+                    }
+                    let entry = self.new_block();
+                    self.link(head, entry);
+                    self.current = entry;
+                    self.stmts(&c.body);
+                    let exit = self.current;
+                    self.link(exit, join);
+                }
+                // Without a default clause, control may skip every case.
+                self.link(head, join);
+                self.current = join;
+            }
+            Stmt::Select { cases, .. } => {
+                let head = self.current;
+                let join = self.new_block();
+                for c in cases {
+                    let entry = self.new_block();
+                    self.link(head, entry);
+                    self.current = entry;
+                    if let Some(comm) = &c.comm {
+                        self.stmt(comm);
+                    }
+                    self.stmts(&c.body);
+                    let exit = self.current;
+                    self.link(exit, join);
+                }
+                self.current = join;
+            }
+            Stmt::Branch { kind, .. } => match *kind {
+                "break" => {
+                    if let Some(f) = self.loop_stack.last() {
+                        let after = f.after;
+                        let cur = self.current;
+                        self.link(cur, after);
+                        self.current = self.new_block();
+                    }
+                }
+                "continue" => {
+                    if let Some(f) = self.loop_stack.last() {
+                        let head = f.head;
+                        let cur = self.current;
+                        self.link(cur, head);
+                        self.current = self.new_block();
+                    }
+                }
+                _ => {}
+            },
+            Stmt::Empty => {}
+        }
+    }
+
+    /// Builds a spawned goroutine body as a new context.
+    fn spawn(&mut self, pos: Pos, body: &Block) {
+        let ctx_id = u32::try_from(self.contexts.len()).unwrap_or(u32::MAX);
+        let saved_ctx = self.ctx;
+        let saved_current = self.current;
+        let saved_loops = std::mem::take(&mut self.loop_stack);
+        let saved_branches = std::mem::take(&mut self.branch_stack);
+        let saved_depth = self.loop_depth;
+
+        self.ctx = ctx_id;
+        self.loop_depth = 0;
+        let entry = self.new_block();
+        self.contexts.push(Context {
+            id: ctx_id,
+            entry,
+            parent: Some(saved_ctx),
+            spawn_pos: Some(pos),
+            in_loop: saved_depth > 0,
+        });
+        self.blocks[saved_current.0].spawns.push(ctx_id);
+        self.current = entry;
+        self.stmts(&body.stmts);
+
+        self.ctx = saved_ctx;
+        self.current = saved_current;
+        self.loop_stack = saved_loops;
+        self.branch_stack = saved_branches;
+        self.loop_depth = saved_depth;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::resolve::resolve_file;
+
+    fn cfg_of(src: &str) -> FuncCfg {
+        let file = parse_file(src).expect("parses");
+        let res = resolve_file(&file);
+        build_file(&file, &res)
+            .into_iter()
+            .next()
+            .expect("a function with a body")
+    }
+
+    fn all_events(cfg: &FuncCfg) -> Vec<&Event> {
+        cfg.blocks.iter().flat_map(|b| b.events.iter()).collect()
+    }
+
+    #[test]
+    fn spawn_creates_context_with_edge() {
+        let cfg = cfg_of(
+            r"
+package p
+func f(jobs []int) {
+    for _, j := range jobs {
+        go func() { use(j) }()
+    }
+}
+",
+        );
+        assert_eq!(cfg.contexts.len(), 2);
+        assert!(cfg.contexts[1].in_loop, "goroutine spawned inside a loop");
+        assert_eq!(cfg.contexts[1].parent, Some(0));
+        assert!(cfg.blocks.iter().any(|b| b.spawns.contains(&1)));
+    }
+
+    #[test]
+    fn lock_events_and_defer_unlock() {
+        let cfg = cfg_of(
+            r"
+package p
+func (g *Gate) update() {
+    g.mu.RLock()
+    defer g.mu.RUnlock()
+    g.ready = true
+}
+",
+        );
+        let evs = all_events(&cfg);
+        let acquires = evs
+            .iter()
+            .filter(|e| matches!(e, Event::Acquire { mode: LockMode::Read, .. }))
+            .count();
+        let releases = evs.iter().filter(|e| matches!(e, Event::Release { .. })).count();
+        assert_eq!(acquires, 1);
+        assert_eq!(releases, 0, "deferred release must not emit");
+        // The write keys by receiver type.
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            Event::Access { var, write: true, .. }
+                if var.root == VarRoot::Field("Gate".to_string()) && var.path == ".ready"
+        )));
+    }
+
+    #[test]
+    fn atomic_calls_mark_accesses() {
+        let cfg = cfg_of(
+            r"
+package p
+var ops int
+func f() {
+    atomic.AddInt64(&ops, 1)
+    use(atomic.LoadInt64(&ops))
+}
+",
+        );
+        let evs = all_events(&cfg);
+        let atomics: Vec<bool> = evs
+            .iter()
+            .filter_map(|e| match e {
+                Event::Access { atomic: true, write, .. } => Some(*write),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(atomics, vec![true, false], "Add writes, Load reads");
+    }
+
+    #[test]
+    fn if_condition_reads_are_tagged() {
+        let cfg = cfg_of(
+            r"
+package p
+var instance int
+func f() {
+    if instance == 0 {
+        instance = 1
+    }
+}
+",
+        );
+        let evs = all_events(&cfg);
+        let tag = evs
+            .iter()
+            .find_map(|e| match e {
+                Event::Access { write: false, cond_of: Some(t), .. } => Some(*t),
+                _ => None,
+            })
+            .expect("condition read tagged");
+        // The guarded write lives in a block tagged with the same branch.
+        let write_in_branch = cfg.blocks.iter().any(|b| {
+            b.branch_tags.contains(&tag)
+                && b.events
+                    .iter()
+                    .any(|e| matches!(e, Event::Access { write: true, .. }))
+        });
+        assert!(write_in_branch);
+    }
+
+    #[test]
+    fn loops_have_back_edges() {
+        let cfg = cfg_of(
+            r"
+package p
+func f(n int) {
+    for i := 0; i < n; i++ {
+        work(i)
+    }
+}
+",
+        );
+        let back_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.iter().any(|s| s.0 <= i));
+        assert!(back_edge);
+    }
+
+    #[test]
+    fn shadowed_locals_key_differently() {
+        let cfg = cfg_of(
+            r"
+package p
+var version int
+func f() {
+    version := 2
+    use(version)
+}
+",
+        );
+        for e in all_events(&cfg) {
+            if let Event::Access { var, .. } = e {
+                assert!(
+                    matches!(var.root, VarRoot::Local(_)),
+                    "shadowed name resolved to {var:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_runlock_releases() {
+        let cfg = cfg_of(
+            r"
+package p
+func (s *Store) bump() {
+    s.mu.RLock()
+    v := s.count
+    s.mu.RUnlock()
+    s.count = v + 1
+}
+",
+        );
+        let evs = all_events(&cfg);
+        assert_eq!(
+            evs.iter().filter(|e| matches!(e, Event::Release { .. })).count(),
+            1
+        );
+        // count is read once and written once (v's init write aside).
+        let count_accesses = evs
+            .iter()
+            .filter(|e| matches!(e, Event::Access { var, .. } if var.path == ".count"))
+            .count();
+        assert_eq!(count_accesses, 2);
+    }
+}

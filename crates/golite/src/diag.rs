@@ -1,0 +1,121 @@
+//! Machine-readable diagnostics for the lint engine.
+//!
+//! Editors and CI pipelines want structure, not prose: every finding
+//! serializes to a JSON object with a stable rule identifier (`GR001`…),
+//! a severity, and a source location. The JSON is hand-rolled — the
+//! offline build sanctions no serialization dependency — but the escape
+//! rules follow RFC 8259 for the characters that can actually appear in
+//! rule messages and file paths.
+
+use crate::lint::Finding;
+
+/// Escapes `s` as a JSON string body (quotes not included).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One finding as a JSON object.
+#[must_use]
+pub fn finding_json(path: &str, f: &Finding) -> String {
+    format!(
+        r#"{{"rule_id":"{}","rule":"{}","severity":"{}","file":"{}","line":{},"col":{},"func":"{}","message":"{}"}}"#,
+        f.rule.id(),
+        escape(&f.rule.to_string()),
+        f.rule.severity(),
+        escape(path),
+        f.pos.line,
+        f.pos.col,
+        escape(&f.func),
+        escape(&f.message),
+    )
+}
+
+/// A whole report (one file's findings) as a JSON array.
+#[must_use]
+pub fn report_json(path: &str, findings: &[Finding]) -> String {
+    let items: Vec<String> = findings.iter().map(|f| finding_json(path, f)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// A report over many files as one JSON array.
+#[must_use]
+pub fn corpus_json<'a, I>(per_file: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a [Finding])>,
+{
+    let mut items = Vec::new();
+    for (path, findings) in per_file {
+        for f in findings {
+            items.push(finding_json(path, f));
+        }
+    }
+    format!("[{}]", items.join(","))
+}
+
+/// The compiler-style one-line rendering:
+/// `path:line:col: error[GR007]: message (in Func)`.
+#[must_use]
+pub fn render_line(path: &str, f: &Finding) -> String {
+    format!(
+        "{}:{}:{}: {}[{}]: {} (in {})",
+        path,
+        f.pos.line,
+        f.pos.col,
+        f.rule.severity(),
+        f.rule.id(),
+        f.message,
+        f.func,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::Rule;
+    use crate::token::Pos;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: Rule::MissingLock,
+            pos: Pos { line: 7, col: 3 },
+            func: "Get".to_string(),
+            message: "unguarded \"version\"\there".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_tabs() {
+        let j = finding_json("svc/store.go", &sample());
+        assert!(j.contains(r#""rule_id":"GR007""#));
+        assert!(j.contains(r#""severity":"error""#));
+        assert!(j.contains(r#"unguarded \"version\"\there"#));
+        assert!(j.contains(r#""line":7"#));
+    }
+
+    #[test]
+    fn report_is_a_json_array() {
+        let fs = [sample(), sample()];
+        let j = report_json("a.go", &fs);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert_eq!(j.matches("\"rule_id\"").count(), 2);
+    }
+
+    #[test]
+    fn render_line_is_compiler_style() {
+        let line = render_line("svc/store.go", &sample());
+        assert!(line.starts_with("svc/store.go:7:3: error[GR007]:"));
+        assert!(line.ends_with("(in Get)"));
+    }
+}

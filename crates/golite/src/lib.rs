@@ -14,10 +14,18 @@
 //!   `defer`, `select`, `range`), and expressions (including closures and
 //!   composite literals),
 //! * [`scan`] — the construct scanner producing Table 1's feature counts,
-//! * [`lint`] — static race lints that flag the §4 patterns (loop-variable
+//! * [`resolve`] — lexical scope resolution (Go's `:=` redeclaration rule,
+//!   shadowing, closure capture sets),
+//! * [`cfg`] — per-function control-flow graphs with goroutine-spawn edges
+//!   and lock/access events,
+//! * [`lockset`] — an Eraser-style static lockset dataflow over the CFG,
+//! * [`lint`] — static race lints for the §4 patterns (loop-variable
 //!   capture, `err` capture, named-return capture, `WaitGroup.Add` inside
-//!   the goroutine, mutex-by-value, map writes in goroutines, writes under
-//!   `RLock`).
+//!   the goroutine, mutex-by-value, map writes in goroutines) plus the
+//!   Table-3 locking rules (missing lock, inconsistent lock, writes under
+//!   `RLock`, atomic-mixed-with-plain, double-checked locking),
+//! * [`diag`] — stable rule IDs (`GR001`…) rendered as compiler-style
+//!   lines or hand-rolled JSON.
 //!
 //! # Example
 //!
@@ -43,14 +51,19 @@
 //! ```
 
 pub mod ast;
+pub mod cfg;
+pub mod diag;
 pub mod error;
 pub mod lexer;
 pub mod lint;
+pub mod lockset;
 pub mod parser;
+pub mod resolve;
 pub mod scan;
 pub mod token;
 
 pub use error::ParseError;
-pub use lint::{lint_file, Finding, Rule};
+pub use lint::{lint_file, Finding, Rule, Severity};
 pub use parser::parse_file;
+pub use resolve::{resolve_file, Resolution};
 pub use scan::{scan_file, scan_source, ConstructCounts};

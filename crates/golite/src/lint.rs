@@ -1,21 +1,25 @@
-//! Static race lints for the §4 patterns.
+//! Static race lints for the paper's §4 patterns plus the Table-3 lockset
+//! rules.
 //!
 //! The paper closes with: "We believe the bug patterns in Go presented in
 //! this paper can inspire further research in static race detection for
-//! Go." These lints are that idea in miniature: syntactic detectors, one
-//! per pattern, over the Go-lite AST. They are heuristics — a free-variable
-//! approximation stands in for full scope resolution — but each fires on
-//! its paper listing and stays quiet on the fixed variants (see the crate's
-//! listing tests).
-
-#![allow(clippy::collapsible_match)]
+//! Go." This module is that idea taken seriously: the capture rules run on
+//! real lexical resolution ([`resolve`](crate::resolve)) instead of a
+//! free-variable approximation — a closure parameter or an earlier `:=`
+//! shadow genuinely unbinds a name — and the locking rules come from an
+//! Eraser-style lockset dataflow over the control-flow graph
+//! ([`lockset`](crate::lockset)). Each rule fires on its paper listing and
+//! stays quiet on the fixed variant (see the crate's listing tests).
 
 use std::collections::HashSet;
 
-use crate::ast::*;
+use crate::ast::{Block, Decl, Expr, File, FuncDecl, Stmt};
+use crate::lockset::{self, LockRule};
+use crate::resolve::{resolve_file, Resolution, SymbolId, SymbolKind};
 use crate::token::Pos;
 
-/// Which lint fired.
+/// Which lint fired. Ordered the way Tables 2 and 3 present the classes:
+/// shared-memory misuse first (capture, maps, locking), message-order last.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// Listing 1: a goroutine closure captures a loop variable.
@@ -25,17 +29,97 @@ pub enum Rule {
     ErrCapture,
     /// Listings 3–4: a goroutine closure captures a named return variable.
     NamedReturnCapture,
-    /// Listing 10: `WaitGroup.Add` inside the goroutine it accounts for.
-    WaitGroupAddInGoroutine,
-    /// Listing 7: a `sync.Mutex`/`sync.RWMutex` parameter passed by value.
-    MutexByValue,
     /// Listing 6: a map declared outside a goroutine written inside it.
     MapWriteInGoroutine,
-    /// Listing 11: an assignment inside an `RLock`-protected section.
+    /// Listing 7: a `sync.Mutex`/`sync.RWMutex` parameter passed by value.
+    MutexByValue,
+    /// Listing 10: `WaitGroup.Add` inside the goroutine it accounts for.
+    WaitGroupAddInGoroutine,
+    /// A variable guarded by a lock at some sites and bare at others.
+    MissingLock,
+    /// Every access locks, but no single lock covers all of them.
+    InconsistentLock,
+    /// Listing 11: a write inside an `RLock`-protected section.
     WriteUnderRLock,
+    /// `sync/atomic` operations mixed with plain accesses of the same
+    /// variable.
+    AtomicMixedWithPlain,
+    /// An unsynchronized fast-path check before a locked re-check.
+    DoubleCheckedLocking,
     /// Table 3's "incorrect order of statements": a goroutine is launched
     /// before a variable it reads is initialized in the same block.
     GoroutineBeforeInit,
+}
+
+/// Diagnostic severity for a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious shape that needs human judgment.
+    Warning,
+    /// A shape the paper documents as a production race.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 12] = [
+        Rule::LoopVarCapture,
+        Rule::ErrCapture,
+        Rule::NamedReturnCapture,
+        Rule::MapWriteInGoroutine,
+        Rule::MutexByValue,
+        Rule::WaitGroupAddInGoroutine,
+        Rule::MissingLock,
+        Rule::InconsistentLock,
+        Rule::WriteUnderRLock,
+        Rule::AtomicMixedWithPlain,
+        Rule::DoubleCheckedLocking,
+        Rule::GoroutineBeforeInit,
+    ];
+
+    /// Stable machine-readable identifier (`GR001`…`GR012`).
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::LoopVarCapture => "GR001",
+            Rule::ErrCapture => "GR002",
+            Rule::NamedReturnCapture => "GR003",
+            Rule::MapWriteInGoroutine => "GR004",
+            Rule::MutexByValue => "GR005",
+            Rule::WaitGroupAddInGoroutine => "GR006",
+            Rule::MissingLock => "GR007",
+            Rule::InconsistentLock => "GR008",
+            Rule::WriteUnderRLock => "GR009",
+            Rule::AtomicMixedWithPlain => "GR010",
+            Rule::DoubleCheckedLocking => "GR011",
+            Rule::GoroutineBeforeInit => "GR012",
+        }
+    }
+
+    /// The rule for a `GR0xx` identifier.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+
+    /// Severity: the two heuristic order/initialization shapes warn, the
+    /// rest are documented production races.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::GoroutineBeforeInit | Rule::DoubleCheckedLocking => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
 }
 
 impl std::fmt::Display for Rule {
@@ -44,10 +128,14 @@ impl std::fmt::Display for Rule {
             Rule::LoopVarCapture => "loop-variable captured by goroutine",
             Rule::ErrCapture => "err variable captured by goroutine",
             Rule::NamedReturnCapture => "named return captured by goroutine",
-            Rule::WaitGroupAddInGoroutine => "WaitGroup.Add inside goroutine",
-            Rule::MutexByValue => "mutex passed by value",
             Rule::MapWriteInGoroutine => "map written inside goroutine",
+            Rule::MutexByValue => "mutex passed by value",
+            Rule::WaitGroupAddInGoroutine => "WaitGroup.Add inside goroutine",
+            Rule::MissingLock => "lock missing at some access sites",
+            Rule::InconsistentLock => "no common lock across access sites",
             Rule::WriteUnderRLock => "write under RLock",
+            Rule::AtomicMixedWithPlain => "atomic mixed with plain access",
+            Rule::DoubleCheckedLocking => "double-checked locking",
             Rule::GoroutineBeforeInit => "goroutine launched before initialization",
         };
         f.write_str(s)
@@ -69,39 +157,55 @@ pub struct Finding {
 
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: [{}] in {}: {}", self.pos, self.rule, self.func, self.message)
+        write!(
+            f,
+            "{}: [{}] in {}: {}",
+            self.pos, self.rule, self.func, self.message
+        )
     }
 }
 
-/// Lints every function in the file.
+/// Lints every function in the file: capture rules on the resolved scopes,
+/// locking rules from the lockset dataflow.
 #[must_use]
 pub fn lint_file(file: &File) -> Vec<Finding> {
+    let res = resolve_file(file);
     let mut findings = Vec::new();
     for decl in &file.decls {
         if let Decl::Func(f) = decl {
-            lint_func(f, &mut findings);
+            lint_func(f, &res, &mut findings);
         }
     }
+    for lf in lockset::analyze_file(file, &res) {
+        findings.push(Finding {
+            rule: match lf.rule {
+                LockRule::MissingLock => Rule::MissingLock,
+                LockRule::InconsistentLock => Rule::InconsistentLock,
+                LockRule::AtomicMixedWithPlain => Rule::AtomicMixedWithPlain,
+                LockRule::DoubleCheckedLocking => Rule::DoubleCheckedLocking,
+                LockRule::WriteUnderRlock => Rule::WriteUnderRLock,
+            },
+            pos: lf.pos,
+            func: lf.func,
+            message: lf.message,
+        });
+    }
+    findings.sort_by_key(|f| f.pos);
     findings
 }
 
 /// A goroutine launched with an inline closure: `go func(...) {...}(args)`.
 struct GoClosure<'a> {
     pos: Pos,
-    sig: &'a Signature,
     body: &'a Block,
-    args: &'a [Expr],
 }
 
-fn lint_func(f: &FuncDecl, findings: &mut Vec<Finding>) {
+fn lint_func(f: &FuncDecl, res: &Resolution, findings: &mut Vec<Finding>) {
     let Some(body) = &f.body else { return };
 
     // Rule: MutexByValue — any by-value sync.Mutex/RWMutex parameter.
     for p in &f.sig.params {
-        if matches!(
-            p.ty.name(),
-            Some("sync.Mutex" | "sync.RWMutex")
-        ) {
+        if matches!(p.ty.name(), Some("sync.Mutex" | "sync.RWMutex")) {
             findings.push(Finding {
                 rule: Rule::MutexByValue,
                 pos: f.pos,
@@ -116,67 +220,58 @@ fn lint_func(f: &FuncDecl, findings: &mut Vec<Finding>) {
         }
     }
 
-    let named_returns: Vec<&str> = f
-        .sig
-        .results
-        .iter()
-        .filter(|r| !r.name.is_empty() && r.name != "_")
-        .map(|r| r.name.as_str())
-        .collect();
-
-    // Collect all goroutine closures (with their surrounding loop vars) and
-    // the set of assignment targets in the function outside closures.
-    let mut closures: Vec<(GoClosure<'_>, Vec<String>)> = Vec::new();
-    collect_go_closures(body, &mut Vec::new(), &mut closures);
-    let outer_assigned = assigned_names_outside_closures(body);
+    let mut closures: Vec<GoClosure<'_>> = Vec::new();
+    collect_go_closures(body, &mut closures);
     let has_wait_call = calls_method(body, "Wait");
 
-    for (gc, loop_vars) in &closures {
-        let free = free_idents(gc.sig, gc.body);
-        // Loop variable capture — unless the variable is re-passed as a
-        // call argument with the same name (the privatizing idiom).
-        for lv in loop_vars {
-            if free.contains(lv.as_str()) && !arg_shadows(gc, lv) {
-                findings.push(Finding {
+    for gc in &closures {
+        // Real capture sets from resolution: a closure parameter or an
+        // earlier same-name `:=` inside the closure means the name is NOT
+        // captured — the old free-variable scan could not tell.
+        let captured = res.captures_at(gc.pos);
+
+        for &sym_id in captured {
+            let sym = res.symbol(sym_id);
+            match sym.kind {
+                // Rule: LoopVarCapture — the goroutine reads a variable the
+                // loop advances concurrently.
+                SymbolKind::LoopVar => findings.push(Finding {
                     rule: Rule::LoopVarCapture,
                     pos: gc.pos,
                     func: f.name.clone(),
                     message: format!(
-                        "goroutine captures loop variable `{lv}` by reference; the \
-                         loop advances it concurrently"
+                        "goroutine captures loop variable `{}` by reference; the \
+                         loop advances it concurrently",
+                        sym.name
                     ),
-                });
-            }
-        }
-        // err capture: `err` free in the closure AND assigned outside too.
-        if free.contains("err")
-            && outer_assigned.contains("err")
-            && !arg_shadows(gc, "err")
-        {
-            findings.push(Finding {
-                rule: Rule::ErrCapture,
-                pos: gc.pos,
-                func: f.name.clone(),
-                message: "goroutine captures `err` by reference while the enclosing \
-                          function keeps assigning it"
-                    .to_string(),
-            });
-        }
-        // Named return capture.
-        for nr in &named_returns {
-            if free.contains(*nr) && !arg_shadows(gc, nr) {
-                findings.push(Finding {
+                }),
+                // Rule: NamedReturnCapture — every `return` writes the
+                // captured variable.
+                SymbolKind::NamedResult => findings.push(Finding {
                     rule: Rule::NamedReturnCapture,
                     pos: gc.pos,
                     func: f.name.clone(),
                     message: format!(
-                        "goroutine captures named return `{nr}`; every return \
-                         statement writes it"
+                        "goroutine captures named return `{}`; every return \
+                         statement writes it",
+                        sym.name
                     ),
-                });
+                }),
+                // Rule: ErrCapture — the enclosing function keeps assigning
+                // the same `err` binding (`y, err := Baz()` reuses it).
+                _ if sym.name == "err" => findings.push(Finding {
+                    rule: Rule::ErrCapture,
+                    pos: gc.pos,
+                    func: f.name.clone(),
+                    message: "goroutine captures `err` by reference while the \
+                              enclosing function keeps assigning it"
+                        .to_string(),
+                }),
+                _ => {}
             }
         }
-        // WaitGroup.Add inside the goroutine body.
+
+        // Rule: WaitGroupAddInGoroutine.
         if has_wait_call && calls_method(gc.body, "Add") {
             findings.push(Finding {
                 rule: Rule::WaitGroupAddInGoroutine,
@@ -187,62 +282,61 @@ fn lint_func(f: &FuncDecl, findings: &mut Vec<Finding>) {
                     .to_string(),
             });
         }
-        // Map write in goroutine: indexed assignment to a free base.
-        for (base, pos) in indexed_assign_bases(gc.body) {
-            if free.contains(base.as_str()) {
+
+        // Rule: MapWriteInGoroutine — an indexed write whose base is a
+        // captured (outer) variable.
+        for (base_pos, base_name, pos) in indexed_assign_bases(gc.body) {
+            let captured_base = res
+                .use_at(base_pos)
+                .is_some_and(|id| res.captures_symbol(gc.pos, id));
+            if captured_base {
                 findings.push(Finding {
                     rule: Rule::MapWriteInGoroutine,
                     pos,
                     func: f.name.clone(),
                     message: format!(
-                        "`{base}[...]` is written inside a goroutine while declared \
-                         outside; Go maps are not thread-safe"
+                        "`{base_name}[...]` is written inside a goroutine while \
+                         declared outside; Go maps are not thread-safe"
                     ),
                 });
             }
         }
     }
 
-    // WriteUnderRLock: statement-ordered scan of each block.
-    lint_rlock_writes(body, &f.name, findings);
-
-    // GoroutineBeforeInit: a `go` closure reading a variable the SAME block
-    // assigns afterwards.
-    lint_goroutine_before_init(body, &f.name, findings);
+    lint_goroutine_before_init(body, f, res, findings);
 }
 
 /// Scans each block for `go func(){ ... x ... }()` followed (later in the
-/// same block) by an assignment to `x` — the launch raced ahead of the
-/// initialization it depends on.
-fn lint_goroutine_before_init(block: &Block, func: &str, findings: &mut Vec<Finding>) {
+/// same block) by an assignment to the same resolved symbol — the launch
+/// raced ahead of the initialization it depends on.
+fn lint_goroutine_before_init(
+    block: &Block,
+    f: &FuncDecl,
+    res: &Resolution,
+    findings: &mut Vec<Finding>,
+) {
     for (i, stmt) in block.stmts.iter().enumerate() {
         if let Stmt::Go { pos, call } = stmt {
-            if let Expr::Call { func: callee, args, .. } = call {
-                if let Expr::FuncLit { sig, body, .. } = callee.as_ref() {
-                    let gc = GoClosure {
-                        pos: *pos,
-                        sig,
-                        body,
-                        args,
-                    };
-                    let free = free_idents(sig, body);
-                    // Names assigned by LATER statements of this block
-                    // (top level only; nested goroutines have their own
-                    // ordering).
-                    let mut later = HashSet::new();
+            if let Expr::Call { func: callee, .. } = call {
+                if let Expr::FuncLit { pos: lit_pos, .. } = callee.as_ref() {
+                    let mut later: HashSet<SymbolId> = HashSet::new();
                     for s in &block.stmts[i + 1..] {
-                        collect_assign_targets(s, &mut later);
+                        collect_assign_symbols(s, res, &mut later);
                     }
-                    for name in free.intersection(&later) {
-                        if name == "err" || arg_shadows(&gc, name) {
-                            continue; // ErrCapture owns the err idiom
+                    for &sym_id in res.captures_at(*lit_pos) {
+                        let sym = res.symbol(sym_id);
+                        // ErrCapture owns the err idiom.
+                        if sym.name == "err" || !later.contains(&sym_id) {
+                            continue;
                         }
                         findings.push(Finding {
                             rule: Rule::GoroutineBeforeInit,
                             pos: *pos,
-                            func: func.to_string(),
+                            func: f.name.clone(),
                             message: format!(
-                                "goroutine reads `{name}`, which is assigned only                                  after the `go` statement"
+                                "goroutine reads `{}`, which is assigned only \
+                                 after the `go` statement",
+                                sym.name
                             ),
                         });
                     }
@@ -252,424 +346,94 @@ fn lint_goroutine_before_init(block: &Block, func: &str, findings: &mut Vec<Find
         // Recurse into nested blocks.
         match stmt {
             Stmt::If { then, els, .. } => {
-                lint_goroutine_before_init(then, func, findings);
+                lint_goroutine_before_init(then, f, res, findings);
                 if let Some(e) = els {
                     if let Stmt::Block(b) = e.as_ref() {
-                        lint_goroutine_before_init(b, func, findings);
+                        lint_goroutine_before_init(b, f, res, findings);
                     }
                 }
             }
-            Stmt::Block(b) => lint_goroutine_before_init(b, func, findings),
-            Stmt::For { body, .. } => lint_goroutine_before_init(body, func, findings),
+            Stmt::Block(b) => lint_goroutine_before_init(b, f, res, findings),
+            Stmt::For { body, .. } => lint_goroutine_before_init(body, f, res, findings),
             _ => {}
         }
     }
 }
 
-/// Top-level assignment/define targets of one statement (identifier bases
-/// of selectors and indexes included; closure bodies excluded).
-fn collect_assign_targets(stmt: &Stmt, out: &mut HashSet<String>) {
-    fn base_ident(e: &Expr, out: &mut HashSet<String>) {
+/// Symbols assigned by one statement (identifier bases of selectors and
+/// indexes included; closure bodies excluded).
+fn collect_assign_symbols(stmt: &Stmt, res: &Resolution, out: &mut HashSet<SymbolId>) {
+    fn base_symbol(e: &Expr, res: &Resolution, out: &mut HashSet<SymbolId>) {
         match e {
-            Expr::Ident(_, n) => {
-                out.insert(n.clone());
+            Expr::Ident(pos, _) => {
+                if let Some(id) = res.use_at(*pos) {
+                    out.insert(id);
+                }
             }
-            Expr::Selector(b, _) | Expr::Index(b, _) | Expr::Paren(b) => base_ident(b, out),
-            Expr::Unary { op: "*", expr } => base_ident(expr, out),
+            Expr::Selector(b, _) | Expr::Index(b, _) | Expr::Paren(b) => base_symbol(b, res, out),
+            Expr::Unary { op: "*", expr } => base_symbol(expr, res, out),
             _ => {}
         }
     }
     match stmt {
         Stmt::Assign { lhs, .. } => {
             for e in lhs {
-                base_ident(e, out);
+                base_symbol(e, res, out);
             }
         }
-        Stmt::Define { names, .. } => out.extend(names.iter().cloned()),
-        Stmt::IncDec { expr, .. } => base_ident(expr, out),
+        // `y, x := ...` assigns x when it reuses an existing binding; the
+        // resolver records that reuse as a use at the statement position.
+        Stmt::Define { pos, .. } => {
+            if let Some(id) = res.use_at(*pos) {
+                out.insert(id);
+            }
+        }
+        Stmt::IncDec { expr, .. } => base_symbol(expr, res, out),
         _ => {}
     }
 }
 
-/// Is `name` passed as an argument whose parameter has the same name (the
-/// `}(job)` privatizing idiom)?
-fn arg_shadows(gc: &GoClosure<'_>, name: &str) -> bool {
-    gc.sig.params.iter().any(|p| p.name == name)
-        || gc
-            .args
-            .iter()
-            .any(|a| a.as_ident() == Some(name))
-}
-
-fn collect_go_closures<'a>(
-    block: &'a Block,
-    loop_vars: &mut Vec<String>,
-    out: &mut Vec<(GoClosure<'a>, Vec<String>)>,
-) {
+fn collect_go_closures<'a>(block: &'a Block, out: &mut Vec<GoClosure<'a>>) {
     for stmt in &block.stmts {
-        collect_go_in_stmt(stmt, loop_vars, out);
+        collect_go_in_stmt(stmt, out);
     }
 }
 
-fn collect_go_in_stmt<'a>(
-    stmt: &'a Stmt,
-    loop_vars: &mut Vec<String>,
-    out: &mut Vec<(GoClosure<'a>, Vec<String>)>,
-) {
+fn collect_go_in_stmt<'a>(stmt: &'a Stmt, out: &mut Vec<GoClosure<'a>>) {
     match stmt {
-        Stmt::Go { pos, call } => {
-            if let Expr::Call { func, args, .. } = call {
-                if let Expr::FuncLit { sig, body, .. } = func.as_ref() {
-                    out.push((
-                        GoClosure {
-                            pos: *pos,
-                            sig,
-                            body,
-                            args,
-                        },
-                        loop_vars.clone(),
-                    ));
+        Stmt::Go { call, .. } => {
+            if let Expr::Call { func, .. } = call {
+                if let Expr::FuncLit { pos, body, .. } = func.as_ref() {
+                    out.push(GoClosure { pos: *pos, body });
                     // Nested goroutines inside this closure still matter.
-                    collect_go_closures(body, loop_vars, out);
+                    collect_go_closures(body, out);
                 }
             }
         }
-
-        Stmt::For { range, init, body, .. } => {
-            let mut added = 0;
-            if let Some(r) = range {
-                if r.define {
-                    for v in [&r.key, &r.value] {
-                        if !v.is_empty() && v != "_" {
-                            loop_vars.push(v.clone());
-                            added += 1;
-                        }
-                    }
-                }
-            }
-            if let Some(i) = init {
-                if let Stmt::Define { names, .. } = i.as_ref() {
-                    for n in names {
-                        if n != "_" {
-                            loop_vars.push(n.clone());
-                            added += 1;
-                        }
-                    }
-                }
-            }
-            collect_go_closures(body, loop_vars, out);
-            loop_vars.truncate(loop_vars.len() - added);
-        }
+        Stmt::For { body, .. } => collect_go_closures(body, out),
         Stmt::If { then, els, .. } => {
-            collect_go_closures(then, loop_vars, out);
+            collect_go_closures(then, out);
             if let Some(e) = els {
-                collect_go_in_stmt(e, loop_vars, out);
+                collect_go_in_stmt(e, out);
             }
         }
-        Stmt::Block(b) => collect_go_closures(b, loop_vars, out),
+        Stmt::Block(b) => collect_go_closures(b, out),
         Stmt::Switch { cases, .. } => {
             for c in cases {
                 for s in &c.body {
-                    collect_go_in_stmt(s, loop_vars, out);
+                    collect_go_in_stmt(s, out);
                 }
             }
         }
         Stmt::Select { cases, .. } => {
             for c in cases {
                 for s in &c.body {
-                    collect_go_in_stmt(s, loop_vars, out);
+                    collect_go_in_stmt(s, out);
                 }
             }
         }
         _ => {}
     }
-}
-
-/// Names bound inside a closure: parameters, `:=` defines, `var` decls,
-/// and range variables (an approximation that ignores block scoping).
-fn bound_names(sig: &Signature, block: &Block) -> HashSet<String> {
-    let mut bound: HashSet<String> = sig
-        .params
-        .iter()
-        .map(|p| p.name.clone())
-        .filter(|n| !n.is_empty())
-        .collect();
-    fn walk(b: &Block, bound: &mut HashSet<String>) {
-        for s in &b.stmts {
-            walk_stmt(s, bound);
-        }
-    }
-    fn walk_stmt(s: &Stmt, bound: &mut HashSet<String>) {
-        match s {
-            Stmt::Decl(v) => bound.extend(v.names.iter().cloned()),
-            Stmt::Define { names, .. } => bound.extend(names.iter().cloned()),
-            Stmt::If { init, then, els, .. } => {
-                if let Some(i) = init {
-                    walk_stmt(i, bound);
-                }
-                walk(then, bound);
-                if let Some(e) = els {
-                    walk_stmt(e, bound);
-                }
-            }
-            Stmt::Block(b) => walk(b, bound),
-            Stmt::For {
-                init, range, body, ..
-            } => {
-                if let Some(i) = init {
-                    walk_stmt(i, bound);
-                }
-                if let Some(r) = range {
-                    if r.define {
-                        bound.insert(r.key.clone());
-                        bound.insert(r.value.clone());
-                    }
-                }
-                walk(body, bound);
-            }
-            Stmt::Switch { cases, .. } => {
-                for c in cases {
-                    for s in &c.body {
-                        walk_stmt(s, bound);
-                    }
-                }
-            }
-            Stmt::Select { cases, .. } => {
-                for c in cases {
-                    if let Some(comm) = &c.comm {
-                        walk_stmt(comm, bound);
-                    }
-                    for s in &c.body {
-                        walk_stmt(s, bound);
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    walk(block, &mut bound);
-    bound
-}
-
-/// Identifiers referenced inside the closure body (selector field names and
-/// nested closure parameters excluded).
-fn free_idents(sig: &Signature, body: &Block) -> HashSet<String> {
-    let bound = bound_names(sig, body);
-    let mut used = HashSet::new();
-    collect_used_block(body, &mut used);
-    used.retain(|u| !bound.contains(u));
-    used
-}
-
-fn collect_used_block(b: &Block, used: &mut HashSet<String>) {
-    for s in &b.stmts {
-        collect_used_stmt(s, used);
-    }
-}
-
-fn collect_used_stmt(s: &Stmt, used: &mut HashSet<String>) {
-    match s {
-        Stmt::Decl(v) => {
-            for e in &v.values {
-                collect_used_expr(e, used);
-            }
-        }
-        Stmt::Define { values, .. } => {
-            for e in values {
-                collect_used_expr(e, used);
-            }
-        }
-        Stmt::Assign { lhs, rhs, .. } => {
-            for e in lhs.iter().chain(rhs.iter()) {
-                collect_used_expr(e, used);
-            }
-        }
-        Stmt::IncDec { expr, .. } => collect_used_expr(expr, used),
-        Stmt::Expr(e) => collect_used_expr(e, used),
-        Stmt::Send { chan, value, .. } => {
-            collect_used_expr(chan, used);
-            collect_used_expr(value, used);
-        }
-        Stmt::Go { call, .. } | Stmt::Defer { call, .. } => collect_used_expr(call, used),
-        Stmt::Return { values, .. } => {
-            for e in values {
-                collect_used_expr(e, used);
-            }
-        }
-        Stmt::If {
-            init,
-            cond,
-            then,
-            els,
-            ..
-        } => {
-            if let Some(i) = init {
-                collect_used_stmt(i, used);
-            }
-            collect_used_expr(cond, used);
-            collect_used_block(then, used);
-            if let Some(e) = els {
-                collect_used_stmt(e, used);
-            }
-        }
-        Stmt::Block(b) => collect_used_block(b, used),
-        Stmt::For {
-            init,
-            cond,
-            post,
-            range,
-            body,
-            ..
-        } => {
-            if let Some(i) = init {
-                collect_used_stmt(i, used);
-            }
-            if let Some(c) = cond {
-                collect_used_expr(c, used);
-            }
-            if let Some(p) = post {
-                collect_used_stmt(p, used);
-            }
-            if let Some(r) = range {
-                collect_used_expr(&r.expr, used);
-            }
-            collect_used_block(body, used);
-        }
-        Stmt::Switch { tag, cases, .. } => {
-            if let Some(t) = tag {
-                collect_used_expr(t, used);
-            }
-            for c in cases {
-                for e in &c.exprs {
-                    collect_used_expr(e, used);
-                }
-                for s in &c.body {
-                    collect_used_stmt(s, used);
-                }
-            }
-        }
-        Stmt::Select { cases, .. } => {
-            for c in cases {
-                if let Some(comm) = &c.comm {
-                    collect_used_stmt(comm, used);
-                }
-                for s in &c.body {
-                    collect_used_stmt(s, used);
-                }
-            }
-        }
-        Stmt::Branch { .. } | Stmt::Empty => {}
-    }
-}
-
-fn collect_used_expr(e: &Expr, used: &mut HashSet<String>) {
-    match e {
-        Expr::Ident(_, n) => {
-            used.insert(n.clone());
-        }
-        Expr::Int(..) | Expr::Float(..) | Expr::Str(..) | Expr::Rune(..) => {}
-        Expr::Selector(base, _) => collect_used_expr(base, used),
-        Expr::Call { func, args, .. } => {
-            collect_used_expr(func, used);
-            for a in args {
-                collect_used_expr(a, used);
-            }
-        }
-        Expr::Index(b, i) => {
-            collect_used_expr(b, used);
-            collect_used_expr(i, used);
-        }
-        Expr::SliceExpr { expr, low, high } => {
-            collect_used_expr(expr, used);
-            if let Some(l) = low {
-                collect_used_expr(l, used);
-            }
-            if let Some(h) = high {
-                collect_used_expr(h, used);
-            }
-        }
-        Expr::Unary { expr, .. } => collect_used_expr(expr, used),
-        Expr::Binary { lhs, rhs, .. } => {
-            collect_used_expr(lhs, used);
-            collect_used_expr(rhs, used);
-        }
-        Expr::FuncLit { sig, body, .. } => {
-            // Nested closure: only its own free variables escape to us.
-            for f in free_idents(sig, body) {
-                used.insert(f);
-            }
-        }
-        Expr::CompositeLit { elems, .. } => {
-            for (k, v) in elems {
-                if let Some(k) = k {
-                    collect_used_expr(k, used);
-                }
-                collect_used_expr(v, used);
-            }
-        }
-        Expr::Paren(inner) => collect_used_expr(inner, used),
-        Expr::TypeExpr(_) => {}
-    }
-}
-
-/// Names assigned (`=`, `:=`) at any depth outside goroutine closures.
-fn assigned_names_outside_closures(block: &Block) -> HashSet<String> {
-    let mut names = HashSet::new();
-    fn walk(b: &Block, names: &mut HashSet<String>) {
-        for s in &b.stmts {
-            walk_stmt(s, names);
-        }
-    }
-    fn walk_stmt(s: &Stmt, names: &mut HashSet<String>) {
-        match s {
-            Stmt::Define { names: ns, .. } => names.extend(ns.iter().cloned()),
-            Stmt::Assign { lhs, .. } => {
-                for e in lhs {
-                    if let Some(n) = e.as_ident() {
-                        names.insert(n.to_string());
-                    }
-                }
-            }
-            Stmt::If { init, then, els, .. } => {
-                if let Some(i) = init {
-                    walk_stmt(i, names);
-                }
-                walk(then, names);
-                if let Some(e) = els {
-                    walk_stmt(e, names);
-                }
-            }
-            Stmt::Block(b) => walk(b, names),
-            Stmt::For { init, body, .. } => {
-                if let Some(i) = init {
-                    walk_stmt(i, names);
-                }
-                walk(body, names);
-            }
-            Stmt::Go { .. } => {} // closures excluded
-            Stmt::Defer { .. } => {}
-            Stmt::Switch { cases, .. } => {
-                for c in cases {
-                    for s in &c.body {
-                        walk_stmt(s, names);
-                    }
-                }
-            }
-            Stmt::Select { cases, .. } => {
-                for c in cases {
-                    if let Some(comm) = &c.comm {
-                        walk_stmt(comm, names);
-                    }
-                    for s in &c.body {
-                        walk_stmt(s, names);
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    walk(block, &mut names);
-    names
 }
 
 /// Does the block (at any depth) call a method with this name?
@@ -688,21 +452,22 @@ fn calls_method(block: &Block, method: &str) -> bool {
     found
 }
 
-/// Base identifiers of indexed assignments `base[...] = ...` at any depth.
-fn indexed_assign_bases(block: &Block) -> Vec<(String, Pos)> {
+/// Base identifiers of indexed assignments `base[...] = ...` at any depth:
+/// `(position of the base identifier, its name, statement position)`.
+fn indexed_assign_bases(block: &Block) -> Vec<(Pos, String, Pos)> {
     let mut out = Vec::new();
-    fn walk(b: &Block, out: &mut Vec<(String, Pos)>) {
+    fn walk(b: &Block, out: &mut Vec<(Pos, String, Pos)>) {
         for s in &b.stmts {
             walk_stmt(s, out);
         }
     }
-    fn walk_stmt(s: &Stmt, out: &mut Vec<(String, Pos)>) {
+    fn walk_stmt(s: &Stmt, out: &mut Vec<(Pos, String, Pos)>) {
         match s {
             Stmt::Assign { pos, lhs, .. } => {
                 for e in lhs {
                     if let Expr::Index(base, _) = e {
-                        if let Some(n) = base.as_ident() {
-                            out.push((n.to_string(), *pos));
+                        if let Expr::Ident(bp, n) = base.as_ref() {
+                            out.push((*bp, n.clone(), *pos));
                         }
                     }
                 }
@@ -742,10 +507,6 @@ fn walk_exprs(block: &Block, f: &mut (dyn FnMut(&Expr) + '_)) {
     for s in &block.stmts {
         walk_exprs_stmt(s, f);
     }
-}
-
-fn walk_exprs_stmt_dyn(s: &Stmt, f: &mut (dyn FnMut(&Expr) + '_)) {
-    walk_exprs_stmt(s, f);
 }
 
 fn walk_exprs_stmt(s: &Stmt, f: &mut (dyn FnMut(&Expr) + '_)) {
@@ -874,7 +635,7 @@ fn walk_exprs_expr(e: &Expr, f: &mut (dyn FnMut(&Expr) + '_)) {
         }
         Expr::FuncLit { body, .. } => {
             for st in &body.stmts {
-                walk_exprs_stmt_dyn(st, f);
+                walk_exprs_stmt(st, f);
             }
         }
         Expr::CompositeLit { elems, .. } => {
@@ -890,112 +651,97 @@ fn walk_exprs_expr(e: &Expr, f: &mut (dyn FnMut(&Expr) + '_)) {
     }
 }
 
-/// Scans each block for writes between `x.RLock()` and `x.RUnlock()`.
-/// Handles both the sequential form and the `defer x.RUnlock()` form (where
-/// the rest of the block is the critical section).
-fn lint_rlock_writes(block: &Block, func: &str, findings: &mut Vec<Finding>) {
-    scan_block_rlock(block, func, findings);
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
 
-fn scan_block_rlock(block: &Block, func: &str, findings: &mut Vec<Finding>) {
-    let mut rlocked: Option<String> = None;
-    for stmt in &block.stmts {
-        match stmt {
-            Stmt::Expr(Expr::Call { func: callee, .. }) => {
-                if let Expr::Selector(base, m) = callee.as_ref() {
-                    if m == "RLock" {
-                        rlocked = base.dotted();
-                    } else if m == "RUnlock" {
-                        rlocked = None;
-                    }
-                }
-            }
-            Stmt::Defer { call, .. } => {
-                if let Expr::Call { func: callee, .. } = call {
-                    if let Expr::Selector(_, m) = callee.as_ref() {
-                        if m == "RUnlock" {
-                            // defer RUnlock: the section stays read-locked to
-                            // the end of the block; keep `rlocked` as-is.
-                        }
-                    }
-                }
-            }
-            Stmt::Assign { pos, lhs, .. } if rlocked.is_some() => {
-                for e in lhs {
-                    if matches!(e, Expr::Selector(..) | Expr::Index(..) | Expr::Ident(..)) {
-                        findings.push(Finding {
-                            rule: Rule::WriteUnderRLock,
-                            pos: *pos,
-                            func: func.to_string(),
-                            message: format!(
-                                "assignment inside a section protected only by \
-                                 {}.RLock(); concurrent readers may also write",
-                                rlocked.as_deref().unwrap_or("?")
-                            ),
-                        });
-                    }
-                }
-            }
-            Stmt::If { then, els, .. } => {
-                if rlocked.is_some() {
-                    // Writes inside a conditional within the critical
-                    // section (exactly Listing 11's shape).
-                    scan_nested_rlock(then, rlocked.as_deref(), func, findings);
-                    if let Some(e) = els {
-                        if let Stmt::Block(b) = e.as_ref() {
-                            scan_nested_rlock(b, rlocked.as_deref(), func, findings);
-                        }
-                    }
-                } else {
-                    scan_block_rlock(then, func, findings);
-                    if let Some(e) = els {
-                        if let Stmt::Block(b) = e.as_ref() {
-                            scan_block_rlock(b, func, findings);
-                        }
-                    }
-                }
-            }
-            Stmt::Block(b) => scan_block_rlock(b, func, findings),
-            Stmt::For { body, .. } => scan_block_rlock(body, func, findings),
-            _ => {}
+    fn rules(src: &str) -> Vec<Rule> {
+        let file = parse_file(src).expect("parses");
+        lint_file(&file).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
         }
+        assert_eq!(Rule::from_id("GR999"), None);
+    }
+
+    #[test]
+    fn severities_are_assigned() {
+        assert_eq!(Rule::MissingLock.severity(), Severity::Error);
+        assert_eq!(Rule::GoroutineBeforeInit.severity(), Severity::Warning);
+        assert_eq!(Rule::DoubleCheckedLocking.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn closure_param_shadow_suppresses_capture() {
+        let src = r"
+package p
+func f(jobs []int) {
+    for _, job := range jobs {
+        go func(job int) {
+            use(job)
+        }(job)
     }
 }
+";
+        assert!(!rules(src).contains(&Rule::LoopVarCapture));
+    }
 
-fn scan_nested_rlock(
-    block: &Block,
-    rlocked: Option<&str>,
-    func: &str,
-    findings: &mut Vec<Finding>,
-) {
-    for stmt in &block.stmts {
-        match stmt {
-            Stmt::Assign { pos, lhs, .. } => {
-                for e in lhs {
-                    if matches!(e, Expr::Selector(..) | Expr::Index(..) | Expr::Ident(..)) {
-                        findings.push(Finding {
-                            rule: Rule::WriteUnderRLock,
-                            pos: *pos,
-                            func: func.to_string(),
-                            message: format!(
-                                "assignment inside a section protected only by \
-                                 {}.RLock(); concurrent readers may also write",
-                                rlocked.unwrap_or("?")
-                            ),
-                        });
-                    }
-                }
-            }
-            Stmt::If { then, els, .. } => {
-                scan_nested_rlock(then, rlocked, func, findings);
-                if let Some(e) = els {
-                    if let Stmt::Block(b) = e.as_ref() {
-                        scan_nested_rlock(b, rlocked, func, findings);
-                    }
-                }
-            }
-            Stmt::Block(b) => scan_nested_rlock(b, rlocked, func, findings),
-            _ => {}
-        }
+    #[test]
+    fn inner_define_shadow_suppresses_capture() {
+        // The pre-Go-1.22 fix idiom: a per-iteration copy inside the loop.
+        let src = r"
+package p
+func f(jobs []int) {
+    for _, job := range jobs {
+        job := job
+        go func() {
+            use(job)
+        }()
+    }
+}
+";
+        assert!(!rules(src).contains(&Rule::LoopVarCapture));
+    }
+
+    #[test]
+    fn late_shadow_does_not_protect_earlier_use() {
+        // The use precedes the shadowing `:=`, so it still resolves to the
+        // loop variable: racy.
+        let src = r"
+package p
+func f(jobs []int) {
+    for _, job := range jobs {
+        go func() {
+            use(job)
+            job := fresh()
+            use(job)
+        }()
+    }
+}
+";
+        assert!(rules(src).contains(&Rule::LoopVarCapture));
+    }
+
+    #[test]
+    fn lockset_rules_surface_through_lint_file() {
+        let src = r"
+package p
+var version int
+func Set(v int) {
+    mu.Lock()
+    version = v
+    mu.Unlock()
+}
+func Get() int {
+    return version
+}
+";
+        let rs = rules(src);
+        assert!(rs.contains(&Rule::MissingLock), "{rs:?}");
     }
 }

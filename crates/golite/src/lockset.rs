@@ -1,0 +1,684 @@
+//! Eraser-style static lockset analysis over the Go-lite CFG.
+//!
+//! The study attributes most of its Table 3 to plain mutex misuse: fields
+//! guarded at some sites and bare at others, two code paths agreeing on
+//! *a* lock but not the *same* lock, `sync/atomic` mixed with unannotated
+//! accesses, and the classic double-checked-locking idiom. This pass finds
+//! those shapes statically:
+//!
+//! 1. A forward dataflow over each [`FuncCfg`] context computes the set of
+//!    locks held at every block entry (meet = intersection, keeping the
+//!    weaker mode at a join; `defer Unlock` was already folded in by CFG
+//!    construction, so a deferred release simply never leaves the set).
+//! 2. Every variable access is annotated with its *effective* lockset: a
+//!    `Read`-mode lock (`RLock`) protects reads but not writes, so a write
+//!    under `RLock` has an empty effective set even though a lock is held.
+//! 3. Accesses are grouped by variable identity — file-wide for globals
+//!    and receiver fields, per-function for locals — and each group is
+//!    tested against the rules in [`LockRule`].
+//!
+//! Sharedness is approximated the way Eraser does at warm-up: a variable
+//! counts as shared once it is touched from two execution contexts, from a
+//! goroutine spawned in a loop (concurrent with itself), or — for globals
+//! and fields — once any access bothers to take a lock (the "lock signal":
+//! somebody believed this needs protection). Declaration-initializer
+//! writes are exempt from race evidence, mirroring Eraser's init phase.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::ast::File;
+use crate::cfg::{build_file, BlockId, Event, FuncCfg, LockMode, VarKey};
+use crate::resolve::Resolution;
+use crate::token::Pos;
+
+/// Locks held at a program point, with the strongest mode held per lock.
+pub type Lockset = BTreeMap<VarKey, LockMode>;
+
+/// One annotated variable access, the unit the rules consume.
+#[derive(Debug, Clone)]
+pub struct AccessRecord {
+    /// The accessed variable.
+    pub var: VarKey,
+    /// Source spelling, for messages.
+    pub display: String,
+    /// Write vs read.
+    pub write: bool,
+    /// Performed through `sync/atomic`.
+    pub atomic: bool,
+    /// Declaration-initializer write (exempt from race evidence).
+    pub init: bool,
+    /// Branch tag when this is an `if`-condition read.
+    pub cond_of: Option<u32>,
+    /// Branch tags of the enclosing `if` regions.
+    pub branch_tags: Vec<u32>,
+    /// Source position.
+    pub pos: Pos,
+    /// Enclosing function name.
+    pub func: String,
+    /// Index of the function in the file (context disambiguator).
+    pub func_idx: usize,
+    /// Execution context within the function (0 = body, else goroutine).
+    pub ctx: u32,
+    /// The context is a goroutine spawned inside a loop.
+    pub ctx_in_loop: bool,
+    /// Locks held at the access, with modes, before mode filtering.
+    pub raw: Lockset,
+}
+
+impl AccessRecord {
+    /// Locks that actually protect this access: a `Read`-mode lock excludes
+    /// writers only, so it protects reads but not writes.
+    #[must_use]
+    pub fn effective(&self) -> BTreeSet<VarKey> {
+        self.raw
+            .iter()
+            .filter(|(_, m)| **m == LockMode::Write || !self.write)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// True when at least one lock protects the access.
+    #[must_use]
+    pub fn guarded(&self) -> bool {
+        !self.effective().is_empty()
+    }
+}
+
+/// The lockset-derived race rules (Table 3's shared-memory classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockRule {
+    /// Guarded at some sites, bare at others.
+    MissingLock,
+    /// Every site locks, but no common lock exists.
+    InconsistentLock,
+    /// `sync/atomic` operations mixed with plain accesses.
+    AtomicMixedWithPlain,
+    /// Unsynchronized fast-path check before a locked re-check.
+    DoubleCheckedLocking,
+    /// A write while holding only a `Read`-mode lock.
+    WriteUnderRlock,
+}
+
+/// One finding from the lockset pass.
+#[derive(Debug, Clone)]
+pub struct LockFinding {
+    /// Which rule fired.
+    pub rule: LockRule,
+    /// Source position of the offending access.
+    pub pos: Pos,
+    /// Enclosing function.
+    pub func: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Computes the lockset at each block entry of `cfg` by forward fixpoint.
+///
+/// `None` marks an unreachable block. Each context starts empty at its
+/// entry (a goroutine inherits no locks — Go locks are not reentrant and
+/// the spawner's critical section does not extend into the child).
+#[must_use]
+pub fn block_entry_locksets(cfg: &FuncCfg) -> Vec<Option<Lockset>> {
+    let mut insets: Vec<Option<Lockset>> = vec![None; cfg.blocks.len()];
+    let mut work: VecDeque<BlockId> = VecDeque::new();
+    for ctx in &cfg.contexts {
+        insets[ctx.entry.0] = Some(Lockset::new());
+        work.push_back(ctx.entry);
+    }
+    while let Some(b) = work.pop_front() {
+        let mut out = insets[b.0].clone().unwrap_or_default();
+        apply_events(&mut out, &cfg.blocks[b.0].events);
+        for &s in &cfg.blocks[b.0].succs {
+            let merged = match &insets[s.0] {
+                None => out.clone(),
+                Some(prev) => meet(prev, &out),
+            };
+            if insets[s.0].as_ref() != Some(&merged) {
+                insets[s.0] = Some(merged);
+                work.push_back(s);
+            }
+        }
+    }
+    insets
+}
+
+fn apply_events(set: &mut Lockset, events: &[Event]) {
+    for e in events {
+        match e {
+            Event::Acquire { lock, mode, .. } => {
+                let entry = set.entry(lock.clone()).or_insert(*mode);
+                if *mode > *entry {
+                    *entry = *mode;
+                }
+            }
+            Event::Release { lock, .. } => {
+                set.remove(lock);
+            }
+            Event::Access { .. } => {}
+        }
+    }
+}
+
+/// Join operator: a lock survives a merge only if held on both paths, at
+/// the weaker of the two modes.
+fn meet(a: &Lockset, b: &Lockset) -> Lockset {
+    a.iter()
+        .filter_map(|(k, ma)| b.get(k).map(|mb| (k.clone(), (*ma).min(*mb))))
+        .collect()
+}
+
+/// Annotates every access in `cfgs` with its lockset.
+#[must_use]
+pub fn collect_accesses(cfgs: &[FuncCfg]) -> Vec<AccessRecord> {
+    let mut out = Vec::new();
+    for (func_idx, cfg) in cfgs.iter().enumerate() {
+        let insets = block_entry_locksets(cfg);
+        for (bid, block) in cfg.blocks.iter().enumerate() {
+            // Unreachable blocks (code after return/break) carry no races.
+            let Some(entry) = &insets[bid] else { continue };
+            let mut cur = entry.clone();
+            let in_loop = cfg.contexts[block.ctx as usize].in_loop;
+            for e in &block.events {
+                match e {
+                    Event::Access {
+                        var,
+                        display,
+                        write,
+                        atomic,
+                        init,
+                        cond_of,
+                        pos,
+                    } => out.push(AccessRecord {
+                        var: var.clone(),
+                        display: display.clone(),
+                        write: *write,
+                        atomic: *atomic,
+                        init: *init,
+                        cond_of: *cond_of,
+                        branch_tags: block.branch_tags.clone(),
+                        pos: *pos,
+                        func: cfg.func.clone(),
+                        func_idx,
+                        ctx: block.ctx,
+                        ctx_in_loop: in_loop,
+                        raw: cur.clone(),
+                    }),
+                    _ => apply_events(&mut cur, std::slice::from_ref(e)),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Grouping key: globals and receiver fields have file-wide identity,
+/// locals are per-function.
+#[derive(PartialEq, Eq, Hash)]
+struct GroupKey {
+    func_scope: Option<usize>,
+    var: VarKey,
+}
+
+/// Runs the lockset analysis over `file` and returns all findings, sorted
+/// by source position.
+#[must_use]
+pub fn analyze_file(file: &File, res: &Resolution) -> Vec<LockFinding> {
+    analyze_cfgs(&build_file(file, res))
+}
+
+/// Runs the rules over already-built CFGs.
+#[must_use]
+pub fn analyze_cfgs(cfgs: &[FuncCfg]) -> Vec<LockFinding> {
+    let accesses = collect_accesses(cfgs);
+    let mut groups: HashMap<GroupKey, Vec<&AccessRecord>> = HashMap::new();
+    for a in &accesses {
+        let func_scope = if a.var.is_file_wide() {
+            None
+        } else {
+            Some(a.func_idx)
+        };
+        groups
+            .entry(GroupKey {
+                func_scope,
+                var: a.var.clone(),
+            })
+            .or_default()
+            .push(a);
+    }
+
+    let mut findings = Vec::new();
+    for (key, accs) in &groups {
+        check_group(&key.var, accs, &mut findings);
+    }
+    findings.sort_by_key(|f| f.pos);
+    findings
+}
+
+fn lock_names(set: &BTreeSet<VarKey>) -> String {
+    let mut names: Vec<String> = set.iter().map(key_display).collect();
+    names.sort();
+    names.join(", ")
+}
+
+fn key_display(k: &VarKey) -> String {
+    match &k.root {
+        crate::cfg::VarRoot::Global(n) => format!("{n}{}", k.path),
+        crate::cfg::VarRoot::Field(t) => format!("{t}{}", k.path),
+        crate::cfg::VarRoot::Local(_) => k.path.trim_start_matches('.').to_string(),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_group(var: &VarKey, accs: &[&AccessRecord], findings: &mut Vec<LockFinding>) {
+    let non_init: Vec<&&AccessRecord> = accs.iter().filter(|a| !a.init).collect();
+    if non_init.is_empty() {
+        return;
+    }
+    let display = non_init[0].display.clone();
+
+    // Rule: a write while holding only Read-mode locks. Independent of
+    // sharedness — holding RLock around a write is wrong on its face.
+    let mut rlock_write_positions = BTreeSet::new();
+    for a in &non_init {
+        if a.write
+            && !a.atomic
+            && !a.raw.is_empty()
+            && a.raw.values().all(|m| *m == LockMode::Read)
+        {
+            rlock_write_positions.insert(a.pos);
+            findings.push(LockFinding {
+                rule: LockRule::WriteUnderRlock,
+                pos: a.pos,
+                func: a.func.clone(),
+                message: format!(
+                    "write to '{}' while holding {} in read (RLock) mode; \
+                     RLock excludes writers but admits other readers — use Lock",
+                    a.display,
+                    lock_names(&a.raw.keys().cloned().collect()),
+                ),
+            });
+        }
+    }
+
+    if !non_init.iter().any(|a| a.write) {
+        // Read-only data cannot race.
+        return;
+    }
+
+    // Sharedness: two execution contexts, a self-concurrent goroutine, or
+    // (for file-wide variables) any access that takes a lock.
+    let ctxs: BTreeSet<(usize, u32)> = non_init.iter().map(|a| (a.func_idx, a.ctx)).collect();
+    let self_concurrent = non_init.iter().any(|a| a.ctx != 0 && a.ctx_in_loop);
+    let lock_signal = var.is_file_wide() && non_init.iter().any(|a| !a.raw.is_empty());
+    let shared = ctxs.len() >= 2 || self_concurrent || lock_signal;
+
+    // Rule: sync/atomic mixed with plain accesses. The atomic call itself
+    // is the sharedness signal.
+    let atomics: Vec<_> = non_init.iter().filter(|a| a.atomic).collect();
+    let plains: Vec<_> = non_init.iter().filter(|a| !a.atomic).collect();
+    if !atomics.is_empty() && !plains.is_empty() {
+        let a = plains[0];
+        findings.push(LockFinding {
+            rule: LockRule::AtomicMixedWithPlain,
+            pos: a.pos,
+            func: a.func.clone(),
+            message: format!(
+                "'{}' is accessed with sync/atomic elsewhere but {} plainly here; \
+                 atomic operations only synchronize with other atomic operations",
+                display,
+                if a.write { "written" } else { "read" },
+            ),
+        });
+        return;
+    }
+
+    // Rule: double-checked locking — an unguarded if-condition read of the
+    // variable whose guarded write sits inside that very branch.
+    for r in &non_init {
+        if r.write || r.guarded() {
+            continue;
+        }
+        let Some(tag) = r.cond_of else { continue };
+        let dcl_write = non_init.iter().any(|w| {
+            w.write && w.guarded() && w.func_idx == r.func_idx && w.branch_tags.contains(&tag)
+        });
+        if dcl_write {
+            findings.push(LockFinding {
+                rule: LockRule::DoubleCheckedLocking,
+                pos: r.pos,
+                func: r.func.clone(),
+                message: format!(
+                    "double-checked locking on '{display}': the fast-path read is \
+                     unsynchronized while the write inside the branch holds a lock; \
+                     the unlocked read can observe a partially-initialized value",
+                ),
+            });
+            return;
+        }
+    }
+
+    if !shared {
+        return;
+    }
+
+    let guarded: Vec<_> = non_init.iter().filter(|a| a.guarded()).collect();
+    let unguarded: Vec<_> = non_init
+        .iter()
+        .filter(|a| !a.guarded() && !rlock_write_positions.contains(&a.pos))
+        .collect();
+
+    if !guarded.is_empty() && !unguarded.is_empty() {
+        // Rule: guarded at some sites, bare at others.
+        let a = unguarded[0];
+        let locks: BTreeSet<VarKey> = guarded
+            .iter()
+            .flat_map(|g| g.effective().into_iter())
+            .collect();
+        findings.push(LockFinding {
+            rule: LockRule::MissingLock,
+            pos: a.pos,
+            func: a.func.clone(),
+            message: format!(
+                "'{}' is {} without a lock here but guarded by {} elsewhere",
+                display,
+                if a.write { "written" } else { "read" },
+                lock_names(&locks),
+            ),
+        });
+        return;
+    }
+
+    if unguarded.is_empty() && guarded.len() >= 2 {
+        // Rule: every site locks, but no lock is common to all of them.
+        let mut common: Option<BTreeSet<VarKey>> = None;
+        for g in &guarded {
+            let eff = g.effective();
+            common = Some(match common {
+                None => eff,
+                Some(c) => c.intersection(&eff).cloned().collect(),
+            });
+        }
+        if common.as_ref().is_some_and(BTreeSet::is_empty) {
+            let a = guarded[0];
+            findings.push(LockFinding {
+                rule: LockRule::InconsistentLock,
+                pos: a.pos,
+                func: a.func.clone(),
+                message: format!(
+                    "every access to '{display}' holds a lock, but no single lock is \
+                     common to all of them — two sites can still run concurrently",
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::resolve::resolve_file;
+
+    fn analyze(src: &str) -> Vec<LockFinding> {
+        let file = parse_file(src).expect("parses");
+        let res = resolve_file(&file);
+        analyze_file(&file, &res)
+    }
+
+    fn rules(src: &str) -> Vec<LockRule> {
+        analyze(src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn missing_lock_fires_on_partial_locking() {
+        let racy = r"
+package p
+var version int
+func Set(v int) {
+    mu.Lock()
+    version = v
+    mu.Unlock()
+}
+func Get() int {
+    return version
+}
+";
+        assert!(rules(racy).contains(&LockRule::MissingLock), "racy variant");
+        let fixed = r"
+package p
+var version int
+func Set(v int) {
+    mu.Lock()
+    version = v
+    mu.Unlock()
+}
+func Get() int {
+    mu.Lock()
+    v := version
+    mu.Unlock()
+    return v
+}
+";
+        assert!(rules(fixed).is_empty(), "fixed variant: {:?}", rules(fixed));
+    }
+
+    #[test]
+    fn inconsistent_lock_requires_a_common_lock() {
+        let racy = r"
+package p
+var total int
+func Add(n int) {
+    mu.Lock()
+    total = total + n
+    mu.Unlock()
+}
+func Reset() {
+    other.Lock()
+    total = 0
+    other.Unlock()
+}
+";
+        assert!(rules(racy).contains(&LockRule::InconsistentLock));
+        let fixed = r"
+package p
+var total int
+func Add(n int) {
+    mu.Lock()
+    total = total + n
+    mu.Unlock()
+}
+func Reset() {
+    mu.Lock()
+    total = 0
+    mu.Unlock()
+}
+";
+        assert!(rules(fixed).is_empty(), "{:?}", rules(fixed));
+    }
+
+    #[test]
+    fn atomic_mixed_with_plain() {
+        let racy = r"
+package p
+var ops int
+func f() {
+    go func() {
+        atomic.AddInt64(&ops, 1)
+    }()
+    if ops > 10 {
+        report(ops)
+    }
+}
+";
+        assert!(rules(racy).contains(&LockRule::AtomicMixedWithPlain));
+        let fixed = r"
+package p
+var ops int
+func f() {
+    go func() {
+        atomic.AddInt64(&ops, 1)
+    }()
+    if atomic.LoadInt64(&ops) > 10 {
+        report()
+    }
+}
+";
+        assert!(rules(fixed).is_empty(), "{:?}", rules(fixed));
+    }
+
+    #[test]
+    fn double_checked_locking_shape() {
+        let racy = r"
+package p
+var instance int
+func Get() int {
+    if instance == 0 {
+        mu.Lock()
+        if instance == 0 {
+            instance = build()
+        }
+        mu.Unlock()
+    }
+    return instance
+}
+";
+        let rs = rules(racy);
+        assert!(rs.contains(&LockRule::DoubleCheckedLocking), "{rs:?}");
+        assert!(
+            !rs.contains(&LockRule::MissingLock),
+            "DCL must subsume MissingLock: {rs:?}"
+        );
+        let fixed = r"
+package p
+var instance int
+func Get() int {
+    mu.Lock()
+    defer mu.Unlock()
+    if instance == 0 {
+        instance = build()
+    }
+    return instance
+}
+";
+        assert!(rules(fixed).is_empty(), "{:?}", rules(fixed));
+    }
+
+    #[test]
+    fn write_under_rlock_uses_flow_not_text() {
+        let racy = r"
+package p
+func (s *Store) bump() {
+    s.mu.RLock()
+    s.count = s.count + 1
+    s.mu.RUnlock()
+}
+";
+        assert!(rules(racy).contains(&LockRule::WriteUnderRlock));
+        // Write after the RUnlock: not under the read lock any more.
+        let sequential = r"
+package p
+func (s *Store) bump() {
+    s.mu.RLock()
+    v := s.count
+    s.mu.RUnlock()
+    s.count = v + 1
+}
+";
+        assert!(!rules(sequential).contains(&LockRule::WriteUnderRlock));
+    }
+
+    #[test]
+    fn defer_unlock_holds_to_exit() {
+        let src = r"
+package p
+var version int
+func Set(v int) {
+    mu.Lock()
+    defer mu.Unlock()
+    if v > 0 {
+        version = v
+    }
+}
+func Get() int {
+    mu.Lock()
+    defer mu.Unlock()
+    return version
+}
+";
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
+    }
+
+    #[test]
+    fn rwmutex_read_write_split_is_fine() {
+        // Reads under RLock, writes under Lock: the canonical correct use.
+        let src = r"
+package p
+func (g *Gate) Ready() bool {
+    g.mu.RLock()
+    defer g.mu.RUnlock()
+    return g.ready
+}
+func (g *Gate) Open() {
+    g.mu.Lock()
+    defer g.mu.Unlock()
+    g.ready = true
+}
+";
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
+    }
+
+    #[test]
+    fn local_without_goroutine_is_private() {
+        let src = r"
+package p
+func f() {
+    count := 0
+    for i := 0; i < 10; i++ {
+        count = count + 1
+    }
+    use(count)
+}
+";
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
+    }
+
+    #[test]
+    fn captured_local_mixed_guarding_fires() {
+        let src = r"
+package p
+func f() {
+    count := 0
+    go func() {
+        mu.Lock()
+        count = count + 1
+        mu.Unlock()
+    }()
+    use(count)
+}
+";
+        assert!(rules(src).contains(&LockRule::MissingLock));
+    }
+
+    #[test]
+    fn branch_join_keeps_only_common_locks() {
+        // Lock taken on one arm only: the access after the join is
+        // effectively unguarded, making the guarded write elsewhere a mix.
+        let src = r"
+package p
+var n int
+func f(c bool) {
+    if c {
+        mu.Lock()
+    }
+    n = n + 1
+    mu.Unlock()
+}
+func g() {
+    mu.Lock()
+    n = 0
+    mu.Unlock()
+}
+";
+        assert!(rules(src).contains(&LockRule::MissingLock), "{:?}", rules(src));
+    }
+}

@@ -1,0 +1,842 @@
+//! Symbol and scope resolution for Go-lite.
+//!
+//! The original lints approximated "what does this closure capture?" with a
+//! free-variable scan that ignored block scoping and declaration order.
+//! This module replaces that with real lexical resolution:
+//!
+//! * every identifier *use* is mapped to a [`Symbol`] (side table keyed by
+//!   the identifier's source [`Pos`], which is unique per token),
+//! * `:=` follows Go's redeclaration rule — a name already declared **in
+//!   the same scope** is assigned, anything else is a fresh (shadowing)
+//!   declaration,
+//! * declaration order matters: a use *before* a `:=`/`var` in the same
+//!   block resolves to the outer symbol (so a late shadow does not protect
+//!   earlier uses),
+//! * every `func` literal is a capture boundary; resolving a name across
+//!   one or more boundaries records the symbol in each crossed closure's
+//!   capture set.
+//!
+//! Names that resolve to nothing in the file (imported packages, builtins,
+//! helper functions from other files) become [`SymbolKind::Universe`]
+//! symbols so that downstream passes always get an answer.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::token::Pos;
+
+/// Index into [`Resolution::symbols`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+/// What kind of binding a symbol is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolKind {
+    /// Package-level `var`.
+    GlobalVar,
+    /// Package-level `const`.
+    GlobalConst,
+    /// Package-level `func`.
+    Func,
+    /// Package-level `type`.
+    TypeName,
+    /// Function/closure parameter.
+    Param,
+    /// Method receiver.
+    Receiver,
+    /// Named result parameter.
+    NamedResult,
+    /// A variable introduced by a `for` init `:=` or a `range` clause.
+    LoopVar,
+    /// Any other function-local binding (`var`, `:=`, `const`).
+    Local,
+    /// Unresolved: builtin, imported package, or cross-file name.
+    Universe,
+}
+
+impl SymbolKind {
+    /// Can this symbol be captured by reference by a closure?
+    #[must_use]
+    pub fn capturable(self) -> bool {
+        matches!(
+            self,
+            SymbolKind::Param
+                | SymbolKind::Receiver
+                | SymbolKind::NamedResult
+                | SymbolKind::LoopVar
+                | SymbolKind::Local
+        )
+    }
+
+    /// Is this a package-level variable (file-wide identity)?
+    #[must_use]
+    pub fn is_global_var(self) -> bool {
+        matches!(self, SymbolKind::GlobalVar)
+    }
+}
+
+/// One resolved binding.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    /// Its id (index into [`Resolution::symbols`]).
+    pub id: SymbolId,
+    /// Source name.
+    pub name: String,
+    /// Binding kind.
+    pub kind: SymbolKind,
+    /// Declaration site, when the declaration is in this file.
+    pub decl_pos: Option<Pos>,
+    /// Closure nesting depth at the declaration: 0 for package scope, 1
+    /// inside a top-level function, +1 per enclosing `func` literal.
+    pub func_depth: u32,
+}
+
+/// The result of resolving one file.
+#[derive(Debug, Default)]
+pub struct Resolution {
+    symbols: Vec<Symbol>,
+    /// Identifier use site → symbol.
+    uses: HashMap<Pos, SymbolId>,
+    /// `func` literal position → symbols captured from enclosing functions.
+    captures: HashMap<Pos, Vec<SymbolId>>,
+}
+
+impl Resolution {
+    /// The symbol table entry for `id`.
+    #[must_use]
+    pub fn symbol(&self, id: SymbolId) -> &Symbol {
+        &self.symbols[id.0 as usize]
+    }
+
+    /// All symbols, in declaration order.
+    #[must_use]
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Resolves the identifier whose token starts at `pos`.
+    #[must_use]
+    pub fn use_at(&self, pos: Pos) -> Option<SymbolId> {
+        self.uses.get(&pos).copied()
+    }
+
+    /// The symbol for the identifier at `pos`, when resolved.
+    #[must_use]
+    pub fn symbol_at(&self, pos: Pos) -> Option<&Symbol> {
+        self.use_at(pos).map(|id| self.symbol(id))
+    }
+
+    /// Symbols the closure declared at `funclit_pos` captures from its
+    /// enclosing function(s). Empty for closures that capture nothing.
+    #[must_use]
+    pub fn captures_at(&self, funclit_pos: Pos) -> &[SymbolId] {
+        self.captures
+            .get(&funclit_pos)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Does the closure at `funclit_pos` capture `sym`?
+    #[must_use]
+    pub fn captures_symbol(&self, funclit_pos: Pos, sym: SymbolId) -> bool {
+        self.captures_at(funclit_pos).contains(&sym)
+    }
+}
+
+/// Resolves every identifier in `file`.
+#[must_use]
+pub fn resolve_file(file: &File) -> Resolution {
+    let mut r = Resolver::new();
+    // Package scope is order-independent: pre-declare all top-level names.
+    for decl in &file.decls {
+        match decl {
+            Decl::Func(f) => {
+                if f.receiver.is_none() {
+                    r.declare(&f.name, SymbolKind::Func, Some(f.pos));
+                }
+            }
+            Decl::Var(v) => {
+                for n in &v.names {
+                    r.declare(n, SymbolKind::GlobalVar, Some(v.pos));
+                }
+            }
+            Decl::Const(v) => {
+                for n in &v.names {
+                    r.declare(n, SymbolKind::GlobalConst, Some(v.pos));
+                }
+            }
+            Decl::Type(t) => {
+                r.declare(&t.name, SymbolKind::TypeName, Some(t.pos));
+            }
+        }
+    }
+    // Package-level initializers may reference other globals.
+    for decl in &file.decls {
+        if let Decl::Var(v) | Decl::Const(v) = decl {
+            for e in &v.values {
+                r.resolve_expr(e);
+            }
+        }
+    }
+    for decl in &file.decls {
+        if let Decl::Func(f) = decl {
+            r.resolve_func(f);
+        }
+    }
+    r.out
+}
+
+/// One lexical scope. `boundary` is set on the scope a `func` literal
+/// pushes: resolving through it records a capture.
+struct Scope {
+    bindings: HashMap<String, SymbolId>,
+    /// `Some(pos of the func literal)` when this scope is a closure body.
+    boundary: Option<Pos>,
+}
+
+struct Resolver {
+    out: Resolution,
+    scopes: Vec<Scope>,
+    func_depth: u32,
+}
+
+impl Resolver {
+    fn new() -> Self {
+        Resolver {
+            out: Resolution::default(),
+            scopes: vec![Scope {
+                bindings: HashMap::new(),
+                boundary: None,
+            }],
+            func_depth: 0,
+        }
+    }
+
+    fn push(&mut self, boundary: Option<Pos>) {
+        self.scopes.push(Scope {
+            bindings: HashMap::new(),
+            boundary,
+        });
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, name: &str, kind: SymbolKind, pos: Option<Pos>) -> SymbolId {
+        let id = SymbolId(self.out.symbols.len() as u32);
+        self.out.symbols.push(Symbol {
+            id,
+            name: name.to_string(),
+            kind,
+            decl_pos: pos,
+            func_depth: self.func_depth,
+        });
+        if name != "_" && !name.is_empty() {
+            self.scopes
+                .last_mut()
+                .expect("scope stack never empty")
+                .bindings
+                .insert(name.to_string(), id);
+        }
+        id
+    }
+
+    /// Resolves `name` used at `pos`, recording captures for every closure
+    /// boundary between the use and the declaration.
+    fn resolve_name(&mut self, name: &str, pos: Pos) {
+        if name == "_" || name.is_empty() {
+            return;
+        }
+        let mut crossed: Vec<Pos> = Vec::new();
+        let mut found: Option<SymbolId> = None;
+        for scope in self.scopes.iter().rev() {
+            if let Some(&id) = scope.bindings.get(name) {
+                found = Some(id);
+                break;
+            }
+            if let Some(b) = scope.boundary {
+                crossed.push(b);
+            }
+        }
+        let id = match found {
+            Some(id) => id,
+            None => {
+                // Unknown: builtin / imported package / other file. Declare
+                // once at package scope so repeated uses share a symbol.
+                let id = SymbolId(self.out.symbols.len() as u32);
+                self.out.symbols.push(Symbol {
+                    id,
+                    name: name.to_string(),
+                    kind: SymbolKind::Universe,
+                    decl_pos: None,
+                    func_depth: 0,
+                });
+                self.scopes[0].bindings.insert(name.to_string(), id);
+                id
+            }
+        };
+        self.out.uses.insert(pos, id);
+        let sym = &self.out.symbols[id.0 as usize];
+        if sym.kind.capturable() {
+            for b in crossed {
+                let set = self.out.captures.entry(b).or_default();
+                if !set.contains(&id) {
+                    set.push(id);
+                }
+            }
+        }
+    }
+
+    fn resolve_func(&mut self, f: &FuncDecl) {
+        let Some(body) = &f.body else { return };
+        self.func_depth += 1;
+        self.push(None);
+        if let Some(recv) = &f.receiver {
+            self.declare(&recv.name, SymbolKind::Receiver, Some(f.pos));
+        }
+        for p in &f.sig.params {
+            self.declare(&p.name, SymbolKind::Param, Some(f.pos));
+        }
+        for rp in &f.sig.results {
+            if !rp.name.is_empty() {
+                self.declare(&rp.name, SymbolKind::NamedResult, Some(f.pos));
+            }
+        }
+        self.resolve_block_scoped(body);
+        self.pop();
+        self.func_depth -= 1;
+    }
+
+    /// Resolves a block in its own fresh scope.
+    fn resolve_block_scoped(&mut self, b: &Block) {
+        self.push(None);
+        for s in &b.stmts {
+            self.resolve_stmt(s);
+        }
+        self.pop();
+    }
+
+    fn resolve_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(v) => {
+                // Initializers see the outer binding (`var x = x` refers to
+                // the outer x), so resolve values first.
+                for e in &v.values {
+                    self.resolve_expr(e);
+                }
+                for n in &v.names {
+                    self.declare(n, SymbolKind::Local, Some(v.pos));
+                }
+            }
+            Stmt::Define { pos, names, values } => {
+                for e in values {
+                    self.resolve_expr(e);
+                }
+                for n in names {
+                    // Go redeclaration rule: reuse a binding already in the
+                    // CURRENT scope; shadow anything further out.
+                    let current = self
+                        .scopes
+                        .last()
+                        .expect("scope stack never empty")
+                        .bindings
+                        .get(n)
+                        .copied();
+                    match current {
+                        Some(existing) => {
+                            // `x, err := ...` with err already here: this is
+                            // an assignment to the existing symbol. Record
+                            // the name token as a use of it.
+                            self.out.uses.insert(*pos, existing);
+                        }
+                        None => {
+                            self.declare(n, SymbolKind::Local, Some(*pos));
+                        }
+                    }
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                for e in lhs.iter().chain(rhs.iter()) {
+                    self.resolve_expr(e);
+                }
+            }
+            Stmt::IncDec { expr, .. } => self.resolve_expr(expr),
+            Stmt::Expr(e) => self.resolve_expr(e),
+            Stmt::Send { chan, value, .. } => {
+                self.resolve_expr(chan);
+                self.resolve_expr(value);
+            }
+            Stmt::Go { call, .. } | Stmt::Defer { call, .. } => self.resolve_expr(call),
+            Stmt::Return { values, .. } => {
+                for e in values {
+                    self.resolve_expr(e);
+                }
+            }
+            Stmt::If {
+                init,
+                cond,
+                then,
+                els,
+                ..
+            } => {
+                // The init statement's bindings scope over cond/then/else.
+                self.push(None);
+                if let Some(i) = init {
+                    self.resolve_stmt(i);
+                }
+                self.resolve_expr(cond);
+                self.resolve_block_scoped(then);
+                if let Some(e) = els {
+                    self.resolve_stmt(e);
+                }
+                self.pop();
+            }
+            Stmt::Block(b) => self.resolve_block_scoped(b),
+            Stmt::For {
+                init,
+                cond,
+                post,
+                range,
+                body,
+                ..
+            } => {
+                self.push(None);
+                if let Some(i) = init {
+                    // `for i := 0; ...` — i is a loop variable.
+                    if let Stmt::Define { pos, names, values } = i.as_ref() {
+                        for e in values {
+                            self.resolve_expr(e);
+                        }
+                        for n in names {
+                            self.declare(n, SymbolKind::LoopVar, Some(*pos));
+                        }
+                    } else {
+                        self.resolve_stmt(i);
+                    }
+                }
+                if let Some(c) = cond {
+                    self.resolve_expr(c);
+                }
+                if let Some(r) = range {
+                    self.resolve_expr(&r.expr);
+                    if r.define {
+                        for v in [&r.key, &r.value] {
+                            if !v.is_empty() && v != "_" {
+                                self.declare(v, SymbolKind::LoopVar, None);
+                            }
+                        }
+                    } else {
+                        // `for k, v = range x` assigns existing names; the
+                        // AST keeps only the names, with no token position,
+                        // so there is no use site to record.
+                    }
+                }
+                self.resolve_block_scoped(body);
+                if let Some(p) = post {
+                    self.resolve_stmt(p);
+                }
+                self.pop();
+            }
+            Stmt::Switch { tag, cases, .. } => {
+                self.push(None);
+                if let Some(t) = tag {
+                    self.resolve_expr(t);
+                }
+                for c in cases {
+                    for e in &c.exprs {
+                        self.resolve_expr(e);
+                    }
+                    self.push(None);
+                    for s in &c.body {
+                        self.resolve_stmt(s);
+                    }
+                    self.pop();
+                }
+                self.pop();
+            }
+            Stmt::Select { cases, .. } => {
+                for c in cases {
+                    self.push(None);
+                    if let Some(comm) = &c.comm {
+                        self.resolve_stmt(comm);
+                    }
+                    for s in &c.body {
+                        self.resolve_stmt(s);
+                    }
+                    self.pop();
+                }
+            }
+            Stmt::Branch { .. } | Stmt::Empty => {}
+        }
+    }
+
+    fn resolve_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Ident(pos, name) => self.resolve_name(name, *pos),
+            Expr::Int(..) | Expr::Float(..) | Expr::Str(..) | Expr::Rune(..) => {}
+            Expr::Selector(base, _) => self.resolve_expr(base),
+            Expr::Call { func, args, .. } => {
+                self.resolve_expr(func);
+                for a in args {
+                    self.resolve_expr(a);
+                }
+            }
+            Expr::Index(b, i) => {
+                self.resolve_expr(b);
+                self.resolve_expr(i);
+            }
+            Expr::SliceExpr { expr, low, high } => {
+                self.resolve_expr(expr);
+                if let Some(l) = low {
+                    self.resolve_expr(l);
+                }
+                if let Some(h) = high {
+                    self.resolve_expr(h);
+                }
+            }
+            Expr::Unary { expr, .. } => self.resolve_expr(expr),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.resolve_expr(lhs);
+                self.resolve_expr(rhs);
+            }
+            Expr::FuncLit { pos, sig, body } => {
+                self.func_depth += 1;
+                self.push(Some(*pos));
+                // Ensure the closure appears in the capture table even when
+                // it captures nothing.
+                self.out.captures.entry(*pos).or_default();
+                for p in &sig.params {
+                    self.declare(&p.name, SymbolKind::Param, Some(*pos));
+                }
+                for rp in &sig.results {
+                    if !rp.name.is_empty() {
+                        self.declare(&rp.name, SymbolKind::NamedResult, Some(*pos));
+                    }
+                }
+                for s in &body.stmts {
+                    self.resolve_stmt(s);
+                }
+                self.pop();
+                self.func_depth -= 1;
+            }
+            Expr::CompositeLit { elems, .. } => {
+                for (k, v) in elems {
+                    if let Some(k) = k {
+                        self.resolve_expr(k);
+                    }
+                    self.resolve_expr(v);
+                }
+            }
+            Expr::Paren(inner) => self.resolve_expr(inner),
+            Expr::TypeExpr(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn resolve(src: &str) -> (File, Resolution) {
+        let file = parse_file(src).expect("parses");
+        let res = resolve_file(&file);
+        (file, res)
+    }
+
+    /// Finds the position of the `idx`-th func literal in the file.
+    fn funclit_positions(file: &File) -> Vec<Pos> {
+        let mut out = Vec::new();
+        fn walk_expr(e: &Expr, out: &mut Vec<Pos>) {
+            if let Expr::FuncLit { pos, body, .. } = e {
+                out.push(*pos);
+                for s in &body.stmts {
+                    walk_stmt(s, out);
+                }
+                return;
+            }
+            match e {
+                Expr::Selector(b, _) | Expr::Paren(b) => walk_expr(b, out),
+                Expr::Call { func, args, .. } => {
+                    walk_expr(func, out);
+                    for a in args {
+                        walk_expr(a, out);
+                    }
+                }
+                Expr::Index(b, i) => {
+                    walk_expr(b, out);
+                    walk_expr(i, out);
+                }
+                Expr::Unary { expr, .. } => walk_expr(expr, out),
+                Expr::Binary { lhs, rhs, .. } => {
+                    walk_expr(lhs, out);
+                    walk_expr(rhs, out);
+                }
+                _ => {}
+            }
+        }
+        fn walk_stmt(s: &Stmt, out: &mut Vec<Pos>) {
+            match s {
+                Stmt::Expr(e) => walk_expr(e, out),
+                Stmt::Go { call, .. } | Stmt::Defer { call, .. } => walk_expr(call, out),
+                Stmt::Define { values, .. } => {
+                    for e in values {
+                        walk_expr(e, out);
+                    }
+                }
+                Stmt::Assign { lhs, rhs, .. } => {
+                    for e in lhs.iter().chain(rhs.iter()) {
+                        walk_expr(e, out);
+                    }
+                }
+                Stmt::If { then, els, .. } => {
+                    for s in &then.stmts {
+                        walk_stmt(s, out);
+                    }
+                    if let Some(e) = els {
+                        walk_stmt(e, out);
+                    }
+                }
+                Stmt::Block(b) => {
+                    for s in &b.stmts {
+                        walk_stmt(s, out);
+                    }
+                }
+                Stmt::For { body, .. } => {
+                    for s in &body.stmts {
+                        walk_stmt(s, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for d in &file.decls {
+            if let Decl::Func(f) = d {
+                if let Some(b) = &f.body {
+                    for s in &b.stmts {
+                        walk_stmt(s, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn captured_names(res: &Resolution, pos: Pos) -> Vec<String> {
+        let mut names: Vec<String> = res
+            .captures_at(pos)
+            .iter()
+            .map(|&id| res.symbol(id).name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn loop_var_is_captured() {
+        let (file, res) = resolve(
+            r#"
+package p
+func f(jobs []int) {
+    for _, job := range jobs {
+        go func() { process(job) }()
+    }
+}
+"#,
+        );
+        let lits = funclit_positions(&file);
+        assert_eq!(lits.len(), 1);
+        assert_eq!(captured_names(&res, lits[0]), vec!["job"]);
+        let cap = res.captures_at(lits[0])[0];
+        assert_eq!(res.symbol(cap).kind, SymbolKind::LoopVar);
+    }
+
+    #[test]
+    fn parameter_shadow_suppresses_capture() {
+        let (file, res) = resolve(
+            r#"
+package p
+func f(jobs []int) {
+    for _, job := range jobs {
+        go func(job int) { process(job) }(job)
+    }
+}
+"#,
+        );
+        let lits = funclit_positions(&file);
+        assert!(captured_names(&res, lits[0]).is_empty());
+    }
+
+    #[test]
+    fn early_shadow_suppresses_but_late_shadow_does_not() {
+        // Inner `job := ...` BEFORE the use: the use resolves to the inner
+        // symbol — nothing captured.
+        let (file, res) = resolve(
+            r#"
+package p
+func f(jobs []int) {
+    for _, job := range jobs {
+        go func() {
+            job := next()
+            process(job)
+        }()
+    }
+}
+"#,
+        );
+        let lits = funclit_positions(&file);
+        assert!(captured_names(&res, lits[0]).is_empty());
+
+        // Use BEFORE the inner define: the use resolves to the loop
+        // variable — captured despite the later shadow.
+        let (file, res) = resolve(
+            r#"
+package p
+func f(jobs []int) {
+    for _, job := range jobs {
+        go func() {
+            process(job)
+            job := next()
+            use(job)
+        }()
+    }
+}
+"#,
+        );
+        let lits = funclit_positions(&file);
+        assert_eq!(captured_names(&res, lits[0]), vec!["job"]);
+    }
+
+    #[test]
+    fn nested_block_shadow_does_not_leak() {
+        // A shadow inside a nested block ends with the block; the later use
+        // sees the loop variable again.
+        let (file, res) = resolve(
+            r#"
+package p
+func f(jobs []int) {
+    for _, job := range jobs {
+        go func() {
+            if ok() {
+                job := local()
+                use(job)
+            }
+            process(job)
+        }()
+    }
+}
+"#,
+        );
+        let lits = funclit_positions(&file);
+        assert_eq!(captured_names(&res, lits[0]), vec!["job"]);
+    }
+
+    #[test]
+    fn define_reuses_same_scope_symbol() {
+        // `y, err := Baz()` reuses the err declared by `x, err := Foo()` in
+        // the same scope — one symbol, not two.
+        let (_file, res) = resolve(
+            r#"
+package p
+func f() {
+    x, err := Foo()
+    y, err := Baz()
+    use(x, y, err)
+}
+"#,
+        );
+        let errs: Vec<_> = res
+            .symbols()
+            .iter()
+            .filter(|s| s.name == "err" && s.kind != SymbolKind::Universe)
+            .collect();
+        assert_eq!(errs.len(), 1, "err must resolve to a single symbol");
+    }
+
+    #[test]
+    fn named_results_and_receiver_resolve() {
+        let (file, res) = resolve(
+            r#"
+package p
+func (s *Server) Get() (result int) {
+    go func() { use(result, s) }()
+    return
+}
+"#,
+        );
+        let lits = funclit_positions(&file);
+        let caps = captured_names(&res, lits[0]);
+        assert_eq!(caps, vec!["result", "s"]);
+        let kinds: Vec<_> = res
+            .captures_at(lits[0])
+            .iter()
+            .map(|&id| res.symbol(id).kind)
+            .collect();
+        assert!(kinds.contains(&SymbolKind::NamedResult));
+        assert!(kinds.contains(&SymbolKind::Receiver));
+    }
+
+    #[test]
+    fn globals_are_not_captures() {
+        let (file, res) = resolve(
+            r#"
+package p
+var counter int
+func f() {
+    go func() { counter = counter + 1 }()
+}
+"#,
+        );
+        let lits = funclit_positions(&file);
+        assert!(captured_names(&res, lits[0]).is_empty());
+        // But uses of `counter` resolve to the global symbol.
+        let global = res
+            .symbols()
+            .iter()
+            .find(|s| s.name == "counter")
+            .expect("counter resolved");
+        assert_eq!(global.kind, SymbolKind::GlobalVar);
+    }
+
+    #[test]
+    fn nested_closures_capture_transitively() {
+        let (file, res) = resolve(
+            r#"
+package p
+func f() {
+    x := 0
+    go func() {
+        go func() { use(x) }()
+    }()
+}
+"#,
+        );
+        let lits = funclit_positions(&file);
+        assert_eq!(lits.len(), 2);
+        // Both the outer and the inner closure capture x.
+        assert_eq!(captured_names(&res, lits[0]), vec!["x"]);
+        assert_eq!(captured_names(&res, lits[1]), vec!["x"]);
+    }
+
+    #[test]
+    fn local_shadow_of_global_is_a_distinct_symbol() {
+        let (_file, res) = resolve(
+            r#"
+package p
+var version int
+func f() {
+    version := 2
+    use(version)
+}
+"#,
+        );
+        let versions: Vec<_> = res
+            .symbols()
+            .iter()
+            .filter(|s| s.name == "version")
+            .collect();
+        assert_eq!(versions.len(), 2);
+        assert!(versions.iter().any(|s| s.kind == SymbolKind::GlobalVar));
+        assert!(versions.iter().any(|s| s.kind == SymbolKind::Local));
+    }
+}

@@ -392,6 +392,219 @@ func (s *Store) snapshot() int {
 }
 
 #[test]
+fn shadowing_is_scope_aware() {
+    // The pre-Go-1.22 fix idiom: a per-iteration copy BEFORE the `go`
+    // statement shadows the loop variable, so the closure captures the
+    // private copy. The old free-variable scan flagged this fixed code.
+    let fixed_shadow = r#"
+package p
+
+func ProcessJobs(jobs []Job) {
+    for _, job := range jobs {
+        job := job
+        go func() {
+            ProcessJob(job)
+        }()
+    }
+}
+"#;
+    assert!(!rules(fixed_shadow).contains(&Rule::LoopVarCapture));
+
+    // A shadow AFTER the use does not protect it: the use still resolves
+    // to the loop variable, and the race is real.
+    let racy_shadow = r#"
+package p
+
+func ProcessJobs(jobs []Job) {
+    for _, job := range jobs {
+        go func() {
+            ProcessJob(job)
+            job := Refresh()
+            ProcessJob(job)
+        }()
+    }
+}
+"#;
+    assert!(rules(racy_shadow).contains(&Rule::LoopVarCapture));
+
+    // Same discipline for err: an inner `err :=` is a different variable.
+    let fixed_err = r#"
+package p
+
+func Handle() {
+    x, err := Foo()
+    go func() {
+        err := Bar(x)
+        if err != nil {
+            log(err)
+        }
+    }()
+    use(err)
+}
+"#;
+    assert!(!rules(fixed_err).contains(&Rule::ErrCapture));
+}
+
+#[test]
+fn missing_lock_partial_locking() {
+    // Table 3's biggest class: guarded at the writer, bare at the reader.
+    let src = r#"
+package p
+
+var config int
+var mu sync.Mutex
+
+func SetConfig(v int) {
+    mu.Lock()
+    config = v
+    mu.Unlock()
+}
+
+func GetConfig() int {
+    return config
+}
+"#;
+    assert!(rules(src).contains(&Rule::MissingLock));
+
+    let fixed = r#"
+package p
+
+var config int
+var mu sync.Mutex
+
+func SetConfig(v int) {
+    mu.Lock()
+    config = v
+    mu.Unlock()
+}
+
+func GetConfig() int {
+    mu.Lock()
+    v := config
+    mu.Unlock()
+    return v
+}
+"#;
+    assert!(!rules(fixed).contains(&Rule::MissingLock));
+}
+
+#[test]
+fn inconsistent_lock_disjoint_mutexes() {
+    let src = r#"
+package p
+
+var hits int
+
+func (s *Server) CountA() {
+    s.muA.Lock()
+    hits = hits + 1
+    s.muA.Unlock()
+}
+
+func (s *Server) CountB() {
+    s.muB.Lock()
+    hits = hits + 1
+    s.muB.Unlock()
+}
+"#;
+    assert!(rules(src).contains(&Rule::InconsistentLock));
+
+    let fixed = r#"
+package p
+
+var hits int
+
+func (s *Server) CountA() {
+    s.muA.Lock()
+    hits = hits + 1
+    s.muA.Unlock()
+}
+
+func (s *Server) CountB() {
+    s.muA.Lock()
+    hits = hits + 1
+    s.muA.Unlock()
+}
+"#;
+    assert!(!rules(fixed).contains(&Rule::InconsistentLock));
+}
+
+#[test]
+fn atomic_mixed_with_plain_access() {
+    let src = r#"
+package p
+
+var ops int64
+
+func Work() {
+    go func() {
+        atomic.AddInt64(&ops, 1)
+    }()
+    if ops > 100 {
+        report(ops)
+    }
+}
+"#;
+    assert!(rules(src).contains(&Rule::AtomicMixedWithPlain));
+
+    let fixed = r#"
+package p
+
+var ops int64
+
+func Work() {
+    go func() {
+        atomic.AddInt64(&ops, 1)
+    }()
+    if atomic.LoadInt64(&ops) > 100 {
+        report()
+    }
+}
+"#;
+    assert!(!rules(fixed).contains(&Rule::AtomicMixedWithPlain));
+}
+
+#[test]
+fn double_checked_locking_idiom() {
+    let src = r#"
+package p
+
+var instance *Config
+var mu sync.Mutex
+
+func GetInstance() *Config {
+    if instance == nil {
+        mu.Lock()
+        if instance == nil {
+            instance = New()
+        }
+        mu.Unlock()
+    }
+    return instance
+}
+"#;
+    let rs = rules(src);
+    assert!(rs.contains(&Rule::DoubleCheckedLocking), "{rs:?}");
+
+    let fixed = r#"
+package p
+
+var instance *Config
+var mu sync.Mutex
+
+func GetInstance() *Config {
+    mu.Lock()
+    defer mu.Unlock()
+    if instance == nil {
+        instance = New()
+    }
+    return instance
+}
+"#;
+    assert!(!rules(fixed).contains(&Rule::DoubleCheckedLocking));
+}
+
+#[test]
 fn statement_order_goroutine_before_init() {
     let src = r#"
 package p

@@ -35,6 +35,7 @@
 pub mod byvalue;
 pub mod capture;
 pub mod extra;
+pub mod gosrc;
 pub mod locking;
 pub mod mapslice;
 pub mod misc;

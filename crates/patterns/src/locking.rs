@@ -30,6 +30,16 @@ pub fn patterns() -> Vec<Pattern> {
             fixed: partial_lock_fixed,
         },
         Pattern {
+            id: "inconsistent_lock",
+            listing: None,
+            observation: 10,
+            category: Category::MissingLock,
+            description: "two call sites guard the same variable with \
+                          different mutexes",
+            racy: inconsistent_lock_racy,
+            fixed: inconsistent_lock_fixed,
+        },
+        Pattern {
             id: "premature_unlock",
             listing: None,
             observation: 10,
@@ -122,6 +132,48 @@ fn partial_lock_fixed() -> Program {
         let _f2 = ctx.frame("GetConfig");
         mu.lock(ctx);
         let _ = ctx.read(&version);
+        mu.unlock(ctx);
+    })
+}
+
+/// Both call sites *do* lock — just not the same mutex, so the two
+/// critical sections are free to overlap.
+fn inconsistent_lock_racy() -> Program {
+    Program::new("inconsistent_lock", |ctx| {
+        let _f = ctx.frame("SessionStore");
+        let mu_a = ctx.mutex("s.muA");
+        let mu_b = ctx.mutex("s.muB");
+        let count = ctx.cell("s.count", 0i64);
+        let (m, c) = (mu_a.clone(), count.clone());
+        ctx.go("adder", move |ctx| {
+            let _f = ctx.frame("Add");
+            m.lock(ctx);
+            ctx.update(&c, |v| v + 1); // ◀ guarded by muA
+            m.unlock(ctx);
+        });
+        let _f2 = ctx.frame("Remove");
+        mu_b.lock(ctx);
+        ctx.update(&count, |v| v - 1); // ▶ guarded by muB — disjoint
+        mu_b.unlock(ctx);
+    })
+}
+
+/// Fix: one mutex owns the variable; every call site takes it.
+fn inconsistent_lock_fixed() -> Program {
+    Program::new("inconsistent_lock_fixed", |ctx| {
+        let _f = ctx.frame("SessionStore");
+        let mu = ctx.mutex("s.mu");
+        let count = ctx.cell("s.count", 0i64);
+        let (m, c) = (mu.clone(), count.clone());
+        ctx.go("adder", move |ctx| {
+            let _f = ctx.frame("Add");
+            m.lock(ctx);
+            ctx.update(&c, |v| v + 1);
+            m.unlock(ctx);
+        });
+        let _f2 = ctx.frame("Remove");
+        mu.lock(ctx);
+        ctx.update(&count, |v| v - 1);
         mu.unlock(ctx);
     })
 }

@@ -1,26 +1,93 @@
 //! Cross-validation of the two analysis routes the project provides: the
-//! *static* Go-lite lints (Remark on future static race detection, §5) and
-//! the *dynamic* detector over the runtime model. For each pattern that has
-//! both a Go-source rendition and an executable `grs` rendition, the two
-//! must agree: lint fires ⟺ dynamic race detected.
+//! *static* Go-lite lints (the paper's §5 remark on future static race
+//! detection) and the *dynamic* detector over the runtime model. Every
+//! lint rule has a Go-source rendition paired with an executable `grs`
+//! pattern (`grs::patterns::gosrc`), and the two must agree on each:
+//! lint fires ⟺ dynamic race detected.
+
+use std::collections::BTreeSet;
 
 use grs::detector::{ExploreConfig, Explorer};
 use grs::golite::{lint_file, parse_file, Rule};
-use grs::patterns;
+use grs::patterns::{self, gosrc};
 
-struct Case {
-    pattern_id: &'static str,
-    rule: Rule,
-    go_racy: &'static str,
-    go_fixed: &'static str,
+fn rules_of(src: &str, id: &str) -> Vec<Rule> {
+    let file = parse_file(src).unwrap_or_else(|e| panic!("{id}: parse error {e}"));
+    lint_file(&file).into_iter().map(|f| f.rule).collect()
 }
 
-fn cases() -> Vec<Case> {
+/// The rendition corpus covers every lint rule exactly once.
+#[test]
+fn renditions_cover_every_rule() {
+    let covered: BTreeSet<&str> = gosrc::renditions().iter().map(|r| r.rule).collect();
+    let all: BTreeSet<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+    assert_eq!(covered, all);
+    for r in gosrc::renditions() {
+        assert!(
+            Rule::from_id(r.rule).is_some(),
+            "{}: unknown rule id {}",
+            r.pattern_id,
+            r.rule
+        );
+    }
+}
+
+/// For all 12 rules: the lint fires on the racy Go source and stays silent
+/// on the fixed one, and the dynamic explorer detects a race in the
+/// executable racy twin and none in the fixed twin.
+#[test]
+fn lints_and_dynamic_detection_agree_on_all_rules() {
+    let explorer = Explorer::new(ExploreConfig::quick().runs(60));
+    for case in gosrc::renditions() {
+        let rule = Rule::from_id(case.rule).expect("known rule");
+
+        // Static route.
+        let racy_rules = rules_of(case.racy, case.pattern_id);
+        assert!(
+            racy_rules.contains(&rule),
+            "{}: lint {rule:?} missing on the racy Go source (got {racy_rules:?})",
+            case.pattern_id,
+        );
+        let fixed_rules = rules_of(case.fixed, case.pattern_id);
+        assert!(
+            !fixed_rules.contains(&rule),
+            "{}: lint {rule:?} fired on the FIXED Go source",
+            case.pattern_id,
+        );
+
+        // Dynamic route.
+        let pattern = patterns::find(case.pattern_id)
+            .unwrap_or_else(|| panic!("pattern {} missing", case.pattern_id));
+        assert!(
+            explorer.explore(&pattern.racy_program()).found_race(),
+            "{}: dynamic detection missed the racy program",
+            case.pattern_id
+        );
+        assert!(
+            !explorer.explore(&pattern.fixed_program()).found_race(),
+            "{}: dynamic detector flagged the fixed program",
+            case.pattern_id
+        );
+    }
+}
+
+/// The canonical renditions use one fix per bug; real developers applied
+/// others. Each alternate idiom below must also satisfy the lint: the racy
+/// shape still fires, the differently-fixed shape stays silent.
+struct AltCase {
+    name: &'static str,
+    rule: Rule,
+    racy: &'static str,
+    fixed: &'static str,
+}
+
+fn alternate_fixes() -> Vec<AltCase> {
     vec![
-        Case {
-            pattern_id: "loop_index_capture",
+        // Fix by privatizing through a closure parameter, not `job := job`.
+        AltCase {
+            name: "loop_capture_param_fix",
             rule: Rule::LoopVarCapture,
-            go_racy: r#"
+            racy: r#"
 package p
 func ProcessJobs(jobs []int) {
     for _, job := range jobs {
@@ -28,7 +95,7 @@ func ProcessJobs(jobs []int) {
     }
 }
 "#,
-            go_fixed: r#"
+            fixed: r#"
 package p
 func ProcessJobs(jobs []int) {
     for _, job := range jobs {
@@ -37,10 +104,11 @@ func ProcessJobs(jobs []int) {
 }
 "#,
         },
-        Case {
-            pattern_id: "err_capture",
+        // Fix by renaming, not by shadowing with `:=`.
+        AltCase {
+            name: "err_capture_rename_fix",
             rule: Rule::ErrCapture,
-            go_racy: r#"
+            racy: r#"
 package p
 func Handle() {
     x, err := Foo()
@@ -52,7 +120,7 @@ func Handle() {
     use2(y, err)
 }
 "#,
-            go_fixed: r#"
+            fixed: r#"
 package p
 func Handle() {
     x, err := Foo()
@@ -65,10 +133,11 @@ func Handle() {
 }
 "#,
         },
-        Case {
-            pattern_id: "waitgroup_add_inside",
+        // `defer wg.Done()` form of the WaitGroup bug.
+        AltCase {
+            name: "waitgroup_defer_done",
             rule: Rule::WaitGroupAddInGoroutine,
-            go_racy: r#"
+            racy: r#"
 package p
 func Run(items []int) {
     var wg sync.WaitGroup
@@ -82,7 +151,7 @@ func Run(items []int) {
     wg.Wait()
 }
 "#,
-            go_fixed: r#"
+            fixed: r#"
 package p
 func Run(items []int) {
     var wg sync.WaitGroup
@@ -97,30 +166,11 @@ func Run(items []int) {
 }
 "#,
         },
-        Case {
-            pattern_id: "mutex_by_value",
-            rule: Rule::MutexByValue,
-            go_racy: r#"
-package p
-func CriticalSection(m sync.Mutex) {
-    m.Lock()
-    a = a + 1
-    m.Unlock()
-}
-"#,
-            go_fixed: r#"
-package p
-func CriticalSection(m *sync.Mutex) {
-    m.Lock()
-    a = a + 1
-    m.Unlock()
-}
-"#,
-        },
-        Case {
-            pattern_id: "map_concurrent_write",
+        // Fix by keeping the map goroutine-local rather than serializing.
+        AltCase {
+            name: "map_local_fix",
             rule: Rule::MapWriteInGoroutine,
-            go_racy: r#"
+            racy: r#"
 package p
 func processOrders(uuids []string) {
     errMap := make(map[string]error)
@@ -131,7 +181,7 @@ func processOrders(uuids []string) {
     }
 }
 "#,
-            go_fixed: r#"
+            fixed: r#"
 package p
 func processOrders(uuids []string) {
     for _, id := range uuids {
@@ -143,10 +193,11 @@ func processOrders(uuids []string) {
 }
 "#,
         },
-        Case {
-            pattern_id: "rlock_write",
+        // Listing 11 with `defer`red unlocks (held to function exit).
+        AltCase {
+            name: "rlock_write_defer",
             rule: Rule::WriteUnderRLock,
-            go_racy: r#"
+            racy: r#"
 package p
 func (g *Gate) update() {
     g.mu.RLock()
@@ -156,7 +207,7 @@ func (g *Gate) update() {
     }
 }
 "#,
-            go_fixed: r#"
+            fixed: r#"
 package p
 func (g *Gate) update() {
     g.mu.Lock()
@@ -171,42 +222,21 @@ func (g *Gate) update() {
 }
 
 #[test]
-fn lints_and_dynamic_detection_agree() {
-    let explorer = Explorer::new(ExploreConfig::quick().runs(60));
-    for case in cases() {
-        // Static: lint fires on the Go source.
-        let racy_file = parse_file(case.go_racy)
-            .unwrap_or_else(|e| panic!("{}: parse error {e}", case.pattern_id));
-        let racy_rules: Vec<Rule> = lint_file(&racy_file).into_iter().map(|f| f.rule).collect();
+fn alternate_fix_idioms_satisfy_the_lints() {
+    for case in alternate_fixes() {
+        let racy_rules = rules_of(case.racy, case.name);
         assert!(
             racy_rules.contains(&case.rule),
-            "{}: lint {:?} missing on the racy Go source (got {racy_rules:?})",
-            case.pattern_id,
+            "{}: lint {:?} missing on racy source (got {racy_rules:?})",
+            case.name,
             case.rule
         );
-        let fixed_file = parse_file(case.go_fixed)
-            .unwrap_or_else(|e| panic!("{}: parse error {e}", case.pattern_id));
-        let fixed_rules: Vec<Rule> =
-            lint_file(&fixed_file).into_iter().map(|f| f.rule).collect();
+        let fixed_rules = rules_of(case.fixed, case.name);
         assert!(
             !fixed_rules.contains(&case.rule),
-            "{}: lint {:?} fired on the FIXED Go source",
-            case.pattern_id,
+            "{}: lint {:?} fired on the FIXED source",
+            case.name,
             case.rule
-        );
-
-        // Dynamic: the corresponding executable pattern races / is clean.
-        let pattern = patterns::find(case.pattern_id)
-            .unwrap_or_else(|| panic!("pattern {} missing", case.pattern_id));
-        assert!(
-            explorer.explore(&pattern.racy_program()).found_race(),
-            "{}: dynamic detection missed the racy program",
-            case.pattern_id
-        );
-        assert!(
-            !explorer.explore(&pattern.fixed_program()).found_race(),
-            "{}: dynamic detector flagged the fixed program",
-            case.pattern_id
         );
     }
 }
