@@ -1,0 +1,65 @@
+//! The campaign engine scaling benchmark.
+//!
+//! Measures the sharded work-stealing campaign runner (`grs_fleet`) over
+//! the pattern suite at worker counts 1/2/4/8 — the empirical side of the
+//! "nightly campaign, fast as the hardware allows" goal. The inline probe
+//! prints the serial-vs-parallel speedup and asserts the two paths agree
+//! on every deterministic output before any timing is trusted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grs::detector::{default_workers, DetectorChoice};
+use grs::fleet::{pattern_suite, Campaign, CampaignConfig};
+use grs::runtime::Strategy;
+
+fn config(workers: usize) -> CampaignConfig {
+    CampaignConfig::smoke()
+        .seeds_per_unit(8)
+        .strategies(vec![Strategy::Random])
+        .detectors(vec![DetectorChoice::Hybrid])
+        .workers(workers)
+        .shards(2 * workers.max(1))
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let units = pattern_suite(true);
+
+    // Correctness gate + headline probe before timing.
+    let serial = Campaign::over_units(config(1), units.clone()).run();
+    let host = default_workers();
+    let parallel = Campaign::over_units(config(host), units.clone()).run();
+    assert_eq!(
+        serial.deterministic_digest(),
+        parallel.deterministic_digest(),
+        "parallel campaign must be a pure optimization"
+    );
+    println!("\n===== campaign scaling probe ({host} hardware threads) =====");
+    println!(
+        "serial   {:>8.1} ms ({:>6.0} runs/s)",
+        serial.wall.as_secs_f64() * 1e3,
+        serial.throughput_rps()
+    );
+    println!(
+        "parallel {:>8.1} ms ({:>6.0} runs/s) => {:.2}x speedup on {} runs\n",
+        parallel.wall.as_secs_f64() * 1e3,
+        parallel.throughput_rps(),
+        serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9),
+        parallel.total_runs()
+    );
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("pattern_suite", workers),
+            &workers,
+            |b, &w| {
+                let campaign = Campaign::over_units(config(w), units.clone());
+                b.iter(|| campaign.run());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

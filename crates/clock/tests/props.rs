@@ -1,125 +1,199 @@
-//! Property tests for the logical-clock lattice and lockset algebra.
+//! Seeded property tests for the logical-clock lattice and lockset algebra.
+//!
+//! These ran under `proptest` when the registry was reachable; they now run
+//! in tier-1 on the vendored `rand` stub: each property is checked over a
+//! few hundred cases drawn from a fixed-seed `StdRng`, so failures are
+//! perfectly reproducible (the case index pins the inputs).
 
-
-// Gated behind the `props` feature: proptest is an external crate and
-// the tier-1 build must succeed without registry access (restore the
-// dev-dependency to run these).
-#![cfg(feature = "props")]
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use grs_clock::{ClockOrder, Epoch, LockId, Lockset, Tid, VectorClock};
-use proptest::prelude::*;
 
-fn arb_clock() -> impl Strategy<Value = VectorClock> {
-    prop::collection::vec(0u32..50, 0..8).prop_map(|v| {
-        v.into_iter()
-            .enumerate()
-            .map(|(i, c)| (Tid::new(i as u32), c))
-            .collect()
-    })
+const CASES: usize = 400;
+
+fn gen_clock(rng: &mut StdRng) -> VectorClock {
+    let n = rng.gen_range(0..8usize);
+    (0..n)
+        .map(|i| (Tid::new(i as u32), rng.gen_range(0..50u32)))
+        .collect()
 }
 
-fn arb_lockset() -> impl Strategy<Value = Lockset> {
-    prop::collection::vec(0u64..12, 0..6)
-        .prop_map(|v| v.into_iter().map(LockId::new).collect())
+fn gen_lockset(rng: &mut StdRng) -> Lockset {
+    let n = rng.gen_range(0..6usize);
+    (0..n).map(|_| LockId::new(rng.gen_range(0..12u64))).collect()
 }
 
-proptest! {
-    #[test]
-    fn join_is_commutative(a in arb_clock(), b in arb_clock()) {
+/// Runs `body` over `CASES` cases from a per-property deterministic rng.
+fn check(seed: u64, mut body: impl FnMut(usize, &mut StdRng)) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        body(case, &mut rng);
+    }
+}
+
+#[test]
+fn join_is_commutative() {
+    check(0xC0, |case, rng| {
+        let (a, b) = (gen_clock(rng), gen_clock(rng));
         let ab = a.joined(&b);
         let ba = b.joined(&a);
-        prop_assert_eq!(ab.order(&ba), ClockOrder::Equal);
-    }
+        assert_eq!(ab.order(&ba), ClockOrder::Equal, "case {case}");
+    });
+}
 
-    #[test]
-    fn join_is_associative(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+#[test]
+fn join_is_associative() {
+    check(0xA5, |case, rng| {
+        let (a, b, c) = (gen_clock(rng), gen_clock(rng), gen_clock(rng));
         let left = a.joined(&b).joined(&c);
         let right = a.joined(&b.joined(&c));
-        prop_assert_eq!(left.order(&right), ClockOrder::Equal);
-    }
+        assert_eq!(left.order(&right), ClockOrder::Equal, "case {case}");
+    });
+}
 
-    #[test]
-    fn join_is_idempotent(a in arb_clock()) {
-        prop_assert_eq!(a.joined(&a).order(&a), ClockOrder::Equal);
-    }
+#[test]
+fn join_is_idempotent() {
+    check(0x1D, |case, rng| {
+        let a = gen_clock(rng);
+        assert_eq!(a.joined(&a).order(&a), ClockOrder::Equal, "case {case}");
+    });
+}
 
-    #[test]
-    fn join_is_upper_bound(a in arb_clock(), b in arb_clock()) {
+#[test]
+fn join_is_upper_bound() {
+    check(0x0B, |case, rng| {
+        let (a, b) = (gen_clock(rng), gen_clock(rng));
         let j = a.joined(&b);
-        prop_assert!(a.le(&j));
-        prop_assert!(b.le(&j));
-    }
+        assert!(a.le(&j) && b.le(&j), "case {case}");
+    });
+}
 
-    #[test]
-    fn le_is_antisymmetric_up_to_order(a in arb_clock(), b in arb_clock()) {
+#[test]
+fn join_is_monotone_in_both_arguments() {
+    check(0x40, |case, rng| {
+        let (a, b, c) = (gen_clock(rng), gen_clock(rng), gen_clock(rng));
+        // a <= a' implies a.join(c) <= a'.join(c); a' := a.join(b) >= a.
+        let bigger = a.joined(&b);
+        assert!(a.joined(&c).le(&bigger.joined(&c)), "case {case}");
+    });
+}
+
+#[test]
+fn le_is_antisymmetric_up_to_order() {
+    check(0xA2, |case, rng| {
+        let (a, b) = (gen_clock(rng), gen_clock(rng));
         if a.le(&b) && b.le(&a) {
-            prop_assert_eq!(a.order(&b), ClockOrder::Equal);
+            assert_eq!(a.order(&b), ClockOrder::Equal, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn le_is_transitive(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
-        if a.le(&b) && b.le(&c) {
-            prop_assert!(a.le(&c));
+#[test]
+fn le_is_transitive() {
+    check(0x7A, |case, rng| {
+        let (a, b) = (gen_clock(rng), gen_clock(rng));
+        // Random triples rarely chain, so construct b <= c via join.
+        let c = b.joined(&gen_clock(rng));
+        if a.le(&b) {
+            assert!(a.le(&c), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn order_is_consistent_with_le(a in arb_clock(), b in arb_clock()) {
+#[test]
+fn order_is_consistent_with_le() {
+    check(0x0C, |case, rng| {
+        let (a, b) = (gen_clock(rng), gen_clock(rng));
         match a.order(&b) {
-            ClockOrder::Before => prop_assert!(a.le(&b) && !b.le(&a)),
-            ClockOrder::After => prop_assert!(b.le(&a) && !a.le(&b)),
-            ClockOrder::Equal => prop_assert!(a.le(&b) && b.le(&a)),
-            ClockOrder::Concurrent => prop_assert!(!a.le(&b) && !b.le(&a)),
+            ClockOrder::Before => assert!(a.le(&b) && !b.le(&a), "case {case}"),
+            ClockOrder::After => assert!(b.le(&a) && !a.le(&b), "case {case}"),
+            ClockOrder::Equal => assert!(a.le(&b) && b.le(&a), "case {case}"),
+            ClockOrder::Concurrent => assert!(!a.le(&b) && !b.le(&a), "case {case}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn tick_strictly_advances(a in arb_clock(), t in 0u32..8) {
+#[test]
+fn tick_strictly_advances() {
+    check(0x71, |case, rng| {
+        let a = gen_clock(rng);
+        let t = rng.gen_range(0..8u32);
         let mut after = a.clone();
         after.tick(Tid::new(t));
-        prop_assert!(a.happens_before(&after));
-    }
+        assert!(a.happens_before(&after), "case {case}");
+    });
+}
 
-    /// FastTrack's O(1) epoch test must agree with the full VC comparison.
-    #[test]
-    fn epoch_fast_path_equals_vc_comparison(
-        a in arb_clock(), t in 0u32..8, c in 0u32..60,
-    ) {
-        let e = Epoch::new(Tid::new(t), c);
-        prop_assert_eq!(e.le_clock(&a), e.to_clock().le(&a));
-    }
+/// FastTrack's O(1) epoch test must agree with the full VC comparison.
+#[test]
+fn epoch_fast_path_equals_vc_comparison() {
+    check(0xE9, |case, rng| {
+        let a = gen_clock(rng);
+        let e = Epoch::new(Tid::new(rng.gen_range(0..8u32)), rng.gen_range(0..60u32));
+        assert_eq!(e.le_clock(&a), e.to_clock().le(&a), "case {case}");
+    });
+}
 
-    #[test]
-    fn lockset_intersection_commutative(a in arb_lockset(), b in arb_lockset()) {
-        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
-    }
+#[test]
+fn epoch_ordering_matches_clock_values() {
+    check(0xE0, |case, rng| {
+        let t = Tid::new(rng.gen_range(0..8u32));
+        let (c1, c2) = (rng.gen_range(0..60u32), rng.gen_range(0..60u32));
+        let (e1, e2) = (Epoch::new(t, c1), Epoch::new(t, c2));
+        // Same-tid epochs are totally ordered by their clock component.
+        assert_eq!(
+            e1.to_clock().le(&e2.to_clock()),
+            c1 <= c2,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn lockset_intersection_is_subset(a in arb_lockset(), b in arb_lockset()) {
+#[test]
+fn lockset_intersection_commutative() {
+    check(0x11, |case, rng| {
+        let (a, b) = (gen_lockset(rng), gen_lockset(rng));
+        assert_eq!(a.intersection(&b), b.intersection(&a), "case {case}");
+    });
+}
+
+#[test]
+fn lockset_intersection_is_subset() {
+    check(0x15, |case, rng| {
+        let (a, b) = (gen_lockset(rng), gen_lockset(rng));
         let i = a.intersection(&b);
         for l in i.iter() {
-            prop_assert!(a.contains(l) && b.contains(l));
+            assert!(a.contains(l) && b.contains(l), "case {case}");
         }
-        prop_assert!(i.len() <= a.len().min(b.len()));
-    }
+        assert!(i.len() <= a.len().min(b.len()), "case {case}");
+    });
+}
 
-    /// Eraser's refinement loop only ever shrinks the candidate set.
-    #[test]
-    fn repeated_intersection_monotonically_shrinks(
-        sets in prop::collection::vec(arb_lockset(), 1..6),
-    ) {
+/// Eraser's refinement loop only ever shrinks the candidate set.
+#[test]
+fn repeated_intersection_monotonically_shrinks() {
+    check(0x55, |case, rng| {
+        let k = rng.gen_range(1..6usize);
+        let sets: Vec<Lockset> = (0..k).map(|_| gen_lockset(rng)).collect();
         let mut candidate = sets[0].clone();
         let mut prev_len = candidate.len();
         for s in &sets[1..] {
             candidate.intersect_with(s);
-            prop_assert!(candidate.len() <= prev_len);
+            assert!(candidate.len() <= prev_len, "case {case}");
             prev_len = candidate.len();
         }
-    }
+    });
+}
 
-    #[test]
-    fn shares_lock_agrees_with_intersection(a in arb_lockset(), b in arb_lockset()) {
-        prop_assert_eq!(a.shares_lock_with(&b), !a.intersection(&b).is_empty());
-    }
+#[test]
+fn shares_lock_agrees_with_intersection() {
+    check(0x5A, |case, rng| {
+        let (a, b) = (gen_lockset(rng), gen_lockset(rng));
+        assert_eq!(
+            a.shares_lock_with(&b),
+            !a.intersection(&b).is_empty(),
+            "case {case}"
+        );
+    });
 }

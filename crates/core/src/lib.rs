@@ -15,7 +15,7 @@
 //! | [`golite`] | `grs-golite` | Go subset frontend, scanner, lints |
 //! | [`corpus`] | `grs-corpus` | synthetic monorepos (Table 1) |
 //! | [`interp`] | `grs-interp` | Go-lite interpreter on the runtime |
-//! | [`fleet`] | `grs-fleet` | fleet concurrency census (Figure 1) |
+//! | [`fleet`] | `grs-fleet` | concurrency census (Figure 1) + parallel campaign engine |
 //!
 //! # Example: detect Listing 1's race end to end
 //!

@@ -1,0 +1,232 @@
+//! Batched intake: campaign-scale dedup *before* the pipeline.
+//!
+//! A nightly campaign (§3.3) produces race reports from thousands of runs,
+//! the overwhelming majority duplicates of each other — the same race
+//! re-detected under different seeds, strategies, and detectors. Filing
+//! them one by one through [`Pipeline::submit`] works but touches the
+//! tracker once per raw report; a campaign instead accumulates into a
+//! [`RaceBatch`] keyed by [`race_fingerprint`] and hands the pipeline one
+//! deduplicated, deterministically ordered batch per day.
+//!
+//! Determinism matters: the batch keeps, per fingerprint, the report from
+//! the *lowest-numbered* campaign run (ties broken by insertion), and
+//! iterates in fingerprint order. Merging per-worker batches in any order
+//! therefore yields the same final batch — the property the differential
+//! test harness checks between serial and parallel campaigns.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+use grs_detector::RaceReport;
+
+use crate::fingerprint::{race_fingerprint, Fingerprint};
+use crate::pipeline::{FileOutcome, Pipeline};
+
+/// A deduplicated, deterministically ordered set of race reports.
+#[derive(Debug, Default)]
+pub struct RaceBatch {
+    by_fp: BTreeMap<Fingerprint, (u64, RaceReport)>,
+    raw: u64,
+}
+
+impl RaceBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one raw report discovered by campaign run `run_order`.
+    ///
+    /// The representative kept for a fingerprint is the one with the lowest
+    /// `run_order`; on a tie the first inserted wins. Returns `true` when
+    /// the fingerprint was new.
+    pub fn add(&mut self, report: RaceReport, run_order: u64) -> bool {
+        self.raw += 1;
+        let fp = race_fingerprint(&report);
+        match self.by_fp.entry(fp) {
+            Entry::Vacant(v) => {
+                v.insert((run_order, report));
+                true
+            }
+            Entry::Occupied(mut o) => {
+                if run_order < o.get().0 {
+                    o.insert((run_order, report));
+                }
+                false
+            }
+        }
+    }
+
+    /// Records `n` additional raw reports that were already deduplicated
+    /// upstream (e.g. by a campaign's concurrent dedup stage), so
+    /// [`RaceBatch::raw_reports`] reflects true detection volume.
+    pub fn note_raw_reports(&mut self, n: u64) {
+        self.raw += n;
+    }
+
+    /// Merges another batch into this one (same representative rule).
+    pub fn merge(&mut self, other: RaceBatch) {
+        self.raw += other.raw;
+        for (fp, (order, report)) in other.by_fp {
+            match self.by_fp.entry(fp) {
+                Entry::Vacant(v) => {
+                    v.insert((order, report));
+                }
+                Entry::Occupied(mut o) => {
+                    if order < o.get().0 {
+                        o.insert((order, report));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of distinct fingerprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_fp.len()
+    }
+
+    /// True when no report has been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_fp.is_empty()
+    }
+
+    /// Total raw reports added (before dedup).
+    #[must_use]
+    pub fn raw_reports(&self) -> u64 {
+        self.raw
+    }
+
+    /// The distinct fingerprints, ascending.
+    #[must_use]
+    pub fn fingerprints(&self) -> Vec<Fingerprint> {
+        self.by_fp.keys().copied().collect()
+    }
+
+    /// Iterates `(fingerprint, representative report)` in fingerprint order.
+    pub fn iter(&self) -> impl Iterator<Item = (Fingerprint, &RaceReport)> {
+        self.by_fp.iter().map(|(fp, (_, r))| (*fp, r))
+    }
+
+    /// Consumes the batch, yielding representatives in fingerprint order.
+    #[must_use]
+    pub fn into_reports(self) -> Vec<RaceReport> {
+        self.by_fp.into_values().map(|(_, r)| r).collect()
+    }
+}
+
+impl Pipeline {
+    /// Files one deduplicated batch (a day's campaign output) and returns
+    /// the per-fingerprint outcomes, in fingerprint order.
+    ///
+    /// Because the batch is already deduplicated, every `Duplicate` outcome
+    /// here means the tracker has an *open task from a previous day* for
+    /// that fingerprint — cross-day dedup, not within-campaign dedup.
+    pub fn submit_batch(&mut self, batch: &RaceBatch, day: u32) -> Vec<(Fingerprint, FileOutcome)> {
+        batch
+            .iter()
+            .map(|(fp, report)| (fp, self.submit(report, day)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignee::OwnerDb;
+    use grs_clock::Lockset;
+    use grs_detector::{DetectorKind, RaceAccess};
+    use grs_runtime::{AccessKind, Addr, Frame, Gid, SourceLoc, Stack};
+    use std::sync::Arc;
+
+    fn report(func: &str, line: u32, seed: u64) -> RaceReport {
+        let mk = |gid: u32, kind: AccessKind, line: u32| RaceAccess {
+            gid: Gid(gid),
+            kind,
+            stack: Stack::from_frames(vec![Frame {
+                func: Arc::from(func),
+                call_line: line,
+            }]),
+            loc: SourceLoc { file: "f.go", line },
+            locks_held: Lockset::new(),
+        };
+        RaceReport {
+            addr: Addr(1),
+            object: Arc::from("x"),
+            prior: mk(0, AccessKind::Write, line),
+            current: mk(1, AccessKind::Read, line + 1),
+            detector: DetectorKind::Tsan,
+            program: None,
+            repro_seed: Some(seed),
+        }
+    }
+
+    #[test]
+    fn dedups_line_shifted_duplicates_and_keeps_lowest_run() {
+        let mut b = RaceBatch::new();
+        assert!(b.add(report("F", 10, 5), 5));
+        assert!(!b.add(report("F", 99, 2), 2)); // same race, earlier run
+        assert!(b.add(report("G", 10, 7), 7));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.raw_reports(), 3);
+        let reps = b.into_reports();
+        let f = reps
+            .iter()
+            .find(|r| r.prior.stack.func_names() == ["F"])
+            .unwrap();
+        assert_eq!(f.repro_seed, Some(2), "lower run order must win");
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let reports = [
+            (report("A", 1, 0), 3u64),
+            (report("B", 2, 1), 1),
+            (report("A", 7, 2), 0),
+            (report("C", 3, 3), 2),
+        ];
+        let mut left = RaceBatch::new();
+        let mut right = RaceBatch::new();
+        for (i, (r, order)) in reports.iter().enumerate() {
+            if i % 2 == 0 {
+                left.add(r.clone(), *order);
+            } else {
+                right.add(r.clone(), *order);
+            }
+        }
+        let mut ab = RaceBatch::new();
+        for (r, order) in &reports {
+            ab.add(r.clone(), *order);
+        }
+        let mut merged = RaceBatch::new();
+        merged.merge(right);
+        merged.merge(left);
+        assert_eq!(merged.fingerprints(), ab.fingerprints());
+        assert_eq!(merged.raw_reports(), ab.raw_reports());
+        let (m, s): (Vec<_>, Vec<_>) = (merged.into_reports(), ab.into_reports());
+        for (a, b) in m.iter().zip(s.iter()) {
+            assert_eq!(a.repro_seed, b.repro_seed);
+        }
+    }
+
+    #[test]
+    fn submit_batch_files_once_per_fingerprint() {
+        let mut b = RaceBatch::new();
+        b.add(report("F", 10, 0), 0);
+        b.add(report("F", 11, 1), 1);
+        b.add(report("G", 20, 2), 2);
+        let mut p = Pipeline::new(OwnerDb::new());
+        let outcomes = p.submit_batch(&b, 0);
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes
+            .iter()
+            .all(|(_, o)| matches!(o, FileOutcome::Filed { .. })));
+        assert_eq!(p.tracker().total_filed(), 2);
+        // Next day, same batch: everything is a cross-day duplicate.
+        let again = p.submit_batch(&b, 1);
+        assert!(again.iter().all(|(_, o)| *o == FileOutcome::Duplicate));
+    }
+}

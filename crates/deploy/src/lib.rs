@@ -26,12 +26,14 @@
 //! ```
 
 pub mod assignee;
+pub mod batch;
 pub mod campaign;
 pub mod fingerprint;
 pub mod pipeline;
 pub mod tracker;
 
 pub use assignee::{determine_assignee, AssigneeDecision, OwnerDb};
+pub use batch::RaceBatch;
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, DayStats};
 pub use fingerprint::{naive_fingerprint, race_fingerprint, Fingerprint};
 pub use pipeline::{FileOutcome, Pipeline};

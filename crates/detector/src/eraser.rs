@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use grs_clock::{LockId, Lockset};
-use grs_runtime::event::{Event, EventKind};
+use grs_runtime::event::{Event, EventKind, LockMode};
 use grs_runtime::{AccessKind, Addr, Gid, Monitor, SourceLoc, Stack};
 
 use crate::report::{DetectorKind, RaceAccess, RaceReport};
@@ -75,7 +75,14 @@ struct EraserVar {
 /// ```
 #[derive(Debug, Default)]
 pub struct Eraser {
+    /// Locks held per goroutine, in any mode.
     held: Vec<Lockset>,
+    /// Locks held per goroutine in *write* (exclusive) mode. Eraser's
+    /// read-write-lock refinement: a read-mode `RLock` admits concurrent
+    /// readers, so it protects reads but not writes — a write access is
+    /// refined against this set only (the Listing 11 `RLock`-write bug
+    /// class would otherwise be invisible to locksets).
+    write_held: Vec<Lockset>,
     vars: HashMap<u64, EraserVar>,
     reports: Vec<RaceReport>,
 }
@@ -107,6 +114,24 @@ impl Eraser {
         &mut self.held[i]
     }
 
+    fn write_held_mut(&mut self, gid: Gid) -> &mut Lockset {
+        let i = gid.index();
+        while self.write_held.len() <= i {
+            self.write_held.push(Lockset::new());
+        }
+        &mut self.write_held[i]
+    }
+
+    /// The locks that actually protect an access of `kind`: writes are only
+    /// protected by exclusive-mode locks, reads by any mode.
+    fn effective_locks(&mut self, gid: Gid, kind: AccessKind) -> Lockset {
+        if kind.is_write() {
+            self.write_held_mut(gid).clone()
+        } else {
+            self.held_mut(gid).clone()
+        }
+    }
+
     fn on_access(
         &mut self,
         gid: Gid,
@@ -117,6 +142,7 @@ impl Eraser {
         loc: SourceLoc,
     ) {
         let held = self.held_mut(gid).clone();
+        let effective = self.effective_locks(gid, kind);
         let current = LastAccess {
             gid,
             kind,
@@ -131,7 +157,7 @@ impl Eraser {
                     EraserVar {
                         object: object.clone(),
                         state: VarState::Exclusive(gid),
-                        candidate: held,
+                        candidate: effective,
                         last: current,
                         reported: false,
                     },
@@ -143,7 +169,7 @@ impl Eraser {
                     VarState::Exclusive(owner) if owner == gid => {
                         // Still exclusive; remember the most recent lockset
                         // but do not refine yet (classic Eraser).
-                        var.candidate = held.clone();
+                        var.candidate = effective;
                     }
                     VarState::Exclusive(_) => {
                         var.state = if kind.is_write() || var.last.kind.is_write() {
@@ -151,18 +177,18 @@ impl Eraser {
                         } else {
                             VarState::Shared
                         };
-                        var.candidate.intersect_with(&held);
+                        var.candidate.intersect_with(&effective);
                         check = var.state == VarState::SharedModified;
                     }
                     VarState::Shared => {
-                        var.candidate.intersect_with(&held);
+                        var.candidate.intersect_with(&effective);
                         if kind.is_write() {
                             var.state = VarState::SharedModified;
                             check = true;
                         }
                     }
                     VarState::SharedModified => {
-                        var.candidate.intersect_with(&held);
+                        var.candidate.intersect_with(&effective);
                         check = true;
                     }
                 }
@@ -189,7 +215,7 @@ impl Eraser {
                             },
                             detector: DetectorKind::Eraser,
                             program: None,
-            repro_seed: None,
+                            repro_seed: None,
                         };
                         self.reports.push(report);
                     }
@@ -215,11 +241,15 @@ impl Monitor for Eraser {
                 let (object, stack) = (object.clone(), stack.clone());
                 self.on_access(event.gid, *addr, &object, *kind, &stack, *loc);
             }
-            EventKind::Acquire { lock, .. } => {
+            EventKind::Acquire { lock, mode } => {
                 self.held_mut(event.gid).insert(LockId::new(lock.0));
+                if *mode == LockMode::Write {
+                    self.write_held_mut(event.gid).insert(LockId::new(lock.0));
+                }
             }
             EventKind::Release { lock, .. } => {
                 self.held_mut(event.gid).remove(LockId::new(lock.0));
+                self.write_held_mut(event.gid).remove(LockId::new(lock.0));
             }
             _ => {}
         }

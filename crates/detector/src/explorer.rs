@@ -8,11 +8,101 @@
 //! deduplicates the races found, and reports the per-run detection
 //! probability, which the deployment simulator (`grs-deploy`) uses as the
 //! flakiness parameter of daily test runs.
+//!
+//! Two execution paths produce identical aggregates:
+//!
+//! * [`Explorer::explore`] — runs every seed on the calling thread, and
+//! * [`Explorer::explore_parallel`] — fans the same seed range out over
+//!   [`ExploreConfig::workers`] OS threads. Each `(program, seed,
+//!   strategy, detector)` run is a self-contained deterministic
+//!   [`Runtime`] instance, so the per-seed race reports are byte-identical
+//!   to the serial path; only wall-clock time changes. Results are folded
+//!   back in seed order, so even the aggregate dedup order matches.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use grs_runtime::{Program, RunConfig, RunOutcome, Runtime, Strategy};
 
+use crate::eraser::Eraser;
+use crate::fasttrack::{FastTrack, FastTrackConfig};
 use crate::report::RaceReport;
 use crate::tsan::Tsan;
+
+/// Which detection algorithm a run is monitored with.
+///
+/// The paper's deployment always runs ThreadSanitizer (the hybrid), but the
+/// campaign engine (`grs-fleet`) and the differential test harness rerun
+/// the same seeds under each algorithm to compare verdicts: FastTrack is
+/// precise under the observed schedule, Eraser over-approximates by
+/// ignoring happens-before, and the hybrid pairs FastTrack verdicts with
+/// lockset context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DetectorChoice {
+    /// FastTrack happens-before (epoch-optimized), no lockset context.
+    FastTrack,
+    /// FastTrack with the epoch fast path disabled (pure vector clocks).
+    PureVectorClock,
+    /// Eraser locksets only (may report false positives).
+    Eraser,
+    /// The TSan-style hybrid — FastTrack verdicts + lockset context.
+    #[default]
+    Hybrid,
+}
+
+impl DetectorChoice {
+    /// The three production-relevant algorithms, in comparison order.
+    #[must_use]
+    pub fn all() -> [DetectorChoice; 3] {
+        [
+            DetectorChoice::FastTrack,
+            DetectorChoice::Eraser,
+            DetectorChoice::Hybrid,
+        ]
+    }
+
+    /// Short stable label (used in campaign summaries and JSON output).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectorChoice::FastTrack => "fasttrack",
+            DetectorChoice::PureVectorClock => "pure-vc",
+            DetectorChoice::Eraser => "eraser",
+            DetectorChoice::Hybrid => "hybrid",
+        }
+    }
+
+    /// Executes one run of `program` under this detector.
+    #[must_use]
+    pub fn run(self, program: &Program, cfg: RunConfig) -> (RunOutcome, Vec<RaceReport>) {
+        let runtime = Runtime::new(cfg);
+        match self {
+            DetectorChoice::FastTrack => {
+                let (o, m) = runtime.run(program, FastTrack::new());
+                (o, m.into_reports())
+            }
+            DetectorChoice::PureVectorClock => {
+                let (o, m) =
+                    runtime.run(program, FastTrack::with_config(FastTrackConfig::pure_vc()));
+                (o, m.into_reports())
+            }
+            DetectorChoice::Eraser => {
+                let (o, m) = runtime.run(program, Eraser::new());
+                (o, m.into_reports())
+            }
+            DetectorChoice::Hybrid => {
+                let (o, m) = runtime.run(program, Tsan::new());
+                (o, m.into_reports())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for DetectorChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Exploration parameters.
 #[derive(Debug, Clone)]
@@ -25,6 +115,17 @@ pub struct ExploreConfig {
     pub strategy: Strategy,
     /// Per-run step budget.
     pub max_steps: u64,
+    /// Detection algorithm for every run.
+    pub detector: DetectorChoice,
+    /// Worker threads for [`Explorer::explore_parallel`]. Defaults to the
+    /// host's available parallelism; `explore` ignores it.
+    pub workers: usize,
+}
+
+/// The host's available parallelism, with a safe fallback of 1.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 impl ExploreConfig {
@@ -37,6 +138,8 @@ impl ExploreConfig {
             base_seed: 1,
             strategy: Strategy::Random,
             max_steps: 1_000_000,
+            detector: DetectorChoice::Hybrid,
+            workers: default_workers(),
         }
     }
 
@@ -67,6 +170,21 @@ impl ExploreConfig {
     #[must_use]
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the detection algorithm (builder style).
+    #[must_use]
+    pub fn detector(mut self, detector: DetectorChoice) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Sets the worker-thread count for `explore_parallel` (builder style).
+    /// Clamped to at least 1.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 }
@@ -106,7 +224,8 @@ impl ExploreResult {
     }
 
     /// Fraction of runs that exposed at least one race — the flakiness the
-    /// paper's deployment design works around.
+    /// paper's deployment design works around. Zero (not NaN) when no run
+    /// was executed.
     #[must_use]
     pub fn detection_rate(&self) -> f64 {
         if self.runs == 0 {
@@ -116,6 +235,9 @@ impl ExploreResult {
         }
     }
 }
+
+/// One run's raw output, tagged with its index for in-order folding.
+type IndexedRun = (usize, RunOutcome, Vec<RaceReport>);
 
 /// Reruns programs under many schedules and aggregates the races.
 ///
@@ -138,12 +260,22 @@ impl Explorer {
         &self.config
     }
 
-    /// Explores `program`, returning aggregated races and statistics.
-    #[must_use]
-    pub fn explore(&self, program: &Program) -> ExploreResult {
+    fn run_config(&self, run: usize) -> RunConfig {
+        RunConfig {
+            seed: self.config.base_seed + run as u64,
+            strategy: self.config.strategy,
+            max_steps: self.config.max_steps,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Folds per-run results (sorted by run index) into the aggregate. This
+    /// is the single aggregation path shared by the serial and parallel
+    /// explorers, so the two produce identical results by construction.
+    fn fold(&self, program: &Program, runs: Vec<IndexedRun>) -> ExploreResult {
         let mut result = ExploreResult {
             program: program.name().to_string(),
-            runs: self.config.runs,
+            runs: runs.len(),
             racy_runs: 0,
             unique_races: Vec::new(),
             deadlock_runs: 0,
@@ -152,16 +284,8 @@ impl Explorer {
             sample_outcome: None,
         };
         let mut seen = std::collections::HashSet::new();
-        for i in 0..self.config.runs {
+        for (i, outcome, reports) in runs {
             let seed = self.config.base_seed + i as u64;
-            let cfg = RunConfig {
-                seed,
-                strategy: self.config.strategy,
-                max_steps: self.config.max_steps,
-                ..RunConfig::default()
-            };
-            let (outcome, tsan) = Runtime::new(cfg).run(program, Tsan::new());
-            let reports = tsan.into_reports();
             if !reports.is_empty() {
                 result.racy_runs += 1;
             }
@@ -186,5 +310,135 @@ impl Explorer {
             }
         }
         result
+    }
+
+    /// Explores `program` serially, returning aggregated races and
+    /// statistics.
+    #[must_use]
+    pub fn explore(&self, program: &Program) -> ExploreResult {
+        let runs = (0..self.config.runs)
+            .map(|i| {
+                let (outcome, reports) = self.config.detector.run(program, self.run_config(i));
+                (i, outcome, reports)
+            })
+            .collect();
+        self.fold(program, runs)
+    }
+
+    /// Explores `program` with the seed range fanned out over
+    /// [`ExploreConfig::workers`] OS threads.
+    ///
+    /// Workers claim run indices from a shared atomic counter (cheap
+    /// work-stealing: no run is ever assigned twice and no worker idles
+    /// while work remains). Each run is an independent deterministic
+    /// [`Runtime`] instance, and results are folded in run order, so the
+    /// output — including the order of `unique_races` — is identical to
+    /// [`Explorer::explore`] for any worker count.
+    #[must_use]
+    pub fn explore_parallel(&self, program: &Program) -> ExploreResult {
+        let workers = self.config.workers.max(1).min(self.config.runs.max(1));
+        if workers <= 1 {
+            return self.explore(program);
+        }
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<IndexedRun>> =
+            Mutex::new(Vec::with_capacity(self.config.runs));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= self.config.runs {
+                        break;
+                    }
+                    let (outcome, reports) =
+                        self.config.detector.run(program, self.run_config(i));
+                    collected
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((i, outcome, reports));
+                });
+            }
+        });
+        let mut runs = collected
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        runs.sort_by_key(|(i, _, _)| *i);
+        self.fold(program, runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn racy_program() -> Program {
+        Program::new("racy_counter", |ctx| {
+            let x = ctx.cell("x", 0i64);
+            let done = ctx.chan::<()>("done", 2);
+            for _ in 0..2 {
+                let (x, done) = (x.clone(), done.clone());
+                ctx.go("w", move |ctx| {
+                    ctx.update(&x, |v| v + 1);
+                    done.send(ctx, ());
+                });
+            }
+            for _ in 0..2 {
+                let _ = done.recv(ctx);
+            }
+        })
+    }
+
+    #[test]
+    fn detection_rate_is_zero_not_nan_for_zero_runs() {
+        let r = Explorer::new(ExploreConfig::quick().runs(0)).explore(&racy_program());
+        assert_eq!(r.runs, 0);
+        assert_eq!(r.detection_rate(), 0.0);
+        assert!(r.detection_rate().is_finite());
+        assert!(!r.found_race());
+        assert!(r.sample_outcome.is_none());
+    }
+
+    #[test]
+    fn workers_knob_defaults_to_available_parallelism() {
+        assert_eq!(ExploreConfig::quick().workers, default_workers());
+        assert!(ExploreConfig::quick().workers(0).workers >= 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let p = racy_program();
+        let cfg = ExploreConfig::quick().runs(16);
+        let serial = Explorer::new(cfg.clone()).explore(&p);
+        for workers in [1, 2, 4] {
+            let par = Explorer::new(cfg.clone().workers(workers)).explore_parallel(&p);
+            assert_eq!(par.runs, serial.runs);
+            assert_eq!(par.racy_runs, serial.racy_runs, "workers={workers}");
+            assert_eq!(par.unique_races.len(), serial.unique_races.len());
+            for (a, b) in par.unique_races.iter().zip(serial.unique_races.iter()) {
+                assert_eq!(a.site_key(), b.site_key());
+                assert_eq!(a.repro_seed, b.repro_seed);
+            }
+        }
+    }
+
+    #[test]
+    fn detector_choice_runs_each_algorithm() {
+        let p = racy_program();
+        for choice in [
+            DetectorChoice::FastTrack,
+            DetectorChoice::PureVectorClock,
+            DetectorChoice::Eraser,
+            DetectorChoice::Hybrid,
+        ] {
+            let mut found = false;
+            for seed in 0..20 {
+                let (_, reports) = choice.run(&p, RunConfig::with_seed(seed));
+                if !reports.is_empty() {
+                    found = true;
+                    break;
+                }
+            }
+            assert!(found, "{choice} never detected the race");
+        }
     }
 }

@@ -351,7 +351,12 @@ impl FastTrack {
                     }
                     ReadState::Shared(map) => {
                         fast = false;
-                        for (t2, (clk, ri)) in map {
+                        // Iterate in tid order: HashMap order is nondeterministic
+                        // across processes, and report order feeds dedup
+                        // representatives and `max_reports` truncation.
+                        let mut entries: Vec<_> = map.iter().collect();
+                        entries.sort_by_key(|(t2, _)| **t2);
+                        for (t2, (clk, ri)) in entries {
                             if *clk > c.get(Tid::new(*t2))
                                 && !(kind.is_atomic() && ri.kind.is_atomic())
                             {

@@ -50,7 +50,7 @@ pub mod report;
 pub mod tsan;
 
 pub use eraser::Eraser;
-pub use explorer::{ExploreConfig, ExploreResult, Explorer};
+pub use explorer::{default_workers, DetectorChoice, ExploreConfig, ExploreResult, Explorer};
 pub use fasttrack::{FastTrack, FastTrackConfig};
 pub use report::{DetectorKind, RaceAccess, RaceReport};
 pub use tsan::Tsan;

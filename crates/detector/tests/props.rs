@@ -1,18 +1,18 @@
-//! Property tests for the detectors.
+//! Seeded property tests for the detectors.
 //!
 //! The strongest guarantee a happens-before detector offers is *no false
 //! positives under the observed schedule*: a program whose accesses are all
 //! ordered by synchronization must never be flagged, for any shape, seed,
 //! or strategy. Conversely, removing the synchronization from the same
 //! shape must eventually be caught.
+//!
+//! These ran under `proptest` when the registry was reachable; they now run
+//! in tier-1 on the vendored `rand` stub: shapes and seeds are drawn from a
+//! fixed-seed `StdRng`, so failures are perfectly reproducible (the case
+//! index pins the inputs).
 
-
-// Gated behind the `props` feature: proptest is an external crate and
-// the tier-1 build must succeed without registry access (restore the
-// dev-dependency to run these).
-#![cfg(feature = "props")]
-
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use grs_detector::{Eraser, FastTrack, FastTrackConfig, Tsan};
 use grs_runtime::{Program, RunConfig, Runtime, Strategy as Sched};
@@ -32,18 +32,19 @@ enum SyncKind {
     Atomic,
 }
 
-fn arb_shape() -> impl Strategy<Value = Shape> {
-    (
-        1u8..4,
-        1u8..4,
-        prop_oneof![
-            Just(SyncKind::Mutex),
-            Just(SyncKind::Channel),
-            Just(SyncKind::WaitGroupPublish),
-            Just(SyncKind::Atomic),
-        ],
-    )
-        .prop_map(|(workers, ops, sync)| Shape { workers, ops, sync })
+const SYNC_KINDS: [SyncKind; 4] = [
+    SyncKind::Mutex,
+    SyncKind::Channel,
+    SyncKind::WaitGroupPublish,
+    SyncKind::Atomic,
+];
+
+fn gen_shape(rng: &mut StdRng) -> Shape {
+    Shape {
+        workers: rng.gen_range(1..4u8),
+        ops: rng.gen_range(1..4u8),
+        sync: SYNC_KINDS[rng.gen_range(0..SYNC_KINDS.len())],
+    }
 }
 
 /// A fully synchronized program of the given shape.
@@ -158,32 +159,41 @@ fn unsynced(shape: &Shape) -> Program {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    /// HB detectors never flag synchronized programs — any shape, seed, or
-    /// strategy, epochs or pure vector clocks.
-    #[test]
-    fn no_false_positives_on_synced_shapes(shape in arb_shape(), seed in 0u64..500) {
+/// HB detectors never flag synchronized programs — any shape, seed, or
+/// strategy, epochs or pure vector clocks.
+#[test]
+fn no_false_positives_on_synced_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    for case in 0..20 {
+        let shape = gen_shape(&mut rng);
+        let seed = rng.gen_range(0..500u64);
         let p = synced(&shape);
         for strategy in [Sched::Random, Sched::Pct { depth: 3 }] {
             let cfg = RunConfig::with_seed(seed).strategy(strategy);
             let (_, tsan) = Runtime::new(cfg.clone()).run(&p, Tsan::new());
-            prop_assert!(
+            assert!(
                 tsan.reports().is_empty(),
-                "tsan false positive on {shape:?}: {}",
+                "case {case}: tsan false positive on {shape:?}: {}",
                 tsan.reports()[0]
             );
-            let (_, vc) = Runtime::new(cfg)
-                .run(&p, FastTrack::with_config(FastTrackConfig::pure_vc()));
-            prop_assert!(vc.reports().is_empty(), "pure-vc false positive");
+            let (_, vc) =
+                Runtime::new(cfg).run(&p, FastTrack::with_config(FastTrackConfig::pure_vc()));
+            assert!(vc.reports().is_empty(), "case {case}: pure-vc false positive");
         }
     }
+}
 
-    /// Multi-worker unsynchronized shapes are caught within a seed budget.
-    #[test]
-    fn unsynced_shapes_are_caught(shape in arb_shape()) {
-        prop_assume!(shape.workers >= 2);
+/// Multi-worker unsynchronized shapes are caught within a seed budget.
+#[test]
+fn unsynced_shapes_are_caught() {
+    let mut rng = StdRng::seed_from_u64(0xD2);
+    let mut checked = 0;
+    while checked < 10 {
+        let shape = gen_shape(&mut rng);
+        if shape.workers < 2 {
+            continue;
+        }
+        checked += 1;
         let p = unsynced(&shape);
         let mut found = false;
         for seed in 0..40 {
@@ -193,31 +203,47 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(found, "no seed caught {shape:?}");
+        assert!(found, "no seed caught {shape:?}");
     }
+}
 
-    /// Epoch and pure-VC FastTrack agree on every run.
-    #[test]
-    fn epoch_and_pure_vc_verdicts_agree(shape in arb_shape(), seed in 0u64..200) {
+/// Epoch and pure-VC FastTrack agree on every run.
+#[test]
+fn epoch_and_pure_vc_verdicts_agree() {
+    let mut rng = StdRng::seed_from_u64(0xD3);
+    for case in 0..15 {
+        let shape = gen_shape(&mut rng);
+        let seed = rng.gen_range(0..200u64);
         for p in [synced(&shape), unsynced(&shape)] {
             let (_, ft) = Runtime::new(RunConfig::with_seed(seed)).run(&p, FastTrack::new());
             let (_, vc) = Runtime::new(RunConfig::with_seed(seed))
                 .run(&p, FastTrack::with_config(FastTrackConfig::pure_vc()));
-            prop_assert_eq!(
+            assert_eq!(
                 ft.reports().is_empty(),
                 vc.reports().is_empty(),
-                "verdict mismatch on {} {:?} seed {}",
-                p.name(), shape, seed
+                "case {case}: verdict mismatch on {} {:?} seed {}",
+                p.name(),
+                shape,
+                seed
             );
         }
     }
+}
 
-    /// Eraser accepts consistently locked shapes (its soundness case).
-    #[test]
-    fn eraser_accepts_locked_shapes(shape in arb_shape(), seed in 0u64..200) {
-        prop_assume!(shape.sync == SyncKind::Mutex);
+/// Eraser accepts consistently locked shapes (its soundness case).
+#[test]
+fn eraser_accepts_locked_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xD4);
+    let mut checked = 0;
+    while checked < 15 {
+        let shape = gen_shape(&mut rng);
+        let seed = rng.gen_range(0..200u64);
+        if shape.sync != SyncKind::Mutex {
+            continue;
+        }
+        checked += 1;
         let p = synced(&shape);
         let (_, er) = Runtime::new(RunConfig::with_seed(seed)).run(&p, Eraser::new());
-        prop_assert!(er.reports().is_empty(), "eraser flagged a locked shape");
+        assert!(er.reports().is_empty(), "eraser flagged a locked shape");
     }
 }

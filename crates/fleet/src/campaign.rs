@@ -1,0 +1,796 @@
+//! Campaign orchestration: fan the run matrix over workers, dedup, file.
+//!
+//! This is the §3.3 nightly run modeled end to end. The paper's deployment
+//! SSH-fans ~100K unit tests (each rerun under the race detector) across a
+//! datacenter, collects the race reports, deduplicates by fingerprint, and
+//! files tasks. Here:
+//!
+//! * the **matrix** is `(unit × seed × strategy × detector)`, enumerated
+//!   deterministically into [`RunSpec`]s;
+//! * the **fan-out** is [`ShardQueues`]: specs dealt over shard queues,
+//!   popped by a pool of OS worker threads with work stealing;
+//! * the **dedup stage** is [`DedupMap`]: fingerprint-sharded concurrent
+//!   aggregation with deterministic representatives;
+//! * the **filing** is [`grs_deploy::Pipeline`] via
+//!   [`RaceBatch`](grs_deploy::RaceBatch) batched intake.
+//!
+//! Every run is a self-contained deterministic `Runtime` instance, so the
+//! campaign's deterministic output — run records and the deduped batch — is
+//! identical for any worker count, including 1 (the serial path). Only
+//! wall-clock changes.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use grs_deploy::{race_fingerprint, FileOutcome, Fingerprint, Pipeline, RaceBatch};
+use grs_detector::{default_workers, DetectorChoice};
+use grs_runtime::{Program, RunConfig, Strategy};
+
+use crate::dedup::DedupMap;
+use crate::shard::{RunSpec, ShardQueues};
+
+/// One campaignable program.
+#[derive(Debug, Clone)]
+pub struct CampaignUnit {
+    /// Display name (pattern id or listing name, `/racy` or `/fixed`).
+    pub name: String,
+    /// The executable program.
+    pub program: Program,
+    /// Ground truth, when known: does the unit contain a race?
+    pub expected_racy: Option<bool>,
+}
+
+/// The full §4 pattern corpus as campaign units.
+///
+/// Racy variants always; fixed variants too when `include_fixed` — the
+/// fixed twins are the campaign's false-positive control group.
+#[must_use]
+pub fn pattern_suite(include_fixed: bool) -> Vec<CampaignUnit> {
+    let mut units = Vec::new();
+    for p in grs_patterns::registry() {
+        units.push(CampaignUnit {
+            name: format!("{}/racy", p.id),
+            program: p.racy_program(),
+            expected_racy: Some(true),
+        });
+        if include_fixed {
+            units.push(CampaignUnit {
+                name: format!("{}/fixed", p.id),
+                program: p.fixed_program(),
+                expected_racy: Some(false),
+            });
+        }
+    }
+    units
+}
+
+/// Go-source units compiled through the `grs-interp` frontend — the
+/// campaign's "run the real test corpus" modality, next to the Rust-closure
+/// pattern suite. Adapted from the paper's listings.
+#[must_use]
+pub fn corpus_suite() -> Vec<CampaignUnit> {
+    const SOURCES: &[(&str, bool, &str)] = &[
+        (
+            "go/loop_capture/racy",
+            true,
+            r#"
+package main
+
+func processJob(j int) int {
+    return j * 2
+}
+
+func main() {
+    jobs := []int{10, 20, 30}
+    done := make(chan bool, 3)
+    for _, job := range jobs {
+        go func() {
+            processJob(job)
+            done <- true
+        }()
+    }
+    <-done
+    <-done
+    <-done
+}
+"#,
+        ),
+        (
+            "go/loop_capture/fixed",
+            false,
+            r#"
+package main
+
+func processJob(j int) int {
+    return j * 2
+}
+
+func main() {
+    jobs := []int{10, 20, 30}
+    done := make(chan bool, 3)
+    for _, job := range jobs {
+        go func(job int) {
+            processJob(job)
+            done <- true
+        }(job)
+    }
+    <-done
+    <-done
+    <-done
+}
+"#,
+        ),
+        (
+            "go/mutex_by_value/racy",
+            true,
+            r#"
+package main
+
+var a int
+
+func criticalSection(m sync.Mutex) {
+    m.Lock()
+    a = a + 1
+    m.Unlock()
+}
+
+func main() {
+    var mutex sync.Mutex
+    done := make(chan bool, 2)
+    go func(m sync.Mutex) {
+        criticalSection(m)
+        done <- true
+    }(mutex)
+    go func(m sync.Mutex) {
+        criticalSection(m)
+        done <- true
+    }(mutex)
+    <-done
+    <-done
+}
+"#,
+        ),
+        (
+            "go/mutex_by_value/fixed",
+            false,
+            r#"
+package main
+
+var a int
+
+func criticalSection(m *sync.Mutex) {
+    m.Lock()
+    a = a + 1
+    m.Unlock()
+}
+
+func main() {
+    var mutex sync.Mutex
+    done := make(chan bool, 2)
+    go func() {
+        criticalSection(&mutex)
+        done <- true
+    }()
+    go func() {
+        criticalSection(&mutex)
+        done <- true
+    }()
+    <-done
+    <-done
+}
+"#,
+        ),
+        (
+            "go/concurrent_map/racy",
+            true,
+            r#"
+package main
+
+func getOrder(uuid int) string {
+    if uuid > 1 {
+        return "failed"
+    }
+    return ""
+}
+
+func main() {
+    uuids := []int{1, 2, 3}
+    errMap := make(map[int]string)
+    done := make(chan bool, 3)
+    for _, uuid := range uuids {
+        go func(uuid int) {
+            err := getOrder(uuid)
+            if err != "" {
+                errMap[uuid] = err
+            }
+            done <- true
+        }(uuid)
+    }
+    <-done
+    <-done
+    <-done
+    _ = len(errMap)
+}
+"#,
+        ),
+    ];
+    SOURCES
+        .iter()
+        .map(|&(name, racy, src)| {
+            let interp = grs_interp::Interp::from_source(src)
+                .unwrap_or_else(|e| panic!("{name}: corpus source must parse: {e}"));
+            CampaignUnit {
+                name: name.to_string(),
+                program: interp.program(name, "main"),
+                expected_racy: Some(racy),
+            }
+        })
+        .collect()
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seeds per `(unit, strategy, detector)` combination; seed `s` of a
+    /// unit is `base_seed + s`.
+    pub seeds_per_unit: usize,
+    /// First seed.
+    pub base_seed: u64,
+    /// Scheduling strategies to cross in.
+    pub strategies: Vec<Strategy>,
+    /// Detection algorithms to cross in.
+    pub detectors: Vec<DetectorChoice>,
+    /// OS worker threads (1 = serial).
+    pub workers: usize,
+    /// Shard queues for the scheduler and the dedup map.
+    pub shards: usize,
+    /// Per-run step budget.
+    pub max_steps: u64,
+}
+
+impl CampaignConfig {
+    /// A small smoke campaign: 8 seeds, random walks, hybrid detector.
+    #[must_use]
+    pub fn smoke() -> Self {
+        CampaignConfig {
+            seeds_per_unit: 8,
+            base_seed: 1,
+            strategies: vec![Strategy::Random],
+            detectors: vec![DetectorChoice::Hybrid],
+            workers: default_workers(),
+            shards: 2 * default_workers(),
+            max_steps: 1_000_000,
+        }
+    }
+
+    /// The nightly-scale configuration: 32 seeds, random + PCT walks,
+    /// hybrid detector.
+    #[must_use]
+    pub fn nightly() -> Self {
+        CampaignConfig {
+            seeds_per_unit: 32,
+            strategies: vec![Strategy::Random, Strategy::Pct { depth: 2 }],
+            ..CampaignConfig::smoke()
+        }
+    }
+
+    /// Sets the seed count (builder style).
+    #[must_use]
+    pub fn seeds_per_unit(mut self, n: usize) -> Self {
+        self.seeds_per_unit = n;
+        self
+    }
+
+    /// Sets the worker count, clamped to at least 1 (builder style).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the shard count, clamped to at least 1 (builder style).
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Sets the base seed (builder style).
+    #[must_use]
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the detector list (builder style).
+    #[must_use]
+    pub fn detectors(mut self, detectors: Vec<DetectorChoice>) -> Self {
+        self.detectors = detectors;
+        self
+    }
+
+    /// Sets the strategy list (builder style).
+    #[must_use]
+    pub fn strategies(mut self, strategies: Vec<Strategy>) -> Self {
+        self.strategies = strategies;
+        self
+    }
+
+    /// Total runs this configuration produces over `units` units.
+    #[must_use]
+    pub fn matrix_size(&self, units: usize) -> usize {
+        units * self.seeds_per_unit * self.strategies.len() * self.detectors.len()
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self::smoke()
+    }
+}
+
+/// The deterministic outcome of one run, tagged with nondeterministic
+/// placement/timing metadata (worker, shard, duration).
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The spec that produced this record.
+    pub spec: RunSpec,
+    /// Name of the unit executed.
+    pub unit_name: String,
+    /// True when the run reported at least one race.
+    pub racy: bool,
+    /// Sorted, deduplicated fingerprints of the run's reports.
+    pub fingerprints: Vec<Fingerprint>,
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Which worker executed the run (placement metadata; not
+    /// deterministic).
+    pub worker: usize,
+    /// Which shard queue the spec was popped from (not deterministic).
+    pub shard: usize,
+    /// Run duration (not deterministic).
+    pub duration: Duration,
+}
+
+impl RunRecord {
+    /// The deterministic projection of the record — equal across campaigns
+    /// with any worker/shard configuration.
+    #[must_use]
+    pub fn key(&self) -> (usize, &str, u64, bool, &[Fingerprint], u64) {
+        (
+            self.spec.index,
+            &self.unit_name,
+            self.spec.seed,
+            self.racy,
+            &self.fingerprints,
+            self.steps,
+        )
+    }
+}
+
+/// Per-shard aggregate latency (how balanced the stealing kept the load).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Shard id.
+    pub shard: usize,
+    /// Runs popped from this shard.
+    pub runs: usize,
+    /// Total time spent executing them.
+    pub total: Duration,
+    /// The slowest single run.
+    pub max: Duration,
+}
+
+/// A finished campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// One record per run, sorted by spec index (deterministic order).
+    pub records: Vec<RunRecord>,
+    /// The deduplicated race batch (deterministic).
+    pub batch: RaceBatch,
+    /// Unit names, in matrix order.
+    pub units: Vec<String>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Shard count used.
+    pub shards: usize,
+    /// End-to-end wall-clock time.
+    pub wall: Duration,
+}
+
+impl CampaignResult {
+    /// Total runs executed.
+    #[must_use]
+    pub fn total_runs(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Runs that reported at least one race.
+    #[must_use]
+    pub fn racy_runs(&self) -> usize {
+        self.records.iter().filter(|r| r.racy).count()
+    }
+
+    /// Fraction of runs that reported a race (0 when no runs executed).
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.racy_runs() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Runs per second of wall-clock time.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.records.len() as f64 / secs
+        }
+    }
+
+    /// Per-shard latency aggregates, by shard id.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let mut stats: Vec<ShardStats> = (0..self.shards)
+            .map(|shard| ShardStats {
+                shard,
+                runs: 0,
+                total: Duration::ZERO,
+                max: Duration::ZERO,
+            })
+            .collect();
+        for r in &self.records {
+            let s = &mut stats[r.shard];
+            s.runs += 1;
+            s.total += r.duration;
+            s.max = s.max.max(r.duration);
+        }
+        stats
+    }
+
+    /// Detection-rate convergence: after each run (in spec order), the
+    /// cumulative number of distinct fingerprints seen. The §3.2 story in
+    /// one curve — more reruns keep exposing new schedule-dependent races
+    /// until the campaign saturates.
+    #[must_use]
+    pub fn convergence(&self) -> Vec<(usize, usize)> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut points = Vec::with_capacity(self.records.len());
+        for (i, r) in self.records.iter().enumerate() {
+            seen.extend(r.fingerprints.iter().copied());
+            points.push((i + 1, seen.len()));
+        }
+        points
+    }
+
+    /// The deterministic projection of the whole campaign — byte-equal
+    /// across worker counts for the same config matrix.
+    #[must_use]
+    pub fn deterministic_digest(&self) -> Vec<(usize, String, u64, bool, Vec<Fingerprint>, u64)> {
+        self.records
+            .iter()
+            .map(|r| {
+                (
+                    r.spec.index,
+                    r.unit_name.clone(),
+                    r.spec.seed,
+                    r.racy,
+                    r.fingerprints.clone(),
+                    r.steps,
+                )
+            })
+            .collect()
+    }
+
+    /// Files the deduplicated batch into a deployment pipeline.
+    pub fn file_into(&self, pipeline: &mut Pipeline, day: u32) -> Vec<(Fingerprint, FileOutcome)> {
+        pipeline.submit_batch(&self.batch, day)
+    }
+}
+
+/// The campaign engine.
+#[derive(Debug)]
+pub struct Campaign {
+    config: CampaignConfig,
+    units: Vec<CampaignUnit>,
+}
+
+impl Campaign {
+    /// A campaign over an explicit unit list.
+    #[must_use]
+    pub fn over_units(config: CampaignConfig, units: Vec<CampaignUnit>) -> Self {
+        Campaign { config, units }
+    }
+
+    /// A campaign over the §4 pattern corpus (racy + fixed variants).
+    #[must_use]
+    pub fn over_patterns(config: CampaignConfig) -> Self {
+        Self::over_units(config, pattern_suite(true))
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The units.
+    #[must_use]
+    pub fn units(&self) -> &[CampaignUnit] {
+        &self.units
+    }
+
+    /// Enumerates the full spec matrix in deterministic order:
+    /// units → seeds → strategies → detectors.
+    #[must_use]
+    pub fn specs(&self) -> Vec<RunSpec> {
+        let mut specs =
+            Vec::with_capacity(self.config.matrix_size(self.units.len()));
+        let mut index = 0;
+        for unit in 0..self.units.len() {
+            for s in 0..self.config.seeds_per_unit {
+                for &strategy in &self.config.strategies {
+                    for &detector in &self.config.detectors {
+                        specs.push(RunSpec {
+                            index,
+                            unit,
+                            seed: self.config.base_seed + s as u64,
+                            strategy,
+                            detector,
+                        });
+                        index += 1;
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Executes one spec: run the program, fingerprint the reports, feed
+    /// the dedup stage, and emit the record.
+    fn execute(&self, spec: RunSpec, worker: usize, shard: usize, dedup: &DedupMap) -> RunRecord {
+        let unit = &self.units[spec.unit];
+        let started = Instant::now();
+        let (outcome, reports) = spec.detector.run(
+            &unit.program,
+            RunConfig {
+                seed: spec.seed,
+                strategy: spec.strategy,
+                max_steps: self.config.max_steps,
+                ..RunConfig::default()
+            },
+        );
+        let duration = started.elapsed();
+        let racy = !reports.is_empty();
+        let mut fingerprints = Vec::with_capacity(reports.len());
+        for mut r in reports {
+            r.program = Some(std::sync::Arc::from(unit.name.as_str()));
+            r.repro_seed = Some(spec.seed);
+            let fp = race_fingerprint(&r);
+            fingerprints.push(fp);
+            dedup.insert(fp, spec.index, r);
+        }
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        RunRecord {
+            spec,
+            unit_name: unit.name.clone(),
+            racy,
+            fingerprints,
+            steps: outcome.steps,
+            worker,
+            shard,
+            duration,
+        }
+    }
+
+    /// Runs the campaign with `config.workers` threads (serial when 1).
+    #[must_use]
+    pub fn run(&self) -> CampaignResult {
+        let started = Instant::now();
+        let specs = self.specs();
+        let workers = self.config.workers.max(1).min(specs.len().max(1));
+        let shards = self.config.shards.max(1);
+        let dedup = DedupMap::new(shards);
+        let mut records: Vec<RunRecord>;
+        if workers <= 1 {
+            // Serial path: same execute + dedup machinery, no threads.
+            records = specs
+                .iter()
+                .map(|&spec| self.execute(spec, 0, spec.index % shards, &dedup))
+                .collect();
+        } else {
+            let queues = ShardQueues::deal(shards, &specs);
+            let collected: Mutex<Vec<RunRecord>> = Mutex::new(Vec::with_capacity(specs.len()));
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let queues = &queues;
+                    let dedup = &dedup;
+                    let collected = &collected;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        while let Some((spec, shard)) = queues.pop(w) {
+                            local.push(self.execute(spec, w, shard, dedup));
+                        }
+                        collected
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .extend(local);
+                    });
+                }
+            });
+            records = collected
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            records.sort_by_key(|r| r.spec.index);
+        }
+        CampaignResult {
+            records,
+            batch: dedup.into_batch(),
+            units: self.units.iter().map(|u| u.name.clone()).collect(),
+            workers,
+            shards,
+            wall: started.elapsed(),
+        }
+    }
+
+    /// Runs the campaign serially regardless of the configured worker
+    /// count — the reference output for differential tests.
+    #[must_use]
+    pub fn run_serial(&self) -> CampaignResult {
+        Campaign {
+            config: self.config.clone().workers(1),
+            units: self.units.clone(),
+        }
+        .run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_units() -> Vec<CampaignUnit> {
+        pattern_suite(true)
+            .into_iter()
+            .filter(|u| u.name.starts_with("loop_index_capture") || u.name.starts_with("missing_lock"))
+            .collect()
+    }
+
+    #[test]
+    fn matrix_enumeration_is_dense_and_ordered() {
+        let c = Campaign::over_units(
+            CampaignConfig::smoke().seeds_per_unit(3),
+            tiny_units(),
+        );
+        let specs = c.specs();
+        assert_eq!(specs.len(), c.config().matrix_size(c.units().len()));
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_equals_serial_campaign() {
+        let config = CampaignConfig::smoke().seeds_per_unit(4).shards(4);
+        let c = Campaign::over_units(config, tiny_units());
+        let serial = c.run_serial();
+        for workers in [2, 4] {
+            let par = Campaign::over_units(
+                c.config().clone().workers(workers),
+                c.units().to_vec(),
+            )
+            .run();
+            assert_eq!(par.deterministic_digest(), serial.deterministic_digest());
+            assert_eq!(par.batch.fingerprints(), serial.batch.fingerprints());
+            let pr: Vec<_> = par
+                .batch
+                .iter()
+                .map(|(fp, r)| (fp, r.repro_seed))
+                .collect();
+            let sr: Vec<_> = serial
+                .batch
+                .iter()
+                .map(|(fp, r)| (fp, r.repro_seed))
+                .collect();
+            assert_eq!(pr, sr, "dedup representatives must match");
+        }
+    }
+
+    #[test]
+    fn racy_units_detected_fixed_units_clean() {
+        let c = Campaign::over_units(
+            CampaignConfig::smoke().seeds_per_unit(12),
+            tiny_units(),
+        );
+        let r = c.run();
+        for unit in c.units() {
+            let unit_racy = r
+                .records
+                .iter()
+                .filter(|rec| rec.unit_name == unit.name)
+                .any(|rec| rec.racy);
+            assert_eq!(
+                Some(unit_racy),
+                unit.expected_racy,
+                "unit {}",
+                unit.name
+            );
+        }
+        assert!(r.detection_rate() > 0.0);
+        assert!(!r.batch.is_empty());
+    }
+
+    #[test]
+    fn corpus_suite_compiles_and_campaigns() {
+        let c = Campaign::over_units(
+            CampaignConfig::smoke().seeds_per_unit(6),
+            corpus_suite(),
+        );
+        let r = c.run();
+        assert_eq!(r.total_runs(), c.config().matrix_size(c.units().len()));
+        // The racy Go sources must be caught; fixed must stay silent.
+        for unit in c.units() {
+            if unit.expected_racy == Some(false) {
+                assert!(
+                    r.records
+                        .iter()
+                        .filter(|rec| rec.unit_name == unit.name)
+                        .all(|rec| !rec.racy),
+                    "false positive in {}",
+                    unit.name
+                );
+            }
+        }
+        assert!(r.racy_runs() > 0);
+    }
+
+    #[test]
+    fn filing_the_batch_dedups_into_the_pipeline() {
+        let c = Campaign::over_units(
+            CampaignConfig::smoke().seeds_per_unit(6),
+            tiny_units(),
+        );
+        let r = c.run();
+        let mut pipeline = Pipeline::new(grs_deploy::OwnerDb::new());
+        let outcomes = r.file_into(&mut pipeline, 0);
+        assert_eq!(outcomes.len(), r.batch.len());
+        assert!(outcomes
+            .iter()
+            .all(|(_, o)| matches!(o, FileOutcome::Filed { .. })));
+        // Day two: all duplicates.
+        let again = r.file_into(&mut pipeline, 1);
+        assert!(again.iter().all(|(_, o)| *o == FileOutcome::Duplicate));
+    }
+
+    #[test]
+    fn convergence_is_monotone() {
+        let c = Campaign::over_units(CampaignConfig::smoke(), tiny_units());
+        let r = c.run();
+        let conv = r.convergence();
+        assert_eq!(conv.len(), r.total_runs());
+        for w in conv.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(conv.last().unwrap().1, r.batch.len());
+    }
+
+    #[test]
+    fn shard_stats_cover_every_run() {
+        let c = Campaign::over_units(
+            CampaignConfig::smoke().seeds_per_unit(4).workers(2).shards(3),
+            tiny_units(),
+        );
+        let r = c.run();
+        let stats = r.shard_stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(
+            stats.iter().map(|s| s.runs).sum::<usize>(),
+            r.total_runs()
+        );
+    }
+}

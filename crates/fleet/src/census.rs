@@ -1,0 +1,383 @@
+//! The datacenter fleet concurrency census (Figure 1, Observation 2).
+//!
+//! The paper scanned Uber's data centers — 130K Go processes, 39.5K Java,
+//! 19K Python, 7K NodeJS — counting threads per process (`pprof` goroutine
+//! counts for Go), and plotted a cumulative frequency distribution of
+//! per-process concurrency. Headline numbers: median concurrency 16 for
+//! NodeJS and Python, 256 for Java, and 2048 for Go (8× Java), with the Go
+//! tail reaching ~130K goroutines.
+//!
+//! We cannot scan Uber's fleet, so this module models each language's
+//! per-process concurrency as a categorical distribution over
+//! power-of-two buckets calibrated to the figure's reading (the paper
+//! itself reports bucketed values: "about 10% of \[Java\] cases have 4096
+//! threads, and 7% have 8192"; "about 6% of \[Go\] processes contain 8102
+//! goroutines"). Sampling a synthetic fleet and computing the CDF
+//! regenerates Figure 1's series.
+//!
+//! # Example
+//!
+//! ```
+//! use grs_fleet::{census, CensusConfig, Language};
+//!
+//! let fleet = census(&CensusConfig::paper_scaled(0.01), 7);
+//! let go = fleet.cdf(Language::Go);
+//! let java = fleet.cdf(Language::Java);
+//! assert_eq!(go.median(), 2048);
+//! assert_eq!(java.median(), 256);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four languages of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Language {
+    /// NodeJS services (7K processes in the paper's scan).
+    NodeJs,
+    /// Python services (19K processes).
+    Python,
+    /// Java services (39.5K processes).
+    Java,
+    /// Go services (130K processes).
+    Go,
+}
+
+impl Language {
+    /// All four languages, in the paper's presentation order.
+    #[must_use]
+    pub fn all() -> [Language; 4] {
+        [
+            Language::NodeJs,
+            Language::Python,
+            Language::Java,
+            Language::Go,
+        ]
+    }
+
+    /// Number of processes the paper scanned for this language.
+    #[must_use]
+    pub fn paper_process_count(self) -> u64 {
+        match self {
+            Language::NodeJs => 7_000,
+            Language::Python => 19_000,
+            Language::Java => 39_500,
+            Language::Go => 130_000,
+        }
+    }
+
+    /// The per-process concurrency distribution, as `(level, weight)`
+    /// buckets over powers of two, calibrated to Figure 1.
+    #[must_use]
+    pub fn concurrency_buckets(self) -> &'static [(u32, f64)] {
+        match self {
+            // "NodeJS typically has 16 threads."
+            Language::NodeJs => &[(8, 0.10), (16, 0.70), (32, 0.15), (64, 0.05)],
+            // "Python typically has less than 16-32 threads."
+            Language::Python => &[
+                (8, 0.15),
+                (16, 0.50),
+                (32, 0.25),
+                (64, 0.08),
+                (128, 0.02),
+            ],
+            // "Java often has between 128-1024 threads; about 10% of cases
+            // have 4096 threads, and 7% have 8192." Median 256.
+            Language::Java => &[
+                (64, 0.03),
+                (128, 0.14),
+                (256, 0.38),
+                (512, 0.16),
+                (1024, 0.07),
+                (2048, 0.05),
+                (4096, 0.10),
+                (8192, 0.07),
+            ],
+            // "Go processes have 1024-4096 goroutines; about 6% contain
+            // 8102; the max reaches about 130K." Median 2048.
+            Language::Go => &[
+                (256, 0.05),
+                (512, 0.10),
+                (1024, 0.20),
+                (2048, 0.25),
+                (4096, 0.25),
+                (8192, 0.06),
+                (16384, 0.04),
+                (32768, 0.02),
+                (65536, 0.02),
+                (131072, 0.01),
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for Language {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Language::NodeJs => "NodeJS",
+            Language::Python => "Python",
+            Language::Java => "Java",
+            Language::Go => "Go",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How many processes to sample per language.
+#[derive(Debug, Clone)]
+pub struct CensusConfig {
+    /// `(language, process count)` pairs.
+    pub processes: Vec<(Language, u64)>,
+}
+
+impl CensusConfig {
+    /// The paper's process counts scaled by `scale` (1.0 = full fleet).
+    #[must_use]
+    pub fn paper_scaled(scale: f64) -> Self {
+        CensusConfig {
+            processes: Language::all()
+                .into_iter()
+                .map(|l| {
+                    (
+                        l,
+                        ((l.paper_process_count() as f64 * scale) as u64).max(100),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        Self::paper_scaled(0.01)
+    }
+}
+
+/// One language's sampled fleet.
+#[derive(Debug, Clone)]
+pub struct LanguageSample {
+    /// The language.
+    pub language: Language,
+    /// Per-process concurrency levels.
+    pub levels: Vec<u32>,
+}
+
+/// The full fleet census.
+#[derive(Debug, Clone)]
+pub struct Census {
+    samples: Vec<LanguageSample>,
+}
+
+impl Census {
+    /// The per-language samples.
+    #[must_use]
+    pub fn samples(&self) -> &[LanguageSample] {
+        &self.samples
+    }
+
+    /// The CDF for one language.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the language was not part of the census configuration.
+    #[must_use]
+    pub fn cdf(&self, language: Language) -> Cdf {
+        let sample = self
+            .samples
+            .iter()
+            .find(|s| s.language == language)
+            .expect("language was sampled");
+        Cdf::from_levels(&sample.levels)
+    }
+
+    /// Figure 1's series: for each language, `(level, cumulative fraction)`
+    /// points.
+    #[must_use]
+    pub fn figure1_series(&self) -> Vec<(Language, Vec<(u32, f64)>)> {
+        self.samples
+            .iter()
+            .map(|s| (s.language, Cdf::from_levels(&s.levels).points().to_vec()))
+            .collect()
+    }
+}
+
+/// Samples a synthetic fleet.
+#[must_use]
+pub fn census(config: &CensusConfig, seed: u64) -> Census {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = config
+        .processes
+        .iter()
+        .map(|&(language, n)| {
+            let buckets = language.concurrency_buckets();
+            let levels = (0..n).map(|_| sample_bucket(buckets, &mut rng)).collect();
+            LanguageSample { language, levels }
+        })
+        .collect();
+    Census { samples }
+}
+
+fn sample_bucket(buckets: &[(u32, f64)], rng: &mut StdRng) -> u32 {
+    let total: f64 = buckets.iter().map(|(_, w)| w).sum();
+    let mut target = rng.gen_range(0.0..total);
+    for &(level, w) in buckets {
+        if target < w {
+            return level;
+        }
+        target -= w;
+    }
+    buckets.last().expect("non-empty buckets").0
+}
+
+/// An empirical cumulative distribution over concurrency levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    points: Vec<(u32, f64)>,
+    n: usize,
+}
+
+impl Cdf {
+    /// Builds the CDF of a sample.
+    #[must_use]
+    pub fn from_levels(levels: &[u32]) -> Self {
+        let mut sorted = levels.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mut points = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = sorted[i];
+            let mut j = i;
+            while j < n && sorted[j] == v {
+                j += 1;
+            }
+            points.push((v, j as f64 / n as f64));
+            i = j;
+        }
+        Cdf { points, n }
+    }
+
+    /// The `(level, cumulative fraction)` step points, ascending.
+    #[must_use]
+    pub fn points(&self) -> &[(u32, f64)] {
+        &self.points
+    }
+
+    /// Sample size.
+    #[must_use]
+    pub fn sample_size(&self) -> usize {
+        self.n
+    }
+
+    /// The cumulative fraction at (or below) `level`.
+    #[must_use]
+    pub fn fraction_at(&self, level: u32) -> f64 {
+        let mut f = 0.0;
+        for &(v, cum) in &self.points {
+            if v <= level {
+                f = cum;
+            } else {
+                break;
+            }
+        }
+        f
+    }
+
+    /// The `q`-quantile level (e.g. `0.5` = median).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u32 {
+        for &(v, cum) in &self.points {
+            if cum >= q {
+                return v;
+            }
+        }
+        self.points.last().map_or(0, |&(v, _)| v)
+    }
+
+    /// The median concurrency level.
+    #[must_use]
+    pub fn median(&self) -> u32 {
+        self.quantile(0.5)
+    }
+
+    /// The largest observed level.
+    #[must_use]
+    pub fn max(&self) -> u32 {
+        self.points.last().map_or(0, |&(v, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> Census {
+        census(&CensusConfig::paper_scaled(0.02), 11)
+    }
+
+    #[test]
+    fn medians_match_the_paper() {
+        let f = fleet();
+        assert_eq!(f.cdf(Language::NodeJs).median(), 16);
+        assert_eq!(f.cdf(Language::Python).median(), 16);
+        assert_eq!(f.cdf(Language::Java).median(), 256);
+        assert_eq!(f.cdf(Language::Go).median(), 2048);
+    }
+
+    #[test]
+    fn go_has_eight_times_java_concurrency() {
+        let f = fleet();
+        let ratio =
+            f64::from(f.cdf(Language::Go).median()) / f64::from(f.cdf(Language::Java).median());
+        assert!((ratio - 8.0).abs() < f64::EPSILON, "ratio {ratio}");
+    }
+
+    #[test]
+    fn go_tail_reaches_130k() {
+        let f = census(&CensusConfig::paper_scaled(0.05), 3);
+        assert_eq!(f.cdf(Language::Go).max(), 131_072);
+        // NodeJS stays tiny.
+        assert!(f.cdf(Language::NodeJs).max() <= 64);
+    }
+
+    #[test]
+    fn java_heavy_buckets_match_quoted_fractions() {
+        let f = census(&CensusConfig::paper_scaled(0.1), 5);
+        let cdf = f.cdf(Language::Java);
+        let frac_4096 = cdf.fraction_at(4096) - cdf.fraction_at(2048);
+        let frac_8192 = cdf.fraction_at(8192) - cdf.fraction_at(4096);
+        assert!((frac_4096 - 0.10).abs() < 0.02, "4096 bucket {frac_4096}");
+        assert!((frac_8192 - 0.07).abs() < 0.02, "8192 bucket {frac_8192}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let f = fleet();
+        for lang in Language::all() {
+            let cdf = f.cdf(lang);
+            let pts = cdf.points();
+            for w in pts.windows(2) {
+                assert!(w[0].0 < w[1].0);
+                assert!(w[0].1 <= w[1].1);
+            }
+            let last = pts.last().expect("non-empty").1;
+            assert!((last - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn census_is_deterministic() {
+        let a = census(&CensusConfig::default(), 9);
+        let b = census(&CensusConfig::default(), 9);
+        assert_eq!(a.figure1_series(), b.figure1_series());
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let cdf = fleet().cdf(Language::Go);
+        assert!(cdf.quantile(0.25) <= cdf.quantile(0.5));
+        assert!(cdf.quantile(0.5) <= cdf.quantile(0.9));
+        assert!(cdf.quantile(0.9) <= cdf.max());
+    }
+}

@@ -1,0 +1,177 @@
+//! The sharded work-stealing run scheduler.
+//!
+//! A campaign's unit of work is one [`RunSpec`]: execute one program under
+//! one `(seed, strategy, detector)` combination. Specs are enumerated
+//! deterministically up front and dealt round-robin across `S` shard
+//! queues; each of `N` workers owns a home shard (worker `w` → shard
+//! `w % S`) and pops from it until empty, then *steals* from the other
+//! shards' tails. Stealing keeps every core busy through the campaign tail
+//! — pattern programs differ in length by orders of magnitude, so static
+//! partitioning would leave workers idle behind the shard that drew the
+//! long programs (the §3.2 nightly-campaign analogue: test shards are
+//! rebalanced because test durations are wildly skewed).
+//!
+//! Which worker executes a spec never affects its result: every run is a
+//! self-contained deterministic `Runtime` instance, and the campaign
+//! aggregates by spec index, not by completion order.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use grs_detector::DetectorChoice;
+use grs_runtime::Strategy;
+
+/// One schedulable run: `(program × seed × strategy × detector)`, tagged
+/// with its position in the campaign's deterministic enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Position in the campaign's spec enumeration — the deterministic
+    /// tie-breaker for dedup representatives and record ordering.
+    pub index: usize,
+    /// Index of the unit (program) in the campaign's unit list.
+    pub unit: usize,
+    /// Scheduler seed for the run.
+    pub seed: u64,
+    /// Scheduling strategy for the run.
+    pub strategy: Strategy,
+    /// Detection algorithm monitoring the run.
+    pub detector: DetectorChoice,
+}
+
+/// Fixed-size set of spec queues with lock-per-shard stealing.
+#[derive(Debug)]
+pub struct ShardQueues {
+    shards: Vec<Mutex<VecDeque<RunSpec>>>,
+}
+
+impl ShardQueues {
+    /// Deals `specs` round-robin over `shards` queues (spec `i` → shard
+    /// `i % shards`), preserving enumeration order within each shard.
+    #[must_use]
+    pub fn deal(shards: usize, specs: &[RunSpec]) -> Self {
+        let n = shards.max(1);
+        let mut queues: Vec<VecDeque<RunSpec>> = (0..n).map(|_| VecDeque::new()).collect();
+        for (i, spec) in specs.iter().enumerate() {
+            queues[i % n].push_back(*spec);
+        }
+        ShardQueues {
+            shards: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Remaining specs across all shards (racy snapshot; exact only when
+    /// no worker is running).
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Pops the next spec for `worker`: front of its home shard, else the
+    /// *back* of the first non-empty victim shard (scanning from the home
+    /// shard upward). Returns the spec and the shard it came from, or
+    /// `None` when the campaign is drained.
+    pub fn pop(&self, worker: usize) -> Option<(RunSpec, usize)> {
+        let n = self.shards.len();
+        let home = worker % n;
+        {
+            let mut q = self.shards[home]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(spec) = q.pop_front() {
+                return Some((spec, home));
+            }
+        }
+        for off in 1..n {
+            let victim = (home + off) % n;
+            let mut q = self.shards[victim]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(spec) = q.pop_back() {
+                return Some((spec, victim));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(n: usize) -> Vec<RunSpec> {
+        (0..n)
+            .map(|i| RunSpec {
+                index: i,
+                unit: 0,
+                seed: i as u64,
+                strategy: Strategy::Random,
+                detector: DetectorChoice::Hybrid,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deals_round_robin_and_drains_exactly_once() {
+        let q = ShardQueues::deal(3, &specs(10));
+        assert_eq!(q.shard_count(), 3);
+        assert_eq!(q.remaining(), 10);
+        let mut seen = Vec::new();
+        while let Some((s, _)) = q.pop(0) {
+            seen.push(s.index);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(q.remaining(), 0);
+        assert!(q.pop(1).is_none());
+    }
+
+    #[test]
+    fn home_shard_is_drained_in_order_before_stealing() {
+        let q = ShardQueues::deal(2, &specs(6));
+        // Worker 1's home shard holds specs 1, 3, 5 in order.
+        let (a, sa) = q.pop(1).unwrap();
+        let (b, sb) = q.pop(1).unwrap();
+        let (c, sc) = q.pop(1).unwrap();
+        assert_eq!((a.index, b.index, c.index), (1, 3, 5));
+        assert_eq!((sa, sb, sc), (1, 1, 1));
+        // Home empty: the next pop steals from shard 0's tail.
+        let (d, sd) = q.pop(1).unwrap();
+        assert_eq!(d.index, 4);
+        assert_eq!(sd, 0);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let q = ShardQueues::deal(0, &specs(3));
+        assert_eq!(q.shard_count(), 1);
+        assert_eq!(q.remaining(), 3);
+    }
+
+    #[test]
+    fn concurrent_workers_never_duplicate_or_lose_specs() {
+        let q = ShardQueues::deal(4, &specs(200));
+        let taken = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let (q, taken) = (&q, &taken);
+                s.spawn(move || {
+                    while let Some((spec, _)) = q.pop(w) {
+                        taken.lock().unwrap().push(spec.index);
+                    }
+                });
+            }
+        });
+        let mut got = taken.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+    }
+}

@@ -316,30 +316,32 @@ fn lint_goroutine_before_init(
     findings: &mut Vec<Finding>,
 ) {
     for (i, stmt) in block.stmts.iter().enumerate() {
-        if let Stmt::Go { pos, call } = stmt {
-            if let Expr::Call { func: callee, .. } = call {
-                if let Expr::FuncLit { pos: lit_pos, .. } = callee.as_ref() {
-                    let mut later: HashSet<SymbolId> = HashSet::new();
-                    for s in &block.stmts[i + 1..] {
-                        collect_assign_symbols(s, res, &mut later);
+        if let Stmt::Go {
+            pos,
+            call: Expr::Call { func: callee, .. },
+        } = stmt
+        {
+            if let Expr::FuncLit { pos: lit_pos, .. } = callee.as_ref() {
+                let mut later: HashSet<SymbolId> = HashSet::new();
+                for s in &block.stmts[i + 1..] {
+                    collect_assign_symbols(s, res, &mut later);
+                }
+                for &sym_id in res.captures_at(*lit_pos) {
+                    let sym = res.symbol(sym_id);
+                    // ErrCapture owns the err idiom.
+                    if sym.name == "err" || !later.contains(&sym_id) {
+                        continue;
                     }
-                    for &sym_id in res.captures_at(*lit_pos) {
-                        let sym = res.symbol(sym_id);
-                        // ErrCapture owns the err idiom.
-                        if sym.name == "err" || !later.contains(&sym_id) {
-                            continue;
-                        }
-                        findings.push(Finding {
-                            rule: Rule::GoroutineBeforeInit,
-                            pos: *pos,
-                            func: f.name.clone(),
-                            message: format!(
-                                "goroutine reads `{}`, which is assigned only \
-                                 after the `go` statement",
-                                sym.name
-                            ),
-                        });
-                    }
+                    findings.push(Finding {
+                        rule: Rule::GoroutineBeforeInit,
+                        pos: *pos,
+                        func: f.name.clone(),
+                        message: format!(
+                            "goroutine reads `{}`, which is assigned only \
+                             after the `go` statement",
+                            sym.name
+                        ),
+                    });
                 }
             }
         }
@@ -401,13 +403,14 @@ fn collect_go_closures<'a>(block: &'a Block, out: &mut Vec<GoClosure<'a>>) {
 
 fn collect_go_in_stmt<'a>(stmt: &'a Stmt, out: &mut Vec<GoClosure<'a>>) {
     match stmt {
-        Stmt::Go { call, .. } => {
-            if let Expr::Call { func, .. } = call {
-                if let Expr::FuncLit { pos, body, .. } = func.as_ref() {
-                    out.push(GoClosure { pos: *pos, body });
-                    // Nested goroutines inside this closure still matter.
-                    collect_go_closures(body, out);
-                }
+        Stmt::Go {
+            call: Expr::Call { func, .. },
+            ..
+        } => {
+            if let Expr::FuncLit { pos, body, .. } = func.as_ref() {
+                out.push(GoClosure { pos: *pos, body });
+                // Nested goroutines inside this closure still matter.
+                collect_go_closures(body, out);
             }
         }
         Stmt::For { body, .. } => collect_go_closures(body, out),

@@ -190,7 +190,7 @@ pub enum LockMode {
 /// `step` is a global, strictly increasing sequence number: because the
 /// scheduler runs exactly one goroutine at a time, the event stream is a
 /// *total order* consistent with the interleaving that was executed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Event {
     /// Global sequence number of the event.
     pub step: u64,
@@ -201,7 +201,7 @@ pub struct Event {
 }
 
 /// The operation an [`Event`] describes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// `gid` spawned `child` (spawn happens-before the child's first step).
     Spawn {

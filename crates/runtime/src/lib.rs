@@ -78,7 +78,7 @@ pub use ctx::Ctx;
 pub use event::{AccessKind, Event, Frame, SourceLoc, Stack};
 pub use gomap::GoMap;
 pub use ids::{Addr, ChanId, Gid, LockUid, OnceId, WgId};
-pub use monitor::{Monitor, NullMonitor, RecordingMonitor};
+pub use monitor::{Monitor, NullMonitor, RecordingMonitor, TraceHasher};
 pub use runtime::{Program, RunConfig, RunOutcome, Runtime, RuntimeError};
 pub use sched::Strategy;
 pub use slice::GoSlice;

@@ -112,6 +112,80 @@ impl Monitor for CountingMonitor {
     }
 }
 
+/// A monitor that folds the event stream into a single `u64` digest.
+///
+/// Two runs produce the same digest iff they emitted the same event
+/// sequence, which makes this the cheapest possible witness of schedule
+/// determinism: same seed ⇒ same digest, across repeated runs, processes,
+/// and worker-thread counts. The fold is FNV-1a over the events'
+/// `Hash` impl via a deterministic per-event hasher — `DefaultHasher::new()`
+/// is documented to use a fixed (unkeyed) state, unlike `RandomState`, so
+/// digests are stable within a compiler release.
+///
+/// # Example
+///
+/// ```
+/// use grs_runtime::{Program, RunConfig, Runtime, TraceHasher};
+///
+/// let p = Program::new("two", |ctx| {
+///     let x = ctx.cell("x", 0i64);
+///     ctx.write(&x, 1);
+/// });
+/// let (_, h1) = Runtime::new(RunConfig::with_seed(7)).run(&p, TraceHasher::new());
+/// let (_, h2) = Runtime::new(RunConfig::with_seed(7)).run(&p, TraceHasher::new());
+/// assert_eq!(h1.digest(), h2.digest());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TraceHasher {
+    digest: u64,
+    events: u64,
+}
+
+impl Default for TraceHasher {
+    fn default() -> Self {
+        // FNV-1a offset basis.
+        TraceHasher {
+            digest: 0xcbf2_9ce4_8422_2325,
+            events: 0,
+        }
+    }
+}
+
+impl TraceHasher {
+    /// Creates a fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The digest of all events observed so far.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Number of events folded in.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl Monitor for TraceHasher {
+    fn on_event(&mut self, event: &Event) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        event.hash(&mut h);
+        let ev = h.finish();
+        // FNV-1a combine step over the per-event hashes.
+        for byte in ev.to_le_bytes() {
+            self.digest ^= u64::from(byte);
+            self.digest = self.digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.events += 1;
+    }
+}
+
 /// Object-safe bridge that lets the kernel hand a type-erased monitor back
 /// to [`crate::Runtime::run`], which downcasts it to the caller's concrete
 /// type.

@@ -1,13 +1,13 @@
-//! Property tests for the runtime: randomly generated programs obey the
-//! structural invariants no schedule may violate.
+//! Seeded property tests for the runtime: randomly generated programs obey
+//! the structural invariants no schedule may violate.
+//!
+//! These ran under `proptest` when the registry was reachable; they now run
+//! in tier-1 on the vendored `rand` stub: shapes and seeds are drawn from a
+//! fixed-seed `StdRng`, so failures are perfectly reproducible (the case
+//! index pins the inputs).
 
-
-// Gated behind the `props` feature: proptest is an external crate and
-// the tier-1 build must succeed without registry access (restore the
-// dev-dependency to run these).
-#![cfg(feature = "props")]
-
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use grs_runtime::event::EventKind;
 use grs_runtime::{Program, RecordingMonitor, RunConfig, Runtime, Strategy as Sched};
@@ -22,15 +22,23 @@ struct Shape {
     chan_cap: usize,
 }
 
-fn arb_shape() -> impl Strategy<Value = Shape> {
-    (1u8..5, 1u8..6, any::<bool>(), 0usize..4).prop_map(|(workers, ops, use_mutex, chan_cap)| {
-        Shape {
-            workers,
-            ops,
-            use_mutex,
-            chan_cap,
-        }
-    })
+fn gen_shape(rng: &mut StdRng) -> Shape {
+    Shape {
+        workers: rng.gen_range(1..5u8),
+        ops: rng.gen_range(1..6u8),
+        use_mutex: rng.gen_bool(0.5),
+        chan_cap: rng.gen_range(0..4usize),
+    }
+}
+
+/// Runs `body` over `cases` shape/seed pairs from a deterministic rng.
+fn check(seed: u64, cases: usize, mut body: impl FnMut(usize, Shape, u64)) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let shape = gen_shape(&mut rng);
+        let run_seed = rng.gen_range(0..1000u64);
+        body(case, shape, run_seed);
+    }
 }
 
 fn synchronized_program(shape: &Shape) -> Program {
@@ -67,28 +75,30 @@ fn synchronized_program(shape: &Shape) -> Program {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Correctly synchronized programs finish cleanly under every strategy.
-    #[test]
-    fn synchronized_programs_run_clean(shape in arb_shape(), seed in 0u64..1000) {
+/// Correctly synchronized programs finish cleanly under every strategy.
+#[test]
+fn synchronized_programs_run_clean() {
+    check(0xB1, 24, |case, shape, seed| {
         let p = synchronized_program(&shape);
         for strategy in [Sched::Random, Sched::RoundRobin, Sched::Pct { depth: 3 }] {
             let cfg = RunConfig::with_seed(seed).strategy(strategy);
             let (outcome, _) = Runtime::new(cfg).run(&p, grs_runtime::NullMonitor);
-            prop_assert!(
+            assert!(
                 outcome.is_clean(),
-                "{strategy:?}/{seed}: {:?} {:?} {:?}",
-                outcome.errors, outcome.deadlock, outcome.leaked
+                "case {case} {strategy:?}/{seed}: {:?} {:?} {:?}",
+                outcome.errors,
+                outcome.deadlock,
+                outcome.leaked
             );
         }
-    }
+    });
+}
 
-    /// Identical seeds replay identical event traces; the event stream is a
-    /// total order with strictly increasing steps.
-    #[test]
-    fn traces_replay_and_steps_increase(shape in arb_shape(), seed in 0u64..1000) {
+/// Identical seeds replay identical event traces; the event stream is a
+/// total order with strictly increasing steps.
+#[test]
+fn traces_replay_and_steps_increase() {
+    check(0xB2, 24, |case, shape, seed| {
         let p = synchronized_program(&shape);
         let run = |s| {
             let (_, mon) = Runtime::new(RunConfig::with_seed(s)).run(&p, RecordingMonitor::new());
@@ -96,20 +106,22 @@ proptest! {
         };
         let a = run(seed);
         let b = run(seed);
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len(), "case {case}");
         for (x, y) in a.iter().zip(b.iter()) {
-            prop_assert_eq!(x.step, y.step);
-            prop_assert_eq!(x.gid, y.gid);
+            assert_eq!(x.step, y.step, "case {case}");
+            assert_eq!(x.gid, y.gid, "case {case}");
         }
         for w in a.windows(2) {
-            prop_assert!(w[0].step < w[1].step, "steps must strictly increase");
+            assert!(w[0].step < w[1].step, "case {case}: steps must strictly increase");
         }
-    }
+    });
+}
 
-    /// Channel FIFO: per channel, receive seqs replay the send seqs in
-    /// order, and every receive has a matching earlier send.
-    #[test]
-    fn channel_fifo_invariant(shape in arb_shape(), seed in 0u64..1000) {
+/// Channel FIFO: per channel, receive seqs replay the send seqs in order,
+/// and every receive has a matching earlier send.
+#[test]
+fn channel_fifo_invariant() {
+    check(0xB3, 24, |case, shape, seed| {
         let p = synchronized_program(&shape);
         let (_, mon) = Runtime::new(RunConfig::with_seed(seed)).run(&p, RecordingMonitor::new());
         let mut sends = Vec::new();
@@ -124,23 +136,25 @@ proptest! {
                 EventKind::ChanRecv { seq, .. } => {
                     recvs.push(*seq);
                     let s = sent_at.get(seq).copied();
-                    prop_assert!(s.is_some(), "recv of unseen send {seq}");
-                    prop_assert!(s.expect("checked") < e.step, "recv before send");
+                    assert!(s.is_some(), "case {case}: recv of unseen send {seq}");
+                    assert!(s.expect("checked") < e.step, "case {case}: recv before send");
                 }
                 _ => {}
             }
         }
         // FIFO: both sides observe 0,1,2,... in order.
         let sorted: Vec<u64> = (0..sends.len() as u64).collect();
-        prop_assert_eq!(&sends, &sorted);
+        assert_eq!(sends, sorted, "case {case}");
         let sorted_r: Vec<u64> = (0..recvs.len() as u64).collect();
-        prop_assert_eq!(&recvs, &sorted_r);
-    }
+        assert_eq!(recvs, sorted_r, "case {case}");
+    });
+}
 
-    /// Lock events alternate acquire/release per lock, and the WaitGroup
-    /// counter never goes negative in the event stream.
-    #[test]
-    fn lock_and_wg_event_invariants(shape in arb_shape(), seed in 0u64..1000) {
+/// Lock events alternate acquire/release per lock, and the WaitGroup
+/// counter never goes negative in the event stream.
+#[test]
+fn lock_and_wg_event_invariants() {
+    check(0xB4, 24, |case, shape, seed| {
         let p = synchronized_program(&shape);
         let (_, mon) = Runtime::new(RunConfig::with_seed(seed)).run(&p, RecordingMonitor::new());
         let mut held: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
@@ -148,25 +162,27 @@ proptest! {
             match &e.kind {
                 EventKind::Acquire { lock, .. } => {
                     let h = held.entry(lock.0).or_insert(false);
-                    prop_assert!(!*h, "double acquire without release");
+                    assert!(!*h, "case {case}: double acquire without release");
                     *h = true;
                 }
                 EventKind::Release { lock, .. } => {
                     let h = held.entry(lock.0).or_insert(false);
-                    prop_assert!(*h, "release without acquire");
+                    assert!(*h, "case {case}: release without acquire");
                     *h = false;
                 }
                 EventKind::WgAdd { counter, .. } => {
-                    prop_assert!(*counter >= 0, "negative WaitGroup counter");
+                    assert!(*counter >= 0, "case {case}: negative WaitGroup counter");
                 }
                 _ => {}
             }
         }
-    }
+    });
+}
 
-    /// Spawn events precede any event of the spawned goroutine.
-    #[test]
-    fn spawn_precedes_child_events(shape in arb_shape(), seed in 0u64..1000) {
+/// Spawn events precede any event of the spawned goroutine.
+#[test]
+fn spawn_precedes_child_events() {
+    check(0xB5, 24, |case, shape, seed| {
         let p = synchronized_program(&shape);
         let (_, mon) = Runtime::new(RunConfig::with_seed(seed)).run(&p, RecordingMonitor::new());
         let mut spawned_at = std::collections::HashMap::new();
@@ -176,11 +192,11 @@ proptest! {
                 spawned_at.insert(*child, e.step);
             }
             let born = spawned_at.get(&e.gid);
-            prop_assert!(
+            assert!(
                 born.is_some_and(|&b| b <= e.step),
-                "event from unspawned goroutine {}",
+                "case {case}: event from unspawned goroutine {}",
                 e.gid
             );
         }
-    }
+    });
 }

@@ -1,0 +1,204 @@
+//! The parallel campaign driver: run the (program × seed × strategy ×
+//! detector) matrix over the pattern + Go-source corpora, report
+//! throughput, per-shard latency, and detection-rate convergence, and emit
+//! a machine-readable `BENCH_campaign.json`.
+//!
+//! ```sh
+//! cargo run --release --example campaign -- [--workers N] [--seeds N] \
+//!     [--suite pattern|corpus|all] [--serial-baseline] [--out PATH]
+//! ```
+
+use std::fmt::Write as _;
+
+use grs::deploy::{OwnerDb, Pipeline};
+use grs::detector::{default_workers, DetectorChoice};
+use grs::fleet::{corpus_suite, pattern_suite, Campaign, CampaignConfig, CampaignResult};
+use grs::runtime::Strategy;
+
+struct Args {
+    workers: usize,
+    seeds: usize,
+    suite: String,
+    serial_baseline: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: default_workers(),
+        seeds: 32,
+        suite: "all".to_string(),
+        serial_baseline: false,
+        out: "BENCH_campaign.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--workers" => args.workers = value("--workers").parse().expect("workers: integer"),
+            "--seeds" => args.seeds = value("--seeds").parse().expect("seeds: integer"),
+            "--suite" => args.suite = value("--suite"),
+            "--serial-baseline" => args.serial_baseline = true,
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn result_json(r: &CampaignResult, label: &str) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"{{"label":"{}","workers":{},"shards":{},"total_runs":{},"racy_runs":{},"unique_races":{},"detection_rate":{:.4},"wall_ms":{:.3},"throughput_rps":{:.1}"#,
+        json_escape(label),
+        r.workers,
+        r.shards,
+        r.total_runs(),
+        r.racy_runs(),
+        r.batch.len(),
+        r.detection_rate(),
+        r.wall.as_secs_f64() * 1e3,
+        r.throughput_rps(),
+    );
+    s.push_str(",\"shard_latency_ms\":[");
+    for (i, st) in r.shard_stats().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            r#"{{"shard":{},"runs":{},"total_ms":{:.3},"max_ms":{:.3}}}"#,
+            st.shard,
+            st.runs,
+            st.total.as_secs_f64() * 1e3,
+            st.max.as_secs_f64() * 1e3,
+        );
+    }
+    s.push_str("],\"convergence\":[");
+    // Subsample the curve to <= 64 points to keep the artifact small.
+    let conv = r.convergence();
+    let step = (conv.len() / 64).max(1);
+    let mut first = true;
+    for (i, (runs, unique)) in conv.iter().enumerate() {
+        if i % step != 0 && i != conv.len() - 1 {
+            continue;
+        }
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "[{runs},{unique}]");
+    }
+    s.push_str("]}");
+    s
+}
+
+fn main() {
+    let args = parse_args();
+    let units = match args.suite.as_str() {
+        "pattern" => pattern_suite(true),
+        "corpus" => corpus_suite(),
+        "all" => {
+            let mut u = pattern_suite(true);
+            u.extend(corpus_suite());
+            u
+        }
+        other => panic!("--suite must be pattern|corpus|all, got {other}"),
+    };
+    let config = CampaignConfig::nightly()
+        .seeds_per_unit(args.seeds)
+        .workers(args.workers)
+        .shards(2 * args.workers)
+        .detectors(vec![DetectorChoice::Hybrid])
+        .strategies(vec![Strategy::Random, Strategy::Pct { depth: 2 }]);
+    let campaign = Campaign::over_units(config.clone(), units);
+
+    println!("== campaign: {} units × {} seeds × {} strategies × {} detectors = {} runs ==",
+        campaign.units().len(),
+        config.seeds_per_unit,
+        config.strategies.len(),
+        config.detectors.len(),
+        config.matrix_size(campaign.units().len()),
+    );
+    println!("   workers {} · shards {}", config.workers, config.shards);
+
+    let result = campaign.run();
+    println!(
+        "parallel: {} runs in {:.1} ms ({:.0} runs/s), {} racy runs, {} unique races",
+        result.total_runs(),
+        result.wall.as_secs_f64() * 1e3,
+        result.throughput_rps(),
+        result.racy_runs(),
+        result.batch.len(),
+    );
+    for st in result.shard_stats() {
+        println!(
+            "   shard {:>2}: {:>4} runs, {:>8.1} ms total, {:>6.2} ms max",
+            st.shard,
+            st.runs,
+            st.total.as_secs_f64() * 1e3,
+            st.max.as_secs_f64() * 1e3,
+        );
+    }
+    let conv = result.convergence();
+    if let Some(&(_, total)) = conv.last() {
+        // Where the campaign reached 50% / 90% / 100% of its final yield —
+        // the §3.2 flakiness story quantified.
+        for frac in [0.5, 0.9, 1.0] {
+            let target = (total as f64 * frac).ceil() as usize;
+            if let Some(&(runs, _)) = conv.iter().find(|&&(_, u)| u >= target) {
+                println!(
+                    "   {:>3.0}% of races found after {runs} runs ({:.1}% of the campaign)",
+                    frac * 100.0,
+                    100.0 * runs as f64 / conv.len() as f64
+                );
+            }
+        }
+    }
+
+    // File the deduped batch into the deployment pipeline (day 0).
+    let mut pipeline = Pipeline::new(OwnerDb::new());
+    let outcomes = result.file_into(&mut pipeline, 0);
+    println!(
+        "pipeline: filed {} tasks from {} deduped races ({} raw reports)",
+        pipeline.tracker().total_filed(),
+        outcomes.len(),
+        result.batch.raw_reports(),
+    );
+
+    let mut sections = vec![result_json(&result, "parallel")];
+    if args.serial_baseline {
+        let serial = campaign.run_serial();
+        println!(
+            "serial:   {} runs in {:.1} ms ({:.0} runs/s) — speedup {:.2}×",
+            serial.total_runs(),
+            serial.wall.as_secs_f64() * 1e3,
+            serial.throughput_rps(),
+            serial.wall.as_secs_f64() / result.wall.as_secs_f64().max(1e-9),
+        );
+        assert_eq!(
+            serial.deterministic_digest(),
+            result.deterministic_digest(),
+            "serial and parallel campaigns must agree"
+        );
+        sections.push(result_json(&serial, "serial"));
+    }
+
+    let json = format!(
+        r#"{{"suite":"{}","seeds_per_unit":{},"units":{},"results":[{}]}}"#,
+        json_escape(&args.suite),
+        config.seeds_per_unit,
+        campaign.units().len(),
+        sections.join(","),
+    );
+    std::fs::write(&args.out, format!("{json}\n")).expect("write JSON summary");
+    println!("wrote {}", args.out);
+}

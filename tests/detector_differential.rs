@@ -1,0 +1,168 @@
+//! The differential detector harness.
+//!
+//! Three algorithms watch the same executions: FastTrack (happens-before),
+//! Eraser (locksets), and the TSan-style hybrid. Their theoretical
+//! relationship is checkable on every pattern of the corpus:
+//!
+//! * the **hybrid's verdict is FastTrack's verdict** on every single run —
+//!   it adds lockset context to reports, never changes raciness;
+//! * **Eraser over-approximates FastTrack**: a FastTrack race means the two
+//!   accesses were unordered, so no common lock can have protected both —
+//!   Eraser must also consider the variable unprotected (checked as an
+//!   aggregate over the seed budget, since Eraser's state machine defers
+//!   reporting until sharing is observed);
+//! * on **racy patterns** all three agree: racy, within the seed budget;
+//! * on **fixed patterns** the happens-before detectors never report
+//!   (no-false-positive guarantee; Eraser is exempt — flagging
+//!   channel-synchronized fixes is its documented imprecision).
+//!
+//! The harness also proves the parallel explorer is a pure optimization:
+//! serial and parallel exploration produce identical deduped fingerprint
+//! sets, with identical per-seed repro attribution.
+
+use grs::deploy::race_fingerprint;
+use grs::detector::{DetectorChoice, ExploreConfig, Explorer};
+use grs::patterns;
+use grs::runtime::RunConfig;
+
+const SEEDS: u64 = 32;
+
+/// Per-seed verdicts of one detector over one program.
+fn verdicts(program: &grs::runtime::Program, detector: DetectorChoice) -> Vec<bool> {
+    (0..SEEDS)
+        .map(|seed| {
+            let (_, reports) = detector.run(program, RunConfig::with_seed(seed));
+            !reports.is_empty()
+        })
+        .collect()
+}
+
+#[test]
+fn hybrid_equals_fasttrack_on_every_run_of_every_pattern() {
+    for p in patterns::registry() {
+        for program in [p.racy_program(), p.fixed_program()] {
+            let ft = verdicts(&program, DetectorChoice::FastTrack);
+            let hy = verdicts(&program, DetectorChoice::Hybrid);
+            assert_eq!(
+                ft, hy,
+                "{}/{}: hybrid must carry FastTrack's verdict per seed",
+                p.id,
+                program.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_three_detectors_agree_racy_patterns_are_racy() {
+    for p in patterns::registry() {
+        let program = p.racy_program();
+        for detector in DetectorChoice::all() {
+            let caught = verdicts(&program, detector).iter().any(|&r| r);
+            assert!(
+                caught,
+                "{}: {detector} missed the race in {SEEDS} seeds",
+                p.id
+            );
+        }
+    }
+}
+
+#[test]
+fn happens_before_detectors_never_flag_fixed_patterns() {
+    for p in patterns::registry() {
+        let program = p.fixed_program();
+        for detector in [DetectorChoice::FastTrack, DetectorChoice::Hybrid] {
+            assert!(
+                !verdicts(&program, detector).iter().any(|&r| r),
+                "{}: {detector} false positive on the fixed variant",
+                p.id
+            );
+        }
+    }
+}
+
+#[test]
+fn eraser_over_approximates_fasttrack() {
+    // Aggregate direction: wherever FastTrack finds a race within the seed
+    // budget, Eraser must too — the unordered accesses cannot have shared a
+    // lock, so the lockset refinement must have emptied.
+    for p in patterns::registry() {
+        for program in [p.racy_program(), p.fixed_program()] {
+            let ft_any = verdicts(&program, DetectorChoice::FastTrack)
+                .iter()
+                .any(|&r| r);
+            let er_any = verdicts(&program, DetectorChoice::Eraser)
+                .iter()
+                .any(|&r| r);
+            if ft_any {
+                assert!(
+                    er_any,
+                    "{}/{}: FastTrack raced but Eraser stayed silent",
+                    p.id,
+                    program.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serial_and_parallel_exploration_have_identical_fingerprints() {
+    // The acceptance check: per-seed deduped fingerprint sets from
+    // `explore_parallel` are byte-identical to the serial path, for every
+    // executable pattern and both worker counts we can exercise.
+    for p in patterns::registry() {
+        let program = p.racy_program();
+        let cfg = ExploreConfig::quick().runs(SEEDS as usize).base_seed(0);
+        let serial = Explorer::new(cfg.clone()).explore(&program);
+        let serial_fps: Vec<_> = serial
+            .unique_races
+            .iter()
+            .map(|r| (race_fingerprint(r), r.repro_seed))
+            .collect();
+        for workers in [2, 4, 8] {
+            let par = Explorer::new(cfg.clone().workers(workers)).explore_parallel(&program);
+            let par_fps: Vec<_> = par
+                .unique_races
+                .iter()
+                .map(|r| (race_fingerprint(r), r.repro_seed))
+                .collect();
+            assert_eq!(
+                par_fps, serial_fps,
+                "{}: {workers}-worker exploration diverged from serial",
+                p.id
+            );
+            assert_eq!(par.racy_runs, serial.racy_runs, "{}", p.id);
+            assert_eq!(par.deadlock_runs, serial.deadlock_runs, "{}", p.id);
+            assert_eq!(par.error_runs, serial.error_runs, "{}", p.id);
+        }
+    }
+}
+
+#[test]
+fn campaign_differential_serial_vs_parallel() {
+    use grs::fleet::{Campaign, CampaignConfig};
+    // A cross-detector campaign over a slice of the corpus: the parallel
+    // engine's deterministic output (records + deduped batch) must equal
+    // the serial engine's, per seed, per strategy, per detector.
+    let units: Vec<_> = grs::fleet::pattern_suite(true)
+        .into_iter()
+        .take(8)
+        .collect();
+    let config = CampaignConfig::smoke()
+        .seeds_per_unit(4)
+        .detectors(vec![DetectorChoice::FastTrack, DetectorChoice::Hybrid])
+        .shards(4);
+    let campaign = Campaign::over_units(config.clone(), units.clone());
+    let serial = campaign.run_serial();
+    for workers in [2, 4] {
+        let par = Campaign::over_units(config.clone().workers(workers), units.clone()).run();
+        assert_eq!(
+            par.deterministic_digest(),
+            serial.deterministic_digest(),
+            "{workers}-worker campaign diverged"
+        );
+        assert_eq!(par.batch.fingerprints(), serial.batch.fingerprints());
+    }
+}
