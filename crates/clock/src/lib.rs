@@ -39,7 +39,7 @@ pub mod lockset;
 pub mod vc;
 
 pub use epoch::Epoch;
-pub use lockset::{LockId, Lockset};
+pub use lockset::{LockId, Lockset, LocksetId, LocksetInterner};
 pub use vc::{Tid, VectorClock};
 
 /// Ordering between two points in logical time.

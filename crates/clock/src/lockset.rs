@@ -131,6 +131,28 @@ impl Lockset {
         *self = self.intersection(other);
     }
 
+    /// True when every member of `self` is also in `other` (in which case
+    /// `self.intersection(other) == *self` — used to skip allocating the
+    /// intersection on the detectors' steady-state path).
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Lockset) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.locks.len() {
+            if j >= other.locks.len() {
+                return false;
+            }
+            match self.locks[i].cmp(&other.locks[j]) {
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
     /// True when the intersection with `other` is non-empty, i.e. at least
     /// one lock consistently protects both accesses.
     #[must_use]
@@ -180,6 +202,155 @@ impl fmt::Display for Lockset {
             write!(f, "{l}")?;
         }
         write!(f, "}}")
+    }
+}
+
+/// A compact reference to a lockset interned in a [`LocksetInterner`].
+///
+/// `LocksetId::EMPTY` (0) always names the empty set. Detectors store this
+/// `u32` in their per-access shadow state instead of cloning a `Lockset`
+/// per event; the clone cost moves to acquire/release (rare) and to the
+/// first time a distinct set is seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LocksetId(u32);
+
+impl LocksetId {
+    /// The empty lockset (no locks held).
+    pub const EMPTY: LocksetId = LocksetId(0);
+
+    /// The raw id.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for LocksetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ls{}", self.0)
+    }
+}
+
+/// Interns [`Lockset`]s as dense `u32` ids with memoized intersection.
+///
+/// Real programs hold a handful of distinct lock combinations, so the table
+/// stays tiny even across long runs; ids are assigned in first-intern order
+/// (deterministic for a deterministic event stream).
+///
+/// # Example
+///
+/// ```
+/// use grs_clock::{LockId, Lockset, LocksetId, LocksetInterner};
+///
+/// let mut interner = LocksetInterner::new();
+/// let ab: Lockset = [LockId::new(1), LockId::new(2)].into_iter().collect();
+/// let b: Lockset = [LockId::new(2)].into_iter().collect();
+/// let ab_id = interner.intern(&ab);
+/// let b_id = interner.intern(&b);
+/// assert_eq!(interner.intern(&ab), ab_id); // deduplicated
+/// assert_eq!(interner.intersect(ab_id, b_id), b_id); // {1,2} ∩ {2} = {2}
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocksetInterner {
+    /// `sets[i]` is the set with id `i`; `sets[0]` is always the empty set.
+    sets: Vec<Lockset>,
+    index: std::collections::HashMap<Lockset, LocksetId>,
+    /// `(smaller id, larger id) → intersection id`, so the per-access
+    /// refinement path is a single hash probe with no allocation.
+    intersect_memo: std::collections::HashMap<(u32, u32), LocksetId>,
+}
+
+impl Default for LocksetInterner {
+    fn default() -> Self {
+        let mut index = std::collections::HashMap::new();
+        index.insert(Lockset::new(), LocksetId::EMPTY);
+        LocksetInterner {
+            sets: vec![Lockset::new()],
+            index,
+            intersect_memo: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl LocksetInterner {
+    /// Creates an interner holding only the empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `set`, returning the existing id when this exact set was
+    /// seen before (clones only on a miss).
+    pub fn intern(&mut self, set: &Lockset) -> LocksetId {
+        if set.is_empty() {
+            return LocksetId::EMPTY;
+        }
+        if let Some(&id) = self.index.get(set) {
+            return id;
+        }
+        let id = LocksetId(self.sets.len() as u32);
+        self.sets.push(set.clone());
+        self.index.insert(set.clone(), id);
+        id
+    }
+
+    /// The set `id` names.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not issued by this interner (or predates a
+    /// [`LocksetInterner::reset`]).
+    #[must_use]
+    pub fn get(&self, id: LocksetId) -> &Lockset {
+        &self.sets[id.0 as usize]
+    }
+
+    /// The id of `a ∩ b`, memoized: the first intersection of a given pair
+    /// materializes the set, every later one is a hash probe.
+    pub fn intersect(&mut self, a: LocksetId, b: LocksetId) -> LocksetId {
+        if a == b {
+            return a;
+        }
+        if a == LocksetId::EMPTY || b == LocksetId::EMPTY {
+            return LocksetId::EMPTY;
+        }
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if let Some(&id) = self.intersect_memo.get(&key) {
+            return id;
+        }
+        let meet = self.sets[a.0 as usize].intersection(&self.sets[b.0 as usize]);
+        let id = self.intern(&meet);
+        self.intersect_memo.insert(key, id);
+        id
+    }
+
+    /// True when the two sets share at least one lock (no allocation).
+    #[must_use]
+    pub fn shares_lock(&self, a: LocksetId, b: LocksetId) -> bool {
+        self.sets[a.0 as usize].shares_lock_with(&self.sets[b.0 as usize])
+    }
+
+    /// Number of distinct interned sets (≥ 1: the empty set is always in).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True only for a hypothetical empty interner; always `false` (the
+    /// empty set is always present), provided to satisfy the `len`/
+    /// `is_empty` convention.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forgets every interned set except the empty set, keeping container
+    /// allocations warm. All previously issued non-empty ids become
+    /// invalid; detectors call this from their `reset()` between runs.
+    pub fn reset(&mut self) {
+        self.sets.truncate(1);
+        self.index.retain(|set, _| set.is_empty());
+        self.intersect_memo.clear();
     }
 }
 
@@ -246,5 +417,52 @@ mod tests {
         let b: Lockset = [l(2), l(3)].into_iter().collect();
         a.intersect_with(&b);
         assert_eq!(a, [l(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn subset_checks() {
+        let ab: Lockset = [l(1), l(2)].into_iter().collect();
+        let a: Lockset = [l(1)].into_iter().collect();
+        let c: Lockset = [l(3)].into_iter().collect();
+        assert!(a.is_subset_of(&ab));
+        assert!(!ab.is_subset_of(&a));
+        assert!(!c.is_subset_of(&ab));
+        assert!(Lockset::new().is_subset_of(&a));
+        assert!(ab.is_subset_of(&ab));
+    }
+
+    #[test]
+    fn interner_dedups_and_intersects() {
+        let mut it = LocksetInterner::new();
+        assert_eq!(it.intern(&Lockset::new()), LocksetId::EMPTY);
+        let ab: Lockset = [l(1), l(2)].into_iter().collect();
+        let b: Lockset = [l(2)].into_iter().collect();
+        let ab_id = it.intern(&ab);
+        let b_id = it.intern(&b);
+        assert_ne!(ab_id, b_id);
+        assert_eq!(it.intern(&ab), ab_id);
+        assert_eq!(it.get(ab_id), &ab);
+        // Intersection is memoized and hits existing ids where possible.
+        assert_eq!(it.intersect(ab_id, b_id), b_id);
+        assert_eq!(it.intersect(b_id, ab_id), b_id);
+        assert_eq!(it.intersect(ab_id, LocksetId::EMPTY), LocksetId::EMPTY);
+        assert!(it.shares_lock(ab_id, b_id));
+        // Disjoint sets meet at the empty set.
+        let c: Lockset = [l(9)].into_iter().collect();
+        let c_id = it.intern(&c);
+        assert_eq!(it.intersect(ab_id, c_id), LocksetId::EMPTY);
+        assert!(!it.shares_lock(ab_id, c_id));
+    }
+
+    #[test]
+    fn interner_reset_reissues_ids_deterministically() {
+        let mut it = LocksetInterner::new();
+        let ab: Lockset = [l(1), l(2)].into_iter().collect();
+        let first = it.intern(&ab);
+        it.reset();
+        assert_eq!(it.len(), 1);
+        assert_eq!(it.intern(&Lockset::new()), LocksetId::EMPTY);
+        let again = it.intern(&ab);
+        assert_eq!(first, again);
     }
 }

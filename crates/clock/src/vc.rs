@@ -52,6 +52,104 @@ impl From<u32> for Tid {
     }
 }
 
+/// How many components live inline before the clock spills to the heap.
+/// The study's patterns run a handful of goroutines, so nearly every clock
+/// in a campaign stays inline (zero heap allocations on the detector's
+/// per-access path).
+const INLINE_SLOTS: usize = 8;
+
+/// Small-vector storage for clock components.
+///
+/// Invariant: in the `Inline` form, `buf[len..]` is always zero, so reads
+/// past `len` need no masking and growing inline is just raising `len`.
+#[derive(Debug)]
+enum Slots {
+    Inline { len: u8, buf: [u32; INLINE_SLOTS] },
+    Heap(Vec<u32>),
+}
+
+impl Clone for Slots {
+    fn clone(&self) -> Self {
+        match self {
+            Slots::Inline { len, buf } => Slots::Inline {
+                len: *len,
+                buf: *buf,
+            },
+            Slots::Heap(v) => Slots::Heap(v.clone()),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Keep an existing heap allocation instead of reallocating — this is
+        // what makes `VectorClock::clone_from` free for recycled clocks.
+        if let Slots::Heap(dst) = self {
+            dst.clear();
+            dst.extend_from_slice(source.as_slice());
+        } else {
+            *self = source.clone();
+        }
+    }
+}
+
+impl Slots {
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Slots::Inline { len, buf } => &buf[..*len as usize],
+            Slots::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u32] {
+        match self {
+            Slots::Inline { len, buf } => &mut buf[..*len as usize],
+            Slots::Heap(v) => v,
+        }
+    }
+
+    /// Grows to at least `n` zero-filled components.
+    fn grow_to(&mut self, n: usize) {
+        match self {
+            Slots::Inline { len, buf } => {
+                if n <= INLINE_SLOTS {
+                    if n > *len as usize {
+                        *len = n as u8;
+                    }
+                } else {
+                    let mut v = Vec::with_capacity(n.max(2 * INLINE_SLOTS));
+                    v.extend_from_slice(&buf[..*len as usize]);
+                    v.resize(n, 0);
+                    *self = Slots::Heap(v);
+                }
+            }
+            Slots::Heap(v) => {
+                if n > v.len() {
+                    v.resize(n, 0);
+                }
+            }
+        }
+    }
+
+    /// Zeroes the clock in place, keeping a heap allocation if one exists.
+    fn clear(&mut self) {
+        match self {
+            Slots::Inline { len, buf } => {
+                buf[..*len as usize].fill(0);
+                *len = 0;
+            }
+            Slots::Heap(v) => v.clear(),
+        }
+    }
+}
+
+impl Default for Slots {
+    fn default() -> Self {
+        Slots::Inline {
+            len: 0,
+            buf: [0; INLINE_SLOTS],
+        }
+    }
+}
+
 /// A Mattern/Fidge vector clock.
 ///
 /// Component `i` holds the most recent logical time of goroutine `i` that
@@ -63,6 +161,12 @@ impl From<u32> for Tid {
 /// clocks at synchronization events (channel send→receive, mutex
 /// unlock→lock, `WaitGroup` done→wait, goroutine spawn and join).
 ///
+/// Storage is a small-vector: up to [`INLINE_SLOTS`] components live inline
+/// (no heap allocation), and [`VectorClock::clear`] / `clone_from` recycle
+/// existing allocations so detectors can reuse clocks across runs.
+/// Equality and hashing are over the stored component slice, exactly as if
+/// the components were a `Vec<u32>` (trailing explicit zeros participate).
+///
 /// # Example
 ///
 /// ```
@@ -72,39 +176,63 @@ impl From<u32> for Tid {
 /// assert_eq!(c.get(Tid::new(2)), 1);
 /// assert_eq!(c.get(Tid::new(7)), 0); // implicit zero
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Debug, Default, Clone)]
 pub struct VectorClock {
-    slots: Vec<u32>,
+    slots: Slots,
+}
+
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots.as_slice() == other.slots.as_slice()
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl std::hash::Hash for VectorClock {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.slots.as_slice().hash(state);
+    }
 }
 
 impl VectorClock {
     /// Creates the zero clock (no events observed).
     #[must_use]
     pub fn new() -> Self {
-        VectorClock { slots: Vec::new() }
+        VectorClock::default()
     }
 
-    /// Creates a clock with `n` zeroed components preallocated.
+    /// Creates a clock with room for `n` components. Up to [`INLINE_SLOTS`]
+    /// components need no heap storage regardless of `n`.
     #[must_use]
     pub fn with_capacity(n: usize) -> Self {
-        VectorClock {
-            slots: Vec::with_capacity(n),
+        if n <= INLINE_SLOTS {
+            VectorClock::default()
+        } else {
+            VectorClock {
+                slots: Slots::Heap(Vec::with_capacity(n)),
+            }
         }
     }
 
     /// The component for `tid` (zero if never observed).
     #[must_use]
     pub fn get(&self, tid: Tid) -> u32 {
-        self.slots.get(tid.index()).copied().unwrap_or(0)
+        self.slots.as_slice().get(tid.index()).copied().unwrap_or(0)
     }
 
     /// Sets the component for `tid`, growing the clock as needed.
     pub fn set(&mut self, tid: Tid, value: u32) {
         let i = tid.index();
-        if i >= self.slots.len() {
-            self.slots.resize(i + 1, 0);
-        }
-        self.slots[i] = value;
+        self.slots.grow_to(i + 1);
+        self.slots.as_mut_slice()[i] = value;
+    }
+
+    /// Zeroes every component in place, keeping the heap allocation (if the
+    /// clock ever spilled) so the clock can be recycled without
+    /// reallocating.
+    pub fn clear(&mut self) {
+        self.slots.clear();
     }
 
     /// Increments the component for `tid` and returns the new value.
@@ -122,10 +250,14 @@ impl VectorClock {
     /// This is the acquire rule: after `a.join(&b)`, everything ordered
     /// before `b` is ordered before subsequent events of `a`'s owner.
     pub fn join(&mut self, other: &VectorClock) {
-        if other.slots.len() > self.slots.len() {
-            self.slots.resize(other.slots.len(), 0);
-        }
-        for (s, &o) in self.slots.iter_mut().zip(other.slots.iter()) {
+        let olen = other.slots.as_slice().len();
+        self.slots.grow_to(olen);
+        for (s, &o) in self
+            .slots
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.slots.as_slice().iter())
+        {
             if o > *s {
                 *s = o;
             }
@@ -145,8 +277,9 @@ impl VectorClock {
     /// component of `other` (reflexive happens-before: `self ⊑ other`).
     #[must_use]
     pub fn le(&self, other: &VectorClock) -> bool {
-        for (i, &s) in self.slots.iter().enumerate() {
-            if s > other.slots.get(i).copied().unwrap_or(0) {
+        let o = other.slots.as_slice();
+        for (i, &s) in self.slots.as_slice().iter().enumerate() {
+            if s > o.get(i).copied().unwrap_or(0) {
                 return false;
             }
         }
@@ -182,18 +315,19 @@ impl VectorClock {
     /// omitted).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.slots.as_slice().len()
     }
 
     /// True when no component has ever been set.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|&v| v == 0)
+        self.slots.as_slice().iter().all(|&v| v == 0)
     }
 
     /// Iterates over `(Tid, value)` pairs with non-zero values.
     pub fn iter(&self) -> impl Iterator<Item = (Tid, u32)> + '_ {
         self.slots
+            .as_slice()
             .iter()
             .enumerate()
             .filter(|&(_, &v)| v != 0)
@@ -205,14 +339,14 @@ impl Index<Tid> for VectorClock {
     type Output = u32;
 
     fn index(&self, tid: Tid) -> &u32 {
-        self.slots.get(tid.index()).unwrap_or(&0)
+        self.slots.as_slice().get(tid.index()).unwrap_or(&0)
     }
 }
 
 impl fmt::Display for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "<")?;
-        for (i, v) in self.slots.iter().enumerate() {
+        for (i, v) in self.slots.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -322,5 +456,61 @@ mod tests {
         c.set(t(1), 9);
         assert_eq!(c[t(1)], 9);
         assert_eq!(c[t(42)], 0);
+    }
+
+    #[test]
+    fn spills_to_heap_past_inline_capacity() {
+        let mut c = VectorClock::new();
+        for i in 0..20 {
+            c.set(t(i), i + 1);
+        }
+        assert_eq!(c.len(), 20);
+        for i in 0..20 {
+            assert_eq!(c.get(t(i)), i + 1);
+        }
+        // Semantics are identical on either side of the spill boundary.
+        let mut inline = VectorClock::new();
+        inline.set(t(3), 5);
+        let mut spilled = VectorClock::new();
+        spilled.set(t(15), 1);
+        spilled.set(t(3), 5);
+        assert!(inline.le(&spilled));
+    }
+
+    #[test]
+    fn clear_recycles_in_place() {
+        let mut c = VectorClock::new();
+        for i in 0..12 {
+            c.set(t(i), 7);
+        }
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+        assert_eq!(c, VectorClock::new());
+        c.set(t(0), 1);
+        assert_eq!(c.get(t(0)), 1);
+        assert_eq!(c.get(t(11)), 0);
+    }
+
+    #[test]
+    fn equality_and_hash_match_slice_semantics() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut a = VectorClock::new();
+        a.set(t(9), 3); // spilled
+        let mut b = VectorClock::new();
+        b.set(t(9), 3); // built the same way, stays comparable
+        assert_eq!(a, b);
+        let hash = |c: &VectorClock| {
+            let mut h = DefaultHasher::new();
+            c.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        // clone_from reuses the destination's heap buffer.
+        let mut dst = VectorClock::new();
+        dst.set(t(20), 1);
+        dst.clone_from(&a);
+        assert_eq!(dst, a);
     }
 }

@@ -45,7 +45,8 @@ pub mod study;
 
 pub use classify::classify;
 pub use experiments::{
-    figure1, figure3_figure4, overhead_probe, static_dynamic_agreement, table1, table2, table3,
+    figure1, figure3_figure4, overhead_probe, overhead_workload, static_dynamic_agreement,
+    table1, table2, table3,
     AgreementResult, AgreementRow, CategoryTally, DeploymentStats, OverheadProbe, TallyConfig,
 };
 pub use study::{Study, StudyReport};

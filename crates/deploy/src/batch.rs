@@ -146,6 +146,7 @@ mod tests {
         let mk = |gid: u32, kind: AccessKind, line: u32| RaceAccess {
             gid: Gid(gid),
             kind,
+            stack_id: grs_runtime::StackId::EMPTY,
             stack: Stack::from_frames(vec![Frame {
                 func: Arc::from(func),
                 call_line: line,

@@ -35,6 +35,8 @@ pub mod tracker;
 pub use assignee::{determine_assignee, AssigneeDecision, OwnerDb};
 pub use batch::RaceBatch;
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, DayStats};
-pub use fingerprint::{naive_fingerprint, race_fingerprint, Fingerprint};
+pub use fingerprint::{
+    naive_fingerprint, race_fingerprint, race_fingerprint_interned, Fingerprint,
+};
 pub use pipeline::{FileOutcome, Pipeline};
 pub use tracker::{BugTracker, TaskId, TaskState};

@@ -1,0 +1,206 @@
+//! Reusable detector state for run campaigns.
+//!
+//! A campaign executes thousands of short runs (§3.2's flakiness means each
+//! program is rerun across many seeds). Constructing a fresh detector per run
+//! throws away warmed-up shadow maps, vector-clock buffers, and the stack
+//! depot's trie on every iteration. [`DetectorArena`] keeps one long-lived
+//! instance of each detector plus one [`StackDepot`], and reuses them for
+//! every run: [`Monitor::on_run_start`](grs_runtime::Monitor::on_run_start)
+//! clears the *contents* at the start of each run but keeps the container
+//! allocations, so steady-state campaign runs allocate close to nothing.
+//!
+//! Determinism is unaffected: `reset()` restores every detector (and the
+//! depot, via [`Runtime::run_with_depot`]) to its initial logical state, so
+//! a run through an arena produces byte-identical reports to a run through a
+//! fresh detector — [`DetectorChoice::run`] and [`DetectorArena::run`] are
+//! interchangeable, and the tests below pin that equivalence.
+
+use grs_runtime::{Program, RunConfig, RunOutcome, Runtime, StackDepot};
+
+use crate::eraser::Eraser;
+use crate::explorer::DetectorChoice;
+use crate::fasttrack::{FastTrack, FastTrackConfig};
+use crate::report::RaceReport;
+use crate::tsan::Tsan;
+
+/// One long-lived instance of each detection algorithm plus a shared stack
+/// depot, reused across runs.
+///
+/// # Example
+///
+/// ```
+/// use grs_detector::{DetectorArena, DetectorChoice};
+/// use grs_runtime::{Program, RunConfig};
+///
+/// let p = Program::new("racy", |ctx| {
+///     let x = ctx.cell("x", 0i64);
+///     let x2 = x.clone();
+///     ctx.go("w", move |ctx| ctx.write(&x2, 1));
+///     let _ = ctx.read(&x);
+/// });
+/// let mut arena = DetectorArena::new();
+/// let mut racy = 0;
+/// for seed in 0..8 {
+///     let (_, reports) = arena.run(DetectorChoice::Hybrid, &p, RunConfig::with_seed(seed));
+///     racy += usize::from(!reports.is_empty());
+/// }
+/// assert!(racy > 0);
+/// ```
+#[derive(Debug)]
+pub struct DetectorArena {
+    depot: StackDepot,
+    fasttrack: FastTrack,
+    pure_vc: FastTrack,
+    eraser: Eraser,
+    hybrid: Tsan,
+}
+
+impl Default for DetectorArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DetectorArena {
+    /// A fresh arena. Detectors are built lazily-cheap (empty containers);
+    /// they warm up over the first few runs.
+    #[must_use]
+    pub fn new() -> Self {
+        DetectorArena {
+            depot: StackDepot::new(),
+            fasttrack: FastTrack::new(),
+            pure_vc: FastTrack::with_config(FastTrackConfig::pure_vc()),
+            eraser: Eraser::new(),
+            hybrid: Tsan::new(),
+        }
+    }
+
+    /// The arena's stack depot. After a [`DetectorArena::run`], report
+    /// `stack_id`s resolve through this depot until the next run resets it.
+    #[must_use]
+    pub fn depot(&self) -> &StackDepot {
+        &self.depot
+    }
+
+    /// Executes one run of `program` under `choice`, reusing this arena's
+    /// detector instance and depot. Equivalent to [`DetectorChoice::run`]
+    /// report-for-report, minus the per-run allocations.
+    pub fn run(
+        &mut self,
+        choice: DetectorChoice,
+        program: &Program,
+        cfg: RunConfig,
+    ) -> (RunOutcome, Vec<RaceReport>) {
+        let runtime = Runtime::new(cfg);
+        // `run_with_depot` takes the monitor by value and hands it back; the
+        // `mem::take` placeholder is an empty detector that is immediately
+        // overwritten, so no warmed state is lost.
+        match choice {
+            DetectorChoice::FastTrack => {
+                let m = std::mem::take(&mut self.fasttrack);
+                let (o, mut m) = runtime.run_with_depot(program, m, &self.depot);
+                let reports = m.take_reports();
+                self.fasttrack = m;
+                (o, reports)
+            }
+            DetectorChoice::PureVectorClock => {
+                let m = std::mem::take(&mut self.pure_vc);
+                let (o, mut m) = runtime.run_with_depot(program, m, &self.depot);
+                let reports = m.take_reports();
+                self.pure_vc = m;
+                (o, reports)
+            }
+            DetectorChoice::Eraser => {
+                let m = std::mem::take(&mut self.eraser);
+                let (o, mut m) = runtime.run_with_depot(program, m, &self.depot);
+                let reports = m.take_reports();
+                self.eraser = m;
+                (o, reports)
+            }
+            DetectorChoice::Hybrid => {
+                let m = std::mem::take(&mut self.hybrid);
+                let (o, mut m) = runtime.run_with_depot(program, m, &self.depot);
+                let reports = m.take_reports();
+                self.hybrid = m;
+                (o, reports)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grs_runtime::Strategy;
+
+    fn racy_program() -> Program {
+        Program::new("racy_counter", |ctx| {
+            let x = ctx.cell("x", 0i64);
+            let mu = ctx.mutex("mu");
+            let done = ctx.chan::<()>("done", 2);
+            for g in 0..2 {
+                let (x, mu, done) = (x.clone(), mu.clone(), done.clone());
+                ctx.go("w", move |ctx| {
+                    if g == 0 {
+                        mu.lock(ctx);
+                        ctx.update(&x, |v| v + 1);
+                        mu.unlock(ctx);
+                    } else {
+                        ctx.update(&x, |v| v + 1);
+                    }
+                    done.send(ctx, ());
+                });
+            }
+            for _ in 0..2 {
+                let _ = done.recv(ctx);
+            }
+        })
+    }
+
+    /// The arena path must be report-for-report identical to fresh
+    /// detectors, for every algorithm, across interleavings — reuse is an
+    /// allocation optimization, not a semantic change.
+    #[test]
+    fn arena_matches_fresh_detectors() {
+        let p = racy_program();
+        for choice in [
+            DetectorChoice::FastTrack,
+            DetectorChoice::PureVectorClock,
+            DetectorChoice::Eraser,
+            DetectorChoice::Hybrid,
+        ] {
+            let mut arena = DetectorArena::new();
+            for seed in 0..24 {
+                let cfg = RunConfig {
+                    seed,
+                    strategy: Strategy::Random,
+                    ..RunConfig::default()
+                };
+                let (fresh_o, fresh_r) = choice.run(&p, cfg.clone());
+                let (arena_o, arena_r) = arena.run(choice, &p, cfg);
+                assert_eq!(fresh_o.steps, arena_o.steps, "{choice} seed {seed}");
+                assert_eq!(fresh_r.len(), arena_r.len(), "{choice} seed {seed}");
+                for (a, b) in fresh_r.iter().zip(arena_r.iter()) {
+                    assert_eq!(a.site_key(), b.site_key(), "{choice} seed {seed}");
+                    assert_eq!(
+                        format!("{a}"),
+                        format!("{b}"),
+                        "{choice} seed {seed}: full report text must match"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Run stats flow through the arena path: events are counted and the
+    /// depot holds the last run's stacks.
+    #[test]
+    fn arena_runs_carry_stats() {
+        let p = racy_program();
+        let mut arena = DetectorArena::new();
+        let (o, _) = arena.run(DetectorChoice::Hybrid, &p, RunConfig::with_seed(3));
+        assert!(o.stats.events_dispatched > 0);
+        assert!(o.stats.depot.stacks > 0);
+        assert!(!arena.depot().is_empty());
+    }
+}

@@ -14,9 +14,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use grs_clock::{LockId, Lockset};
+use grs_clock::{LockId, Lockset, LocksetId, LocksetInterner};
 use grs_runtime::event::{Event, EventKind, LockMode};
-use grs_runtime::{AccessKind, Addr, Gid, Monitor, SourceLoc, Stack};
+use grs_runtime::{AccessKind, Addr, Gid, Monitor, SourceLoc, StackDepot, StackId};
 
 use crate::report::{DetectorKind, RaceAccess, RaceReport};
 
@@ -31,20 +31,38 @@ enum VarState {
     SharedModified,
 }
 
-#[derive(Debug, Clone)]
+/// `Copy`: stack and lockset are interner ids, so remembering the previous
+/// access per variable moves two `u32`s instead of cloning frame vectors
+/// and lock vectors on every event.
+#[derive(Debug, Clone, Copy)]
 struct LastAccess {
     gid: Gid,
     kind: AccessKind,
-    stack: Stack,
+    stack: StackId,
     loc: SourceLoc,
-    locks: Lockset,
+    locks: LocksetId,
+}
+
+impl LastAccess {
+    fn to_race_access(self, depot: &StackDepot, locksets: &LocksetInterner) -> RaceAccess {
+        RaceAccess {
+            gid: self.gid,
+            kind: self.kind,
+            stack: depot.resolve(self.stack),
+            stack_id: self.stack,
+            loc: self.loc,
+            locks_held: locksets.get(self.locks).clone(),
+        }
+    }
 }
 
 #[derive(Debug)]
 struct EraserVar {
     object: Arc<str>,
     state: VarState,
-    candidate: Lockset,
+    /// Candidate protecting set, refined through the interner's memoized
+    /// intersection (a hash probe per access in steady state).
+    candidate: LocksetId,
     last: LastAccess,
     reported: bool,
 }
@@ -75,6 +93,11 @@ struct EraserVar {
 /// ```
 #[derive(Debug, Default)]
 pub struct Eraser {
+    /// Depot of the current run (attached by [`Monitor::on_run_start`]);
+    /// used only to materialize reports.
+    depot: StackDepot,
+    /// Interned locksets; candidates and last-access records are ids.
+    locksets: LocksetInterner,
     /// Locks held per goroutine, in any mode.
     held: Vec<Lockset>,
     /// Locks held per goroutine in *write* (exclusive) mode. Eraser's
@@ -83,6 +106,10 @@ pub struct Eraser {
     /// refined against this set only (the Listing 11 `RLock`-write bug
     /// class would otherwise be invisible to locksets).
     write_held: Vec<Lockset>,
+    /// Interned ids of the current `held` / `write_held` sets, refreshed on
+    /// acquire/release so accesses copy `u32`s instead of cloning sets.
+    held_ids: Vec<LocksetId>,
+    write_held_ids: Vec<LocksetId>,
     vars: HashMap<u64, EraserVar>,
     reports: Vec<RaceReport>,
 }
@@ -106,29 +133,30 @@ impl Eraser {
         self.reports
     }
 
-    fn held_mut(&mut self, gid: Gid) -> &mut Lockset {
+    /// Takes the accumulated reports, leaving the detector reusable.
+    pub fn take_reports(&mut self) -> Vec<RaceReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Clears all per-run state, keeping container allocations warm. Called
+    /// automatically at the start of every run.
+    pub fn reset(&mut self) {
+        self.held.clear();
+        self.write_held.clear();
+        self.held_ids.clear();
+        self.write_held_ids.clear();
+        self.vars.clear();
+        self.reports.clear();
+        self.locksets.reset();
+    }
+
+    fn ensure_gid(&mut self, gid: Gid) {
         let i = gid.index();
         while self.held.len() <= i {
             self.held.push(Lockset::new());
-        }
-        &mut self.held[i]
-    }
-
-    fn write_held_mut(&mut self, gid: Gid) -> &mut Lockset {
-        let i = gid.index();
-        while self.write_held.len() <= i {
             self.write_held.push(Lockset::new());
-        }
-        &mut self.write_held[i]
-    }
-
-    /// The locks that actually protect an access of `kind`: writes are only
-    /// protected by exclusive-mode locks, reads by any mode.
-    fn effective_locks(&mut self, gid: Gid, kind: AccessKind) -> Lockset {
-        if kind.is_write() {
-            self.write_held_mut(gid).clone()
-        } else {
-            self.held_mut(gid).clone()
+            self.held_ids.push(LocksetId::EMPTY);
+            self.write_held_ids.push(LocksetId::EMPTY);
         }
     }
 
@@ -138,17 +166,24 @@ impl Eraser {
         addr: Addr,
         object: &Arc<str>,
         kind: AccessKind,
-        stack: &Stack,
+        stack: StackId,
         loc: SourceLoc,
     ) {
-        let held = self.held_mut(gid).clone();
-        let effective = self.effective_locks(gid, kind);
+        self.ensure_gid(gid);
+        let held = self.held_ids[gid.index()];
+        // The locks that actually protect an access of `kind`: writes are
+        // only protected by exclusive-mode locks, reads by any mode.
+        let effective = if kind.is_write() {
+            self.write_held_ids[gid.index()]
+        } else {
+            held
+        };
         let current = LastAccess {
             gid,
             kind,
-            stack: stack.clone(),
+            stack,
             loc,
-            locks: held.clone(),
+            locks: held,
         };
         match self.vars.get_mut(&addr.0) {
             None => {
@@ -165,6 +200,7 @@ impl Eraser {
             }
             Some(var) => {
                 let mut check = false;
+                let prior = var.last;
                 match var.state {
                     VarState::Exclusive(owner) if owner == gid => {
                         // Still exclusive; remember the most recent lockset
@@ -177,42 +213,42 @@ impl Eraser {
                         } else {
                             VarState::Shared
                         };
-                        var.candidate.intersect_with(&effective);
                         check = var.state == VarState::SharedModified;
                     }
                     VarState::Shared => {
-                        var.candidate.intersect_with(&effective);
                         if kind.is_write() {
                             var.state = VarState::SharedModified;
                             check = true;
                         }
                     }
                     VarState::SharedModified => {
-                        var.candidate.intersect_with(&effective);
                         check = true;
                     }
                 }
-                if check && var.candidate.is_empty() && !var.reported {
+                let refine = !matches!(var.state, VarState::Exclusive(_));
+                var.last = current;
+                let candidate = var.candidate;
+                let reported = var.reported;
+                let object = var.object.clone();
+                let new_candidate = if refine {
+                    self.locksets.intersect(candidate, effective)
+                } else {
+                    candidate
+                };
+                if let Some(var) = self.vars.get_mut(&addr.0) {
+                    var.candidate = new_candidate;
+                }
+                if check && new_candidate == LocksetId::EMPTY && !reported {
                     // Suppress pairs where both sides used sync/atomic.
-                    if !(kind.is_atomic() && var.last.kind.is_atomic()) {
-                        var.reported = true;
+                    if !(kind.is_atomic() && prior.kind.is_atomic()) {
+                        if let Some(var) = self.vars.get_mut(&addr.0) {
+                            var.reported = true;
+                        }
                         let report = RaceReport {
                             addr,
-                            object: var.object.clone(),
-                            prior: RaceAccess {
-                                gid: var.last.gid,
-                                kind: var.last.kind,
-                                stack: var.last.stack.clone(),
-                                loc: var.last.loc,
-                                locks_held: var.last.locks.clone(),
-                            },
-                            current: RaceAccess {
-                                gid,
-                                kind,
-                                stack: stack.clone(),
-                                loc,
-                                locks_held: held,
-                            },
+                            object,
+                            prior: prior.to_race_access(&self.depot, &self.locksets),
+                            current: current.to_race_access(&self.depot, &self.locksets),
                             detector: DetectorKind::Eraser,
                             program: None,
                             repro_seed: None,
@@ -220,15 +256,17 @@ impl Eraser {
                         self.reports.push(report);
                     }
                 }
-                if let Some(var) = self.vars.get_mut(&addr.0) {
-                    var.last = current;
-                }
             }
         }
     }
 }
 
 impl Monitor for Eraser {
+    fn on_run_start(&mut self, depot: &StackDepot) {
+        self.reset();
+        self.depot = depot.clone();
+    }
+
     fn on_event(&mut self, event: &Event) {
         match &event.kind {
             EventKind::Access {
@@ -238,20 +276,35 @@ impl Monitor for Eraser {
                 stack,
                 loc,
             } => {
-                let (object, stack) = (object.clone(), stack.clone());
-                self.on_access(event.gid, *addr, &object, *kind, &stack, *loc);
+                let object = object.clone();
+                self.on_access(event.gid, *addr, &object, *kind, *stack, *loc);
             }
             EventKind::Acquire { lock, mode } => {
-                self.held_mut(event.gid).insert(LockId::new(lock.0));
+                self.ensure_gid(event.gid);
+                let i = event.gid.index();
+                self.held[i].insert(LockId::new(lock.0));
+                self.held_ids[i] = self.locksets.intern(&self.held[i]);
                 if *mode == LockMode::Write {
-                    self.write_held_mut(event.gid).insert(LockId::new(lock.0));
+                    self.write_held[i].insert(LockId::new(lock.0));
+                    self.write_held_ids[i] = self.locksets.intern(&self.write_held[i]);
                 }
             }
             EventKind::Release { lock, .. } => {
-                self.held_mut(event.gid).remove(LockId::new(lock.0));
-                self.write_held_mut(event.gid).remove(LockId::new(lock.0));
+                self.ensure_gid(event.gid);
+                let i = event.gid.index();
+                self.held[i].remove(LockId::new(lock.0));
+                self.held_ids[i] = self.locksets.intern(&self.held[i]);
+                if self.write_held[i].remove(LockId::new(lock.0)) {
+                    self.write_held_ids[i] = self.locksets.intern(&self.write_held[i]);
+                }
             }
             _ => {}
         }
+    }
+
+    fn shadow_words(&self) -> usize {
+        // One candidate-set slot plus one last-access slot per tracked
+        // variable — Eraser's shadow footprint is constant per variable.
+        2 * self.vars.len()
     }
 }

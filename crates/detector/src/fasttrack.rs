@@ -21,9 +21,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use grs_clock::{Epoch, LockId, Lockset, Tid, VectorClock};
+use grs_clock::{Epoch, LockId, Lockset, LocksetId, LocksetInterner, Tid, VectorClock};
 use grs_runtime::event::{Event, EventKind, LockMode};
-use grs_runtime::{AccessKind, Addr, Gid, Monitor, SourceLoc, Stack};
+use grs_runtime::{AccessKind, Addr, Gid, Monitor, SourceLoc, StackDepot, StackId};
 
 use crate::report::{DetectorKind, RaceAccess, RaceReport};
 
@@ -65,24 +65,39 @@ impl FastTrackConfig {
 }
 
 /// One recorded access (for the "previous access" half of a report).
-#[derive(Debug, Clone)]
+///
+/// `Copy`: the stack is a depot id and the lockset an interner id, so
+/// storing shadow history per variable moves two `u32`s instead of cloning
+/// frame vectors — the heart of this detector's hot-path refactor.
+#[derive(Debug, Clone, Copy)]
 struct AccessInfo {
     gid: Gid,
     kind: AccessKind,
-    stack: Stack,
+    stack: StackId,
     loc: SourceLoc,
-    locks: Lockset,
+    locks: LocksetId,
 }
 
 impl AccessInfo {
-    fn to_race_access(&self) -> RaceAccess {
+    /// Materializes the compact ids into a report half (report paths only).
+    fn to_race_access(self, depot: &StackDepot, locksets: &LocksetInterner) -> RaceAccess {
         RaceAccess {
             gid: self.gid,
             kind: self.kind,
-            stack: self.stack.clone(),
+            stack: depot.resolve(self.stack),
+            stack_id: self.stack,
             loc: self.loc,
-            locks_held: self.locks.clone(),
+            locks_held: locksets.get(self.locks).clone(),
         }
+    }
+}
+
+/// Read-history word count of one variable (for shadow accounting).
+fn read_words(state: &ReadState) -> usize {
+    match state {
+        ReadState::None => 0,
+        ReadState::Exclusive(..) => 1,
+        ReadState::Shared(m) => m.len(),
     }
 }
 
@@ -162,8 +177,16 @@ struct ChanShadow {
 #[derive(Debug)]
 pub struct FastTrack {
     cfg: FastTrackConfig,
+    /// Depot of the current run (attached by [`Monitor::on_run_start`]);
+    /// used only to materialize reports.
+    depot: StackDepot,
+    /// Interned locksets; shadow history stores [`LocksetId`]s.
+    locksets: LocksetInterner,
     clocks: Vec<VectorClock>,
     held: Vec<Lockset>,
+    /// Interned id of each goroutine's current `held` set, refreshed on
+    /// acquire/release so accesses copy a `u32`.
+    held_ids: Vec<LocksetId>,
     locks: HashMap<u64, LockShadow>,
     chans: HashMap<u64, ChanShadow>,
     wg_done: HashMap<u64, VectorClock>,
@@ -173,6 +196,9 @@ pub struct FastTrack {
     seen_sites: std::collections::HashSet<String>,
     accesses_processed: u64,
     epoch_fast_hits: u64,
+    /// Live shadow-word count (per-variable fixed slots + read history),
+    /// maintained incrementally so [`Monitor::shadow_words`] is O(1).
+    shadow_words: usize,
 }
 
 impl Default for FastTrack {
@@ -193,8 +219,11 @@ impl FastTrack {
     pub fn with_config(cfg: FastTrackConfig) -> Self {
         FastTrack {
             cfg,
+            depot: StackDepot::new(),
+            locksets: LocksetInterner::new(),
             clocks: Vec::new(),
             held: Vec::new(),
+            held_ids: Vec::new(),
             locks: HashMap::new(),
             chans: HashMap::new(),
             wg_done: HashMap::new(),
@@ -204,6 +233,7 @@ impl FastTrack {
             seen_sites: std::collections::HashSet::new(),
             accesses_processed: 0,
             epoch_fast_hits: 0,
+            shadow_words: 0,
         }
     }
 
@@ -217,6 +247,33 @@ impl FastTrack {
     #[must_use]
     pub fn into_reports(self) -> Vec<RaceReport> {
         self.reports
+    }
+
+    /// Takes the accumulated reports, leaving the detector reusable (the
+    /// arena path: take reports, `reset()`, run again).
+    pub fn take_reports(&mut self) -> Vec<RaceReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Clears all per-run state while keeping container allocations warm,
+    /// so one detector can monitor thousands of campaign runs without
+    /// reallocating its shadow tables. Called automatically at the start of
+    /// every run (see [`Monitor::on_run_start`]).
+    pub fn reset(&mut self) {
+        self.clocks.clear();
+        self.held.clear();
+        self.held_ids.clear();
+        self.locks.clear();
+        self.chans.clear();
+        self.wg_done.clear();
+        self.once_done.clear();
+        self.vars.clear();
+        self.reports.clear();
+        self.seen_sites.clear();
+        self.accesses_processed = 0;
+        self.epoch_fast_hits = 0;
+        self.shadow_words = 0;
+        self.locksets.reset();
     }
 
     /// Number of memory accesses processed.
@@ -240,6 +297,7 @@ impl FastTrack {
             c.set(Tid::new(t), 1);
             self.clocks.push(c);
             self.held.push(Lockset::new());
+            self.held_ids.push(LocksetId::EMPTY);
         }
         &mut self.clocks[i]
     }
@@ -257,17 +315,18 @@ impl FastTrack {
         &mut self,
         addr: Addr,
         object: &Arc<str>,
-        prior: RaceAccess,
-        current: RaceAccess,
+        prior: AccessInfo,
+        current: AccessInfo,
     ) {
         if self.reports.len() >= self.cfg.max_reports {
             return;
         }
+        // Materialize stacks/locksets only now — reports are rare.
         let report = RaceReport {
             addr,
             object: object.clone(),
-            prior,
-            current,
+            prior: prior.to_race_access(&self.depot, &self.locksets),
+            current: current.to_race_access(&self.depot, &self.locksets),
             detector: self.cfg.kind,
             program: None,
             repro_seed: None,
@@ -277,28 +336,27 @@ impl FastTrack {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn on_access(
         &mut self,
         gid: Gid,
         addr: Addr,
         object: &Arc<str>,
         kind: AccessKind,
-        stack: &Stack,
+        stack: StackId,
         loc: SourceLoc,
     ) {
         self.ensure_tid(gid);
         self.accesses_processed += 1;
         let tid = Tid::new(gid.0);
         let locks = if self.cfg.track_locksets {
-            self.held[gid.index()].clone()
+            self.held_ids[gid.index()]
         } else {
-            Lockset::new()
+            LocksetId::EMPTY
         };
         let info = AccessInfo {
             gid,
             kind,
-            stack: stack.clone(),
+            stack,
             loc,
             locks,
         };
@@ -316,12 +374,20 @@ impl FastTrack {
         let c = self.clocks[gid.index()].clone();
         let pure_vc = self.cfg.pure_vc;
         let mut fast = true;
-        let mut found: Vec<(RaceAccess, RaceAccess)> = Vec::new();
+        let mut found: Vec<(AccessInfo, AccessInfo)> = Vec::new();
+        // Shadow accounting: +2 fixed words (write + sync slot) per new
+        // variable, plus the read-history delta measured below.
+        let mut words_delta: isize = if self.vars.contains_key(&addr.0) {
+            0
+        } else {
+            2
+        };
         {
             let var = self
                 .vars
                 .entry(addr.0)
                 .or_insert_with(VarShadow::new);
+            let read_words_before = read_words(&var.read);
             // --- race checks ---
             let write_hb = if pure_vc {
                 fast = false;
@@ -332,7 +398,7 @@ impl FastTrack {
             if !write_hb {
                 if let Some(wi) = &var.write_info {
                     if !(kind.is_atomic() && wi.kind.is_atomic()) {
-                        found.push((wi.to_race_access(), info.to_race_access()));
+                        found.push((*wi, info));
                     }
                 }
             }
@@ -346,7 +412,7 @@ impl FastTrack {
                             e.le_clock(&c)
                         };
                         if !(read_hb || (kind.is_atomic() && ri.kind.is_atomic())) {
-                            found.push((ri.to_race_access(), info.to_race_access()));
+                            found.push((*ri, info));
                         }
                     }
                     ReadState::Shared(map) => {
@@ -360,7 +426,7 @@ impl FastTrack {
                             if *clk > c.get(Tid::new(*t2))
                                 && !(kind.is_atomic() && ri.kind.is_atomic())
                             {
-                                found.push((ri.to_race_access(), info.to_race_access()));
+                                found.push((*ri, info));
                             }
                         }
                     }
@@ -370,7 +436,22 @@ impl FastTrack {
             if kind.is_write() {
                 var.write_epoch = Epoch::new(tid, c.get(tid));
                 var.write_clock = if pure_vc { Some(c.clone()) } else { None };
-                var.write_info = Some(info.clone());
+                var.write_info = Some(info);
+                // Prune the read history this write re-exclusives: an entry
+                // whose clock is dominated by the writer (`clk <= c[t2]`,
+                // i.e. read happens-before this write) can never expose a
+                // race this write itself wouldn't — any later access
+                // unordered with the dropped read is also unordered with
+                // the write (clocks transfer whole histories), so the race
+                // still fires against `write_info`. Without this prune the
+                // Shared map retains one entry per goroutine that ever read
+                // the variable, forever: the unbounded-shadow leak.
+                if let ReadState::Shared(map) = &mut var.read {
+                    map.retain(|t2, (clk, _)| *clk > c.get(Tid::new(*t2)));
+                    if map.is_empty() {
+                        var.read = ReadState::None;
+                    }
+                }
             } else {
                 // Read: update the read history.
                 let my_clk = c.get(tid);
@@ -380,7 +461,7 @@ impl FastTrack {
                         other => {
                             let mut m = HashMap::new();
                             if let ReadState::Exclusive(e, ri) = other {
-                                m.insert(e.tid().raw(), (e.clock(), ri.clone()));
+                                m.insert(e.tid().raw(), (e.clock(), *ri));
                             }
                             var.read = ReadState::Shared(m);
                             match &mut var.read {
@@ -389,34 +470,38 @@ impl FastTrack {
                             }
                         }
                     };
-                    map.insert(tid.raw(), (my_clk, info.clone()));
+                    map.insert(tid.raw(), (my_clk, info));
                 } else {
                     match &mut var.read {
                         ReadState::None => {
-                            var.read = ReadState::Exclusive(Epoch::new(tid, my_clk), info.clone());
+                            var.read = ReadState::Exclusive(Epoch::new(tid, my_clk), info);
                         }
                         ReadState::Exclusive(e, _) => {
                             if e.tid() == tid || e.le_clock(&c) {
-                                var.read =
-                                    ReadState::Exclusive(Epoch::new(tid, my_clk), info.clone());
+                                var.read = ReadState::Exclusive(Epoch::new(tid, my_clk), info);
                             } else {
                                 fast = false;
                                 let mut m = HashMap::new();
                                 if let ReadState::Exclusive(e, ri) = &var.read {
-                                    m.insert(e.tid().raw(), (e.clock(), ri.clone()));
+                                    m.insert(e.tid().raw(), (e.clock(), *ri));
                                 }
-                                m.insert(tid.raw(), (my_clk, info.clone()));
+                                m.insert(tid.raw(), (my_clk, info));
                                 var.read = ReadState::Shared(m);
                             }
                         }
                         ReadState::Shared(m) => {
                             fast = false;
-                            m.insert(tid.raw(), (my_clk, info.clone()));
+                            m.insert(tid.raw(), (my_clk, info));
                         }
                     }
                 }
             }
+            words_delta += read_words(&var.read) as isize - read_words_before as isize;
         }
+        self.shadow_words = self
+            .shadow_words
+            .checked_add_signed(words_delta)
+            .expect("shadow-word count underflow");
         if fast {
             self.epoch_fast_hits += 1;
         }
@@ -456,6 +541,7 @@ impl FastTrack {
                 self.clocks[gid.index()].join(&joined);
                 if self.cfg.track_locksets {
                     self.held[gid.index()].insert(LockId::new(lock.0));
+                    self.held_ids[gid.index()] = self.locksets.intern(&self.held[gid.index()]);
                 }
             }
             EventKind::Release { lock, mode } => {
@@ -468,6 +554,7 @@ impl FastTrack {
                 self.tick(gid);
                 if self.cfg.track_locksets {
                     self.held[gid.index()].remove(LockId::new(lock.0));
+                    self.held_ids[gid.index()] = self.locksets.intern(&self.held[gid.index()]);
                 }
             }
             EventKind::ChanSend { chan, seq } => {
@@ -556,6 +643,13 @@ impl FastTrack {
 }
 
 impl Monitor for FastTrack {
+    fn on_run_start(&mut self, depot: &StackDepot) {
+        // A fresh run: drop any previous run's shadow state (allocations
+        // stay warm) and attach the run's depot for report materialization.
+        self.reset();
+        self.depot = depot.clone();
+    }
+
     fn on_event(&mut self, event: &Event) {
         if let EventKind::Access {
             addr,
@@ -565,10 +659,14 @@ impl Monitor for FastTrack {
             loc,
         } = &event.kind
         {
-            let (object, stack) = (object.clone(), stack.clone());
-            self.on_access(event.gid, *addr, &object, *kind, &stack, *loc);
+            let object = object.clone();
+            self.on_access(event.gid, *addr, &object, *kind, *stack, *loc);
         } else {
             self.on_sync(event);
         }
+    }
+
+    fn shadow_words(&self) -> usize {
+        self.shadow_words
     }
 }

@@ -43,12 +43,14 @@
 //! assert!(result.found_race(), "the capture race must be detected");
 //! ```
 
+pub mod arena;
 pub mod eraser;
 pub mod explorer;
 pub mod fasttrack;
 pub mod report;
 pub mod tsan;
 
+pub use arena::DetectorArena;
 pub use eraser::Eraser;
 pub use explorer::{default_workers, DetectorChoice, ExploreConfig, ExploreResult, Explorer};
 pub use fasttrack::{FastTrack, FastTrackConfig};

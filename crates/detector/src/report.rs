@@ -7,7 +7,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use grs_clock::Lockset;
-use grs_runtime::{AccessKind, Addr, Gid, SourceLoc, Stack};
+use grs_runtime::{AccessKind, Addr, Gid, SourceLoc, Stack, StackId};
 
 /// Which algorithm produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,8 +41,14 @@ pub struct RaceAccess {
     pub gid: Gid,
     /// Read/write, atomic or plain.
     pub kind: AccessKind,
-    /// Go-style calling context.
+    /// Go-style calling context, materialized at record time (reports are
+    /// rare, so the clone cost is paid off the hot path).
     pub stack: Stack,
+    /// The depot id the stack was resolved from. Only meaningful together
+    /// with the depot of the run that produced the report, and only until
+    /// that depot is reset; `StackId::EMPTY` for reports built without a
+    /// depot.
+    pub stack_id: StackId,
     /// Source location of the access.
     pub loc: SourceLoc,
     /// Locks held at the access (filled by lockset-aware detectors; empty
@@ -135,6 +141,7 @@ mod tests {
                 func: Arc::from(func),
                 call_line: 0,
             }]),
+            stack_id: StackId::EMPTY,
             loc: SourceLoc { file: "x.rs", line },
             locks_held: Lockset::new(),
         }

@@ -9,7 +9,7 @@
 //! (Observation 10).
 
 use grs_runtime::event::Event;
-use grs_runtime::Monitor;
+use grs_runtime::{Monitor, StackDepot};
 
 use crate::fasttrack::{FastTrack, FastTrackConfig};
 use crate::report::{DetectorKind, RaceReport};
@@ -85,10 +85,28 @@ impl Tsan {
     pub fn accesses_processed(&self) -> u64 {
         self.inner.accesses_processed()
     }
+
+    /// Takes the accumulated reports, leaving the detector reusable.
+    pub fn take_reports(&mut self) -> Vec<RaceReport> {
+        self.inner.take_reports()
+    }
+
+    /// Clears all per-run state, keeping allocations warm.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
 }
 
 impl Monitor for Tsan {
+    fn on_run_start(&mut self, depot: &StackDepot) {
+        self.inner.on_run_start(depot);
+    }
+
     fn on_event(&mut self, event: &Event) {
         self.inner.on_event(event);
+    }
+
+    fn shadow_words(&self) -> usize {
+        self.inner.shadow_words()
     }
 }

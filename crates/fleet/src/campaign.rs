@@ -23,7 +23,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use grs_deploy::{race_fingerprint, FileOutcome, Fingerprint, Pipeline, RaceBatch};
-use grs_detector::{default_workers, DetectorChoice};
+use grs_detector::{default_workers, DetectorArena, DetectorChoice};
 use grs_runtime::{Program, RunConfig, Strategy};
 
 use crate::dedup::DedupMap;
@@ -343,6 +343,13 @@ pub struct RunRecord {
     pub fingerprints: Vec<Fingerprint>,
     /// Scheduler steps executed.
     pub steps: u64,
+    /// Monitor events dispatched during the run (deterministic).
+    pub events: u64,
+    /// Distinct interned stacks in the run's depot at run end
+    /// (deterministic).
+    pub depot_stacks: usize,
+    /// Peak shadow-word footprint of the run's detector (deterministic).
+    pub peak_shadow_words: usize,
     /// Which worker executed the run (placement metadata; not
     /// deterministic).
     pub worker: usize,
@@ -430,6 +437,41 @@ impl CampaignResult {
         } else {
             self.records.len() as f64 / secs
         }
+    }
+
+    /// Total monitor events dispatched across all runs (deterministic).
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.records.iter().map(|r| r.events).sum()
+    }
+
+    /// Monitor events per second of wall-clock time — the hot-path
+    /// throughput figure the interned-stack event model optimizes.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_events() as f64 / secs
+        }
+    }
+
+    /// The largest per-run depot (distinct interned stacks) in the
+    /// campaign.
+    #[must_use]
+    pub fn max_depot_stacks(&self) -> usize {
+        self.records.iter().map(|r| r.depot_stacks).max().unwrap_or(0)
+    }
+
+    /// The largest per-run shadow-word footprint in the campaign.
+    #[must_use]
+    pub fn peak_shadow_words(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.peak_shadow_words)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Per-shard latency aggregates, by shard id.
@@ -550,12 +592,21 @@ impl Campaign {
         specs
     }
 
-    /// Executes one spec: run the program, fingerprint the reports, feed
-    /// the dedup stage, and emit the record.
-    fn execute(&self, spec: RunSpec, worker: usize, shard: usize, dedup: &DedupMap) -> RunRecord {
+    /// Executes one spec: run the program (through the worker's reusable
+    /// detector arena), fingerprint the reports, feed the dedup stage, and
+    /// emit the record.
+    fn execute(
+        &self,
+        spec: RunSpec,
+        worker: usize,
+        shard: usize,
+        dedup: &DedupMap,
+        arena: &mut DetectorArena,
+    ) -> RunRecord {
         let unit = &self.units[spec.unit];
         let started = Instant::now();
-        let (outcome, reports) = spec.detector.run(
+        let (outcome, reports) = arena.run(
+            spec.detector,
             &unit.program,
             RunConfig {
                 seed: spec.seed,
@@ -582,6 +633,9 @@ impl Campaign {
             racy,
             fingerprints,
             steps: outcome.steps,
+            events: outcome.stats.events_dispatched,
+            depot_stacks: outcome.stats.depot.stacks,
+            peak_shadow_words: outcome.stats.peak_shadow_words,
             worker,
             shard,
             duration,
@@ -598,10 +652,12 @@ impl Campaign {
         let dedup = DedupMap::new(shards);
         let mut records: Vec<RunRecord>;
         if workers <= 1 {
-            // Serial path: same execute + dedup machinery, no threads.
+            // Serial path: same execute + dedup machinery, no threads. One
+            // arena serves every run, so shadow state warms up once.
+            let mut arena = DetectorArena::new();
             records = specs
                 .iter()
-                .map(|&spec| self.execute(spec, 0, spec.index % shards, &dedup))
+                .map(|&spec| self.execute(spec, 0, spec.index % shards, &dedup, &mut arena))
                 .collect();
         } else {
             let queues = ShardQueues::deal(shards, &specs);
@@ -612,9 +668,14 @@ impl Campaign {
                     let dedup = &dedup;
                     let collected = &collected;
                     scope.spawn(move || {
+                        // One depot + detector arena per worker, reused for
+                        // every spec the worker pops; per-run state resets
+                        // on run start, so placement stays invisible in the
+                        // deterministic outputs.
+                        let mut arena = DetectorArena::new();
                         let mut local = Vec::new();
                         while let Some((spec, shard)) = queues.pop(w) {
-                            local.push(self.execute(spec, w, shard, dedup));
+                            local.push(self.execute(spec, w, shard, dedup, &mut arena));
                         }
                         collected
                             .lock()

@@ -94,7 +94,7 @@ impl Ctx {
             return;
         }
         let mut k = self.kernel.lock();
-        let stack = Kernel::snapshot_stack(&k, self.gid);
+        let stack = Kernel::current_stack(&k, self.gid);
         self.kernel.emit_locked(
             &mut k,
             self.gid,
@@ -128,7 +128,7 @@ impl Ctx {
     #[must_use = "the frame is popped when the guard drops"]
     pub fn frame(&self, func: &str) -> FrameGuard<'_> {
         let line = SourceLoc::here().line;
-        self.kernel.push_frame(self.gid, Arc::from(func), line);
+        self.kernel.push_frame(self.gid, func, line);
         FrameGuard { ctx: self }
     }
 

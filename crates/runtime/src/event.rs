@@ -10,6 +10,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::depot::StackId;
 use crate::ids::{Addr, ChanId, Gid, LockUid, OnceId, WgId};
 
 /// Whether a memory access reads or writes, and whether it used `sync/atomic`.
@@ -213,6 +214,11 @@ pub enum EventKind {
     /// The goroutine's body returned (normally or by panic).
     GoroutineEnd,
     /// A shared-memory access.
+    ///
+    /// The calling context is carried as a depot-interned [`StackId`]
+    /// (resolve it through the run's [`crate::StackDepot`]); building this
+    /// event copies a `u32` instead of materializing a frame vector, which
+    /// is what keeps the §3.5 instrumentation overhead bounded.
     Access {
         /// Shadow address touched.
         addr: Addr,
@@ -221,8 +227,8 @@ pub enum EventKind {
         object: Arc<str>,
         /// Read/write, atomic or plain.
         kind: AccessKind,
-        /// Call stack at the access.
-        stack: Stack,
+        /// Interned call stack at the access.
+        stack: StackId,
         /// Source location of the access.
         loc: SourceLoc,
     },
@@ -305,11 +311,11 @@ pub enum EventKind {
 impl Event {
     /// Convenience: the access payload if this is an `Access` event.
     #[must_use]
-    pub fn as_access(&self) -> Option<(&Addr, AccessKind, &Stack, SourceLoc)> {
+    pub fn as_access(&self) -> Option<(&Addr, AccessKind, StackId, SourceLoc)> {
         match &self.kind {
             EventKind::Access {
                 addr, kind, stack, loc, ..
-            } => Some((addr, *kind, stack, *loc)),
+            } => Some((addr, *kind, *stack, *loc)),
             _ => None,
         }
     }

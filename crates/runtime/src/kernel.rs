@@ -28,9 +28,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::ctx::Ctx;
-use crate::event::{Event, EventKind, Frame, Stack};
+use crate::depot::{StackDepot, StackId};
+use crate::event::{Event, EventKind};
 use crate::ids::{ChanId, Gid, LockUid, OnceId, WgId};
-use crate::monitor::AnyMonitor;
+use crate::monitor::{AnyMonitor, MonitorStats};
 use crate::runtime::{DeadlockInfo, RunConfig, RuntimeError};
 use crate::sched::Scheduler;
 
@@ -81,7 +82,10 @@ enum GState {
 struct Goroutine {
     name: Arc<str>,
     state: GState,
-    stack: Vec<Frame>,
+    /// Current logical call stack, maintained incrementally as a depot id:
+    /// frame push interns one child node, frame pop walks one parent edge,
+    /// and the per-access "snapshot" is a `u32` copy.
+    stack: StackId,
 }
 
 /// The per-goroutine token gate: a binary semaphore.
@@ -217,6 +221,10 @@ pub(crate) struct KState {
     aborting: bool,
     run_finished: bool,
     live: usize,
+    /// Events actually handed to the monitor (excludes scheduler-only steps).
+    events_dispatched: u64,
+    /// High-water mark of `monitor.shadow_words()` across the run.
+    peak_shadow_words: usize,
     pub errors: Vec<RuntimeError>,
     pub deadlock: Option<DeadlockInfo>,
     pub leaked: Vec<(Gid, String)>,
@@ -234,10 +242,17 @@ pub struct Kernel {
     /// True when the monitor ignores events (instrumentation disabled; the
     /// `-race`-off baseline).
     noop_monitor: bool,
+    /// The run's stack interner. Lives outside the kernel lock (it has its
+    /// own) so report paths can resolve ids without kernel state.
+    depot: StackDepot,
 }
 
 impl Kernel {
-    pub(crate) fn new(config: &RunConfig, monitor: Box<dyn AnyMonitor>) -> Arc<Kernel> {
+    pub(crate) fn new(
+        config: &RunConfig,
+        monitor: Box<dyn AnyMonitor>,
+        depot: StackDepot,
+    ) -> Arc<Kernel> {
         install_quiet_poison_hook();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let sched = Scheduler::new(config.strategy, &mut rng, config.pct_steps_hint);
@@ -257,6 +272,8 @@ impl Kernel {
             aborting: false,
             run_finished: false,
             live: 0,
+            events_dispatched: 0,
+            peak_shadow_words: 0,
             errors: Vec::new(),
             deadlock: None,
             leaked: Vec::new(),
@@ -268,10 +285,7 @@ impl Kernel {
         state.goroutines.push(Goroutine {
             name: Arc::from("main"),
             state: GState::Running,
-            stack: vec![Frame {
-                func: Arc::from("main"),
-                call_line: 0,
-            }],
+            stack: depot.push(StackId::EMPTY, "main", 0),
         });
         state.gates.push(Arc::new(Gate::default()));
         state.live = 1;
@@ -293,6 +307,7 @@ impl Kernel {
             run_done: Condvar::new(),
             poisoned: AtomicBool::new(false),
             noop_monitor,
+            depot,
         })
     }
 
@@ -323,24 +338,31 @@ impl Kernel {
         };
         if let Some(mon) = k.monitor.as_mut() {
             mon.on_event(&ev);
+            k.events_dispatched += 1;
+            let words = mon.shadow_words();
+            if words > k.peak_shadow_words {
+                k.peak_shadow_words = words;
+            }
         }
     }
 
-    /// Snapshot of `gid`'s logical call stack.
-    pub(crate) fn snapshot_stack(k: &KState, gid: Gid) -> Stack {
-        Stack::from_frames(k.goroutines[gid.index()].stack.clone())
+    /// `gid`'s current logical call stack — a `u32` copy, no materialization.
+    pub(crate) fn current_stack(k: &KState, gid: Gid) -> StackId {
+        k.goroutines[gid.index()].stack
     }
 
-    pub(crate) fn push_frame(&self, gid: Gid, func: Arc<str>, call_line: u32) {
+    pub(crate) fn push_frame(&self, gid: Gid, func: &str, call_line: u32) {
         let mut k = self.lock();
-        k.goroutines[gid.index()].stack.push(Frame { func, call_line });
+        let cur = k.goroutines[gid.index()].stack;
+        k.goroutines[gid.index()].stack = self.depot.push(cur, func, call_line);
     }
 
     pub(crate) fn pop_frame(&self, gid: Gid) {
         let mut k = self.lock();
-        let st = &mut k.goroutines[gid.index()].stack;
-        if st.len() > 1 {
-            st.pop();
+        let cur = k.goroutines[gid.index()].stack;
+        // Keep the root (goroutine-body) frame, matching the old guard.
+        if self.depot.depth(cur) > 1 {
+            k.goroutines[gid.index()].stack = self.depot.parent(cur);
         }
     }
 
@@ -504,10 +526,7 @@ impl Kernel {
             k.goroutines.push(Goroutine {
                 name: name.clone(),
                 state: GState::Runnable,
-                stack: vec![Frame {
-                    func: name.clone(),
-                    call_line: 0,
-                }],
+                stack: self.depot.push(StackId::EMPTY, &name, 0),
             });
             k.gates.push(Arc::new(Gate::default()));
             k.live += 1;
@@ -628,12 +647,21 @@ impl Kernel {
         let mut k = self.lock();
         let mut monitor = k.monitor.take().expect("outcome taken twice");
         monitor.on_run_end();
+        let words = monitor.shadow_words();
+        if words > k.peak_shadow_words {
+            k.peak_shadow_words = words;
+        }
         let outcome = KernelOutcome {
             steps: k.step,
             goroutines_spawned: k.spawned_total,
             errors: std::mem::take(&mut k.errors),
             deadlock: k.deadlock.take(),
             leaked: std::mem::take(&mut k.leaked),
+            stats: MonitorStats {
+                events_dispatched: k.events_dispatched,
+                depot: self.depot.stats(),
+                peak_shadow_words: k.peak_shadow_words,
+            },
         };
         (outcome, monitor)
     }
@@ -647,6 +675,7 @@ pub(crate) struct KernelOutcome {
     pub errors: Vec<RuntimeError>,
     pub deadlock: Option<DeadlockInfo>,
     pub leaked: Vec<(Gid, String)>,
+    pub stats: MonitorStats,
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

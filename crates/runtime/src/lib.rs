@@ -61,6 +61,7 @@ pub mod cell;
 pub mod chan;
 pub mod context;
 pub mod ctx;
+pub mod depot;
 pub mod event;
 pub mod gomap;
 pub mod ids;
@@ -75,10 +76,11 @@ pub use cell::Cell;
 pub use chan::{Chan, RecvResult, Selected2};
 pub use context::GoContext;
 pub use ctx::Ctx;
+pub use depot::{DepotStats, StackDepot, StackId};
 pub use event::{AccessKind, Event, Frame, SourceLoc, Stack};
 pub use gomap::GoMap;
 pub use ids::{Addr, ChanId, Gid, LockUid, OnceId, WgId};
-pub use monitor::{Monitor, NullMonitor, RecordingMonitor, TraceHasher};
+pub use monitor::{Monitor, MonitorStats, NullMonitor, RecordingMonitor, TraceHasher};
 pub use runtime::{Program, RunConfig, RunOutcome, Runtime, RuntimeError};
 pub use sched::Strategy;
 pub use slice::GoSlice;

@@ -7,6 +7,7 @@
 //! increase with the detector on; our overhead bench compares
 //! [`NullMonitor`] against a real detector).
 
+use crate::depot::{DepotStats, StackDepot};
 use crate::event::Event;
 
 /// Consumes the instrumentation event stream of one program run.
@@ -15,6 +16,16 @@ use crate::event::Event;
 /// call back into the runtime. They receive events in a total order
 /// consistent with the executed interleaving.
 pub trait Monitor: Send {
+    /// Called once before the run's first event with the run's stack
+    /// depot. Monitors that need to resolve the [`StackId`]s carried by
+    /// access events (race detectors building reports) clone the handle
+    /// here; the default implementation ignores it.
+    ///
+    /// [`StackId`]: crate::StackId
+    fn on_run_start(&mut self, depot: &StackDepot) {
+        let _ = depot;
+    }
+
     /// Called once per instrumentation event, in execution order.
     fn on_event(&mut self, event: &Event);
 
@@ -29,6 +40,32 @@ pub trait Monitor: Send {
     fn is_noop(&self) -> bool {
         false
     }
+
+    /// Number of shadow words (per-variable detector metadata slots) the
+    /// monitor currently holds — the §3.5 memory-overhead statistic,
+    /// surfaced through [`MonitorStats::peak_shadow_words`]. Non-detector
+    /// monitors report 0.
+    fn shadow_words(&self) -> usize {
+        0
+    }
+}
+
+/// The per-run instrumentation counter block, filled by the runtime and
+/// returned on [`crate::RunOutcome::stats`].
+///
+/// This is the §3.5 overhead experiment made observable: how many events
+/// the monitor had to consume, how much distinct calling context the stack
+/// depot interned for them, and how much shadow state the detector kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Events dispatched to the monitor (0 under a no-op monitor, which
+    /// models the `-race`-off baseline).
+    pub events_dispatched: u64,
+    /// Stack-depot contents at the end of the run.
+    pub depot: DepotStats,
+    /// Peak shadow-word count reported by the monitor (see
+    /// [`Monitor::shadow_words`]).
+    pub peak_shadow_words: usize,
 }
 
 /// A monitor that ignores everything — the "race detector off" baseline.
@@ -57,6 +94,7 @@ impl Monitor for NullMonitor {
 #[derive(Debug, Default)]
 pub struct RecordingMonitor {
     events: Vec<Event>,
+    depot: Option<StackDepot>,
 }
 
 impl RecordingMonitor {
@@ -72,6 +110,26 @@ impl RecordingMonitor {
         &self.events
     }
 
+    /// The depot of the recorded run (present after the run started), for
+    /// resolving the `StackId`s carried by access events.
+    #[must_use]
+    pub fn depot(&self) -> Option<&StackDepot> {
+        self.depot.as_ref()
+    }
+
+    /// Materializes an access event's interned stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before a run attached a depot.
+    #[must_use]
+    pub fn resolve_stack(&self, id: crate::StackId) -> crate::Stack {
+        self.depot
+            .as_ref()
+            .expect("no run recorded yet")
+            .resolve(id)
+    }
+
     /// Consumes the recorder, returning the events.
     #[must_use]
     pub fn into_events(self) -> Vec<Event> {
@@ -80,6 +138,10 @@ impl RecordingMonitor {
 }
 
 impl Monitor for RecordingMonitor {
+    fn on_run_start(&mut self, depot: &StackDepot) {
+        self.depot = Some(depot.clone());
+    }
+
     fn on_event(&mut self, event: &Event) {
         self.events.push(event.clone());
     }
@@ -200,6 +262,10 @@ impl<M: Monitor + std::any::Any> AnyMonitor for M {
 }
 
 impl<M: Monitor + ?Sized> Monitor for Box<M> {
+    fn on_run_start(&mut self, depot: &StackDepot) {
+        (**self).on_run_start(depot);
+    }
+
     fn on_event(&mut self, event: &Event) {
         (**self).on_event(event);
     }
@@ -210,5 +276,9 @@ impl<M: Monitor + ?Sized> Monitor for Box<M> {
 
     fn is_noop(&self) -> bool {
         (**self).is_noop()
+    }
+
+    fn shadow_words(&self) -> usize {
+        (**self).shadow_words()
     }
 }

@@ -5,9 +5,10 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crate::ctx::Ctx;
+use crate::depot::StackDepot;
 use crate::ids::Gid;
 use crate::kernel::{Kernel, PoisonExit};
-use crate::monitor::Monitor;
+use crate::monitor::{Monitor, MonitorStats};
 use crate::sched::Strategy;
 
 /// A re-runnable simulated Go program: a name plus the main goroutine body.
@@ -200,6 +201,9 @@ pub struct RunOutcome {
     /// Goroutines still blocked when main finished — Go would leak them
     /// silently (Listing 9's forever-blocked Future sender).
     pub leaked: Vec<(Gid, String)>,
+    /// Instrumentation counters: events dispatched, depot contents, peak
+    /// shadow words (the §3.5 overhead statistics).
+    pub stats: MonitorStats,
 }
 
 impl RunOutcome {
@@ -233,9 +237,25 @@ impl Runtime {
 
     /// Runs `program` to completion under `monitor`, returning the outcome
     /// and the monitor (with whatever it accumulated — race reports, event
-    /// traces, counts).
+    /// traces, counts). Uses a fresh [`StackDepot`] for the run.
     pub fn run<M: Monitor + 'static>(&self, program: &Program, monitor: M) -> (RunOutcome, M) {
-        let kernel = Kernel::new(&self.config, Box::new(monitor));
+        self.run_with_depot(program, monitor, &StackDepot::new())
+    }
+
+    /// Like [`Runtime::run`], but interns stacks into a caller-owned depot,
+    /// which is **reset** first (ids must be a deterministic function of
+    /// this run alone, or trace digests would depend on what ran before).
+    /// Campaign workers pass one depot per shard so its allocations stay
+    /// warm across thousands of runs.
+    pub fn run_with_depot<M: Monitor + 'static>(
+        &self,
+        program: &Program,
+        mut monitor: M,
+        depot: &StackDepot,
+    ) -> (RunOutcome, M) {
+        depot.reset();
+        monitor.on_run_start(depot);
+        let kernel = Kernel::new(&self.config, Box::new(monitor), depot.clone());
         let ctx = Ctx::new(Gid::MAIN, Arc::clone(&kernel));
         let result = panic::catch_unwind(AssertUnwindSafe(|| (program.body)(&ctx)));
         let panicked = match result {
@@ -262,6 +282,7 @@ impl Runtime {
             errors: raw.errors,
             deadlock: raw.deadlock,
             leaked: raw.leaked,
+            stats: raw.stats,
         };
         let monitor = *monitor
             .into_any()

@@ -607,9 +607,10 @@ fn frames_appear_in_access_stacks() {
     let access = mon
         .events()
         .iter()
-        .find_map(|e| e.as_access().map(|(_, _, s, _)| s.clone()))
+        .find_map(|e| e.as_access().map(|(_, _, s, _)| s))
         .expect("one access event");
-    assert_eq!(access.func_names(), vec!["main", "ProcessAll", "SafeAppend"]);
+    let stack = mon.resolve_stack(access);
+    assert_eq!(stack.func_names(), vec!["main", "ProcessAll", "SafeAppend"]);
 }
 
 #[test]

@@ -57,7 +57,7 @@ fn result_json(r: &CampaignResult, label: &str) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        r#"{{"label":"{}","workers":{},"shards":{},"total_runs":{},"racy_runs":{},"unique_races":{},"detection_rate":{:.4},"wall_ms":{:.3},"throughput_rps":{:.1}"#,
+        r#"{{"label":"{}","workers":{},"shards":{},"total_runs":{},"racy_runs":{},"unique_races":{},"detection_rate":{:.4},"wall_ms":{:.3},"throughput_rps":{:.1},"total_events":{},"events_per_sec":{:.0},"max_depot_stacks":{},"peak_shadow_words":{}"#,
         json_escape(label),
         r.workers,
         r.shards,
@@ -67,6 +67,10 @@ fn result_json(r: &CampaignResult, label: &str) -> String {
         r.detection_rate(),
         r.wall.as_secs_f64() * 1e3,
         r.throughput_rps(),
+        r.total_events(),
+        r.events_per_sec(),
+        r.max_depot_stacks(),
+        r.peak_shadow_words(),
     );
     s.push_str(",\"shard_latency_ms\":[");
     for (i, st) in r.shard_stats().iter().enumerate() {
@@ -138,6 +142,13 @@ fn main() {
         result.throughput_rps(),
         result.racy_runs(),
         result.batch.len(),
+    );
+    println!(
+        "   hot path: {} events ({:.2} M events/s) · depot ≤ {} stacks/run · shadow ≤ {} words/run",
+        result.total_events(),
+        result.events_per_sec() / 1e6,
+        result.max_depot_stacks(),
+        result.peak_shadow_words(),
     );
     for st in result.shard_stats() {
         println!(

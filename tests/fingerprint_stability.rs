@@ -1,0 +1,66 @@
+//! Property test: depot-interned fingerprints equal materialized-stack
+//! fingerprints.
+//!
+//! The deploy layer's `race_fingerprint` hashes the report's materialized
+//! [`Stack`]s; `race_fingerprint_interned` resolves the report's `StackId`s
+//! through the run's depot instead. The two must be bit-identical — the
+//! fingerprint is a stable bug identity (§3.3.1), so the interned-stack
+//! refactor may not move a single bit of it. This test drives a seeded
+//! random walk over (unit, seed, detector) triples through a reusable
+//! [`DetectorArena`] — the exact campaign hot path — and checks every
+//! report both ways while the producing run's depot is still live.
+
+use grs::deploy::{race_fingerprint, race_fingerprint_interned};
+use grs::detector::{DetectorArena, DetectorChoice};
+use grs::fleet::pattern_suite;
+use grs::runtime::{RunConfig, Strategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn interned_fingerprints_match_materialized_fingerprints() {
+    let units = pattern_suite(true);
+    let detectors = [
+        DetectorChoice::FastTrack,
+        DetectorChoice::Eraser,
+        DetectorChoice::Hybrid,
+    ];
+    let mut rng = StdRng::seed_from_u64(0x5eed_f00d);
+    let mut arena = DetectorArena::new();
+    let (mut runs, mut reports_checked) = (0usize, 0usize);
+    // ≥32 campaign-style runs (ISSUE floor); 96 keeps it cheap but broad.
+    while runs < 96 {
+        let unit = &units[rng.gen_range(0..units.len())];
+        let detector = detectors[rng.gen_range(0..detectors.len())];
+        let cfg = RunConfig {
+            seed: rng.gen_range(0..1u64 << 32),
+            strategy: if rng.gen_range(0..2) == 0 {
+                Strategy::Random
+            } else {
+                Strategy::Pct { depth: 2 }
+            },
+            ..RunConfig::default()
+        };
+        let (_, reports) = arena.run(detector, &unit.program, cfg);
+        // The arena's depot still holds this run's stacks: the next
+        // arena.run resets it, so fingerprint now, exactly as the campaign
+        // dedup stage does.
+        for r in &reports {
+            assert_eq!(
+                race_fingerprint(r),
+                race_fingerprint_interned(r, arena.depot()),
+                "unit {} detector {detector}: interned fingerprint diverged",
+                unit.name,
+            );
+        }
+        reports_checked += reports.len();
+        runs += 1;
+    }
+    assert!(runs >= 32);
+    // The property must not hold vacuously — the racy half of the pattern
+    // suite guarantees plenty of reports across 96 runs.
+    assert!(
+        reports_checked >= 16,
+        "only {reports_checked} reports produced; property undertested"
+    );
+}
