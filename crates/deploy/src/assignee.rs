@@ -247,6 +247,7 @@ mod tests {
             detector: DetectorKind::Tsan,
             program: None,
             repro_seed: None,
+            repro: None,
         }
     }
 

@@ -162,6 +162,7 @@ mod tests {
             detector: DetectorKind::Tsan,
             program: None,
             repro_seed: Some(seed),
+            repro: None,
         }
     }
 
@@ -211,6 +212,50 @@ mod tests {
         for (a, b) in m.iter().zip(s.iter()) {
             assert_eq!(a.repro_seed, b.repro_seed);
         }
+    }
+
+    #[test]
+    fn repro_artifact_survives_batch_intake_into_the_task() {
+        use grs_runtime::{ReproArtifact, Strategy};
+        let mut r = report("F", 10, 7);
+        r.repro = Some(ReproArtifact {
+            seed: 7,
+            strategy: Strategy::RoundRobin,
+            trace_digest: Some(0x1234),
+            trace_path: Some("traces/f.grtrace".into()),
+        });
+        let mut b = RaceBatch::new();
+        b.add(r, 0);
+        let mut p = Pipeline::new(OwnerDb::new());
+        let outcomes = p.submit_batch(&b, 0);
+        let FileOutcome::Filed { task, .. } = outcomes[0].1 else {
+            panic!("must file");
+        };
+        let task = p.tracker().task(task);
+        assert_eq!(task.repro_seed, Some(7));
+        let artifact = task.repro.as_ref().expect("artifact attached");
+        assert_eq!(artifact.strategy, Strategy::RoundRobin);
+        assert_eq!(artifact.trace_digest, Some(0x1234));
+        assert_eq!(artifact.trace_path.as_deref(), Some("traces/f.grtrace"));
+    }
+
+    #[test]
+    fn seed_only_reports_still_file_reproducible_tasks() {
+        // Legacy path: no artifact on the report, just a repro seed.
+        let mut b = RaceBatch::new();
+        b.add(report("G", 5, 9), 0);
+        let mut p = Pipeline::new(OwnerDb::new());
+        let outcomes = p.submit_batch(&b, 0);
+        let FileOutcome::Filed { task, .. } = outcomes[0].1 else {
+            panic!("must file");
+        };
+        let task = p.tracker().task(task);
+        assert_eq!(task.repro_seed, Some(9));
+        assert_eq!(
+            task.repro,
+            Some(grs_runtime::ReproArtifact::seed_only(9)),
+            "seed-only fallback artifact"
+        );
     }
 
     #[test]

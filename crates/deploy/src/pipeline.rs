@@ -62,9 +62,16 @@ impl Pipeline {
     pub fn submit(&mut self, report: &RaceReport, day: u32) -> FileOutcome {
         let fp = race_fingerprint(report);
         let decision = determine_assignee(report, &self.owners);
+        // Prefer the report's full artifact (seed + strategy + trace digest
+        // from a replay campaign); fall back to a seed-only artifact so
+        // legacy seed-tagged reports still file reproducible tasks.
+        let repro = report
+            .repro
+            .clone()
+            .or_else(|| report.repro_seed.map(grs_runtime::ReproArtifact::seed_only));
         match self
             .tracker
-            .file_with_repro(fp, day, decision.assignee.clone(), report.repro_seed)
+            .file_with_repro(fp, day, decision.assignee.clone(), repro)
         {
             Some(task) => FileOutcome::Filed {
                 task,
@@ -133,6 +140,7 @@ mod tests {
             detector: DetectorKind::Tsan,
             program: None,
             repro_seed: None,
+            repro: None,
         }
     }
 

@@ -8,6 +8,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use grs_runtime::ReproArtifact;
+
 use crate::fingerprint::Fingerprint;
 
 /// Identity of a filed task.
@@ -50,8 +52,13 @@ pub struct Task {
     /// Assignee, when the heuristic found one.
     pub assignee: Option<String>,
     /// Reproduction instructions (§3.4): the scheduler seed that replays
-    /// the detected interleaving.
+    /// the detected interleaving. Kept alongside [`Task::repro`] as the
+    /// stable, minimal form (`repro.seed` when an artifact is attached).
     pub repro_seed: Option<u64>,
+    /// Full reproduction artifact: seed, scheduling strategy, and — when a
+    /// trace was recorded — its digest and on-disk `.grtrace` path, so an
+    /// engineer can replay the *exact* interleaving offline.
+    pub repro: Option<ReproArtifact>,
 }
 
 /// An in-memory bug database.
@@ -87,14 +94,15 @@ impl BugTracker {
         self.file_with_repro(fp, day, assignee, None)
     }
 
-    /// Like [`BugTracker::file`], also recording reproduction instructions
-    /// (the scheduler seed that replays the race, §3.4).
+    /// Like [`BugTracker::file`], also recording a reproduction artifact
+    /// (§3.4): at minimum the scheduler seed that replays the race, and —
+    /// when the campaign recorded a trace — its digest and `.grtrace` path.
     pub fn file_with_repro(
         &mut self,
         fp: Fingerprint,
         day: u32,
         assignee: Option<String>,
-        repro_seed: Option<u64>,
+        repro: Option<ReproArtifact>,
     ) -> Option<TaskId> {
         if self.open_by_fp.contains_key(&fp) {
             return None;
@@ -109,7 +117,8 @@ impl BugTracker {
             fixed_by: None,
             patch: None,
             assignee,
-            repro_seed,
+            repro_seed: repro.as_ref().map(|r| r.seed),
+            repro,
         });
         self.open_by_fp.insert(fp, id);
         Some(id)
@@ -232,6 +241,28 @@ mod tests {
         assert_eq!(t.total_fixed(), 3);
         assert_eq!(t.unique_fixers(), 2);
         assert_eq!(t.unique_patches(), 2);
+    }
+
+    #[test]
+    fn repro_artifact_round_trips_and_populates_seed() {
+        use grs_runtime::Strategy;
+        let mut t = BugTracker::new();
+        let artifact = ReproArtifact {
+            seed: 41,
+            strategy: Strategy::Pct { depth: 3 },
+            trace_digest: Some(0xdead_beef),
+            trace_path: Some("traces/loop_capture.grtrace".into()),
+        };
+        let id = t
+            .file_with_repro(Fingerprint(9), 0, None, Some(artifact.clone()))
+            .unwrap();
+        let task = t.task(id);
+        assert_eq!(task.repro_seed, Some(41), "seed derived from artifact");
+        assert_eq!(task.repro.as_ref(), Some(&artifact));
+        // Bare `file` leaves both forms empty.
+        let id2 = t.file(Fingerprint(10), 0, None).unwrap();
+        assert_eq!(t.task(id2).repro_seed, None);
+        assert!(t.task(id2).repro.is_none());
     }
 
     #[test]

@@ -70,6 +70,7 @@ fn report(
         detector: DetectorKind::Tsan,
         program: None,
             repro_seed: None,
+            repro: None,
     }
 }
 

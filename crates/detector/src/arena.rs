@@ -15,11 +15,12 @@
 //! fresh detector — [`DetectorChoice::run`] and [`DetectorArena::run`] are
 //! interchangeable, and the tests below pin that equivalence.
 
-use grs_runtime::{Program, RunConfig, RunOutcome, Runtime, StackDepot};
+use grs_runtime::{Program, RunConfig, RunOutcome, Runtime, StackDepot, Trace};
 
 use crate::eraser::Eraser;
 use crate::explorer::DetectorChoice;
 use crate::fasttrack::{FastTrack, FastTrackConfig};
+use crate::replay::{replay_prepared, ReplayAnalyzer, ReplayOutcome};
 use crate::report::RaceReport;
 use crate::tsan::Tsan;
 
@@ -125,6 +126,54 @@ impl DetectorArena {
                 (o, reports)
             }
         }
+    }
+
+    fn analyzer_mut(&mut self, choice: DetectorChoice) -> &mut dyn ReplayAnalyzer {
+        match choice {
+            DetectorChoice::FastTrack => &mut self.fasttrack,
+            DetectorChoice::PureVectorClock => &mut self.pure_vc,
+            DetectorChoice::Eraser => &mut self.eraser,
+            DetectorChoice::Hybrid => &mut self.hybrid,
+        }
+    }
+
+    /// Analyzes a recorded trace offline under `choice`, reusing this
+    /// arena's detector instance. Rebuilds the trace's depot snapshot into
+    /// the arena depot, so report `stack_id`s resolve through
+    /// [`DetectorArena::depot`] afterwards. Reports are bit-identical to a
+    /// live [`DetectorArena::run`] of the recorded `(seed, strategy)`.
+    pub fn replay(&mut self, choice: DetectorChoice, trace: &Trace) -> ReplayOutcome {
+        trace.rebuild_depot_into(&self.depot);
+        let depot = self.depot.clone();
+        replay_prepared(self.analyzer_mut(choice), trace, &depot)
+    }
+
+    /// Fans one recorded trace through **all four** detector algorithms —
+    /// the execute-once/analyze-many core of the replay campaign. The
+    /// depot snapshot is rebuilt once and shared; each algorithm's reports
+    /// are pinned bit-identical to its live run by the replay-fidelity
+    /// tests.
+    pub fn replay_all(&mut self, trace: &Trace) -> Vec<(DetectorChoice, ReplayOutcome)> {
+        self.replay_many(trace, &DetectorChoice::all_with_ablation())
+    }
+
+    /// Fans one recorded trace through the given detector algorithms,
+    /// rebuilding the depot snapshot once and sharing it — the campaign
+    /// engine's path for arbitrary configured detector subsets.
+    pub fn replay_many(
+        &mut self,
+        trace: &Trace,
+        choices: &[DetectorChoice],
+    ) -> Vec<(DetectorChoice, ReplayOutcome)> {
+        trace.rebuild_depot_into(&self.depot);
+        let depot = self.depot.clone();
+        choices
+            .iter()
+            .map(|&choice| {
+                let out = replay_prepared(self.analyzer_mut(choice), trace, &depot);
+                (choice, out)
+            })
+            .collect()
     }
 }
 

@@ -252,6 +252,7 @@ impl Eraser {
                             detector: DetectorKind::Eraser,
                             program: None,
                             repro_seed: None,
+                            repro: None,
                         };
                         self.reports.push(report);
                     }

@@ -61,6 +61,18 @@ impl DetectorChoice {
         ]
     }
 
+    /// All four algorithms, including the pure-vector-clock ablation — the
+    /// set the replay harness fans every trace through.
+    #[must_use]
+    pub fn all_with_ablation() -> [DetectorChoice; 4] {
+        [
+            DetectorChoice::FastTrack,
+            DetectorChoice::PureVectorClock,
+            DetectorChoice::Eraser,
+            DetectorChoice::Hybrid,
+        ]
+    }
+
     /// Short stable label (used in campaign summaries and JSON output).
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -93,6 +105,31 @@ impl DetectorChoice {
             DetectorChoice::Hybrid => {
                 let (o, m) = runtime.run(program, Tsan::new());
                 (o, m.into_reports())
+            }
+        }
+    }
+
+    /// Analyzes a recorded trace offline with a fresh instance of this
+    /// detector. For a trace recorded from a live run, the reports are
+    /// bit-identical to [`DetectorChoice::run`] under the same config —
+    /// the replay-fidelity guarantee the record/replay subsystem rests on.
+    #[must_use]
+    pub fn replay(self, trace: &grs_runtime::Trace) -> crate::replay::ReplayOutcome {
+        let depot = grs_runtime::StackDepot::new();
+        match self {
+            DetectorChoice::FastTrack => {
+                crate::replay::replay_trace(&mut FastTrack::new(), trace, &depot)
+            }
+            DetectorChoice::PureVectorClock => crate::replay::replay_trace(
+                &mut FastTrack::with_config(FastTrackConfig::pure_vc()),
+                trace,
+                &depot,
+            ),
+            DetectorChoice::Eraser => {
+                crate::replay::replay_trace(&mut Eraser::new(), trace, &depot)
+            }
+            DetectorChoice::Hybrid => {
+                crate::replay::replay_trace(&mut Tsan::new(), trace, &depot)
             }
         }
     }
@@ -292,6 +329,10 @@ impl Explorer {
             for mut r in reports {
                 r.program = Some(std::sync::Arc::from(program.name()));
                 r.repro_seed = Some(seed);
+                r.repro = Some(grs_runtime::ReproArtifact::seeded(
+                    seed,
+                    self.config.strategy,
+                ));
                 if seen.insert(r.site_key()) {
                     result.unique_races.push(r);
                 }

@@ -330,6 +330,7 @@ impl FastTrack {
             detector: self.cfg.kind,
             program: None,
             repro_seed: None,
+            repro: None,
         };
         if self.seen_sites.insert(report.site_key()) {
             self.reports.push(report);

@@ -47,6 +47,7 @@ pub mod arena;
 pub mod eraser;
 pub mod explorer;
 pub mod fasttrack;
+pub mod replay;
 pub mod report;
 pub mod tsan;
 
@@ -54,5 +55,6 @@ pub use arena::DetectorArena;
 pub use eraser::Eraser;
 pub use explorer::{default_workers, DetectorChoice, ExploreConfig, ExploreResult, Explorer};
 pub use fasttrack::{FastTrack, FastTrackConfig};
+pub use replay::{replay_trace, ReplayAnalyzer, ReplayOutcome};
 pub use report::{DetectorKind, RaceAccess, RaceReport};
 pub use tsan::Tsan;

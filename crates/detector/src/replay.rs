@@ -1,0 +1,207 @@
+//! Offline trace replay: feed a recorded [`Trace`] through any detector.
+//!
+//! Every detector in this crate is *schedule-independent*: its entire
+//! analysis is a fold over the totally ordered event stream delivered to
+//! `Monitor::on_event`, and the runtime's scheduler never consults the
+//! monitor. FastTrack is literally defined over a trace (Flanagan &
+//! Freund), and Eraser/TSan likewise only see events. That makes the
+//! live-monitoring path and this offline path two drivers of the same
+//! core — which is exactly what [`ReplayAnalyzer`] captures:
+//!
+//! * [`ReplayAnalyzer::begin_replay`] resets per-run shadow state and
+//!   attaches the trace's rebuilt depot (the live path's `on_run_start`);
+//! * [`ReplayAnalyzer::replay_event`] is the schedule-independent
+//!   `on_event` core, unchanged;
+//! * [`ReplayAnalyzer::finish_replay`] flushes and yields the reports.
+//!
+//! The replay driver ([`replay_trace`]) also mirrors the runtime kernel's
+//! bookkeeping — events dispatched, peak shadow words sampled after every
+//! event *and* once after the end-of-run flush — so a replayed run's
+//! statistics are bit-identical to the live run's [`MonitorStats`], not
+//! just its reports.
+//!
+//! [`MonitorStats`]: grs_runtime::MonitorStats
+
+use grs_runtime::{Event, Monitor, StackDepot, Trace};
+
+use crate::eraser::Eraser;
+use crate::fasttrack::FastTrack;
+use crate::report::RaceReport;
+use crate::tsan::Tsan;
+
+/// A detector core that can analyze a recorded trace offline.
+///
+/// Implemented by every algorithm in this crate (FastTrack, its
+/// pure-vector-clock ablation, Eraser, and the TSan hybrid). The contract:
+/// for a trace recorded from a live run, `begin_replay` + one
+/// `replay_event` per recorded event + `finish_replay` must produce
+/// reports bit-identical to what the same detector would have produced
+/// monitoring that run live.
+pub trait ReplayAnalyzer: Send {
+    /// Starts a fresh analysis: clears per-run shadow state (allocations
+    /// stay warm) and attaches the depot the trace's [`StackId`]s resolve
+    /// through.
+    ///
+    /// [`StackId`]: grs_runtime::StackId
+    fn begin_replay(&mut self, depot: &StackDepot);
+
+    /// Consumes one recorded event — the same schedule-independent core
+    /// the live `Monitor::on_event` path dispatches to.
+    fn replay_event(&mut self, event: &Event);
+
+    /// Finishes the analysis and takes the accumulated race reports,
+    /// leaving the analyzer reusable for the next trace.
+    fn finish_replay(&mut self) -> Vec<RaceReport>;
+
+    /// Current shadow-word footprint (mirrors `Monitor::shadow_words`, so
+    /// replayed peak-shadow statistics match live runs).
+    fn replay_shadow_words(&self) -> usize;
+}
+
+/// The three concrete monitor types share one blanket bridge: their
+/// `Monitor` impls are already pure event folds, so the replay hooks
+/// delegate straight to them.
+macro_rules! impl_replay_analyzer {
+    ($($ty:ty),+) => {$(
+        impl ReplayAnalyzer for $ty {
+            fn begin_replay(&mut self, depot: &StackDepot) {
+                Monitor::on_run_start(self, depot);
+            }
+
+            fn replay_event(&mut self, event: &Event) {
+                Monitor::on_event(self, event);
+            }
+
+            fn finish_replay(&mut self) -> Vec<RaceReport> {
+                Monitor::on_run_end(self);
+                self.take_reports()
+            }
+
+            fn replay_shadow_words(&self) -> usize {
+                Monitor::shadow_words(self)
+            }
+        }
+    )+};
+}
+
+impl_replay_analyzer!(FastTrack, Eraser, Tsan);
+
+/// What one offline analysis of a trace produced.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// The races the analyzer reported, in detection order.
+    pub reports: Vec<RaceReport>,
+    /// Events fed to the analyzer — equals the live run's
+    /// `events_dispatched` (the recorder saw every dispatched event).
+    pub events: u64,
+    /// Peak shadow words, sampled exactly like the live kernel does (after
+    /// every event, and once more after the end-of-run flush).
+    pub peak_shadow_words: usize,
+}
+
+/// Replays `trace` through `analyzer`, rebuilding the trace's depot
+/// snapshot into `depot` first.
+///
+/// The rebuilt depot reproduces the recorded id assignment exactly
+/// (first-intern order), so the `StackId`s carried by replayed access
+/// events resolve to the same stacks the live run saw.
+pub fn replay_trace(
+    analyzer: &mut (impl ReplayAnalyzer + ?Sized),
+    trace: &Trace,
+    depot: &StackDepot,
+) -> ReplayOutcome {
+    trace.rebuild_depot_into(depot);
+    replay_prepared(analyzer, trace, depot)
+}
+
+/// Replays `trace` through `analyzer` against a depot that *already* holds
+/// the trace's stacks (e.g. rebuilt once and shared across several
+/// analyzers by [`DetectorArena::replay_all`]).
+///
+/// [`DetectorArena::replay_all`]: crate::DetectorArena::replay_all
+pub fn replay_prepared(
+    analyzer: &mut (impl ReplayAnalyzer + ?Sized),
+    trace: &Trace,
+    depot: &StackDepot,
+) -> ReplayOutcome {
+    analyzer.begin_replay(depot);
+    let mut peak = 0usize;
+    for event in &trace.events {
+        analyzer.replay_event(event);
+        peak = peak.max(analyzer.replay_shadow_words());
+    }
+    let reports = analyzer.finish_replay();
+    peak = peak.max(analyzer.replay_shadow_words());
+    ReplayOutcome {
+        reports,
+        events: trace.events.len() as u64,
+        peak_shadow_words: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::DetectorChoice;
+    use grs_runtime::{record, Program, RunConfig};
+
+    fn racy_program() -> Program {
+        Program::new("racy_counter", |ctx| {
+            let x = ctx.cell("x", 0i64);
+            let mu = ctx.mutex("mu");
+            let done = ctx.chan::<()>("done", 2);
+            for g in 0..2 {
+                let (x, mu, done) = (x.clone(), mu.clone(), done.clone());
+                ctx.go("w", move |ctx| {
+                    if g == 0 {
+                        mu.lock(ctx);
+                        ctx.update(&x, |v| v + 1);
+                        mu.unlock(ctx);
+                    } else {
+                        ctx.update(&x, |v| v + 1);
+                    }
+                    done.send(ctx, ());
+                });
+            }
+            for _ in 0..2 {
+                let _ = done.recv(ctx);
+            }
+        })
+    }
+
+    #[test]
+    fn replay_matches_live_for_every_algorithm() {
+        let p = racy_program();
+        for seed in 0..16 {
+            let cfg = RunConfig::with_seed(seed);
+            let (outcome, trace) = record(&p, &cfg);
+            for choice in DetectorChoice::all_with_ablation() {
+                let (live_o, live_r) = choice.run(&p, cfg.clone());
+                let replayed = choice.replay(&trace);
+                assert_eq!(replayed.events, live_o.stats.events_dispatched);
+                assert_eq!(
+                    replayed.peak_shadow_words, live_o.stats.peak_shadow_words,
+                    "{choice} seed {seed}: shadow peak"
+                );
+                assert_eq!(outcome.steps, live_o.steps);
+                assert_eq!(replayed.reports.len(), live_r.len(), "{choice} seed {seed}");
+                for (a, b) in replayed.reports.iter().zip(live_r.iter()) {
+                    assert_eq!(format!("{a}"), format!("{b}"), "{choice} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analyzer_is_reusable_across_traces() {
+        let p = racy_program();
+        let depot = StackDepot::new();
+        let mut ft = FastTrack::new();
+        for seed in [3u64, 9, 3] {
+            let (_, trace) = record(&p, &RunConfig::with_seed(seed));
+            let (_, live) = DetectorChoice::FastTrack.run(&p, RunConfig::with_seed(seed));
+            let out = replay_trace(&mut ft, &trace, &depot);
+            assert_eq!(out.reports.len(), live.len(), "seed {seed}");
+        }
+    }
+}

@@ -7,7 +7,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use grs_clock::Lockset;
-use grs_runtime::{AccessKind, Addr, Gid, SourceLoc, Stack, StackId};
+use grs_runtime::{AccessKind, Addr, Gid, ReproArtifact, SourceLoc, Stack, StackId};
 
 /// Which algorithm produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +85,11 @@ pub struct RaceReport {
     /// instructions to reproduce": rerunning the program under this seed
     /// replays the interleaving deterministically (filled by the explorer).
     pub repro_seed: Option<u64>,
+    /// The full reproduction artifact (seed + strategy + trace digest +
+    /// optional `.grtrace` path) when the producing run was recorded or the
+    /// filling harness knows its strategy. Supersedes `repro_seed`, which
+    /// is kept as the bare-seed projection.
+    pub repro: Option<ReproArtifact>,
 }
 
 impl RaceReport {
@@ -156,6 +161,7 @@ mod tests {
             detector: DetectorKind::FastTrack,
             program: None,
             repro_seed: None,
+            repro: None,
         }
     }
 

@@ -24,10 +24,10 @@ use std::time::{Duration, Instant};
 
 use grs_deploy::{race_fingerprint, FileOutcome, Fingerprint, Pipeline, RaceBatch};
 use grs_detector::{default_workers, DetectorArena, DetectorChoice};
-use grs_runtime::{Program, RunConfig, Strategy};
+use grs_runtime::{record_with_depot, Program, ReproArtifact, RunConfig, Strategy};
 
 use crate::dedup::DedupMap;
-use crate::shard::{RunSpec, ShardQueues};
+use crate::shard::{ExecSpec, RunSpec, ShardQueues};
 
 /// One campaignable program.
 #[derive(Debug, Clone)]
@@ -388,6 +388,51 @@ pub struct ShardStats {
     pub max: Duration,
 }
 
+/// Aggregate counters of an execute-once replay campaign
+/// ([`Campaign::run_replay`]): how many schedule executions were recorded,
+/// how many offline detector analyses they fanned into, and how big the
+/// trace artifacts were. Wall figures are summed across workers (CPU-time
+/// style), so they compare record cost against replay cost directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Schedule executions recorded (one per `(unit, seed, strategy)`).
+    pub executions: usize,
+    /// Offline detector analyses fanned out from those traces.
+    pub replays: usize,
+    /// Total events across all recorded traces.
+    pub trace_events: u64,
+    /// Total encoded `.grtrace` bytes across all traces.
+    pub trace_bytes_total: u64,
+    /// Largest single encoded trace, in bytes.
+    pub trace_bytes_max: usize,
+    /// Time spent executing + recording + encoding, summed across workers.
+    pub record_wall: Duration,
+    /// Time spent in offline detector replays, summed across workers.
+    pub replay_wall: Duration,
+}
+
+impl ReplayStats {
+    fn merge(&mut self, other: &ReplayStats) {
+        self.executions += other.executions;
+        self.replays += other.replays;
+        self.trace_events += other.trace_events;
+        self.trace_bytes_total += other.trace_bytes_total;
+        self.trace_bytes_max = self.trace_bytes_max.max(other.trace_bytes_max);
+        self.record_wall += other.record_wall;
+        self.replay_wall += other.replay_wall;
+    }
+
+    /// Mean encoded trace size in bytes (0 when nothing was recorded).
+    #[must_use]
+    pub fn avg_trace_bytes(&self) -> u64 {
+        if self.executions == 0 {
+            0
+        } else {
+            self.trace_bytes_total / self.executions as u64
+        }
+    }
+}
+
 /// A finished campaign.
 #[derive(Debug)]
 pub struct CampaignResult {
@@ -403,6 +448,9 @@ pub struct CampaignResult {
     pub shards: usize,
     /// End-to-end wall-clock time.
     pub wall: Duration,
+    /// Record/replay counters when the campaign ran execute-once
+    /// ([`Campaign::run_replay`]); `None` for execute-per-detector runs.
+    pub replay: Option<ReplayStats>,
 }
 
 impl CampaignResult {
@@ -592,6 +640,35 @@ impl Campaign {
         specs
     }
 
+    /// Enumerates the execute-once work list: one [`ExecSpec`] per
+    /// `(unit, seed, strategy)`, in the same outer order as [`Campaign::specs`].
+    /// Because detectors iterate innermost there, execution `e` covers the
+    /// contiguous spec-index block `e.base_index .. e.base_index +
+    /// detectors.len()`.
+    #[must_use]
+    pub fn exec_specs(&self) -> Vec<ExecSpec> {
+        let detectors = self.config.detectors.len();
+        let mut execs = Vec::with_capacity(
+            self.units.len() * self.config.seeds_per_unit * self.config.strategies.len(),
+        );
+        let mut exec_index = 0;
+        for unit in 0..self.units.len() {
+            for s in 0..self.config.seeds_per_unit {
+                for &strategy in &self.config.strategies {
+                    execs.push(ExecSpec {
+                        exec_index,
+                        base_index: exec_index * detectors,
+                        unit,
+                        seed: self.config.base_seed + s as u64,
+                        strategy,
+                    });
+                    exec_index += 1;
+                }
+            }
+        }
+        execs
+    }
+
     /// Executes one spec: run the program (through the worker's reusable
     /// detector arena), fingerprint the reports, feed the dedup stage, and
     /// emit the record.
@@ -621,6 +698,7 @@ impl Campaign {
         for mut r in reports {
             r.program = Some(std::sync::Arc::from(unit.name.as_str()));
             r.repro_seed = Some(spec.seed);
+            r.repro = Some(ReproArtifact::seeded(spec.seed, spec.strategy));
             let fp = race_fingerprint(&r);
             fingerprints.push(fp);
             dedup.insert(fp, spec.index, r);
@@ -639,6 +717,177 @@ impl Campaign {
             worker,
             shard,
             duration,
+        }
+    }
+
+    /// Executes one [`ExecSpec`] the execute-once way: run the program
+    /// *once* under a [`TraceRecorder`](grs_runtime::TraceRecorder)
+    /// (through the worker arena's depot), then fan the recorded trace
+    /// through every configured detector offline. Emits one [`RunRecord`]
+    /// per detector on the same spec-index space as [`Campaign::execute`],
+    /// with identical deterministic fields — the replay-fidelity guarantee.
+    fn execute_replay(
+        &self,
+        exec: ExecSpec,
+        worker: usize,
+        shard: usize,
+        dedup: &DedupMap,
+        arena: &mut DetectorArena,
+        stats: &mut ReplayStats,
+    ) -> Vec<RunRecord> {
+        let unit = &self.units[exec.unit];
+        let record_started = Instant::now();
+        let (outcome, trace) = record_with_depot(
+            &unit.program,
+            &RunConfig {
+                seed: exec.seed,
+                strategy: exec.strategy,
+                max_steps: self.config.max_steps,
+                ..RunConfig::default()
+            },
+            arena.depot(),
+        );
+        // Encoding is part of the record pipeline: it is what a deployment
+        // would persist as the `.grtrace` artifact.
+        let trace_bytes = trace.encode().len();
+        let trace_digest = trace.digest();
+        stats.executions += 1;
+        stats.trace_events += trace.events.len() as u64;
+        stats.trace_bytes_total += trace_bytes as u64;
+        stats.trace_bytes_max = stats.trace_bytes_max.max(trace_bytes);
+        stats.record_wall += record_started.elapsed();
+
+        let replay_started = Instant::now();
+        let analyses = arena.replay_many(&trace, &self.config.detectors);
+        let replay_elapsed = replay_started.elapsed();
+        stats.replays += analyses.len();
+        stats.replay_wall += replay_elapsed;
+        let per_replay = replay_elapsed / analyses.len().max(1) as u32;
+
+        let mut records = Vec::with_capacity(analyses.len());
+        for (pos, (detector, analysis)) in analyses.into_iter().enumerate() {
+            let spec = RunSpec {
+                index: exec.base_index + pos,
+                unit: exec.unit,
+                seed: exec.seed,
+                strategy: exec.strategy,
+                detector,
+            };
+            let racy = !analysis.reports.is_empty();
+            let mut fingerprints = Vec::with_capacity(analysis.reports.len());
+            for mut r in analysis.reports {
+                r.program = Some(std::sync::Arc::from(unit.name.as_str()));
+                r.repro_seed = Some(spec.seed);
+                r.repro = Some(ReproArtifact {
+                    seed: spec.seed,
+                    strategy: spec.strategy,
+                    trace_digest: Some(trace_digest),
+                    trace_path: None,
+                });
+                let fp = race_fingerprint(&r);
+                fingerprints.push(fp);
+                dedup.insert(fp, spec.index, r);
+            }
+            fingerprints.sort_unstable();
+            fingerprints.dedup();
+            records.push(RunRecord {
+                spec,
+                unit_name: unit.name.clone(),
+                racy,
+                fingerprints,
+                steps: outcome.steps,
+                events: analysis.events,
+                depot_stacks: trace.stacks.len(),
+                peak_shadow_words: analysis.peak_shadow_words,
+                worker,
+                shard,
+                duration: per_replay,
+            });
+        }
+        records
+    }
+
+    /// Runs the campaign execute-once: each `(unit, seed, strategy)` is
+    /// executed one time under a trace recorder, and the trace is fanned
+    /// through every configured detector offline. The result covers the
+    /// *same* run matrix as [`Campaign::run`] — same spec indices, same
+    /// [`CampaignResult::deterministic_digest`], same dedup batch — while
+    /// executing `detectors.len()`× fewer schedules; the measured speedup
+    /// lands in [`CampaignResult::replay`].
+    #[must_use]
+    pub fn run_replay(&self) -> CampaignResult {
+        let started = Instant::now();
+        let execs = self.exec_specs();
+        let workers = self.config.workers.max(1).min(execs.len().max(1));
+        let shards = self.config.shards.max(1);
+        let dedup = DedupMap::new(shards);
+        let mut stats = ReplayStats::default();
+        let mut records: Vec<RunRecord>;
+        if workers <= 1 {
+            let mut arena = DetectorArena::new();
+            records = Vec::with_capacity(execs.len() * self.config.detectors.len());
+            for &exec in &execs {
+                records.extend(self.execute_replay(
+                    exec,
+                    0,
+                    exec.exec_index % shards,
+                    &dedup,
+                    &mut arena,
+                    &mut stats,
+                ));
+            }
+        } else {
+            let queues: ShardQueues<ExecSpec> = ShardQueues::deal(shards, &execs);
+            let collected: Mutex<Vec<RunRecord>> =
+                Mutex::new(Vec::with_capacity(execs.len() * self.config.detectors.len()));
+            let merged: Mutex<ReplayStats> = Mutex::new(ReplayStats::default());
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let queues = &queues;
+                    let dedup = &dedup;
+                    let collected = &collected;
+                    let merged = &merged;
+                    scope.spawn(move || {
+                        let mut arena = DetectorArena::new();
+                        let mut local = Vec::new();
+                        let mut local_stats = ReplayStats::default();
+                        while let Some((exec, shard)) = queues.pop(w) {
+                            local.extend(self.execute_replay(
+                                exec,
+                                w,
+                                shard,
+                                dedup,
+                                &mut arena,
+                                &mut local_stats,
+                            ));
+                        }
+                        collected
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .extend(local);
+                        merged
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .merge(&local_stats);
+                    });
+                }
+            });
+            records = collected
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            records.sort_by_key(|r| r.spec.index);
+            stats = merged
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        CampaignResult {
+            records,
+            batch: dedup.into_batch(),
+            units: self.units.iter().map(|u| u.name.clone()).collect(),
+            workers,
+            shards,
+            wall: started.elapsed(),
+            replay: Some(stats),
         }
     }
 
@@ -696,6 +945,7 @@ impl Campaign {
             workers,
             shards,
             wall: started.elapsed(),
+            replay: None,
         }
     }
 
@@ -826,6 +1076,90 @@ mod tests {
         // Day two: all duplicates.
         let again = r.file_into(&mut pipeline, 1);
         assert!(again.iter().all(|(_, o)| *o == FileOutcome::Duplicate));
+    }
+
+    #[test]
+    fn replay_campaign_equals_live_campaign() {
+        // The execute-once path must cover the same matrix with the same
+        // deterministic outputs as the execute-per-detector path, for a
+        // multi-detector, multi-strategy configuration.
+        let config = CampaignConfig::smoke()
+            .seeds_per_unit(4)
+            .detectors(DetectorChoice::all().to_vec())
+            .strategies(vec![Strategy::Random, Strategy::Pct { depth: 2 }])
+            .workers(1);
+        let c = Campaign::over_units(config, tiny_units());
+        let live = c.run();
+        let replayed = c.run_replay();
+        assert_eq!(replayed.deterministic_digest(), live.deterministic_digest());
+        assert_eq!(replayed.batch.fingerprints(), live.batch.fingerprints());
+        let stats = replayed.replay.expect("replay stats present");
+        assert_eq!(stats.executions * 3, stats.replays);
+        assert_eq!(stats.executions, c.exec_specs().len());
+        assert!(stats.trace_bytes_total > 0);
+        assert!(stats.trace_bytes_max > 0);
+        assert!(live.replay.is_none());
+        // Peak shadow words are per-detector and must survive the replay
+        // path bit-identically.
+        for (a, b) in replayed.records.iter().zip(live.records.iter()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.peak_shadow_words, b.peak_shadow_words, "{:?}", a.spec);
+            assert_eq!(a.events, b.events, "{:?}", a.spec);
+            assert_eq!(a.depot_stacks, b.depot_stacks, "{:?}", a.spec);
+        }
+        // Replay-path representatives carry the full repro artifact,
+        // trace digest included.
+        for (_, r) in replayed.batch.iter() {
+            let repro = r.repro.as_ref().expect("replay reports carry repro");
+            assert_eq!(Some(repro.seed), r.repro_seed);
+            assert!(repro.trace_digest.is_some());
+        }
+    }
+
+    #[test]
+    fn parallel_replay_campaign_equals_serial_replay_campaign() {
+        let config = CampaignConfig::smoke()
+            .seeds_per_unit(4)
+            .detectors(DetectorChoice::all().to_vec())
+            .shards(4);
+        let c = Campaign::over_units(config, tiny_units());
+        let serial = Campaign::over_units(c.config().clone().workers(1), c.units().to_vec())
+            .run_replay();
+        for workers in [2, 4] {
+            let par = Campaign::over_units(
+                c.config().clone().workers(workers),
+                c.units().to_vec(),
+            )
+            .run_replay();
+            assert_eq!(par.deterministic_digest(), serial.deterministic_digest());
+            assert_eq!(par.batch.fingerprints(), serial.batch.fingerprints());
+            let (ps, ss) = (par.replay.unwrap(), serial.replay.unwrap());
+            assert_eq!(ps.executions, ss.executions);
+            assert_eq!(ps.replays, ss.replays);
+            assert_eq!(ps.trace_events, ss.trace_events);
+            assert_eq!(ps.trace_bytes_total, ss.trace_bytes_total);
+        }
+    }
+
+    #[test]
+    fn exec_specs_tile_the_run_matrix() {
+        let config = CampaignConfig::smoke()
+            .seeds_per_unit(3)
+            .detectors(DetectorChoice::all().to_vec())
+            .strategies(vec![Strategy::Random, Strategy::RoundRobin]);
+        let c = Campaign::over_units(config, tiny_units());
+        let specs = c.specs();
+        let execs = c.exec_specs();
+        assert_eq!(execs.len() * 3, specs.len());
+        for e in &execs {
+            for (pos, &d) in c.config().detectors.iter().enumerate() {
+                let s = specs[e.base_index + pos];
+                assert_eq!(s.unit, e.unit);
+                assert_eq!(s.seed, e.seed);
+                assert_eq!(s.strategy, e.strategy);
+                assert_eq!(s.detector, d);
+            }
+        }
     }
 
     #[test]

@@ -130,6 +130,7 @@ mod tests {
             detector: DetectorKind::Tsan,
             program: None,
             repro_seed: Some(seed),
+            repro: None,
         }
     }
 

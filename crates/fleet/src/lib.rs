@@ -37,8 +37,8 @@ pub mod shard;
 
 pub use campaign::{
     corpus_suite, pattern_suite, Campaign, CampaignConfig, CampaignResult, CampaignUnit,
-    RunRecord, ShardStats,
+    ReplayStats, RunRecord, ShardStats,
 };
 pub use census::{census, Cdf, Census, CensusConfig, Language, LanguageSample};
 pub use dedup::DedupMap;
-pub use shard::{RunSpec, ShardQueues};
+pub use shard::{ExecSpec, RunSpec, ShardQueues};

@@ -1,17 +1,20 @@
 //! The sharded work-stealing run scheduler.
 //!
-//! A campaign's unit of work is one [`RunSpec`]: execute one program under
-//! one `(seed, strategy, detector)` combination. Specs are enumerated
-//! deterministically up front and dealt round-robin across `S` shard
-//! queues; each of `N` workers owns a home shard (worker `w` → shard
-//! `w % S`) and pops from it until empty, then *steals* from the other
-//! shards' tails. Stealing keeps every core busy through the campaign tail
-//! — pattern programs differ in length by orders of magnitude, so static
-//! partitioning would leave workers idle behind the shard that drew the
-//! long programs (the §3.2 nightly-campaign analogue: test shards are
-//! rebalanced because test durations are wildly skewed).
+//! A campaign's unit of work is either one [`RunSpec`] — execute one
+//! program under one `(seed, strategy, detector)` combination — or, in the
+//! execute-once replay campaign, one [`ExecSpec`] — execute one `(program,
+//! seed, strategy)` under a trace recorder and fan the trace through every
+//! configured detector. Work items are enumerated deterministically up
+//! front and dealt round-robin across `S` shard queues; each of `N`
+//! workers owns a home shard (worker `w` → shard `w % S`) and pops from it
+//! until empty, then *steals* from the other shards' tails. Stealing keeps
+//! every core busy through the campaign tail — pattern programs differ in
+//! length by orders of magnitude, so static partitioning would leave
+//! workers idle behind the shard that drew the long programs (the §3.2
+//! nightly-campaign analogue: test shards are rebalanced because test
+//! durations are wildly skewed).
 //!
-//! Which worker executes a spec never affects its result: every run is a
+//! Which worker executes an item never affects its result: every run is a
 //! self-contained deterministic `Runtime` instance, and the campaign
 //! aggregates by spec index, not by completion order.
 
@@ -38,19 +41,44 @@ pub struct RunSpec {
     pub detector: DetectorChoice,
 }
 
-/// Fixed-size set of spec queues with lock-per-shard stealing.
-#[derive(Debug)]
-pub struct ShardQueues {
-    shards: Vec<Mutex<VecDeque<RunSpec>>>,
+/// One schedulable *execution* of the replay campaign: `(program × seed ×
+/// strategy)`, executed once under a trace recorder; the recorded trace is
+/// then fanned through every configured detector offline.
+///
+/// Because the full matrix enumerates detectors innermost, the detector
+/// runs this execution covers occupy the contiguous [`RunSpec::index`]
+/// block `base_index .. base_index + detectors.len()` — which is how the
+/// replay campaign produces records (and dedup representatives) on exactly
+/// the same index space as the execute-per-detector campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSpec {
+    /// Position in the execution enumeration (units → seeds → strategies).
+    pub exec_index: usize,
+    /// Spec index of this execution's first detector run in the full
+    /// matrix enumeration.
+    pub base_index: usize,
+    /// Index of the unit (program) in the campaign's unit list.
+    pub unit: usize,
+    /// Scheduler seed for the execution.
+    pub seed: u64,
+    /// Scheduling strategy for the execution.
+    pub strategy: Strategy,
 }
 
-impl ShardQueues {
+/// Fixed-size set of work queues with lock-per-shard stealing, generic
+/// over the campaign's work item ([`RunSpec`] or [`ExecSpec`]).
+#[derive(Debug)]
+pub struct ShardQueues<T = RunSpec> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T: Copy> ShardQueues<T> {
     /// Deals `specs` round-robin over `shards` queues (spec `i` → shard
     /// `i % shards`), preserving enumeration order within each shard.
     #[must_use]
-    pub fn deal(shards: usize, specs: &[RunSpec]) -> Self {
+    pub fn deal(shards: usize, specs: &[T]) -> Self {
         let n = shards.max(1);
-        let mut queues: Vec<VecDeque<RunSpec>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut queues: Vec<VecDeque<T>> = (0..n).map(|_| VecDeque::new()).collect();
         for (i, spec) in specs.iter().enumerate() {
             queues[i % n].push_back(*spec);
         }
@@ -79,7 +107,7 @@ impl ShardQueues {
     /// *back* of the first non-empty victim shard (scanning from the home
     /// shard upward). Returns the spec and the shard it came from, or
     /// `None` when the campaign is drained.
-    pub fn pop(&self, worker: usize) -> Option<(RunSpec, usize)> {
+    pub fn pop(&self, worker: usize) -> Option<(T, usize)> {
         let n = self.shards.len();
         let home = worker % n;
         {
@@ -154,6 +182,26 @@ mod tests {
         let q = ShardQueues::deal(0, &specs(3));
         assert_eq!(q.shard_count(), 1);
         assert_eq!(q.remaining(), 3);
+    }
+
+    #[test]
+    fn generic_queues_hold_exec_specs() {
+        let execs: Vec<ExecSpec> = (0..5)
+            .map(|i| ExecSpec {
+                exec_index: i,
+                base_index: i * 3,
+                unit: 0,
+                seed: i as u64,
+                strategy: Strategy::Random,
+            })
+            .collect();
+        let q: ShardQueues<ExecSpec> = ShardQueues::deal(2, &execs);
+        let mut seen = Vec::new();
+        while let Some((e, _)) = q.pop(0) {
+            seen.push(e.exec_index);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

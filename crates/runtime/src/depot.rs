@@ -239,6 +239,25 @@ impl StackDepot {
         }
     }
 
+    /// Snapshots every interned node in id order as
+    /// `(parent, func, call_line)` triples, where entry `i` describes
+    /// `StackId(i + 1)`.
+    ///
+    /// Because ids are assigned in first-intern order, replaying the
+    /// snapshot through [`StackDepot::push`] on a freshly [`reset`] depot
+    /// reproduces the exact same id assignment — the invariant the trace
+    /// record/replay subsystem is built on.
+    ///
+    /// [`reset`]: StackDepot::reset
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(StackId, Arc<str>, u32)> {
+        let d = self.lock();
+        d.nodes
+            .iter()
+            .map(|n| (n.parent, n.func.clone(), n.call_line))
+            .collect()
+    }
+
     /// Starts a new generation: drops every interned stack while keeping
     /// the node table and index allocations warm. All outstanding
     /// [`StackId`]s become invalid. Campaign workers call this between runs

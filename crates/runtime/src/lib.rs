@@ -71,6 +71,7 @@ pub mod runtime;
 pub mod sched;
 pub mod slice;
 pub mod sync;
+pub mod trace;
 
 pub use cell::Cell;
 pub use chan::{Chan, RecvResult, Selected2};
@@ -85,3 +86,7 @@ pub use runtime::{Program, RunConfig, RunOutcome, Runtime, RuntimeError};
 pub use sched::Strategy;
 pub use slice::GoSlice;
 pub use sync::{AtomicCell, Mutex, Once, RwMutex, WaitGroup};
+pub use trace::{
+    record, record_with_depot, ReproArtifact, StackNode, Trace, TraceDecodeError, TraceMeta,
+    TraceRecorder, TRACE_FORMAT_VERSION, TRACE_MAGIC,
+};

@@ -24,7 +24,7 @@ use rand::Rng;
 use crate::ids::Gid;
 
 /// Which scheduling policy drives the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[derive(Default)]
 pub enum Strategy {
     /// Uniform random walk over runnable goroutines at every step.

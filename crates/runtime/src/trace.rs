@@ -1,0 +1,960 @@
+//! Trace record/replay: execute once, analyze many.
+//!
+//! The paper's deployment (§3.2–3.3) hinges on being able to re-trigger a
+//! detected race after the fact, and laments how hard dynamic reports are
+//! to reproduce. Our answer is the [`Trace`] artifact: a self-contained
+//! recording of one scheduled execution — the totally ordered [`Event`]
+//! stream, a snapshot of the [`StackDepot`] that interned its calling
+//! contexts, and the run metadata (program, seed, strategy) needed to
+//! re-execute it live.
+//!
+//! Because monitors never influence the schedule (the interleaving is a
+//! pure function of `(seed, Strategy)`), the event stream recorded by
+//! [`TraceRecorder`] is *identical* to what any detector would have
+//! observed live. Replaying a trace through a detector therefore produces
+//! reports bit-identical to a live run — FastTrack itself is defined over a
+//! trace, not an execution — and one execution can be fanned out through
+//! every detector, amortizing the (dominant) schedule-execution cost.
+//!
+//! Traces serialize to versioned, endian-stable `.grtrace` files via a
+//! hand-rolled binary codec ([`Trace::encode`]/[`Trace::decode`] — the
+//! build is offline, so no serde): an 8-byte magic, a format version, a
+//! string table, the depot snapshot, and LEB128/zigzag-packed events with
+//! delta-encoded steps.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::depot::{StackDepot, StackId};
+use crate::event::{AccessKind, Event, EventKind, LockMode, SourceLoc};
+use crate::ids::{Addr, ChanId, Gid, LockUid, OnceId, WgId};
+use crate::monitor::Monitor;
+use crate::runtime::{Program, RunConfig, RunOutcome, Runtime};
+use crate::sched::Strategy;
+
+/// First 8 bytes of every `.grtrace` file.
+pub const TRACE_MAGIC: [u8; 8] = *b"GRTRACE\0";
+
+/// Current `.grtrace` format version. Bump on any layout change; decoders
+/// reject other versions with [`TraceDecodeError::UnsupportedVersion`].
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Metadata identifying the run a [`Trace`] was recorded from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Name of the executed program.
+    pub program: String,
+    /// Seed that produced the interleaving.
+    pub seed: u64,
+    /// Scheduling strategy of the run.
+    pub strategy: Strategy,
+    /// Total scheduler steps taken.
+    pub steps: u64,
+    /// Goroutines created (including main).
+    pub goroutines_spawned: usize,
+}
+
+/// One node of the recorded stack-depot tree; entry `i` of
+/// [`Trace::stacks`] describes `StackId(i + 1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackNode {
+    /// The stack below this frame (`StackId::EMPTY` for roots).
+    pub parent: StackId,
+    /// Function name of the leaf frame.
+    pub func: Arc<str>,
+    /// Call line of the leaf frame (0 when unknown).
+    pub call_line: u32,
+}
+
+/// A self-contained recording of one scheduled execution.
+///
+/// # Example
+///
+/// ```
+/// use grs_runtime::{record, Program, RunConfig, Trace};
+///
+/// let p = Program::new("one-write", |ctx| {
+///     let x = ctx.cell("x", 0i64);
+///     ctx.write(&x, 1);
+/// });
+/// let (outcome, trace) = record(&p, &RunConfig::with_seed(7));
+/// assert_eq!(trace.meta.steps, outcome.steps);
+/// let bytes = trace.encode();
+/// let back = Trace::decode(&bytes).unwrap();
+/// assert_eq!(back, trace);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Which run this is a recording of.
+    pub meta: TraceMeta,
+    /// Depot snapshot in first-intern (id) order.
+    pub stacks: Vec<StackNode>,
+    /// The totally ordered event stream.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Rebuilds the recorded depot contents into `depot` (which is reset
+    /// first). Because depot ids are assigned in first-intern order and
+    /// [`Trace::stacks`] is stored in that order, every re-interned node
+    /// receives exactly the [`StackId`] the recorded events refer to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack table is not in first-intern order (a corrupt
+    /// trace constructed by hand; the codec always stores it in order).
+    pub fn rebuild_depot_into(&self, depot: &StackDepot) {
+        depot.reset();
+        for (i, node) in self.stacks.iter().enumerate() {
+            let id = depot.push(node.parent, &node.func, node.call_line);
+            assert_eq!(
+                id.raw() as usize,
+                i + 1,
+                "trace stack table not in first-intern order"
+            );
+        }
+    }
+
+    /// The FNV-1a fold of the event stream — bit-identical to the digest a
+    /// live [`crate::TraceHasher`] monitor computes for the same run, so a
+    /// decoded trace can be authenticated against a re-execution.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        for event in &self.events {
+            let mut h = DefaultHasher::new();
+            event.hash(&mut h);
+            for byte in h.finish().to_le_bytes() {
+                digest ^= u64::from(byte);
+                digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        digest
+    }
+
+    /// A [`ReproArtifact`] pointing back at this trace.
+    #[must_use]
+    pub fn repro(&self) -> ReproArtifact {
+        ReproArtifact {
+            seed: self.meta.seed,
+            strategy: self.meta.strategy,
+            trace_digest: Some(self.digest()),
+            trace_path: None,
+        }
+    }
+
+    /// Serializes the trace to the versioned `.grtrace` byte format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut strings = StringTable::default();
+        let program = strings.intern(&self.meta.program);
+        let stacks: Vec<(u32, u64, u32)> = self
+            .stacks
+            .iter()
+            .map(|n| (n.parent.raw(), strings.intern(&n.func), n.call_line))
+            .collect();
+        // Pre-intern event strings in stream order so the table layout is a
+        // deterministic function of the trace alone.
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::Spawn { name, .. } => {
+                    strings.intern(name);
+                }
+                EventKind::Access { object, loc, .. } => {
+                    strings.intern(object);
+                    strings.intern(loc.file);
+                }
+                _ => {}
+            }
+        }
+
+        let mut out = Vec::with_capacity(64 + self.events.len() * 8);
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+
+        put_uvarint(&mut out, strings.entries.len() as u64);
+        for s in &strings.entries {
+            put_uvarint(&mut out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+
+        put_uvarint(&mut out, program);
+        out.extend_from_slice(&self.meta.seed.to_le_bytes());
+        match self.meta.strategy {
+            Strategy::Random => out.push(0),
+            Strategy::Pct { depth } => {
+                out.push(1);
+                put_uvarint(&mut out, u64::from(depth));
+            }
+            Strategy::RoundRobin => out.push(2),
+        }
+        put_uvarint(&mut out, self.meta.steps);
+        put_uvarint(&mut out, self.meta.goroutines_spawned as u64);
+
+        put_uvarint(&mut out, stacks.len() as u64);
+        for (parent, func, call_line) in stacks {
+            put_uvarint(&mut out, u64::from(parent));
+            put_uvarint(&mut out, func);
+            put_uvarint(&mut out, u64::from(call_line));
+        }
+
+        put_uvarint(&mut out, self.events.len() as u64);
+        let mut prev_step = 0u64;
+        for ev in &self.events {
+            put_uvarint(&mut out, ev.step.wrapping_sub(prev_step));
+            prev_step = ev.step;
+            put_uvarint(&mut out, u64::from(ev.gid.0));
+            match &ev.kind {
+                EventKind::Spawn { child, name } => {
+                    out.push(0);
+                    put_uvarint(&mut out, u64::from(child.0));
+                    put_uvarint(&mut out, strings.intern(name));
+                }
+                EventKind::GoroutineEnd => out.push(1),
+                EventKind::Access {
+                    addr,
+                    object,
+                    kind,
+                    stack,
+                    loc,
+                } => {
+                    out.push(2);
+                    put_uvarint(&mut out, addr.0);
+                    put_uvarint(&mut out, strings.intern(object));
+                    out.push(match kind {
+                        AccessKind::Read => 0,
+                        AccessKind::Write => 1,
+                        AccessKind::AtomicRead => 2,
+                        AccessKind::AtomicWrite => 3,
+                    });
+                    put_uvarint(&mut out, u64::from(stack.raw()));
+                    put_uvarint(&mut out, strings.intern(loc.file));
+                    put_uvarint(&mut out, u64::from(loc.line));
+                }
+                EventKind::Acquire { lock, mode } => {
+                    out.push(3);
+                    put_uvarint(&mut out, lock.0);
+                    out.push(lock_mode_tag(*mode));
+                }
+                EventKind::Release { lock, mode } => {
+                    out.push(4);
+                    put_uvarint(&mut out, lock.0);
+                    out.push(lock_mode_tag(*mode));
+                }
+                EventKind::ChanSend { chan, seq } => {
+                    out.push(5);
+                    put_uvarint(&mut out, chan.0);
+                    put_uvarint(&mut out, *seq);
+                }
+                EventKind::ChanSendComplete { chan, seq, cap } => {
+                    out.push(6);
+                    put_uvarint(&mut out, chan.0);
+                    put_uvarint(&mut out, *seq);
+                    put_uvarint(&mut out, *cap as u64);
+                }
+                EventKind::ChanRecv { chan, seq } => {
+                    out.push(7);
+                    put_uvarint(&mut out, chan.0);
+                    put_uvarint(&mut out, *seq);
+                }
+                EventKind::ChanRecvClosed { chan } => {
+                    out.push(8);
+                    put_uvarint(&mut out, chan.0);
+                }
+                EventKind::ChanClose { chan } => {
+                    out.push(9);
+                    put_uvarint(&mut out, chan.0);
+                }
+                EventKind::WgAdd { wg, delta, counter } => {
+                    out.push(10);
+                    put_uvarint(&mut out, wg.0);
+                    put_uvarint(&mut out, zigzag(*delta));
+                    put_uvarint(&mut out, zigzag(*counter));
+                }
+                EventKind::WgWait { wg } => {
+                    out.push(11);
+                    put_uvarint(&mut out, wg.0);
+                }
+                EventKind::OnceExecuted { once } => {
+                    out.push(12);
+                    put_uvarint(&mut out, once.0);
+                }
+                EventKind::OnceObserved { once } => {
+                    out.push(13);
+                    put_uvarint(&mut out, once.0);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a `.grtrace` byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceDecodeError`] describing the first structural
+    /// problem found: wrong magic, unsupported format version, truncation,
+    /// malformed varints/UTF-8, out-of-range table indices, unknown tags,
+    /// or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Trace, TraceDecodeError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(8)? != TRACE_MAGIC {
+            return Err(TraceDecodeError::BadMagic);
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+        if version != TRACE_FORMAT_VERSION {
+            return Err(TraceDecodeError::UnsupportedVersion {
+                found: version,
+                supported: TRACE_FORMAT_VERSION,
+            });
+        }
+
+        let n_strings = r.uvarint()?;
+        let mut strings: Vec<Arc<str>> = Vec::new();
+        for _ in 0..n_strings {
+            let len = r.uvarint()? as usize;
+            let raw = r.take(len)?;
+            let s = std::str::from_utf8(raw).map_err(|_| TraceDecodeError::BadUtf8)?;
+            strings.push(Arc::from(s));
+        }
+        let string = |idx: u64| -> Result<Arc<str>, TraceDecodeError> {
+            strings
+                .get(idx as usize)
+                .cloned()
+                .ok_or(TraceDecodeError::BadStringIndex {
+                    index: idx,
+                    table_len: strings.len(),
+                })
+        };
+
+        let program = string(r.uvarint()?)?.to_string();
+        let seed = u64::from_le_bytes(r.take(8)?.try_into().unwrap());
+        let strategy = match r.byte()? {
+            0 => Strategy::Random,
+            1 => Strategy::Pct {
+                depth: r.uvarint()? as u32,
+            },
+            2 => Strategy::RoundRobin,
+            tag => {
+                return Err(TraceDecodeError::BadEnumTag {
+                    what: "strategy",
+                    tag,
+                })
+            }
+        };
+        let steps = r.uvarint()?;
+        let goroutines_spawned = r.uvarint()? as usize;
+
+        let n_stacks = r.uvarint()?;
+        let mut stacks = Vec::with_capacity(n_stacks as usize);
+        for i in 0..n_stacks {
+            let parent = r.uvarint()?;
+            if parent > i {
+                // Parents always precede children in first-intern order.
+                return Err(TraceDecodeError::BadStackId {
+                    id: parent,
+                    table_len: n_stacks as usize,
+                });
+            }
+            let func = string(r.uvarint()?)?;
+            let call_line = r.uvarint()? as u32;
+            stacks.push(StackNode {
+                parent: StackId(parent as u32),
+                func,
+                call_line,
+            });
+        }
+
+        let n_events = r.uvarint()?;
+        let mut events = Vec::with_capacity(n_events as usize);
+        let mut step = 0u64;
+        for _ in 0..n_events {
+            step = step.wrapping_add(r.uvarint()?);
+            let gid = Gid(r.uvarint()? as u32);
+            let kind = match r.byte()? {
+                0 => EventKind::Spawn {
+                    child: Gid(r.uvarint()? as u32),
+                    name: string(r.uvarint()?)?,
+                },
+                1 => EventKind::GoroutineEnd,
+                2 => {
+                    let addr = Addr(r.uvarint()?);
+                    let object = string(r.uvarint()?)?;
+                    let kind = match r.byte()? {
+                        0 => AccessKind::Read,
+                        1 => AccessKind::Write,
+                        2 => AccessKind::AtomicRead,
+                        3 => AccessKind::AtomicWrite,
+                        tag => {
+                            return Err(TraceDecodeError::BadEnumTag {
+                                what: "access kind",
+                                tag,
+                            })
+                        }
+                    };
+                    let stack = r.uvarint()?;
+                    if stack > n_stacks {
+                        return Err(TraceDecodeError::BadStackId {
+                            id: stack,
+                            table_len: n_stacks as usize,
+                        });
+                    }
+                    let file = string(r.uvarint()?)?;
+                    let line = r.uvarint()? as u32;
+                    EventKind::Access {
+                        addr,
+                        object,
+                        kind,
+                        stack: StackId(stack as u32),
+                        loc: SourceLoc {
+                            file: intern_static_file(&file),
+                            line,
+                        },
+                    }
+                }
+                3 => EventKind::Acquire {
+                    lock: LockUid(r.uvarint()?),
+                    mode: lock_mode(r.byte()?)?,
+                },
+                4 => EventKind::Release {
+                    lock: LockUid(r.uvarint()?),
+                    mode: lock_mode(r.byte()?)?,
+                },
+                5 => EventKind::ChanSend {
+                    chan: ChanId(r.uvarint()?),
+                    seq: r.uvarint()?,
+                },
+                6 => EventKind::ChanSendComplete {
+                    chan: ChanId(r.uvarint()?),
+                    seq: r.uvarint()?,
+                    cap: r.uvarint()? as usize,
+                },
+                7 => EventKind::ChanRecv {
+                    chan: ChanId(r.uvarint()?),
+                    seq: r.uvarint()?,
+                },
+                8 => EventKind::ChanRecvClosed {
+                    chan: ChanId(r.uvarint()?),
+                },
+                9 => EventKind::ChanClose {
+                    chan: ChanId(r.uvarint()?),
+                },
+                10 => EventKind::WgAdd {
+                    wg: WgId(r.uvarint()?),
+                    delta: unzigzag(r.uvarint()?),
+                    counter: unzigzag(r.uvarint()?),
+                },
+                11 => EventKind::WgWait {
+                    wg: WgId(r.uvarint()?),
+                },
+                12 => EventKind::OnceExecuted {
+                    once: OnceId(r.uvarint()?),
+                },
+                13 => EventKind::OnceObserved {
+                    once: OnceId(r.uvarint()?),
+                },
+                tag => return Err(TraceDecodeError::BadEventTag(tag)),
+            };
+            events.push(Event { step, gid, kind });
+        }
+
+        if r.pos != bytes.len() {
+            return Err(TraceDecodeError::TrailingBytes {
+                extra: bytes.len() - r.pos,
+            });
+        }
+        Ok(Trace {
+            meta: TraceMeta {
+                program,
+                seed,
+                strategy,
+                steps,
+                goroutines_spawned,
+            },
+            stacks,
+            events,
+        })
+    }
+
+    /// Encodes and writes the trace to a `.grtrace` file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Reads and decodes a `.grtrace` file; decode failures surface as
+    /// `InvalidData` I/O errors carrying the [`TraceDecodeError`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and wraps decode errors.
+    pub fn read_from(path: impl AsRef<Path>) -> std::io::Result<Trace> {
+        let bytes = std::fs::read(path)?;
+        Trace::decode(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Why a `.grtrace` byte stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// The first 8 bytes are not [`TRACE_MAGIC`] — not a trace file.
+    BadMagic,
+    /// The file was written by a different format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// The version this build reads/writes.
+        supported: u32,
+    },
+    /// The stream ended mid-field.
+    Truncated,
+    /// Bytes remain after the last event — corrupt or concatenated input.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A varint ran past 10 bytes (cannot encode a `u64`).
+    MalformedVarint,
+    /// A string-table entry is not valid UTF-8.
+    BadUtf8,
+    /// A string reference points past the table.
+    BadStringIndex {
+        /// The out-of-range index.
+        index: u64,
+        /// Number of entries in the table.
+        table_len: usize,
+    },
+    /// A stack id is out of range or out of first-intern order.
+    BadStackId {
+        /// The offending raw id.
+        id: u64,
+        /// Number of stack nodes in the trace.
+        table_len: usize,
+    },
+    /// An unknown event tag byte.
+    BadEventTag(u8),
+    /// An unknown tag for a named enum field.
+    BadEnumTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The unknown tag byte.
+        tag: u8,
+    },
+}
+
+impl fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDecodeError::BadMagic => {
+                write!(f, "not a .grtrace file (bad magic; expected \"GRTRACE\\0\")")
+            }
+            TraceDecodeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported .grtrace format version {found} (this build supports \
+                 version {supported}); re-record the trace with a matching build"
+            ),
+            TraceDecodeError::Truncated => write!(f, "trace truncated mid-field"),
+            TraceDecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last event")
+            }
+            TraceDecodeError::MalformedVarint => write!(f, "malformed varint (>10 bytes)"),
+            TraceDecodeError::BadUtf8 => write!(f, "string table entry is not valid UTF-8"),
+            TraceDecodeError::BadStringIndex { index, table_len } => {
+                write!(f, "string index {index} out of range (table has {table_len})")
+            }
+            TraceDecodeError::BadStackId { id, table_len } => {
+                write!(f, "stack id {id} out of range (trace has {table_len} stacks)")
+            }
+            TraceDecodeError::BadEventTag(tag) => write!(f, "unknown event tag {tag}"),
+            TraceDecodeError::BadEnumTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+#[derive(Default)]
+struct StringTable {
+    entries: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u64>,
+}
+
+impl StringTable {
+    fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let i = self.entries.len() as u64;
+        self.entries.push(arc.clone());
+        self.index.insert(arc, i);
+        i
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceDecodeError> {
+        let end = self.pos.checked_add(n).ok_or(TraceDecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(TraceDecodeError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn byte(&mut self) -> Result<u8, TraceDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn uvarint(&mut self) -> Result<u64, TraceDecodeError> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            value |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(TraceDecodeError::MalformedVarint)
+    }
+}
+
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn lock_mode_tag(mode: LockMode) -> u8 {
+    match mode {
+        LockMode::Write => 0,
+        LockMode::Read => 1,
+    }
+}
+
+fn lock_mode(tag: u8) -> Result<LockMode, TraceDecodeError> {
+    match tag {
+        0 => Ok(LockMode::Write),
+        1 => Ok(LockMode::Read),
+        tag => Err(TraceDecodeError::BadEnumTag {
+            what: "lock mode",
+            tag,
+        }),
+    }
+}
+
+/// Decoded [`SourceLoc::file`] names must be `&'static str` (the live path
+/// borrows them from `#[track_caller]` data, which is static). A process
+/// sees a small bounded set of distinct source files, so leaking one copy
+/// of each through a global interner is the honest way to reconstruct
+/// them.
+fn intern_static_file(file: &str) -> &'static str {
+    static FILES: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = FILES
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if let Some(&interned) = set.get(file) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(file.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// A [`Monitor`] that records the run into a [`Trace`].
+///
+/// The recorder is schedule-transparent: it only *observes* the event
+/// stream, and the scheduler never consults the monitor, so the recorded
+/// stream is exactly what any detector would have seen live.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    program: String,
+    seed: u64,
+    strategy: Strategy,
+    depot: Option<StackDepot>,
+    events: Vec<Event>,
+}
+
+impl TraceRecorder {
+    /// A recorder for one run of `program` under `config`.
+    #[must_use]
+    pub fn new(program: &str, config: &RunConfig) -> Self {
+        TraceRecorder {
+            program: program.to_string(),
+            seed: config.seed,
+            strategy: config.strategy,
+            depot: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Finalizes the recording into a [`Trace`], snapshotting the depot and
+    /// taking the step/goroutine totals from the run's outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run was recorded (the recorder never saw
+    /// `on_run_start`).
+    #[must_use]
+    pub fn into_trace(self, outcome: &RunOutcome) -> Trace {
+        let depot = self.depot.expect("TraceRecorder finished without a run");
+        let stacks = depot
+            .snapshot()
+            .into_iter()
+            .map(|(parent, func, call_line)| StackNode {
+                parent,
+                func,
+                call_line,
+            })
+            .collect();
+        Trace {
+            meta: TraceMeta {
+                program: self.program,
+                seed: self.seed,
+                strategy: self.strategy,
+                steps: outcome.steps,
+                goroutines_spawned: outcome.goroutines_spawned,
+            },
+            stacks,
+            events: self.events,
+        }
+    }
+}
+
+impl Monitor for TraceRecorder {
+    fn on_run_start(&mut self, depot: &StackDepot) {
+        self.depot = Some(depot.clone());
+        self.events.clear();
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Executes `program` once under a [`TraceRecorder`] with a fresh depot,
+/// returning the outcome and the recorded trace.
+pub fn record(program: &Program, config: &RunConfig) -> (RunOutcome, Trace) {
+    record_with_depot(program, config, &StackDepot::new())
+}
+
+/// Like [`record`], but interns stacks into a caller-owned depot (reset
+/// first) — the campaign engine's per-worker arenas pass theirs so its
+/// allocations stay warm.
+pub fn record_with_depot(
+    program: &Program,
+    config: &RunConfig,
+    depot: &StackDepot,
+) -> (RunOutcome, Trace) {
+    let recorder = TraceRecorder::new(program.name(), config);
+    let (outcome, recorder) =
+        Runtime::new(config.clone()).run_with_depot(program, recorder, depot);
+    let trace = recorder.into_trace(&outcome);
+    (outcome, trace)
+}
+
+/// Everything needed to re-trigger a filed race (§3.2): the seed and
+/// strategy that deterministically reproduce the interleaving live, plus —
+/// when the run was recorded — the trace digest that authenticates a
+/// re-execution and an optional on-disk `.grtrace` path for offline
+/// replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ReproArtifact {
+    /// Seed that reproduces the interleaving.
+    pub seed: u64,
+    /// Strategy the seed must be run under.
+    pub strategy: Strategy,
+    /// [`Trace::digest`] of the recorded run, when one was recorded.
+    pub trace_digest: Option<u64>,
+    /// Path of a serialized `.grtrace` file, when one was written.
+    pub trace_path: Option<String>,
+}
+
+impl ReproArtifact {
+    /// The pre-trace form: a bare seed under the default [`Strategy`].
+    #[must_use]
+    pub fn seed_only(seed: u64) -> Self {
+        ReproArtifact {
+            seed,
+            ..ReproArtifact::default()
+        }
+    }
+
+    /// A seed + strategy artifact with no recorded trace.
+    #[must_use]
+    pub fn seeded(seed: u64, strategy: Strategy) -> Self {
+        ReproArtifact {
+            seed,
+            strategy,
+            ..ReproArtifact::default()
+        }
+    }
+}
+
+impl fmt::Display for ReproArtifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed {} under {:?}", self.seed, self.strategy)?;
+        if let Some(d) = self.trace_digest {
+            write!(f, ", trace {d:#018x}")?;
+        }
+        if let Some(p) = &self.trace_path {
+            write!(f, " @ {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::TraceHasher;
+
+    fn listing1() -> Program {
+        Program::new("loop_capture", |ctx| {
+            let job = ctx.cell("job", 0i64);
+            for i in 0..3 {
+                ctx.write(&job, i);
+                let job = job.clone();
+                ctx.go("worker", move |ctx| {
+                    let _ = ctx.read(&job);
+                });
+            }
+        })
+    }
+
+    #[test]
+    fn recorder_matches_recording_monitor() {
+        let p = listing1();
+        let cfg = RunConfig::with_seed(7);
+        let (outcome, trace) = record(&p, &cfg);
+        let (_, rec) = Runtime::new(cfg).run(&p, crate::monitor::RecordingMonitor::new());
+        assert_eq!(trace.events, rec.events());
+        assert_eq!(trace.meta.steps, outcome.steps);
+        assert_eq!(trace.meta.goroutines_spawned, outcome.goroutines_spawned);
+        assert!(!trace.stacks.is_empty());
+    }
+
+    #[test]
+    fn digest_matches_live_trace_hasher() {
+        let p = listing1();
+        let cfg = RunConfig::with_seed(11);
+        let (_, trace) = record(&p, &cfg);
+        let (_, hasher) = Runtime::new(cfg).run(&p, TraceHasher::new());
+        assert_eq!(trace.digest(), hasher.digest());
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let p = listing1();
+        let (_, trace) = record(&p, &RunConfig::with_seed(3).strategy(Strategy::Pct { depth: 3 }));
+        let bytes = trace.encode();
+        let back = Trace::decode(&bytes).expect("decode");
+        assert_eq!(back, trace);
+        assert_eq!(back.digest(), trace.digest());
+    }
+
+    #[test]
+    fn rebuild_depot_reproduces_ids() {
+        let p = listing1();
+        let (_, trace) = record(&p, &RunConfig::with_seed(5));
+        let depot = StackDepot::new();
+        trace.rebuild_depot_into(&depot);
+        assert_eq!(depot.len(), trace.stacks.len());
+        for (i, node) in trace.stacks.iter().enumerate() {
+            let id = StackId(i as u32 + 1);
+            assert_eq!(depot.parent(id), node.parent);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_version() {
+        let p = listing1();
+        let (_, trace) = record(&p, &RunConfig::with_seed(1));
+        let mut bytes = trace.encode();
+        bytes[0] = b'X';
+        assert_eq!(Trace::decode(&bytes), Err(TraceDecodeError::BadMagic));
+        let mut bytes = trace.encode();
+        bytes[8] = 99; // version low byte
+        assert!(matches!(
+            Trace::decode(&bytes),
+            Err(TraceDecodeError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_bytes() {
+        let p = listing1();
+        let (_, trace) = record(&p, &RunConfig::with_seed(2));
+        let bytes = trace.encode();
+        assert_eq!(
+            Trace::decode(&bytes[..bytes.len() - 1]),
+            Err(TraceDecodeError::Truncated)
+        );
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(
+            Trace::decode(&extended),
+            Err(TraceDecodeError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn repro_artifact_display() {
+        let r = ReproArtifact {
+            seed: 9,
+            strategy: Strategy::Random,
+            trace_digest: Some(0xabcd),
+            trace_path: Some("x.grtrace".into()),
+        };
+        let s = r.to_string();
+        assert!(s.contains("seed 9"));
+        assert!(s.contains("0x000000000000abcd"));
+        assert!(s.contains("x.grtrace"));
+        assert_eq!(ReproArtifact::seed_only(4).to_string(), "seed 4 under Random");
+    }
+
+    #[test]
+    fn file_interner_is_stable() {
+        let a = intern_static_file("foo.rs");
+        let b = intern_static_file("foo.rs");
+        assert!(std::ptr::eq(a, b));
+    }
+}

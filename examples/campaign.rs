@@ -7,6 +7,19 @@
 //! cargo run --release --example campaign -- [--workers N] [--seeds N] \
 //!     [--suite pattern|corpus|all] [--serial-baseline] [--out PATH]
 //! ```
+//!
+//! With `--replay` the campaign instead runs the execute-once engine: each
+//! `(program, seed, strategy)` executes a single time under a trace
+//! recorder and the trace fans offline through every configured detector —
+//! here the full three-detector differential set. The run emits
+//! `BENCH_replay.json` comparing it against the execute-per-detector
+//! baseline on the same matrix (same deterministic digest, measured
+//! speedup):
+//!
+//! ```sh
+//! cargo run --release --example campaign -- --replay [--seeds N] \
+//!     [--workers N] [--out BENCH_replay.json]
+//! ```
 
 use std::fmt::Write as _;
 
@@ -20,7 +33,8 @@ struct Args {
     seeds: usize,
     suite: String,
     serial_baseline: bool,
-    out: String,
+    replay: bool,
+    out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -29,7 +43,8 @@ fn parse_args() -> Args {
         seeds: 32,
         suite: "all".to_string(),
         serial_baseline: false,
-        out: "BENCH_campaign.json".to_string(),
+        replay: false,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -42,7 +57,8 @@ fn parse_args() -> Args {
             "--seeds" => args.seeds = value("--seeds").parse().expect("seeds: integer"),
             "--suite" => args.suite = value("--suite"),
             "--serial-baseline" => args.serial_baseline = true,
-            "--out" => args.out = value("--out"),
+            "--replay" => args.replay = true,
+            "--out" => args.out = Some(value("--out")),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -105,6 +121,99 @@ fn result_json(r: &CampaignResult, label: &str) -> String {
     s
 }
 
+/// The `--replay` benchmark: the same matrix driven twice — once
+/// executing every `(program, seed, strategy, detector)` cell live, once
+/// executing each `(program, seed, strategy)` a single time under a trace
+/// recorder and fanning the trace through all three detectors offline.
+/// Both paths must agree bit-for-bit on their deterministic output; the
+/// execute-once path wins on wall clock because scheduling dominates
+/// analysis, and this run measures by how much.
+fn run_replay_bench(args: &Args, units: Vec<grs::fleet::CampaignUnit>) {
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_replay.json".to_string());
+    let config = CampaignConfig::nightly()
+        .seeds_per_unit(args.seeds)
+        .workers(args.workers)
+        .shards(2 * args.workers)
+        .detectors(DetectorChoice::all().to_vec())
+        .strategies(vec![Strategy::Random, Strategy::Pct { depth: 2 }]);
+    let campaign = Campaign::over_units(config.clone(), units);
+    let execs = campaign.exec_specs().len();
+    println!(
+        "== replay campaign: {} units × {} seeds × {} strategies → {} executions fanned through {} detectors = {} analyses ==",
+        campaign.units().len(),
+        config.seeds_per_unit,
+        config.strategies.len(),
+        execs,
+        config.detectors.len(),
+        config.matrix_size(campaign.units().len()),
+    );
+
+    let baseline = campaign.run();
+    println!(
+        "execute-per-detector: {} runs in {:.1} ms ({:.0} runs/s)",
+        baseline.total_runs(),
+        baseline.wall.as_secs_f64() * 1e3,
+        baseline.throughput_rps(),
+    );
+
+    let replayed = campaign.run_replay();
+    let stats = replayed.replay.expect("replay campaign carries stats");
+    println!(
+        "execute-once:         {} analyses in {:.1} ms ({:.0} runs/s) from {} executions",
+        replayed.total_runs(),
+        replayed.wall.as_secs_f64() * 1e3,
+        replayed.throughput_rps(),
+        stats.executions,
+    );
+    println!(
+        "   traces: {} events, {:.1} KiB total ({} B avg, {} B max) · record {:.1} ms · replay {:.1} ms",
+        stats.trace_events,
+        stats.trace_bytes_total as f64 / 1024.0,
+        stats.avg_trace_bytes(),
+        stats.trace_bytes_max,
+        stats.record_wall.as_secs_f64() * 1e3,
+        stats.replay_wall.as_secs_f64() * 1e3,
+    );
+
+    assert_eq!(
+        replayed.deterministic_digest(),
+        baseline.deterministic_digest(),
+        "replay campaign must reproduce the live campaign bit-for-bit"
+    );
+    assert_eq!(replayed.batch.fingerprints(), baseline.batch.fingerprints());
+
+    let speedup = baseline.wall.as_secs_f64() / replayed.wall.as_secs_f64().max(1e-9);
+    println!(
+        "speedup: {speedup:.2}× runs/sec over the per-detector baseline (digests agree)"
+    );
+
+    let json = format!(
+        concat!(
+            r#"{{"suite":"{}","seeds_per_unit":{},"units":{},"detectors":{},"executions":{},"#,
+            r#""replays":{},"trace_events":{},"trace_bytes_total":{},"trace_bytes_max":{},"#,
+            r#""trace_bytes_avg":{},"record_wall_ms":{:.3},"replay_wall_ms":{:.3},"#,
+            r#""speedup":{:.3},"results":[{},{}]}}"#
+        ),
+        json_escape(&args.suite),
+        config.seeds_per_unit,
+        campaign.units().len(),
+        config.detectors.len(),
+        stats.executions,
+        stats.replays,
+        stats.trace_events,
+        stats.trace_bytes_total,
+        stats.trace_bytes_max,
+        stats.avg_trace_bytes(),
+        stats.record_wall.as_secs_f64() * 1e3,
+        stats.replay_wall.as_secs_f64() * 1e3,
+        speedup,
+        result_json(&baseline, "execute-per-detector"),
+        result_json(&replayed, "execute-once-replay"),
+    );
+    std::fs::write(&out, format!("{json}\n")).expect("write JSON summary");
+    println!("wrote {out}");
+}
+
 fn main() {
     let args = parse_args();
     let units = match args.suite.as_str() {
@@ -117,6 +226,10 @@ fn main() {
         }
         other => panic!("--suite must be pattern|corpus|all, got {other}"),
     };
+    if args.replay {
+        run_replay_bench(&args, units);
+        return;
+    }
     let config = CampaignConfig::nightly()
         .seeds_per_unit(args.seeds)
         .workers(args.workers)
@@ -210,6 +323,7 @@ fn main() {
         campaign.units().len(),
         sections.join(","),
     );
-    std::fs::write(&args.out, format!("{json}\n")).expect("write JSON summary");
-    println!("wrote {}", args.out);
+    let out = args.out.unwrap_or_else(|| "BENCH_campaign.json".to_string());
+    std::fs::write(&out, format!("{json}\n")).expect("write JSON summary");
+    println!("wrote {out}");
 }

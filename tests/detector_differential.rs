@@ -69,6 +69,60 @@ fn all_three_detectors_agree_racy_patterns_are_racy() {
 }
 
 #[test]
+fn epoch_fast_path_equals_pure_vector_clocks_report_for_report() {
+    // FastTrack's epoch representation is an *optimization* of full vector
+    // clocks (Flanagan & Freund's central claim): on every run of every
+    // pattern — racy and fixed — the epoch fast path must produce the same
+    // reports, verbatim, as the pure-vector-clock ablation. The ablation
+    // variant is excluded from `DetectorChoice::all()` (it exists for
+    // benchmarking), so this differential is its correctness anchor.
+    for p in patterns::registry() {
+        for program in [p.racy_program(), p.fixed_program()] {
+            for seed in 0..SEEDS {
+                let cfg = RunConfig::with_seed(seed);
+                let (o_ft, r_ft) = DetectorChoice::FastTrack.run(&program, cfg.clone());
+                let (o_vc, r_vc) = DetectorChoice::PureVectorClock.run(&program, cfg);
+                assert_eq!(
+                    o_ft.steps,
+                    o_vc.steps,
+                    "{}/{} seed {seed}: detectors must not perturb the schedule",
+                    p.id,
+                    program.name()
+                );
+                // The two variants tag reports with their own kind; modulo
+                // that label, the reports must be verbatim-identical —
+                // same accesses, stacks, locations, and fingerprints.
+                let strip = |s: String, kind: &str| s.replace(kind, "<hb>");
+                let ft_text: Vec<String> = r_ft
+                    .iter()
+                    .map(|r| strip(format!("{r}"), "fasttrack"))
+                    .collect();
+                let vc_text: Vec<String> = r_vc
+                    .iter()
+                    .map(|r| strip(format!("{r}"), "pure-vc"))
+                    .collect();
+                assert_eq!(
+                    ft_text,
+                    vc_text,
+                    "{}/{} seed {seed}: epoch fast path diverged from pure vector clocks",
+                    p.id,
+                    program.name()
+                );
+                for (a, b) in r_ft.iter().zip(r_vc.iter()) {
+                    assert_eq!(
+                        race_fingerprint(a),
+                        race_fingerprint(b),
+                        "{}/{} seed {seed}: fingerprints must agree across variants",
+                        p.id,
+                        program.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn happens_before_detectors_never_flag_fixed_patterns() {
     for p in patterns::registry() {
         let program = p.fixed_program();

@@ -1,0 +1,127 @@
+//! Replay fidelity: the acceptance gate for the record/replay subsystem.
+//!
+//! The refactor's contract is that analysis is a *pure function of the
+//! trace*: one scheduled execution, recorded once, must replay through
+//! every detection algorithm to **bit-identical** output — same reports
+//! (verbatim text), same fingerprints, same event and shadow-memory
+//! accounting — as running that detector live on the same `(seed,
+//! strategy)`. This holds because monitors never influence the schedule
+//! (the runtime's schedule is a pure function of seed and strategy), so
+//! the recorded event stream *is* the execution as any detector would
+//! have seen it.
+//!
+//! These tests pin the contract over the whole executable pattern corpus
+//! (racy and fixed variants), 16 seeds each, for all four algorithms —
+//! including the pure-vector-clock ablation that the campaign default
+//! excludes — and additionally through a full encode→decode round trip of
+//! the `.grtrace` wire format, so on-disk traces carry the same guarantee
+//! as in-memory ones.
+
+use grs::deploy::race_fingerprint;
+use grs::detector::DetectorArena;
+use grs::fleet::pattern_suite;
+use grs::runtime::{record, RunConfig, Trace};
+
+const SEEDS: u64 = 16;
+
+#[test]
+fn replay_is_bit_identical_to_live_for_every_pattern_seed_and_detector() {
+    for unit in pattern_suite(true) {
+        let mut arena = DetectorArena::new();
+        for seed in 0..SEEDS {
+            let cfg = RunConfig::with_seed(seed);
+            let (outcome, trace) = record(&unit.program, &cfg);
+            assert_eq!(
+                trace.events.len() as u64,
+                outcome.stats.events_dispatched,
+                "{}/{seed}: trace must capture every dispatched event",
+                unit.name
+            );
+            for (choice, replayed) in arena.replay_all(&trace) {
+                let (live_o, live_r) = choice.run(&unit.program, cfg.clone());
+                assert_eq!(
+                    live_o.steps, outcome.steps,
+                    "{}/{seed}/{choice}: recording must not perturb the schedule",
+                    unit.name
+                );
+                assert_eq!(
+                    replayed.events, live_o.stats.events_dispatched,
+                    "{}/{seed}/{choice}: replay must dispatch the live event count",
+                    unit.name
+                );
+                assert_eq!(
+                    replayed.peak_shadow_words, live_o.stats.peak_shadow_words,
+                    "{}/{seed}/{choice}: shadow accounting must survive replay",
+                    unit.name
+                );
+                assert_eq!(
+                    replayed.reports.len(),
+                    live_r.len(),
+                    "{}/{seed}/{choice}: report count diverged",
+                    unit.name
+                );
+                for (a, b) in replayed.reports.iter().zip(live_r.iter()) {
+                    assert_eq!(
+                        race_fingerprint(a),
+                        race_fingerprint(b),
+                        "{}/{seed}/{choice}: fingerprint diverged",
+                        unit.name
+                    );
+                    assert_eq!(
+                        format!("{a}"),
+                        format!("{b}"),
+                        "{}/{seed}/{choice}: report text diverged",
+                        unit.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn decoded_traces_replay_identically_to_recorded_traces() {
+    // The wire format carries the whole fidelity guarantee: a trace that
+    // went through encode→decode replays to the same reports as the
+    // original in-memory trace (and therefore as the live run).
+    let units: Vec<_> = pattern_suite(true).into_iter().take(8).collect();
+    let mut arena_mem = DetectorArena::new();
+    let mut arena_disk = DetectorArena::new();
+    for unit in &units {
+        for seed in 0..8u64 {
+            let cfg = RunConfig::with_seed(seed);
+            let (_, trace) = record(&unit.program, &cfg);
+            let decoded =
+                Trace::decode(&trace.encode()).expect("round trip of a recorded trace");
+            assert_eq!(decoded, trace, "{}/{seed}", unit.name);
+            assert_eq!(decoded.digest(), trace.digest(), "{}/{seed}", unit.name);
+            let from_mem = arena_mem.replay_all(&trace);
+            let from_disk = arena_disk.replay_all(&decoded);
+            for ((c1, r1), (c2, r2)) in from_mem.iter().zip(from_disk.iter()) {
+                assert_eq!(c1, c2);
+                assert_eq!(r1.events, r2.events, "{}/{seed}/{c1}", unit.name);
+                let t1: Vec<String> = r1.reports.iter().map(|r| format!("{r}")).collect();
+                let t2: Vec<String> = r2.reports.iter().map(|r| format!("{r}")).collect();
+                assert_eq!(t1, t2, "{}/{seed}/{c1}: decoded replay diverged", unit.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_reports_carry_the_repro_metadata_detectors_emit() {
+    // Detector-emitted reports carry no repro yet (the campaign attaches
+    // it); replay must not invent one, so live and replayed reports stay
+    // comparable field-for-field.
+    let unit = &pattern_suite(false)[0];
+    for seed in 0..SEEDS {
+        let (_, trace) = record(&unit.program, &RunConfig::with_seed(seed));
+        let mut arena = DetectorArena::new();
+        for (_, replayed) in arena.replay_all(&trace) {
+            for r in &replayed.reports {
+                assert_eq!(r.repro_seed, None);
+                assert_eq!(r.repro, None);
+            }
+        }
+    }
+}
