@@ -9,7 +9,7 @@
 //! outstanding-race trajectories.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use grs::deploy::campaign::{Campaign, CampaignConfig};
+use grs::deploy::intake::{Campaign, CampaignConfig};
 
 fn bench_policies(c: &mut Criterion) {
     let historical = Campaign::new(CampaignConfig::paper()).run(42);

@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use grs_corpus::table1::{self as t1, Table1, Table1Config};
-use grs_deploy::campaign::{Campaign, CampaignConfig, CampaignResult};
+use grs_deploy::intake::{Campaign, CampaignConfig, CampaignResult};
 use grs_detector::{ExploreConfig, Explorer, Tsan};
 use grs_fleet::{census, Census, CensusConfig};
 use grs_golite::{lint_file, parse_file, Rule};

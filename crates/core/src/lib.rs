@@ -16,6 +16,7 @@
 //! | [`corpus`] | `grs-corpus` | synthetic monorepos (Table 1) |
 //! | [`interp`] | `grs-interp` | Go-lite interpreter on the runtime |
 //! | [`fleet`] | `grs-fleet` | concurrency census (Figure 1) + parallel campaign engine |
+//! | [`obs`] | `grs-obs` | metrics registry, span tracing, §3.5 campaign timelines |
 //!
 //! # Example: detect Listing 1's race end to end
 //!
@@ -36,6 +37,7 @@ pub use grs_detector as detector;
 pub use grs_fleet as fleet;
 pub use grs_golite as golite;
 pub use grs_interp as interp;
+pub use grs_obs as obs;
 pub use grs_patterns as patterns;
 pub use grs_runtime as runtime;
 
@@ -50,3 +52,31 @@ pub use experiments::{
     AgreementResult, AgreementRow, CategoryTally, DeploymentStats, OverheadProbe, TallyConfig,
 };
 pub use study::{Study, StudyReport};
+
+/// The workspace-wide prelude: the ~15 types nearly every experiment,
+/// example, and test imports, re-exported explicitly (no glob-of-globs, so
+/// rustdoc attributes each item to its home crate).
+///
+/// `grs_deploy`'s intake simulation types collide by name with the fleet
+/// campaign engine, so they are re-exported under `Intake*` aliases;
+/// `Campaign`/`CampaignConfig`/`CampaignResult` here always mean the
+/// execution engine (`grs_fleet::campaign`).
+///
+/// ```
+/// use grs::prelude::*;
+///
+/// let result = Campaign::over_patterns(CampaignConfig::new().seeds_per_unit(2)).run();
+/// assert!(result.detection_rate() > 0.0);
+/// ```
+pub mod prelude {
+    pub use grs_deploy::intake::{
+        Campaign as IntakeSim, CampaignConfig as IntakeConfig, CampaignResult as IntakeResult,
+    };
+    pub use grs_deploy::{race_fingerprint, Fingerprint, OwnerDb, Pipeline};
+    pub use grs_detector::{DetectorArena, DetectorChoice, ExploreConfig, Explorer, RaceReport};
+    pub use grs_fleet::{
+        corpus_suite, pattern_suite, Campaign, CampaignConfig, CampaignResult, CampaignUnit,
+    };
+    pub use grs_obs::{MetricsRegistry, ObsReport, ObsSink, CampaignTimeline, TimelineConfig};
+    pub use grs_runtime::{Program, RunConfig, Runtime, Strategy, Trace};
+}

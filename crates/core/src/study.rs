@@ -7,7 +7,7 @@
 //! and the detector-overhead probe.
 
 use grs_corpus::Table1;
-use grs_deploy::campaign::CampaignResult;
+use grs_deploy::intake::CampaignResult;
 use grs_fleet::{Census, Language};
 
 use crate::experiments::{

@@ -13,12 +13,17 @@
 //! 3. **files** a task in a bug tracker, suppressing duplicates only while
 //!    a task with the same fingerprint is open ([`tracker::BugTracker`]),
 //! 4. repeats daily for six months, producing the dynamics of Figures 3–4
-//!    ([`campaign::Campaign`]).
+//!    ([`intake::Campaign`]).
+//!
+//! Naming note: this crate's simulation of the *intake* side (daily filing
+//! over simulated months) lives in [`intake`]; the execution-campaign
+//! engine that runs real detector matrices lives in `grs_fleet::campaign`.
+//! The old `grs_deploy::campaign` path is a deprecated alias of [`intake`].
 //!
 //! # Example
 //!
 //! ```
-//! use grs_deploy::campaign::{Campaign, CampaignConfig};
+//! use grs_deploy::intake::{Campaign, CampaignConfig};
 //!
 //! let result = Campaign::new(CampaignConfig::paper()).run(42);
 //! assert!(result.total_filed >= 1500, "paper: ~2000 detected");
@@ -27,16 +32,30 @@
 
 pub mod assignee;
 pub mod batch;
-pub mod campaign;
 pub mod fingerprint;
+pub mod intake;
 pub mod pipeline;
 pub mod tracker;
 
+/// Deprecated alias of [`intake`], kept so pre-rename imports keep
+/// compiling.
+#[deprecated(since = "0.1.0", note = "renamed to `grs_deploy::intake`")]
+pub use intake as campaign;
+
 pub use assignee::{determine_assignee, AssigneeDecision, OwnerDb};
 pub use batch::RaceBatch;
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, DayStats};
+pub use intake::{Campaign, CampaignConfig, CampaignResult, DayStats};
 pub use fingerprint::{
     naive_fingerprint, race_fingerprint, race_fingerprint_interned, Fingerprint,
 };
 pub use pipeline::{FileOutcome, Pipeline};
 pub use tracker::{BugTracker, TaskId, TaskState};
+
+/// The types every deploy user imports, for `use grs_deploy::prelude::*`.
+pub mod prelude {
+    pub use crate::assignee::{determine_assignee, OwnerDb};
+    pub use crate::fingerprint::{race_fingerprint, Fingerprint};
+    pub use crate::intake::{Campaign, CampaignConfig, CampaignResult};
+    pub use crate::pipeline::{FileOutcome, Pipeline};
+    pub use crate::tracker::{BugTracker, TaskId, TaskState};
+}

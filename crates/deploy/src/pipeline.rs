@@ -42,10 +42,20 @@ pub enum FileOutcome {
 /// assert!(pipeline.tracker().total_filed() >= 1);
 /// assert_eq!(outcomes.len(), races.len());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Pipeline {
     owners: OwnerDb,
     tracker: BugTracker,
+    sink: Option<std::sync::Arc<dyn grs_obs::ObsSink>>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("owners", &self.owners)
+            .field("tracker", &self.tracker)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Pipeline {
@@ -55,7 +65,19 @@ impl Pipeline {
         Pipeline {
             owners,
             tracker: BugTracker::new(),
+            sink: None,
         }
+    }
+
+    /// Attaches an [`ObsSink`](grs_obs::ObsSink) (builder style). Every
+    /// subsequent [`Pipeline::submit`] reports `intake.filed` /
+    /// `intake.duplicate` counters and every [`Pipeline::fix`] reports
+    /// `intake.fixed` — both sums, so the aggregate is submission-order
+    /// independent.
+    #[must_use]
+    pub fn observed(mut self, sink: std::sync::Arc<dyn grs_obs::ObsSink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Submits one detected race on `day`.
@@ -69,7 +91,7 @@ impl Pipeline {
             .repro
             .clone()
             .or_else(|| report.repro_seed.map(grs_runtime::ReproArtifact::seed_only));
-        match self
+        let outcome = match self
             .tracker
             .file_with_repro(fp, day, decision.assignee.clone(), repro)
         {
@@ -78,7 +100,14 @@ impl Pipeline {
                 assignee: decision.assignee,
             },
             None => FileOutcome::Duplicate,
+        };
+        if let Some(sink) = &self.sink {
+            match outcome {
+                FileOutcome::Filed { .. } => sink.add("intake.filed", 1),
+                FileOutcome::Duplicate => sink.add("intake.duplicate", 1),
+            }
         }
+        outcome
     }
 
     /// Submits a batch (one day's detection output).
@@ -89,6 +118,9 @@ impl Pipeline {
     /// Marks a task fixed.
     pub fn fix(&mut self, task: TaskId, day: u32, engineer: &str, patch: u64) {
         self.tracker.fix(task, day, engineer, patch);
+        if let Some(sink) = &self.sink {
+            sink.add("intake.fixed", 1);
+        }
     }
 
     /// The underlying tracker (statistics, task list).
@@ -163,6 +195,21 @@ mod tests {
         };
         p.fix(task, 2, "alice", 7);
         assert!(matches!(p.submit(&report(10), 3), FileOutcome::Filed { .. }));
+    }
+
+    #[test]
+    fn observed_pipeline_counts_intake() {
+        let sink = Arc::new(grs_obs::MetricsRegistry::new());
+        let mut p = Pipeline::new(OwnerDb::new()).observed(sink.clone());
+        let FileOutcome::Filed { task, .. } = p.submit(&report(10), 0) else {
+            panic!("first must file");
+        };
+        let _ = p.submit(&report(99), 1);
+        p.fix(task, 2, "alice", 7);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("intake.filed"), 1);
+        assert_eq!(snap.counter("intake.duplicate"), 1);
+        assert_eq!(snap.counter("intake.fixed"), 1);
     }
 
     #[test]

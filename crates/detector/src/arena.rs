@@ -15,6 +15,7 @@
 //! fresh detector — [`DetectorChoice::run`] and [`DetectorArena::run`] are
 //! interchangeable, and the tests below pin that equivalence.
 
+use grs_obs::{ObsSink, SpanGuard};
 use grs_runtime::{Program, RunConfig, RunOutcome, Runtime, StackDepot, Trace};
 
 use crate::eraser::Eraser;
@@ -128,6 +129,26 @@ impl DetectorArena {
         }
     }
 
+    /// [`DetectorArena::run`] with observability: wraps the run in a
+    /// `detector.analyze` span and reports the run's
+    /// [`MonitorStats`](grs_runtime::MonitorStats) into `sink`. Detection
+    /// results are identical to the unobserved path.
+    pub fn run_observed(
+        &mut self,
+        choice: DetectorChoice,
+        program: &Program,
+        cfg: RunConfig,
+        sink: &dyn ObsSink,
+    ) -> (RunOutcome, Vec<RaceReport>) {
+        let (outcome, reports) = {
+            let _span = SpanGuard::enter(sink, "detector.analyze");
+            self.run(choice, program, cfg)
+        };
+        sink.add("detector.runs", 1);
+        outcome.stats.record_into(sink);
+        (outcome, reports)
+    }
+
     fn analyzer_mut(&mut self, choice: DetectorChoice) -> &mut dyn ReplayAnalyzer {
         match choice {
             DetectorChoice::FastTrack => &mut self.fasttrack,
@@ -165,12 +186,38 @@ impl DetectorArena {
         trace: &Trace,
         choices: &[DetectorChoice],
     ) -> Vec<(DetectorChoice, ReplayOutcome)> {
-        trace.rebuild_depot_into(&self.depot);
+        self.replay_many_observed(trace, choices, &grs_obs::NULL_SINK)
+    }
+
+    /// [`DetectorArena::replay_many`] with observability: the depot rebuild
+    /// is spanned as `replay.decode`, each offline analysis as
+    /// `replay.analyze`, and every analysis reports the same stable
+    /// counters a live observed run would (`detector.runs`,
+    /// `runtime.events`, depot/shadow gauges) — which is what keeps the
+    /// exported metrics identical between live and replay campaigns.
+    pub fn replay_many_observed(
+        &mut self,
+        trace: &Trace,
+        choices: &[DetectorChoice],
+        sink: &dyn ObsSink,
+    ) -> Vec<(DetectorChoice, ReplayOutcome)> {
+        {
+            let _span = SpanGuard::enter(sink, "replay.decode");
+            trace.rebuild_depot_into(&self.depot);
+        }
         let depot = self.depot.clone();
         choices
             .iter()
             .map(|&choice| {
-                let out = replay_prepared(self.analyzer_mut(choice), trace, &depot);
+                let out = {
+                    let _span = SpanGuard::enter(sink, "replay.analyze");
+                    replay_prepared(self.analyzer_mut(choice), trace, &depot)
+                };
+                sink.add("detector.runs", 1);
+                sink.add("replay.analyses", 1);
+                sink.add("runtime.events", out.events);
+                sink.gauge_max("runtime.depot_stacks", trace.stacks.len() as u64);
+                sink.gauge_max("detector.peak_shadow_words", out.peak_shadow_words as u64);
                 (choice, out)
             })
             .collect()

@@ -166,6 +166,27 @@ pub fn default_workers() -> usize {
 }
 
 impl ExploreConfig {
+    /// An exploration of `runs` runs with the default knobs — the entry
+    /// point of the builder API, which is the **stable** way to construct a
+    /// config:
+    ///
+    /// ```
+    /// use grs_detector::{DetectorChoice, ExploreConfig};
+    ///
+    /// let cfg = ExploreConfig::new(64)
+    ///     .workers(8)
+    ///     .detector(DetectorChoice::FastTrack);
+    /// assert_eq!(cfg.runs, 64);
+    /// ```
+    ///
+    /// The fields stay `pub` for matching and ad-hoc tweaks, but new knobs
+    /// are only guaranteed to get builder methods; struct-literal
+    /// construction may break when fields are added.
+    #[must_use]
+    pub fn new(runs: usize) -> Self {
+        ExploreConfig::quick().runs(runs)
+    }
+
     /// 30 random-walk runs — enough for the depth-2 races that dominate the
     /// study's corpus.
     #[must_use]
@@ -222,6 +243,13 @@ impl ExploreConfig {
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-run step budget (builder style).
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
         self
     }
 }

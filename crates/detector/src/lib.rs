@@ -58,3 +58,14 @@ pub use fasttrack::{FastTrack, FastTrackConfig};
 pub use replay::{replay_trace, ReplayAnalyzer, ReplayOutcome};
 pub use report::{DetectorKind, RaceAccess, RaceReport};
 pub use tsan::Tsan;
+
+/// The types every detector user imports, for `use grs_detector::prelude::*`.
+pub mod prelude {
+    pub use crate::arena::DetectorArena;
+    pub use crate::eraser::Eraser;
+    pub use crate::explorer::{default_workers, DetectorChoice, ExploreConfig, Explorer};
+    pub use crate::fasttrack::FastTrack;
+    pub use crate::replay::{replay_trace, ReplayAnalyzer, ReplayOutcome};
+    pub use crate::report::{DetectorKind, RaceReport};
+    pub use crate::tsan::Tsan;
+}

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use grs_deploy::{race_fingerprint, FileOutcome, Fingerprint, Pipeline, RaceBatch};
 use grs_detector::{default_workers, DetectorArena, DetectorChoice};
+use grs_obs::{CampaignTimeline, MetricsRegistry, ObsReport, ObsSink, SpanGuard, TimelineConfig};
 use grs_runtime::{record_with_depot, Program, ReproArtifact, RunConfig, Strategy};
 
 use crate::dedup::DedupMap;
@@ -246,9 +247,30 @@ pub struct CampaignConfig {
     pub shards: usize,
     /// Per-run step budget.
     pub max_steps: u64,
+    /// Virtual campaign days the timeline section buckets the spec axis
+    /// into (see [`grs_obs::CampaignTimeline`]).
+    pub timeline_days: u32,
 }
 
 impl CampaignConfig {
+    /// The smoke defaults — the entry point of the builder API, which is
+    /// the **stable** way to construct a config:
+    ///
+    /// ```
+    /// use grs_fleet::CampaignConfig;
+    ///
+    /// let cfg = CampaignConfig::new().seeds_per_unit(16).workers(4);
+    /// assert_eq!(cfg.seeds_per_unit, 16);
+    /// ```
+    ///
+    /// The fields stay `pub` for matching and ad-hoc tweaks, but new knobs
+    /// are only guaranteed to get builder methods; struct-literal
+    /// construction may break when fields are added.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::smoke()
+    }
+
     /// A small smoke campaign: 8 seeds, random walks, hybrid detector.
     #[must_use]
     pub fn smoke() -> Self {
@@ -260,6 +282,7 @@ impl CampaignConfig {
             workers: default_workers(),
             shards: 2 * default_workers(),
             max_steps: 1_000_000,
+            timeline_days: 30,
         }
     }
 
@@ -313,6 +336,20 @@ impl CampaignConfig {
     #[must_use]
     pub fn strategies(mut self, strategies: Vec<Strategy>) -> Self {
         self.strategies = strategies;
+        self
+    }
+
+    /// Sets the per-run step budget (builder style).
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the timeline day count, clamped to at least 1 (builder style).
+    #[must_use]
+    pub fn timeline_days(mut self, days: u32) -> Self {
+        self.timeline_days = days.max(1);
         self
     }
 
@@ -451,6 +488,11 @@ pub struct CampaignResult {
     /// Record/replay counters when the campaign ran execute-once
     /// ([`Campaign::run_replay`]); `None` for execute-per-detector runs.
     pub replay: Option<ReplayStats>,
+    /// The campaign's observability report: stable metrics, span/latency
+    /// timing, and the §3.5 campaign-dynamics timeline — ready to export
+    /// as `BENCH_obs.json` ([`ObsReport::to_json`]) or render as a text
+    /// dashboard ([`ObsReport::dashboard`]).
+    pub obs: ObsReport,
 }
 
 impl CampaignResult {
@@ -679,21 +721,30 @@ impl Campaign {
         shard: usize,
         dedup: &DedupMap,
         arena: &mut DetectorArena,
+        sink: &dyn ObsSink,
     ) -> RunRecord {
         let unit = &self.units[spec.unit];
         let started = Instant::now();
-        let (outcome, reports) = arena.run(
-            spec.detector,
-            &unit.program,
-            RunConfig {
-                seed: spec.seed,
-                strategy: spec.strategy,
-                max_steps: self.config.max_steps,
-                ..RunConfig::default()
-            },
-        );
+        let (outcome, reports) = {
+            let _span = SpanGuard::enter(sink, "shard.execute");
+            arena.run_observed(
+                spec.detector,
+                &unit.program,
+                RunConfig {
+                    seed: spec.seed,
+                    strategy: spec.strategy,
+                    max_steps: self.config.max_steps,
+                    ..RunConfig::default()
+                },
+                sink,
+            )
+        };
         let duration = started.elapsed();
+        sink.observe("campaign.run_wall", duration);
         let racy = !reports.is_empty();
+        sink.add("campaign.runs", 1);
+        sink.add("campaign.racy_runs", u64::from(racy));
+        sink.add("campaign.reports", reports.len() as u64);
         let mut fingerprints = Vec::with_capacity(reports.len());
         for mut r in reports {
             r.program = Some(std::sync::Arc::from(unit.name.as_str()));
@@ -726,6 +777,7 @@ impl Campaign {
     /// through every configured detector offline. Emits one [`RunRecord`]
     /// per detector on the same spec-index space as [`Campaign::execute`],
     /// with identical deterministic fields — the replay-fidelity guarantee.
+    #[allow(clippy::too_many_arguments)]
     fn execute_replay(
         &self,
         exec: ExecSpec,
@@ -734,19 +786,23 @@ impl Campaign {
         dedup: &DedupMap,
         arena: &mut DetectorArena,
         stats: &mut ReplayStats,
+        sink: &dyn ObsSink,
     ) -> Vec<RunRecord> {
         let unit = &self.units[exec.unit];
         let record_started = Instant::now();
-        let (outcome, trace) = record_with_depot(
-            &unit.program,
-            &RunConfig {
-                seed: exec.seed,
-                strategy: exec.strategy,
-                max_steps: self.config.max_steps,
-                ..RunConfig::default()
-            },
-            arena.depot(),
-        );
+        let (outcome, trace) = {
+            let _span = SpanGuard::enter(sink, "shard.execute");
+            record_with_depot(
+                &unit.program,
+                &RunConfig {
+                    seed: exec.seed,
+                    strategy: exec.strategy,
+                    max_steps: self.config.max_steps,
+                    ..RunConfig::default()
+                },
+                arena.depot(),
+            )
+        };
         // Encoding is part of the record pipeline: it is what a deployment
         // would persist as the `.grtrace` artifact.
         let trace_bytes = trace.encode().len();
@@ -756,9 +812,11 @@ impl Campaign {
         stats.trace_bytes_total += trace_bytes as u64;
         stats.trace_bytes_max = stats.trace_bytes_max.max(trace_bytes);
         stats.record_wall += record_started.elapsed();
+        sink.add("replay.trace_bytes", trace_bytes as u64);
+        sink.observe("replay.record_wall", record_started.elapsed());
 
         let replay_started = Instant::now();
-        let analyses = arena.replay_many(&trace, &self.config.detectors);
+        let analyses = arena.replay_many_observed(&trace, &self.config.detectors, sink);
         let replay_elapsed = replay_started.elapsed();
         stats.replays += analyses.len();
         stats.replay_wall += replay_elapsed;
@@ -774,6 +832,10 @@ impl Campaign {
                 detector,
             };
             let racy = !analysis.reports.is_empty();
+            sink.observe("campaign.run_wall", per_replay);
+            sink.add("campaign.runs", 1);
+            sink.add("campaign.racy_runs", u64::from(racy));
+            sink.add("campaign.reports", analysis.reports.len() as u64);
             let mut fingerprints = Vec::with_capacity(analysis.reports.len());
             for mut r in analysis.reports {
                 r.program = Some(std::sync::Arc::from(unit.name.as_str()));
@@ -814,6 +876,30 @@ impl Campaign {
     /// [`CampaignResult::deterministic_digest`], same dedup batch — while
     /// executing `detectors.len()`× fewer schedules; the measured speedup
     /// lands in [`CampaignResult::replay`].
+    /// Builds the campaign's observability report: snapshots the registry's
+    /// metrics and buckets the sorted records' fingerprints into the §3.5
+    /// timeline. The timeline is a pure function of deterministic outputs
+    /// (spec indices and fingerprints), so it is byte-identical across
+    /// worker counts *and* between live and replay execution.
+    fn build_obs(
+        &self,
+        label: &str,
+        registry: &MetricsRegistry,
+        records: &[RunRecord],
+    ) -> ObsReport {
+        let mut timeline = CampaignTimeline::new(
+            TimelineConfig::default_days().days(self.config.timeline_days),
+        );
+        let total = records.len();
+        for r in records {
+            let day = timeline.day_of(r.spec.index, total);
+            for fp in &r.fingerprints {
+                timeline.observe(day, fp.0);
+            }
+        }
+        ObsReport::new(label, registry.snapshot(), timeline.finish())
+    }
+
     #[must_use]
     pub fn run_replay(&self) -> CampaignResult {
         let started = Instant::now();
@@ -821,12 +907,14 @@ impl Campaign {
         let workers = self.config.workers.max(1).min(execs.len().max(1));
         let shards = self.config.shards.max(1);
         let dedup = DedupMap::new(shards);
+        let registry = MetricsRegistry::new();
         let mut stats = ReplayStats::default();
         let mut records: Vec<RunRecord>;
         if workers <= 1 {
             let mut arena = DetectorArena::new();
             records = Vec::with_capacity(execs.len() * self.config.detectors.len());
             for &exec in &execs {
+                registry.add_volatile("sched.home_pops", 1);
                 records.extend(self.execute_replay(
                     exec,
                     0,
@@ -834,6 +922,7 @@ impl Campaign {
                     &dedup,
                     &mut arena,
                     &mut stats,
+                    &registry,
                 ));
             }
         } else {
@@ -847,11 +936,16 @@ impl Campaign {
                     let dedup = &dedup;
                     let collected = &collected;
                     let merged = &merged;
+                    let registry = &registry;
                     scope.spawn(move || {
                         let mut arena = DetectorArena::new();
                         let mut local = Vec::new();
                         let mut local_stats = ReplayStats::default();
                         while let Some((exec, shard)) = queues.pop(w) {
+                            registry.add_volatile(
+                                if shard == w % shards { "sched.home_pops" } else { "sched.steals" },
+                                1,
+                            );
                             local.extend(self.execute_replay(
                                 exec,
                                 w,
@@ -859,6 +953,7 @@ impl Campaign {
                                 dedup,
                                 &mut arena,
                                 &mut local_stats,
+                                registry,
                             ));
                         }
                         collected
@@ -880,6 +975,8 @@ impl Campaign {
                 .into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+        registry.observe("campaign.wall", started.elapsed());
+        let obs = self.build_obs("campaign/replay", &registry, &records);
         CampaignResult {
             records,
             batch: dedup.into_batch(),
@@ -888,6 +985,7 @@ impl Campaign {
             shards,
             wall: started.elapsed(),
             replay: Some(stats),
+            obs,
         }
     }
 
@@ -899,6 +997,7 @@ impl Campaign {
         let workers = self.config.workers.max(1).min(specs.len().max(1));
         let shards = self.config.shards.max(1);
         let dedup = DedupMap::new(shards);
+        let registry = MetricsRegistry::new();
         let mut records: Vec<RunRecord>;
         if workers <= 1 {
             // Serial path: same execute + dedup machinery, no threads. One
@@ -906,7 +1005,10 @@ impl Campaign {
             let mut arena = DetectorArena::new();
             records = specs
                 .iter()
-                .map(|&spec| self.execute(spec, 0, spec.index % shards, &dedup, &mut arena))
+                .map(|&spec| {
+                    registry.add_volatile("sched.home_pops", 1);
+                    self.execute(spec, 0, spec.index % shards, &dedup, &mut arena, &registry)
+                })
                 .collect();
         } else {
             let queues = ShardQueues::deal(shards, &specs);
@@ -916,6 +1018,7 @@ impl Campaign {
                     let queues = &queues;
                     let dedup = &dedup;
                     let collected = &collected;
+                    let registry = &registry;
                     scope.spawn(move || {
                         // One depot + detector arena per worker, reused for
                         // every spec the worker pops; per-run state resets
@@ -924,7 +1027,11 @@ impl Campaign {
                         let mut arena = DetectorArena::new();
                         let mut local = Vec::new();
                         while let Some((spec, shard)) = queues.pop(w) {
-                            local.push(self.execute(spec, w, shard, dedup, &mut arena));
+                            registry.add_volatile(
+                                if shard == w % shards { "sched.home_pops" } else { "sched.steals" },
+                                1,
+                            );
+                            local.push(self.execute(spec, w, shard, dedup, &mut arena, registry));
                         }
                         collected
                             .lock()
@@ -938,6 +1045,8 @@ impl Campaign {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             records.sort_by_key(|r| r.spec.index);
         }
+        registry.observe("campaign.wall", started.elapsed());
+        let obs = self.build_obs("campaign/live", &registry, &records);
         CampaignResult {
             records,
             batch: dedup.into_batch(),
@@ -946,6 +1055,7 @@ impl Campaign {
             shards,
             wall: started.elapsed(),
             replay: None,
+            obs,
         }
     }
 

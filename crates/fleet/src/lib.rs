@@ -42,3 +42,13 @@ pub use campaign::{
 pub use census::{census, Cdf, Census, CensusConfig, Language, LanguageSample};
 pub use dedup::DedupMap;
 pub use shard::{ExecSpec, RunSpec, ShardQueues};
+
+/// The types every fleet user imports, for `use grs_fleet::prelude::*`.
+pub mod prelude {
+    pub use crate::campaign::{
+        corpus_suite, pattern_suite, Campaign, CampaignConfig, CampaignResult, CampaignUnit,
+        RunRecord,
+    };
+    pub use crate::dedup::DedupMap;
+    pub use crate::shard::{ExecSpec, RunSpec, ShardQueues};
+}

@@ -1,0 +1,373 @@
+//! [`ObsReport`] — the stable exported form of one observed campaign.
+//!
+//! The JSON document (`BENCH_obs.json`) has a versioned schema with a hard
+//! determinism split:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "label": "...",
+//!   "deterministic_digest": "0x...",       // over metrics + timeline
+//!   "metrics":  { "counters": {..}, "gauges": {..} },        // stable
+//!   "timeline": { "days": [..], "fix_latency": [..], .. },   // stable
+//!   "timing":   { "volatile_counters": {..}, "histograms": {..},
+//!                 "spans": {..} }          // wall-clock / placement
+//! }
+//! ```
+//!
+//! Everything under `metrics` and `timeline` is byte-identical across
+//! worker counts and between live and replay execution; everything
+//! wall-clock- or placement-derived is segregated under `timing` and
+//! excluded from `deterministic_digest`. CI consumes the stable sections;
+//! humans get the same data through [`ObsReport::dashboard`].
+
+use std::fmt::Write as _;
+
+use crate::registry::{Histogram, MetricsSnapshot};
+use crate::timeline::TimelineReport;
+
+/// Version of the `BENCH_obs.json` schema. Bump on any breaking change to
+/// the stable sections; CI fails when the field is missing.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One observed campaign, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// Human label for the run (e.g. `campaign/live` or `campaign/replay`).
+    pub label: String,
+    /// The merged metrics snapshot.
+    pub snapshot: MetricsSnapshot,
+    /// The campaign-dynamics timeline.
+    pub timeline: TimelineReport,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn kv_object(out: &mut String, pairs: &[(String, u64)]) {
+    out.push('{');
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, r#""{}":{}"#, json_escape(k), v);
+    }
+    out.push('}');
+}
+
+fn histogram_json(out: &mut String, h: &Histogram) {
+    let _ = write!(
+        out,
+        r#"{{"count":{},"total_ns":{},"max_ns":{},"mean_ns":{},"buckets":["#,
+        h.count,
+        h.total_ns,
+        h.max_ns,
+        h.mean_ns()
+    );
+    // Sparse encoding: [bucket_index, count] pairs for non-empty buckets.
+    let mut first = true;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "[{i},{c}]");
+    }
+    out.push_str("]}");
+}
+
+impl ObsReport {
+    /// A report from its parts.
+    #[must_use]
+    pub fn new(label: &str, snapshot: MetricsSnapshot, timeline: TimelineReport) -> Self {
+        ObsReport {
+            label: label.to_string(),
+            snapshot,
+            timeline,
+        }
+    }
+
+    /// FNV-1a digest over the stable sections (metrics + timeline). Equal
+    /// across worker counts; the timeline part is also equal between live
+    /// and replay execution.
+    #[must_use]
+    pub fn deterministic_digest(&self) -> u64 {
+        let mut h = self.snapshot.deterministic_digest();
+        for b in self.timeline_json().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The `metrics` section (stable counters + gauges) as JSON.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        let mut s = String::from(r#"{"counters":"#);
+        kv_object(&mut s, &self.snapshot.counters);
+        s.push_str(r#","gauges":"#);
+        kv_object(&mut s, &self.snapshot.gauges);
+        s.push('}');
+        s
+    }
+
+    /// The `timeline` section as JSON — all integers, byte-identical across
+    /// worker counts and between live and replay execution.
+    #[must_use]
+    pub fn timeline_json(&self) -> String {
+        let t = &self.timeline;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"{{"observations":{},"total_filed":{},"total_fixed":{},"unique_races":{},"days":["#,
+            t.observations, t.total_filed, t.total_fixed, t.unique_races
+        );
+        for (i, d) in t.days.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                r#"{{"day":{},"filed":{},"rediscovered":{},"fixed":{},"outstanding":{},"filed_cum":{},"fixed_cum":{},"unique_cum":{}}}"#,
+                d.day,
+                d.filed,
+                d.rediscovered,
+                d.fixed,
+                d.outstanding,
+                d.filed_cum,
+                d.fixed_cum,
+                d.unique_cum
+            );
+        }
+        s.push_str(r#"],"fix_latency":["#);
+        for (i, &(lat, n)) in t.fix_latency.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{lat},{n}]");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// The `timing` section (volatile counters, latency histograms, spans)
+    /// as JSON. Wall-clock- and placement-derived; excluded from the
+    /// digest.
+    #[must_use]
+    pub fn timing_json(&self) -> String {
+        let mut s = String::from(r#"{"volatile_counters":"#);
+        kv_object(&mut s, &self.snapshot.volatile_counters);
+        s.push_str(r#","histograms":{"#);
+        for (i, (k, h)) in self.snapshot.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, r#""{}":"#, json_escape(k));
+            histogram_json(&mut s, h);
+        }
+        s.push_str(r#"},"spans":{"aggregates":{"#);
+        for (i, (k, st)) in self.snapshot.spans.aggregates.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                r#""{}":{{"count":{},"total_ns":{},"max_ns":{}}}"#,
+                json_escape(k),
+                st.count,
+                st.total_ns,
+                st.max_ns
+            );
+        }
+        let _ = write!(
+            s,
+            r#"}},"dropped":{},"recent":["#,
+            self.snapshot.spans.dropped
+        );
+        for (i, r) in self.snapshot.spans.recent.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                r#"{{"seq":{},"name":"{}","dur_ns":{}}}"#,
+                r.seq,
+                json_escape(&r.name),
+                r.dur_ns
+            );
+        }
+        s.push_str("]}}");
+        s
+    }
+
+    /// The full `BENCH_obs.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"schema_version":{},"label":"{}","deterministic_digest":"0x{:016x}","metrics":{},"timeline":{},"timing":{}}}"#,
+            SCHEMA_VERSION,
+            json_escape(&self.label),
+            self.deterministic_digest(),
+            self.metrics_json(),
+            self.timeline_json(),
+            self.timing_json(),
+        )
+    }
+
+    /// The human `--dashboard` text view: metrics table, Figure-3/4
+    /// timeline bars, span aggregates.
+    #[must_use]
+    pub fn dashboard(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "┌─ obs dashboard · {} ─", self.label);
+        let _ = writeln!(s, "│ digest 0x{:016x}", self.deterministic_digest());
+        let _ = writeln!(s, "│");
+        let _ = writeln!(s, "│ metrics (deterministic)");
+        for (k, v) in &self.snapshot.counters {
+            let _ = writeln!(s, "│   {k:<32} {v:>12}");
+        }
+        for (k, v) in &self.snapshot.gauges {
+            let _ = writeln!(s, "│   {k:<32} {v:>12}  (max)");
+        }
+        if !self.snapshot.volatile_counters.is_empty() {
+            let _ = writeln!(s, "│ scheduling (placement-dependent)");
+            for (k, v) in &self.snapshot.volatile_counters {
+                let _ = writeln!(s, "│   {k:<32} {v:>12}");
+            }
+        }
+        let t = &self.timeline;
+        let _ = writeln!(s, "│");
+        let _ = writeln!(
+            s,
+            "│ timeline · {} days · {} observations → {} filed, {} fixed, {} unique",
+            t.days.len(),
+            t.observations,
+            t.total_filed,
+            t.total_fixed,
+            t.unique_races
+        );
+        let peak = t.days.iter().map(|d| d.outstanding).max().unwrap_or(0).max(1);
+        for d in &t.days {
+            let bar = "#".repeat((u64::from(d.outstanding) * 40 / u64::from(peak)) as usize);
+            let _ = writeln!(
+                s,
+                "│   day {:>3} │ new {:>4} redisc {:>4} fixed {:>4} open {:>4} │ {bar}",
+                d.day, d.filed, d.rediscovered, d.fixed, d.outstanding
+            );
+        }
+        if !t.fix_latency.is_empty() {
+            let _ = writeln!(
+                s,
+                "│ fix latency: mean {:.1} days, distribution {:?}",
+                t.mean_fix_latency(),
+                t.fix_latency
+            );
+        }
+        if !self.snapshot.spans.aggregates.is_empty() {
+            let _ = writeln!(s, "│");
+            let _ = writeln!(s, "│ spans (wall-clock)");
+            for (k, st) in &self.snapshot.spans.aggregates {
+                let mean = st.total_ns.checked_div(st.count).unwrap_or(0);
+                let _ = writeln!(
+                    s,
+                    "│   {k:<28} ×{:<8} mean {:>9} ns  max {:>9} ns",
+                    st.count, mean, st.max_ns
+                );
+            }
+        }
+        if !self.snapshot.histograms.is_empty() {
+            let _ = writeln!(s, "│ latency histograms (log₂ ns buckets, wall-clock)");
+            for (k, h) in &self.snapshot.histograms {
+                let _ = writeln!(
+                    s,
+                    "│   {k:<28} ×{:<8} mean {:>9} ns  max {:>9} ns",
+                    h.count,
+                    h.mean_ns(),
+                    h.max_ns
+                );
+            }
+        }
+        s.push_str("└─\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use crate::sink::ObsSink;
+    use crate::timeline::{CampaignTimeline, TimelineConfig};
+
+    fn sample() -> ObsReport {
+        let r = MetricsRegistry::new();
+        r.add("campaign.runs", 12);
+        r.gauge_max("depot.stacks", 33);
+        r.add_volatile("sched.steals", 4);
+        r.observe("run.wall", std::time::Duration::from_micros(250));
+        r.span_end("shard.execute", std::time::Duration::from_micros(80));
+        let mut t = CampaignTimeline::new(TimelineConfig::default_days().days(6));
+        t.observe(0, 0xaa);
+        t.observe(2, 0xbb);
+        t.observe(3, 0xaa);
+        ObsReport::new("test", r.snapshot(), t.finish())
+    }
+
+    #[test]
+    fn json_has_schema_version_and_sections() {
+        let json = sample().to_json();
+        assert!(json.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")));
+        for key in [
+            "\"metrics\":",
+            "\"timeline\":",
+            "\"timing\":",
+            "\"deterministic_digest\":",
+            "\"days\":[",
+            "\"fix_latency\":[",
+            "\"campaign.runs\":12",
+            "\"sched.steals\":4",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn digest_covers_timeline_but_not_timing() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+        // Timing-only difference: digest unchanged.
+        b.snapshot.volatile_counters[0].1 += 1;
+        assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+        // Timeline difference: digest changes.
+        let mut c = sample();
+        c.timeline.days[0].filed += 1;
+        assert_ne!(a.deterministic_digest(), c.deterministic_digest());
+    }
+
+    #[test]
+    fn dashboard_renders_all_sections() {
+        let d = sample().dashboard();
+        for needle in [
+            "obs dashboard",
+            "metrics (deterministic)",
+            "campaign.runs",
+            "timeline",
+            "day   0",
+            "spans (wall-clock)",
+            "shard.execute",
+        ] {
+            assert!(d.contains(needle), "dashboard missing {needle:?}:\n{d}");
+        }
+    }
+
+    #[test]
+    fn timeline_json_is_all_integers() {
+        let tj = sample().timeline_json();
+        assert!(!tj.contains('.'), "timeline must not carry floats: {tj}");
+    }
+}

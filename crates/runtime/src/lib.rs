@@ -81,7 +81,7 @@ pub use depot::{DepotStats, StackDepot, StackId};
 pub use event::{AccessKind, Event, Frame, SourceLoc, Stack};
 pub use gomap::GoMap;
 pub use ids::{Addr, ChanId, Gid, LockUid, OnceId, WgId};
-pub use monitor::{Monitor, MonitorStats, NullMonitor, RecordingMonitor, TraceHasher};
+pub use monitor::{Monitor, MonitorStats, NullMonitor, ObsMonitor, RecordingMonitor, TraceHasher};
 pub use runtime::{Program, RunConfig, RunOutcome, Runtime, RuntimeError};
 pub use sched::Strategy;
 pub use slice::GoSlice;
@@ -90,3 +90,15 @@ pub use trace::{
     record, record_with_depot, ReproArtifact, StackNode, Trace, TraceDecodeError, TraceMeta,
     TraceRecorder, TRACE_FORMAT_VERSION, TRACE_MAGIC,
 };
+
+/// The types every runtime user imports, for `use grs_runtime::prelude::*`.
+pub mod prelude {
+    pub use crate::depot::{StackDepot, StackId};
+    pub use crate::event::{AccessKind, Event};
+    pub use crate::monitor::{
+        Monitor, MonitorStats, NullMonitor, ObsMonitor, RecordingMonitor, TraceHasher,
+    };
+    pub use crate::runtime::{Program, RunConfig, RunOutcome, Runtime};
+    pub use crate::sched::Strategy;
+    pub use crate::trace::{record, record_with_depot, ReproArtifact, Trace, TraceRecorder};
+}

@@ -68,6 +68,18 @@ pub struct MonitorStats {
     pub peak_shadow_words: usize,
 }
 
+impl MonitorStats {
+    /// Reports this run's counters into an [`ObsSink`](grs_obs::ObsSink) —
+    /// the composable form of the stats block. Event counts are sums and
+    /// the depot/shadow figures are per-run maxima, so the aggregate is
+    /// deterministic for any worker placement.
+    pub fn record_into(&self, sink: &dyn grs_obs::ObsSink) {
+        sink.add("runtime.events", self.events_dispatched);
+        sink.gauge_max("runtime.depot_stacks", self.depot.stacks as u64);
+        sink.gauge_max("detector.peak_shadow_words", self.peak_shadow_words as u64);
+    }
+}
+
 /// A monitor that ignores everything — the "race detector off" baseline.
 ///
 /// # Example
@@ -245,6 +257,93 @@ impl Monitor for TraceHasher {
             self.digest = self.digest.wrapping_mul(0x0000_0100_0000_01b3);
         }
         self.events += 1;
+    }
+}
+
+/// A monitor adapter that reports its inner monitor's activity into an
+/// [`ObsSink`](grs_obs::ObsSink) at the end of every run — the literal
+/// "monitors report into the observability layer" hookup. The inner
+/// monitor's behavior (event handling, noop-ness, shadow accounting) is
+/// forwarded unchanged, so wrapping never perturbs detection results.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use grs_obs::MetricsRegistry;
+/// use grs_runtime::{ObsMonitor, Program, RunConfig, Runtime, TraceHasher};
+///
+/// let registry = Arc::new(MetricsRegistry::new());
+/// let p = Program::new("one_write", |ctx| {
+///     let x = ctx.cell("x", 0i64);
+///     ctx.write(&x, 1);
+/// });
+/// let monitor = ObsMonitor::new(TraceHasher::new(), registry.clone());
+/// let (_, m) = Runtime::new(RunConfig::with_seed(1)).run(&p, monitor);
+/// assert!(m.into_inner().events() > 0);
+/// assert!(registry.snapshot().counter("monitor.events") > 0);
+/// ```
+pub struct ObsMonitor<M> {
+    inner: M,
+    sink: std::sync::Arc<dyn grs_obs::ObsSink>,
+    events: u64,
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for ObsMonitor<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsMonitor")
+            .field("inner", &self.inner)
+            .field("events", &self.events)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Monitor> ObsMonitor<M> {
+    /// Wraps `inner`, reporting into `sink` on every run end.
+    pub fn new(inner: M, sink: std::sync::Arc<dyn grs_obs::ObsSink>) -> Self {
+        ObsMonitor {
+            inner,
+            sink,
+            events: 0,
+        }
+    }
+
+    /// The wrapped monitor, by reference.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Unwraps the inner monitor.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: Monitor> Monitor for ObsMonitor<M> {
+    fn on_run_start(&mut self, depot: &StackDepot) {
+        self.events = 0;
+        self.inner.on_run_start(depot);
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        self.events += 1;
+        self.inner.on_event(event);
+    }
+
+    fn on_run_end(&mut self) {
+        self.inner.on_run_end();
+        self.sink.add("monitor.runs", 1);
+        self.sink.add("monitor.events", self.events);
+        self.sink
+            .gauge_max("monitor.shadow_words", self.inner.shadow_words() as u64);
+    }
+
+    fn is_noop(&self) -> bool {
+        self.inner.is_noop()
+    }
+
+    fn shadow_words(&self) -> usize {
+        self.inner.shadow_words()
     }
 }
 

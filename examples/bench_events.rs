@@ -11,9 +11,7 @@
 
 use std::time::Instant;
 
-use grs::detector::DetectorChoice;
-use grs::fleet::{Campaign, CampaignConfig, CampaignUnit};
-use grs::runtime::{Program, Strategy};
+use grs::prelude::*;
 
 /// A dense sequential compute phase (2 000 read-modify-writes across 8
 /// cells under a named frame, so every event carries a two-deep stack)

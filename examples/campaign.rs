@@ -20,13 +20,17 @@
 //! cargo run --release --example campaign -- --replay [--seeds N] \
 //!     [--workers N] [--out BENCH_replay.json]
 //! ```
+//!
+//! Either mode also exports the observability report (`BENCH_obs.json`:
+//! stable metrics + the §3.5 Figure-3/Figure-4 timeline + volatile timing;
+//! override the path with `--obs-out`), and `--dashboard` renders it as a
+//! terminal dashboard.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-use grs::deploy::{OwnerDb, Pipeline};
-use grs::detector::{default_workers, DetectorChoice};
-use grs::fleet::{corpus_suite, pattern_suite, Campaign, CampaignConfig, CampaignResult};
-use grs::runtime::Strategy;
+use grs::detector::default_workers;
+use grs::prelude::*;
 
 struct Args {
     workers: usize,
@@ -34,7 +38,9 @@ struct Args {
     suite: String,
     serial_baseline: bool,
     replay: bool,
+    dashboard: bool,
     out: Option<String>,
+    obs_out: String,
 }
 
 fn parse_args() -> Args {
@@ -44,7 +50,9 @@ fn parse_args() -> Args {
         suite: "all".to_string(),
         serial_baseline: false,
         replay: false,
+        dashboard: false,
         out: None,
+        obs_out: "BENCH_obs.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,11 +66,32 @@ fn parse_args() -> Args {
             "--suite" => args.suite = value("--suite"),
             "--serial-baseline" => args.serial_baseline = true,
             "--replay" => args.replay = true,
+            "--dashboard" => args.dashboard = true,
             "--out" => args.out = Some(value("--out")),
+            "--obs-out" => args.obs_out = value("--obs-out"),
             other => panic!("unknown flag {other}"),
         }
     }
     args
+}
+
+/// Writes the observability report, optionally renders the dashboard, and
+/// prints the one-line summary either way.
+fn export_obs(args: &Args, obs: &ObsReport) {
+    std::fs::write(&args.obs_out, format!("{}\n", obs.to_json())).expect("write obs report");
+    if args.dashboard {
+        println!("{}", obs.dashboard());
+    }
+    println!(
+        "obs: {} · digest 0x{:016x} · {} observations → {} filed / {} fixed over {} days → {}",
+        obs.label,
+        obs.deterministic_digest(),
+        obs.timeline.observations,
+        obs.timeline.total_filed,
+        obs.timeline.total_fixed,
+        obs.timeline.days.len(),
+        args.obs_out,
+    );
 }
 
 fn json_escape(s: &str) -> String {
@@ -128,7 +157,7 @@ fn result_json(r: &CampaignResult, label: &str) -> String {
 /// Both paths must agree bit-for-bit on their deterministic output; the
 /// execute-once path wins on wall clock because scheduling dominates
 /// analysis, and this run measures by how much.
-fn run_replay_bench(args: &Args, units: Vec<grs::fleet::CampaignUnit>) {
+fn run_replay_bench(args: &Args, units: Vec<CampaignUnit>) {
     let out = args.out.clone().unwrap_or_else(|| "BENCH_replay.json".to_string());
     let config = CampaignConfig::nightly()
         .seeds_per_unit(args.seeds)
@@ -181,6 +210,12 @@ fn run_replay_bench(args: &Args, units: Vec<grs::fleet::CampaignUnit>) {
         "replay campaign must reproduce the live campaign bit-for-bit"
     );
     assert_eq!(replayed.batch.fingerprints(), baseline.batch.fingerprints());
+    assert_eq!(
+        replayed.obs.timeline_json(),
+        baseline.obs.timeline_json(),
+        "the exported timeline must be byte-identical live vs replay"
+    );
+    export_obs(args, &replayed.obs);
 
     let speedup = baseline.wall.as_secs_f64() / replayed.wall.as_secs_f64().max(1e-9);
     println!(
@@ -288,8 +323,10 @@ fn main() {
         }
     }
 
-    // File the deduped batch into the deployment pipeline (day 0).
-    let mut pipeline = Pipeline::new(OwnerDb::new());
+    // File the deduped batch into the deployment pipeline (day 0), with the
+    // intake stage reporting into its own registry.
+    let intake_registry = Arc::new(MetricsRegistry::new());
+    let mut pipeline = Pipeline::new(OwnerDb::new()).observed(intake_registry.clone());
     let outcomes = result.file_into(&mut pipeline, 0);
     println!(
         "pipeline: filed {} tasks from {} deduped races ({} raw reports)",
@@ -297,6 +334,12 @@ fn main() {
         outcomes.len(),
         result.batch.raw_reports(),
     );
+
+    // One BENCH_obs.json for the whole turn: fold the intake stage's
+    // counters into the campaign's snapshot.
+    let mut obs = result.obs.clone();
+    obs.snapshot.merge(&intake_registry.snapshot());
+    export_obs(&args, &obs);
 
     let mut sections = vec![result_json(&result, "parallel")];
     if args.serial_baseline {

@@ -6,8 +6,8 @@
 //! cargo run --example go_source_race
 //! ```
 
-use grs::detector::{ExploreConfig, Explorer};
 use grs::golite::{lint_file, parse_file};
+use grs::prelude::*;
 use grs_interp::Interp;
 
 const LISTING_6: &str = r#"

@@ -7,8 +7,8 @@
 //! ```
 
 use grs::classify;
-use grs::detector::{ExploreConfig, Explorer};
 use grs::patterns::registry;
+use grs::prelude::*;
 
 fn main() {
     let explorer = Explorer::new(ExploreConfig::quick().runs(60));

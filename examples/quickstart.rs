@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use grs::detector::{ExploreConfig, Explorer, Tsan};
-use grs::runtime::{Program, RunConfig, Runtime};
+use grs::detector::Tsan;
+use grs::prelude::*;
 
 fn main() {
     // Listing 1 of the paper: the loop index variable is one variable,

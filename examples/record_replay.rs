@@ -13,9 +13,9 @@
 //! cargo run --release --example record_replay -- [--seed N] [--out PATH]
 //! ```
 
-use grs::detector::{DetectorArena, DetectorChoice};
 use grs::patterns;
-use grs::runtime::{record, RunConfig, Trace};
+use grs::prelude::*;
+use grs::runtime::record;
 
 fn main() {
     let mut seed: u64 = 3;
