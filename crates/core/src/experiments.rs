@@ -279,7 +279,7 @@ impl AgreementRow {
 /// Result of the agreement experiment.
 #[derive(Debug, Clone)]
 pub struct AgreementResult {
-    /// One row per lint rule, in `GR001`…`GR012` order.
+    /// One row per lint rule, in `GR001`…`GR018` order.
     pub rows: Vec<AgreementRow>,
     /// Fraction of (rendition, variant) verdict pairs where the two tools
     /// agree: 1.0 means the static engine is a perfect oracle for what the
@@ -508,7 +508,7 @@ mod tests {
     #[test]
     fn agreement_matrix_is_perfect_on_the_corpus() {
         let r = static_dynamic_agreement(60, 9);
-        assert_eq!(r.rows.len(), 12, "one row per lint rule");
+        assert_eq!(r.rows.len(), 18, "one row per lint rule");
         for row in &r.rows {
             assert!(
                 row.perfect(),

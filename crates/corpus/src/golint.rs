@@ -23,7 +23,7 @@ use crate::gogen::GoCorpus;
 pub struct LintReport {
     /// Every finding, tagged with its file path.
     pub findings: Vec<(String, Finding)>,
-    /// Finding counts per rule ID (`GR001`…), all 12 rules present.
+    /// Finding counts per rule ID (`GR001`…), all 18 rules present.
     pub per_rule: BTreeMap<&'static str, u64>,
     /// Files scanned.
     pub files: usize,
@@ -63,7 +63,7 @@ impl LintReport {
         format!("[{}]", items.join(","))
     }
 
-    /// Compiler-style one-line renderings, in file order.
+    /// Compiler-style one-line renderings, in (path, position) order.
     #[must_use]
     pub fn render_lines(&self) -> Vec<String> {
         self.findings
@@ -94,6 +94,14 @@ where
             report.findings.push((path.to_string(), f));
         }
     }
+    // Deterministic, input-order-independent report: findings sort by
+    // (path, line, col, rule ID), so `to_json` is byte-stable however the
+    // file set was iterated.
+    report
+        .findings
+        .sort_by(|(pa, fa), (pb, fb)| {
+            (pa, fa.pos.line, fa.pos.col, fa.rule.id()).cmp(&(pb, fb.pos.line, fb.pos.col, fb.rule.id()))
+        });
     report
 }
 

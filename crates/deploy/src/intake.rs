@@ -1,10 +1,9 @@
 //! The six-month deployment *intake* simulation (Figures 3–4, §3.5).
 //!
-//! Formerly `grs_deploy::campaign` (that path remains as a deprecated
-//! re-export). The rename separates the two layers that both called
-//! themselves "campaign": `grs_fleet::campaign` *executes* a run matrix;
-//! this module *simulates the intake side* — filing, assignment, and fix
-//! dynamics over simulated months. See DESIGN.md §4e.
+//! The name separates the two layers that once both called themselves
+//! "campaign": `grs_fleet::campaign` *executes* a run matrix; this module
+//! *simulates the intake side* — filing, assignment, and fix dynamics
+//! over simulated months. See DESIGN.md §4e.
 //!
 //! The paper rolled its detector out in April 2021 and reports, over six
 //! months:

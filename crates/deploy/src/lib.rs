@@ -18,7 +18,6 @@
 //! Naming note: this crate's simulation of the *intake* side (daily filing
 //! over simulated months) lives in [`intake`]; the execution-campaign
 //! engine that runs real detector matrices lives in `grs_fleet::campaign`.
-//! The old `grs_deploy::campaign` path is a deprecated alias of [`intake`].
 //!
 //! # Example
 //!
@@ -36,11 +35,6 @@ pub mod fingerprint;
 pub mod intake;
 pub mod pipeline;
 pub mod tracker;
-
-/// Deprecated alias of [`intake`], kept so pre-rename imports keep
-/// compiling.
-#[deprecated(since = "0.1.0", note = "renamed to `grs_deploy::intake`")]
-pub use intake as campaign;
 
 pub use assignee::{determine_assignee, AssigneeDecision, OwnerDb};
 pub use batch::RaceBatch;

@@ -34,6 +34,7 @@ pub mod campaign;
 pub mod census;
 pub mod dedup;
 pub mod shard;
+pub mod triage;
 
 pub use campaign::{
     corpus_suite, pattern_suite, Campaign, CampaignConfig, CampaignResult, CampaignUnit,
@@ -42,6 +43,7 @@ pub use campaign::{
 pub use census::{census, Cdf, Census, CensusConfig, Language, LanguageSample};
 pub use dedup::DedupMap;
 pub use shard::{ExecSpec, RunSpec, ShardQueues};
+pub use triage::{run_triage, triage_suite, TriageConfig, TriageOutcome, TriageUnit};
 
 /// The types every fleet user imports, for `use grs_fleet::prelude::*`.
 pub mod prelude {

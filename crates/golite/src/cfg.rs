@@ -11,7 +11,11 @@
 //!   release, which models "held to the end of the function" exactly),
 //! * [`Event::Access`] for reads/writes of trackable variables, with an
 //!   `atomic` flag for `sync/atomic` calls and a `cond_of` tag linking a
-//!   read to the `if` branch it guards (the double-checked-locking shape).
+//!   read to the `if` branch it guards (the double-checked-locking shape),
+//! * [`Event::Call`] for calls that resolve within the file (named
+//!   functions, receiver methods, function-typed parameters) — the raw
+//!   material of the interprocedural layer in
+//!   [`callgraph`](crate::callgraph) and [`summary`](crate::summary).
 //!
 //! Variable identity comes from [`resolve`](crate::resolve): a package-level
 //! variable keys the same in every function of the file, a receiver field
@@ -67,6 +71,24 @@ impl VarKey {
     }
 }
 
+/// What a call expression resolves to, when it stays inside the file.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CallTarget {
+    /// A package-level function declared in this file.
+    Named(String),
+    /// A method call through the enclosing method's receiver: the callee
+    /// is the method `name` on the receiver type `recv`.
+    Method {
+        /// Receiver type name.
+        recv: String,
+        /// Method name.
+        name: String,
+    },
+    /// A call through a function-typed parameter of the enclosing
+    /// function, identified by parameter index.
+    Param(usize),
+}
+
 /// One analysis-relevant fact inside a block.
 #[derive(Debug, Clone)]
 pub enum Event {
@@ -107,7 +129,30 @@ pub enum Event {
         /// When this read occurs in an `if` condition, the branch tag of
         /// that `if` (for double-checked-locking detection).
         cond_of: Option<u32>,
+        /// The place was reached through an index expression (`m[k]`) —
+        /// a container element access rather than the binding itself.
+        indexed: bool,
         /// Source position.
+        pos: Pos,
+    },
+    /// A call that resolves within the file: raw material for the
+    /// interprocedural layer (`callgraph`/`summary`). The lockset pass
+    /// ignores these.
+    Call {
+        /// The resolved callee.
+        target: CallTarget,
+        /// Launched with `go` — the callee runs on a fresh goroutine
+        /// that inherits none of the caller's locks.
+        spawned: bool,
+        /// The call site sits inside a loop of the current context.
+        in_loop: bool,
+        /// Function-literal arguments: `(argument index, literal position)`
+        /// — the position keys `Resolution::captures_at`.
+        closure_args: Vec<(usize, Pos)>,
+        /// Trackable places passed as arguments:
+        /// `(argument index, key, source spelling)`.
+        var_args: Vec<(usize, VarKey, String)>,
+        /// Call position.
         pos: Pos,
     },
 }
@@ -184,9 +229,25 @@ pub fn build_file(file: &File, res: &Resolution) -> Vec<FuncCfg> {
 pub fn build_func(f: &FuncDecl, res: &Resolution) -> Option<FuncCfg> {
     let body = f.body.as_ref()?;
     let recv_type = f.receiver.as_ref().map(|r| type_root_name(&r.ty));
+    // Parameter symbols in declaration order, so calls through
+    // function-typed parameters can name the parameter by index.
+    let params: Vec<Option<SymbolId>> = f
+        .sig
+        .params
+        .iter()
+        .map(|p| {
+            res.symbols()
+                .iter()
+                .find(|s| {
+                    s.kind == SymbolKind::Param && s.decl_pos == Some(f.pos) && s.name == p.name
+                })
+                .map(|s| s.id)
+        })
+        .collect();
     let mut b = Builder {
         res,
         recv_type: recv_type.clone(),
+        params,
         blocks: vec![BasicBlock::default()],
         contexts: vec![Context {
             id: 0,
@@ -224,6 +285,7 @@ struct Place {
     key: VarKey,
     display: String,
     pos: Pos,
+    indexed: bool,
 }
 
 struct LoopFrame {
@@ -234,6 +296,9 @@ struct LoopFrame {
 struct Builder<'a> {
     res: &'a Resolution,
     recv_type: Option<String>,
+    /// Parameter symbols of the enclosing function, in signature order
+    /// (`None` for unnamed/unresolved parameters).
+    params: Vec<Option<SymbolId>>,
     blocks: Vec<BasicBlock>,
     contexts: Vec<Context>,
     current: BlockId,
@@ -291,6 +356,7 @@ impl Builder<'_> {
                     },
                     display: name.clone(),
                     pos: *pos,
+                    indexed: false,
                 })
             }
             Expr::Selector(base, sel) => {
@@ -316,10 +382,15 @@ impl Builder<'_> {
                     key,
                     display: format!("{}.{sel}", b.display),
                     pos: b.pos,
+                    indexed: b.indexed,
                 })
             }
             // `m[k]` accesses the container `m`.
-            Expr::Index(base, _) => self.place(base),
+            Expr::Index(base, _) => {
+                let mut p = self.place(base)?;
+                p.indexed = true;
+                Some(p)
+            }
             Expr::Paren(inner) => self.place(inner),
             // `*p` accesses what `p` points at; approximate by `p` itself.
             Expr::Unary { op: "*", expr } => self.place(expr),
@@ -335,6 +406,7 @@ impl Builder<'_> {
             atomic,
             init: false,
             cond_of,
+            indexed: p.indexed,
             pos: p.pos,
         });
     }
@@ -350,8 +422,77 @@ impl Builder<'_> {
             atomic: false,
             init: true,
             cond_of: None,
+            indexed: false,
             pos,
         });
+    }
+
+    /// Resolves a callee expression to an in-file call target: a declared
+    /// package-level function, a method on the enclosing receiver type, or
+    /// a function-typed parameter of the enclosing function.
+    fn resolve_call_target(&self, callee: &Expr) -> Option<(CallTarget, Pos)> {
+        match callee {
+            Expr::Ident(pos, name) => {
+                let sym = self.res.symbol_at(*pos)?;
+                match sym.kind {
+                    SymbolKind::Func => Some((CallTarget::Named(name.clone()), *pos)),
+                    SymbolKind::Param => {
+                        let idx = self.params.iter().position(|p| *p == Some(sym.id))?;
+                        Some((CallTarget::Param(idx), *pos))
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Selector(base, method) => {
+                let recv = self.recv_type.clone()?;
+                if let Expr::Ident(pos, _) = base.as_ref() {
+                    let sym = self.res.symbol_at(*pos)?;
+                    if sym.kind == SymbolKind::Receiver {
+                        return Some((
+                            CallTarget::Method {
+                                recv,
+                                name: method.clone(),
+                            },
+                            *pos,
+                        ));
+                    }
+                }
+                None
+            }
+            Expr::Paren(inner) => self.resolve_call_target(inner),
+            _ => None,
+        }
+    }
+
+    /// Argument facts for a [`Event::Call`]: which arguments are function
+    /// literals and which are trackable places.
+    #[allow(clippy::type_complexity)]
+    fn call_args_meta(&self, args: &[Expr]) -> (Vec<(usize, Pos)>, Vec<(usize, VarKey, String)>) {
+        let mut closures = Vec::new();
+        let mut vars = Vec::new();
+        for (i, a) in args.iter().enumerate() {
+            if let Expr::FuncLit { pos, .. } = a {
+                closures.push((i, *pos));
+            } else if let Some(p) = self.place(a) {
+                vars.push((i, p.key, p.display));
+            }
+        }
+        (closures, vars)
+    }
+
+    /// Emits the [`Event::Call`] for a resolvable callee, if any.
+    fn call_event(&mut self, callee: &Expr, args: &[Expr], spawned: bool, go_pos: Option<Pos>) {
+        if let Some((target, pos)) = self.resolve_call_target(callee) {
+            let (closure_args, var_args) = self.call_args_meta(args);
+            self.emit(Event::Call {
+                target,
+                spawned,
+                in_loop: self.loop_depth > 0,
+                closure_args,
+                var_args,
+                pos: go_pos.unwrap_or(pos),
+            });
+        }
     }
 
     /// The symbol declared by a `var`/`:=` at `pos` under `name`.
@@ -477,6 +618,7 @@ impl Builder<'_> {
             for a in args {
                 self.reads(a, cond_of);
             }
+            self.call_event(callee, args, false, None);
             return;
         }
         // Immediately-invoked closure: runs here, on this thread.
@@ -490,6 +632,7 @@ impl Builder<'_> {
         for a in args {
             self.reads(a, cond_of);
         }
+        self.call_event(callee, args, false, None);
     }
 
     fn write_target(&mut self, e: &Expr) {
@@ -545,6 +688,7 @@ impl Builder<'_> {
                                 atomic: false,
                                 init: false,
                                 cond_of: None,
+                                indexed: false,
                                 pos: *pos,
                             });
                         }
@@ -580,6 +724,11 @@ impl Builder<'_> {
                     }
                     if let Expr::FuncLit { body, .. } = func.as_ref() {
                         self.spawn(*pos, body);
+                    } else if self.resolve_call_target(func).is_some() {
+                        // `go f(x)` with an in-file callee: the spawned call
+                        // becomes interprocedural material, positioned at
+                        // the `go` keyword (the spawn point for MHP).
+                        self.call_event(func, args, true, Some(*pos));
                     } else {
                         // `go f(x)` — the callee body is out of scope for an
                         // intraprocedural pass.

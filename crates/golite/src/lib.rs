@@ -19,6 +19,13 @@
 //! * [`cfg`] — per-function control-flow graphs with goroutine-spawn edges
 //!   and lock/access events,
 //! * [`lockset`] — an Eraser-style static lockset dataflow over the CFG,
+//! * [`callgraph`] — the file-level call graph over resolved functions,
+//!   with per-site lock context, spawn facts, and Tarjan SCCs,
+//! * [`summary`] — bottom-up per-function summaries (lock effects, shared
+//!   accesses with call chains, escaping-parameter effects) feeding the
+//!   interprocedural rules GR013–GR018,
+//! * [`mhp`] — may-happen-in-parallel facts from spawn points and
+//!   `Wait`/channel-receive join points,
 //! * [`lint`] — static race lints for the §4 patterns (loop-variable
 //!   capture, `err` capture, named-return capture, `WaitGroup.Add` inside
 //!   the goroutine, mutex-by-value, map writes in goroutines) plus the
@@ -51,15 +58,18 @@
 //! ```
 
 pub mod ast;
+pub mod callgraph;
 pub mod cfg;
 pub mod diag;
 pub mod error;
 pub mod lexer;
 pub mod lint;
 pub mod lockset;
+pub mod mhp;
 pub mod parser;
 pub mod resolve;
 pub mod scan;
+pub mod summary;
 pub mod token;
 
 pub use error::ParseError;

@@ -11,11 +11,15 @@
 //! ([`lockset`](crate::lockset)). Each rule fires on its paper listing and
 //! stays quiet on the fixed variant (see the crate's listing tests).
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use crate::ast::{Block, Decl, Expr, File, FuncDecl, Stmt};
+use crate::callgraph::CallGraph;
+use crate::cfg;
 use crate::lockset::{self, LockRule};
+use crate::mhp::Mhp;
 use crate::resolve::{resolve_file, Resolution, SymbolId, SymbolKind};
+use crate::summary::{self, InterRule, Summaries};
 use crate::token::Pos;
 
 /// Which lint fired. Ordered the way Tables 2 and 3 present the classes:
@@ -49,6 +53,23 @@ pub enum Rule {
     /// Table 3's "incorrect order of statements": a goroutine is launched
     /// before a variable it reads is initialized in the same block.
     GoroutineBeforeInit,
+    /// Interprocedural missing lock: bare on some call paths, guarded on
+    /// others (the lock lives in a helper the bare path skips).
+    InterprocMissingLock,
+    /// Interprocedural inconsistent lock: every call path locks, but no
+    /// lock is common to all of them.
+    InterprocInconsistentLock,
+    /// A closure capturing a loop variable or `err` handed to a helper
+    /// function that launches it as a goroutine.
+    EscapingCaptureToSpawner,
+    /// A lock released before a call whose chain still touches the
+    /// protected variable.
+    LockDroppedBeforeCall,
+    /// A map passed to a callee that writes it from spawned goroutines.
+    SpawnInCalleeMapWrite,
+    /// A spawned call chain's write unsynchronized with — and parallel
+    /// to — the parent function's own access.
+    UnsyncedSpawnedCall,
 }
 
 /// Diagnostic severity for a rule.
@@ -71,7 +92,7 @@ impl std::fmt::Display for Severity {
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 18] = [
         Rule::LoopVarCapture,
         Rule::ErrCapture,
         Rule::NamedReturnCapture,
@@ -84,9 +105,15 @@ impl Rule {
         Rule::AtomicMixedWithPlain,
         Rule::DoubleCheckedLocking,
         Rule::GoroutineBeforeInit,
+        Rule::InterprocMissingLock,
+        Rule::InterprocInconsistentLock,
+        Rule::EscapingCaptureToSpawner,
+        Rule::LockDroppedBeforeCall,
+        Rule::SpawnInCalleeMapWrite,
+        Rule::UnsyncedSpawnedCall,
     ];
 
-    /// Stable machine-readable identifier (`GR001`…`GR012`).
+    /// Stable machine-readable identifier (`GR001`…`GR018`).
     #[must_use]
     pub fn id(self) -> &'static str {
         match self {
@@ -102,6 +129,12 @@ impl Rule {
             Rule::AtomicMixedWithPlain => "GR010",
             Rule::DoubleCheckedLocking => "GR011",
             Rule::GoroutineBeforeInit => "GR012",
+            Rule::InterprocMissingLock => "GR013",
+            Rule::InterprocInconsistentLock => "GR014",
+            Rule::EscapingCaptureToSpawner => "GR015",
+            Rule::LockDroppedBeforeCall => "GR016",
+            Rule::SpawnInCalleeMapWrite => "GR017",
+            Rule::UnsyncedSpawnedCall => "GR018",
         }
     }
 
@@ -111,12 +144,15 @@ impl Rule {
         Rule::ALL.into_iter().find(|r| r.id() == id)
     }
 
-    /// Severity: the two heuristic order/initialization shapes warn, the
-    /// rest are documented production races.
+    /// Severity: the heuristic order/initialization shapes warn — the
+    /// spawned-chain rule joins them, since "parallel" there is a
+    /// may-analysis — the rest are documented production races.
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Rule::GoroutineBeforeInit | Rule::DoubleCheckedLocking => Severity::Warning,
+            Rule::GoroutineBeforeInit
+            | Rule::DoubleCheckedLocking
+            | Rule::UnsyncedSpawnedCall => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -137,6 +173,12 @@ impl std::fmt::Display for Rule {
             Rule::AtomicMixedWithPlain => "atomic mixed with plain access",
             Rule::DoubleCheckedLocking => "double-checked locking",
             Rule::GoroutineBeforeInit => "goroutine launched before initialization",
+            Rule::InterprocMissingLock => "lock missing on some call paths",
+            Rule::InterprocInconsistentLock => "no common lock across call paths",
+            Rule::EscapingCaptureToSpawner => "capture escapes into spawning helper",
+            Rule::LockDroppedBeforeCall => "lock released before racy call",
+            Rule::SpawnInCalleeMapWrite => "map filled concurrently by callee",
+            Rule::UnsyncedSpawnedCall => "spawned call chain unsynchronized",
         };
         f.write_str(s)
     }
@@ -153,6 +195,9 @@ pub struct Finding {
     pub func: String,
     /// Explanation.
     pub message: String,
+    /// Shortest call chain evidencing the finding, as `(callee, call
+    /// position)` hops — empty for intraprocedural rules.
+    pub chain: Vec<(String, Pos)>,
 }
 
 impl std::fmt::Display for Finding {
@@ -161,12 +206,17 @@ impl std::fmt::Display for Finding {
             f,
             "{}: [{}] in {}: {}",
             self.pos, self.rule, self.func, self.message
-        )
+        )?;
+        if let Some((callee, pos)) = self.chain.first() {
+            write!(f, " (via {callee} called at {pos})")?;
+        }
+        Ok(())
     }
 }
 
 /// Lints every function in the file: capture rules on the resolved scopes,
-/// locking rules from the lockset dataflow.
+/// locking rules from the lockset dataflow, interprocedural rules from the
+/// call graph and function summaries.
 #[must_use]
 pub fn lint_file(file: &File) -> Vec<Finding> {
     let res = resolve_file(file);
@@ -176,7 +226,19 @@ pub fn lint_file(file: &File) -> Vec<Finding> {
             lint_func(f, &res, &mut findings);
         }
     }
-    for lf in lockset::analyze_file(file, &res) {
+
+    // One CFG build feeds the lockset pass, the call graph, and the
+    // summaries. The lockset group rules are scoped to analysis roots:
+    // accesses inside called functions are judged through their call
+    // chains by the interprocedural rules instead of being double-counted
+    // intraprocedurally.
+    let cfgs = cfg::build_file(file, &res);
+    let cg = CallGraph::build(&cfgs);
+    let called = cg.called();
+    let lock_findings = lockset::analyze_cfgs_scoped(&cfgs, &called);
+    let mut seen_vars: BTreeSet<cfg::VarKey> = BTreeSet::new();
+    for lf in lock_findings {
+        seen_vars.insert(lf.var.clone());
         findings.push(Finding {
             rule: match lf.rule {
                 LockRule::MissingLock => Rule::MissingLock,
@@ -188,9 +250,33 @@ pub fn lint_file(file: &File) -> Vec<Finding> {
             pos: lf.pos,
             func: lf.func,
             message: lf.message,
+            chain: Vec::new(),
         });
     }
-    findings.sort_by_key(|f| f.pos);
+
+    let sums = Summaries::compute(file, &res, &cfgs, &cg);
+    let mhp = Mhp::build(file);
+    for inf in summary::interproc_findings(&res, &cfgs, &cg, &sums, &mhp, &seen_vars) {
+        findings.push(Finding {
+            rule: match inf.rule {
+                InterRule::MissingLockInterproc => Rule::InterprocMissingLock,
+                InterRule::InconsistentLockInterproc => Rule::InterprocInconsistentLock,
+                InterRule::EscapingCapture => Rule::EscapingCaptureToSpawner,
+                InterRule::LockDroppedBeforeCall => Rule::LockDroppedBeforeCall,
+                InterRule::SpawnInCalleeMapWrite => Rule::SpawnInCalleeMapWrite,
+                InterRule::UnsyncedSpawnedCall => Rule::UnsyncedSpawnedCall,
+            },
+            pos: inf.pos,
+            func: inf.func,
+            message: inf.message,
+            chain: inf.chain.into_iter().map(|h| (h.func, h.pos)).collect(),
+        });
+    }
+
+    // Deterministic, path-independent order: position first, then the
+    // stable rule ID; drop exact duplicates a rule pair may have produced.
+    findings.sort_by(|a, b| (a.pos, a.rule.id()).cmp(&(b.pos, b.rule.id())));
+    findings.dedup_by(|b, a| a.rule == b.rule && a.pos == b.pos && a.func == b.func);
     findings
 }
 
@@ -216,6 +302,7 @@ fn lint_func(f: &FuncDecl, res: &Resolution, findings: &mut Vec<Finding>) {
                     p.name,
                     p.ty.name().unwrap_or("sync.Mutex")
                 ),
+                chain: Vec::new(),
             });
         }
     }
@@ -244,6 +331,7 @@ fn lint_func(f: &FuncDecl, res: &Resolution, findings: &mut Vec<Finding>) {
                          loop advances it concurrently",
                         sym.name
                     ),
+                    chain: Vec::new(),
                 }),
                 // Rule: NamedReturnCapture — every `return` writes the
                 // captured variable.
@@ -256,6 +344,7 @@ fn lint_func(f: &FuncDecl, res: &Resolution, findings: &mut Vec<Finding>) {
                          statement writes it",
                         sym.name
                     ),
+                    chain: Vec::new(),
                 }),
                 // Rule: ErrCapture — the enclosing function keeps assigning
                 // the same `err` binding (`y, err := Baz()` reuses it).
@@ -266,6 +355,7 @@ fn lint_func(f: &FuncDecl, res: &Resolution, findings: &mut Vec<Finding>) {
                     message: "goroutine captures `err` by reference while the \
                               enclosing function keeps assigning it"
                         .to_string(),
+                    chain: Vec::new(),
                 }),
                 _ => {}
             }
@@ -280,6 +370,7 @@ fn lint_func(f: &FuncDecl, res: &Resolution, findings: &mut Vec<Finding>) {
                 message: "wg.Add inside the goroutine may run after Wait() — move \
                           it before the `go` statement"
                     .to_string(),
+                chain: Vec::new(),
             });
         }
 
@@ -298,6 +389,7 @@ fn lint_func(f: &FuncDecl, res: &Resolution, findings: &mut Vec<Finding>) {
                         "`{base_name}[...]` is written inside a goroutine while \
                          declared outside; Go maps are not thread-safe"
                     ),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -341,6 +433,7 @@ fn lint_goroutine_before_init(
                              after the `go` statement",
                             sym.name
                         ),
+                        chain: Vec::new(),
                     });
                 }
             }

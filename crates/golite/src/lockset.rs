@@ -49,6 +49,8 @@ pub struct AccessRecord {
     pub init: bool,
     /// Branch tag when this is an `if`-condition read.
     pub cond_of: Option<u32>,
+    /// The place was reached through an index expression (`m[k]`).
+    pub indexed: bool,
     /// Branch tags of the enclosing `if` regions.
     pub branch_tags: Vec<u32>,
     /// Source position.
@@ -104,6 +106,9 @@ pub enum LockRule {
 pub struct LockFinding {
     /// Which rule fired.
     pub rule: LockRule,
+    /// The variable the finding is about (lets the interprocedural layer
+    /// avoid double-reporting a variable already flagged here).
+    pub var: VarKey,
     /// Source position of the offending access.
     pub pos: Pos,
     /// Enclosing function.
@@ -154,7 +159,7 @@ fn apply_events(set: &mut Lockset, events: &[Event]) {
             Event::Release { lock, .. } => {
                 set.remove(lock);
             }
-            Event::Access { .. } => {}
+            Event::Access { .. } | Event::Call { .. } => {}
         }
     }
 }
@@ -187,6 +192,7 @@ pub fn collect_accesses(cfgs: &[FuncCfg]) -> Vec<AccessRecord> {
                         atomic,
                         init,
                         cond_of,
+                        indexed,
                         pos,
                     } => out.push(AccessRecord {
                         var: var.clone(),
@@ -195,6 +201,7 @@ pub fn collect_accesses(cfgs: &[FuncCfg]) -> Vec<AccessRecord> {
                         atomic: *atomic,
                         init: *init,
                         cond_of: *cond_of,
+                        indexed: *indexed,
                         branch_tags: block.branch_tags.clone(),
                         pos: *pos,
                         func: cfg.func.clone(),
@@ -229,6 +236,24 @@ pub fn analyze_file(file: &File, res: &Resolution) -> Vec<LockFinding> {
 /// Runs the rules over already-built CFGs.
 #[must_use]
 pub fn analyze_cfgs(cfgs: &[FuncCfg]) -> Vec<LockFinding> {
+    analyze_cfgs_scoped(cfgs, &BTreeSet::new())
+}
+
+/// Runs the rules over already-built CFGs, excluding the *file-wide* group
+/// evidence contributed by the functions in `called` (by index into
+/// `cfgs`).
+///
+/// When the interprocedural layer is active, a function reachable through
+/// in-file calls is judged along its call chains — with the caller's locks
+/// in effect — by `summary::interproc_findings`, so counting its raw
+/// accesses here would produce exactly the false positives the summaries
+/// exist to avoid (a write that looks bare but is always made under a
+/// caller's lock). Per-access rules (`WriteUnderRlock`), atomic mixing,
+/// and double-checked locking stay file-wide: those shapes are wrong
+/// regardless of what locks a caller adds. Local-variable groups are
+/// never excluded — a caller's lock cannot protect a callee's locals.
+#[must_use]
+pub fn analyze_cfgs_scoped(cfgs: &[FuncCfg], called: &BTreeSet<usize>) -> Vec<LockFinding> {
     let accesses = collect_accesses(cfgs);
     let mut groups: HashMap<GroupKey, Vec<&AccessRecord>> = HashMap::new();
     for a in &accesses {
@@ -248,19 +273,19 @@ pub fn analyze_cfgs(cfgs: &[FuncCfg]) -> Vec<LockFinding> {
 
     let mut findings = Vec::new();
     for (key, accs) in &groups {
-        check_group(&key.var, accs, &mut findings);
+        check_group(&key.var, accs, called, &mut findings);
     }
     findings.sort_by_key(|f| f.pos);
     findings
 }
 
-fn lock_names(set: &BTreeSet<VarKey>) -> String {
+pub(crate) fn lock_names(set: &BTreeSet<VarKey>) -> String {
     let mut names: Vec<String> = set.iter().map(key_display).collect();
     names.sort();
     names.join(", ")
 }
 
-fn key_display(k: &VarKey) -> String {
+pub(crate) fn key_display(k: &VarKey) -> String {
     match &k.root {
         crate::cfg::VarRoot::Global(n) => format!("{n}{}", k.path),
         crate::cfg::VarRoot::Field(t) => format!("{t}{}", k.path),
@@ -269,12 +294,25 @@ fn key_display(k: &VarKey) -> String {
 }
 
 #[allow(clippy::too_many_lines)]
-fn check_group(var: &VarKey, accs: &[&AccessRecord], findings: &mut Vec<LockFinding>) {
+fn check_group(
+    var: &VarKey,
+    accs: &[&AccessRecord],
+    called: &BTreeSet<usize>,
+    findings: &mut Vec<LockFinding>,
+) {
     let non_init: Vec<&&AccessRecord> = accs.iter().filter(|a| !a.init).collect();
     if non_init.is_empty() {
         return;
     }
     let display = non_init[0].display.clone();
+    // Evidence for the group rules: for a file-wide variable, accesses made
+    // by functions that have in-file callers are judged interprocedurally
+    // (along their call chains) instead of here.
+    let scoped: Vec<&&AccessRecord> = non_init
+        .iter()
+        .filter(|a| !(var.is_file_wide() && called.contains(&a.func_idx)))
+        .copied()
+        .collect();
 
     // Rule: a write while holding only Read-mode locks. Independent of
     // sharedness — holding RLock around a write is wrong on its face.
@@ -288,6 +326,7 @@ fn check_group(var: &VarKey, accs: &[&AccessRecord], findings: &mut Vec<LockFind
             rlock_write_positions.insert(a.pos);
             findings.push(LockFinding {
                 rule: LockRule::WriteUnderRlock,
+                var: var.clone(),
                 pos: a.pos,
                 func: a.func.clone(),
                 message: format!(
@@ -306,10 +345,11 @@ fn check_group(var: &VarKey, accs: &[&AccessRecord], findings: &mut Vec<LockFind
     }
 
     // Sharedness: two execution contexts, a self-concurrent goroutine, or
-    // (for file-wide variables) any access that takes a lock.
-    let ctxs: BTreeSet<(usize, u32)> = non_init.iter().map(|a| (a.func_idx, a.ctx)).collect();
-    let self_concurrent = non_init.iter().any(|a| a.ctx != 0 && a.ctx_in_loop);
-    let lock_signal = var.is_file_wide() && non_init.iter().any(|a| !a.raw.is_empty());
+    // (for file-wide variables) any access that takes a lock. Judged over
+    // the scoped evidence — called functions argue through their chains.
+    let ctxs: BTreeSet<(usize, u32)> = scoped.iter().map(|a| (a.func_idx, a.ctx)).collect();
+    let self_concurrent = scoped.iter().any(|a| a.ctx != 0 && a.ctx_in_loop);
+    let lock_signal = var.is_file_wide() && scoped.iter().any(|a| !a.raw.is_empty());
     let shared = ctxs.len() >= 2 || self_concurrent || lock_signal;
 
     // Rule: sync/atomic mixed with plain accesses. The atomic call itself
@@ -320,6 +360,7 @@ fn check_group(var: &VarKey, accs: &[&AccessRecord], findings: &mut Vec<LockFind
         let a = plains[0];
         findings.push(LockFinding {
             rule: LockRule::AtomicMixedWithPlain,
+            var: var.clone(),
             pos: a.pos,
             func: a.func.clone(),
             message: format!(
@@ -345,6 +386,7 @@ fn check_group(var: &VarKey, accs: &[&AccessRecord], findings: &mut Vec<LockFind
         if dcl_write {
             findings.push(LockFinding {
                 rule: LockRule::DoubleCheckedLocking,
+                var: var.clone(),
                 pos: r.pos,
                 func: r.func.clone(),
                 message: format!(
@@ -361,8 +403,8 @@ fn check_group(var: &VarKey, accs: &[&AccessRecord], findings: &mut Vec<LockFind
         return;
     }
 
-    let guarded: Vec<_> = non_init.iter().filter(|a| a.guarded()).collect();
-    let unguarded: Vec<_> = non_init
+    let guarded: Vec<_> = scoped.iter().filter(|a| a.guarded()).collect();
+    let unguarded: Vec<_> = scoped
         .iter()
         .filter(|a| !a.guarded() && !rlock_write_positions.contains(&a.pos))
         .collect();
@@ -376,6 +418,7 @@ fn check_group(var: &VarKey, accs: &[&AccessRecord], findings: &mut Vec<LockFind
             .collect();
         findings.push(LockFinding {
             rule: LockRule::MissingLock,
+            var: var.clone(),
             pos: a.pos,
             func: a.func.clone(),
             message: format!(
@@ -402,6 +445,7 @@ fn check_group(var: &VarKey, accs: &[&AccessRecord], findings: &mut Vec<LockFind
             let a = guarded[0];
             findings.push(LockFinding {
                 rule: LockRule::InconsistentLock,
+                var: var.clone(),
                 pos: a.pos,
                 func: a.func.clone(),
                 message: format!(

@@ -1,0 +1,303 @@
+//! May-happen-in-parallel facts for goroutine spawns.
+//!
+//! A goroutine spawned at position `P` runs concurrently with the rest of
+//! its spawning function — *until the parent blocks on a join*. The two
+//! joins Go-lite models are `WaitGroup.Wait()` (any `x.Wait()` call) and a
+//! channel receive (`<-ch`), both of which the study's fix corpus uses to
+//! order a spawned computation before a subsequent access. Positions of
+//! those **kill points** are collected per function, from the function's
+//! own body only: a `Wait` inside a `go` closure or a deferred call does
+//! not block the parent at that source position.
+//!
+//! The relation is deliberately coarse (a kill point inside one `if` arm
+//! still counts), erring toward *not* reporting — it gates the
+//! interprocedural GR018 rule, where a false "parallel" verdict would file
+//! a spurious race report.
+
+use crate::ast::{Decl, Expr, File, Stmt};
+use crate::token::Pos;
+
+/// Per-function kill points, aligned with the CFG list of
+/// [`build_file`](crate::cfg::build_file) (bodied functions, in
+/// declaration order).
+#[derive(Debug, Default)]
+pub struct Mhp {
+    kills: Vec<Vec<Pos>>,
+}
+
+impl Mhp {
+    /// Collects kill points for every bodied function of `file`.
+    #[must_use]
+    pub fn build(file: &File) -> Mhp {
+        let kills = file
+            .decls
+            .iter()
+            .filter_map(|d| match d {
+                Decl::Func(f) => f.body.as_ref().map(|b| {
+                    let mut ks = Vec::new();
+                    for s in &b.stmts {
+                        kill_points(s, &mut ks);
+                    }
+                    ks.sort_unstable();
+                    ks
+                }),
+                _ => None,
+            })
+            .collect();
+        Mhp { kills }
+    }
+
+    /// Kill points of function `func` (CFG index), sorted by position.
+    #[must_use]
+    pub fn kills_of(&self, func: usize) -> &[Pos] {
+        self.kills.get(func).map_or(&[], Vec::as_slice)
+    }
+
+    /// May an access at `access` in function `func` run in parallel with a
+    /// goroutine spawned at `spawn` in the same function?
+    ///
+    /// True only when the access follows the spawn with no kill point
+    /// strictly between the two: an access textually before the spawn is
+    /// sequenced before it, and a `Wait`/receive in between orders the
+    /// spawned work before the access.
+    #[must_use]
+    pub fn may_parallel(&self, func: usize, spawn: Pos, access: Pos) -> bool {
+        access > spawn
+            && !self
+                .kills_of(func)
+                .iter()
+                .any(|w| *w > spawn && *w < access)
+    }
+}
+
+/// Walks `s` collecting join positions, skipping closure bodies and the
+/// calls of `go`/`defer` statements (they do not block here).
+fn kill_points(s: &Stmt, out: &mut Vec<Pos>) {
+    match s {
+        Stmt::Decl(v) => {
+            for e in &v.values {
+                expr_kills(e, out);
+            }
+        }
+        Stmt::Define { values, .. } => {
+            for e in values {
+                expr_kills(e, out);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            for e in lhs.iter().chain(rhs) {
+                expr_kills(e, out);
+            }
+        }
+        Stmt::IncDec { expr, .. } => expr_kills(expr, out),
+        Stmt::Expr(e) => expr_kills(e, out),
+        Stmt::Send { chan, value, .. } => {
+            expr_kills(chan, out);
+            expr_kills(value, out);
+        }
+        Stmt::Go { .. } | Stmt::Defer { .. } => {}
+        Stmt::Return { values, .. } => {
+            for e in values {
+                expr_kills(e, out);
+            }
+        }
+        Stmt::If {
+            init,
+            cond,
+            then,
+            els,
+            ..
+        } => {
+            if let Some(i) = init {
+                kill_points(i, out);
+            }
+            expr_kills(cond, out);
+            for s in &then.stmts {
+                kill_points(s, out);
+            }
+            if let Some(e) = els {
+                kill_points(e, out);
+            }
+        }
+        Stmt::Block(b) => {
+            for s in &b.stmts {
+                kill_points(s, out);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            post,
+            range,
+            body,
+            ..
+        } => {
+            if let Some(i) = init {
+                kill_points(i, out);
+            }
+            if let Some(c) = cond {
+                expr_kills(c, out);
+            }
+            if let Some(p) = post {
+                kill_points(p, out);
+            }
+            if let Some(r) = range {
+                expr_kills(&r.expr, out);
+            }
+            for s in &body.stmts {
+                kill_points(s, out);
+            }
+        }
+        Stmt::Switch { tag, cases, .. } => {
+            if let Some(t) = tag {
+                expr_kills(t, out);
+            }
+            for c in cases {
+                for e in &c.exprs {
+                    expr_kills(e, out);
+                }
+                for s in &c.body {
+                    kill_points(s, out);
+                }
+            }
+        }
+        Stmt::Select { cases, .. } => {
+            for c in cases {
+                if let Some(comm) = &c.comm {
+                    kill_points(comm, out);
+                }
+                for s in &c.body {
+                    kill_points(s, out);
+                }
+            }
+        }
+        Stmt::Branch { .. } | Stmt::Empty => {}
+    }
+}
+
+fn expr_kills(e: &Expr, out: &mut Vec<Pos>) {
+    match e {
+        Expr::Call { func, args, .. } => {
+            // `x.Wait()` joins; FuncLit callees (IIFEs) run here, so
+            // their bodies are NOT skipped by recursing into `func`
+            // would be wrong — but an IIFE body blocking is rare enough
+            // to ignore; only the arguments are scanned.
+            if let Expr::Selector(_, m) = func.as_ref() {
+                if m == "Wait" {
+                    if let Some(p) = func.pos() {
+                        out.push(p);
+                    }
+                }
+            }
+            for a in args {
+                expr_kills(a, out);
+            }
+        }
+        Expr::Unary { op: "<-", expr } => {
+            if let Some(p) = expr.pos() {
+                out.push(p);
+            }
+            expr_kills(expr, out);
+        }
+        Expr::Unary { expr, .. } => expr_kills(expr, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_kills(lhs, out);
+            expr_kills(rhs, out);
+        }
+        Expr::Paren(inner) | Expr::Selector(inner, _) => expr_kills(inner, out),
+        Expr::Index(b, i) => {
+            expr_kills(b, out);
+            expr_kills(i, out);
+        }
+        Expr::SliceExpr { expr, low, high } => {
+            expr_kills(expr, out);
+            if let Some(l) = low {
+                expr_kills(l, out);
+            }
+            if let Some(h) = high {
+                expr_kills(h, out);
+            }
+        }
+        Expr::CompositeLit { elems, .. } => {
+            for (k, v) in elems {
+                if let Some(k) = k {
+                    expr_kills(k, out);
+                }
+                expr_kills(v, out);
+            }
+        }
+        // Closure bodies run at an unknown time — never a join here.
+        Expr::FuncLit { .. } => {}
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn mhp_of(src: &str) -> Mhp {
+        Mhp::build(&parse_file(src).expect("parses"))
+    }
+
+    #[test]
+    fn wait_between_spawn_and_access_kills_parallelism() {
+        let m = mhp_of(
+            r"
+package p
+func Run() {
+    go work()
+    wg.Wait()
+    report(total)
+}
+",
+        );
+        assert_eq!(m.kills_of(0).len(), 1);
+        let spawn = Pos { line: 4, col: 5 };
+        let access = Pos { line: 6, col: 12 };
+        assert!(!m.may_parallel(0, spawn, access));
+        // Without the Wait the pair is parallel.
+        let m2 = mhp_of("package p\nfunc Run() {\n    go work()\n    report(total)\n}\n");
+        assert!(m2.may_parallel(0, Pos { line: 3, col: 5 }, Pos { line: 4, col: 12 }));
+    }
+
+    #[test]
+    fn channel_receive_is_a_kill_point() {
+        let m = mhp_of(
+            r"
+package p
+func Run() {
+    done := make(chan int)
+    go work(done)
+    <-done
+    report(total)
+}
+",
+        );
+        assert_eq!(m.kills_of(0).len(), 1);
+        assert!(!m.may_parallel(
+            0,
+            Pos { line: 5, col: 5 },
+            Pos { line: 7, col: 12 }
+        ));
+    }
+
+    #[test]
+    fn waits_inside_goroutines_do_not_count() {
+        let m = mhp_of(
+            r"
+package p
+func Run() {
+    go func() {
+        wg.Wait()
+    }()
+    report(total)
+}
+",
+        );
+        assert!(m.kills_of(0).is_empty());
+        // Accesses before the spawn are sequenced, not parallel.
+        assert!(!m.may_parallel(0, Pos { line: 6, col: 1 }, Pos { line: 3, col: 1 }));
+    }
+}

@@ -1,0 +1,837 @@
+//! Bottom-up per-function summaries and the interprocedural race rules.
+//!
+//! Each function gets a [`FuncSummary`]: its file-wide variable accesses
+//! annotated with the locks held (its own *plus* the caller's at each call
+//! site — a spawned call inherits nothing), whether the access runs on a
+//! spawned goroutine, and the call chain it was reached through. Summaries
+//! are computed bottom-up over the call graph's SCCs, iterating each
+//! component to a fixpoint so recursion and mutual calls converge (the
+//! per-access dedup keeps the *shortest* chain, which is what makes the
+//! fixpoint finite).
+//!
+//! Three effect sets ride along for the escape rules:
+//!
+//! * `spawns_params` — function-typed parameters the callee launches with
+//!   `go` (directly or through further calls),
+//! * `map_write_params` / `spawned_map_write_params` — map-typed
+//!   parameters the callee writes through an index expression, serially
+//!   or from a spawned goroutine.
+//!
+//! [`interproc_findings`] then evaluates the cross-function rules — the
+//! interprocedural halves of MissingLock/InconsistentLock, escaping
+//! captures handed to spawning helpers, locks dropped before a call that
+//! touches the protected state, maps handed to callees that fill them
+//! concurrently, and spawned call chains unsynchronized with the parent
+//! (gated by [`Mhp`] so a `Wait`/receive between spawn and access
+//! suppresses the report).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Decl, File};
+use crate::callgraph::{CallGraph, CallSite};
+use crate::cfg::{FuncCfg, LockMode, VarKey, VarRoot};
+use crate::lockset::{self, Lockset};
+use crate::mhp::Mhp;
+use crate::resolve::{Resolution, SymbolId, SymbolKind};
+use crate::token::Pos;
+
+/// Chains deeper than this stop propagating (they add no new evidence the
+/// shorter prefixes have not already contributed).
+const MAX_CHAIN: usize = 8;
+/// Per-function access cap, bounding summary growth on generated code.
+const MAX_ACCESSES: usize = 200;
+
+/// One hop of a call chain: the callee entered, at the caller-side
+/// position of the call.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChainHop {
+    /// Name of the function called.
+    pub func: String,
+    /// Position of the call site.
+    pub pos: Pos,
+}
+
+/// A file-wide variable access as seen from a function's entry, with
+/// every caller-side fact folded in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryAccess {
+    /// The accessed variable (always file-wide).
+    pub var: VarKey,
+    /// Source spelling.
+    pub display: String,
+    /// Write vs read.
+    pub write: bool,
+    /// Performed through `sync/atomic`.
+    pub atomic: bool,
+    /// Locks in force at the access, including locks the call chain's
+    /// sites held (none survive a spawned hop).
+    pub locks: Lockset,
+    /// The access runs on a goroutine relative to the summarized function.
+    pub spawned: bool,
+    /// The spawn happened inside a loop (self-concurrent).
+    pub in_loop_spawn: bool,
+    /// The spawn point, in the summarized function's source, when spawned.
+    pub spawn_pos: Option<Pos>,
+    /// Locks held earlier on the chain but released before it was entered.
+    pub dropped: BTreeSet<VarKey>,
+    /// Call chain from the summarized function to the access (empty for
+    /// the function's own accesses).
+    pub chain: Vec<ChainHop>,
+    /// Position of the access itself.
+    pub pos: Pos,
+    /// Name of the function that lexically contains the access.
+    pub func: String,
+}
+
+impl SummaryAccess {
+    /// Locks that actually protect this access (`Read`-mode locks do not
+    /// protect writes).
+    #[must_use]
+    pub fn effective(&self) -> BTreeSet<VarKey> {
+        self.locks
+            .iter()
+            .filter(|(_, m)| **m == LockMode::Write || !self.write)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+/// The bottom-up summary of one function.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FuncSummary {
+    /// File-wide accesses reachable from this function, own and inherited.
+    pub accesses: Vec<SummaryAccess>,
+    /// Parameter indices launched as goroutines (transitively).
+    pub spawns_params: BTreeSet<usize>,
+    /// Parameter indices written through `m[k] = v`, serially.
+    pub map_write_params: BTreeSet<usize>,
+    /// Parameter indices written through `m[k] = v` from a spawned
+    /// goroutine (directly or in a callee).
+    pub spawned_map_write_params: BTreeSet<usize>,
+}
+
+/// Summaries for every bodied function of a file.
+#[derive(Debug)]
+pub struct Summaries {
+    /// One summary per CFG, aligned with the CFG list.
+    pub funcs: Vec<FuncSummary>,
+    param_syms: Vec<Vec<Option<SymbolId>>>,
+}
+
+impl Summaries {
+    /// Computes all summaries bottom-up over `cg`'s SCCs.
+    #[must_use]
+    pub fn compute(file: &File, res: &Resolution, cfgs: &[FuncCfg], cg: &CallGraph) -> Summaries {
+        let param_syms = param_symbols(file, res);
+        let mut own = own_summaries(cfgs, &param_syms);
+        for pc in &cg.param_calls {
+            if pc.spawned {
+                own[pc.caller].spawns_params.insert(pc.param);
+            }
+        }
+        let mut funcs = own.clone();
+
+        for scc in cg.sccs() {
+            // Non-trivial components iterate to a fixpoint; singletons
+            // without a self-loop converge in one pass.
+            for _ in 0..10 {
+                let mut changed = false;
+                for &f in &scc {
+                    let mut next = own[f].clone();
+                    for site in cg.sites_from(f) {
+                        incorporate(&mut next, site, &funcs[site.callee], cfgs, &param_syms);
+                    }
+                    dedup_accesses(&mut next.accesses);
+                    if next != funcs[f] {
+                        funcs[f] = next;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        Summaries { funcs, param_syms }
+    }
+
+    /// The parameter index of `sym` in function `func`, if it is one.
+    #[must_use]
+    pub fn param_index(&self, func: usize, sym: SymbolId) -> Option<usize> {
+        self.param_syms
+            .get(func)?
+            .iter()
+            .position(|p| *p == Some(sym))
+    }
+}
+
+/// Parameter symbols per bodied function, in signature order.
+fn param_symbols(file: &File, res: &Resolution) -> Vec<Vec<Option<SymbolId>>> {
+    file.decls
+        .iter()
+        .filter_map(|d| match d {
+            Decl::Func(f) if f.body.is_some() => Some(
+                f.sig
+                    .params
+                    .iter()
+                    .map(|p| {
+                        res.symbols()
+                            .iter()
+                            .find(|s| {
+                                s.kind == SymbolKind::Param
+                                    && s.decl_pos == Some(f.pos)
+                                    && s.name == p.name
+                            })
+                            .map(|s| s.id)
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The call-free part of every summary: each function's own accesses and
+/// direct parameter effects.
+fn own_summaries(cfgs: &[FuncCfg], param_syms: &[Vec<Option<SymbolId>>]) -> Vec<FuncSummary> {
+    let mut out = vec![FuncSummary::default(); cfgs.len()];
+    for a in lockset::collect_accesses(cfgs) {
+        if a.init {
+            continue;
+        }
+        let s = &mut out[a.func_idx];
+        if a.var.is_file_wide() {
+            let spawn_pos = cfgs[a.func_idx].contexts[a.ctx as usize].spawn_pos;
+            s.accesses.push(SummaryAccess {
+                var: a.var.clone(),
+                display: a.display.clone(),
+                write: a.write,
+                atomic: a.atomic,
+                locks: a.raw.clone(),
+                spawned: a.ctx != 0,
+                in_loop_spawn: a.ctx != 0 && a.ctx_in_loop,
+                spawn_pos,
+                dropped: BTreeSet::new(),
+                chain: Vec::new(),
+                pos: a.pos,
+                func: a.func.clone(),
+            });
+        } else if a.write && a.indexed {
+            // `m[k] = v` where m is a parameter: a map-write effect.
+            if let VarRoot::Local(sym) = a.var.root {
+                if let Some(j) = param_syms[a.func_idx].iter().position(|p| *p == Some(sym)) {
+                    if a.ctx != 0 {
+                        s.spawned_map_write_params.insert(j);
+                    } else {
+                        s.map_write_params.insert(j);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn union(a: &Lockset, b: &Lockset) -> Lockset {
+    let mut out = a.clone();
+    for (k, m) in b {
+        let e = out.entry(k.clone()).or_insert(*m);
+        if *m > *e {
+            *e = *m;
+        }
+    }
+    out
+}
+
+/// Folds one call site's view of the callee summary into `next`.
+fn incorporate(
+    next: &mut FuncSummary,
+    site: &CallSite,
+    callee: &FuncSummary,
+    cfgs: &[FuncCfg],
+    param_syms: &[Vec<Option<SymbolId>>],
+) {
+    for a in &callee.accesses {
+        if a.chain.len() >= MAX_CHAIN || next.accesses.len() >= MAX_ACCESSES * 2 {
+            continue;
+        }
+        // A spawned callee starts on a fresh goroutine: none of the
+        // caller's locks extend into it.
+        let locks = if site.spawned {
+            a.locks.clone()
+        } else {
+            union(&a.locks, &site.locks)
+        };
+        let spawned = a.spawned || site.spawned;
+        let spawn_pos = if site.spawned {
+            site.spawn_pos
+        } else if a.spawned {
+            // The callee spawns internally; from here, the spawn happens
+            // at the call site.
+            Some(site.pos)
+        } else {
+            None
+        };
+        let mut dropped = site.dropped.clone();
+        dropped.extend(a.dropped.iter().cloned());
+        let mut chain = vec![ChainHop {
+            func: cfgs[site.callee].func.clone(),
+            pos: site.pos,
+        }];
+        chain.extend(a.chain.iter().cloned());
+        next.accesses.push(SummaryAccess {
+            var: a.var.clone(),
+            display: a.display.clone(),
+            write: a.write,
+            atomic: a.atomic,
+            locks,
+            spawned,
+            in_loop_spawn: a.in_loop_spawn || (site.spawned && site.in_loop),
+            spawn_pos,
+            dropped,
+            chain,
+            pos: a.pos,
+            func: a.func.clone(),
+        });
+    }
+
+    // Parameter-to-parameter effect propagation: passing our own
+    // parameter into an effectful slot of the callee gives us the effect.
+    for (idx, key, _) in &site.var_args {
+        let VarRoot::Local(sym) = &key.root else {
+            continue;
+        };
+        let Some(j) = param_syms[site.caller].iter().position(|p| *p == Some(*sym)) else {
+            continue;
+        };
+        if callee.spawns_params.contains(idx) {
+            next.spawns_params.insert(j);
+        }
+        if callee.map_write_params.contains(idx) {
+            if site.spawned {
+                next.spawned_map_write_params.insert(j);
+            } else {
+                next.map_write_params.insert(j);
+            }
+        }
+        if callee.spawned_map_write_params.contains(idx) {
+            next.spawned_map_write_params.insert(j);
+        }
+    }
+}
+
+/// Keeps one access per `(var, pos, write, atomic, locks, spawned)` — the
+/// one with the shortest chain — in a deterministic order.
+fn dedup_accesses(accesses: &mut Vec<SummaryAccess>) {
+    accesses.sort_by(|x, y| {
+        (&x.var, x.pos, x.write, x.atomic, &x.locks, x.spawned, x.chain.len(), &x.chain).cmp(&(
+            &y.var,
+            y.pos,
+            y.write,
+            y.atomic,
+            &y.locks,
+            y.spawned,
+            y.chain.len(),
+            &y.chain,
+        ))
+    });
+    accesses.dedup_by(|b, a| {
+        a.var == b.var
+            && a.pos == b.pos
+            && a.write == b.write
+            && a.atomic == b.atomic
+            && a.locks == b.locks
+            && a.spawned == b.spawned
+    });
+    accesses.truncate(MAX_ACCESSES);
+}
+
+/// The interprocedural rules, mirroring `LockRule` one layer up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterRule {
+    /// Bare on some call paths, guarded on others (GR013).
+    MissingLockInterproc,
+    /// Every chain locks, but no lock is common (GR014).
+    InconsistentLockInterproc,
+    /// A closure capturing a loop variable or `err` handed to a helper
+    /// that spawns it (GR015).
+    EscapingCapture,
+    /// A lock released before a call whose chain touches the protected
+    /// variable (GR016).
+    LockDroppedBeforeCall,
+    /// A map passed to a callee that writes it from spawned goroutines
+    /// (GR017).
+    SpawnInCalleeMapWrite,
+    /// A spawned call chain's access unsynchronized with — and parallel
+    /// to — the parent's own access (GR018).
+    UnsyncedSpawnedCall,
+}
+
+/// One interprocedural finding.
+#[derive(Debug, Clone)]
+pub struct InterFinding {
+    /// Which rule fired.
+    pub rule: InterRule,
+    /// The variable involved, when the rule is about one.
+    pub var: Option<VarKey>,
+    /// Position of the report.
+    pub pos: Pos,
+    /// Enclosing function of the report position.
+    pub func: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Shortest call chain evidencing the finding (may be empty).
+    pub chain: Vec<ChainHop>,
+}
+
+/// Evaluates GR013–GR018 over the summaries.
+///
+/// `skip_vars` holds the variables already reported by the intraprocedural
+/// lockset pass — one diagnostic per variable, the sharper one wins.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn interproc_findings(
+    res: &Resolution,
+    cfgs: &[FuncCfg],
+    cg: &CallGraph,
+    sums: &Summaries,
+    mhp: &Mhp,
+    skip_vars: &BTreeSet<VarKey>,
+) -> Vec<InterFinding> {
+    let mut findings = Vec::new();
+
+    // GR015: a closure capturing a loop variable (or `err`) passed to a
+    // helper that launches it on a goroutine — the capture escapes the
+    // iteration exactly like a direct `go func(){...}()` would.
+    for site in &cg.sites {
+        for (idx, lit_pos) in &site.closure_args {
+            if !sums.funcs[site.callee].spawns_params.contains(idx) {
+                continue;
+            }
+            for &sym in res.captures_at(*lit_pos) {
+                let s = res.symbol(sym);
+                let risky = s.kind == SymbolKind::LoopVar || s.name == "err";
+                if !risky {
+                    continue;
+                }
+                let callee_name = cfgs[site.callee].func.clone();
+                findings.push(InterFinding {
+                    rule: InterRule::EscapingCapture,
+                    var: None,
+                    pos: *lit_pos,
+                    func: cfgs[site.caller].func.clone(),
+                    message: format!(
+                        "closure captures '{}' by reference and escapes into \
+                         '{}', which launches it as a goroutine; every spawn \
+                         shares the same variable",
+                        s.name, callee_name,
+                    ),
+                    chain: vec![ChainHop {
+                        func: callee_name.clone(),
+                        pos: site.pos,
+                    }],
+                });
+            }
+        }
+    }
+
+    // GR017: handing a map we own to a callee that fills it from spawned
+    // goroutines. Reported at the owner only — a callee passing its own
+    // parameter along propagates the effect instead.
+    for site in &cg.sites {
+        for (idx, key, disp) in &site.var_args {
+            if !sums.funcs[site.callee]
+                .spawned_map_write_params
+                .contains(idx)
+            {
+                continue;
+            }
+            if let VarRoot::Local(sym) = &key.root {
+                if sums.param_index(site.caller, *sym).is_some() {
+                    continue;
+                }
+            }
+            if skip_vars.contains(key) {
+                continue;
+            }
+            let callee_name = cfgs[site.callee].func.clone();
+            findings.push(InterFinding {
+                rule: InterRule::SpawnInCalleeMapWrite,
+                var: Some(key.clone()),
+                pos: site.pos,
+                func: cfgs[site.caller].func.clone(),
+                message: format!(
+                    "map '{disp}' is passed to '{callee_name}', which writes it \
+                     from goroutines spawned there; concurrent map writes are a \
+                     runtime fault in Go",
+                ),
+                chain: vec![ChainHop {
+                    func: callee_name.clone(),
+                    pos: site.pos,
+                }],
+            });
+        }
+    }
+
+    // Group rules over root-expanded accesses: every analysis root
+    // contributes the accesses reachable from it, with chain context.
+    let mut groups: BTreeMap<VarKey, Vec<(usize, &SummaryAccess)>> = BTreeMap::new();
+    for &r in &cg.roots() {
+        for a in &sums.funcs[r].accesses {
+            groups.entry(a.var.clone()).or_default().push((r, a));
+        }
+    }
+
+    for (var, accs) in &groups {
+        if skip_vars.contains(var) {
+            continue;
+        }
+        // Purely intraprocedural evidence was already judged by the
+        // lockset pass; atomics belong to its atomic-mixing rule.
+        if accs.iter().all(|(_, a)| a.chain.is_empty()) {
+            continue;
+        }
+        if accs.iter().any(|(_, a)| a.atomic) {
+            continue;
+        }
+        if !accs.iter().any(|(_, a)| a.write) {
+            continue;
+        }
+        let display = accs[0].1.display.clone();
+
+        let roots_set: BTreeSet<usize> = accs.iter().map(|(r, _)| *r).collect();
+        let spawned_any = accs.iter().any(|(_, a)| a.spawned);
+        let loop_spawn = accs.iter().any(|(_, a)| a.in_loop_spawn);
+        let lock_signal = accs.iter().any(|(_, a)| !a.locks.is_empty());
+        if roots_set.len() < 2 && !spawned_any && !loop_spawn && !lock_signal {
+            continue;
+        }
+
+        let guarded: Vec<&(usize, &SummaryAccess)> = accs
+            .iter()
+            .filter(|(_, a)| !a.effective().is_empty())
+            .collect();
+        let mut unguarded: Vec<&(usize, &SummaryAccess)> = accs
+            .iter()
+            .filter(|(_, a)| a.effective().is_empty())
+            .collect();
+        unguarded.sort_by_key(|(_, a)| (a.pos, a.chain.len()));
+
+        if !guarded.is_empty() && !unguarded.is_empty() {
+            let guard_locks: BTreeSet<VarKey> =
+                guarded.iter().flat_map(|(_, a)| a.effective()).collect();
+            // GR016: the bare chain had one of the guarding locks, but it
+            // was released before the call was made.
+            if let Some((_, a)) = unguarded.iter().find(|(_, a)| {
+                !a.chain.is_empty() && a.dropped.intersection(&guard_locks).next().is_some()
+            }) {
+                let lock = a
+                    .dropped
+                    .intersection(&guard_locks)
+                    .next()
+                    .cloned()
+                    .expect("nonempty intersection");
+                findings.push(InterFinding {
+                    rule: InterRule::LockDroppedBeforeCall,
+                    var: Some(var.clone()),
+                    pos: a.chain[0].pos,
+                    func: chain_root_func(cfgs, accs, a),
+                    message: format!(
+                        "'{}' is accessed in '{}' after {} was released — the \
+                         call runs outside the critical section that guards \
+                         '{}' elsewhere",
+                        display,
+                        a.func,
+                        lockset::key_display(&lock),
+                        display,
+                    ),
+                    chain: a.chain.clone(),
+                });
+            } else {
+                // GR013: bare here, guarded along other chains.
+                let (_, bare) = unguarded[0];
+                let note_chain = if bare.chain.is_empty() {
+                    guarded
+                        .iter()
+                        .filter(|(_, g)| !g.chain.is_empty())
+                        .min_by_key(|(_, g)| g.chain.len())
+                        .map(|(_, g)| g.chain.clone())
+                        .unwrap_or_default()
+                } else {
+                    bare.chain.clone()
+                };
+                findings.push(InterFinding {
+                    rule: InterRule::MissingLockInterproc,
+                    var: Some(var.clone()),
+                    pos: bare.pos,
+                    func: bare.func.clone(),
+                    message: format!(
+                        "'{}' is {} without a lock here but guarded by {} on \
+                         other call paths",
+                        display,
+                        if bare.write { "written" } else { "read" },
+                        lockset::lock_names(&guard_locks),
+                    ),
+                    chain: note_chain,
+                });
+            }
+        } else if unguarded.is_empty() && guarded.len() >= 2 {
+            // GR014: every chain locks, but no lock is common to all.
+            let mut common: Option<BTreeSet<VarKey>> = None;
+            for (_, g) in &guarded {
+                let eff = g.effective();
+                common = Some(match common {
+                    None => eff,
+                    Some(c) => c.intersection(&eff).cloned().collect(),
+                });
+            }
+            if common.as_ref().is_some_and(BTreeSet::is_empty) {
+                let (_, a) = guarded
+                    .iter()
+                    .min_by_key(|(_, a)| (a.pos, a.chain.len(), a.chain.clone()))
+                    .expect("nonempty guarded");
+                findings.push(InterFinding {
+                    rule: InterRule::InconsistentLockInterproc,
+                    var: Some(var.clone()),
+                    pos: a.pos,
+                    func: a.func.clone(),
+                    message: format!(
+                        "every call path to '{display}' holds a lock, but no \
+                         single lock is common to all of them — two chains can \
+                         still run concurrently",
+                    ),
+                    chain: a.chain.clone(),
+                });
+            }
+        } else if guarded.is_empty() && !lock_signal {
+            // GR018: a spawned chain writes, the parent touches the same
+            // variable afterward, and no join orders the two.
+            'pairs: for (r, w) in accs.iter().filter(|(_, a)| {
+                a.spawned && a.write && !a.chain.is_empty() && a.spawn_pos.is_some()
+            }) {
+                let sp = w.spawn_pos.expect("filtered on spawn_pos");
+                for (_, b) in accs.iter().filter(|(r2, b)| r2 == r && !b.spawned) {
+                    if mhp.may_parallel(*r, sp, b.pos) {
+                        findings.push(InterFinding {
+                            rule: InterRule::UnsyncedSpawnedCall,
+                            var: Some(var.clone()),
+                            pos: sp,
+                            func: cfgs[*r].func.clone(),
+                            message: format!(
+                                "goroutine spawned here writes '{}' through \
+                                 '{}' while '{}' also accesses it at line {} \
+                                 with no synchronization in between",
+                                display, w.chain[0].func, cfgs[*r].func, b.pos.line,
+                            ),
+                            chain: w.chain.clone(),
+                        });
+                        break 'pairs;
+                    }
+                }
+            }
+        }
+    }
+
+    dedup_findings(findings)
+}
+
+/// The root function a chained access was expanded from, for reporting.
+fn chain_root_func(
+    cfgs: &[FuncCfg],
+    accs: &[(usize, &SummaryAccess)],
+    target: &SummaryAccess,
+) -> String {
+    accs.iter()
+        .find(|(_, a)| std::ptr::eq(*a, target))
+        .map_or_else(|| target.func.clone(), |(r, _)| cfgs[*r].func.clone())
+}
+
+/// One finding per `(rule, var, line)`, keeping the shortest chain, in
+/// deterministic (path-independent) order.
+fn dedup_findings(findings: Vec<InterFinding>) -> Vec<InterFinding> {
+    let mut best: BTreeMap<(u8, Option<VarKey>, u32), InterFinding> = BTreeMap::new();
+    for f in findings {
+        let key = (rule_rank(f.rule), f.var.clone(), f.pos.line);
+        match best.get(&key) {
+            Some(old) if old.chain.len() <= f.chain.len() => {}
+            _ => {
+                best.insert(key, f);
+            }
+        }
+    }
+    let mut out: Vec<InterFinding> = best.into_values().collect();
+    out.sort_by_key(|f| (f.pos, rule_rank(f.rule)));
+    out
+}
+
+fn rule_rank(r: InterRule) -> u8 {
+    match r {
+        InterRule::MissingLockInterproc => 0,
+        InterRule::InconsistentLockInterproc => 1,
+        InterRule::EscapingCapture => 2,
+        InterRule::LockDroppedBeforeCall => 3,
+        InterRule::SpawnInCalleeMapWrite => 4,
+        InterRule::UnsyncedSpawnedCall => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_file;
+    use crate::parser::parse_file;
+    use crate::resolve::resolve_file;
+
+    fn inter_rules(src: &str) -> Vec<InterRule> {
+        let file = parse_file(src).expect("parses");
+        let res = resolve_file(&file);
+        let cfgs = build_file(&file, &res);
+        let cg = CallGraph::build(&cfgs);
+        let sums = Summaries::compute(&file, &res, &cfgs, &cg);
+        let mhp = Mhp::build(&file);
+        interproc_findings(&res, &cfgs, &cg, &sums, &mhp, &BTreeSet::new())
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn helper_hidden_lock_is_missing_lock_through_the_chain() {
+        let racy = r"
+package p
+var mu sync.Mutex
+var count int
+func Incr() {
+    mu.Lock()
+    bump()
+    mu.Unlock()
+}
+func bump() {
+    count = count + 1
+}
+func Read() int {
+    return count
+}
+";
+        assert!(
+            inter_rules(racy).contains(&InterRule::MissingLockInterproc),
+            "{:?}",
+            inter_rules(racy)
+        );
+        let fixed = r"
+package p
+var mu sync.Mutex
+var count int
+func Incr() {
+    mu.Lock()
+    bump()
+    mu.Unlock()
+}
+func bump() {
+    count = count + 1
+}
+func Read() int {
+    mu.Lock()
+    v := count
+    mu.Unlock()
+    return v
+}
+";
+        assert!(inter_rules(fixed).is_empty(), "{:?}", inter_rules(fixed));
+    }
+
+    #[test]
+    fn recursion_converges_and_summaries_keep_shortest_chain() {
+        let src = r"
+package p
+var total int
+func sum(n int) {
+    if n > 0 {
+        total = total + n
+        sum(n - 1)
+    }
+}
+func Run() {
+    go sum(8)
+    report(total)
+}
+";
+        let file = parse_file(src).expect("parses");
+        let res = resolve_file(&file);
+        let cfgs = build_file(&file, &res);
+        let cg = CallGraph::build(&cfgs);
+        let sums = Summaries::compute(&file, &res, &cfgs, &cg);
+        // sum's summary holds its own write plus the one-hop recursive
+        // copy, never an unbounded chain.
+        assert!(sums.funcs[0]
+            .accesses
+            .iter()
+            .all(|a| a.chain.len() <= 2));
+        let mhp = Mhp::build(&file);
+        let rules: Vec<InterRule> =
+            interproc_findings(&res, &cfgs, &cg, &sums, &mhp, &BTreeSet::new())
+                .into_iter()
+                .map(|f| f.rule)
+                .collect();
+        assert!(rules.contains(&InterRule::UnsyncedSpawnedCall), "{rules:?}");
+    }
+
+    #[test]
+    fn wait_kill_point_suppresses_the_spawned_chain_report() {
+        let fixed = r"
+package p
+var total int
+func sum(n int) {
+    if n > 0 {
+        total = total + n
+        sum(n - 1)
+    }
+}
+func Run() {
+    var wg sync.WaitGroup
+    wg.Add(1)
+    go func() {
+        sum(8)
+        wg.Done()
+    }()
+    wg.Wait()
+    report(total)
+}
+";
+        assert!(inter_rules(fixed).is_empty(), "{:?}", inter_rules(fixed));
+    }
+
+    #[test]
+    fn spawning_helper_and_map_effects_propagate_through_params() {
+        let src = r"
+package p
+func spawnWorker(fn func()) {
+    go fn()
+}
+func relay(fn func()) {
+    spawnWorker(fn)
+}
+func fill(m map[string]int, keys []string) {
+    for _, k := range keys {
+        go put(m, k)
+    }
+}
+func put(m map[string]int, k string) {
+    m[k] = 1
+}
+";
+        let file = parse_file(src).expect("parses");
+        let res = resolve_file(&file);
+        let cfgs = build_file(&file, &res);
+        let cg = CallGraph::build(&cfgs);
+        let sums = Summaries::compute(&file, &res, &cfgs, &cg);
+        assert!(sums.funcs[0].spawns_params.contains(&0), "direct spawn");
+        assert!(sums.funcs[1].spawns_params.contains(&0), "transitive spawn");
+        assert!(sums.funcs[3].map_write_params.contains(&0), "put writes m");
+        assert!(
+            sums.funcs[2].spawned_map_write_params.contains(&0),
+            "fill spawns put over its parameter"
+        );
+    }
+}

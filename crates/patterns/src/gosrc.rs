@@ -2,10 +2,15 @@
 //!
 //! The executable patterns in this crate exercise the *dynamic* detector;
 //! these are the same bugs written as Go-lite source, so the *static*
-//! engine (`grs-golite`'s `GR001`–`GR012`) can be scored against the
+//! engine (`grs-golite`'s `GR001`–`GR018`) can be scored against the
 //! dynamic explorer on identical material. Each rendition carries the
 //! pattern ID of its executable twin — the agreement experiment in
 //! `grs::experiments` joins the two corpora on that key.
+//!
+//! `GR013`–`GR018` are the interprocedural rules: each of those
+//! renditions splits its bug across at least two functions, so it is
+//! invisible to a single-function analysis and only falls out of the
+//! call-graph summaries.
 //!
 //! This crate deliberately does not depend on the lint engine: a rendition
 //! names its rule by stable ID string, and the engine side resolves it.
@@ -15,7 +20,7 @@
 pub struct GoRendition {
     /// ID of the executable [`crate::Pattern`] this is the source form of.
     pub pattern_id: &'static str,
-    /// The lint rule (`GR001`…`GR012`) that must fire on `racy` and stay
+    /// The lint rule (`GR001`…`GR018`) that must fire on `racy` and stay
     /// silent on `fixed`.
     pub rule: &'static str,
     /// Go-lite source containing the race.
@@ -410,6 +415,261 @@ func Serve() {
 }
 "#,
         },
+        GoRendition {
+            pattern_id: "helper_hidden_lock",
+            rule: "GR013",
+            racy: r#"
+package counter
+
+var mu sync.Mutex
+var count int
+
+func Incr() {
+    mu.Lock()
+    bump()
+    mu.Unlock()
+}
+
+func bump() {
+    count = count + 1
+}
+
+func Read() int {
+    return count
+}
+"#,
+            fixed: r#"
+package counter
+
+var mu sync.Mutex
+var count int
+
+func Incr() {
+    mu.Lock()
+    bump()
+    mu.Unlock()
+}
+
+func bump() {
+    count = count + 1
+}
+
+func Read() int {
+    mu.Lock()
+    v := count
+    mu.Unlock()
+    return v
+}
+"#,
+        },
+        GoRendition {
+            pattern_id: "caller_side_locks",
+            rule: "GR014",
+            racy: r#"
+package tally
+
+var muA sync.Mutex
+var muB sync.Mutex
+var total int
+
+func AddA(n int) {
+    muA.Lock()
+    bump(n)
+    muA.Unlock()
+}
+
+func AddB(n int) {
+    muB.Lock()
+    bump(n)
+    muB.Unlock()
+}
+
+func bump(n int) {
+    total = total + n
+}
+"#,
+            fixed: r#"
+package tally
+
+var mu sync.Mutex
+var total int
+
+func AddA(n int) {
+    mu.Lock()
+    bump(n)
+    mu.Unlock()
+}
+
+func AddB(n int) {
+    mu.Lock()
+    bump(n)
+    mu.Unlock()
+}
+
+func bump(n int) {
+    total = total + n
+}
+"#,
+        },
+        GoRendition {
+            pattern_id: "closure_to_worker",
+            rule: "GR015",
+            racy: r#"
+package workpool
+
+func spawnWorker(fn func()) {
+    go fn()
+}
+
+func ProcessAll(jobs []int) {
+    for _, job := range jobs {
+        spawnWorker(func() {
+            process(job)
+        })
+    }
+}
+"#,
+            fixed: r#"
+package workpool
+
+func spawnWorker(fn func()) {
+    go fn()
+}
+
+func ProcessAll(jobs []int) {
+    for _, job := range jobs {
+        job := job
+        spawnWorker(func() {
+            process(job)
+        })
+    }
+}
+"#,
+        },
+        GoRendition {
+            pattern_id: "lock_dropped_before_call",
+            rule: "GR016",
+            racy: r#"
+package notifier
+
+var mu sync.Mutex
+var state int
+
+func Update(v int) {
+    mu.Lock()
+    state = v
+    mu.Unlock()
+    notify()
+}
+
+func notify() {
+    emit(state)
+}
+"#,
+            fixed: r#"
+package notifier
+
+var mu sync.Mutex
+var state int
+
+func Update(v int) {
+    mu.Lock()
+    state = v
+    notify()
+    mu.Unlock()
+}
+
+func notify() {
+    emit(state)
+}
+"#,
+        },
+        GoRendition {
+            pattern_id: "spawn_in_callee_map_write",
+            rule: "GR017",
+            racy: r#"
+package warmer
+
+func Warm(keys []string) {
+    cache := makeCache()
+    fill(cache, keys)
+    use(cache)
+}
+
+func fill(m map[string]int, keys []string) {
+    for _, k := range keys {
+        go put(m, k)
+    }
+}
+
+func put(m map[string]int, k string) {
+    m[k] = 1
+}
+"#,
+            fixed: r#"
+package warmer
+
+func Warm(keys []string) {
+    cache := makeCache()
+    fill(cache, keys)
+    use(cache)
+}
+
+func fill(m map[string]int, keys []string) {
+    for _, k := range keys {
+        put(m, k)
+    }
+}
+
+func put(m map[string]int, k string) {
+    m[k] = 1
+}
+"#,
+        },
+        GoRendition {
+            pattern_id: "recursive_accessor",
+            rule: "GR018",
+            racy: r#"
+package summing
+
+var total int
+
+func sum(n int) {
+    if n > 0 {
+        total = total + n
+        sum(n - 1)
+    }
+}
+
+func Run() {
+    go sum(8)
+    report(total)
+}
+"#,
+            fixed: r#"
+package summing
+
+var total int
+
+func sum(n int) {
+    if n > 0 {
+        total = total + n
+        sum(n - 1)
+    }
+}
+
+func Run() {
+    var wg sync.WaitGroup
+    wg.Add(1)
+    go func() {
+        sum(8)
+        wg.Done()
+    }()
+    wg.Wait()
+    report(total)
+}
+"#,
+        },
     ]
 }
 
@@ -430,9 +690,9 @@ mod tests {
     }
 
     #[test]
-    fn renditions_cover_all_twelve_rules_in_order() {
+    fn renditions_cover_all_eighteen_rules_in_order() {
         let rules: Vec<&str> = renditions().iter().map(|r| r.rule).collect();
-        let expected: Vec<String> = (1..=12).map(|n| format!("GR{n:03}")).collect();
+        let expected: Vec<String> = (1..=18).map(|n| format!("GR{n:03}")).collect();
         assert_eq!(rules, expected);
     }
 }

@@ -1,0 +1,335 @@
+//! Cross-function variants of the §4 bugs: the race is invisible inside
+//! any single function and only appears once calls are followed.
+//!
+//! These are the executable twins of the `GR013`–`GR018` renditions in
+//! [`gosrc`](crate::gosrc): a lock hidden in a helper, caller-side locks
+//! that never agree, a closure escaping into a spawning helper, a lock
+//! released before the call that needed it, a map handed to a callee that
+//! fills it concurrently, and a recursive accessor launched as a
+//! goroutine. Logical frames reproduce the call chains, so race reports
+//! show the interprocedural path the static engine must reconstruct.
+
+use grs_runtime::Program;
+
+use crate::{Category, Pattern};
+
+/// The interprocedural patterns.
+#[must_use]
+pub fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern {
+            id: "helper_hidden_lock",
+            listing: None,
+            observation: 10,
+            category: Category::MissingLock,
+            description: "the lock lives in the caller; a reader calling \
+                          the same helper-updated state skips it",
+            racy: helper_hidden_lock_racy,
+            fixed: helper_hidden_lock_fixed,
+        },
+        Pattern {
+            id: "caller_side_locks",
+            listing: None,
+            observation: 10,
+            category: Category::MissingLock,
+            description: "two callers guard the same helper-updated state \
+                          with different mutexes",
+            racy: caller_side_locks_racy,
+            fixed: caller_side_locks_fixed,
+        },
+        Pattern {
+            id: "closure_to_worker",
+            listing: None,
+            observation: 3,
+            category: Category::LoopIndexCapture,
+            description: "loop-variable closure handed to a helper that \
+                          launches it as a goroutine",
+            racy: closure_to_worker_racy,
+            fixed: closure_to_worker_fixed,
+        },
+        Pattern {
+            id: "lock_dropped_before_call",
+            listing: None,
+            observation: 10,
+            category: Category::MissingLock,
+            description: "mutex released before a call whose body still \
+                          reads the protected state",
+            racy: lock_dropped_before_call_racy,
+            fixed: lock_dropped_before_call_fixed,
+        },
+        Pattern {
+            id: "spawn_in_callee_map_write",
+            listing: None,
+            observation: 5,
+            category: Category::MapConcurrent,
+            description: "map passed to a callee that fills it from \
+                          goroutines spawned there",
+            racy: spawn_in_callee_map_write_racy,
+            fixed: spawn_in_callee_map_write_fixed,
+        },
+        Pattern {
+            id: "recursive_accessor",
+            listing: None,
+            observation: 10,
+            category: Category::GlobalVar,
+            description: "recursive global updater launched as a goroutine, \
+                          read by the parent with no join",
+            racy: recursive_accessor_racy,
+            fixed: recursive_accessor_fixed,
+        },
+    ]
+}
+
+/// `Incr` locks around `bump`, which does the write; `Read` never learned
+/// the variable has a lock.
+fn helper_hidden_lock_racy() -> Program {
+    Program::new("helper_hidden_lock", |ctx| {
+        let _f = ctx.frame("Counter");
+        let mu = ctx.mutex("mu");
+        let count = ctx.cell("count", 0i64);
+        let (mu2, c2) = (mu.clone(), count.clone());
+        ctx.go("incr", move |ctx| {
+            let _f = ctx.frame("Incr");
+            mu2.lock(ctx);
+            {
+                let _f = ctx.frame("bump");
+                ctx.update(&c2, |v| v + 1); // ◀ guarded — but only via Incr
+            }
+            mu2.unlock(ctx);
+        });
+        let _f2 = ctx.frame("Read");
+        let _ = ctx.read(&count); // ▶ bare: the lock is hidden in the caller
+        let _ = mu;
+    })
+}
+
+fn helper_hidden_lock_fixed() -> Program {
+    Program::new("helper_hidden_lock_fixed", |ctx| {
+        let _f = ctx.frame("Counter");
+        let mu = ctx.mutex("mu");
+        let count = ctx.cell("count", 0i64);
+        let (mu2, c2) = (mu.clone(), count.clone());
+        ctx.go("incr", move |ctx| {
+            let _f = ctx.frame("Incr");
+            mu2.lock(ctx);
+            {
+                let _f = ctx.frame("bump");
+                ctx.update(&c2, |v| v + 1);
+            }
+            mu2.unlock(ctx);
+        });
+        let _f2 = ctx.frame("Read");
+        mu.lock(ctx);
+        let _ = ctx.read(&count);
+        mu.unlock(ctx);
+    })
+}
+
+/// Both callers lock before calling `bump` — with different mutexes, so
+/// the helper's critical sections overlap freely.
+fn caller_side_locks_racy() -> Program {
+    Program::new("caller_side_locks", |ctx| {
+        let _f = ctx.frame("Tally");
+        let mu_a = ctx.mutex("muA");
+        let mu_b = ctx.mutex("muB");
+        let total = ctx.cell("total", 0i64);
+        let (m, t) = (mu_a.clone(), total.clone());
+        ctx.go("addA", move |ctx| {
+            let _f = ctx.frame("AddA");
+            m.lock(ctx);
+            {
+                let _f = ctx.frame("bump");
+                ctx.update(&t, |v| v + 1); // ◀ under muA
+            }
+            m.unlock(ctx);
+        });
+        let _f2 = ctx.frame("AddB");
+        mu_b.lock(ctx);
+        {
+            let _f = ctx.frame("bump");
+            ctx.update(&total, |v| v + 2); // ▶ under muB — disjoint
+        }
+        mu_b.unlock(ctx);
+    })
+}
+
+fn caller_side_locks_fixed() -> Program {
+    Program::new("caller_side_locks_fixed", |ctx| {
+        let _f = ctx.frame("Tally");
+        let mu = ctx.mutex("mu");
+        let total = ctx.cell("total", 0i64);
+        let (m, t) = (mu.clone(), total.clone());
+        ctx.go("addA", move |ctx| {
+            let _f = ctx.frame("AddA");
+            m.lock(ctx);
+            {
+                let _f = ctx.frame("bump");
+                ctx.update(&t, |v| v + 1);
+            }
+            m.unlock(ctx);
+        });
+        let _f2 = ctx.frame("AddB");
+        mu.lock(ctx);
+        {
+            let _f = ctx.frame("bump");
+            ctx.update(&total, |v| v + 2);
+        }
+        mu.unlock(ctx);
+    })
+}
+
+/// The closure capturing `job` is not `go`'d here — it escapes into
+/// `spawnWorker`, which launches it while the loop advances the variable.
+fn closure_to_worker_racy() -> Program {
+    Program::new("closure_to_worker", |ctx| {
+        let _f = ctx.frame("ProcessAll");
+        let job = ctx.cell("job", 0i64);
+        for i in 0..3 {
+            ctx.write(&job, i); // ◀ the loop advances the shared variable
+            let job = job.clone();
+            // The helper frame reproduces `spawnWorker(fn)` → `go fn()`.
+            let _h = ctx.frame("spawnWorker");
+            ctx.go("worker", move |ctx| {
+                let _f = ctx.frame("fn");
+                let _ = ctx.read(&job); // ▶ reads whatever iteration is current
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+fn closure_to_worker_fixed() -> Program {
+    Program::new("closure_to_worker_fixed", |ctx| {
+        let _f = ctx.frame("ProcessAll");
+        for i in 0..3 {
+            // `job := job`: a fresh per-iteration variable.
+            let job = ctx.cell("job", i);
+            let _h = ctx.frame("spawnWorker");
+            ctx.go("worker", move |ctx| {
+                let _f = ctx.frame("fn");
+                let _ = ctx.read(&job);
+            });
+        }
+        ctx.sleep(4);
+    })
+}
+
+/// The critical section ends before `notify()` runs, so the call's read
+/// of the protected state is bare.
+fn lock_dropped_before_call_racy() -> Program {
+    Program::new("lock_dropped_before_call", |ctx| {
+        let _f = ctx.frame("Notifier");
+        let mu = ctx.mutex("mu");
+        let state = ctx.cell("state", 0i64);
+        let (mu2, s2) = (mu.clone(), state.clone());
+        ctx.go("updater", move |ctx| {
+            let _f = ctx.frame("Update");
+            mu2.lock(ctx);
+            ctx.write(&s2, 1);
+            mu2.unlock(ctx); // ✗ released here...
+            let _f2 = ctx.frame("notify");
+            let _ = ctx.read(&s2); // ▶ ...but the call still reads state
+        });
+        let _f3 = ctx.frame("Update");
+        mu.lock(ctx);
+        ctx.write(&state, 2); // ◀ guarded writer
+        mu.unlock(ctx);
+    })
+}
+
+fn lock_dropped_before_call_fixed() -> Program {
+    Program::new("lock_dropped_before_call_fixed", |ctx| {
+        let _f = ctx.frame("Notifier");
+        let mu = ctx.mutex("mu");
+        let state = ctx.cell("state", 0i64);
+        let (mu2, s2) = (mu.clone(), state.clone());
+        ctx.go("updater", move |ctx| {
+            let _f = ctx.frame("Update");
+            mu2.lock(ctx);
+            ctx.write(&s2, 1);
+            {
+                let _f2 = ctx.frame("notify");
+                let _ = ctx.read(&s2); // ✓ still inside the critical section
+            }
+            mu2.unlock(ctx);
+        });
+        let _f3 = ctx.frame("Update");
+        mu.lock(ctx);
+        ctx.write(&state, 2);
+        mu.unlock(ctx);
+    })
+}
+
+/// `Warm` hands its map to `fill`, which launches one `put` goroutine per
+/// key: the map's buckets are written concurrently.
+fn spawn_in_callee_map_write_racy() -> Program {
+    Program::new("spawn_in_callee_map_write", |ctx| {
+        let _f = ctx.frame("Warm");
+        let buckets = ctx.cell("cache.buckets", 0i64);
+        {
+            let _h = ctx.frame("fill");
+            for _ in 0..2 {
+                let b = buckets.clone();
+                ctx.go("put", move |ctx| {
+                    let _f = ctx.frame("put");
+                    ctx.update(&b, |v| v + 1); // ◀▶ concurrent map write
+                });
+            }
+        }
+        ctx.sleep(4);
+        let _ = ctx.read(&buckets);
+    })
+}
+
+fn spawn_in_callee_map_write_fixed() -> Program {
+    Program::new("spawn_in_callee_map_write_fixed", |ctx| {
+        let _f = ctx.frame("Warm");
+        let buckets = ctx.cell("cache.buckets", 0i64);
+        {
+            let _h = ctx.frame("fill");
+            for _ in 0..2 {
+                let _f = ctx.frame("put");
+                ctx.update(&buckets, |v| v + 1); // ✓ serial fill
+            }
+        }
+        let _ = ctx.read(&buckets);
+    })
+}
+
+/// A recursive updater of a global launched with `go`; the parent reads
+/// the global with no join in between.
+fn recursive_accessor_racy() -> Program {
+    Program::new("recursive_accessor", |ctx| {
+        let _f = ctx.frame("Run");
+        let total = ctx.cell("total", 0i64);
+        let t = total.clone();
+        ctx.go("summer", move |ctx| {
+            for _ in 0..3 {
+                let _f = ctx.frame("sum");
+                ctx.update(&t, |v| v + 1); // ◀ recursive writes
+            }
+        });
+        let _f2 = ctx.frame("report");
+        let _ = ctx.read(&total); // ▶ no join before the read
+    })
+}
+
+fn recursive_accessor_fixed() -> Program {
+    Program::new("recursive_accessor_fixed", |ctx| {
+        let _f = ctx.frame("Run");
+        let total = ctx.cell("total", 0i64);
+        let wg = ctx.waitgroup("wg");
+        wg.add(ctx, 1);
+        let (t, wg2) = (total.clone(), wg.clone());
+        ctx.go("summer", move |ctx| {
+            for _ in 0..3 {
+                let _f = ctx.frame("sum");
+                ctx.update(&t, |v| v + 1);
+            }
+            wg2.done(ctx);
+        });
+        wg.wait(ctx); // ✓ the join orders the writes before the read
+        let _f2 = ctx.frame("report");
+        let _ = ctx.read(&total);
+    })
+}

@@ -36,6 +36,7 @@ pub mod byvalue;
 pub mod capture;
 pub mod extra;
 pub mod gosrc;
+pub mod interproc;
 pub mod locking;
 pub mod mapslice;
 pub mod misc;
@@ -252,6 +253,7 @@ pub fn registry() -> Vec<Pattern> {
     v.extend(waitgroup::patterns());
     v.extend(paratest::patterns());
     v.extend(locking::patterns());
+    v.extend(interproc::patterns());
     v.extend(misc::patterns());
     v.extend(extra::patterns());
     v

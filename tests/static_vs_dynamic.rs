@@ -32,7 +32,7 @@ fn renditions_cover_every_rule() {
     }
 }
 
-/// For all 12 rules: the lint fires on the racy Go source and stays silent
+/// For all 18 rules: the lint fires on the racy Go source and stays silent
 /// on the fixed one, and the dynamic explorer detects a race in the
 /// executable racy twin and none in the fixed twin.
 #[test]
@@ -190,6 +190,120 @@ func processOrders(uuids []string) {
             local[id] = GetOrder(id)
         }(id)
     }
+}
+"#,
+        },
+        // GR013 fixed by moving the lock INTO the helper instead of
+        // teaching the reader about it.
+        AltCase {
+            name: "helper_lock_moved_inside",
+            rule: Rule::InterprocMissingLock,
+            racy: r#"
+package p
+var mu sync.Mutex
+var count int
+func Incr() {
+    mu.Lock()
+    bump()
+    mu.Unlock()
+}
+func bump() {
+    count = count + 1
+}
+func Read() int {
+    return count
+}
+"#,
+            fixed: r#"
+package p
+var mu sync.Mutex
+var count int
+func Incr() {
+    bump()
+}
+func bump() {
+    mu.Lock()
+    count = count + 1
+    mu.Unlock()
+}
+func Read() int {
+    mu.Lock()
+    v := count
+    mu.Unlock()
+    return v
+}
+"#,
+        },
+        // GR015 fixed by passing the loop variable by value to the
+        // closure, not by a per-iteration copy.
+        AltCase {
+            name: "escaping_capture_value_param",
+            rule: Rule::EscapingCaptureToSpawner,
+            racy: r#"
+package p
+func spawnWorker(fn func()) {
+    go fn()
+}
+func ProcessAll(jobs []int) {
+    for _, job := range jobs {
+        spawnWorker(func() {
+            process(job)
+        })
+    }
+}
+"#,
+            fixed: r#"
+package p
+func spawnWorker(fn func()) {
+    go fn()
+}
+func ProcessAll(jobs []int) {
+    for _, job := range jobs {
+        spawnWorker(newTask(job))
+    }
+}
+func newTask(job int) func() {
+    return func() {
+        process(job)
+    }
+}
+"#,
+        },
+        // GR018 fixed with a channel join instead of a WaitGroup.
+        AltCase {
+            name: "spawned_chain_channel_join",
+            rule: Rule::UnsyncedSpawnedCall,
+            racy: r#"
+package p
+var total int
+func sum(n int) {
+    if n > 0 {
+        total = total + n
+        sum(n - 1)
+    }
+}
+func Run() {
+    go sum(8)
+    report(total)
+}
+"#,
+            fixed: r#"
+package p
+var total int
+func sum(n int) {
+    if n > 0 {
+        total = total + n
+        sum(n - 1)
+    }
+}
+func Run() {
+    done := make(chan int)
+    go func() {
+        sum(8)
+        done <- 1
+    }()
+    <-done
+    report(total)
 }
 "#,
         },
