@@ -43,9 +43,11 @@ pub use grs_runtime as runtime;
 
 pub mod classify;
 pub mod experiments;
+pub mod hotpath;
 pub mod study;
 
 pub use classify::classify;
+pub use hotpath::{dense_unit, hotpath_probe, HotpathProbe};
 pub use experiments::{
     figure1, figure3_figure4, overhead_probe, overhead_workload, static_dynamic_agreement,
     table1, table2, table3,

@@ -16,12 +16,14 @@
 //! interchangeable, and the tests below pin that equivalence.
 
 use grs_obs::{ObsSink, SpanGuard};
-use grs_runtime::{Program, RunConfig, RunOutcome, Runtime, StackDepot, Trace};
+use grs_runtime::{DecodedTrace, Program, RunConfig, RunOutcome, Runtime, StackDepot, Trace};
 
 use crate::eraser::Eraser;
 use crate::explorer::DetectorChoice;
 use crate::fasttrack::{FastTrack, FastTrackConfig};
-use crate::replay::{replay_prepared, ReplayAnalyzer, ReplayOutcome};
+#[cfg(feature = "oracle")]
+use crate::legacy::{LegacyEraser, LegacyFastTrack, LegacyFastTrackConfig, LegacyTsan};
+use crate::replay::{replay_decoded_prepared, replay_prepared, ReplayAnalyzer, ReplayOutcome};
 use crate::report::RaceReport;
 use crate::tsan::Tsan;
 
@@ -55,6 +57,21 @@ pub struct DetectorArena {
     pure_vc: FastTrack,
     eraser: Eraser,
     hybrid: Tsan,
+    /// When set, every run/replay dispatches to the legacy HashMap-shadow
+    /// detectors instead of the flat ones — the differential oracle the
+    /// equivalence suite compares against (test/bench builds only).
+    #[cfg(feature = "oracle")]
+    legacy: Option<Box<LegacyDetectors>>,
+}
+
+/// The legacy detector set for oracle-mode arenas.
+#[cfg(feature = "oracle")]
+#[derive(Debug)]
+struct LegacyDetectors {
+    fasttrack: LegacyFastTrack,
+    pure_vc: LegacyFastTrack,
+    eraser: LegacyEraser,
+    hybrid: LegacyTsan,
 }
 
 impl Default for DetectorArena {
@@ -74,7 +91,34 @@ impl DetectorArena {
             pure_vc: FastTrack::with_config(FastTrackConfig::pure_vc()),
             eraser: Eraser::new(),
             hybrid: Tsan::new(),
+            #[cfg(feature = "oracle")]
+            legacy: None,
         }
+    }
+
+    /// An arena whose runs and replays go through the **legacy**
+    /// HashMap-shadow detectors — the reference implementation the flat
+    /// shadow memory is pinned against. Available in test/bench builds
+    /// only (`oracle` feature).
+    #[cfg(feature = "oracle")]
+    #[must_use]
+    pub fn new_oracle() -> Self {
+        DetectorArena {
+            legacy: Some(Box::new(LegacyDetectors {
+                fasttrack: LegacyFastTrack::new(),
+                pure_vc: LegacyFastTrack::with_config(LegacyFastTrackConfig::pure_vc()),
+                eraser: LegacyEraser::new(),
+                hybrid: LegacyTsan::new(),
+            })),
+            ..DetectorArena::new()
+        }
+    }
+
+    /// Whether this arena dispatches to the legacy oracle detectors.
+    #[cfg(feature = "oracle")]
+    #[must_use]
+    pub fn is_oracle(&self) -> bool {
+        self.legacy.is_some()
     }
 
     /// The arena's stack depot. After a [`DetectorArena::run`], report
@@ -93,6 +137,10 @@ impl DetectorArena {
         program: &Program,
         cfg: RunConfig,
     ) -> (RunOutcome, Vec<RaceReport>) {
+        #[cfg(feature = "oracle")]
+        if self.legacy.is_some() {
+            return self.run_legacy(choice, program, cfg);
+        }
         let runtime = Runtime::new(cfg);
         // `run_with_depot` takes the monitor by value and hands it back; the
         // `mem::take` placeholder is an empty detector that is immediately
@@ -129,6 +177,49 @@ impl DetectorArena {
         }
     }
 
+    /// [`DetectorArena::run`] through the legacy oracle detectors.
+    #[cfg(feature = "oracle")]
+    fn run_legacy(
+        &mut self,
+        choice: DetectorChoice,
+        program: &Program,
+        cfg: RunConfig,
+    ) -> (RunOutcome, Vec<RaceReport>) {
+        let runtime = Runtime::new(cfg);
+        let DetectorArena { depot, legacy, .. } = self;
+        let legacy = legacy.as_mut().expect("checked by caller");
+        match choice {
+            DetectorChoice::FastTrack => {
+                let m = std::mem::take(&mut legacy.fasttrack);
+                let (o, mut m) = runtime.run_with_depot(program, m, depot);
+                let reports = m.take_reports();
+                legacy.fasttrack = m;
+                (o, reports)
+            }
+            DetectorChoice::PureVectorClock => {
+                let m = std::mem::take(&mut legacy.pure_vc);
+                let (o, mut m) = runtime.run_with_depot(program, m, depot);
+                let reports = m.take_reports();
+                legacy.pure_vc = m;
+                (o, reports)
+            }
+            DetectorChoice::Eraser => {
+                let m = std::mem::take(&mut legacy.eraser);
+                let (o, mut m) = runtime.run_with_depot(program, m, depot);
+                let reports = m.take_reports();
+                legacy.eraser = m;
+                (o, reports)
+            }
+            DetectorChoice::Hybrid => {
+                let m = std::mem::take(&mut legacy.hybrid);
+                let (o, mut m) = runtime.run_with_depot(program, m, depot);
+                let reports = m.take_reports();
+                legacy.hybrid = m;
+                (o, reports)
+            }
+        }
+    }
+
     /// [`DetectorArena::run`] with observability: wraps the run in a
     /// `detector.analyze` span and reports the run's
     /// [`MonitorStats`](grs_runtime::MonitorStats) into `sink`. Detection
@@ -150,6 +241,15 @@ impl DetectorArena {
     }
 
     fn analyzer_mut(&mut self, choice: DetectorChoice) -> &mut dyn ReplayAnalyzer {
+        #[cfg(feature = "oracle")]
+        if let Some(legacy) = &mut self.legacy {
+            return match choice {
+                DetectorChoice::FastTrack => &mut legacy.fasttrack,
+                DetectorChoice::PureVectorClock => &mut legacy.pure_vc,
+                DetectorChoice::Eraser => &mut legacy.eraser,
+                DetectorChoice::Hybrid => &mut legacy.hybrid,
+            };
+        }
         match choice {
             DetectorChoice::FastTrack => &mut self.fasttrack,
             DetectorChoice::PureVectorClock => &mut self.pure_vc,
@@ -217,6 +317,43 @@ impl DetectorArena {
                 sink.add("replay.analyses", 1);
                 sink.add("runtime.events", out.events);
                 sink.gauge_max("runtime.depot_stacks", trace.stacks.len() as u64);
+                sink.gauge_max("detector.peak_shadow_words", out.peak_shadow_words as u64);
+                (choice, out)
+            })
+            .collect()
+    }
+
+    /// The batch-decoded counterpart of
+    /// [`DetectorArena::replay_many_observed`]: fans one [`DecodedTrace`]
+    /// through the given algorithms via each analyzer's SoA hot loop. The
+    /// depot snapshot is rebuilt once and shared; reports, event counts,
+    /// peak-shadow samples, and every stable counter are bit-identical to
+    /// the scalar path, with two extra replay-only counters
+    /// (`replay.batches`, `replay.batch_events`) capturing batching volume.
+    pub fn replay_many_decoded_observed(
+        &mut self,
+        decoded: &DecodedTrace,
+        choices: &[DetectorChoice],
+        sink: &dyn ObsSink,
+    ) -> Vec<(DetectorChoice, ReplayOutcome)> {
+        {
+            let _span = SpanGuard::enter(sink, "replay.decode");
+            decoded.rebuild_depot_into(&self.depot);
+        }
+        let depot = self.depot.clone();
+        choices
+            .iter()
+            .map(|&choice| {
+                let out = {
+                    let _span = SpanGuard::enter(sink, "replay.analyze");
+                    replay_decoded_prepared(self.analyzer_mut(choice), decoded, &depot)
+                };
+                sink.add("detector.runs", 1);
+                sink.add("replay.analyses", 1);
+                sink.add("runtime.events", out.events);
+                sink.add("replay.batches", decoded.chunks);
+                sink.add("replay.batch_events", out.events);
+                sink.gauge_max("runtime.depot_stacks", decoded.stacks.len() as u64);
                 sink.gauge_max("detector.peak_shadow_words", out.peak_shadow_words as u64);
                 (choice, out)
             })

@@ -17,13 +17,26 @@
 //! receive→send-completion (rendezvous/backpressure), close→recv-closed,
 //! `WaitGroup` done→wait, `Once` execution→observation, and `sync/atomic`
 //! release/acquire on the accessed address.
+//!
+//! # Flat shadow memory
+//!
+//! The runtime's kernel allocates every object id — addresses, locks,
+//! channels, wait groups, once cells — from one dense per-run counter, so
+//! all shadow tables here are flat `Vec`s indexed by the id itself instead
+//! of `HashMap<u64, _>`s: a variable access costs one bounds-checked array
+//! index, not a hash probe. The concurrent-read history is a tid-sorted
+//! small vector (iteration order matches the old sorted-HashMap walk, so
+//! report order is bit-identical), and the legacy HashMap implementation
+//! survives under the test-only `oracle` feature (`crate::legacy`) as the
+//! differential oracle pinning this rewrite.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use grs_clock::{Epoch, LockId, Lockset, LocksetId, LocksetInterner, Tid, VectorClock};
 use grs_runtime::event::{Event, EventKind, LockMode};
-use grs_runtime::{AccessKind, Addr, Gid, Monitor, SourceLoc, StackDepot, StackId};
+use grs_runtime::{
+    AccessKind, Addr, DecodedTrace, Gid, Monitor, SourceLoc, StackDepot, StackId,
+};
 
 use crate::report::{DetectorKind, RaceAccess, RaceReport};
 
@@ -92,13 +105,13 @@ impl AccessInfo {
     }
 }
 
-/// Read-history word count of one variable (for shadow accounting).
-fn read_words(state: &ReadState) -> usize {
-    match state {
-        ReadState::None => 0,
-        ReadState::Exclusive(..) => 1,
-        ReadState::Shared(m) => m.len(),
-    }
+/// One entry of the concurrent-read history: the reading goroutine, its
+/// clock at the read, and the access metadata for reports.
+#[derive(Debug, Clone, Copy)]
+struct SharedRead {
+    tid: u32,
+    clk: u32,
+    info: AccessInfo,
 }
 
 /// Read history of one variable.
@@ -109,13 +122,27 @@ enum ReadState {
     /// Totally ordered reads: the maximal one as an epoch.
     Exclusive(Epoch, AccessInfo),
     /// Concurrent reads: per-goroutine last-read clock (FastTrack's
-    /// "read-shared" inflation).
-    Shared(HashMap<u32, (u32, AccessInfo)>),
+    /// "read-shared" inflation), kept sorted by tid so iteration — and
+    /// therefore report order — is deterministic without a sort per write.
+    Shared(Vec<SharedRead>),
 }
 
-/// Shadow state of one variable.
+/// Inserts or replaces `tid`'s entry, keeping the vector sorted by tid.
+fn shared_insert(reads: &mut Vec<SharedRead>, tid: u32, clk: u32, info: AccessInfo) {
+    match reads.binary_search_by_key(&tid, |e| e.tid) {
+        Ok(i) => reads[i] = SharedRead { tid, clk, info },
+        Err(i) => reads.insert(i, SharedRead { tid, clk, info }),
+    }
+}
+
+/// Shadow state of one variable — one fixed-size slot in the flat
+/// variable table.
 #[derive(Debug)]
 struct VarShadow {
+    /// Whether this slot has ever been touched by an access (the flat
+    /// table also holds never-accessed slots for ids that name locks or
+    /// channels; those don't count as shadow words).
+    touched: bool,
     write_epoch: Epoch,
     /// Full clock of the writer at the last write (kept only in `pure_vc`
     /// mode, where it replaces the epoch comparison).
@@ -126,9 +153,10 @@ struct VarShadow {
     sync_clock: VectorClock,
 }
 
-impl VarShadow {
-    fn new() -> Self {
+impl Default for VarShadow {
+    fn default() -> Self {
         VarShadow {
+            touched: false,
             write_epoch: Epoch::ZERO,
             write_clock: None,
             write_info: None,
@@ -146,9 +174,20 @@ struct LockShadow {
 
 #[derive(Debug, Default)]
 struct ChanShadow {
-    send_clocks: HashMap<u64, VectorClock>,
-    recv_clocks: HashMap<u64, VectorClock>,
+    /// In-flight send clocks by send sequence number. Entries are removed
+    /// when matched, so these maps stay as small as the channel's buffer.
+    send_clocks: std::collections::HashMap<u64, VectorClock>,
+    recv_clocks: std::collections::HashMap<u64, VectorClock>,
     close_clock: Option<VectorClock>,
+}
+
+/// Grows `v` with defaults so index `i` exists, then returns the slot.
+#[inline]
+fn slot<T: Default>(v: &mut Vec<T>, i: usize) -> &mut T {
+    if v.len() <= i {
+        v.resize_with(i + 1, T::default);
+    }
+    &mut v[i]
 }
 
 /// The FastTrack monitor. Create one per run and pass it to
@@ -187,13 +226,18 @@ pub struct FastTrack {
     /// Interned id of each goroutine's current `held` set, refreshed on
     /// acquire/release so accesses copy a `u32`.
     held_ids: Vec<LocksetId>,
-    locks: HashMap<u64, LockShadow>,
-    chans: HashMap<u64, ChanShadow>,
-    wg_done: HashMap<u64, VectorClock>,
-    once_done: HashMap<u64, VectorClock>,
-    vars: HashMap<u64, VarShadow>,
+    /// Flat shadow tables indexed by the kernel's dense object ids.
+    locks: Vec<LockShadow>,
+    chans: Vec<ChanShadow>,
+    wg_done: Vec<VectorClock>,
+    once_done: Vec<VectorClock>,
+    vars: Vec<VarShadow>,
     reports: Vec<RaceReport>,
     seen_sites: std::collections::HashSet<String>,
+    /// Scratch buffer for the race pairs one access uncovers; a field so
+    /// the hot path never constructs (or drops) a fresh `Vec` per event.
+    /// Always left empty between accesses.
+    found: Vec<(AccessInfo, AccessInfo)>,
     accesses_processed: u64,
     epoch_fast_hits: u64,
     /// Live shadow-word count (per-variable fixed slots + read history),
@@ -224,13 +268,14 @@ impl FastTrack {
             clocks: Vec::new(),
             held: Vec::new(),
             held_ids: Vec::new(),
-            locks: HashMap::new(),
-            chans: HashMap::new(),
-            wg_done: HashMap::new(),
-            once_done: HashMap::new(),
-            vars: HashMap::new(),
+            locks: Vec::new(),
+            chans: Vec::new(),
+            wg_done: Vec::new(),
+            once_done: Vec::new(),
+            vars: Vec::new(),
             reports: Vec::new(),
             seen_sites: std::collections::HashSet::new(),
+            found: Vec::new(),
             accesses_processed: 0,
             epoch_fast_hits: 0,
             shadow_words: 0,
@@ -302,8 +347,11 @@ impl FastTrack {
         &mut self.clocks[i]
     }
 
+    #[inline]
     fn ensure_tid(&mut self, gid: Gid) {
-        let _ = self.clock_mut(gid);
+        if self.clocks.len() <= gid.index() {
+            let _ = self.clock_mut(gid);
+        }
     }
 
     fn tick(&mut self, gid: Gid) {
@@ -311,6 +359,7 @@ impl FastTrack {
         self.clock_mut(gid).tick(t);
     }
 
+    #[cold]
     fn record(
         &mut self,
         addr: Addr,
@@ -337,6 +386,7 @@ impl FastTrack {
         }
     }
 
+    #[inline]
     fn on_access(
         &mut self,
         gid: Gid,
@@ -349,8 +399,13 @@ impl FastTrack {
         self.ensure_tid(gid);
         self.accesses_processed += 1;
         let tid = Tid::new(gid.0);
+        let gi = gid.index();
+        let vi = addr.0 as usize;
+        if self.vars.len() <= vi {
+            self.vars.resize_with(vi + 1, VarShadow::default);
+        }
         let locks = if self.cfg.track_locksets {
-            self.held_ids[gid.index()]
+            self.held_ids[gi]
         } else {
             LocksetId::EMPTY
         };
@@ -363,38 +418,34 @@ impl FastTrack {
         };
         // Atomic acquire side: an atomic read (or RMW) joins the address's
         // sync clock *before* race checks, so atomic-synchronized plain
-        // accesses are correctly ordered.
+        // accesses are correctly ordered. (An untouched slot's sync clock
+        // is empty — joining it is a no-op, matching the old map miss.)
         if kind.is_atomic() {
-            let sync = self
-                .vars
-                .get(&addr.0)
-                .map(|v| v.sync_clock.clone())
-                .unwrap_or_default();
-            self.clocks[gid.index()].join(&sync);
+            let (clocks, vars) = (&mut self.clocks, &self.vars);
+            clocks[gi].join(&vars[vi].sync_clock);
         }
-        let c = self.clocks[gid.index()].clone();
         let pure_vc = self.cfg.pure_vc;
         let mut fast = true;
-        let mut found: Vec<(AccessInfo, AccessInfo)> = Vec::new();
-        // Shadow accounting: +2 fixed words (write + sync slot) per new
-        // variable, plus the read-history delta measured below.
-        let mut words_delta: isize = if self.vars.contains_key(&addr.0) {
-            0
-        } else {
-            2
-        };
+        let mut words_delta: isize = 0;
         {
-            let var = self
-                .vars
-                .entry(addr.0)
-                .or_insert_with(VarShadow::new);
-            let read_words_before = read_words(&var.read);
+            // Split field borrows: the goroutine's clock is read-only for
+            // the whole check/update sequence (the legacy path cloned it
+            // per access), while the variable slot is mutated in place.
+            let (clocks, vars, found) = (&self.clocks, &mut self.vars, &mut self.found);
+            let c = &clocks[gi];
+            let var = &mut vars[vi];
+            // Shadow accounting: +2 fixed words (write + sync slot) per
+            // newly touched variable, plus the read-history delta below.
+            if !var.touched {
+                var.touched = true;
+                words_delta = 2;
+            }
             // --- race checks ---
             let write_hb = if pure_vc {
                 fast = false;
-                var.write_clock.as_ref().is_none_or(|wc| wc.le(&c))
+                var.write_clock.as_ref().is_none_or(|wc| wc.le(c))
             } else {
-                var.write_epoch.le_clock(&c)
+                var.write_epoch.le_clock(c)
             };
             if !write_hb {
                 if let Some(wi) = &var.write_info {
@@ -408,26 +459,25 @@ impl FastTrack {
                     ReadState::None => {}
                     ReadState::Exclusive(e, ri) => {
                         let read_hb = if pure_vc {
-                            e.to_clock().le(&c)
+                            e.to_clock().le(c)
                         } else {
-                            e.le_clock(&c)
+                            e.le_clock(c)
                         };
                         if !(read_hb || (kind.is_atomic() && ri.kind.is_atomic())) {
                             found.push((*ri, info));
                         }
                     }
-                    ReadState::Shared(map) => {
+                    ReadState::Shared(reads) => {
                         fast = false;
-                        // Iterate in tid order: HashMap order is nondeterministic
-                        // across processes, and report order feeds dedup
-                        // representatives and `max_reports` truncation.
-                        let mut entries: Vec<_> = map.iter().collect();
-                        entries.sort_by_key(|(t2, _)| **t2);
-                        for (t2, (clk, ri)) in entries {
-                            if *clk > c.get(Tid::new(*t2))
-                                && !(kind.is_atomic() && ri.kind.is_atomic())
+                        // The vector is tid-sorted, so this walk reproduces
+                        // the legacy sorted-HashMap iteration: report order
+                        // feeds dedup representatives and `max_reports`
+                        // truncation.
+                        for e in reads {
+                            if e.clk > c.get(Tid::new(e.tid))
+                                && !(kind.is_atomic() && e.info.kind.is_atomic())
                             {
-                                found.push((*ri, info));
+                                found.push((e.info, info));
                             }
                         }
                     }
@@ -436,8 +486,18 @@ impl FastTrack {
             // --- shadow updates ---
             if kind.is_write() {
                 var.write_epoch = Epoch::new(tid, c.get(tid));
-                var.write_clock = if pure_vc { Some(c.clone()) } else { None };
-                var.write_info = Some(info);
+                if pure_vc {
+                    match &mut var.write_clock {
+                        Some(wc) => wc.clone_from(c),
+                        None => var.write_clock = Some(c.clone()),
+                    }
+                }
+                // In-place overwrite skips the enum's drop/re-tag dance on
+                // the hottest store of the write path.
+                match &mut var.write_info {
+                    Some(wi) => *wi = info,
+                    slot @ None => *slot = Some(info),
+                }
                 // Prune the read history this write re-exclusives: an entry
                 // whose clock is dominated by the writer (`clk <= c[t2]`,
                 // i.e. read happens-before this write) can never expose a
@@ -445,59 +505,85 @@ impl FastTrack {
                 // unordered with the dropped read is also unordered with
                 // the write (clocks transfer whole histories), so the race
                 // still fires against `write_info`. Without this prune the
-                // Shared map retains one entry per goroutine that ever read
-                // the variable, forever: the unbounded-shadow leak.
-                if let ReadState::Shared(map) = &mut var.read {
-                    map.retain(|t2, (clk, _)| *clk > c.get(Tid::new(*t2)));
-                    if map.is_empty() {
+                // shared history retains one entry per goroutine that ever
+                // read the variable, forever: the unbounded-shadow leak.
+                if let ReadState::Shared(reads) = &mut var.read {
+                    let before = reads.len();
+                    reads.retain(|e| e.clk > c.get(Tid::new(e.tid)));
+                    words_delta += reads.len() as isize - before as isize;
+                    if reads.is_empty() {
                         var.read = ReadState::None;
                     }
                 }
             } else {
-                // Read: update the read history.
+                // Read: update the read history. Each arm tracks its exact
+                // shadow-word delta in place — recounting the whole read
+                // state before and after costs two extra matches per access
+                // on the hot path.
                 let my_clk = c.get(tid);
                 if pure_vc {
-                    let map = match &mut var.read {
-                        ReadState::Shared(m) => m,
+                    let (before, reads) = match &mut var.read {
+                        ReadState::Shared(reads) => (reads.len(), reads),
                         other => {
-                            let mut m = HashMap::new();
+                            let was_exclusive = matches!(other, ReadState::Exclusive(..));
+                            let mut reads = Vec::new();
                             if let ReadState::Exclusive(e, ri) = other {
-                                m.insert(e.tid().raw(), (e.clock(), *ri));
+                                reads.push(SharedRead {
+                                    tid: e.tid().raw(),
+                                    clk: e.clock(),
+                                    info: *ri,
+                                });
                             }
-                            var.read = ReadState::Shared(m);
+                            var.read = ReadState::Shared(reads);
                             match &mut var.read {
-                                ReadState::Shared(m) => m,
+                                ReadState::Shared(reads) => {
+                                    (usize::from(was_exclusive), reads)
+                                }
                                 _ => unreachable!("just assigned"),
                             }
                         }
                     };
-                    map.insert(tid.raw(), (my_clk, info));
+                    shared_insert(reads, tid.raw(), my_clk, info);
+                    words_delta += reads.len() as isize - before as isize;
                 } else {
                     match &mut var.read {
                         ReadState::None => {
                             var.read = ReadState::Exclusive(Epoch::new(tid, my_clk), info);
+                            words_delta += 1;
                         }
-                        ReadState::Exclusive(e, _) => {
-                            if e.tid() == tid || e.le_clock(&c) {
-                                var.read = ReadState::Exclusive(Epoch::new(tid, my_clk), info);
+                        ReadState::Exclusive(e, ri) => {
+                            if e.tid() == tid || e.le_clock(c) {
+                                *e = Epoch::new(tid, my_clk);
+                                *ri = info;
                             } else {
                                 fast = false;
-                                let mut m = HashMap::new();
+                                let mut reads = Vec::with_capacity(2);
                                 if let ReadState::Exclusive(e, ri) = &var.read {
-                                    m.insert(e.tid().raw(), (e.clock(), *ri));
+                                    reads.push(SharedRead {
+                                        tid: e.tid().raw(),
+                                        clk: e.clock(),
+                                        info: *ri,
+                                    });
                                 }
-                                m.insert(tid.raw(), (my_clk, info));
-                                var.read = ReadState::Shared(m);
+                                shared_insert(&mut reads, tid.raw(), my_clk, info);
+                                words_delta += reads.len() as isize - 1;
+                                var.read = ReadState::Shared(reads);
                             }
                         }
-                        ReadState::Shared(m) => {
+                        ReadState::Shared(reads) => {
                             fast = false;
-                            m.insert(tid.raw(), (my_clk, info));
+                            let before = reads.len();
+                            shared_insert(reads, tid.raw(), my_clk, info);
+                            words_delta += reads.len() as isize - before as isize;
                         }
                     }
                 }
             }
-            words_delta += read_words(&var.read) as isize - read_words_before as isize;
+            // Atomic release side: publish our clock to the address sync
+            // clock (the tick advances after the borrow region ends).
+            if kind == AccessKind::AtomicWrite {
+                var.sync_clock.join(c);
+            }
         }
         self.shadow_words = self
             .shadow_words
@@ -506,140 +592,256 @@ impl FastTrack {
         if fast {
             self.epoch_fast_hits += 1;
         }
-        // Atomic release side: publish our clock to the address sync clock
-        // and advance.
         if kind == AccessKind::AtomicWrite {
-            let c_now = self.clocks[gid.index()].clone();
-            let var = self
-                .vars
-                .get_mut(&addr.0)
-                .expect("var shadow just ensured");
-            var.sync_clock.join(&c_now);
             self.tick(gid);
         }
-        for (prior, current) in found {
+        // Drain the scratch buffer by index (the pairs are `Copy`), leaving
+        // it empty — and its allocation warm — for the next access.
+        for i in 0..self.found.len() {
+            let (prior, current) = self.found[i];
             self.record(addr, object, prior, current);
+        }
+        self.found.clear();
+    }
+
+    /// Joins `self.clocks[src]` into `self.clocks[dst]` (distinct indices).
+    fn join_clocks(&mut self, dst: usize, src: usize) {
+        debug_assert_ne!(dst, src);
+        if dst < src {
+            let (lo, hi) = self.clocks.split_at_mut(src);
+            lo[dst].join(&hi[0]);
+        } else {
+            let (lo, hi) = self.clocks.split_at_mut(dst);
+            hi[0].join(&lo[src]);
+        }
+    }
+
+    // --- per-kind synchronization primitives -----------------------------
+    //
+    // `on_sync` (the scalar path) and the batch replay loop both dispatch
+    // to these, so the happens-before semantics live in exactly one place.
+
+    fn sync_spawn(&mut self, gid: Gid, child: Gid) {
+        self.ensure_tid(gid);
+        self.ensure_tid(child);
+        self.join_clocks(child.index(), gid.index());
+        self.tick(child);
+        self.tick(gid);
+    }
+
+    fn sync_acquire(&mut self, gid: Gid, lock: u64, mode: LockMode) {
+        self.ensure_tid(gid);
+        let gi = gid.index();
+        let li = lock as usize;
+        let _ = slot(&mut self.locks, li);
+        {
+            let (clocks, locks) = (&mut self.clocks, &self.locks);
+            let shadow = &locks[li];
+            // join(a); join(b) ≡ join(a ⊔ b): pointwise max is associative,
+            // so this matches the legacy clone-then-join without the clone.
+            clocks[gi].join(&shadow.write_release);
+            if mode == LockMode::Write {
+                clocks[gi].join(&shadow.read_release);
+            }
+        }
+        if self.cfg.track_locksets {
+            self.held[gi].insert(LockId::new(lock));
+            self.held_ids[gi] = self.locksets.intern(&self.held[gi]);
+        }
+    }
+
+    fn sync_release(&mut self, gid: Gid, lock: u64, mode: LockMode) {
+        self.ensure_tid(gid);
+        let gi = gid.index();
+        let li = lock as usize;
+        let _ = slot(&mut self.locks, li);
+        {
+            let (clocks, locks) = (&self.clocks, &mut self.locks);
+            let shadow = &mut locks[li];
+            match mode {
+                LockMode::Write => shadow.write_release.clone_from(&clocks[gi]),
+                LockMode::Read => shadow.read_release.join(&clocks[gi]),
+            }
+        }
+        self.tick(gid);
+        if self.cfg.track_locksets {
+            self.held[gi].remove(LockId::new(lock));
+            self.held_ids[gi] = self.locksets.intern(&self.held[gi]);
+        }
+    }
+
+    fn chan_send(&mut self, gid: Gid, chan: u64, seq: u64) {
+        self.ensure_tid(gid);
+        let c = self.clocks[gid.index()].clone();
+        slot(&mut self.chans, chan as usize)
+            .send_clocks
+            .insert(seq, c);
+        self.tick(gid);
+    }
+
+    fn chan_recv(&mut self, gid: Gid, chan: u64, seq: u64) {
+        self.ensure_tid(gid);
+        let sent = slot(&mut self.chans, chan as usize)
+            .send_clocks
+            .remove(&seq);
+        if let Some(sc) = sent {
+            self.clocks[gid.index()].join(&sc);
+        }
+        let c = self.clocks[gid.index()].clone();
+        self.chans[chan as usize].recv_clocks.insert(seq, c);
+        self.tick(gid);
+    }
+
+    fn chan_send_complete(&mut self, gid: Gid, chan: u64, seq: u64, cap: u64) {
+        self.ensure_tid(gid);
+        let target = if cap == 0 { Some(seq) } else { seq.checked_sub(cap) };
+        if let Some(t) = target {
+            let rc = slot(&mut self.chans, chan as usize).recv_clocks.remove(&t);
+            if let Some(rc) = rc {
+                self.clocks[gid.index()].join(&rc);
+            }
+        }
+    }
+
+    fn chan_close(&mut self, gid: Gid, chan: u64) {
+        self.ensure_tid(gid);
+        let c = self.clocks[gid.index()].clone();
+        slot(&mut self.chans, chan as usize).close_clock = Some(c);
+        self.tick(gid);
+    }
+
+    fn chan_recv_closed(&mut self, gid: Gid, chan: u64) {
+        self.ensure_tid(gid);
+        let ci = chan as usize;
+        if ci < self.chans.len() {
+            let (clocks, chans) = (&mut self.clocks, &self.chans);
+            if let Some(cc) = &chans[ci].close_clock {
+                clocks[gid.index()].join(cc);
+            }
+        }
+    }
+
+    fn wg_add(&mut self, gid: Gid, wg: u64, delta: i64) {
+        if delta < 0 {
+            self.ensure_tid(gid);
+            let _ = slot(&mut self.wg_done, wg as usize);
+            let (clocks, wg_done) = (&self.clocks, &mut self.wg_done);
+            wg_done[wg as usize].join(&clocks[gid.index()]);
+            self.tick(gid);
+        }
+    }
+
+    fn wg_wait(&mut self, gid: Gid, wg: u64) {
+        self.ensure_tid(gid);
+        let wi = wg as usize;
+        if wi < self.wg_done.len() {
+            let (clocks, wg_done) = (&mut self.clocks, &self.wg_done);
+            clocks[gid.index()].join(&wg_done[wi]);
+        }
+    }
+
+    fn once_executed(&mut self, gid: Gid, once: u64) {
+        self.ensure_tid(gid);
+        let _ = slot(&mut self.once_done, once as usize);
+        let (clocks, once_done) = (&self.clocks, &mut self.once_done);
+        once_done[once as usize].clone_from(&clocks[gid.index()]);
+        self.tick(gid);
+    }
+
+    fn once_observed(&mut self, gid: Gid, once: u64) {
+        self.ensure_tid(gid);
+        let oi = once as usize;
+        if oi < self.once_done.len() {
+            let (clocks, once_done) = (&mut self.clocks, &self.once_done);
+            clocks[gid.index()].join(&once_done[oi]);
         }
     }
 
     fn on_sync(&mut self, ev: &Event) {
         let gid = ev.gid;
-        self.ensure_tid(gid);
         match &ev.kind {
-            EventKind::Spawn { child, .. } => {
-                self.ensure_tid(*child);
-                let parent_clock = self.clocks[gid.index()].clone();
-                self.clocks[child.index()].join(&parent_clock);
-                self.tick(*child);
-                self.tick(gid);
-            }
-            EventKind::Acquire { lock, mode } => {
-                let shadow = self.locks.entry(lock.0).or_default();
-                let mut joined = shadow.write_release.clone();
-                if *mode == LockMode::Write {
-                    joined.join(&shadow.read_release);
-                }
-                self.clocks[gid.index()].join(&joined);
-                if self.cfg.track_locksets {
-                    self.held[gid.index()].insert(LockId::new(lock.0));
-                    self.held_ids[gid.index()] = self.locksets.intern(&self.held[gid.index()]);
-                }
-            }
-            EventKind::Release { lock, mode } => {
-                let c = self.clocks[gid.index()].clone();
-                let shadow = self.locks.entry(lock.0).or_default();
-                match mode {
-                    LockMode::Write => shadow.write_release = c,
-                    LockMode::Read => shadow.read_release.join(&c),
-                }
-                self.tick(gid);
-                if self.cfg.track_locksets {
-                    self.held[gid.index()].remove(LockId::new(lock.0));
-                    self.held_ids[gid.index()] = self.locksets.intern(&self.held[gid.index()]);
-                }
-            }
-            EventKind::ChanSend { chan, seq } => {
-                let c = self.clocks[gid.index()].clone();
-                self.chans
-                    .entry(chan.0)
-                    .or_default()
-                    .send_clocks
-                    .insert(*seq, c);
-                self.tick(gid);
-            }
-            EventKind::ChanRecv { chan, seq } => {
-                let sent = self
-                    .chans
-                    .entry(chan.0)
-                    .or_default()
-                    .send_clocks
-                    .remove(seq);
-                if let Some(sc) = sent {
-                    self.clocks[gid.index()].join(&sc);
-                }
-                let c = self.clocks[gid.index()].clone();
-                self.chans
-                    .entry(chan.0)
-                    .or_default()
-                    .recv_clocks
-                    .insert(*seq, c);
-                self.tick(gid);
-            }
+            EventKind::Spawn { child, .. } => self.sync_spawn(gid, *child),
+            EventKind::Acquire { lock, mode } => self.sync_acquire(gid, lock.0, *mode),
+            EventKind::Release { lock, mode } => self.sync_release(gid, lock.0, *mode),
+            EventKind::ChanSend { chan, seq } => self.chan_send(gid, chan.0, *seq),
+            EventKind::ChanRecv { chan, seq } => self.chan_recv(gid, chan.0, *seq),
             EventKind::ChanSendComplete { chan, seq, cap } => {
-                let target = if *cap == 0 {
-                    Some(*seq)
-                } else {
-                    seq.checked_sub(*cap as u64)
-                };
-                if let Some(t) = target {
-                    let rc = self.chans.entry(chan.0).or_default().recv_clocks.remove(&t);
-                    if let Some(rc) = rc {
-                        self.clocks[gid.index()].join(&rc);
-                    }
-                }
+                self.chan_send_complete(gid, chan.0, *seq, *cap as u64);
             }
-            EventKind::ChanClose { chan } => {
-                let c = self.clocks[gid.index()].clone();
-                self.chans.entry(chan.0).or_default().close_clock = Some(c);
-                self.tick(gid);
+            EventKind::ChanClose { chan } => self.chan_close(gid, chan.0),
+            EventKind::ChanRecvClosed { chan } => self.chan_recv_closed(gid, chan.0),
+            EventKind::WgAdd { wg, delta, .. } => self.wg_add(gid, wg.0, *delta),
+            EventKind::WgWait { wg } => self.wg_wait(gid, wg.0),
+            EventKind::OnceExecuted { once } => self.once_executed(gid, once.0),
+            EventKind::OnceObserved { once } => self.once_observed(gid, once.0),
+            EventKind::GoroutineEnd | EventKind::Access { .. } => {
+                self.ensure_tid(gid);
             }
-            EventKind::ChanRecvClosed { chan } => {
-                let cc = self
-                    .chans
-                    .entry(chan.0)
-                    .or_default()
-                    .close_clock
-                    .clone();
-                if let Some(cc) = cc {
-                    self.clocks[gid.index()].join(&cc);
-                }
-            }
-            EventKind::WgAdd { wg, delta, .. } => {
-                if *delta < 0 {
-                    let c = self.clocks[gid.index()].clone();
-                    self.wg_done.entry(wg.0).or_default().join(&c);
-                    self.tick(gid);
-                }
-            }
-            EventKind::WgWait { wg } => {
-                let dc = self.wg_done.get(&wg.0).cloned();
-                if let Some(dc) = dc {
-                    self.clocks[gid.index()].join(&dc);
-                }
-            }
-            EventKind::OnceExecuted { once } => {
-                let c = self.clocks[gid.index()].clone();
-                self.once_done.insert(once.0, c);
-                self.tick(gid);
-            }
-            EventKind::OnceObserved { once } => {
-                let oc = self.once_done.get(&once.0).cloned();
-                if let Some(oc) = oc {
-                    self.clocks[gid.index()].join(&oc);
-                }
-            }
-            EventKind::GoroutineEnd | EventKind::Access { .. } => {}
         }
+    }
+
+    /// The batch replay hot loop: drives the whole decoded event stream
+    /// through the detector, dispatching on raw tag bytes over the SoA
+    /// lanes — no `Event` materialization, no `Arc` clones. Returns the
+    /// peak shadow-word count observed after each event (the same sampling
+    /// the scalar replay driver performs).
+    pub(crate) fn replay_decoded_core(&mut self, decoded: &DecodedTrace) -> usize {
+        let b = &decoded.batch;
+        let n = b.len();
+        // Hoist every lane into a local slice: `on_access` is an opaque
+        // call, so indexing through `b` directly would reload each Vec's
+        // pointer and length from memory on every iteration.
+        let tags = &b.tags[..n];
+        let gids = &b.gids[..n];
+        let prims = &b.prims[..n];
+        let args_a = &b.args_a[..n];
+        let args_b = &b.args_b[..n];
+        let access_kinds = &b.access_kinds[..n];
+        let lock_modes = &b.lock_modes[..n];
+        let stacks = &b.stacks[..n];
+        let objects = &b.objects[..n];
+        let files = &b.files[..n];
+        let lines = &b.lines[..n];
+        let file_table = decoded.files.as_slice();
+        let string_table = decoded.strings.as_slice();
+        let mut peak = 0usize;
+        for i in 0..n {
+            let gid = Gid(gids[i]);
+            match tags[i] {
+                2 => {
+                    let loc = SourceLoc {
+                        file: file_table[files[i] as usize],
+                        line: lines[i],
+                    };
+                    self.on_access(
+                        gid,
+                        Addr(prims[i]),
+                        &string_table[objects[i] as usize],
+                        access_kinds[i],
+                        StackId(stacks[i]),
+                        loc,
+                    );
+                    // Shadow words only change on access events, so the
+                    // peak needs sampling only here, not per event.
+                    peak = peak.max(self.shadow_words);
+                }
+                0 => self.sync_spawn(gid, Gid(prims[i] as u32)),
+                1 => self.ensure_tid(gid),
+                3 => self.sync_acquire(gid, prims[i], lock_modes[i]),
+                4 => self.sync_release(gid, prims[i], lock_modes[i]),
+                5 => self.chan_send(gid, prims[i], args_a[i]),
+                6 => self.chan_send_complete(gid, prims[i], args_a[i], args_b[i]),
+                7 => self.chan_recv(gid, prims[i], args_a[i]),
+                8 => self.chan_recv_closed(gid, prims[i]),
+                9 => self.chan_close(gid, prims[i]),
+                10 => self.wg_add(gid, prims[i], args_a[i] as i64),
+                11 => self.wg_wait(gid, prims[i]),
+                12 => self.once_executed(gid, prims[i]),
+                13 => self.once_observed(gid, prims[i]),
+                tag => unreachable!("tag {tag} was validated during decode"),
+            }
+        }
+        peak
     }
 }
 
@@ -660,8 +862,7 @@ impl Monitor for FastTrack {
             loc,
         } = &event.kind
         {
-            let object = object.clone();
-            self.on_access(event.gid, *addr, &object, *kind, *stack, *loc);
+            self.on_access(event.gid, *addr, object, *kind, *stack, *loc);
         } else {
             self.on_sync(event);
         }

@@ -10,19 +10,13 @@
 //! establish happens-before without any lock, Eraser over-reports on idiomatic
 //! Go: the detector-comparison benchmark quantifies exactly that, which is
 //! why ThreadSanitizer anchors its verdicts on vector clocks (§3.1).
-//!
-//! Shadow state is a flat `Vec<Option<EraserVar>>` indexed by the kernel's
-//! dense address ids (see the module docs of [`crate::fasttrack`]); the
-//! legacy `HashMap` implementation remains available under the test-only
-//! `oracle` feature as the differential oracle.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use grs_clock::{LockId, Lockset, LocksetId, LocksetInterner};
 use grs_runtime::event::{Event, EventKind, LockMode};
-use grs_runtime::{
-    AccessKind, Addr, DecodedTrace, Gid, Monitor, SourceLoc, StackDepot, StackId,
-};
+use grs_runtime::{AccessKind, Addr, Gid, Monitor, SourceLoc, StackDepot, StackId};
 
 use crate::report::{DetectorKind, RaceAccess, RaceReport};
 
@@ -116,12 +110,7 @@ pub struct Eraser {
     /// acquire/release so accesses copy `u32`s instead of cloning sets.
     held_ids: Vec<LocksetId>,
     write_held_ids: Vec<LocksetId>,
-    /// Flat variable table indexed by the kernel's dense address ids.
-    /// `None` slots are ids that name other object kinds (locks, channels)
-    /// or simply haven't been accessed; `live_vars` counts the `Some`s so
-    /// [`Monitor::shadow_words`] stays O(1).
-    vars: Vec<Option<EraserVar>>,
-    live_vars: usize,
+    vars: HashMap<u64, EraserVar>,
     reports: Vec<RaceReport>,
 }
 
@@ -157,7 +146,6 @@ impl Eraser {
         self.held_ids.clear();
         self.write_held_ids.clear();
         self.vars.clear();
-        self.live_vars = 0;
         self.reports.clear();
         self.locksets.reset();
     }
@@ -197,20 +185,18 @@ impl Eraser {
             loc,
             locks: held,
         };
-        let vi = addr.0 as usize;
-        if self.vars.len() <= vi {
-            self.vars.resize_with(vi + 1, || None);
-        }
-        match &mut self.vars[vi] {
-            slot @ None => {
-                *slot = Some(EraserVar {
-                    object: object.clone(),
-                    state: VarState::Exclusive(gid),
-                    candidate: effective,
-                    last: current,
-                    reported: false,
-                });
-                self.live_vars += 1;
+        match self.vars.get_mut(&addr.0) {
+            None => {
+                self.vars.insert(
+                    addr.0,
+                    EraserVar {
+                        object: object.clone(),
+                        state: VarState::Exclusive(gid),
+                        candidate: effective,
+                        last: current,
+                        reported: false,
+                    },
+                );
             }
             Some(var) => {
                 let mut check = false;
@@ -241,17 +227,23 @@ impl Eraser {
                 }
                 let refine = !matches!(var.state, VarState::Exclusive(_));
                 var.last = current;
+                let candidate = var.candidate;
+                let reported = var.reported;
+                let object = var.object.clone();
                 let new_candidate = if refine {
-                    self.locksets.intersect(var.candidate, effective)
+                    self.locksets.intersect(candidate, effective)
                 } else {
-                    var.candidate
+                    candidate
                 };
-                var.candidate = new_candidate;
-                if check && new_candidate == LocksetId::EMPTY && !var.reported {
+                if let Some(var) = self.vars.get_mut(&addr.0) {
+                    var.candidate = new_candidate;
+                }
+                if check && new_candidate == LocksetId::EMPTY && !reported {
                     // Suppress pairs where both sides used sync/atomic.
                     if !(kind.is_atomic() && prior.kind.is_atomic()) {
-                        var.reported = true;
-                        let object = var.object.clone();
+                        if let Some(var) = self.vars.get_mut(&addr.0) {
+                            var.reported = true;
+                        }
                         let report = RaceReport {
                             addr,
                             object,
@@ -267,74 +259,6 @@ impl Eraser {
                 }
             }
         }
-    }
-
-    fn on_acquire(&mut self, gid: Gid, lock: u64, mode: LockMode) {
-        self.ensure_gid(gid);
-        let i = gid.index();
-        self.held[i].insert(LockId::new(lock));
-        self.held_ids[i] = self.locksets.intern(&self.held[i]);
-        if mode == LockMode::Write {
-            self.write_held[i].insert(LockId::new(lock));
-            self.write_held_ids[i] = self.locksets.intern(&self.write_held[i]);
-        }
-    }
-
-    fn on_release(&mut self, gid: Gid, lock: u64) {
-        self.ensure_gid(gid);
-        let i = gid.index();
-        self.held[i].remove(LockId::new(lock));
-        self.held_ids[i] = self.locksets.intern(&self.held[i]);
-        if self.write_held[i].remove(LockId::new(lock)) {
-            self.write_held_ids[i] = self.locksets.intern(&self.write_held[i]);
-        }
-    }
-
-    /// Batch replay loop over the decoded SoA lanes. Only access, acquire
-    /// and release events reach Eraser's state machine — every other tag is
-    /// skipped without materializing an [`Event`].
-    pub(crate) fn replay_decoded_core(&mut self, decoded: &DecodedTrace) -> usize {
-        let b = &decoded.batch;
-        let n = b.len();
-        // Local lane slices: keeps pointers/lengths in registers across
-        // the opaque `on_access` calls (same trick as FastTrack's core).
-        let tags = &b.tags[..n];
-        let gids = &b.gids[..n];
-        let prims = &b.prims[..n];
-        let access_kinds = &b.access_kinds[..n];
-        let lock_modes = &b.lock_modes[..n];
-        let stacks = &b.stacks[..n];
-        let objects = &b.objects[..n];
-        let files = &b.files[..n];
-        let lines = &b.lines[..n];
-        let file_table = decoded.files.as_slice();
-        let string_table = decoded.strings.as_slice();
-        let mut peak = 0usize;
-        for i in 0..n {
-            let gid = Gid(gids[i]);
-            match tags[i] {
-                2 => {
-                    let loc = SourceLoc {
-                        file: file_table[files[i] as usize],
-                        line: lines[i],
-                    };
-                    self.on_access(
-                        gid,
-                        Addr(prims[i]),
-                        &string_table[objects[i] as usize],
-                        access_kinds[i],
-                        StackId(stacks[i]),
-                        loc,
-                    );
-                    // Shadow words only change on access events.
-                    peak = peak.max(self.shadow_words());
-                }
-                3 => self.on_acquire(gid, prims[i], lock_modes[i]),
-                4 => self.on_release(gid, prims[i]),
-                _ => {}
-            }
-        }
-        peak
     }
 }
 
@@ -353,10 +277,28 @@ impl Monitor for Eraser {
                 stack,
                 loc,
             } => {
-                self.on_access(event.gid, *addr, object, *kind, *stack, *loc);
+                let object = object.clone();
+                self.on_access(event.gid, *addr, &object, *kind, *stack, *loc);
             }
-            EventKind::Acquire { lock, mode } => self.on_acquire(event.gid, lock.0, *mode),
-            EventKind::Release { lock, .. } => self.on_release(event.gid, lock.0),
+            EventKind::Acquire { lock, mode } => {
+                self.ensure_gid(event.gid);
+                let i = event.gid.index();
+                self.held[i].insert(LockId::new(lock.0));
+                self.held_ids[i] = self.locksets.intern(&self.held[i]);
+                if *mode == LockMode::Write {
+                    self.write_held[i].insert(LockId::new(lock.0));
+                    self.write_held_ids[i] = self.locksets.intern(&self.write_held[i]);
+                }
+            }
+            EventKind::Release { lock, .. } => {
+                self.ensure_gid(event.gid);
+                let i = event.gid.index();
+                self.held[i].remove(LockId::new(lock.0));
+                self.held_ids[i] = self.locksets.intern(&self.held[i]);
+                if self.write_held[i].remove(LockId::new(lock.0)) {
+                    self.write_held_ids[i] = self.locksets.intern(&self.write_held[i]);
+                }
+            }
             _ => {}
         }
     }
@@ -364,6 +306,6 @@ impl Monitor for Eraser {
     fn shadow_words(&self) -> usize {
         // One candidate-set slot plus one last-access slot per tracked
         // variable — Eraser's shadow footprint is constant per variable.
-        2 * self.live_vars
+        2 * self.vars.len()
     }
 }

@@ -1,0 +1,673 @@
+//! The FastTrack happens-before race detector.
+//!
+//! FastTrack (Flanagan & Freund, PLDI 2009) is the happens-before component
+//! of ThreadSanitizer: per-goroutine vector clocks advance at release
+//! operations and join at acquire operations, and each shared variable
+//! keeps a shadow of its last write (an [`Epoch`]) and its read history (an
+//! epoch, inflated to a vector clock only while reads are concurrent).
+//!
+//! The [`FastTrackConfig`]'s `pure_vc` flag disables the epoch fast path and
+//! keeps full vector clocks for every shadow slot — same verdicts, more
+//! work — which the ablation benchmark uses to measure what the epoch
+//! optimization buys (the original paper reports most accesses hit the
+//! O(1) path).
+//!
+//! Happens-before edges follow the Go memory model as emitted by the
+//! runtime: spawn, mutex/rwlock release→acquire, channel send→receive,
+//! receive→send-completion (rendezvous/backpressure), close→recv-closed,
+//! `WaitGroup` done→wait, `Once` execution→observation, and `sync/atomic`
+//! release/acquire on the accessed address.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use grs_clock::{Epoch, LockId, Lockset, LocksetId, LocksetInterner, Tid, VectorClock};
+use grs_runtime::event::{Event, EventKind, LockMode};
+use grs_runtime::{AccessKind, Addr, Gid, Monitor, SourceLoc, StackDepot, StackId};
+
+use crate::report::{DetectorKind, RaceAccess, RaceReport};
+
+/// Configuration for [`FastTrack`].
+#[derive(Debug, Clone)]
+pub struct FastTrackConfig {
+    /// Disable the epoch fast path; keep full vector clocks everywhere.
+    pub pure_vc: bool,
+    /// Track per-goroutine locksets and attach them to reports.
+    pub track_locksets: bool,
+    /// Stop recording after this many reports (guards memory on extremely
+    /// racy programs; the paper's detector similarly caps per-run output).
+    pub max_reports: usize,
+    /// Label attached to the reports.
+    pub kind: DetectorKind,
+}
+
+impl Default for FastTrackConfig {
+    fn default() -> Self {
+        FastTrackConfig {
+            pure_vc: false,
+            track_locksets: false,
+            max_reports: 256,
+            kind: DetectorKind::FastTrack,
+        }
+    }
+}
+
+impl FastTrackConfig {
+    /// The pure-vector-clock ablation variant.
+    #[must_use]
+    pub fn pure_vc() -> Self {
+        FastTrackConfig {
+            pure_vc: true,
+            kind: DetectorKind::PureVectorClock,
+            ..FastTrackConfig::default()
+        }
+    }
+}
+
+/// One recorded access (for the "previous access" half of a report).
+///
+/// `Copy`: the stack is a depot id and the lockset an interner id, so
+/// storing shadow history per variable moves two `u32`s instead of cloning
+/// frame vectors — the heart of this detector's hot-path refactor.
+#[derive(Debug, Clone, Copy)]
+struct AccessInfo {
+    gid: Gid,
+    kind: AccessKind,
+    stack: StackId,
+    loc: SourceLoc,
+    locks: LocksetId,
+}
+
+impl AccessInfo {
+    /// Materializes the compact ids into a report half (report paths only).
+    fn to_race_access(self, depot: &StackDepot, locksets: &LocksetInterner) -> RaceAccess {
+        RaceAccess {
+            gid: self.gid,
+            kind: self.kind,
+            stack: depot.resolve(self.stack),
+            stack_id: self.stack,
+            loc: self.loc,
+            locks_held: locksets.get(self.locks).clone(),
+        }
+    }
+}
+
+/// Read-history word count of one variable (for shadow accounting).
+fn read_words(state: &ReadState) -> usize {
+    match state {
+        ReadState::None => 0,
+        ReadState::Exclusive(..) => 1,
+        ReadState::Shared(m) => m.len(),
+    }
+}
+
+/// Read history of one variable.
+#[derive(Debug)]
+enum ReadState {
+    /// No read yet.
+    None,
+    /// Totally ordered reads: the maximal one as an epoch.
+    Exclusive(Epoch, AccessInfo),
+    /// Concurrent reads: per-goroutine last-read clock (FastTrack's
+    /// "read-shared" inflation).
+    Shared(HashMap<u32, (u32, AccessInfo)>),
+}
+
+/// Shadow state of one variable.
+#[derive(Debug)]
+struct VarShadow {
+    write_epoch: Epoch,
+    /// Full clock of the writer at the last write (kept only in `pure_vc`
+    /// mode, where it replaces the epoch comparison).
+    write_clock: Option<VectorClock>,
+    write_info: Option<AccessInfo>,
+    read: ReadState,
+    /// Release/acquire clock for `sync/atomic` operations on this address.
+    sync_clock: VectorClock,
+}
+
+impl VarShadow {
+    fn new() -> Self {
+        VarShadow {
+            write_epoch: Epoch::ZERO,
+            write_clock: None,
+            write_info: None,
+            read: ReadState::None,
+            sync_clock: VectorClock::new(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockShadow {
+    write_release: VectorClock,
+    read_release: VectorClock,
+}
+
+#[derive(Debug, Default)]
+struct ChanShadow {
+    send_clocks: HashMap<u64, VectorClock>,
+    recv_clocks: HashMap<u64, VectorClock>,
+    close_clock: Option<VectorClock>,
+}
+
+/// The FastTrack monitor. Create one per run and pass it to
+/// [`grs_runtime::Runtime::run`]; collect [`FastTrack::reports`] afterwards.
+///
+/// # Example
+///
+/// ```
+/// use grs_detector::FastTrack;
+/// use grs_runtime::{Program, RunConfig, Runtime};
+///
+/// let racy = Program::new("unlocked", |ctx| {
+///     let x = ctx.cell("x", 0i64);
+///     let x2 = x.clone();
+///     ctx.go("writer", move |ctx| ctx.write(&x2, 1));
+///     ctx.sleep(2);
+///     let _ = ctx.read(&x);
+/// });
+/// let mut any = false;
+/// for seed in 0..20 {
+///     let (_, ft) = Runtime::new(RunConfig::with_seed(seed)).run(&racy, FastTrack::new());
+///     any |= !ft.reports().is_empty();
+/// }
+/// assert!(any, "some schedule must expose the race");
+/// ```
+#[derive(Debug)]
+pub struct FastTrack {
+    cfg: FastTrackConfig,
+    /// Depot of the current run (attached by [`Monitor::on_run_start`]);
+    /// used only to materialize reports.
+    depot: StackDepot,
+    /// Interned locksets; shadow history stores [`LocksetId`]s.
+    locksets: LocksetInterner,
+    clocks: Vec<VectorClock>,
+    held: Vec<Lockset>,
+    /// Interned id of each goroutine's current `held` set, refreshed on
+    /// acquire/release so accesses copy a `u32`.
+    held_ids: Vec<LocksetId>,
+    locks: HashMap<u64, LockShadow>,
+    chans: HashMap<u64, ChanShadow>,
+    wg_done: HashMap<u64, VectorClock>,
+    once_done: HashMap<u64, VectorClock>,
+    vars: HashMap<u64, VarShadow>,
+    reports: Vec<RaceReport>,
+    seen_sites: std::collections::HashSet<String>,
+    accesses_processed: u64,
+    epoch_fast_hits: u64,
+    /// Live shadow-word count (per-variable fixed slots + read history),
+    /// maintained incrementally so [`Monitor::shadow_words`] is O(1).
+    shadow_words: usize,
+}
+
+impl Default for FastTrack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FastTrack {
+    /// A detector with the default (epoch-optimized) configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(FastTrackConfig::default())
+    }
+
+    /// A detector with an explicit configuration.
+    #[must_use]
+    pub fn with_config(cfg: FastTrackConfig) -> Self {
+        FastTrack {
+            cfg,
+            depot: StackDepot::new(),
+            locksets: LocksetInterner::new(),
+            clocks: Vec::new(),
+            held: Vec::new(),
+            held_ids: Vec::new(),
+            locks: HashMap::new(),
+            chans: HashMap::new(),
+            wg_done: HashMap::new(),
+            once_done: HashMap::new(),
+            vars: HashMap::new(),
+            reports: Vec::new(),
+            seen_sites: std::collections::HashSet::new(),
+            accesses_processed: 0,
+            epoch_fast_hits: 0,
+            shadow_words: 0,
+        }
+    }
+
+    /// The races detected so far.
+    #[must_use]
+    pub fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    /// Consumes the detector, returning its reports.
+    #[must_use]
+    pub fn into_reports(self) -> Vec<RaceReport> {
+        self.reports
+    }
+
+    /// Takes the accumulated reports, leaving the detector reusable (the
+    /// arena path: take reports, `reset()`, run again).
+    pub fn take_reports(&mut self) -> Vec<RaceReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Clears all per-run state while keeping container allocations warm,
+    /// so one detector can monitor thousands of campaign runs without
+    /// reallocating its shadow tables. Called automatically at the start of
+    /// every run (see [`Monitor::on_run_start`]).
+    pub fn reset(&mut self) {
+        self.clocks.clear();
+        self.held.clear();
+        self.held_ids.clear();
+        self.locks.clear();
+        self.chans.clear();
+        self.wg_done.clear();
+        self.once_done.clear();
+        self.vars.clear();
+        self.reports.clear();
+        self.seen_sites.clear();
+        self.accesses_processed = 0;
+        self.epoch_fast_hits = 0;
+        self.shadow_words = 0;
+        self.locksets.reset();
+    }
+
+    /// Number of memory accesses processed.
+    #[must_use]
+    pub fn accesses_processed(&self) -> u64 {
+        self.accesses_processed
+    }
+
+    /// How many accesses were resolved entirely on the O(1) epoch path —
+    /// the statistic the FastTrack paper's speedup rests on.
+    #[must_use]
+    pub fn epoch_fast_hits(&self) -> u64 {
+        self.epoch_fast_hits
+    }
+
+    fn clock_mut(&mut self, gid: Gid) -> &mut VectorClock {
+        let i = gid.index();
+        while self.clocks.len() <= i {
+            let t = self.clocks.len() as u32;
+            let mut c = VectorClock::new();
+            c.set(Tid::new(t), 1);
+            self.clocks.push(c);
+            self.held.push(Lockset::new());
+            self.held_ids.push(LocksetId::EMPTY);
+        }
+        &mut self.clocks[i]
+    }
+
+    fn ensure_tid(&mut self, gid: Gid) {
+        let _ = self.clock_mut(gid);
+    }
+
+    fn tick(&mut self, gid: Gid) {
+        let t = Tid::new(gid.0);
+        self.clock_mut(gid).tick(t);
+    }
+
+    fn record(
+        &mut self,
+        addr: Addr,
+        object: &Arc<str>,
+        prior: AccessInfo,
+        current: AccessInfo,
+    ) {
+        if self.reports.len() >= self.cfg.max_reports {
+            return;
+        }
+        // Materialize stacks/locksets only now — reports are rare.
+        let report = RaceReport {
+            addr,
+            object: object.clone(),
+            prior: prior.to_race_access(&self.depot, &self.locksets),
+            current: current.to_race_access(&self.depot, &self.locksets),
+            detector: self.cfg.kind,
+            program: None,
+            repro_seed: None,
+            repro: None,
+        };
+        if self.seen_sites.insert(report.site_key()) {
+            self.reports.push(report);
+        }
+    }
+
+    fn on_access(
+        &mut self,
+        gid: Gid,
+        addr: Addr,
+        object: &Arc<str>,
+        kind: AccessKind,
+        stack: StackId,
+        loc: SourceLoc,
+    ) {
+        self.ensure_tid(gid);
+        self.accesses_processed += 1;
+        let tid = Tid::new(gid.0);
+        let locks = if self.cfg.track_locksets {
+            self.held_ids[gid.index()]
+        } else {
+            LocksetId::EMPTY
+        };
+        let info = AccessInfo {
+            gid,
+            kind,
+            stack,
+            loc,
+            locks,
+        };
+        // Atomic acquire side: an atomic read (or RMW) joins the address's
+        // sync clock *before* race checks, so atomic-synchronized plain
+        // accesses are correctly ordered.
+        if kind.is_atomic() {
+            let sync = self
+                .vars
+                .get(&addr.0)
+                .map(|v| v.sync_clock.clone())
+                .unwrap_or_default();
+            self.clocks[gid.index()].join(&sync);
+        }
+        let c = self.clocks[gid.index()].clone();
+        let pure_vc = self.cfg.pure_vc;
+        let mut fast = true;
+        let mut found: Vec<(AccessInfo, AccessInfo)> = Vec::new();
+        // Shadow accounting: +2 fixed words (write + sync slot) per new
+        // variable, plus the read-history delta measured below.
+        let mut words_delta: isize = if self.vars.contains_key(&addr.0) {
+            0
+        } else {
+            2
+        };
+        {
+            let var = self
+                .vars
+                .entry(addr.0)
+                .or_insert_with(VarShadow::new);
+            let read_words_before = read_words(&var.read);
+            // --- race checks ---
+            let write_hb = if pure_vc {
+                fast = false;
+                var.write_clock.as_ref().is_none_or(|wc| wc.le(&c))
+            } else {
+                var.write_epoch.le_clock(&c)
+            };
+            if !write_hb {
+                if let Some(wi) = &var.write_info {
+                    if !(kind.is_atomic() && wi.kind.is_atomic()) {
+                        found.push((*wi, info));
+                    }
+                }
+            }
+            if kind.is_write() {
+                match &var.read {
+                    ReadState::None => {}
+                    ReadState::Exclusive(e, ri) => {
+                        let read_hb = if pure_vc {
+                            e.to_clock().le(&c)
+                        } else {
+                            e.le_clock(&c)
+                        };
+                        if !(read_hb || (kind.is_atomic() && ri.kind.is_atomic())) {
+                            found.push((*ri, info));
+                        }
+                    }
+                    ReadState::Shared(map) => {
+                        fast = false;
+                        // Iterate in tid order: HashMap order is nondeterministic
+                        // across processes, and report order feeds dedup
+                        // representatives and `max_reports` truncation.
+                        let mut entries: Vec<_> = map.iter().collect();
+                        entries.sort_by_key(|(t2, _)| **t2);
+                        for (t2, (clk, ri)) in entries {
+                            if *clk > c.get(Tid::new(*t2))
+                                && !(kind.is_atomic() && ri.kind.is_atomic())
+                            {
+                                found.push((*ri, info));
+                            }
+                        }
+                    }
+                }
+            }
+            // --- shadow updates ---
+            if kind.is_write() {
+                var.write_epoch = Epoch::new(tid, c.get(tid));
+                var.write_clock = if pure_vc { Some(c.clone()) } else { None };
+                var.write_info = Some(info);
+                // Prune the read history this write re-exclusives: an entry
+                // whose clock is dominated by the writer (`clk <= c[t2]`,
+                // i.e. read happens-before this write) can never expose a
+                // race this write itself wouldn't — any later access
+                // unordered with the dropped read is also unordered with
+                // the write (clocks transfer whole histories), so the race
+                // still fires against `write_info`. Without this prune the
+                // Shared map retains one entry per goroutine that ever read
+                // the variable, forever: the unbounded-shadow leak.
+                if let ReadState::Shared(map) = &mut var.read {
+                    map.retain(|t2, (clk, _)| *clk > c.get(Tid::new(*t2)));
+                    if map.is_empty() {
+                        var.read = ReadState::None;
+                    }
+                }
+            } else {
+                // Read: update the read history.
+                let my_clk = c.get(tid);
+                if pure_vc {
+                    let map = match &mut var.read {
+                        ReadState::Shared(m) => m,
+                        other => {
+                            let mut m = HashMap::new();
+                            if let ReadState::Exclusive(e, ri) = other {
+                                m.insert(e.tid().raw(), (e.clock(), *ri));
+                            }
+                            var.read = ReadState::Shared(m);
+                            match &mut var.read {
+                                ReadState::Shared(m) => m,
+                                _ => unreachable!("just assigned"),
+                            }
+                        }
+                    };
+                    map.insert(tid.raw(), (my_clk, info));
+                } else {
+                    match &mut var.read {
+                        ReadState::None => {
+                            var.read = ReadState::Exclusive(Epoch::new(tid, my_clk), info);
+                        }
+                        ReadState::Exclusive(e, _) => {
+                            if e.tid() == tid || e.le_clock(&c) {
+                                var.read = ReadState::Exclusive(Epoch::new(tid, my_clk), info);
+                            } else {
+                                fast = false;
+                                let mut m = HashMap::new();
+                                if let ReadState::Exclusive(e, ri) = &var.read {
+                                    m.insert(e.tid().raw(), (e.clock(), *ri));
+                                }
+                                m.insert(tid.raw(), (my_clk, info));
+                                var.read = ReadState::Shared(m);
+                            }
+                        }
+                        ReadState::Shared(m) => {
+                            fast = false;
+                            m.insert(tid.raw(), (my_clk, info));
+                        }
+                    }
+                }
+            }
+            words_delta += read_words(&var.read) as isize - read_words_before as isize;
+        }
+        self.shadow_words = self
+            .shadow_words
+            .checked_add_signed(words_delta)
+            .expect("shadow-word count underflow");
+        if fast {
+            self.epoch_fast_hits += 1;
+        }
+        // Atomic release side: publish our clock to the address sync clock
+        // and advance.
+        if kind == AccessKind::AtomicWrite {
+            let c_now = self.clocks[gid.index()].clone();
+            let var = self
+                .vars
+                .get_mut(&addr.0)
+                .expect("var shadow just ensured");
+            var.sync_clock.join(&c_now);
+            self.tick(gid);
+        }
+        for (prior, current) in found {
+            self.record(addr, object, prior, current);
+        }
+    }
+
+    fn on_sync(&mut self, ev: &Event) {
+        let gid = ev.gid;
+        self.ensure_tid(gid);
+        match &ev.kind {
+            EventKind::Spawn { child, .. } => {
+                self.ensure_tid(*child);
+                let parent_clock = self.clocks[gid.index()].clone();
+                self.clocks[child.index()].join(&parent_clock);
+                self.tick(*child);
+                self.tick(gid);
+            }
+            EventKind::Acquire { lock, mode } => {
+                let shadow = self.locks.entry(lock.0).or_default();
+                let mut joined = shadow.write_release.clone();
+                if *mode == LockMode::Write {
+                    joined.join(&shadow.read_release);
+                }
+                self.clocks[gid.index()].join(&joined);
+                if self.cfg.track_locksets {
+                    self.held[gid.index()].insert(LockId::new(lock.0));
+                    self.held_ids[gid.index()] = self.locksets.intern(&self.held[gid.index()]);
+                }
+            }
+            EventKind::Release { lock, mode } => {
+                let c = self.clocks[gid.index()].clone();
+                let shadow = self.locks.entry(lock.0).or_default();
+                match mode {
+                    LockMode::Write => shadow.write_release = c,
+                    LockMode::Read => shadow.read_release.join(&c),
+                }
+                self.tick(gid);
+                if self.cfg.track_locksets {
+                    self.held[gid.index()].remove(LockId::new(lock.0));
+                    self.held_ids[gid.index()] = self.locksets.intern(&self.held[gid.index()]);
+                }
+            }
+            EventKind::ChanSend { chan, seq } => {
+                let c = self.clocks[gid.index()].clone();
+                self.chans
+                    .entry(chan.0)
+                    .or_default()
+                    .send_clocks
+                    .insert(*seq, c);
+                self.tick(gid);
+            }
+            EventKind::ChanRecv { chan, seq } => {
+                let sent = self
+                    .chans
+                    .entry(chan.0)
+                    .or_default()
+                    .send_clocks
+                    .remove(seq);
+                if let Some(sc) = sent {
+                    self.clocks[gid.index()].join(&sc);
+                }
+                let c = self.clocks[gid.index()].clone();
+                self.chans
+                    .entry(chan.0)
+                    .or_default()
+                    .recv_clocks
+                    .insert(*seq, c);
+                self.tick(gid);
+            }
+            EventKind::ChanSendComplete { chan, seq, cap } => {
+                let target = if *cap == 0 {
+                    Some(*seq)
+                } else {
+                    seq.checked_sub(*cap as u64)
+                };
+                if let Some(t) = target {
+                    let rc = self.chans.entry(chan.0).or_default().recv_clocks.remove(&t);
+                    if let Some(rc) = rc {
+                        self.clocks[gid.index()].join(&rc);
+                    }
+                }
+            }
+            EventKind::ChanClose { chan } => {
+                let c = self.clocks[gid.index()].clone();
+                self.chans.entry(chan.0).or_default().close_clock = Some(c);
+                self.tick(gid);
+            }
+            EventKind::ChanRecvClosed { chan } => {
+                let cc = self
+                    .chans
+                    .entry(chan.0)
+                    .or_default()
+                    .close_clock
+                    .clone();
+                if let Some(cc) = cc {
+                    self.clocks[gid.index()].join(&cc);
+                }
+            }
+            EventKind::WgAdd { wg, delta, .. } => {
+                if *delta < 0 {
+                    let c = self.clocks[gid.index()].clone();
+                    self.wg_done.entry(wg.0).or_default().join(&c);
+                    self.tick(gid);
+                }
+            }
+            EventKind::WgWait { wg } => {
+                let dc = self.wg_done.get(&wg.0).cloned();
+                if let Some(dc) = dc {
+                    self.clocks[gid.index()].join(&dc);
+                }
+            }
+            EventKind::OnceExecuted { once } => {
+                let c = self.clocks[gid.index()].clone();
+                self.once_done.insert(once.0, c);
+                self.tick(gid);
+            }
+            EventKind::OnceObserved { once } => {
+                let oc = self.once_done.get(&once.0).cloned();
+                if let Some(oc) = oc {
+                    self.clocks[gid.index()].join(&oc);
+                }
+            }
+            EventKind::GoroutineEnd | EventKind::Access { .. } => {}
+        }
+    }
+}
+
+impl Monitor for FastTrack {
+    fn on_run_start(&mut self, depot: &StackDepot) {
+        // A fresh run: drop any previous run's shadow state (allocations
+        // stay warm) and attach the run's depot for report materialization.
+        self.reset();
+        self.depot = depot.clone();
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        if let EventKind::Access {
+            addr,
+            object,
+            kind,
+            stack,
+            loc,
+        } = &event.kind
+        {
+            let object = object.clone();
+            self.on_access(event.gid, *addr, &object, *kind, *stack, *loc);
+        } else {
+            self.on_sync(event);
+        }
+    }
+
+    fn shadow_words(&self) -> usize {
+        self.shadow_words
+    }
+}

@@ -1,0 +1,62 @@
+//! The legacy HashMap-backed shadow state, frozen as the equivalence
+//! oracle for the flat rewrite.
+//!
+//! These modules are byte-for-byte copies of the detector cores as they
+//! stood before the flat shadow-memory refactor (`fasttrack.rs`,
+//! `eraser.rs`, `tsan.rs` with `HashMap<u64, _>` variable/lock/channel
+//! tables and a `HashMap` shared-read history). They are compiled only
+//! under the test-only `oracle` cargo feature and exist for exactly one
+//! purpose: differential testing. The equivalence suite runs the same
+//! programs and traces through both implementations and pins the flat
+//! path's reports, fingerprints, shadow-word accounting, and campaign
+//! digests bit-identical to this oracle.
+//!
+//! Nothing here is reachable from a release build: the `oracle` feature
+//! is enabled through dev-dependencies only, so `cargo build --release`
+//! never compiles this module.
+
+pub mod eraser;
+pub mod fasttrack;
+pub mod tsan;
+
+pub use eraser::Eraser as LegacyEraser;
+pub use fasttrack::{FastTrack as LegacyFastTrack, FastTrackConfig as LegacyFastTrackConfig};
+pub use tsan::Tsan as LegacyTsan;
+
+use grs_runtime::{Event, Monitor, StackDepot};
+
+use crate::replay::ReplayAnalyzer;
+use crate::report::RaceReport;
+
+/// The oracle types satisfy the same replay contract as the flat
+/// detectors, through the same Monitor delegation the flat macro uses —
+/// so the replay drivers (and the batch default path, which materializes
+/// events one at a time) can drive them interchangeably.
+macro_rules! impl_legacy_replay_analyzer {
+    ($($ty:ty),+) => {$(
+        impl ReplayAnalyzer for $ty {
+            fn begin_replay(&mut self, depot: &StackDepot) {
+                Monitor::on_run_start(self, depot);
+            }
+
+            fn replay_event(&mut self, event: &Event) {
+                Monitor::on_event(self, event);
+            }
+
+            fn finish_replay(&mut self) -> Vec<RaceReport> {
+                Monitor::on_run_end(self);
+                self.take_reports()
+            }
+
+            fn replay_shadow_words(&self) -> usize {
+                Monitor::shadow_words(self)
+            }
+        }
+    )+};
+}
+
+impl_legacy_replay_analyzer!(
+    fasttrack::FastTrack,
+    eraser::Eraser,
+    tsan::Tsan
+);

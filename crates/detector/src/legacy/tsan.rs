@@ -11,7 +11,7 @@
 use grs_runtime::event::Event;
 use grs_runtime::{Monitor, StackDepot};
 
-use crate::fasttrack::{FastTrack, FastTrackConfig};
+use super::fasttrack::{FastTrack, FastTrackConfig};
 use crate::report::{DetectorKind, RaceReport};
 
 /// The combined detector — the default monitor for all experiments.
@@ -94,15 +94,6 @@ impl Tsan {
     /// Clears all per-run state, keeping allocations warm.
     pub fn reset(&mut self) {
         self.inner.reset();
-    }
-
-    /// Batch replay loop: the hybrid is FastTrack with locksets enabled, so
-    /// it reuses FastTrack's SoA dispatch verbatim.
-    pub(crate) fn replay_decoded_core(
-        &mut self,
-        decoded: &grs_runtime::DecodedTrace,
-    ) -> usize {
-        self.inner.replay_decoded_core(decoded)
     }
 }
 

@@ -47,6 +47,8 @@ pub mod arena;
 pub mod eraser;
 pub mod explorer;
 pub mod fasttrack;
+#[cfg(feature = "oracle")]
+pub mod legacy;
 pub mod replay;
 pub mod report;
 pub mod tsan;
@@ -55,7 +57,9 @@ pub use arena::DetectorArena;
 pub use eraser::Eraser;
 pub use explorer::{default_workers, DetectorChoice, ExploreConfig, ExploreResult, Explorer};
 pub use fasttrack::{FastTrack, FastTrackConfig};
-pub use replay::{replay_trace, ReplayAnalyzer, ReplayOutcome};
+pub use replay::{
+    replay_decoded, replay_decoded_prepared, replay_trace, ReplayAnalyzer, ReplayOutcome,
+};
 pub use report::{DetectorKind, RaceAccess, RaceReport};
 pub use tsan::Tsan;
 

@@ -22,7 +22,7 @@
 //!
 //! [`MonitorStats`]: grs_runtime::MonitorStats
 
-use grs_runtime::{Event, Monitor, StackDepot, Trace};
+use grs_runtime::{DecodedTrace, Event, Monitor, StackDepot, Trace};
 
 use crate::eraser::Eraser;
 use crate::fasttrack::FastTrack;
@@ -56,6 +56,26 @@ pub trait ReplayAnalyzer: Send {
     /// Current shadow-word footprint (mirrors `Monitor::shadow_words`, so
     /// replayed peak-shadow statistics match live runs).
     fn replay_shadow_words(&self) -> usize;
+
+    /// Consumes an entire batch-decoded event stream, returning the peak
+    /// shadow-word count sampled after each event.
+    ///
+    /// The default implementation materializes each event from the SoA
+    /// lanes and feeds it through [`ReplayAnalyzer::replay_event`] — i.e.
+    /// it routes batch input through the scalar core, which is exactly what
+    /// the legacy oracle detectors use, so flat-vs-oracle equivalence tests
+    /// compare the batch hot loop against unchanged reference semantics.
+    /// The flat detectors override this with a branch-light loop over the
+    /// plain arrays (no `Event` materialization, no `Arc` clones).
+    fn replay_decoded_events(&mut self, decoded: &DecodedTrace) -> usize {
+        let mut peak = 0usize;
+        for i in 0..decoded.len() {
+            let event = decoded.event(i);
+            self.replay_event(&event);
+            peak = peak.max(self.replay_shadow_words());
+        }
+        peak
+    }
 }
 
 /// The three concrete monitor types share one blanket bridge: their
@@ -79,6 +99,10 @@ macro_rules! impl_replay_analyzer {
 
             fn replay_shadow_words(&self) -> usize {
                 Monitor::shadow_words(self)
+            }
+
+            fn replay_decoded_events(&mut self, decoded: &DecodedTrace) -> usize {
+                self.replay_decoded_core(decoded)
             }
         }
     )+};
@@ -135,6 +159,42 @@ pub fn replay_prepared(
     ReplayOutcome {
         reports,
         events: trace.events.len() as u64,
+        peak_shadow_words: peak,
+    }
+}
+
+/// Replays a batch-decoded trace through `analyzer` — the fast path.
+///
+/// Rebuilds the decoded depot snapshot into `depot`, then drives the
+/// analyzer's batch loop over the SoA event lanes. Produces a
+/// [`ReplayOutcome`] bit-identical to [`replay_trace`] on the equivalent
+/// scalar-decoded [`Trace`] (same reports in the same order, same event
+/// count, same peak-shadow sampling), while skipping per-event enum
+/// materialization entirely.
+pub fn replay_decoded(
+    analyzer: &mut (impl ReplayAnalyzer + ?Sized),
+    decoded: &DecodedTrace,
+    depot: &StackDepot,
+) -> ReplayOutcome {
+    decoded.rebuild_depot_into(depot);
+    replay_decoded_prepared(analyzer, decoded, depot)
+}
+
+/// [`replay_decoded`] against a depot that already holds the decoded
+/// trace's stacks (rebuilt once and shared across several analyzers by the
+/// arena's batch fan-out).
+pub fn replay_decoded_prepared(
+    analyzer: &mut (impl ReplayAnalyzer + ?Sized),
+    decoded: &DecodedTrace,
+    depot: &StackDepot,
+) -> ReplayOutcome {
+    analyzer.begin_replay(depot);
+    let mut peak = analyzer.replay_decoded_events(decoded);
+    let reports = analyzer.finish_replay();
+    peak = peak.max(analyzer.replay_shadow_words());
+    ReplayOutcome {
+        reports,
+        events: decoded.len() as u64,
         peak_shadow_words: peak,
     }
 }

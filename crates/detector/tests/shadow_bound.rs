@@ -10,8 +10,8 @@
 //! state. The prune drops write-dominated entries on each write, so the
 //! footprint is bounded by the per-round reader count.
 
-use grs_detector::FastTrack;
-use grs_runtime::{Program, RunConfig, Runtime};
+use grs_detector::{replay_decoded, FastTrack};
+use grs_runtime::{record, DecodedTrace, Program, RunConfig, Runtime, StackDepot};
 
 const ROUNDS: i64 = 24;
 const READERS: i64 = 4;
@@ -64,6 +64,35 @@ fn shared_read_maps_stay_bounded_across_rounds() {
     // Guard the test itself: the leaking peak must be well above the bound,
     // otherwise this assertion could never catch the regression.
     assert!(leak_scale > 2 * bound);
+}
+
+/// The same O(readers) bound through the **batch replay** hot loop: the
+/// flat shadow arrays (PR 7) must reproduce the live path's peak exactly.
+/// A flat table that forgot the prune — or that counted never-touched
+/// index holes as shadow words — would blow past the bound here even when
+/// the live path stays tight.
+#[test]
+fn batch_replay_keeps_shared_read_history_bounded() {
+    let p = cyclic_readers();
+    let cfg = RunConfig::with_seed(7);
+    let (live, _) = Runtime::new(cfg.clone()).run(&p, FastTrack::new());
+    let (_, trace) = record(&p, &cfg);
+    let bytes = trace.encode();
+    let decoded = DecodedTrace::decode(&bytes).expect("just-encoded trace decodes");
+    let mut ft = FastTrack::new();
+    let out = replay_decoded(&mut ft, &decoded, &StackDepot::new());
+    assert!(out.reports.is_empty(), "barriered program must be clean");
+    assert_eq!(
+        out.peak_shadow_words, live.stats.peak_shadow_words,
+        "batch replay must reproduce the live peak exactly"
+    );
+    let bound = 2 + (READERS as usize) + 4;
+    assert!(
+        out.peak_shadow_words <= bound,
+        "batch-replay peak {} exceeds the O(readers) bound {}",
+        out.peak_shadow_words,
+        bound
+    );
 }
 
 #[test]

@@ -25,7 +25,10 @@ use std::time::{Duration, Instant};
 use grs_deploy::{race_fingerprint, FileOutcome, Fingerprint, Pipeline, RaceBatch};
 use grs_detector::{default_workers, DetectorArena, DetectorChoice};
 use grs_obs::{CampaignTimeline, MetricsRegistry, ObsReport, ObsSink, SpanGuard, TimelineConfig};
-use grs_runtime::{record_with_depot, Program, ReproArtifact, RunConfig, Strategy};
+use grs_runtime::{
+    record_with_depot, DecodedTrace, Program, ReproArtifact, RunConfig, Strategy,
+    DEFAULT_CHUNK_EVENTS,
+};
 
 use crate::dedup::DedupMap;
 use crate::shard::{ExecSpec, RunSpec, ShardQueues};
@@ -250,6 +253,13 @@ pub struct CampaignConfig {
     /// Virtual campaign days the timeline section buckets the spec axis
     /// into (see [`grs_obs::CampaignTimeline`]).
     pub timeline_days: u32,
+    /// Route every run/replay through the **legacy** HashMap-shadow
+    /// detectors instead of the flat ones. The field always exists so
+    /// configs serialize/compare uniformly, but flipping it on requires the
+    /// test-only `oracle` feature — without it the campaign panics at
+    /// arena construction. Used by the flat-shadow equivalence suite and
+    /// the `bench_events --mode oracle` runs.
+    pub oracle_shadow: bool,
 }
 
 impl CampaignConfig {
@@ -283,6 +293,7 @@ impl CampaignConfig {
             shards: 2 * default_workers(),
             max_steps: 1_000_000,
             timeline_days: 30,
+            oracle_shadow: false,
         }
     }
 
@@ -350,6 +361,15 @@ impl CampaignConfig {
     #[must_use]
     pub fn timeline_days(mut self, days: u32) -> Self {
         self.timeline_days = days.max(1);
+        self
+    }
+
+    /// Routes the campaign through the legacy HashMap-shadow oracle
+    /// detectors (builder style). Requires the `oracle` feature at
+    /// execution time; see [`CampaignConfig::oracle_shadow`].
+    #[must_use]
+    pub fn oracle_shadow(mut self, oracle: bool) -> Self {
+        self.oracle_shadow = oracle;
         self
     }
 
@@ -446,6 +466,13 @@ pub struct ReplayStats {
     pub record_wall: Duration,
     /// Time spent in offline detector replays, summed across workers.
     pub replay_wall: Duration,
+    /// SoA chunks the batch decoder produced across all traces (one decode
+    /// per execution, shared by every analysis fanned from it).
+    pub decode_batches: u64,
+    /// Events decoded through the batch path (equals `trace_events` — the
+    /// whole stream goes through chunks; kept separate so the invariant is
+    /// checkable in exports).
+    pub batch_events: u64,
 }
 
 impl ReplayStats {
@@ -457,6 +484,18 @@ impl ReplayStats {
         self.trace_bytes_max = self.trace_bytes_max.max(other.trace_bytes_max);
         self.record_wall += other.record_wall;
         self.replay_wall += other.replay_wall;
+        self.decode_batches += other.decode_batches;
+        self.batch_events += other.batch_events;
+    }
+
+    /// Mean batch fill rate: events per produced chunk, as a fraction of
+    /// the chunk capacity used for decoding (1.0 = every chunk full).
+    #[must_use]
+    pub fn batch_fill_rate(&self, chunk_capacity: usize) -> f64 {
+        if self.decode_batches == 0 || chunk_capacity == 0 {
+            return 0.0;
+        }
+        self.batch_events as f64 / (self.decode_batches * chunk_capacity as u64) as f64
     }
 
     /// Mean encoded trace size in bytes (0 when nothing was recorded).
@@ -509,12 +548,21 @@ impl CampaignResult {
     }
 
     /// Fraction of runs that reported a race (0 when no runs executed).
+    ///
+    /// Derived from the campaign's monotonic counters (`campaign.runs`,
+    /// `campaign.racy_runs`) rather than re-counting records, so this rate
+    /// and [`CampaignResult::events_per_sec`] share one counter source and
+    /// every exported benchmark agrees on the denominator. The counters
+    /// are stable (identical across worker counts and live/replay); the
+    /// record-derived figures equal them by construction, which
+    /// `counters_agree_with_records` pins.
     #[must_use]
     pub fn detection_rate(&self) -> f64 {
-        if self.records.is_empty() {
+        let runs = self.obs.snapshot.counter("campaign.runs");
+        if runs == 0 {
             0.0
         } else {
-            self.racy_runs() as f64 / self.records.len() as f64
+            self.obs.snapshot.counter("campaign.racy_runs") as f64 / runs as f64
         }
     }
 
@@ -537,13 +585,18 @@ impl CampaignResult {
 
     /// Monitor events per second of wall-clock time — the hot-path
     /// throughput figure the interned-stack event model optimizes.
+    ///
+    /// The numerator is the `runtime.events` monotonic counter — the same
+    /// source [`CampaignResult::detection_rate`] draws its denominator
+    /// family from — so `BENCH_replay.json` and `BENCH_overhead.json`
+    /// report rates over one consistent event count.
     #[must_use]
     pub fn events_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
         if secs <= 0.0 {
             0.0
         } else {
-            self.total_events() as f64 / secs
+            self.obs.snapshot.counter("runtime.events") as f64 / secs
         }
     }
 
@@ -711,6 +764,22 @@ impl Campaign {
         execs
     }
 
+    /// One detector arena per worker, honoring the config's shadow
+    /// implementation choice. `oracle_shadow` is a differential-testing
+    /// knob: it needs the legacy detectors compiled in, which only test
+    /// and bench builds do (the `oracle` feature).
+    fn make_arena(&self) -> DetectorArena {
+        if self.config.oracle_shadow {
+            #[cfg(feature = "oracle")]
+            return DetectorArena::new_oracle();
+            #[cfg(not(feature = "oracle"))]
+            panic!(
+                "CampaignConfig::oracle_shadow(true) requires the test-only `oracle` feature"
+            );
+        }
+        DetectorArena::new()
+    }
+
     /// Executes one spec: run the program (through the worker's reusable
     /// detector arena), fingerprint the reports, feed the dedup stage, and
     /// emit the record.
@@ -805,7 +874,8 @@ impl Campaign {
         };
         // Encoding is part of the record pipeline: it is what a deployment
         // would persist as the `.grtrace` artifact.
-        let trace_bytes = trace.encode().len();
+        let bytes = trace.encode();
+        let trace_bytes = bytes.len();
         let trace_digest = trace.digest();
         stats.executions += 1;
         stats.trace_events += trace.events.len() as u64;
@@ -815,8 +885,16 @@ impl Campaign {
         sink.add("replay.trace_bytes", trace_bytes as u64);
         sink.observe("replay.record_wall", record_started.elapsed());
 
+        // Replay side: decode the persisted bytes back in SoA chunks (the
+        // deployment consumer's path — decode is replay cost, not record
+        // cost) and fan the decoded lanes through every detector.
         let replay_started = Instant::now();
-        let analyses = arena.replay_many_observed(&trace, &self.config.detectors, sink);
+        let decoded = DecodedTrace::decode_with_chunk(&bytes, DEFAULT_CHUNK_EVENTS)
+            .expect("a just-encoded trace always decodes");
+        stats.decode_batches += decoded.chunks;
+        stats.batch_events += decoded.len() as u64;
+        let analyses =
+            arena.replay_many_decoded_observed(&decoded, &self.config.detectors, sink);
         let replay_elapsed = replay_started.elapsed();
         stats.replays += analyses.len();
         stats.replay_wall += replay_elapsed;
@@ -911,7 +989,7 @@ impl Campaign {
         let mut stats = ReplayStats::default();
         let mut records: Vec<RunRecord>;
         if workers <= 1 {
-            let mut arena = DetectorArena::new();
+            let mut arena = self.make_arena();
             records = Vec::with_capacity(execs.len() * self.config.detectors.len());
             for &exec in &execs {
                 registry.add_volatile("sched.home_pops", 1);
@@ -938,7 +1016,7 @@ impl Campaign {
                     let merged = &merged;
                     let registry = &registry;
                     scope.spawn(move || {
-                        let mut arena = DetectorArena::new();
+                        let mut arena = self.make_arena();
                         let mut local = Vec::new();
                         let mut local_stats = ReplayStats::default();
                         while let Some((exec, shard)) = queues.pop(w) {
@@ -1002,7 +1080,7 @@ impl Campaign {
         if workers <= 1 {
             // Serial path: same execute + dedup machinery, no threads. One
             // arena serves every run, so shadow state warms up once.
-            let mut arena = DetectorArena::new();
+            let mut arena = self.make_arena();
             records = specs
                 .iter()
                 .map(|&spec| {
@@ -1024,7 +1102,7 @@ impl Campaign {
                         // every spec the worker pops; per-run state resets
                         // on run start, so placement stays invisible in the
                         // deterministic outputs.
-                        let mut arena = DetectorArena::new();
+                        let mut arena = self.make_arena();
                         let mut local = Vec::new();
                         while let Some((spec, shard)) = queues.pop(w) {
                             registry.add_volatile(
@@ -1144,6 +1222,43 @@ mod tests {
         }
         assert!(r.detection_rate() > 0.0);
         assert!(!r.batch.is_empty());
+    }
+
+    /// `detection_rate` and `events_per_sec` draw from the monotonic
+    /// counters; the run records are the ground truth. This pins the two
+    /// sources equal — in live and execute-once replay mode — so every
+    /// exported benchmark rate shares one consistent numerator.
+    #[test]
+    fn counters_agree_with_records() {
+        let c = Campaign::over_units(
+            CampaignConfig::smoke().seeds_per_unit(6).shards(2),
+            tiny_units(),
+        );
+        for (mode, r) in [("live", c.run()), ("replay", c.run_replay())] {
+            let counter = |name: &str| r.obs.snapshot.counter(name);
+            assert_eq!(
+                counter("campaign.runs"),
+                r.records.len() as u64,
+                "{mode}: campaign.runs"
+            );
+            assert_eq!(
+                counter("campaign.racy_runs"),
+                r.racy_runs() as u64,
+                "{mode}: campaign.racy_runs"
+            );
+            assert_eq!(
+                counter("runtime.events"),
+                r.total_events(),
+                "{mode}: runtime.events"
+            );
+            let record_rate = r.racy_runs() as f64 / r.records.len() as f64;
+            assert!(
+                (r.detection_rate() - record_rate).abs() < f64::EPSILON,
+                "{mode}: detection_rate {} != record-derived {record_rate}",
+                r.detection_rate()
+            );
+            assert!(r.detection_rate() > 0.0, "{mode}: corpus must detect");
+        }
     }
 
     #[test]

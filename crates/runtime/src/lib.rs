@@ -57,6 +57,7 @@
 //! assert!(!monitor.events().is_empty());
 //! ```
 
+pub mod batch;
 pub mod cell;
 pub mod chan;
 pub mod context;
@@ -73,6 +74,7 @@ pub mod slice;
 pub mod sync;
 pub mod trace;
 
+pub use batch::{BatchDecoder, DecodedTrace, EventBatch, DEFAULT_CHUNK_EVENTS};
 pub use cell::Cell;
 pub use chan::{Chan, RecvResult, Selected2};
 pub use context::GoContext;
@@ -93,6 +95,7 @@ pub use trace::{
 
 /// The types every runtime user imports, for `use grs_runtime::prelude::*`.
 pub mod prelude {
+    pub use crate::batch::{BatchDecoder, DecodedTrace, EventBatch};
     pub use crate::depot::{StackDepot, StackId};
     pub use crate::event::{AccessKind, Event};
     pub use crate::monitor::{

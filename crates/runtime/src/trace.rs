@@ -602,13 +602,14 @@ impl StringTable {
     }
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceDecodeError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], TraceDecodeError> {
         let end = self.pos.checked_add(n).ok_or(TraceDecodeError::Truncated)?;
         if end > self.bytes.len() {
             return Err(TraceDecodeError::Truncated);
@@ -618,11 +619,11 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn byte(&mut self) -> Result<u8, TraceDecodeError> {
+    pub(crate) fn byte(&mut self) -> Result<u8, TraceDecodeError> {
         Ok(self.take(1)?[0])
     }
 
-    fn uvarint(&mut self) -> Result<u64, TraceDecodeError> {
+    pub(crate) fn uvarint(&mut self) -> Result<u64, TraceDecodeError> {
         let mut value = 0u64;
         for shift in (0..64).step_by(7) {
             let b = self.byte()?;
@@ -651,7 +652,7 @@ fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -662,7 +663,7 @@ fn lock_mode_tag(mode: LockMode) -> u8 {
     }
 }
 
-fn lock_mode(tag: u8) -> Result<LockMode, TraceDecodeError> {
+pub(crate) fn lock_mode(tag: u8) -> Result<LockMode, TraceDecodeError> {
     match tag {
         0 => Ok(LockMode::Write),
         1 => Ok(LockMode::Read),
@@ -678,7 +679,7 @@ fn lock_mode(tag: u8) -> Result<LockMode, TraceDecodeError> {
 /// sees a small bounded set of distinct source files, so leaking one copy
 /// of each through a global interner is the honest way to reconstruct
 /// them.
-fn intern_static_file(file: &str) -> &'static str {
+pub(crate) fn intern_static_file(file: &str) -> &'static str {
     static FILES: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
     let mut set = FILES
         .get_or_init(|| Mutex::new(HashSet::new()))

@@ -1,0 +1,239 @@
+//! Batched `.grtrace` decoding: differential tests against the scalar
+//! decoder.
+//!
+//! The batch decoder ([`DecodedTrace`]) is a second reader of the same
+//! wire format, so every guarantee it offers is phrased as equivalence
+//! with [`Trace::decode`]:
+//!
+//! * **property test** (randlite-seeded): on randomly generated programs,
+//!   batch decoding at chunk sizes 1, 2, prime strides, and the default
+//!   reproduces the exact event sequence, stack table, metadata, depot
+//!   snapshot, and FNV digest of the scalar decoder;
+//! * **corruption differential**: on truncated, bit-flipped, and
+//!   trailing-garbage inputs, the batch decoder returns the *same typed
+//!   error* as the scalar decoder (or the same successful decode), and
+//!   never panics — including truncations that land mid-chunk.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use grs_runtime::{
+    record, DecodedTrace, Program, RunConfig, StackDepot, StackId, Trace, TraceDecodeError,
+};
+
+/// A random program shape exercising every event tag: goroutines, plain
+/// and racy accesses, mutexes, channels (with close), WaitGroup, Once,
+/// and atomics.
+#[derive(Debug, Clone)]
+struct Shape {
+    workers: u8,
+    ops: u8,
+    use_mutex: bool,
+    use_once: bool,
+    racy: bool,
+    chan_cap: usize,
+}
+
+fn gen_shape(rng: &mut StdRng) -> Shape {
+    Shape {
+        workers: rng.gen_range(1..4u8),
+        ops: rng.gen_range(1..5u8),
+        use_mutex: rng.gen_bool(0.5),
+        use_once: rng.gen_bool(0.3),
+        racy: rng.gen_bool(0.4),
+        chan_cap: rng.gen_range(0..3usize),
+    }
+}
+
+fn program(shape: &Shape) -> Program {
+    let shape = shape.clone();
+    Program::new("batch_prop", move |ctx| {
+        let mu = ctx.mutex("mu");
+        let x = ctx.cell("x", 0i64);
+        let flag = ctx.atomic("flag", 0);
+        let once = ctx.once("init");
+        let ch = ctx.chan::<i64>("ch", shape.chan_cap);
+        let wg = ctx.waitgroup("wg");
+        for w in 0..shape.workers {
+            wg.add(ctx, 1);
+            let (mu, x, flag, once, ch, wg) = (
+                mu.clone(),
+                x.clone(),
+                flag.clone(),
+                once.clone(),
+                ch.clone(),
+                wg.clone(),
+            );
+            let shape = shape.clone();
+            ctx.go("worker", move |ctx| {
+                if shape.use_once {
+                    let x2 = x.clone();
+                    once.do_once(ctx, move |ctx| ctx.write(&x2, -1));
+                }
+                for i in 0..shape.ops {
+                    if shape.use_mutex {
+                        mu.lock(ctx);
+                        ctx.update(&x, |v| v + 1);
+                        mu.unlock(ctx);
+                    } else if shape.racy {
+                        ctx.update(&x, |v| v + 1);
+                    }
+                    flag.store(ctx, i64::from(i));
+                    ch.send(ctx, i64::from(w));
+                }
+                wg.done(ctx);
+            });
+        }
+        for _ in 0..u32::from(shape.workers) * u32::from(shape.ops) {
+            let _ = ch.recv(ctx);
+        }
+        wg.wait(ctx);
+        let _ = flag.load(ctx);
+    })
+}
+
+/// Runs `body` over `cases` shape/seed pairs from a deterministic rng.
+fn check(seed: u64, cases: usize, mut body: impl FnMut(usize, Shape, u64)) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let shape = gen_shape(&mut rng);
+        let run_seed = rng.gen_range(0..1000u64);
+        body(case, shape, run_seed);
+    }
+}
+
+/// Depot snapshots agree: every recorded stack id resolves to the same
+/// frames through a depot rebuilt from either decoder's stack table.
+fn assert_same_depot(label: &str, scalar: &Trace, decoded: &DecodedTrace) {
+    let (a, b) = (StackDepot::new(), StackDepot::new());
+    scalar.rebuild_depot_into(&a);
+    decoded.rebuild_depot_into(&b);
+    for i in 1..=scalar.stacks.len() as u32 {
+        assert_eq!(
+            a.resolve(StackId(i)),
+            b.resolve(StackId(i)),
+            "{label}: depot stack {i}"
+        );
+    }
+}
+
+/// Chunk sizes the ISSUE pins: 1, 2, prime strides, and the default.
+const CHUNKS: &[usize] = &[1, 2, 7, 61, 4096];
+
+#[test]
+fn batch_decode_equals_scalar_decode_on_random_traces() {
+    check(0xBA7C, 24, |case, shape, run_seed| {
+        let p = program(&shape);
+        let (_, trace) = record(&p, &RunConfig::with_seed(run_seed));
+        let bytes = trace.encode();
+        let reference = Trace::decode(&bytes).expect("scalar decode");
+        for &chunk in CHUNKS {
+            let label = format!("case {case} shape {shape:?} chunk {chunk}");
+            let decoded =
+                DecodedTrace::decode_with_chunk(&bytes, chunk).expect("batch decode");
+            assert_eq!(decoded.len(), reference.events.len(), "{label}: event count");
+            assert_eq!(decoded.meta, reference.meta, "{label}: meta");
+            assert_eq!(decoded.stacks, reference.stacks, "{label}: stack table");
+            if !decoded.is_empty() {
+                assert_eq!(
+                    decoded.chunks,
+                    (decoded.len() as u64).div_ceil(chunk as u64),
+                    "{label}: chunk count"
+                );
+                let fill = decoded.fill_rate();
+                assert!(fill > 0.0 && fill <= 1.0, "{label}: fill rate {fill}");
+            }
+            for (i, ev) in reference.events.iter().enumerate() {
+                assert_eq!(&decoded.event(i), ev, "{label}: event {i}");
+            }
+            assert_same_depot(&label, &reference, &decoded);
+            // Same FNV digest: the decoded trace *is* the recorded trace.
+            assert_eq!(
+                decoded.into_trace().digest(),
+                trace.digest(),
+                "{label}: digest"
+            );
+        }
+    });
+}
+
+/// Both decoders applied to the same (possibly corrupt) bytes must agree
+/// exactly: same decoded trace on success, same typed error on failure.
+/// Chunk size 4 forces corruption to surface mid-chunk in the batch path.
+fn assert_differential(label: &str, bytes: &[u8]) {
+    let scalar = Trace::decode(bytes);
+    let batched = DecodedTrace::decode_with_chunk(bytes, 4);
+    match (&scalar, &batched) {
+        (Err(se), Err(be)) => assert_eq!(se, be, "{label}: errors must match"),
+        (Ok(st), Ok(bt)) => {
+            assert_eq!(st.meta, bt.meta, "{label}: meta");
+            assert_eq!(st.stacks, bt.stacks, "{label}: stacks");
+            assert_eq!(st.events.len(), bt.len(), "{label}: event count");
+            for (i, ev) in st.events.iter().enumerate() {
+                assert_eq!(&bt.event(i), ev, "{label}: event {i}");
+            }
+        }
+        (s, b) => panic!(
+            "{label}: decoders disagree on validity: scalar {:?} vs batch {:?}",
+            s.as_ref().map(|t| t.events.len()),
+            b.as_ref().map(DecodedTrace::len),
+        ),
+    }
+}
+
+fn small_trace_bytes() -> Vec<u8> {
+    let shape = Shape {
+        workers: 2,
+        ops: 2,
+        use_mutex: true,
+        use_once: true,
+        racy: true,
+        chan_cap: 1,
+    };
+    let (_, trace) = record(&program(&shape), &RunConfig::with_seed(11));
+    trace.encode()
+}
+
+#[test]
+fn truncation_at_every_length_matches_scalar_errors() {
+    let bytes = small_trace_bytes();
+    for len in 0..bytes.len() {
+        assert_differential(&format!("truncate to {len}"), &bytes[..len]);
+        // Every proper prefix must fail: the format has no trailing slack.
+        assert!(
+            Trace::decode(&bytes[..len]).is_err(),
+            "prefix of {len} bytes decoded successfully"
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected_identically() {
+    let mut bytes = small_trace_bytes();
+    for extra in [1usize, 7] {
+        bytes.extend(vec![0xABu8; extra]);
+        let err = DecodedTrace::decode(&bytes).expect_err("trailing bytes");
+        assert!(
+            matches!(err, TraceDecodeError::TrailingBytes { .. }),
+            "expected TrailingBytes, got {err:?}"
+        );
+        assert_differential(&format!("{extra} trailing bytes"), &bytes);
+        bytes.truncate(bytes.len() - extra);
+    }
+}
+
+/// Exhaustive single-byte corruption: flip bits at every offset. Whatever
+/// the scalar decoder makes of the damage — a typed error (bad magic, bad
+/// string index, bad stack id, bad event tag, malformed varint...) or an
+/// accidental still-valid stream — the batch decoder must make of it too.
+#[test]
+fn bit_flips_at_every_offset_match_scalar_verdicts() {
+    let bytes = small_trace_bytes();
+    for i in 0..bytes.len() {
+        for flip in [0x01u8, 0x80] {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= flip;
+            assert_differential(&format!("flip {flip:#04x} at byte {i}"), &corrupt);
+        }
+    }
+}

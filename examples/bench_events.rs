@@ -1,72 +1,103 @@
-//! Hot-path throughput probe: a serial FastTrack campaign over an
-//! event-dense unit (≈8 k access events per run, mostly sequential so the
-//! detector — not goroutine setup — dominates). This is the workload the
-//! interned-stack event model and reusable detector arena optimize; the
-//! refactor measured ≈1.9× runs/sec here against the materialized-stack
-//! baseline.
+//! Hot-path throughput probe: the event-dense FastTrack workload through
+//! both layers the flat shadow rewrite optimizes — the live campaign
+//! (schedule + instrument + detect) and the batch-replay loop (decode the
+//! recorded `.grtrace` once, then re-analyze the struct-of-arrays buffer
+//! repeatedly). The replay figure is the PR 7 headline: the ISSUE's
+//! acceptance bound is ≥10× the live-campaign baseline.
 //!
 //! ```sh
-//! cargo run --release --example bench_events
+//! cargo run --release --example bench_events -- [--mode flat|oracle]
+//!     [--seeds N] [--passes N] [--out PATH]
 //! ```
+//!
+//! `--mode oracle` reruns the same probe on the legacy HashMap-backed
+//! detectors and requires building with `--features oracle`; the emitted
+//! `digest` must match the flat run bit for bit.
 
-use std::time::Instant;
+use grs::hotpath_probe;
 
-use grs::prelude::*;
+struct Args {
+    oracle: bool,
+    seeds: usize,
+    passes: u32,
+    out: Option<String>,
+}
 
-/// A dense sequential compute phase (2 000 read-modify-writes across 8
-/// cells under a named frame, so every event carries a two-deep stack)
-/// followed by a small channel-joined concurrent tail that exercises the
-/// happens-before machinery and read-map pruning.
-fn dense() -> Program {
-    Program::new("dense", |ctx| {
-        let _f = ctx.frame("ComputePhase");
-        let cells: Vec<_> = (0..8).map(|i| ctx.cell(&format!("c{i}"), 0i64)).collect();
-        for round in 0..250i64 {
-            for cell in &cells {
-                ctx.update(cell, |v| v + round);
+fn parse_args() -> Args {
+    let mut args = Args {
+        oracle: false,
+        seeds: 32,
+        passes: 256,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--mode" => {
+                args.oracle = match value("--mode").as_str() {
+                    "flat" => false,
+                    "oracle" => true,
+                    other => panic!("unknown mode {other} (expected flat|oracle)"),
+                }
             }
+            "--seeds" => args.seeds = value("--seeds").parse().expect("seeds: integer"),
+            "--passes" => args.passes = value("--passes").parse().expect("passes: integer"),
+            "--out" => args.out = Some(value("--out")),
+            other => panic!("unknown flag {other}"),
         }
-        let x = ctx.cell("x", 0i64);
-        let done = ctx.chan::<()>("done", 2);
-        for _ in 0..2 {
-            let (x, done) = (x.clone(), done.clone());
-            ctx.go("w", move |ctx| {
-                let _ = ctx.read(&x);
-                done.send(ctx, ());
-            });
-        }
-        for _ in 0..2 {
-            let _ = done.recv(ctx);
-        }
-        ctx.write(&x, 1);
-    })
+    }
+    args
 }
 
 fn main() {
-    let units = vec![CampaignUnit {
-        name: "dense".into(),
-        program: dense(),
-        expected_racy: Some(false),
-    }];
-    let config = CampaignConfig::smoke()
-        .seeds_per_unit(32)
-        .workers(1)
-        .detectors(vec![DetectorChoice::FastTrack])
-        .strategies(vec![Strategy::Random]);
-    let campaign = Campaign::over_units(config, units);
-    let _ = campaign.run(); // warm up the page cache and branch predictors
-    let started = Instant::now();
-    let r = campaign.run();
-    let secs = started.elapsed().as_secs_f64();
-    assert_eq!(r.racy_runs(), 0, "the dense unit is race-free");
+    let args = parse_args();
+    let probe = hotpath_probe(args.oracle, args.seeds, args.passes);
+
+    println!("== hot-path probe: dense unit, FastTrack, mode={} ==", probe.mode);
     println!(
-        "runs={} wall_ms={:.1} runs_per_sec={:.0} events={} events_per_sec={:.2}M depot<={} shadow<={}",
-        r.total_runs(),
-        secs * 1e3,
-        r.total_runs() as f64 / secs,
-        r.total_events(),
-        r.total_events() as f64 / secs / 1e6,
-        r.max_depot_stacks(),
-        r.peak_shadow_words(),
+        "live campaign : {} runs, {} events, {:.2}M events/sec",
+        probe.campaign_runs,
+        probe.campaign_events,
+        probe.campaign_events_per_sec / 1e6,
     );
+    println!(
+        "batch replay  : {} passes, {} events, {:.2}M events/sec (fill rate {:.3})",
+        probe.replay_passes,
+        probe.replay_events,
+        probe.replay_events_per_sec / 1e6,
+        probe.batch_fill_rate,
+    );
+    println!(
+        "footprint     : shadow<={} words, depot<={} stacks, digest={:#018x}",
+        probe.peak_shadow_words, probe.depot_stacks, probe.digest,
+    );
+
+    if let Some(out) = args.out {
+        let json = format!(
+            concat!(
+                r#"{{"workload":"dense","mode":"{}","campaign_runs":{},"#,
+                r#""campaign_events":{},"campaign_events_per_sec":{:.0},"#,
+                r#""replay_passes":{},"replay_events":{},"replay_events_per_sec":{:.0},"#,
+                r#""peak_shadow_words":{},"depot_stacks":{},"batch_fill_rate":{:.4},"#,
+                r#""digest":"{:#018x}"}}"#
+            ),
+            probe.mode,
+            probe.campaign_runs,
+            probe.campaign_events,
+            probe.campaign_events_per_sec,
+            probe.replay_passes,
+            probe.replay_events,
+            probe.replay_events_per_sec,
+            probe.peak_shadow_words,
+            probe.depot_stacks,
+            probe.batch_fill_rate,
+            probe.digest,
+        );
+        std::fs::write(&out, format!("{json}\n")).expect("write JSON summary");
+        println!("wrote {out}");
+    }
 }

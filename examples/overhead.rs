@@ -6,6 +6,14 @@
 //! pipeline) under [`NullMonitor`] versus the FastTrack-based TSan-style
 //! detector, and emits a machine-readable `BENCH_overhead.json`.
 //!
+//! It also emits the PR 7 **hot-path** section: the event-dense FastTrack
+//! workload measured on the live campaign versus the flat-shadow batch
+//! replay loop. Built with `--features oracle`, the section additionally
+//! runs the legacy HashMap detectors as a baseline and reports the
+//! `speedup` ratio (flat batch replay over legacy live campaign — the
+//! ISSUE's ≥10× acceptance bound) plus both semantic digests, which must
+//! be equal.
+//!
 //! ```sh
 //! cargo run --release --example overhead -- [--runs N] [--out PATH]
 //! ```
@@ -14,7 +22,7 @@
 
 use grs::detector::Tsan;
 use grs::runtime::{RunConfig, Runtime};
-use grs::{overhead_probe, overhead_workload};
+use grs::{hotpath_probe, overhead_probe, overhead_workload, HotpathProbe};
 
 struct Args {
     runs: u32,
@@ -69,8 +77,10 @@ fn main() {
         probe.ratio()
     );
 
+    let hotpath = hotpath_section();
+
     let json = format!(
-        r#"{{"workload":"overhead_workload","runs":{},"events_per_run":{},"baseline_ns_per_run":{},"detector_ns_per_run":{},"baseline_ns_per_event":{:.2},"detector_ns_per_event":{:.2},"overhead_ratio":{:.3}}}"#,
+        r#"{{"workload":"overhead_workload","runs":{},"events_per_run":{},"baseline_ns_per_run":{},"detector_ns_per_run":{},"baseline_ns_per_event":{:.2},"detector_ns_per_event":{:.2},"overhead_ratio":{:.3},"hotpath":{}}}"#,
         args.runs,
         events_per_run,
         probe.baseline_ns,
@@ -78,7 +88,59 @@ fn main() {
         ns_per_event_base,
         ns_per_event_det,
         probe.ratio(),
+        hotpath,
     );
     std::fs::write(&args.out, format!("{json}\n")).expect("write JSON summary");
     println!("wrote {}", args.out);
+}
+
+fn probe_json(p: &HotpathProbe) -> String {
+    format!(
+        concat!(
+            r#"{{"mode":"{}","campaign_events_per_sec":{:.0},"#,
+            r#""replay_events_per_sec":{:.0},"peak_shadow_words":{},"#,
+            r#""batch_fill_rate":{:.4},"digest":"{:#018x}"}}"#
+        ),
+        p.mode,
+        p.campaign_events_per_sec,
+        p.replay_events_per_sec,
+        p.peak_shadow_words,
+        p.batch_fill_rate,
+        p.digest,
+    )
+}
+
+/// The PR 7 hot-path section: flat live-campaign and batch-replay
+/// throughput on the dense unit, plus — when the legacy oracle is
+/// compiled in — the baseline numbers, the flat-batch-over-legacy-live
+/// `speedup`, and the digest pair CI asserts equal.
+fn hotpath_section() -> String {
+    let flat = hotpath_probe(false, 16, 128);
+    println!(
+        "hot path (flat): live {:.2}M events/sec, batch replay {:.2}M events/sec, shadow<={}",
+        flat.campaign_events_per_sec / 1e6,
+        flat.replay_events_per_sec / 1e6,
+        flat.peak_shadow_words,
+    );
+    if !cfg!(feature = "oracle") {
+        return format!(
+            r#"{{"flat":{},"oracle":null,"speedup":null,"digests_match":null}}"#,
+            probe_json(&flat),
+        );
+    }
+    let oracle = hotpath_probe(true, 16, 128);
+    let speedup = flat.speedup_over(&oracle);
+    println!(
+        "hot path (oracle baseline): live {:.2}M events/sec -> speedup {:.1}x, digests {}",
+        oracle.campaign_events_per_sec / 1e6,
+        speedup,
+        if flat.digest == oracle.digest { "match" } else { "DIVERGE" },
+    );
+    format!(
+        r#"{{"flat":{},"oracle":{},"speedup":{:.2},"digests_match":{}}}"#,
+        probe_json(&flat),
+        probe_json(&oracle),
+        speedup,
+        flat.digest == oracle.digest,
+    )
 }
