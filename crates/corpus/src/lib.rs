@@ -31,9 +31,13 @@ pub mod gogen;
 pub mod golint;
 pub mod javagen;
 pub mod javascan;
+pub mod snippets;
 pub mod table1;
+pub mod testgen;
 
 pub use gogen::{GoCorpus, GoCorpusSpec};
+pub use snippets::{go_snippets, GoSnippet};
+pub use testgen::{GoTest, GoTestGen, GoTestSpec};
 pub use golint::{lint_corpus, LintReport};
 pub use javagen::{JavaCorpus, JavaCorpusSpec};
 pub use javascan::JavaCounts;

@@ -1,0 +1,188 @@
+//! The embedded Go-source snippet suite — paper listings as corpus data.
+//!
+//! These are the hand-adapted renditions of the paper's listings that the
+//! campaign engine runs through the `grs-interp` frontend. They live here —
+//! next to the generators — so `grs-fleet` treats them as just another
+//! source-level unit stream: the same lowering path that compiles
+//! [`GoTestGen`](crate::GoTestGen) output compiles these, and there is
+//! exactly one place in the system that turns Go source into campaign
+//! units.
+
+/// One embedded Go source with ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct GoSnippet {
+    /// Display name (`go/<pattern>/<racy|fixed>`).
+    pub name: &'static str,
+    /// Ground truth: does the snippet contain a race?
+    pub expected_racy: bool,
+    /// The complete `package main` source.
+    pub source: &'static str,
+}
+
+/// The embedded snippet suite: racy/fixed twins of the paper's loop
+/// capture (Listing 1), mutex-by-value (Listing 7), and concurrent-map
+/// (Observation 4) bugs.
+#[must_use]
+pub fn go_snippets() -> &'static [GoSnippet] {
+    &[
+        GoSnippet {
+            name: "go/loop_capture/racy",
+            expected_racy: true,
+            source: r#"
+package main
+
+func processJob(j int) int {
+    return j * 2
+}
+
+func main() {
+    jobs := []int{10, 20, 30}
+    done := make(chan bool, 3)
+    for _, job := range jobs {
+        go func() {
+            processJob(job)
+            done <- true
+        }()
+    }
+    <-done
+    <-done
+    <-done
+}
+"#,
+        },
+        GoSnippet {
+            name: "go/loop_capture/fixed",
+            expected_racy: false,
+            source: r#"
+package main
+
+func processJob(j int) int {
+    return j * 2
+}
+
+func main() {
+    jobs := []int{10, 20, 30}
+    done := make(chan bool, 3)
+    for _, job := range jobs {
+        go func(job int) {
+            processJob(job)
+            done <- true
+        }(job)
+    }
+    <-done
+    <-done
+    <-done
+}
+"#,
+        },
+        GoSnippet {
+            name: "go/mutex_by_value/racy",
+            expected_racy: true,
+            source: r#"
+package main
+
+var a int
+
+func criticalSection(m sync.Mutex) {
+    m.Lock()
+    a = a + 1
+    m.Unlock()
+}
+
+func main() {
+    var mutex sync.Mutex
+    done := make(chan bool, 2)
+    go func(m sync.Mutex) {
+        criticalSection(m)
+        done <- true
+    }(mutex)
+    go func(m sync.Mutex) {
+        criticalSection(m)
+        done <- true
+    }(mutex)
+    <-done
+    <-done
+}
+"#,
+        },
+        GoSnippet {
+            name: "go/mutex_by_value/fixed",
+            expected_racy: false,
+            source: r#"
+package main
+
+var a int
+
+func criticalSection(m *sync.Mutex) {
+    m.Lock()
+    a = a + 1
+    m.Unlock()
+}
+
+func main() {
+    var mutex sync.Mutex
+    done := make(chan bool, 2)
+    go func() {
+        criticalSection(&mutex)
+        done <- true
+    }()
+    go func() {
+        criticalSection(&mutex)
+        done <- true
+    }()
+    <-done
+    <-done
+}
+"#,
+        },
+        GoSnippet {
+            name: "go/concurrent_map/racy",
+            expected_racy: true,
+            source: r#"
+package main
+
+func getOrder(uuid int) string {
+    if uuid > 1 {
+        return "failed"
+    }
+    return ""
+}
+
+func main() {
+    uuids := []int{1, 2, 3}
+    errMap := make(map[int]string)
+    done := make(chan bool, 3)
+    for _, uuid := range uuids {
+        go func(uuid int) {
+            err := getOrder(uuid)
+            if err != "" {
+                errMap[uuid] = err
+            }
+            done <- true
+        }(uuid)
+    }
+    <-done
+    <-done
+    <-done
+    _ = len(errMap)
+}
+"#,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snippets_parse_and_cover_both_verdicts() {
+        let snippets = go_snippets();
+        assert!(snippets.iter().any(|s| s.expected_racy));
+        assert!(snippets.iter().any(|s| !s.expected_racy));
+        for s in snippets {
+            grs_golite::scan_source(s.source)
+                .unwrap_or_else(|e| panic!("{}: snippet does not parse: {e}", s.name));
+        }
+    }
+}

@@ -19,7 +19,8 @@
 //! identical for any worker count, including 1 (the serial path). Only
 //! wall-clock changes.
 
-use std::sync::Mutex;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use grs_deploy::{race_fingerprint, FileOutcome, Fingerprint, Pipeline, RaceBatch};
@@ -31,7 +32,8 @@ use grs_runtime::{
 };
 
 use crate::dedup::DedupMap;
-use crate::shard::{ExecSpec, RunSpec, ShardQueues};
+use crate::shard::{ExecSpec, IndexQueues, RunSpec};
+use crate::source::{GoSnippetSuite, UnitCache, UnitError, UnitList, UnitSource, UNIT_CACHE_CAP};
 
 /// One campaignable program.
 #[derive(Debug, Clone)]
@@ -71,163 +73,20 @@ pub fn pattern_suite(include_fixed: bool) -> Vec<CampaignUnit> {
 /// Go-source units compiled through the `grs-interp` frontend — the
 /// campaign's "run the real test corpus" modality, next to the Rust-closure
 /// pattern suite. Adapted from the paper's listings.
+///
+/// The sources live in [`grs_corpus::go_snippets`] and lower through the
+/// same [`crate::source::lower_source_unit`] path as the generated corpus
+/// ([`crate::source::GoCorpusSource`]) — one code path from Go source to
+/// campaign unit. The embedded snippets are part of the build, so a
+/// lowering failure here is a programming error and panics.
 #[must_use]
 pub fn corpus_suite() -> Vec<CampaignUnit> {
-    const SOURCES: &[(&str, bool, &str)] = &[
-        (
-            "go/loop_capture/racy",
-            true,
-            r#"
-package main
-
-func processJob(j int) int {
-    return j * 2
-}
-
-func main() {
-    jobs := []int{10, 20, 30}
-    done := make(chan bool, 3)
-    for _, job := range jobs {
-        go func() {
-            processJob(job)
-            done <- true
-        }()
-    }
-    <-done
-    <-done
-    <-done
-}
-"#,
-        ),
-        (
-            "go/loop_capture/fixed",
-            false,
-            r#"
-package main
-
-func processJob(j int) int {
-    return j * 2
-}
-
-func main() {
-    jobs := []int{10, 20, 30}
-    done := make(chan bool, 3)
-    for _, job := range jobs {
-        go func(job int) {
-            processJob(job)
-            done <- true
-        }(job)
-    }
-    <-done
-    <-done
-    <-done
-}
-"#,
-        ),
-        (
-            "go/mutex_by_value/racy",
-            true,
-            r#"
-package main
-
-var a int
-
-func criticalSection(m sync.Mutex) {
-    m.Lock()
-    a = a + 1
-    m.Unlock()
-}
-
-func main() {
-    var mutex sync.Mutex
-    done := make(chan bool, 2)
-    go func(m sync.Mutex) {
-        criticalSection(m)
-        done <- true
-    }(mutex)
-    go func(m sync.Mutex) {
-        criticalSection(m)
-        done <- true
-    }(mutex)
-    <-done
-    <-done
-}
-"#,
-        ),
-        (
-            "go/mutex_by_value/fixed",
-            false,
-            r#"
-package main
-
-var a int
-
-func criticalSection(m *sync.Mutex) {
-    m.Lock()
-    a = a + 1
-    m.Unlock()
-}
-
-func main() {
-    var mutex sync.Mutex
-    done := make(chan bool, 2)
-    go func() {
-        criticalSection(&mutex)
-        done <- true
-    }()
-    go func() {
-        criticalSection(&mutex)
-        done <- true
-    }()
-    <-done
-    <-done
-}
-"#,
-        ),
-        (
-            "go/concurrent_map/racy",
-            true,
-            r#"
-package main
-
-func getOrder(uuid int) string {
-    if uuid > 1 {
-        return "failed"
-    }
-    return ""
-}
-
-func main() {
-    uuids := []int{1, 2, 3}
-    errMap := make(map[int]string)
-    done := make(chan bool, 3)
-    for _, uuid := range uuids {
-        go func(uuid int) {
-            err := getOrder(uuid)
-            if err != "" {
-                errMap[uuid] = err
-            }
-            done <- true
-        }(uuid)
-    }
-    <-done
-    <-done
-    <-done
-    _ = len(errMap)
-}
-"#,
-        ),
-    ];
-    SOURCES
-        .iter()
-        .map(|&(name, racy, src)| {
-            let interp = grs_interp::Interp::from_source(src)
-                .unwrap_or_else(|e| panic!("{name}: corpus source must parse: {e}"));
-            CampaignUnit {
-                name: name.to_string(),
-                program: interp.program(name, "main"),
-                expected_racy: Some(racy),
-            }
+    let suite = GoSnippetSuite::new();
+    (0..suite.len())
+        .map(|i| {
+            suite
+                .build(i)
+                .unwrap_or_else(|e| panic!("embedded snippet must lower: {e}"))
         })
         .collect()
 }
@@ -509,6 +368,31 @@ impl ReplayStats {
     }
 }
 
+/// Upper bound on [`CampaignResult::convergence`] sample points.
+pub const MAX_CONVERGENCE_POINTS: usize = 128;
+
+/// How many [`UnitError`]s a campaign keeps as evidence; the rest are
+/// counted but dropped.
+pub const MAX_SKIP_REASONS: usize = 16;
+
+/// Shared skip accounting: which units failed to lower, and why (first
+/// few). Workers may discover the same broken unit concurrently or
+/// repeatedly (once per spec); the set dedups, so `units_skipped` counts
+/// units, not specs.
+#[derive(Debug, Default)]
+struct SkipLog {
+    units: BTreeSet<usize>,
+    reasons: Vec<UnitError>,
+}
+
+impl SkipLog {
+    fn record(&mut self, err: UnitError) {
+        if self.units.insert(err.unit) && self.reasons.len() < MAX_SKIP_REASONS {
+            self.reasons.push(err);
+        }
+    }
+}
+
 /// A finished campaign.
 #[derive(Debug)]
 pub struct CampaignResult {
@@ -518,6 +402,14 @@ pub struct CampaignResult {
     pub batch: RaceBatch,
     /// Unit names, in matrix order.
     pub units: Vec<String>,
+    /// Units whose lowering failed: every spec of such a unit was skipped
+    /// (no record, no counters), the failure was counted here, and the
+    /// campaign ran on. Deterministic — a function of the unit source
+    /// alone, never of worker count.
+    pub units_skipped: usize,
+    /// The first [`MAX_SKIP_REASONS`] skip reasons, as evidence for logs
+    /// and CI gates.
+    pub skip_reasons: Vec<UnitError>,
     /// Worker threads used.
     pub workers: usize,
     /// Shard count used.
@@ -637,17 +529,30 @@ impl CampaignResult {
         stats
     }
 
-    /// Detection-rate convergence: after each run (in spec order), the
-    /// cumulative number of distinct fingerprints seen. The §3.2 story in
-    /// one curve — more reruns keep exposing new schedule-dependent races
+    /// Detection-rate convergence: the cumulative number of distinct
+    /// fingerprints seen after N runs (in spec order) — the §3.2 story in
+    /// one curve: more reruns keep exposing new schedule-dependent races
     /// until the campaign saturates.
+    ///
+    /// The curve is sampled down to at most [`MAX_CONVERGENCE_POINTS`]
+    /// evenly spaced points (the final run always included), so its size
+    /// is bounded at any campaign scale. Sampling is a pure function of
+    /// the record count, so the curve stays identical across worker
+    /// counts.
     #[must_use]
     pub fn convergence(&self) -> Vec<(usize, usize)> {
-        let mut seen = std::collections::BTreeSet::new();
-        let mut points = Vec::with_capacity(self.records.len());
+        let total = self.records.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let step = total.div_ceil(MAX_CONVERGENCE_POINTS);
+        let mut seen = BTreeSet::new();
+        let mut points = Vec::with_capacity(total / step + 1);
         for (i, r) in self.records.iter().enumerate() {
             seen.extend(r.fingerprints.iter().copied());
-            points.push((i + 1, seen.len()));
+            if (i + 1) % step == 0 || i + 1 == total {
+                points.push((i + 1, seen.len()));
+            }
         }
         points
     }
@@ -671,6 +576,32 @@ impl CampaignResult {
             .collect()
     }
 
+    /// A compact FNV-1a digest of [`CampaignResult::deterministic_digest`]
+    /// — the worker-count-invariance check that fits in a CI log line at
+    /// 100K-run scale, where comparing the full record projection would
+    /// mean holding two multi-megabyte vectors.
+    #[must_use]
+    pub fn digest64(&self) -> u64 {
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h = (*h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for r in &self.records {
+            mix(&mut h, &r.spec.index.to_le_bytes());
+            mix(&mut h, r.unit_name.as_bytes());
+            mix(&mut h, &r.spec.seed.to_le_bytes());
+            mix(&mut h, &[u8::from(r.racy)]);
+            for fp in &r.fingerprints {
+                mix(&mut h, &fp.0.to_le_bytes());
+            }
+            mix(&mut h, &r.steps.to_le_bytes());
+        }
+        mix(&mut h, &(self.units_skipped as u64).to_le_bytes());
+        h
+    }
+
     /// Files the deduplicated batch into a deployment pipeline.
     pub fn file_into(&self, pipeline: &mut Pipeline, day: u32) -> Vec<(Fingerprint, FileOutcome)> {
         pipeline.submit_batch(&self.batch, day)
@@ -678,17 +609,40 @@ impl CampaignResult {
 }
 
 /// The campaign engine.
-#[derive(Debug)]
+///
+/// A campaign is a configuration crossed with a [`UnitSource`]. The run
+/// matrix `(unit × seed × strategy × detector)` is never materialized:
+/// spec `i` is recovered arithmetically ([`Campaign::spec_at`]), work is
+/// dealt over lazy [`IndexQueues`], and units are lowered on demand
+/// through per-worker [`UnitCache`]s — which is what lets a 100K-unit
+/// source-level campaign run in memory proportional to its *results*, not
+/// its corpus.
+#[derive(Clone)]
 pub struct Campaign {
     config: CampaignConfig,
-    units: Vec<CampaignUnit>,
+    source: Arc<dyn UnitSource>,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("config", &self.config)
+            .field("units", &self.source.len())
+            .finish()
+    }
 }
 
 impl Campaign {
+    /// A campaign over a lazy unit source.
+    #[must_use]
+    pub fn over_source(config: CampaignConfig, source: Arc<dyn UnitSource>) -> Self {
+        Campaign { config, source }
+    }
+
     /// A campaign over an explicit unit list.
     #[must_use]
     pub fn over_units(config: CampaignConfig, units: Vec<CampaignUnit>) -> Self {
-        Campaign { config, units }
+        Self::over_source(config, Arc::new(UnitList::new(units)))
     }
 
     /// A campaign over the §4 pattern corpus (racy + fixed variants).
@@ -697,71 +651,114 @@ impl Campaign {
         Self::over_units(config, pattern_suite(true))
     }
 
+    /// The same campaign (same unit source) under a different
+    /// configuration — the way differential tests compare worker counts
+    /// without rebuilding or cloning the corpus.
+    #[must_use]
+    pub fn with_config(&self, config: CampaignConfig) -> Self {
+        Campaign {
+            config,
+            source: Arc::clone(&self.source),
+        }
+    }
+
     /// The configuration.
     #[must_use]
     pub fn config(&self) -> &CampaignConfig {
         &self.config
     }
 
-    /// The units.
+    /// The unit source.
     #[must_use]
-    pub fn units(&self) -> &[CampaignUnit] {
-        &self.units
+    pub fn source(&self) -> &Arc<dyn UnitSource> {
+        &self.source
     }
 
-    /// Enumerates the full spec matrix in deterministic order:
-    /// units → seeds → strategies → detectors.
+    /// Number of units in the source.
+    #[must_use]
+    pub fn unit_count(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Builds unit `unit` (test/inspection helper; the run paths go
+    /// through per-worker caches).
+    pub fn unit(&self, unit: usize) -> Result<CampaignUnit, UnitError> {
+        self.source.build(unit)
+    }
+
+    /// Total specs in the run matrix.
+    #[must_use]
+    pub fn matrix_len(&self) -> usize {
+        self.config.matrix_size(self.source.len())
+    }
+
+    /// Total executions in the execute-once work list.
+    #[must_use]
+    pub fn exec_len(&self) -> usize {
+        self.source.len() * self.config.seeds_per_unit * self.config.strategies.len()
+    }
+
+    /// Recovers spec `index` of the deterministic enumeration
+    /// (units → seeds → strategies → detectors, detectors innermost) by
+    /// arithmetic — the lazy equivalent of indexing a materialized
+    /// [`Campaign::specs`] vector.
+    #[must_use]
+    pub fn spec_at(&self, index: usize) -> RunSpec {
+        let dets = self.config.detectors.len();
+        let strats = self.config.strategies.len();
+        let det = index % dets;
+        let rest = index / dets;
+        let strat = rest % strats;
+        let rest = rest / strats;
+        let seed = rest % self.config.seeds_per_unit;
+        let unit = rest / self.config.seeds_per_unit;
+        RunSpec {
+            index,
+            unit,
+            seed: self.config.base_seed + seed as u64,
+            strategy: self.config.strategies[strat],
+            detector: self.config.detectors[det],
+        }
+    }
+
+    /// Recovers execution `exec_index` of the execute-once enumeration
+    /// (units → seeds → strategies), the lazy equivalent of indexing
+    /// [`Campaign::exec_specs`].
+    #[must_use]
+    pub fn exec_spec_at(&self, exec_index: usize) -> ExecSpec {
+        let strats = self.config.strategies.len();
+        let strat = exec_index % strats;
+        let rest = exec_index / strats;
+        let seed = rest % self.config.seeds_per_unit;
+        let unit = rest / self.config.seeds_per_unit;
+        ExecSpec {
+            exec_index,
+            base_index: exec_index * self.config.detectors.len(),
+            unit,
+            seed: self.config.base_seed + seed as u64,
+            strategy: self.config.strategies[strat],
+        }
+    }
+
+    /// Materializes the full spec matrix in deterministic order — an
+    /// inspection/test helper; the run paths enumerate lazily via
+    /// [`Campaign::spec_at`].
     #[must_use]
     pub fn specs(&self) -> Vec<RunSpec> {
-        let mut specs =
-            Vec::with_capacity(self.config.matrix_size(self.units.len()));
-        let mut index = 0;
-        for unit in 0..self.units.len() {
-            for s in 0..self.config.seeds_per_unit {
-                for &strategy in &self.config.strategies {
-                    for &detector in &self.config.detectors {
-                        specs.push(RunSpec {
-                            index,
-                            unit,
-                            seed: self.config.base_seed + s as u64,
-                            strategy,
-                            detector,
-                        });
-                        index += 1;
-                    }
-                }
-            }
-        }
-        specs
+        (0..self.matrix_len()).map(|i| self.spec_at(i)).collect()
     }
 
-    /// Enumerates the execute-once work list: one [`ExecSpec`] per
-    /// `(unit, seed, strategy)`, in the same outer order as [`Campaign::specs`].
-    /// Because detectors iterate innermost there, execution `e` covers the
-    /// contiguous spec-index block `e.base_index .. e.base_index +
-    /// detectors.len()`.
+    /// Materializes the execute-once work list — an inspection/test
+    /// helper; the run paths enumerate lazily via
+    /// [`Campaign::exec_spec_at`].
     #[must_use]
     pub fn exec_specs(&self) -> Vec<ExecSpec> {
-        let detectors = self.config.detectors.len();
-        let mut execs = Vec::with_capacity(
-            self.units.len() * self.config.seeds_per_unit * self.config.strategies.len(),
-        );
-        let mut exec_index = 0;
-        for unit in 0..self.units.len() {
-            for s in 0..self.config.seeds_per_unit {
-                for &strategy in &self.config.strategies {
-                    execs.push(ExecSpec {
-                        exec_index,
-                        base_index: exec_index * detectors,
-                        unit,
-                        seed: self.config.base_seed + s as u64,
-                        strategy,
-                    });
-                    exec_index += 1;
-                }
-            }
-        }
-        execs
+        (0..self.exec_len()).map(|i| self.exec_spec_at(i)).collect()
+    }
+
+    /// Unit names in matrix order (built without lowering).
+    fn unit_names(&self) -> Vec<String> {
+        (0..self.source.len()).map(|i| self.source.name(i)).collect()
     }
 
     /// One detector arena per worker, honoring the config's shadow
@@ -783,16 +780,17 @@ impl Campaign {
     /// Executes one spec: run the program (through the worker's reusable
     /// detector arena), fingerprint the reports, feed the dedup stage, and
     /// emit the record.
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
         spec: RunSpec,
+        unit: &CampaignUnit,
         worker: usize,
         shard: usize,
         dedup: &DedupMap,
         arena: &mut DetectorArena,
         sink: &dyn ObsSink,
     ) -> RunRecord {
-        let unit = &self.units[spec.unit];
         let started = Instant::now();
         let (outcome, reports) = {
             let _span = SpanGuard::enter(sink, "shard.execute");
@@ -850,6 +848,7 @@ impl Campaign {
     fn execute_replay(
         &self,
         exec: ExecSpec,
+        unit: &CampaignUnit,
         worker: usize,
         shard: usize,
         dedup: &DedupMap,
@@ -857,7 +856,6 @@ impl Campaign {
         stats: &mut ReplayStats,
         sink: &dyn ObsSink,
     ) -> Vec<RunRecord> {
-        let unit = &self.units[exec.unit];
         let record_started = Instant::now();
         let (outcome, trace) = {
             let _span = SpanGuard::enter(sink, "shard.execute");
@@ -968,7 +966,11 @@ impl Campaign {
         let mut timeline = CampaignTimeline::new(
             TimelineConfig::default_days().days(self.config.timeline_days),
         );
-        let total = records.len();
+        // The day axis spans the full matrix (skipped specs included), so
+        // the bucketing — and with it the whole timeline — is unchanged by
+        // whether a unit lowered. Skip-free campaigns get exactly the old
+        // records.len() denominator.
+        let total = self.matrix_len();
         for r in records {
             let day = timeline.day_of(r.spec.index, total);
             for fp in &r.fingerprints {
@@ -981,32 +983,39 @@ impl Campaign {
     #[must_use]
     pub fn run_replay(&self) -> CampaignResult {
         let started = Instant::now();
-        let execs = self.exec_specs();
-        let workers = self.config.workers.max(1).min(execs.len().max(1));
+        let total_execs = self.exec_len();
+        let workers = self.config.workers.max(1).min(total_execs.max(1));
         let shards = self.config.shards.max(1);
+        let dets = self.config.detectors.len();
         let dedup = DedupMap::new(shards);
         let registry = MetricsRegistry::new();
+        let skips = Mutex::new(SkipLog::default());
         let mut stats = ReplayStats::default();
         let mut records: Vec<RunRecord>;
         if workers <= 1 {
             let mut arena = self.make_arena();
-            records = Vec::with_capacity(execs.len() * self.config.detectors.len());
-            for &exec in &execs {
+            let mut cache = UnitCache::new(UNIT_CACHE_CAP);
+            records = Vec::new();
+            for exec_index in 0..total_execs {
                 registry.add_volatile("sched.home_pops", 1);
-                records.extend(self.execute_replay(
-                    exec,
-                    0,
-                    exec.exec_index % shards,
-                    &dedup,
-                    &mut arena,
-                    &mut stats,
-                    &registry,
-                ));
+                let exec = self.exec_spec_at(exec_index);
+                match cache.get_or_build(&*self.source, exec.unit) {
+                    Ok(unit) => records.extend(self.execute_replay(
+                        exec,
+                        &unit,
+                        0,
+                        exec.exec_index % shards,
+                        &dedup,
+                        &mut arena,
+                        &mut stats,
+                        &registry,
+                    )),
+                    Err(e) => self.record_skip(&skips, &registry, e, dets as u64),
+                }
             }
         } else {
-            let queues: ShardQueues<ExecSpec> = ShardQueues::deal(shards, &execs);
-            let collected: Mutex<Vec<RunRecord>> =
-                Mutex::new(Vec::with_capacity(execs.len() * self.config.detectors.len()));
+            let queues = IndexQueues::new(shards, total_execs);
+            let collected: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
             let merged: Mutex<ReplayStats> = Mutex::new(ReplayStats::default());
             std::thread::scope(|scope| {
                 for w in 0..workers {
@@ -1015,24 +1024,31 @@ impl Campaign {
                     let collected = &collected;
                     let merged = &merged;
                     let registry = &registry;
+                    let skips = &skips;
                     scope.spawn(move || {
                         let mut arena = self.make_arena();
+                        let mut cache = UnitCache::new(UNIT_CACHE_CAP);
                         let mut local = Vec::new();
                         let mut local_stats = ReplayStats::default();
-                        while let Some((exec, shard)) = queues.pop(w) {
+                        while let Some((exec_index, shard)) = queues.pop(w) {
                             registry.add_volatile(
                                 if shard == w % shards { "sched.home_pops" } else { "sched.steals" },
                                 1,
                             );
-                            local.extend(self.execute_replay(
-                                exec,
-                                w,
-                                shard,
-                                dedup,
-                                &mut arena,
-                                &mut local_stats,
-                                registry,
-                            ));
+                            let exec = self.exec_spec_at(exec_index);
+                            match cache.get_or_build(&*self.source, exec.unit) {
+                                Ok(unit) => local.extend(self.execute_replay(
+                                    exec,
+                                    &unit,
+                                    w,
+                                    shard,
+                                    dedup,
+                                    &mut arena,
+                                    &mut local_stats,
+                                    registry,
+                                )),
+                                Err(e) => self.record_skip(skips, registry, e, dets as u64),
+                            }
                         }
                         collected
                             .lock()
@@ -1055,10 +1071,15 @@ impl Campaign {
         }
         registry.observe("campaign.wall", started.elapsed());
         let obs = self.build_obs("campaign/replay", &registry, &records);
+        let skips = skips
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         CampaignResult {
             records,
             batch: dedup.into_batch(),
-            units: self.units.iter().map(|u| u.name.clone()).collect(),
+            units: self.unit_names(),
+            units_skipped: skips.units.len(),
+            skip_reasons: skips.reasons,
             workers,
             shards,
             wall: started.elapsed(),
@@ -1071,45 +1092,65 @@ impl Campaign {
     #[must_use]
     pub fn run(&self) -> CampaignResult {
         let started = Instant::now();
-        let specs = self.specs();
-        let workers = self.config.workers.max(1).min(specs.len().max(1));
+        let total = self.matrix_len();
+        let workers = self.config.workers.max(1).min(total.max(1));
         let shards = self.config.shards.max(1);
         let dedup = DedupMap::new(shards);
         let registry = MetricsRegistry::new();
+        let skips = Mutex::new(SkipLog::default());
         let mut records: Vec<RunRecord>;
         if workers <= 1 {
             // Serial path: same execute + dedup machinery, no threads. One
             // arena serves every run, so shadow state warms up once.
             let mut arena = self.make_arena();
-            records = specs
-                .iter()
-                .map(|&spec| {
-                    registry.add_volatile("sched.home_pops", 1);
-                    self.execute(spec, 0, spec.index % shards, &dedup, &mut arena, &registry)
-                })
-                .collect();
+            let mut cache = UnitCache::new(UNIT_CACHE_CAP);
+            records = Vec::new();
+            for index in 0..total {
+                registry.add_volatile("sched.home_pops", 1);
+                let spec = self.spec_at(index);
+                match cache.get_or_build(&*self.source, spec.unit) {
+                    Ok(unit) => records.push(self.execute(
+                        spec,
+                        &unit,
+                        0,
+                        index % shards,
+                        &dedup,
+                        &mut arena,
+                        &registry,
+                    )),
+                    Err(e) => self.record_skip(&skips, &registry, e, 1),
+                }
+            }
         } else {
-            let queues = ShardQueues::deal(shards, &specs);
-            let collected: Mutex<Vec<RunRecord>> = Mutex::new(Vec::with_capacity(specs.len()));
+            let queues = IndexQueues::new(shards, total);
+            let collected: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
             std::thread::scope(|scope| {
                 for w in 0..workers {
                     let queues = &queues;
                     let dedup = &dedup;
                     let collected = &collected;
                     let registry = &registry;
+                    let skips = &skips;
                     scope.spawn(move || {
                         // One depot + detector arena per worker, reused for
                         // every spec the worker pops; per-run state resets
                         // on run start, so placement stays invisible in the
                         // deterministic outputs.
                         let mut arena = self.make_arena();
+                        let mut cache = UnitCache::new(UNIT_CACHE_CAP);
                         let mut local = Vec::new();
-                        while let Some((spec, shard)) = queues.pop(w) {
+                        while let Some((index, shard)) = queues.pop(w) {
                             registry.add_volatile(
                                 if shard == w % shards { "sched.home_pops" } else { "sched.steals" },
                                 1,
                             );
-                            local.push(self.execute(spec, w, shard, dedup, &mut arena, registry));
+                            let spec = self.spec_at(index);
+                            match cache.get_or_build(&*self.source, spec.unit) {
+                                Ok(unit) => local.push(self.execute(
+                                    spec, &unit, w, shard, dedup, &mut arena, registry,
+                                )),
+                                Err(e) => self.record_skip(skips, registry, e, 1),
+                            }
                         }
                         collected
                             .lock()
@@ -1125,10 +1166,15 @@ impl Campaign {
         }
         registry.observe("campaign.wall", started.elapsed());
         let obs = self.build_obs("campaign/live", &registry, &records);
+        let skips = skips
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         CampaignResult {
             records,
             batch: dedup.into_batch(),
-            units: self.units.iter().map(|u| u.name.clone()).collect(),
+            units: self.unit_names(),
+            units_skipped: skips.units.len(),
+            skip_reasons: skips.reasons,
             workers,
             shards,
             wall: started.elapsed(),
@@ -1137,15 +1183,24 @@ impl Campaign {
         }
     }
 
+    /// Logs a unit whose lowering failed and bumps the stable
+    /// `campaign.skipped_runs` counter by the number of matrix specs the
+    /// failed work item covered. Both are deterministic: which units fail
+    /// and how many specs they cover depend only on the source and the
+    /// config, never on scheduling.
+    fn record_skip(&self, skips: &Mutex<SkipLog>, sink: &dyn ObsSink, err: UnitError, specs: u64) {
+        sink.add("campaign.skipped_runs", specs);
+        skips
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .record(err);
+    }
+
     /// Runs the campaign serially regardless of the configured worker
     /// count — the reference output for differential tests.
     #[must_use]
     pub fn run_serial(&self) -> CampaignResult {
-        Campaign {
-            config: self.config.clone().workers(1),
-            units: self.units.clone(),
-        }
-        .run()
+        self.with_config(self.config.clone().workers(1)).run()
     }
 }
 
@@ -1167,9 +1222,11 @@ mod tests {
             tiny_units(),
         );
         let specs = c.specs();
-        assert_eq!(specs.len(), c.config().matrix_size(c.units().len()));
+        assert_eq!(specs.len(), c.matrix_len());
         for (i, s) in specs.iter().enumerate() {
             assert_eq!(s.index, i);
+            // The arithmetic recovery is the enumeration.
+            assert_eq!(*s, c.spec_at(i));
         }
     }
 
@@ -1179,12 +1236,9 @@ mod tests {
         let c = Campaign::over_units(config, tiny_units());
         let serial = c.run_serial();
         for workers in [2, 4] {
-            let par = Campaign::over_units(
-                c.config().clone().workers(workers),
-                c.units().to_vec(),
-            )
-            .run();
+            let par = c.with_config(c.config().clone().workers(workers)).run();
             assert_eq!(par.deterministic_digest(), serial.deterministic_digest());
+            assert_eq!(par.digest64(), serial.digest64());
             assert_eq!(par.batch.fingerprints(), serial.batch.fingerprints());
             let pr: Vec<_> = par
                 .batch
@@ -1207,7 +1261,8 @@ mod tests {
             tiny_units(),
         );
         let r = c.run();
-        for unit in c.units() {
+        for i in 0..c.unit_count() {
+            let unit = c.unit(i).expect("pattern units always build");
             let unit_racy = r
                 .records
                 .iter()
@@ -1268,9 +1323,11 @@ mod tests {
             corpus_suite(),
         );
         let r = c.run();
-        assert_eq!(r.total_runs(), c.config().matrix_size(c.units().len()));
+        assert_eq!(r.total_runs(), c.matrix_len());
+        assert_eq!(r.units_skipped, 0);
         // The racy Go sources must be caught; fixed must stay silent.
-        for unit in c.units() {
+        for i in 0..c.unit_count() {
+            let unit = c.unit(i).expect("embedded snippets always build");
             if unit.expected_racy == Some(false) {
                 assert!(
                     r.records
@@ -1348,14 +1405,9 @@ mod tests {
             .detectors(DetectorChoice::all().to_vec())
             .shards(4);
         let c = Campaign::over_units(config, tiny_units());
-        let serial = Campaign::over_units(c.config().clone().workers(1), c.units().to_vec())
-            .run_replay();
+        let serial = c.with_config(c.config().clone().workers(1)).run_replay();
         for workers in [2, 4] {
-            let par = Campaign::over_units(
-                c.config().clone().workers(workers),
-                c.units().to_vec(),
-            )
-            .run_replay();
+            let par = c.with_config(c.config().clone().workers(workers)).run_replay();
             assert_eq!(par.deterministic_digest(), serial.deterministic_digest());
             assert_eq!(par.batch.fingerprints(), serial.batch.fingerprints());
             let (ps, ss) = (par.replay.unwrap(), serial.replay.unwrap());
@@ -1388,15 +1440,135 @@ mod tests {
     }
 
     #[test]
-    fn convergence_is_monotone() {
+    fn convergence_is_monotone_and_bounded() {
         let c = Campaign::over_units(CampaignConfig::smoke(), tiny_units());
         let r = c.run();
         let conv = r.convergence();
-        assert_eq!(conv.len(), r.total_runs());
+        assert!(!conv.is_empty());
+        assert!(conv.len() <= MAX_CONVERGENCE_POINTS);
         for w in conv.windows(2) {
+            assert!(w[0].0 < w[1].0);
             assert!(w[0].1 <= w[1].1);
         }
-        assert_eq!(conv.last().unwrap().1, r.batch.len());
+        // The final point always covers the whole campaign.
+        assert_eq!(*conv.last().unwrap(), (r.total_runs(), r.batch.len()));
+    }
+
+    /// A source whose odd units refuse to lower: the campaign must skip
+    /// them (counted, first reasons kept), run everything else, and stay
+    /// deterministic across worker counts.
+    #[derive(Debug)]
+    struct HalfBroken {
+        inner: UnitList,
+    }
+
+    impl UnitSource for HalfBroken {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        fn name(&self, unit: usize) -> String {
+            self.inner.name(unit)
+        }
+
+        fn build(&self, unit: usize) -> Result<CampaignUnit, UnitError> {
+            if unit % 2 == 1 {
+                return Err(UnitError {
+                    unit,
+                    name: self.inner.name(unit),
+                    error: "parse: synthetic failure".to_string(),
+                });
+            }
+            self.inner.build(unit)
+        }
+    }
+
+    #[test]
+    fn broken_units_are_skipped_not_fatal() {
+        let source = std::sync::Arc::new(HalfBroken {
+            inner: UnitList::new(tiny_units()),
+        });
+        let units = source.len();
+        let c = Campaign::over_source(
+            CampaignConfig::smoke().seeds_per_unit(3).shards(3),
+            source,
+        );
+        let serial = c.run_serial();
+        let skipped_units = units / 2;
+        assert_eq!(serial.units_skipped, skipped_units);
+        assert_eq!(serial.skip_reasons.len(), skipped_units.min(MAX_SKIP_REASONS));
+        assert!(serial.skip_reasons[0].error.contains("synthetic failure"));
+        // Every spec of a broken unit is skipped; every other spec ran.
+        let specs_per_unit = c.matrix_len() / units;
+        assert_eq!(
+            serial.total_runs(),
+            (units - skipped_units) * specs_per_unit
+        );
+        assert_eq!(
+            serial.obs.snapshot.counter("campaign.skipped_runs"),
+            (skipped_units * specs_per_unit) as u64
+        );
+        assert!(serial
+            .records
+            .iter()
+            .all(|r| r.spec.unit % 2 == 0), "odd units must not produce records");
+        // Skips are deterministic: parallel live and replay campaigns see
+        // the same skip set and the same surviving records.
+        for workers in [2, 4] {
+            let par = c.with_config(c.config().clone().workers(workers)).run();
+            assert_eq!(par.units_skipped, serial.units_skipped);
+            assert_eq!(par.deterministic_digest(), serial.deterministic_digest());
+            assert_eq!(par.digest64(), serial.digest64());
+            assert_eq!(
+                par.obs.snapshot.counter("campaign.skipped_runs"),
+                serial.obs.snapshot.counter("campaign.skipped_runs")
+            );
+        }
+        let replayed = c.with_config(c.config().clone().workers(2)).run_replay();
+        assert_eq!(replayed.units_skipped, serial.units_skipped);
+        assert_eq!(replayed.deterministic_digest(), serial.deterministic_digest());
+        assert_eq!(
+            replayed.obs.snapshot.counter("campaign.skipped_runs"),
+            serial.obs.snapshot.counter("campaign.skipped_runs")
+        );
+    }
+
+    #[test]
+    fn generated_go_corpus_campaigns_lazily_and_deterministically() {
+        use crate::source::GoCorpusSource;
+        use grs_corpus::GoTestSpec;
+
+        // A source-level campaign straight from the generator: no unit is
+        // materialized up front, ground truth comes from emission.
+        let source = std::sync::Arc::new(GoCorpusSource::new(
+            GoTestSpec::default_mix().racy_per_mille(400),
+            11,
+            24,
+        ));
+        let c = Campaign::over_source(
+            CampaignConfig::smoke().seeds_per_unit(2).shards(4),
+            source.clone(),
+        );
+        let serial = c.run_serial();
+        assert_eq!(serial.units_skipped, 0, "{:?}", serial.skip_reasons);
+        assert_eq!(serial.total_runs(), c.matrix_len());
+        // Expected-racy units must be detected (the racy templates are
+        // schedule-independent); clean units must stay silent.
+        for i in 0..c.unit_count() {
+            let unit = c.unit(i).unwrap();
+            let unit_racy = serial
+                .records
+                .iter()
+                .filter(|r| r.unit_name == unit.name)
+                .any(|r| r.racy);
+            assert_eq!(Some(unit_racy), unit.expected_racy, "unit {}", unit.name);
+        }
+        for workers in [2, 4, 8] {
+            let par = c.with_config(c.config().clone().workers(workers)).run();
+            assert_eq!(par.digest64(), serial.digest64());
+            assert_eq!(par.deterministic_digest(), serial.deterministic_digest());
+            assert_eq!(par.batch.fingerprints(), serial.batch.fingerprints());
+        }
     }
 
     #[test]

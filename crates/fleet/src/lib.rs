@@ -26,7 +26,7 @@
 //!
 //! let campaign = Campaign::over_patterns(CampaignConfig::smoke().seeds_per_unit(2));
 //! let result = campaign.run();
-//! assert_eq!(result.total_runs(), campaign.config().matrix_size(campaign.units().len()));
+//! assert_eq!(result.total_runs(), campaign.matrix_len());
 //! assert!(result.detection_rate() > 0.0, "the racy patterns must fire");
 //! ```
 
@@ -34,15 +34,19 @@ pub mod campaign;
 pub mod census;
 pub mod dedup;
 pub mod shard;
+pub mod source;
 pub mod triage;
 
 pub use campaign::{
     corpus_suite, pattern_suite, Campaign, CampaignConfig, CampaignResult, CampaignUnit,
-    ReplayStats, RunRecord, ShardStats,
+    ReplayStats, RunRecord, ShardStats, MAX_CONVERGENCE_POINTS, MAX_SKIP_REASONS,
 };
 pub use census::{census, Cdf, Census, CensusConfig, Language, LanguageSample};
 pub use dedup::DedupMap;
-pub use shard::{ExecSpec, RunSpec, ShardQueues};
+pub use shard::{ExecSpec, IndexQueues, RunSpec, ShardQueues};
+pub use source::{
+    lower_source_unit, GoCorpusSource, GoSnippetSuite, UnitCache, UnitError, UnitList, UnitSource,
+};
 pub use triage::{run_triage, triage_suite, TriageConfig, TriageOutcome, TriageUnit};
 
 /// The types every fleet user imports, for `use grs_fleet::prelude::*`.
@@ -52,5 +56,6 @@ pub mod prelude {
         RunRecord,
     };
     pub use crate::dedup::DedupMap;
-    pub use crate::shard::{ExecSpec, RunSpec, ShardQueues};
+    pub use crate::shard::{ExecSpec, IndexQueues, RunSpec, ShardQueues};
+    pub use crate::source::{GoCorpusSource, GoSnippetSuite, UnitError, UnitList, UnitSource};
 }

@@ -131,6 +131,86 @@ impl<T: Copy> ShardQueues<T> {
     }
 }
 
+/// The lazy replacement for dealing a materialized spec vector: shard
+/// queues over the *index space* `0..total`, with the exact distribution
+/// and pop order of [`ShardQueues::deal`] — global index `i` lives on
+/// shard `i % shards` at within-shard position `i / shards` — but O(shards)
+/// memory instead of O(total). This is what lets a 100K-spec campaign
+/// enumerate its matrix arithmetically while keeping the work-stealing
+/// schedule (and therefore the shard/steal metrics) identical.
+#[derive(Debug)]
+pub struct IndexQueues {
+    /// Per-shard remaining positions `[front, back)`; position `p` of
+    /// shard `s` is global index `p * shards + s`.
+    shards: Vec<Mutex<(usize, usize)>>,
+}
+
+impl IndexQueues {
+    /// Queues over `0..total`, index `i` on shard `i % shards`.
+    #[must_use]
+    pub fn new(shards: usize, total: usize) -> Self {
+        let n = shards.max(1);
+        IndexQueues {
+            shards: (0..n)
+                .map(|s| {
+                    // Positions p with p * n + s < total.
+                    let len = (total + n - 1 - s) / n;
+                    Mutex::new((0, len))
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Remaining indices across all shards (racy snapshot; exact only
+    /// when no worker is running).
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let (front, back) = *s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                back - front
+            })
+            .sum()
+    }
+
+    /// Pops the next global index for `worker`: front of its home shard,
+    /// else the *back* of the first non-empty victim shard (scanning from
+    /// the home shard upward) — the same discipline as
+    /// [`ShardQueues::pop`]. Returns the index and the shard it came from.
+    pub fn pop(&self, worker: usize) -> Option<(usize, usize)> {
+        let n = self.shards.len();
+        let home = worker % n;
+        {
+            let mut q = self.shards[home]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if q.0 < q.1 {
+                let p = q.0;
+                q.0 += 1;
+                return Some((p * n + home, home));
+            }
+        }
+        for off in 1..n {
+            let victim = (home + off) % n;
+            let mut q = self.shards[victim]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if q.0 < q.1 {
+                q.1 -= 1;
+                return Some((q.1 * n + victim, victim));
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +282,50 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn index_queues_match_dealt_queues_pop_for_pop() {
+        // The lazy queues must be observationally identical to dealing a
+        // materialized vector, for any (shards, total) and any single
+        // worker's pop sequence.
+        for shards in [1, 2, 3, 5] {
+            for total in [0, 1, 7, 20] {
+                for worker in 0..shards {
+                    let dealt = ShardQueues::deal(shards, &specs(total));
+                    let lazy = IndexQueues::new(shards, total);
+                    assert_eq!(lazy.remaining(), total);
+                    loop {
+                        let a = dealt.pop(worker).map(|(s, sh)| (s.index, sh));
+                        let b = lazy.pop(worker);
+                        assert_eq!(a, b, "shards={shards} total={total} worker={worker}");
+                        if a.is_none() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_queues_drain_exactly_once_under_contention() {
+        let q = IndexQueues::new(4, 500);
+        let taken = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let (q, taken) = (&q, &taken);
+                s.spawn(move || {
+                    while let Some((i, _)) = q.pop(w) {
+                        taken.lock().unwrap().push(i);
+                    }
+                });
+            }
+        });
+        let mut got = taken.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..500).collect::<Vec<_>>());
+        assert_eq!(q.remaining(), 0);
     }
 
     #[test]

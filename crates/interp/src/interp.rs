@@ -90,6 +90,19 @@ impl Interp {
         Ok(Self::from_file(parse_file(src)?))
     }
 
+    /// Compiles Go-lite source with structured errors — the campaign-scale
+    /// entry point: a failure is a [`CompileError`] naming its phase and
+    /// position, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompilePhase::Parse`](crate::CompilePhase::Parse) errors
+    /// for anything the lexer/parser rejects.
+    pub fn compile(src: &str) -> Result<Interp, crate::CompileError> {
+        Self::from_source(src)
+            .map_err(|e| crate::CompileError::parse(Some(e.pos), e.message))
+    }
+
     /// Compiles a parsed file.
     #[must_use]
     pub fn from_file(file: File) -> Interp {
@@ -168,6 +181,35 @@ impl Interp {
             }
         })
     }
+
+    /// [`Interp::program`] with the lowering preconditions checked up
+    /// front: the entry function must exist and take no parameters.
+    /// Violations are structured [`CompileError`](crate::CompileError)s
+    /// instead of runtime panics inside the program body — the contract
+    /// the campaign's skip accounting is built on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompilePhase::Lower`](crate::CompilePhase::Lower) error
+    /// when `entry` is undefined or takes parameters.
+    pub fn program_checked(
+        &self,
+        name: &str,
+        entry: &str,
+    ) -> Result<Program, crate::CompileError> {
+        match self.shared.funcs.get(entry) {
+            None => Err(crate::CompileError::lower(format!(
+                "entry function `{entry}` is not declared"
+            ))),
+            Some((sig, _)) if !sig.params.is_empty() => {
+                Err(crate::CompileError::lower(format!(
+                    "entry function `{entry}` must take no parameters, has {}",
+                    sig.params.len()
+                )))
+            }
+            Some(_) => Ok(self.program(name, entry)),
+        }
+    }
 }
 
 /// Control flow through statement execution.
@@ -203,25 +245,15 @@ struct Rt<'c> {
 
 impl<'c> Rt<'c> {
     fn bootstrap_and_run(&self, entry: &str) -> EResult<()> {
-        // Bind top-level functions first so initializers may call them.
-        for (name, (sig, body)) in &self.shared.funcs {
-            self.globals.declare(
-                self.ctx,
-                name,
-                Value::Func(FuncValue {
-                    name: Arc::from(name.as_str()),
-                    sig: Arc::clone(sig),
-                    body: Arc::clone(body),
-                    env: self.globals.clone(),
-                    receiver: None,
-                }),
-            );
-        }
-        // Package-level variables, in order.
+        // Package-level variables, in order. Top-level functions are NOT
+        // pre-declared into the global scope: a stored `FuncValue` whose
+        // `env` is the very scope holding its cell is an `Arc` cycle that
+        // outlives the run and leaks the whole program graph. Identifier
+        // resolution falls back to [`Rt::top_level_func`] instead.
         for v in &self.shared.global_vars.clone() {
             self.exec_var_decl(&self.globals, v)?;
         }
-        let fv = match self.lookup_value(&self.globals, entry) {
+        let fv = match self.top_level_func(entry) {
             Some(Value::Func(f)) => f,
             _ => return Err(InterpError::plain(format!("entry function {entry} not found"))),
         };
@@ -229,9 +261,18 @@ impl<'c> Rt<'c> {
         Ok(())
     }
 
-    fn lookup_value(&self, env: &Env, name: &str) -> Option<Value> {
-        let cell = env.lookup(name)?;
-        Some(self.ctx.read(&cell))
+    /// Lazily materializes the top-level function `name` as a value. The
+    /// `FuncValue` is synthesized per resolution (never stored in the
+    /// global scope) so the global Env owns no reference to itself.
+    fn top_level_func(&self, name: &str) -> Option<Value> {
+        let (sig, body) = self.shared.funcs.get(name)?;
+        Some(Value::Func(FuncValue {
+            name: Arc::from(name),
+            sig: Arc::clone(sig),
+            body: Arc::clone(body),
+            env: self.globals.clone(),
+            receiver: None,
+        }))
     }
 
     // ---- declarations & zero values ----
@@ -918,10 +959,11 @@ impl<'c> Rt<'c> {
                 "false" => Ok(Value::Bool(false)),
                 "nil" => Ok(Value::Nil),
                 _ => {
-                    let cell = env.lookup(name).ok_or_else(|| {
-                        InterpError::at(*pos, format!("undefined: {name}"))
-                    })?;
-                    Ok(self.ctx.read(&cell))
+                    if let Some(cell) = env.lookup(name) {
+                        return Ok(self.ctx.read(&cell));
+                    }
+                    self.top_level_func(name)
+                        .ok_or_else(|| InterpError::at(*pos, format!("undefined: {name}")))
                 }
             },
             Expr::Int(pos, text) => text
@@ -1270,7 +1312,8 @@ impl<'c> Rt<'c> {
                         | "print"
                         | "sleep"
                         | "gosched"
-                ) && env.lookup(name).is_none() =>
+                ) && env.lookup(name).is_none()
+                    && !self.shared.funcs.contains_key(name.as_str()) =>
             {
                 Ok(Callee::Builtin(name.clone()))
             }

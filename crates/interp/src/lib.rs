@@ -117,3 +117,72 @@ impl std::fmt::Display for InterpError {
 }
 
 impl std::error::Error for InterpError {}
+
+/// Which stage of the source→[`Program`](grs_runtime::Program) pipeline
+/// rejected a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompilePhase {
+    /// Lexing/parsing failed — the source is not Go-lite.
+    Parse,
+    /// The parsed file cannot be lowered into a runnable program (e.g. no
+    /// entry function).
+    Lower,
+}
+
+impl std::fmt::Display for CompilePhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CompilePhase::Parse => "parse",
+            CompilePhase::Lower => "lower",
+        })
+    }
+}
+
+/// A structured per-unit compile failure.
+///
+/// This is the campaign-scale error surface: at 100K source units a bad
+/// unit must become a *skip record* — counted, named, and reported — not a
+/// panic that takes the worker down. [`Interp::compile`] and
+/// [`Interp::program_checked`] return it instead of unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// The stage that failed.
+    pub phase: CompilePhase,
+    /// Source position, when the failure has one.
+    pub pos: Option<Pos>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CompileError {
+    /// A parse-phase error.
+    #[must_use]
+    pub fn parse(pos: Option<Pos>, message: impl Into<String>) -> Self {
+        CompileError {
+            phase: CompilePhase::Parse,
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// A lower-phase error.
+    #[must_use]
+    pub fn lower(message: impl Into<String>) -> Self {
+        CompileError {
+            phase: CompilePhase::Lower,
+            pos: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{}: {p}: {}", self.phase, self.message),
+            None => write!(f, "{}: {}", self.phase, self.message),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

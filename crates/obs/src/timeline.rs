@@ -157,10 +157,15 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Buckets per-spec race observations into virtual campaign days and
-/// replays the tracker discipline over them.
+/// replays the tracker discipline over them **as they stream in**.
 ///
 /// Observations must arrive in non-decreasing day order (the campaign
-/// feeds records in spec-index order, which guarantees it).
+/// feeds records in spec-index order, which guarantees it). The timeline
+/// never stores the observation stream: each `observe` updates the open
+/// task set and the accumulating day row directly, so memory is
+/// O(days + open fingerprints) — at a 100K-run campaign that is the
+/// difference between a few kilobytes and a vector with one entry per
+/// detected race.
 ///
 /// # Example
 ///
@@ -178,8 +183,27 @@ fn splitmix64(mut x: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct CampaignTimeline {
     cfg: TimelineConfig,
-    /// `(day, fingerprint)` observations, non-decreasing by day.
-    observations: Vec<(u32, u64)>,
+    /// Finalized rows for days before `day`.
+    rows: Vec<DayRow>,
+    /// The day currently accumulating (rows.len() as u32, invariant).
+    day: u32,
+    /// In-progress counters for `day`.
+    filed_today: u32,
+    rediscovered_today: u32,
+    fixed_today: u32,
+    /// Running cumulative counters.
+    filed_cum: u32,
+    fixed_cum: u32,
+    /// fingerprint → open task's scheduled fix day.
+    open: BTreeMap<u64, u32>,
+    /// fix day → fingerprints due.
+    due: BTreeMap<u32, Vec<u64>>,
+    /// Distinct fingerprints ever observed.
+    seen: std::collections::BTreeSet<u64>,
+    /// `latency_days → fixes` histogram.
+    latency_hist: BTreeMap<u32, u32>,
+    /// Total observations fed in.
+    observations: u64,
 }
 
 impl CampaignTimeline {
@@ -188,7 +212,18 @@ impl CampaignTimeline {
     pub fn new(cfg: TimelineConfig) -> Self {
         CampaignTimeline {
             cfg,
-            observations: Vec::new(),
+            rows: Vec::with_capacity(cfg.days as usize),
+            day: 0,
+            filed_today: 0,
+            rediscovered_today: 0,
+            fixed_today: 0,
+            filed_cum: 0,
+            fixed_cum: 0,
+            open: BTreeMap::new(),
+            due: BTreeMap::new(),
+            seen: std::collections::BTreeSet::new(),
+            latency_hist: BTreeMap::new(),
+            observations: 0,
         }
     }
 
@@ -201,6 +236,35 @@ impl CampaignTimeline {
         ((index * self.cfg.days as usize) / total) as u32
     }
 
+    /// Finalizes the accumulating day's row and opens the next day:
+    /// fixes scheduled for the new day land immediately — before any of
+    /// its filings — so a same-day re-detection after a fix re-files.
+    fn close_day(&mut self) {
+        self.filed_cum += self.filed_today;
+        self.fixed_cum += self.fixed_today;
+        self.rows.push(DayRow {
+            day: self.day,
+            filed: self.filed_today,
+            rediscovered: self.rediscovered_today,
+            fixed: self.fixed_today,
+            outstanding: self.open.len() as u32,
+            filed_cum: self.filed_cum,
+            fixed_cum: self.fixed_cum,
+            unique_cum: self.seen.len() as u32,
+        });
+        self.day += 1;
+        self.filed_today = 0;
+        self.rediscovered_today = 0;
+        self.fixed_today = 0;
+        if let Some(fps) = self.due.remove(&self.day) {
+            for fp in fps {
+                if self.open.remove(&fp).is_some() {
+                    self.fixed_today += 1;
+                }
+            }
+        }
+    }
+
     /// Records one race observation (a detected fingerprint) on `day`.
     ///
     /// # Panics
@@ -210,91 +274,54 @@ impl CampaignTimeline {
     /// records out of spec order, which would silently break determinism.
     pub fn observe(&mut self, day: u32, fingerprint: u64) {
         assert!(day < self.cfg.days, "day {day} outside 0..{}", self.cfg.days);
-        if let Some(&(prev, _)) = self.observations.last() {
-            assert!(day >= prev, "observations must be fed in day order");
+        assert!(day >= self.day, "observations must be fed in day order");
+        while self.day < day {
+            self.close_day();
         }
-        self.observations.push((day, fingerprint));
+        self.observations += 1;
+        self.seen.insert(fingerprint);
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.open.entry(fingerprint) {
+            let latency =
+                1 + (splitmix64(fingerprint) % u64::from(self.cfg.fix_latency_max)) as u32;
+            let fix_day = day + latency;
+            slot.insert(fix_day);
+            if fix_day < self.cfg.days {
+                self.due.entry(fix_day).or_default().push(fingerprint);
+                *self.latency_hist.entry(latency).or_insert(0) += 1;
+            }
+            self.filed_today += 1;
+        } else {
+            self.rediscovered_today += 1;
+        }
     }
 
     /// Number of observations so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.observations.len()
+        self.observations as usize
     }
 
     /// True when no observation was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.observations.is_empty()
+        self.observations == 0
     }
 
-    /// Replays the tracker discipline over the observations and emits the
-    /// per-day report. Deterministic: a pure function of the observation
-    /// sequence and the config.
+    /// Runs the remaining (observation-free) days through the tracker and
+    /// emits the per-day report. Deterministic: a pure function of the
+    /// observation sequence and the config.
     #[must_use]
-    pub fn finish(self) -> TimelineReport {
-        let days = self.cfg.days;
-        let total_observations = self.observations.len() as u64;
-        // fingerprint → open task's scheduled fix day.
-        let mut open: BTreeMap<u64, u32> = BTreeMap::new();
-        // fix day → fingerprints due.
-        let mut due: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
-        let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
-        let mut latency_hist: BTreeMap<u32, u32> = BTreeMap::new();
-        let mut rows: Vec<DayRow> = Vec::with_capacity(days as usize);
-        let (mut filed_cum, mut fixed_cum) = (0u32, 0u32);
-        let mut obs = self.observations.iter().peekable();
-        for day in 0..days {
-            // Fixes scheduled for this day land before the day's filings,
-            // so a same-day re-detection after a fix re-files.
-            let mut fixed_today = 0u32;
-            if let Some(fps) = due.remove(&day) {
-                for fp in fps {
-                    if open.remove(&fp).is_some() {
-                        fixed_today += 1;
-                    }
-                }
-            }
-            let (mut filed_today, mut rediscovered_today) = (0u32, 0u32);
-            while let Some(&&(d, fp)) = obs.peek() {
-                if d != day {
-                    break;
-                }
-                obs.next();
-                seen.insert(fp);
-                if let std::collections::btree_map::Entry::Vacant(slot) = open.entry(fp) {
-                    let latency = 1 + (splitmix64(fp) % u64::from(self.cfg.fix_latency_max)) as u32;
-                    let fix_day = day + latency;
-                    slot.insert(fix_day);
-                    if fix_day < days {
-                        due.entry(fix_day).or_default().push(fp);
-                        *latency_hist.entry(latency).or_insert(0) += 1;
-                    }
-                    filed_today += 1;
-                } else {
-                    rediscovered_today += 1;
-                }
-            }
-            filed_cum += filed_today;
-            fixed_cum += fixed_today;
-            rows.push(DayRow {
-                day,
-                filed: filed_today,
-                rediscovered: rediscovered_today,
-                fixed: fixed_today,
-                outstanding: open.len() as u32,
-                filed_cum,
-                fixed_cum,
-                unique_cum: seen.len() as u32,
-            });
+    pub fn finish(mut self) -> TimelineReport {
+        while self.day < self.cfg.days {
+            self.close_day();
         }
         TimelineReport {
-            days: rows,
-            fix_latency: latency_hist.into_iter().collect(),
-            observations: total_observations,
-            total_filed: filed_cum,
-            total_fixed: fixed_cum,
-            unique_races: seen.len() as u32,
+            days: self.rows,
+            fix_latency: self.latency_hist.into_iter().collect(),
+            observations: self.observations,
+            total_filed: self.filed_cum,
+            total_fixed: self.fixed_cum,
+            unique_races: self.seen.len() as u32,
         }
     }
 }

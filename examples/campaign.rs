@@ -98,6 +98,22 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Prints the campaign's skip accounting: how many units failed to lower
+/// and the first few structured reasons. A healthy corpus logs nothing.
+fn log_skips(r: &CampaignResult) {
+    if r.units_skipped == 0 {
+        return;
+    }
+    println!(
+        "   skipped {} unit(s) that failed to lower ({} specs):",
+        r.units_skipped,
+        r.obs.snapshot.counter("campaign.skipped_runs"),
+    );
+    for reason in &r.skip_reasons {
+        println!("     - {reason}");
+    }
+}
+
 fn result_json(r: &CampaignResult, label: &str) -> String {
     let mut s = String::new();
     let _ = write!(
@@ -117,6 +133,7 @@ fn result_json(r: &CampaignResult, label: &str) -> String {
         r.max_depot_stacks(),
         r.peak_shadow_words(),
     );
+    let _ = write!(s, r#","units_skipped":{}"#, r.units_skipped);
     s.push_str(",\"shard_latency_ms\":[");
     for (i, st) in r.shard_stats().iter().enumerate() {
         if i > 0 {
@@ -166,15 +183,15 @@ fn run_replay_bench(args: &Args, units: Vec<CampaignUnit>) {
         .detectors(DetectorChoice::all().to_vec())
         .strategies(vec![Strategy::Random, Strategy::Pct { depth: 2 }]);
     let campaign = Campaign::over_units(config.clone(), units);
-    let execs = campaign.exec_specs().len();
+    let execs = campaign.exec_len();
     println!(
         "== replay campaign: {} units × {} seeds × {} strategies → {} executions fanned through {} detectors = {} analyses ==",
-        campaign.units().len(),
+        campaign.unit_count(),
         config.seeds_per_unit,
         config.strategies.len(),
         execs,
         config.detectors.len(),
-        config.matrix_size(campaign.units().len()),
+        campaign.matrix_len(),
     );
 
     let baseline = campaign.run();
@@ -194,6 +211,7 @@ fn run_replay_bench(args: &Args, units: Vec<CampaignUnit>) {
         replayed.throughput_rps(),
         stats.executions,
     );
+    log_skips(&replayed);
     println!(
         "   traces: {} events, {:.1} KiB total ({} B avg, {} B max) · record {:.1} ms · replay {:.1} ms",
         stats.trace_events,
@@ -231,7 +249,7 @@ fn run_replay_bench(args: &Args, units: Vec<CampaignUnit>) {
         ),
         json_escape(&args.suite),
         config.seeds_per_unit,
-        campaign.units().len(),
+        campaign.unit_count(),
         config.detectors.len(),
         stats.executions,
         stats.replays,
@@ -274,11 +292,11 @@ fn main() {
     let campaign = Campaign::over_units(config.clone(), units);
 
     println!("== campaign: {} units × {} seeds × {} strategies × {} detectors = {} runs ==",
-        campaign.units().len(),
+        campaign.unit_count(),
         config.seeds_per_unit,
         config.strategies.len(),
         config.detectors.len(),
-        config.matrix_size(campaign.units().len()),
+        campaign.matrix_len(),
     );
     println!("   workers {} · shards {}", config.workers, config.shards);
 
@@ -291,6 +309,7 @@ fn main() {
         result.racy_runs(),
         result.batch.len(),
     );
+    log_skips(&result);
     println!(
         "   hot path: {} events ({:.2} M events/s) · depot ≤ {} stacks/run · shadow ≤ {} words/run",
         result.total_events(),
@@ -317,7 +336,7 @@ fn main() {
                 println!(
                     "   {:>3.0}% of races found after {runs} runs ({:.1}% of the campaign)",
                     frac * 100.0,
-                    100.0 * runs as f64 / conv.len() as f64
+                    100.0 * runs as f64 / result.total_runs() as f64
                 );
             }
         }
@@ -363,7 +382,7 @@ fn main() {
         r#"{{"suite":"{}","seeds_per_unit":{},"units":{},"results":[{}]}}"#,
         json_escape(&args.suite),
         config.seeds_per_unit,
-        campaign.units().len(),
+        campaign.unit_count(),
         sections.join(","),
     );
     let out = args.out.unwrap_or_else(|| "BENCH_campaign.json".to_string());

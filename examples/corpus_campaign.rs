@@ -1,0 +1,200 @@
+//! The paper-scale source-level campaign: stream generated Go tests from
+//! the per-test corpus emitter through the `grs-interp` frontend into the
+//! fleet engine — the §3.3 "~100K unit tests nightly" deployment shape,
+//! run end to end in one process.
+//!
+//! Units are never materialized: the corpus is a
+//! [`GoCorpusSource`](grs::fleet::GoCorpusSource) (a generator seed plus a
+//! count), workers lower tests on demand through per-worker caches, and
+//! the observability layer buckets as it streams — so peak RSS tracks the
+//! result set, not the corpus size.
+//!
+//! ```sh
+//! cargo run --release --example corpus_campaign -- \
+//!     [--units N] [--seeds N] [--workers-list 1,4,8] \
+//!     [--racy-per-mille N] [--gen-seed N] [--out BENCH_corpus.json]
+//! ```
+//!
+//! The campaign runs once per entry in `--workers-list` over the *same*
+//! source and asserts the compact deterministic digest
+//! ([`CampaignResult::digest64`]) is identical for every worker count and
+//! that no unit was skipped — then writes the measured scale figures
+//! (units, runs, wall, throughput, peak RSS per run) to the JSON artifact
+//! CI gates on.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use grs::corpus::GoTestSpec;
+use grs::fleet::GoCorpusSource;
+use grs::prelude::*;
+use grs::runtime::Strategy;
+
+struct Args {
+    units: usize,
+    seeds: usize,
+    workers_list: Vec<usize>,
+    racy_per_mille: u32,
+    gen_seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        units: 100_000,
+        seeds: 1,
+        workers_list: vec![1, 4, 8],
+        racy_per_mille: 200,
+        gen_seed: 1,
+        out: "BENCH_corpus.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--units" => args.units = value("--units").parse().expect("units: integer"),
+            "--seeds" => args.seeds = value("--seeds").parse().expect("seeds: integer"),
+            "--workers-list" => {
+                args.workers_list = value("--workers-list")
+                    .split(',')
+                    .map(|w| w.parse().expect("workers-list: comma-separated integers"))
+                    .collect();
+            }
+            "--racy-per-mille" => {
+                args.racy_per_mille = value("--racy-per-mille")
+                    .parse()
+                    .expect("racy-per-mille: integer");
+            }
+            "--gen-seed" => args.gen_seed = value("--gen-seed").parse().expect("gen-seed: integer"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+fn peak_rss_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Resets the kernel's peak-RSS watermark to the current RSS, so each
+/// campaign's `VmHWM` reading is its own. Best-effort: where the write is
+/// not permitted the watermark stays monotone across runs (still a valid
+/// upper bound for every run).
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+fn main() {
+    let args = parse_args();
+    let source = Arc::new(GoCorpusSource::new(
+        GoTestSpec::default_mix().racy_per_mille(args.racy_per_mille),
+        args.gen_seed,
+        args.units,
+    ));
+    let base = CampaignConfig::new()
+        .seeds_per_unit(args.seeds)
+        .detectors(vec![DetectorChoice::FastTrack])
+        .strategies(vec![Strategy::Random]);
+    let probe = Campaign::over_source(base.clone(), source.clone());
+    println!(
+        "== source-level campaign: {} generated Go tests × {} seeds × {} strategies × {} detector = {} runs ==",
+        args.units,
+        args.seeds,
+        base.strategies.len(),
+        base.detectors.len(),
+        probe.matrix_len(),
+    );
+
+    let mut rows = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    for &workers in &args.workers_list {
+        reset_peak_rss();
+        let campaign = Campaign::over_source(
+            base.clone().workers(workers).shards(2 * workers.max(1)),
+            source.clone(),
+        );
+        let r = campaign.run();
+        let peak_kib = peak_rss_kib();
+        let digest = r.digest64();
+        println!(
+            "workers {:>2}: {} runs in {:.1} s ({:.0} runs/s) · {} racy · {} unique races · {} skipped · digest {:#018x} · peak RSS {:.1} MiB",
+            workers,
+            r.total_runs(),
+            r.wall.as_secs_f64(),
+            r.throughput_rps(),
+            r.racy_runs(),
+            r.batch.len(),
+            r.units_skipped,
+            digest,
+            peak_kib as f64 / 1024.0,
+        );
+        for reason in &r.skip_reasons {
+            println!("   skip: {reason}");
+        }
+        assert_eq!(
+            r.units_skipped, 0,
+            "every generated test must lower (see tests/corpus_source_props.rs)"
+        );
+        assert_eq!(r.total_runs(), campaign.matrix_len());
+        digests.push(digest);
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            concat!(
+                r#"{{"workers":{},"total_runs":{},"racy_runs":{},"unique_races":{},"#,
+                r#""units_skipped":{},"digest64":"{:#018x}","wall_s":{:.3},"#,
+                r#""throughput_rps":{:.1},"peak_rss_kib":{}}}"#
+            ),
+            workers,
+            r.total_runs(),
+            r.racy_runs(),
+            r.batch.len(),
+            r.units_skipped,
+            digest,
+            r.wall.as_secs_f64(),
+            r.throughput_rps(),
+            peak_kib,
+        );
+        rows.push(row);
+    }
+
+    let digests_equal = digests.windows(2).all(|w| w[0] == w[1]);
+    assert!(
+        digests_equal,
+        "deterministic digest must be invariant across worker counts: {digests:#018x?}"
+    );
+    println!(
+        "digest {:#018x} identical across workers {:?}",
+        digests[0], args.workers_list
+    );
+
+    let json = format!(
+        concat!(
+            r#"{{"units":{},"seeds_per_unit":{},"racy_per_mille":{},"gen_seed":{},"#,
+            r#""detector":"fasttrack","strategy":"random","digests_equal":{},"#,
+            r#""digest64":"{:#018x}","results":[{}]}}"#
+        ),
+        args.units,
+        args.seeds,
+        args.racy_per_mille,
+        args.gen_seed,
+        digests_equal,
+        digests[0],
+        rows.join(","),
+    );
+    std::fs::write(&args.out, format!("{json}\n")).expect("write JSON summary");
+    println!("wrote {}", args.out);
+}
