@@ -47,6 +47,7 @@ pub mod arena;
 pub mod eraser;
 pub mod explorer;
 pub mod fasttrack;
+pub mod guided;
 #[cfg(feature = "oracle")]
 pub mod legacy;
 pub mod replay;
@@ -57,6 +58,7 @@ pub use arena::DetectorArena;
 pub use eraser::Eraser;
 pub use explorer::{default_workers, DetectorChoice, ExploreConfig, ExploreResult, Explorer};
 pub use fasttrack::{FastTrack, FastTrackConfig};
+pub use guided::{GuidedConfig, GuidedExplorer, GuidedResult, ScheduleFrontier};
 pub use replay::{
     replay_decoded, replay_decoded_prepared, replay_trace, ReplayAnalyzer, ReplayOutcome,
 };
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::eraser::Eraser;
     pub use crate::explorer::{default_workers, DetectorChoice, ExploreConfig, Explorer};
     pub use crate::fasttrack::FastTrack;
+    pub use crate::guided::{GuidedConfig, GuidedExplorer, GuidedResult, ScheduleFrontier};
     pub use crate::replay::{replay_trace, ReplayAnalyzer, ReplayOutcome};
     pub use crate::report::{DetectorKind, RaceReport};
     pub use crate::tsan::Tsan;

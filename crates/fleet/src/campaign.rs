@@ -24,11 +24,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use grs_deploy::{race_fingerprint, FileOutcome, Fingerprint, Pipeline, RaceBatch};
-use grs_detector::{default_workers, DetectorArena, DetectorChoice};
+use grs_detector::{default_workers, DetectorArena, DetectorChoice, ScheduleFrontier};
 use grs_obs::{CampaignTimeline, MetricsRegistry, ObsReport, ObsSink, SpanGuard, TimelineConfig};
 use grs_runtime::{
-    record_with_depot, DecodedTrace, Program, ReproArtifact, RunConfig, Strategy,
-    DEFAULT_CHUNK_EVENTS,
+    calibrate_steps, record_with_depot, DecodedTrace, Program, ReproArtifact, RunConfig,
+    Strategy, DEFAULT_CHUNK_EVENTS,
 };
 
 use crate::dedup::DedupMap;
@@ -541,11 +541,17 @@ impl CampaignResult {
     /// counts.
     #[must_use]
     pub fn convergence(&self) -> Vec<(usize, usize)> {
+        self.convergence_sampled(MAX_CONVERGENCE_POINTS)
+    }
+
+    /// [`CampaignResult::convergence`] with a caller-chosen point cap.
+    #[must_use]
+    pub fn convergence_sampled(&self, max_points: usize) -> Vec<(usize, usize)> {
         let total = self.records.len();
         if total == 0 {
             return Vec::new();
         }
-        let step = total.div_ceil(MAX_CONVERGENCE_POINTS);
+        let step = total.div_ceil(max_points.max(1));
         let mut seen = BTreeSet::new();
         let mut points = Vec::with_capacity(total / step + 1);
         for (i, r) in self.records.iter().enumerate() {
@@ -555,6 +561,29 @@ impl CampaignResult {
             }
         }
         points
+    }
+
+    /// The unsampled convergence curve — one point per run. The scheduler
+    /// ablation compares executions-to-N-races across strategies, which
+    /// the [`MAX_CONVERGENCE_POINTS`] sampling would quantize; exports
+    /// that need exact crossover indices use this instead.
+    #[must_use]
+    pub fn convergence_full(&self) -> Vec<(usize, usize)> {
+        self.convergence_sampled(usize::MAX)
+    }
+
+    /// The first run count at which `n` distinct fingerprints were known
+    /// (from the unsampled curve), or `None` if the campaign never got
+    /// there — the executions-to-parity metric of the scheduler ablation.
+    #[must_use]
+    pub fn runs_to_unique(&self, n: usize) -> Option<usize> {
+        if n == 0 {
+            return Some(0);
+        }
+        self.convergence_full()
+            .into_iter()
+            .find(|&(_, u)| u >= n)
+            .map(|(runs, _)| runs)
     }
 
     /// The deterministic projection of the whole campaign — byte-equal
@@ -921,6 +950,7 @@ impl Campaign {
                     strategy: spec.strategy,
                     trace_digest: Some(trace_digest),
                     trace_path: None,
+                    schedule_prefix: None,
                 });
                 let fp = race_fingerprint(&r);
                 fingerprints.push(fp);
@@ -1166,6 +1196,239 @@ impl Campaign {
         }
         registry.observe("campaign.wall", started.elapsed());
         let obs = self.build_obs("campaign/live", &registry, &records);
+        let skips = skips
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        CampaignResult {
+            records,
+            batch: dedup.into_batch(),
+            units: self.unit_names(),
+            units_skipped: skips.units.len(),
+            skip_reasons: skips.reasons,
+            workers,
+            shards,
+            wall: started.elapsed(),
+            replay: None,
+            obs,
+        }
+    }
+
+    /// Executions the adaptive mode spends per unit — the same budget the
+    /// static matrix spends (`seeds × strategies` schedules per unit), so
+    /// [`Campaign::run`] and [`Campaign::run_adaptive`] are directly
+    /// comparable at equal cost.
+    #[must_use]
+    pub fn adaptive_execs_per_unit(&self) -> usize {
+        self.config.seeds_per_unit * self.config.strategies.len()
+    }
+
+    /// The base strategy adaptive exploration falls back to after a
+    /// mutated prefix is exhausted: the first configured strategy.
+    #[must_use]
+    pub fn adaptive_strategy(&self) -> Strategy {
+        self.config.strategies.first().copied().unwrap_or_default()
+    }
+
+    /// Runs one unit's full adaptive exploration budget: a
+    /// [`ScheduleFrontier`] seeded purely from `(base_seed, unit)` drives
+    /// the propose/observe loop, and every execution is analyzed under
+    /// every configured detector (monitors never influence the schedule,
+    /// so all detectors of an execution observe the same interleaving and
+    /// coverage). Spec `(unit, exec, det)` lands on index
+    /// `(unit * execs + exec) * dets + det` — the same dense, disjoint
+    /// index space shape as the static matrix, so dedup representatives,
+    /// timeline bucketing, and the digest stay worker-count invariant.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_adaptive_unit(
+        &self,
+        unit_index: usize,
+        unit: &CampaignUnit,
+        worker: usize,
+        shard: usize,
+        dedup: &DedupMap,
+        arena: &mut DetectorArena,
+        sink: &dyn ObsSink,
+    ) -> Vec<RunRecord> {
+        let execs = self.adaptive_execs_per_unit();
+        let dets = self.config.detectors.len();
+        let strategy = self.adaptive_strategy();
+        // PCT change points are placed against the unit's observed length,
+        // not the default hint — the adaptive mode always runs calibrated.
+        let pct_horizon = match strategy {
+            Strategy::Pct { .. } => calibrate_steps(&unit.program, self.config.max_steps),
+            _ => 1_000,
+        };
+        let mut frontier = ScheduleFrontier::new(
+            self.config
+                .base_seed
+                .wrapping_add((unit_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            (execs / 8).clamp(1, 16),
+            32,
+        );
+        let mut records = Vec::with_capacity(execs * dets);
+        for exec in 0..execs {
+            let seed = self.config.base_seed + exec as u64;
+            let prefix = frontier.propose(exec);
+            for (det_pos, &detector) in self.config.detectors.iter().enumerate() {
+                let started = Instant::now();
+                let mut run_cfg = RunConfig {
+                    seed,
+                    strategy,
+                    max_steps: self.config.max_steps,
+                    ..RunConfig::default()
+                }
+                .pct_horizon(pct_horizon);
+                if let Some(p) = &prefix {
+                    run_cfg = run_cfg.schedule_prefix(p.clone());
+                }
+                let (outcome, reports) = {
+                    let _span = SpanGuard::enter(sink, "shard.execute");
+                    arena.run_observed(detector, &unit.program, run_cfg, sink)
+                };
+                if det_pos == 0 {
+                    // Deterministic exploration counters: how many runs ran
+                    // a mutated prefix, and how many produced a coverage
+                    // signature the frontier had not seen. Per-unit sums,
+                    // so worker-count invariant like every other counter.
+                    sink.add("explore.mutated_runs", u64::from(prefix.is_some()));
+                    let novel = frontier.observe(outcome.coverage, outcome.schedule);
+                    sink.add("explore.novel_signatures", u64::from(novel));
+                }
+                let spec = RunSpec {
+                    index: (unit_index * execs + exec) * dets + det_pos,
+                    unit: unit_index,
+                    seed,
+                    strategy,
+                    detector,
+                };
+                let duration = started.elapsed();
+                sink.observe("campaign.run_wall", duration);
+                let racy = !reports.is_empty();
+                sink.add("campaign.runs", 1);
+                sink.add("campaign.racy_runs", u64::from(racy));
+                sink.add("campaign.reports", reports.len() as u64);
+                let mut fingerprints = Vec::with_capacity(reports.len());
+                for mut r in reports {
+                    r.program = Some(std::sync::Arc::from(unit.name.as_str()));
+                    r.repro_seed = Some(seed);
+                    r.repro = Some(match &prefix {
+                        Some(p) => ReproArtifact::guided(seed, strategy, p.clone()),
+                        None => ReproArtifact::seeded(seed, strategy),
+                    });
+                    let fp = race_fingerprint(&r);
+                    fingerprints.push(fp);
+                    dedup.insert(fp, spec.index, r);
+                }
+                fingerprints.sort_unstable();
+                fingerprints.dedup();
+                records.push(RunRecord {
+                    spec,
+                    unit_name: unit.name.clone(),
+                    racy,
+                    fingerprints,
+                    steps: outcome.steps,
+                    events: outcome.stats.events_dispatched,
+                    depot_stacks: outcome.stats.depot.stacks,
+                    peak_shadow_words: outcome.stats.peak_shadow_words,
+                    worker,
+                    shard,
+                    duration,
+                });
+            }
+        }
+        records
+    }
+
+    /// Runs the campaign in adaptive (coverage-guided) mode: instead of
+    /// enumerating the static `(unit × seed × strategy × detector)`
+    /// matrix, each unit spends the same execution budget on a feedback
+    /// loop that mutates novel schedules toward unexplored interleavings
+    /// (see [`ScheduleFrontier`]). The work unit of the fan-out is the
+    /// *unit*, not the spec — exploration is sequential within a unit by
+    /// nature (run N's schedule feeds run N+1's mutation) and units are
+    /// independent, so the result is identical for any worker count.
+    /// Races found on a mutated schedule carry their `(seed, prefix)`
+    /// [`ReproArtifact`]; everything else (dedup, skip accounting,
+    /// timeline, digest) behaves exactly as in [`Campaign::run`].
+    #[must_use]
+    pub fn run_adaptive(&self) -> CampaignResult {
+        let started = Instant::now();
+        let units = self.source.len();
+        let workers = self.config.workers.max(1).min(units.max(1));
+        let shards = self.config.shards.max(1);
+        let specs_per_unit =
+            (self.adaptive_execs_per_unit() * self.config.detectors.len()) as u64;
+        let dedup = DedupMap::new(shards);
+        let registry = MetricsRegistry::new();
+        let skips = Mutex::new(SkipLog::default());
+        let mut records: Vec<RunRecord>;
+        if workers <= 1 {
+            let mut arena = self.make_arena();
+            let mut cache = UnitCache::new(UNIT_CACHE_CAP);
+            records = Vec::new();
+            for unit_index in 0..units {
+                registry.add_volatile("sched.home_pops", 1);
+                match cache.get_or_build(&*self.source, unit_index) {
+                    Ok(unit) => records.extend(self.execute_adaptive_unit(
+                        unit_index,
+                        &unit,
+                        0,
+                        unit_index % shards,
+                        &dedup,
+                        &mut arena,
+                        &registry,
+                    )),
+                    Err(e) => self.record_skip(&skips, &registry, e, specs_per_unit),
+                }
+            }
+        } else {
+            let queues = IndexQueues::new(shards, units);
+            let collected: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let queues = &queues;
+                    let dedup = &dedup;
+                    let collected = &collected;
+                    let registry = &registry;
+                    let skips = &skips;
+                    scope.spawn(move || {
+                        let mut arena = self.make_arena();
+                        let mut cache = UnitCache::new(UNIT_CACHE_CAP);
+                        let mut local = Vec::new();
+                        while let Some((unit_index, shard)) = queues.pop(w) {
+                            registry.add_volatile(
+                                if shard == w % shards { "sched.home_pops" } else { "sched.steals" },
+                                1,
+                            );
+                            match cache.get_or_build(&*self.source, unit_index) {
+                                Ok(unit) => local.extend(self.execute_adaptive_unit(
+                                    unit_index,
+                                    &unit,
+                                    w,
+                                    shard,
+                                    dedup,
+                                    &mut arena,
+                                    registry,
+                                )),
+                                Err(e) => {
+                                    self.record_skip(skips, registry, e, specs_per_unit);
+                                }
+                            }
+                        }
+                        collected
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .extend(local);
+                    });
+                }
+            });
+            records = collected
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            records.sort_by_key(|r| r.spec.index);
+        }
+        registry.observe("campaign.wall", started.elapsed());
+        let obs = self.build_obs("campaign/adaptive", &registry, &records);
         let skips = skips
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -1454,6 +1717,70 @@ mod tests {
         assert_eq!(*conv.last().unwrap(), (r.total_runs(), r.batch.len()));
     }
 
+    /// The adaptive mode's work unit is the whole per-unit exploration
+    /// loop, so its determinism story is the same as the static matrix:
+    /// identical records, digest, and dedup batch at any worker count.
+    #[test]
+    fn adaptive_campaign_is_worker_count_invariant() {
+        let config = CampaignConfig::smoke()
+            .seeds_per_unit(6)
+            .shards(4)
+            .detectors(vec![DetectorChoice::Hybrid, DetectorChoice::FastTrack]);
+        let c = Campaign::over_units(config, tiny_units());
+        let serial = c.with_config(c.config().clone().workers(1)).run_adaptive();
+        // Adaptive spends exactly the static matrix's budget, densely
+        // indexed.
+        assert_eq!(serial.total_runs(), c.matrix_len());
+        for (i, r) in serial.records.iter().enumerate() {
+            assert_eq!(r.spec.index, i);
+        }
+        assert!(serial.detection_rate() > 0.0);
+        for workers in [4, 8] {
+            let par = c.with_config(c.config().clone().workers(workers)).run_adaptive();
+            assert_eq!(par.deterministic_digest(), serial.deterministic_digest());
+            assert_eq!(par.digest64(), serial.digest64(), "workers={workers}");
+            assert_eq!(par.batch.fingerprints(), serial.batch.fingerprints());
+        }
+    }
+
+    /// Every prefix-carrying artifact the adaptive campaign files must
+    /// re-trigger its race when replayed, and corpus-run artifacts must
+    /// carry no prefix.
+    #[test]
+    fn adaptive_batch_artifacts_reproduce() {
+        let c = Campaign::over_units(
+            CampaignConfig::smoke().seeds_per_unit(16),
+            tiny_units(),
+        );
+        let r = c.run_adaptive();
+        assert!(!r.batch.is_empty());
+        let unit_by_name = |name: &str| {
+            (0..c.unit_count())
+                .map(|i| c.unit(i).unwrap())
+                .find(|u| u.name == name)
+                .expect("batch report names a campaign unit")
+        };
+        for (_, rep) in r.batch.iter() {
+            let artifact = rep.repro.as_ref().expect("campaign reports carry repro");
+            let unit = unit_by_name(rep.program.as_deref().expect("program set"));
+            let mut cfg = RunConfig {
+                seed: artifact.seed,
+                strategy: artifact.strategy,
+                max_steps: c.config().max_steps,
+                ..RunConfig::default()
+            };
+            if let Some(prefix) = &artifact.schedule_prefix {
+                cfg = cfg.schedule_prefix(prefix.clone());
+            }
+            let (_, reports) = DetectorChoice::Hybrid.run(&unit.program, cfg);
+            assert!(
+                reports.iter().any(|rr| rr.site_key() == rep.site_key()),
+                "replaying {artifact} of {} did not re-trigger the race",
+                unit.name
+            );
+        }
+    }
+
     /// A source whose odd units refuse to lower: the campaign must skip
     /// them (counted, first reasons kept), run everything else, and stay
     /// deterministic across worker counts.
@@ -1529,6 +1856,15 @@ mod tests {
         assert_eq!(replayed.deterministic_digest(), serial.deterministic_digest());
         assert_eq!(
             replayed.obs.snapshot.counter("campaign.skipped_runs"),
+            serial.obs.snapshot.counter("campaign.skipped_runs")
+        );
+        // Adaptive mode schedules different runs but charges broken units
+        // for the same spec count, so skip accounting lines up exactly.
+        let adaptive = c.with_config(c.config().clone().workers(2)).run_adaptive();
+        assert_eq!(adaptive.units_skipped, serial.units_skipped);
+        assert_eq!(adaptive.total_runs(), serial.total_runs());
+        assert_eq!(
+            adaptive.obs.snapshot.counter("campaign.skipped_runs"),
             serial.obs.snapshot.counter("campaign.skipped_runs")
         );
     }

@@ -1,0 +1,50 @@
+//! Pins the static-matrix campaign digest across refactors.
+//!
+//! The coverage-guided exploration layer refactored the scheduler from a
+//! stateless `Strategy` dispatch into policy objects plus decision
+//! recording. The static `(unit × seed × strategy × detector)` matrix must
+//! stay bit-identical through that refactor: these digests were captured
+//! from the pre-refactor engine and any drift here means the policy
+//! objects consume the RNG differently (or the campaign enumeration
+//! changed), which would invalidate every filed `ReproArtifact`.
+
+use grs_detector::DetectorChoice;
+use grs_fleet::{pattern_suite, Campaign, CampaignConfig};
+use grs_runtime::Strategy;
+
+fn pinned_campaign() -> Campaign {
+    let units = pattern_suite(true)
+        .into_iter()
+        .filter(|u| {
+            u.name.starts_with("loop_index_capture") || u.name.starts_with("missing_lock")
+        })
+        .collect();
+    let config = CampaignConfig::smoke()
+        .seeds_per_unit(4)
+        .base_seed(1)
+        .strategies(vec![
+            Strategy::Random,
+            Strategy::Pct { depth: 3 },
+            Strategy::RoundRobin,
+        ])
+        .detectors(vec![DetectorChoice::Hybrid, DetectorChoice::FastTrack])
+        .workers(1)
+        .shards(2);
+    Campaign::over_units(config, units)
+}
+
+/// Captured from the pre-refactor engine (commit de8f6ce). The static
+/// matrix — including PCT change-point placement under the default
+/// `pct_steps_hint` — must reproduce it bit-for-bit.
+const PINNED_DIGEST64: u64 = 0x7e3c_5329_1993_70a5;
+
+#[test]
+fn static_matrix_digest_is_bit_identical_to_pre_refactor() {
+    let r = pinned_campaign().run();
+    assert_eq!(r.units_skipped, 0);
+    assert_eq!(
+        r.digest64(),
+        PINNED_DIGEST64,
+        "static-matrix campaign drifted from the pre-refactor engine"
+    );
+}

@@ -84,8 +84,11 @@ pub use event::{AccessKind, Event, Frame, SourceLoc, Stack};
 pub use gomap::GoMap;
 pub use ids::{Addr, ChanId, Gid, LockUid, OnceId, WgId};
 pub use monitor::{Monitor, MonitorStats, NullMonitor, ObsMonitor, RecordingMonitor, TraceHasher};
-pub use runtime::{Program, RunConfig, RunOutcome, Runtime, RuntimeError};
-pub use sched::Strategy;
+pub use runtime::{calibrate_steps, Program, RunConfig, RunOutcome, Runtime, RuntimeError};
+pub use sched::{
+    GuidedPolicy, PctPolicy, RandomPolicy, RoundRobinPolicy, ScheduleDecision, SchedulePolicy,
+    ScheduleTrace, Strategy, SCHEDULE_TRACE_MAGIC, SCHEDULE_TRACE_VERSION,
+};
 pub use slice::GoSlice;
 pub use sync::{AtomicCell, Mutex, Once, RwMutex, WaitGroup};
 pub use trace::{
@@ -101,7 +104,7 @@ pub mod prelude {
     pub use crate::monitor::{
         Monitor, MonitorStats, NullMonitor, ObsMonitor, RecordingMonitor, TraceHasher,
     };
-    pub use crate::runtime::{Program, RunConfig, RunOutcome, Runtime};
-    pub use crate::sched::Strategy;
+    pub use crate::runtime::{calibrate_steps, Program, RunConfig, RunOutcome, Runtime};
+    pub use crate::sched::{ScheduleTrace, Strategy};
     pub use crate::trace::{record, record_with_depot, ReproArtifact, Trace, TraceRecorder};
 }

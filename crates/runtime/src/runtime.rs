@@ -8,8 +8,8 @@ use crate::ctx::Ctx;
 use crate::depot::StackDepot;
 use crate::ids::Gid;
 use crate::kernel::{Kernel, PoisonExit};
-use crate::monitor::{Monitor, MonitorStats};
-use crate::sched::Strategy;
+use crate::monitor::{Monitor, MonitorStats, NullMonitor};
+use crate::sched::{ScheduleTrace, Strategy};
 
 /// A re-runnable simulated Go program: a name plus the main goroutine body.
 ///
@@ -61,8 +61,15 @@ pub struct RunConfig {
     /// programs; exceeding it aborts the run with
     /// [`RuntimeError::StepBudgetExhausted`]).
     pub max_steps: u64,
-    /// Expected program length used to place PCT priority-change points.
+    /// Horizon PCT priority-change points are placed against. Should be
+    /// the unit's expected step count (see [`calibrate_steps`]); when it
+    /// far exceeds the actual run length, the change points land beyond
+    /// the run and PCT degenerates to strict-priority scheduling.
     pub pct_steps_hint: u64,
+    /// Recorded schedule prefix to replay before the strategy takes over
+    /// — the guided-exploration hook. `None` (the default) leaves the
+    /// schedule entirely to `(seed, strategy)`.
+    pub schedule_prefix: Option<ScheduleTrace>,
 }
 
 impl RunConfig {
@@ -88,6 +95,23 @@ impl RunConfig {
         self.max_steps = max_steps;
         self
     }
+
+    /// Sets the horizon PCT change points are placed against (builder
+    /// style). Pass the unit's observed step count — e.g. from
+    /// [`calibrate_steps`] — so short runs keep their change points.
+    #[must_use]
+    pub fn pct_horizon(mut self, horizon: u64) -> Self {
+        self.pct_steps_hint = horizon.max(1);
+        self
+    }
+
+    /// Sets a recorded schedule prefix to replay before the strategy
+    /// takes over (builder style).
+    #[must_use]
+    pub fn schedule_prefix(mut self, prefix: ScheduleTrace) -> Self {
+        self.schedule_prefix = Some(prefix);
+        self
+    }
 }
 
 impl Default for RunConfig {
@@ -97,8 +121,25 @@ impl Default for RunConfig {
             strategy: Strategy::Random,
             max_steps: 1_000_000,
             pct_steps_hint: 1_000,
+            schedule_prefix: None,
         }
     }
+}
+
+/// Measures how many scheduler steps `program` takes under the
+/// seed-invariant round-robin schedule — the calibrated horizon for PCT
+/// change-point placement. Round-robin picks consume no randomness, so
+/// the result is a pure function of the program (and the step budget),
+/// never of a seed or worker placement.
+#[must_use]
+pub fn calibrate_steps(program: &Program, max_steps: u64) -> u64 {
+    let cfg = RunConfig {
+        strategy: Strategy::RoundRobin,
+        max_steps,
+        ..RunConfig::default()
+    };
+    let (outcome, _) = Runtime::new(cfg).run(program, NullMonitor);
+    outcome.steps.max(1)
 }
 
 /// A user-visible error the simulated program committed; the Go analogues
@@ -201,6 +242,15 @@ pub struct RunOutcome {
     /// Goroutines still blocked when main finished — Go would leak them
     /// silently (Listing 9's forever-blocked Future sender).
     pub leaked: Vec<(Gid, String)>,
+    /// Every scheduling decision the run took, in order — the replayable
+    /// artifact guided exploration mutates. Together with the seed it
+    /// fully determines the interleaving.
+    pub schedule: ScheduleTrace,
+    /// Coverage signature of the run: an FNV fold over the dispatched
+    /// event stream plus the depot's interned stacks. A novelty signal
+    /// for exploration (two runs with equal signatures almost certainly
+    /// exercised the same behavior), not an authentication digest.
+    pub coverage: u64,
     /// Instrumentation counters: events dispatched, depot contents, peak
     /// shadow words (the §3.5 overhead statistics).
     pub stats: MonitorStats,
@@ -282,6 +332,8 @@ impl Runtime {
             errors: raw.errors,
             deadlock: raw.deadlock,
             leaked: raw.leaked,
+            schedule: raw.schedule,
+            coverage: raw.coverage,
             stats: raw.stats,
         };
         let monitor = *monitor

@@ -1,11 +1,15 @@
-//! Scheduling strategies.
+//! Scheduling policies and per-run schedule recording.
 //!
-//! The kernel asks the strategy which runnable goroutine runs next at every
-//! preemption point. Because only one goroutine runs at a time and all
-//! randomness flows through the seeded RNG held by the kernel, a `(seed,
-//! strategy)` pair fully determines the interleaving.
+//! The kernel asks the active [`SchedulePolicy`] which runnable goroutine
+//! runs next at every preemption point. Because only one goroutine runs at
+//! a time and all randomness flows through the seeded RNG held by the
+//! kernel, a `(seed, strategy)` pair fully determines the interleaving —
+//! and, since the coverage-guided exploration layer, so does a `(seed,
+//! schedule prefix)` pair: the [`Scheduler`] records every decision it
+//! makes as a compact [`ScheduleTrace`], and a [`GuidedPolicy`] can replay
+//! a recorded prefix before handing control back to a base policy.
 //!
-//! Three strategies are provided:
+//! Three base strategies are provided:
 //!
 //! * [`Strategy::Random`] — a uniform random walk over runnable goroutines;
 //!   the workhorse for race exposure, analogous to the stress of running Go
@@ -13,7 +17,11 @@
 //! * [`Strategy::Pct`] — Probabilistic Concurrency Testing (Burckhardt et
 //!   al., ASPLOS 2010): strict priorities with `depth - 1` random priority
 //!   change points, giving guarantees for low-depth bugs. Most of the
-//!   paper's patterns are depth-2 or depth-3 bugs.
+//!   paper's patterns are depth-2 or depth-3 bugs. Change points are
+//!   sampled from the configured horizon
+//!   ([`RunConfig::pct_horizon`](crate::RunConfig::pct_horizon)); callers
+//!   that know the unit's observed step count should pass it, or short
+//!   runs degenerate to strict-priority scheduling.
 //! * [`Strategy::RoundRobin`] — cooperative round-robin; deterministic even
 //!   across seeds, useful as a "friendly" schedule that often *misses* races
 //!   (the baseline for the scheduler ablation).
@@ -22,6 +30,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::ids::Gid;
+use crate::trace::{put_uvarint, Reader, TraceDecodeError};
 
 /// Which scheduling policy drives the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,55 +50,374 @@ pub enum Strategy {
     RoundRobin,
 }
 
-
-/// Scheduler state evolved across one run.
-#[derive(Debug)]
-pub(crate) struct Scheduler {
-    strategy: Strategy,
-    /// PCT: priority per goroutine (higher runs first).
-    priorities: Vec<i64>,
-    /// PCT: steps at which the running goroutine's priority is demoted.
-    change_points: Vec<u64>,
-    /// PCT: next fresh (lowest) priority to hand out on demotion.
-    next_low: i64,
-    /// Round-robin cursor.
-    rr_cursor: usize,
-    steps_taken: u64,
+impl Strategy {
+    /// Builds the policy object implementing this strategy. `pct_horizon`
+    /// bounds where PCT priority-change points may be placed; the other
+    /// strategies ignore it.
+    #[must_use]
+    pub fn policy(self, rng: &mut StdRng, pct_horizon: u64) -> Box<dyn SchedulePolicy> {
+        match self {
+            Strategy::Random => Box::new(RandomPolicy),
+            Strategy::Pct { depth } => Box::new(PctPolicy::new(depth, rng, pct_horizon)),
+            Strategy::RoundRobin => Box::new(RoundRobinPolicy::new()),
+        }
+    }
 }
 
-impl Scheduler {
-    /// `max_steps` bounds how far apart PCT change points may be placed.
-    pub(crate) fn new(strategy: Strategy, rng: &mut StdRng, max_steps: u64) -> Self {
-        let mut change_points = Vec::new();
-        if let Strategy::Pct { depth } = strategy {
-            for _ in 1..depth {
-                change_points.push(rng.gen_range(0..max_steps.max(1)));
-            }
-            change_points.sort_unstable();
-        }
-        Scheduler {
-            strategy,
-            priorities: Vec::new(),
-            change_points,
-            next_low: -1,
-            rr_cursor: 0,
-            steps_taken: 0,
-        }
-    }
+/// Draws the per-goroutine priority every policy consumes on
+/// registration.
+///
+/// Every policy draws (and the non-PCT ones discard) exactly one value per
+/// registered goroutine, so the RNG stream consumed by a run is identical
+/// across policies at each registration point. That invariance is what
+/// keeps `(seed, strategy)` digests stable across the policy-object
+/// refactor, and what lets a [`GuidedPolicy`] fall back to its base policy
+/// mid-run without perturbing the base policy's randomness.
+fn draw_priority(rng: &mut StdRng) -> i64 {
+    rng.gen_range(0..1_000_000)
+}
 
-    /// Registers a goroutine, assigning it a PCT priority.
-    pub(crate) fn register(&mut self, gid: Gid, rng: &mut StdRng) {
-        let i = gid.index();
-        if i >= self.priorities.len() {
-            self.priorities.resize(i + 1, 0);
-        }
-        // Random initial priority; ties broken by id below.
-        self.priorities[i] = rng.gen_range(0..1_000_000);
-    }
+/// A scheduling policy: the strategy-specific state machine the
+/// [`Scheduler`] consults at every preemption point.
+///
+/// Implementations must route **all** randomness through the `rng`
+/// argument (never internal entropy), so the schedule stays a pure
+/// function of the seed, and must draw exactly one RNG value per
+/// [`SchedulePolicy::register`] call (see [`draw_priority`]).
+pub trait SchedulePolicy: std::fmt::Debug + Send {
+    /// Registers a goroutine (gids may be non-contiguous; policies must
+    /// tolerate gaps).
+    fn register(&mut self, gid: Gid, rng: &mut StdRng);
 
     /// Picks the next goroutine among `runnable` (non-empty), given the
     /// currently running goroutine `current` (which may itself be in the
     /// runnable set).
+    fn pick(&mut self, runnable: &[Gid], current: Option<Gid>, rng: &mut StdRng) -> Gid;
+}
+
+/// Uniform random walk: every pick draws one uniform index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomPolicy;
+
+impl SchedulePolicy for RandomPolicy {
+    fn register(&mut self, _gid: Gid, rng: &mut StdRng) {
+        let _ = draw_priority(rng);
+    }
+
+    fn pick(&mut self, runnable: &[Gid], _current: Option<Gid>, rng: &mut StdRng) -> Gid {
+        runnable[rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// Cooperative round-robin: rotates relative to the running goroutine's
+/// position, so control moves around the ring regardless of gid gaps.
+/// Picks draw no randomness, which makes the schedule seed-invariant.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinPolicy {
+    cursor: usize,
+}
+
+impl RoundRobinPolicy {
+    /// A fresh round-robin policy.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobinPolicy::default()
+    }
+}
+
+impl SchedulePolicy for RoundRobinPolicy {
+    fn register(&mut self, _gid: Gid, rng: &mut StdRng) {
+        let _ = draw_priority(rng);
+    }
+
+    fn pick(&mut self, runnable: &[Gid], current: Option<Gid>, _rng: &mut StdRng) -> Gid {
+        self.cursor = (self.cursor + 1) % runnable.len();
+        if let Some(cur) = current {
+            if let Some(pos) = runnable.iter().position(|&g| g == cur) {
+                return runnable[(pos + 1) % runnable.len()];
+            }
+        }
+        runnable[self.cursor]
+    }
+}
+
+/// Probabilistic Concurrency Testing: strict random priorities with
+/// `depth - 1` priority change points at which the running goroutine is
+/// demoted below everything seen so far.
+#[derive(Debug, Clone)]
+pub struct PctPolicy {
+    /// Priority per goroutine index (higher runs first).
+    priorities: Vec<i64>,
+    /// Steps at which the running goroutine's priority is demoted.
+    change_points: Vec<u64>,
+    /// Next fresh (lowest) priority to hand out on demotion.
+    next_low: i64,
+    steps_taken: u64,
+    /// Demotions actually performed — the observable that pins the
+    /// change-point-placement fix: a horizon far beyond the run length
+    /// leaves this at zero and PCT silently degenerates to
+    /// strict-priority scheduling.
+    demotions: u32,
+}
+
+impl PctPolicy {
+    /// Samples `depth - 1` change points uniformly from `0..horizon`.
+    /// Pass the unit's observed step count (see
+    /// [`calibrate_steps`](crate::runtime::calibrate_steps)) as the
+    /// horizon so the points land inside the run.
+    #[must_use]
+    pub fn new(depth: u32, rng: &mut StdRng, horizon: u64) -> Self {
+        let mut change_points = Vec::new();
+        for _ in 1..depth {
+            change_points.push(rng.gen_range(0..horizon.max(1)));
+        }
+        change_points.sort_unstable();
+        PctPolicy {
+            priorities: Vec::new(),
+            change_points,
+            next_low: -1,
+            steps_taken: 0,
+            demotions: 0,
+        }
+    }
+
+    /// Priority-change demotions performed so far.
+    #[must_use]
+    pub fn demotions(&self) -> u32 {
+        self.demotions
+    }
+}
+
+impl SchedulePolicy for PctPolicy {
+    fn register(&mut self, gid: Gid, rng: &mut StdRng) {
+        let i = gid.index();
+        if i >= self.priorities.len() {
+            self.priorities.resize(i + 1, 0);
+        }
+        // Random initial priority; ties broken by id in `pick`.
+        self.priorities[i] = draw_priority(rng);
+    }
+
+    fn pick(&mut self, runnable: &[Gid], current: Option<Gid>, _rng: &mut StdRng) -> Gid {
+        self.steps_taken += 1;
+        // Demote the running goroutine at change points.
+        if let Some(cur) = current {
+            if self
+                .change_points
+                .first()
+                .is_some_and(|&cp| self.steps_taken >= cp)
+            {
+                self.change_points.remove(0);
+                let i = cur.index();
+                if i < self.priorities.len() {
+                    self.priorities[i] = self.next_low;
+                    self.next_low -= 1;
+                    self.demotions += 1;
+                }
+            }
+        }
+        *runnable
+            .iter()
+            .max_by_key(|g| (self.priorities.get(g.index()).copied().unwrap_or(0), g.0))
+            .expect("runnable is non-empty")
+    }
+}
+
+/// Replays a recorded decision prefix, then falls back to a base policy.
+///
+/// Replay consumes no randomness: each recorded decision is an index into
+/// the pick's candidate slice, clamped by modulo against the live
+/// candidate count so a mutated prefix stays well-formed even where the
+/// run has diverged from the recording. Registration still delegates to
+/// the base policy (which draws its usual per-goroutine value), so the
+/// RNG stream at the hand-over point is exactly what the base policy
+/// would have consumed on its own — which is what makes a guided run a
+/// pure function of `(seed, prefix)`.
+#[derive(Debug)]
+pub struct GuidedPolicy {
+    prefix: Vec<ScheduleDecision>,
+    pos: usize,
+    base: Box<dyn SchedulePolicy>,
+}
+
+impl GuidedPolicy {
+    /// A guided policy replaying `prefix` before handing over to `base`.
+    #[must_use]
+    pub fn new(prefix: ScheduleTrace, base: Box<dyn SchedulePolicy>) -> Self {
+        GuidedPolicy {
+            prefix: prefix.decisions,
+            pos: 0,
+            base,
+        }
+    }
+}
+
+impl SchedulePolicy for GuidedPolicy {
+    fn register(&mut self, gid: Gid, rng: &mut StdRng) {
+        self.base.register(gid, rng);
+    }
+
+    fn pick(&mut self, runnable: &[Gid], current: Option<Gid>, rng: &mut StdRng) -> Gid {
+        if let Some(d) = self.prefix.get(self.pos) {
+            self.pos += 1;
+            return runnable[d.chosen as usize % runnable.len()];
+        }
+        self.base.pick(runnable, current, rng)
+    }
+}
+
+/// First 8 bytes of every encoded [`ScheduleTrace`].
+pub const SCHEDULE_TRACE_MAGIC: [u8; 8] = *b"GRSCHED\0";
+
+/// Current schedule-trace format version.
+pub const SCHEDULE_TRACE_VERSION: u32 = 1;
+
+/// One scheduling decision: which candidate was chosen out of how many.
+///
+/// `chosen` indexes the sorted candidate slice the kernel passed to the
+/// pick, and `arity` records how many candidates there were — which is
+/// what lets exploration mutate a decision to a principled alternative
+/// (any other index below the recorded arity) and lets replay clamp
+/// divergent prefixes by modulo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduleDecision {
+    /// Index of the chosen goroutine within the candidate slice.
+    pub chosen: u32,
+    /// Number of candidates the decision chose among (`>= 1`).
+    pub arity: u32,
+}
+
+/// The compact per-run schedule artifact: every decision the scheduler
+/// made, in order. Round-trippable through a uvarint byte codec like
+/// `.grtrace` ([`ScheduleTrace::encode`]/[`ScheduleTrace::decode`]), and
+/// the substrate of guided exploration: truncate it at a decision point,
+/// flip the decision, and replay via [`GuidedPolicy`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ScheduleTrace {
+    /// The decisions, in pick order.
+    pub decisions: Vec<ScheduleDecision>,
+}
+
+impl ScheduleTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        ScheduleTrace::default()
+    }
+
+    /// Number of recorded decisions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True when no decisions were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The first `n` decisions as a new trace (all of them if `n` is
+    /// larger than the recording).
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> ScheduleTrace {
+        ScheduleTrace {
+            decisions: self.decisions[..n.min(self.decisions.len())].to_vec(),
+        }
+    }
+
+    /// FNV-1a digest of the decision stream.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.decisions.len() as u64);
+        for d in &self.decisions {
+            mix(u64::from(d.chosen));
+            mix(u64::from(d.arity));
+        }
+        h
+    }
+
+    /// Serializes the trace to the versioned byte format: magic, version,
+    /// decision count, then per decision uvarint `chosen` and `arity`.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.decisions.len() * 2);
+        out.extend_from_slice(&SCHEDULE_TRACE_MAGIC);
+        out.extend_from_slice(&SCHEDULE_TRACE_VERSION.to_le_bytes());
+        put_uvarint(&mut out, self.decisions.len() as u64);
+        for d in &self.decisions {
+            put_uvarint(&mut out, u64::from(d.chosen));
+            put_uvarint(&mut out, u64::from(d.arity));
+        }
+        out
+    }
+
+    /// Decodes an encoded schedule trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceDecodeError`] on bad magic, unsupported version,
+    /// truncation, malformed varints, or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ScheduleTrace, TraceDecodeError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(8)? != SCHEDULE_TRACE_MAGIC {
+            return Err(TraceDecodeError::BadMagic);
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+        if version != SCHEDULE_TRACE_VERSION {
+            return Err(TraceDecodeError::UnsupportedVersion {
+                found: version,
+                supported: SCHEDULE_TRACE_VERSION,
+            });
+        }
+        let n = r.uvarint()?;
+        let mut decisions = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let chosen = r.uvarint()? as u32;
+            let arity = r.uvarint()? as u32;
+            decisions.push(ScheduleDecision { chosen, arity });
+        }
+        if r.pos != bytes.len() {
+            return Err(TraceDecodeError::TrailingBytes {
+                extra: bytes.len() - r.pos,
+            });
+        }
+        Ok(ScheduleTrace { decisions })
+    }
+}
+
+/// Scheduler state evolved across one run: the active policy plus the
+/// decision recording.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    policy: Box<dyn SchedulePolicy>,
+    trace: ScheduleTrace,
+}
+
+impl Scheduler {
+    /// A scheduler driving an explicit policy object; the kernel builds
+    /// the policy from [`Strategy::policy`], optionally wrapped in a
+    /// [`GuidedPolicy`] when a schedule prefix is configured.
+    pub(crate) fn with_policy(policy: Box<dyn SchedulePolicy>) -> Self {
+        Scheduler {
+            policy,
+            trace: ScheduleTrace::new(),
+        }
+    }
+
+    /// Registers a goroutine with the policy.
+    pub(crate) fn register(&mut self, gid: Gid, rng: &mut StdRng) {
+        self.policy.register(gid, rng);
+    }
+
+    /// Picks the next goroutine among `runnable` (non-empty) and records
+    /// the decision.
     pub(crate) fn pick(
         &mut self,
         runnable: &[Gid],
@@ -97,42 +425,21 @@ impl Scheduler {
         rng: &mut StdRng,
     ) -> Gid {
         debug_assert!(!runnable.is_empty());
-        self.steps_taken += 1;
-        match self.strategy {
-            Strategy::Random => runnable[rng.gen_range(0..runnable.len())],
-            Strategy::RoundRobin => {
-                self.rr_cursor = (self.rr_cursor + 1) % runnable.len();
-                // Rotate relative to the current goroutine's position so
-                // control actually moves around the ring.
-                if let Some(cur) = current {
-                    if let Some(pos) = runnable.iter().position(|&g| g == cur) {
-                        return runnable[(pos + 1) % runnable.len()];
-                    }
-                }
-                runnable[self.rr_cursor]
-            }
-            Strategy::Pct { .. } => {
-                // Demote the running goroutine at change points.
-                if let Some(cur) = current {
-                    if self
-                        .change_points
-                        .first()
-                        .is_some_and(|&cp| self.steps_taken >= cp)
-                    {
-                        self.change_points.remove(0);
-                        let i = cur.index();
-                        if i < self.priorities.len() {
-                            self.priorities[i] = self.next_low;
-                            self.next_low -= 1;
-                        }
-                    }
-                }
-                *runnable
-                    .iter()
-                    .max_by_key(|g| (self.priorities.get(g.index()).copied().unwrap_or(0), g.0))
-                    .expect("runnable is non-empty")
-            }
-        }
+        let next = self.policy.pick(runnable, current, rng);
+        let chosen = runnable
+            .iter()
+            .position(|&g| g == next)
+            .expect("policy picked a goroutine outside the candidate set");
+        self.trace.decisions.push(ScheduleDecision {
+            chosen: chosen as u32,
+            arity: runnable.len() as u32,
+        });
+        next
+    }
+
+    /// Hands out the recorded schedule at end of run.
+    pub(crate) fn take_trace(&mut self) -> ScheduleTrace {
+        std::mem::take(&mut self.trace)
     }
 }
 
@@ -150,7 +457,7 @@ mod tests {
         let runnable = vec![g(0), g(1), g(2)];
         let pick_seq = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut s = Scheduler::new(Strategy::Random, &mut rng, 100);
+            let mut s = Scheduler::with_policy(Strategy::Random.policy(&mut rng, 100));
             (0..20)
                 .map(|_| s.pick(&runnable, Some(g(0)), &mut rng).0)
                 .collect::<Vec<_>>()
@@ -162,7 +469,7 @@ mod tests {
     #[test]
     fn round_robin_rotates() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut s = Scheduler::new(Strategy::RoundRobin, &mut rng, 100);
+        let mut s = Scheduler::with_policy(Strategy::RoundRobin.policy(&mut rng, 100));
         let runnable = vec![g(0), g(1), g(2)];
         let n1 = s.pick(&runnable, Some(g(0)), &mut rng);
         assert_eq!(n1, g(1));
@@ -175,7 +482,7 @@ mod tests {
     #[test]
     fn pct_prefers_highest_priority() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut s = Scheduler::new(Strategy::Pct { depth: 1 }, &mut rng, 1000);
+        let mut s = Scheduler::with_policy(Strategy::Pct { depth: 1 }.policy(&mut rng, 1000));
         s.register(g(0), &mut rng);
         s.register(g(1), &mut rng);
         let runnable = vec![g(0), g(1)];
@@ -189,16 +496,140 @@ mod tests {
     #[test]
     fn pct_demotes_at_change_points() {
         let mut rng = StdRng::seed_from_u64(3);
-        // max_steps=1 forces the single change point to step 0.
-        let mut s = Scheduler::new(Strategy::Pct { depth: 2 }, &mut rng, 1);
+        // horizon=1 forces the single change point to step 0.
+        let mut s = Scheduler::with_policy(Strategy::Pct { depth: 2 }.policy(&mut rng, 1));
         s.register(g(0), &mut rng);
         s.register(g(1), &mut rng);
         let runnable = vec![g(0), g(1)];
         let first = s.pick(&runnable, None, &mut rng);
-        // The first pick consumed the change point demoting `current=None`?
-        // No: demotion only applies when someone is running. Run `first`,
-        // then expect it to be demoted on the next pick.
+        // Demotion only applies when someone is running: run `first`, then
+        // expect it to be demoted on the next pick.
         let second = s.pick(&runnable, Some(first), &mut rng);
         assert_ne!(first, second, "change point must demote the running goroutine");
+    }
+
+    /// The change-point-placement fix, at policy level: a depth-3 PCT run
+    /// over a short horizon must actually demote, where a horizon far
+    /// beyond the run length leaves the schedule strict-priority.
+    #[test]
+    fn pct_depth3_demotes_on_short_horizon() {
+        let run = |horizon: u64| {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut p = PctPolicy::new(3, &mut rng, horizon);
+            p.register(g(0), &mut rng);
+            p.register(g(1), &mut rng);
+            p.register(g(2), &mut rng);
+            let runnable = vec![g(0), g(1), g(2)];
+            let mut cur = p.pick(&runnable, None, &mut rng);
+            for _ in 0..20 {
+                cur = p.pick(&runnable, Some(cur), &mut rng);
+            }
+            p.demotions()
+        };
+        // A 21-step "program" with change points placed against its actual
+        // length demotes; the old fixed 1000-step hint leaves the points
+        // unreachable.
+        assert!(run(20) > 0, "calibrated horizon must demote");
+        assert_eq!(run(100_000), 0, "oversized horizon degenerates to strict priority");
+    }
+
+    #[test]
+    fn scheduler_records_every_decision() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = Scheduler::with_policy(Strategy::Random.policy(&mut rng, 100));
+        let runnable = vec![g(0), g(1), g(2)];
+        for _ in 0..10 {
+            let picked = s.pick(&runnable, Some(g(0)), &mut rng);
+            assert!(runnable.contains(&picked));
+        }
+        let trace = s.take_trace();
+        assert_eq!(trace.len(), 10);
+        assert!(trace.decisions.iter().all(|d| d.arity == 3 && d.chosen < 3));
+    }
+
+    #[test]
+    fn guided_policy_replays_prefix_then_falls_back() {
+        let runnable = vec![g(0), g(1), g(2)];
+        // Record a random schedule...
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = Scheduler::with_policy(Strategy::Random.policy(&mut rng, 100));
+        let recorded: Vec<Gid> =
+            (0..8).map(|_| s.pick(&runnable, Some(g(0)), &mut rng)).collect();
+        let trace = s.take_trace();
+        // ...then replay its first 5 decisions under the same seed.
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = Strategy::Random.policy(&mut rng, 100);
+        let mut guided =
+            Scheduler::with_policy(Box::new(GuidedPolicy::new(trace.prefix(5), base)));
+        let replayed: Vec<Gid> = (0..8)
+            .map(|_| guided.pick(&runnable, Some(g(0)), &mut rng))
+            .collect();
+        assert_eq!(&replayed[..5], &recorded[..5], "prefix must replay exactly");
+        // Replay consumed no RNG, so the fallback tail diverges from the
+        // recording's RNG position — but is itself deterministic.
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = Strategy::Random.policy(&mut rng, 100);
+        let mut guided2 =
+            Scheduler::with_policy(Box::new(GuidedPolicy::new(trace.prefix(5), base)));
+        let replayed2: Vec<Gid> = (0..8)
+            .map(|_| guided2.pick(&runnable, Some(g(0)), &mut rng))
+            .collect();
+        assert_eq!(replayed, replayed2, "(seed, prefix) fully determines the schedule");
+    }
+
+    #[test]
+    fn guided_policy_clamps_out_of_range_decisions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let prefix = ScheduleTrace {
+            decisions: vec![ScheduleDecision { chosen: 7, arity: 9 }],
+        };
+        let base = Strategy::Random.policy(&mut rng, 100);
+        let mut s = Scheduler::with_policy(Box::new(GuidedPolicy::new(prefix, base)));
+        let runnable = vec![g(0), g(1)];
+        let picked = s.pick(&runnable, None, &mut rng);
+        assert_eq!(picked, g(1), "7 % 2 == 1");
+    }
+
+    #[test]
+    fn schedule_trace_round_trips() {
+        let trace = ScheduleTrace {
+            decisions: vec![
+                ScheduleDecision { chosen: 0, arity: 1 },
+                ScheduleDecision { chosen: 2, arity: 3 },
+                ScheduleDecision { chosen: 130, arity: 200 },
+            ],
+        };
+        let bytes = trace.encode();
+        assert_eq!(&bytes[..8], &SCHEDULE_TRACE_MAGIC);
+        let back = ScheduleTrace::decode(&bytes).expect("decode");
+        assert_eq!(back, trace);
+        assert_eq!(back.digest(), trace.digest());
+    }
+
+    #[test]
+    fn schedule_trace_decode_rejects_corruption() {
+        let trace = ScheduleTrace {
+            decisions: vec![ScheduleDecision { chosen: 1, arity: 2 }],
+        };
+        let bytes = trace.encode();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(ScheduleTrace::decode(&bad), Err(TraceDecodeError::BadMagic));
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            ScheduleTrace::decode(&bad),
+            Err(TraceDecodeError::UnsupportedVersion { found: 99, .. })
+        ));
+        assert_eq!(
+            ScheduleTrace::decode(&bytes[..bytes.len() - 1]),
+            Err(TraceDecodeError::Truncated)
+        );
+        let mut bad = bytes;
+        bad.push(0);
+        assert_eq!(
+            ScheduleTrace::decode(&bad),
+            Err(TraceDecodeError::TrailingBytes { extra: 1 })
+        );
     }
 }

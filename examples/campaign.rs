@@ -25,6 +25,14 @@
 //! stable metrics + the §3.5 Figure-3/Figure-4 timeline + volatile timing;
 //! override the path with `--obs-out`), and `--dashboard` renders it as a
 //! terminal dashboard.
+//!
+//! The default mode additionally runs the scheduler **ablation** (three
+//! arms at the same per-unit budget: the static random and PCT matrices
+//! vs the coverage-guided adaptive mode) and embeds its unsampled
+//! convergence curves, the guided arm's executions-to-parity ratio, and
+//! the adaptive digests at 1/4/8 workers under `"ablation"` in
+//! `BENCH_campaign.json`. `--ablation-budget N` sets the per-unit
+//! execution budget (default 96; `0` skips the ablation).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -39,6 +47,7 @@ struct Args {
     serial_baseline: bool,
     replay: bool,
     dashboard: bool,
+    ablation_budget: usize,
     out: Option<String>,
     obs_out: String,
 }
@@ -51,6 +60,7 @@ fn parse_args() -> Args {
         serial_baseline: false,
         replay: false,
         dashboard: false,
+        ablation_budget: 96,
         out: None,
         obs_out: "BENCH_obs.json".to_string(),
     };
@@ -66,6 +76,11 @@ fn parse_args() -> Args {
             "--suite" => args.suite = value("--suite"),
             "--serial-baseline" => args.serial_baseline = true,
             "--replay" => args.replay = true,
+            "--ablation-budget" => {
+                args.ablation_budget = value("--ablation-budget")
+                    .parse()
+                    .expect("ablation-budget: integer");
+            }
             "--dashboard" => args.dashboard = true,
             "--out" => args.out = Some(value("--out")),
             "--obs-out" => args.obs_out = value("--obs-out"),
@@ -162,6 +177,172 @@ fn result_json(r: &CampaignResult, label: &str) -> String {
         }
         first = false;
         let _ = write!(s, "[{runs},{unique}]");
+    }
+    s.push_str("]}");
+    s
+}
+
+/// The suite-wide per-execution convergence curve: records are replayed
+/// in round-robin order across units (execution 0 of every unit, then
+/// execution 1, …), so point `e` is the number of distinct race
+/// fingerprints known once every unit has spent `e + 1` executions. This
+/// ordering makes arms whose in-unit schedules differ (static matrix vs
+/// adaptive exploration) comparable at equal cost, and the curve is
+/// exported unsampled — one point per execution round, not capped like
+/// the campaign summary's convergence section.
+fn per_exec_curve(r: &CampaignResult, base_seed: u64, execs: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..r.records.len()).collect();
+    order.sort_unstable_by_key(|&i| {
+        let rec = &r.records[i];
+        ((rec.spec.seed - base_seed) as usize, rec.spec.unit, rec.spec.index)
+    });
+    let mut seen = std::collections::HashSet::new();
+    let mut curve = vec![0usize; execs];
+    for i in order {
+        let rec = &r.records[i];
+        for &fp in &rec.fingerprints {
+            seen.insert(fp);
+        }
+        let exec = (rec.spec.seed - base_seed) as usize;
+        if exec < execs {
+            curve[exec] = seen.len();
+        }
+    }
+    for e in 1..execs {
+        curve[e] = curve[e].max(curve[e - 1]);
+    }
+    curve
+}
+
+/// The §3.2 scheduler ablation: random and PCT static matrices vs the
+/// coverage-guided adaptive mode, each arm spending the same per-unit
+/// execution budget under the single hybrid detector. Prints a
+/// convergence panel, re-runs the guided arm at 1/4/8 workers so CI can
+/// gate digest determinism, and returns the `"ablation"` JSON object for
+/// `BENCH_campaign.json`.
+fn run_ablation(args: &Args, units: &[CampaignUnit]) -> String {
+    let budget = args.ablation_budget;
+    let arm_cfg = |strategy: Strategy, workers: usize| {
+        CampaignConfig::nightly()
+            .seeds_per_unit(budget)
+            .workers(workers)
+            .shards(4)
+            .detectors(vec![DetectorChoice::Hybrid])
+            .strategies(vec![strategy])
+    };
+    let base_seed = arm_cfg(Strategy::Random, 1).base_seed;
+    println!(
+        "== scheduler ablation: {} units × {budget} executions per arm ==",
+        units.len()
+    );
+
+    let mut arms: Vec<(&str, CampaignResult, Vec<usize>)> = Vec::new();
+    for (label, strategy, adaptive) in [
+        ("random", Strategy::Random, false),
+        ("pct", Strategy::Pct { depth: 3 }, false),
+        ("guided", Strategy::Random, true),
+    ] {
+        let campaign = Campaign::over_units(arm_cfg(strategy, args.workers), units.to_vec());
+        let result = if adaptive {
+            campaign.run_adaptive()
+        } else {
+            campaign.run()
+        };
+        let curve = per_exec_curve(&result, base_seed, budget);
+        arms.push((label, result, curve));
+    }
+
+    // Convergence panel: unique races known after each arm has spent the
+    // checkpoint's executions in every unit.
+    let checkpoints: Vec<usize> = [1, budget / 8, budget / 4, budget / 2, budget]
+        .into_iter()
+        .filter(|&e| e >= 1)
+        .collect();
+    print!("   {:<8}", "execs");
+    for &e in &checkpoints {
+        print!(" {e:>7}");
+    }
+    println!("   unique · novel sigs · mutated runs");
+    for (label, result, curve) in &arms {
+        print!("   {label:<8}");
+        for &e in &checkpoints {
+            print!(" {:>7}", curve[e - 1]);
+        }
+        println!(
+            "   {:>6} · {:>10} · {:>12}",
+            result.batch.len(),
+            result.obs.snapshot.counter("explore.novel_signatures"),
+            result.obs.snapshot.counter("explore.mutated_runs"),
+        );
+    }
+
+    // Executions-to-parity: how early the guided arm matches the random
+    // baseline's final unique-race yield.
+    let target = arms[0].2.last().copied().unwrap_or(0);
+    let parity = arms[2].2.iter().position(|&u| u >= target).map(|e| e + 1);
+    match parity {
+        Some(p) => println!(
+            "   guided matched random's {target} unique races after {p}/{budget} executions per unit (ratio {:.3})",
+            p as f64 / budget as f64
+        ),
+        None => println!("   guided never reached random's {target} unique races"),
+    }
+
+    // Worker placement must not leak into the adaptive mode's output:
+    // identical digests at 1, 4, and 8 workers, exported for CI to gate.
+    let digests: Vec<(usize, u64)> = [1usize, 4, 8]
+        .into_iter()
+        .map(|w| {
+            let r = Campaign::over_units(arm_cfg(Strategy::Random, w), units.to_vec())
+                .run_adaptive();
+            (w, r.digest64())
+        })
+        .collect();
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"{{"budget_per_unit":{budget},"units":{},"target_unique":{target}"#,
+        units.len()
+    );
+    match parity {
+        Some(p) => {
+            let _ = write!(
+                s,
+                r#","guided_parity_exec":{p},"parity_ratio":{:.4}"#,
+                p as f64 / budget as f64
+            );
+        }
+        None => s.push_str(r#","guided_parity_exec":null,"parity_ratio":null"#),
+    }
+    s.push_str(r#","guided_digest_by_workers":{"#);
+    for (i, (w, d)) in digests.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, r#""{w}":"0x{d:016x}""#);
+    }
+    s.push_str(r#"},"arms":["#);
+    for (i, (label, result, curve)) in arms.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            r#"{{"label":"{label}","total_runs":{},"racy_runs":{},"unique_races":{},"novel_signatures":{},"mutated_runs":{},"convergence":["#,
+            result.total_runs(),
+            result.racy_runs(),
+            result.batch.len(),
+            result.obs.snapshot.counter("explore.novel_signatures"),
+            result.obs.snapshot.counter("explore.mutated_runs"),
+        );
+        for (j, u) in curve.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{u}");
+        }
+        s.push_str("]}");
     }
     s.push_str("]}");
     s
@@ -289,7 +470,7 @@ fn main() {
         .shards(2 * args.workers)
         .detectors(vec![DetectorChoice::Hybrid])
         .strategies(vec![Strategy::Random, Strategy::Pct { depth: 2 }]);
-    let campaign = Campaign::over_units(config.clone(), units);
+    let campaign = Campaign::over_units(config.clone(), units.clone());
 
     println!("== campaign: {} units × {} seeds × {} strategies × {} detectors = {} runs ==",
         campaign.unit_count(),
@@ -378,12 +559,19 @@ fn main() {
         sections.push(result_json(&serial, "serial"));
     }
 
+    let ablation = if args.ablation_budget > 0 {
+        format!(r#","ablation":{}"#, run_ablation(&args, &units))
+    } else {
+        String::new()
+    };
+
     let json = format!(
-        r#"{{"suite":"{}","seeds_per_unit":{},"units":{},"results":[{}]}}"#,
+        r#"{{"suite":"{}","seeds_per_unit":{},"units":{},"results":[{}]{}}}"#,
         json_escape(&args.suite),
         config.seeds_per_unit,
         campaign.unit_count(),
         sections.join(","),
+        ablation,
     );
     let out = args.out.unwrap_or_else(|| "BENCH_campaign.json".to_string());
     std::fs::write(&out, format!("{json}\n")).expect("write JSON summary");
