@@ -9,16 +9,16 @@
 //! outstanding-race trajectories.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use grs::deploy::intake::{Campaign, CampaignConfig};
+use grs::deploy::sim::{SimConfig, TrackerSim};
 
 fn bench_policies(c: &mut Criterion) {
-    let historical = Campaign::new(CampaignConfig::paper()).run(42);
-    let shepherd_forever = Campaign::new(CampaignConfig {
+    let historical = TrackerSim::new(SimConfig::paper()).run(42);
+    let shepherd_forever = TrackerSim::new(SimConfig {
         shepherding_end: 10_000, // never stops
-        ..CampaignConfig::paper()
+        ..SimConfig::paper()
     })
     .run(42);
-    let ci_gated = Campaign::new(CampaignConfig::paper_with_ci_gating()).run(42);
+    let ci_gated = TrackerSim::new(SimConfig::paper_with_ci_gating()).run(42);
 
     println!("\n===== Deployment-policy ablation (outstanding at day 60/120/179) =====");
     for (name, r) in [
@@ -42,14 +42,14 @@ fn bench_policies(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            Campaign::new(CampaignConfig::paper()).run(seed)
+            TrackerSim::new(SimConfig::paper()).run(seed)
         });
     });
     group.bench_function("ci_gating", |b| {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            Campaign::new(CampaignConfig::paper_with_ci_gating()).run(seed)
+            TrackerSim::new(SimConfig::paper_with_ci_gating()).run(seed)
         });
     });
     group.finish();

@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use grs_corpus::table1::{self as t1, Table1, Table1Config};
-use grs_deploy::intake::{Campaign, CampaignConfig, CampaignResult};
+use grs_deploy::sim::{SimConfig, SimResult, TrackerSim};
 use grs_detector::{ExploreConfig, Explorer, Tsan};
 use grs_fleet::{census, Census, CensusConfig};
 use grs_golite::{lint_file, parse_file, Rule};
@@ -51,8 +51,8 @@ pub struct DeploymentStats {
 
 /// Runs the six-month deployment campaign behind Figures 3 and 4.
 #[must_use]
-pub fn figure3_figure4(seed: u64) -> (CampaignResult, DeploymentStats) {
-    let result = Campaign::new(CampaignConfig::paper()).run(seed);
+pub fn figure3_figure4(seed: u64) -> (SimResult, DeploymentStats) {
+    let result = TrackerSim::new(SimConfig::paper()).run(seed);
     let stats = DeploymentStats {
         total_detected: result.total_filed,
         total_fixed: result.total_fixed,

@@ -59,10 +59,11 @@ pub use study::{Study, StudyReport};
 /// example, and test imports, re-exported explicitly (no glob-of-globs, so
 /// rustdoc attributes each item to its home crate).
 ///
-/// `grs_deploy`'s intake simulation types collide by name with the fleet
-/// campaign engine, so they are re-exported under `Intake*` aliases;
-/// `Campaign`/`CampaignConfig`/`CampaignResult` here always mean the
-/// execution engine (`grs_fleet::campaign`).
+/// `grs_deploy`'s tracker-dynamics simulation (`sim::TrackerSim`) keeps its
+/// historical `Intake*` prelude aliases; `Campaign`/`CampaignConfig`/
+/// `CampaignResult` here always mean the execution engine
+/// (`grs_fleet::campaign`), and the streaming intake server is
+/// `IntakeService`.
 ///
 /// ```
 /// use grs::prelude::*;
@@ -71,10 +72,14 @@ pub use study::{Study, StudyReport};
 /// assert!(result.detection_rate() > 0.0);
 /// ```
 pub mod prelude {
-    pub use grs_deploy::intake::{
-        Campaign as IntakeSim, CampaignConfig as IntakeConfig, CampaignResult as IntakeResult,
+    pub use grs_deploy::service::{IntakeError, IntakeService, IntakeSummary};
+    pub use grs_deploy::sim::{
+        SimConfig as IntakeConfig, SimResult as IntakeResult, TrackerSim as IntakeSim,
     };
-    pub use grs_deploy::{race_fingerprint, Fingerprint, OwnerDb, Pipeline};
+    pub use grs_deploy::store::Snapshot;
+    #[allow(deprecated)]
+    pub use grs_deploy::Pipeline;
+    pub use grs_deploy::{race_fingerprint, Fingerprint, OwnerDb};
     pub use grs_detector::{DetectorArena, DetectorChoice, ExploreConfig, Explorer, RaceReport};
     pub use grs_fleet::{
         corpus_suite, pattern_suite, Campaign, CampaignConfig, CampaignResult, CampaignUnit,

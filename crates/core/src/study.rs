@@ -7,7 +7,7 @@
 //! and the detector-overhead probe.
 
 use grs_corpus::Table1;
-use grs_deploy::intake::CampaignResult;
+use grs_deploy::sim::SimResult;
 use grs_fleet::{Census, Language};
 
 use crate::experiments::{
@@ -89,7 +89,7 @@ pub struct StudyReport {
     /// Figure 1's census.
     pub fleet: Census,
     /// Figures 3–4.
-    pub campaign: CampaignResult,
+    pub campaign: SimResult,
     /// §3.5 headline statistics.
     pub deployment: DeploymentStats,
     /// Table 2 mixture recovery.

@@ -9,23 +9,50 @@
 //! deduplicated, deterministically ordered batch per day.
 //!
 //! Determinism matters: the batch keeps, per fingerprint, the report from
-//! the *lowest-numbered* campaign run (ties broken by insertion), and
-//! iterates in fingerprint order. Merging per-worker batches in any order
-//! therefore yields the same final batch — the property the differential
-//! test harness checks between serial and parallel campaigns.
+//! the *lowest-numbered* campaign run, and iterates in fingerprint order.
+//! Ties on `run_order` — which the intake service produces whenever two
+//! clients submit the same race on the same day — are broken by a stable
+//! content key ([`naive_fingerprint`] plus the repro seed), never by
+//! insertion order. Merging per-worker batches in any order therefore
+//! yields the same final batch — the property the differential test
+//! harness checks between serial and parallel campaigns, and that the
+//! service relies on so merge order can't change filed representatives.
 
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 use grs_detector::RaceReport;
 
-use crate::fingerprint::{race_fingerprint, Fingerprint};
-use crate::pipeline::{FileOutcome, Pipeline};
+use crate::fingerprint::{naive_fingerprint, race_fingerprint, Fingerprint};
+use crate::pipeline::FileOutcome;
+#[allow(deprecated)]
+use crate::pipeline::Pipeline;
+
+/// The total order choosing a fingerprint's representative: lowest
+/// `run_order` first, ties broken by a content key that is a pure function
+/// of the report (so which batch got there first never matters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct RepRank {
+    run_order: u64,
+    tie_key: u64,
+}
+
+impl RepRank {
+    fn new(run_order: u64, report: &RaceReport) -> Self {
+        // The naive fingerprint sees function names *and* line numbers in
+        // detection order, so it distinguishes the concrete manifestations
+        // that the dedup fingerprint deliberately conflates; the repro seed
+        // separates re-detections of the same lines under different runs.
+        let mut tie_key = naive_fingerprint(report).0;
+        tie_key ^= report.repro_seed.unwrap_or(0).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        RepRank { run_order, tie_key }
+    }
+}
 
 /// A deduplicated, deterministically ordered set of race reports.
 #[derive(Debug, Default)]
 pub struct RaceBatch {
-    by_fp: BTreeMap<Fingerprint, (u64, RaceReport)>,
+    by_fp: BTreeMap<Fingerprint, (RepRank, RaceReport)>,
     raw: u64,
 }
 
@@ -39,19 +66,21 @@ impl RaceBatch {
     /// Adds one raw report discovered by campaign run `run_order`.
     ///
     /// The representative kept for a fingerprint is the one with the lowest
-    /// `run_order`; on a tie the first inserted wins. Returns `true` when
+    /// `run_order`; ties go to the report with the lowest content key, so
+    /// the winner is independent of insertion order. Returns `true` when
     /// the fingerprint was new.
     pub fn add(&mut self, report: RaceReport, run_order: u64) -> bool {
         self.raw += 1;
         let fp = race_fingerprint(&report);
+        let rank = RepRank::new(run_order, &report);
         match self.by_fp.entry(fp) {
             Entry::Vacant(v) => {
-                v.insert((run_order, report));
+                v.insert((rank, report));
                 true
             }
             Entry::Occupied(mut o) => {
-                if run_order < o.get().0 {
-                    o.insert((run_order, report));
+                if rank < o.get().0 {
+                    o.insert((rank, report));
                 }
                 false
             }
@@ -65,17 +94,19 @@ impl RaceBatch {
         self.raw += n;
     }
 
-    /// Merges another batch into this one (same representative rule).
+    /// Merges another batch into this one (same representative rule, so
+    /// merging any partition of the raw reports in any order converges to
+    /// the batch a single serial `add` loop would build).
     pub fn merge(&mut self, other: RaceBatch) {
         self.raw += other.raw;
-        for (fp, (order, report)) in other.by_fp {
+        for (fp, (rank, report)) in other.by_fp {
             match self.by_fp.entry(fp) {
                 Entry::Vacant(v) => {
-                    v.insert((order, report));
+                    v.insert((rank, report));
                 }
                 Entry::Occupied(mut o) => {
-                    if order < o.get().0 {
-                        o.insert((order, report));
+                    if rank < o.get().0 {
+                        o.insert((rank, report));
                     }
                 }
             }
@@ -118,6 +149,7 @@ impl RaceBatch {
     }
 }
 
+#[allow(deprecated)]
 impl Pipeline {
     /// Files one deduplicated batch (a day's campaign output) and returns
     /// the per-fingerprint outcomes, in fingerprint order.
@@ -125,6 +157,8 @@ impl Pipeline {
     /// Because the batch is already deduplicated, every `Duplicate` outcome
     /// here means the tracker has an *open task from a previous day* for
     /// that fingerprint — cross-day dedup, not within-campaign dedup.
+    /// Deprecated alongside [`Pipeline`]; the successor is
+    /// [`IntakeService::submit_race_batch`](crate::service::IntakeService::submit_race_batch).
     pub fn submit_batch(&mut self, batch: &RaceBatch, day: u32) -> Vec<(Fingerprint, FileOutcome)> {
         batch
             .iter()
@@ -134,6 +168,7 @@ impl Pipeline {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::assignee::OwnerDb;
@@ -215,6 +250,45 @@ mod tests {
     }
 
     #[test]
+    fn equal_run_order_merge_is_order_independent() {
+        // Two workers discover the same fingerprint in the same run-order
+        // slot (e.g. two intake clients on the same day). Whichever merge
+        // order the service uses, the representative must be the same.
+        let a = report("F", 10, 3); // same fingerprint as b (lines ignored)
+        let b = report("F", 99, 8);
+        let build = |first: &RaceReport, second: &RaceReport| {
+            let mut left = RaceBatch::new();
+            left.add(first.clone(), 7);
+            let mut right = RaceBatch::new();
+            right.add(second.clone(), 7);
+            let mut merged = RaceBatch::new();
+            merged.merge(left);
+            merged.merge(right);
+            merged.into_reports()
+        };
+        let ab = build(&a, &b);
+        let ba = build(&b, &a);
+        assert_eq!(ab.len(), 1);
+        assert_eq!(
+            ab[0].repro_seed, ba[0].repro_seed,
+            "representative must not depend on merge order"
+        );
+        assert_eq!(ab[0].prior.loc.line, ba[0].prior.loc.line);
+
+        // Same property through `add` alone (insertion order flipped).
+        let mut fwd = RaceBatch::new();
+        fwd.add(a.clone(), 7);
+        fwd.add(b.clone(), 7);
+        let mut rev = RaceBatch::new();
+        rev.add(b, 7);
+        rev.add(a, 7);
+        assert_eq!(
+            fwd.into_reports()[0].repro_seed,
+            rev.into_reports()[0].repro_seed
+        );
+    }
+
+    #[test]
     fn repro_artifact_survives_batch_intake_into_the_task() {
         use grs_runtime::{ReproArtifact, Strategy};
         let mut r = report("F", 10, 7);
@@ -232,7 +306,7 @@ mod tests {
         let FileOutcome::Filed { task, .. } = outcomes[0].1 else {
             panic!("must file");
         };
-        let task = p.tracker().task(task);
+        let task = p.tracker().task(task).expect("filed");
         assert_eq!(task.repro_seed, Some(7));
         let artifact = task.repro.as_ref().expect("artifact attached");
         assert_eq!(artifact.strategy, Strategy::RoundRobin);
@@ -250,7 +324,7 @@ mod tests {
         let FileOutcome::Filed { task, .. } = outcomes[0].1 else {
             panic!("must file");
         };
-        let task = p.tracker().task(task);
+        let task = p.tracker().task(task).expect("filed");
         assert_eq!(task.repro_seed, Some(9));
         assert_eq!(
             task.repro,

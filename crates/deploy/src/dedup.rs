@@ -1,0 +1,256 @@
+//! Memory-bounded duplicate suppression for the intake service.
+//!
+//! The tracker is the authoritative suppressor — a fingerprint files iff no
+//! task with that fingerprint is open. But the tracker sits behind the
+//! service's core mutex, and a six-month deployment re-detects the same hot
+//! races millions of times. [`BoundedDedup`] is the front line: a sharded
+//! exact cache of open fingerprints behind an approximate FNV pre-filter,
+//! with a **hard word budget**. When the cache is full, the oldest cached
+//! representative is evicted (FIFO per shard); the next re-detection of an
+//! evicted fingerprint falls through to the tracker and merely re-warms the
+//! cache. Both approximation layers fail *safe*:
+//!
+//! * the bloom pre-filter only answers "definitely never cached" (skip the
+//!   exact probe entirely) — a false maybe costs one shard lock, never a
+//!   wrong verdict;
+//! * eviction only loses the short-circuit — the tracker still suppresses.
+//!
+//! Correctness therefore never depends on the cache; memory use never
+//! depends on the workload. `peak_words()` against `budget_words()` is the
+//! soak gate's "dedup stayed under budget the whole run" check.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::fingerprint::Fingerprint;
+
+/// 8-byte words one cached fingerprint is accounted as: the fingerprint
+/// itself, the hash-set slot overhead, and the FIFO queue entry.
+pub const WORDS_PER_ENTRY: usize = 4;
+
+const SHARDS: usize = 16;
+
+/// Smallest bloom filter the cache will build, bits.
+const MIN_BLOOM_BITS: usize = 1 << 10;
+
+#[derive(Default)]
+struct Shard {
+    cached: HashSet<u64>,
+    // Insertion order, oldest first — the eviction queue. May hold stale
+    // entries for invalidated fingerprints; eviction skips those.
+    order: VecDeque<u64>,
+}
+
+/// The verdict [`BoundedDedup::check`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupVerdict {
+    /// Cached as open: suppress without consulting the tracker.
+    CachedOpen,
+    /// Not in the cache (never seen, evicted, or bloom-missed): the caller
+    /// must consult the tracker.
+    Unknown,
+}
+
+/// Sharded, budgeted duplicate cache. See the module docs for semantics.
+pub struct BoundedDedup {
+    shards: Vec<Mutex<Shard>>,
+    bloom: Vec<AtomicU64>,
+    bloom_mask: u64,
+    max_entries: usize,
+    entries: AtomicUsize,
+    peak_entries: AtomicUsize,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for BoundedDedup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedDedup")
+            .field("budget_words", &self.budget_words())
+            .field("words", &self.words())
+            .field("evictions", &self.evictions())
+            .finish_non_exhaustive()
+    }
+}
+
+fn mix(fp: Fingerprint) -> u64 {
+    // splitmix64 finalizer: the raw fingerprint is already FNV-mixed, but
+    // shard/bloom indices use disjoint bit ranges and must not correlate.
+    let mut h = fp.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+impl BoundedDedup {
+    /// A cache holding at most `budget_words` 8-byte words of entries
+    /// (at [`WORDS_PER_ENTRY`] words each; at least one entry per shard is
+    /// always allowed so the cache functions even under a tiny budget).
+    #[must_use]
+    pub fn new(budget_words: usize) -> BoundedDedup {
+        let max_entries = (budget_words / WORDS_PER_ENTRY).max(SHARDS);
+        // ~8 bits per possible entry keeps the false-maybe rate low; the
+        // bloom's own memory is a rounding error next to the entry budget.
+        let bloom_bits = (max_entries * 8).next_power_of_two().max(MIN_BLOOM_BITS);
+        BoundedDedup {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            bloom: (0..bloom_bits / 64).map(|_| AtomicU64::new(0)).collect(),
+            bloom_mask: (bloom_bits as u64) - 1,
+            max_entries,
+            entries: AtomicUsize::new(0),
+            peak_entries: AtomicUsize::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn bloom_positions(&self, h: u64) -> [(usize, u64); 2] {
+        let a = h & self.bloom_mask;
+        let b = (h >> 32 ^ h << 17) & self.bloom_mask;
+        [
+            ((a / 64) as usize, 1u64 << (a % 64)),
+            ((b / 64) as usize, 1u64 << (b % 64)),
+        ]
+    }
+
+    fn bloom_maybe(&self, h: u64) -> bool {
+        self.bloom_positions(h)
+            .iter()
+            .all(|&(word, bit)| self.bloom[word].load(Ordering::Relaxed) & bit != 0)
+    }
+
+    fn bloom_set(&self, h: u64) {
+        for (word, bit) in self.bloom_positions(h) {
+            self.bloom[word].fetch_or(bit, Ordering::Relaxed);
+        }
+    }
+
+    fn shard(&self, h: u64) -> &Mutex<Shard> {
+        &self.shards[(h >> 48) as usize % SHARDS]
+    }
+
+    /// Is `fp` cached as an open task's fingerprint?
+    #[must_use]
+    pub fn check(&self, fp: Fingerprint) -> DedupVerdict {
+        let h = mix(fp);
+        if !self.bloom_maybe(h) {
+            // Never inserted since startup — skip the shard lock entirely.
+            return DedupVerdict::Unknown;
+        }
+        let shard = self
+            .shard(h)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if shard.cached.contains(&h) {
+            DedupVerdict::CachedOpen
+        } else {
+            DedupVerdict::Unknown
+        }
+    }
+
+    /// Caches `fp` as open, evicting the shard's oldest representative if
+    /// the budget is exhausted.
+    pub fn insert(&self, fp: Fingerprint) {
+        let h = mix(fp);
+        self.bloom_set(h);
+        let per_shard_cap = (self.max_entries / SHARDS).max(1);
+        let mut shard = self
+            .shard(h)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !shard.cached.insert(h) {
+            return;
+        }
+        shard.order.push_back(h);
+        while shard.cached.len() > per_shard_cap {
+            // Oldest first; skip queue entries whose fingerprint was
+            // invalidated (already uncached) in the meantime.
+            let Some(oldest) = shard.order.pop_front() else {
+                break;
+            };
+            if shard.cached.remove(&oldest) {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let now = self.entries.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_entries.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Uncaches `fp` — called when its task is fixed, so the next detection
+    /// files a fresh task instead of being suppressed by a stale cache hit.
+    /// (The bloom filter is additive-only; a stale bloom bit only costs the
+    /// next check a shard probe.)
+    pub fn invalidate(&self, fp: Fingerprint) {
+        let h = mix(fp);
+        let mut shard = self
+            .shard(h)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if shard.cached.remove(&h) {
+            self.entries.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The hard budget, in 8-byte words.
+    #[must_use]
+    pub fn budget_words(&self) -> usize {
+        self.max_entries * WORDS_PER_ENTRY
+    }
+
+    /// Current accounted size, in words.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.entries.load(Ordering::Relaxed) * WORDS_PER_ENTRY
+    }
+
+    /// High-water mark of [`BoundedDedup::words`] over the cache's life.
+    #[must_use]
+    pub fn peak_words(&self) -> usize {
+        self.peak_entries.load(Ordering::Relaxed) * WORDS_PER_ENTRY
+    }
+
+    /// Representatives evicted to stay under budget.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_answers_and_invalidates() {
+        let d = BoundedDedup::new(1 << 16);
+        let fp = Fingerprint(0x1234);
+        assert_eq!(d.check(fp), DedupVerdict::Unknown);
+        d.insert(fp);
+        assert_eq!(d.check(fp), DedupVerdict::CachedOpen);
+        d.invalidate(fp);
+        assert_eq!(d.check(fp), DedupVerdict::Unknown, "fix uncaches");
+        assert_eq!(d.evictions(), 0);
+    }
+
+    #[test]
+    fn budget_is_a_hard_cap_with_fifo_eviction() {
+        let d = BoundedDedup::new(SHARDS * WORDS_PER_ENTRY * 4); // 4 entries/shard
+        for i in 0..10_000u64 {
+            d.insert(Fingerprint(i.wrapping_mul(0x9e37_79b9)));
+        }
+        assert!(d.words() <= d.budget_words(), "live size under budget");
+        assert!(d.peak_words() <= d.budget_words(), "peak under budget");
+        assert!(d.evictions() > 0, "small budget must evict");
+        // Evicted entries answer Unknown — the tracker takes over.
+        assert_eq!(d.check(Fingerprint(0)), DedupVerdict::Unknown);
+    }
+
+    #[test]
+    fn double_insert_accounts_once() {
+        let d = BoundedDedup::new(1 << 16);
+        let fp = Fingerprint(7);
+        d.insert(fp);
+        d.insert(fp);
+        assert_eq!(d.words(), WORDS_PER_ENTRY);
+    }
+}

@@ -1,481 +1,35 @@
-//! The six-month deployment *intake* simulation (Figures 3–4, §3.5).
+//! Deprecated aliases for the tracker-dynamics simulation, which moved to
+//! [`crate::sim`].
 //!
-//! The name separates the two layers that once both called themselves
-//! "campaign": `grs_fleet::campaign` *executes* a run matrix; this module
-//! *simulates the intake side* — filing, assignment, and fix dynamics
-//! over simulated months. See DESIGN.md §4e.
-//!
-//! The paper rolled its detector out in April 2021 and reports, over six
-//! months:
-//!
-//! * ~2000 races detected, 1011 fixed by 210 engineers via 790 unique
-//!   patches (~78% unique root causes),
-//! * an initial *shepherded* phase with a noticeable **drop** in
-//!   outstanding races, then a gradual **rise** once shepherding stopped
-//!   (Figure 3),
-//! * a slow ramp of task creation April–June, a July surge when "the flood
-//!   gates opened", strong early resolution, then creation outpacing
-//!   resolution (Figure 4),
-//! * about five new race reports per day at steady state.
-//!
-//! [`Campaign`] reproduces those dynamics as an explicit stochastic process
-//! over the real [`BugTracker`]: a backlog of pre-existing races is
-//! released through a ramp + floodgate reporting schedule, developers fix
-//! open tasks with a phase-dependent daily probability, new races trickle
-//! in from fresh code, and fixes are attributed to engineers and patches.
-//! Everything is driven by one seeded RNG, so each run is reproducible.
+//! `deploy::intake` used to hold the Figures 3–4 *simulation* under the
+//! names `Campaign`/`CampaignConfig` — names that collided with the fleet
+//! execution engine and, worse, claimed the word "intake" that the real
+//! streaming intake server ([`crate::service::IntakeService`]) now owns.
+//! The simulation types live in [`crate::sim`] as
+//! [`TrackerSim`](crate::sim::TrackerSim)/[`SimConfig`](crate::sim::SimConfig);
+//! these aliases keep old callers compiling for one release.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Deprecated alias for [`crate::sim::TrackerSim`].
+#[deprecated(note = "renamed: use grs_deploy::sim::TrackerSim")]
+pub type Campaign = crate::sim::TrackerSim;
 
-use crate::fingerprint::Fingerprint;
-use crate::tracker::BugTracker;
+/// Deprecated alias for [`crate::sim::SimConfig`].
+#[deprecated(note = "renamed: use grs_deploy::sim::SimConfig")]
+pub type CampaignConfig = crate::sim::SimConfig;
 
-/// Parameters of the campaign process.
-#[derive(Debug, Clone)]
-pub struct CampaignConfig {
-    /// Days simulated (the paper's window is ~6 months).
-    pub days: u32,
-    /// Pre-existing races discoverable in the codebase at rollout.
-    pub backlog: u32,
-    /// Tasks filed in the first week from pre-rollout detection runs.
-    pub initial_wave: u32,
-    /// Reporting ramp: tasks/day at day 0 and at the floodgate day.
-    pub ramp_rate: (f64, f64),
-    /// Day the remaining backlog is released ("opening the flood gates" —
-    /// July in the paper).
-    pub floodgate_day: u32,
-    /// Backlog tasks released per day during the floodgate.
-    pub floodgate_rate: u32,
-    /// Day the authors stopped shepherding fixes.
-    pub shepherding_end: u32,
-    /// Daily per-task fix probability while shepherded / afterwards.
-    pub fix_prob: (f64, f64),
-    /// Mean new races introduced per day by fresh code (Poisson).
-    pub new_race_rate: f64,
-    /// Size of the engineer population (fix attribution, Zipf-weighted).
-    pub engineer_pool: usize,
-    /// Probability a fix reuses the same patch as the previous fix that
-    /// day (one patch fixing several manifested races — the 790/1011
-    /// ratio).
-    pub patch_reuse_prob: f64,
-    /// Remark 1's counterfactual: with race detection gating CI, newly
-    /// introduced races are caught in the pull request and never reach the
-    /// codebase (the backlog still drains through the normal fix process).
-    pub ci_gating: bool,
-}
+/// Deprecated alias for [`crate::sim::SimResult`].
+#[deprecated(note = "renamed: use grs_deploy::sim::SimResult")]
+pub type CampaignResult = crate::sim::SimResult;
 
-impl CampaignConfig {
-    /// Parameters calibrated to the paper's §3.5 statistics and the shapes
-    /// of Figures 3–4.
-    #[must_use]
-    pub fn paper() -> Self {
-        CampaignConfig {
-            days: 180,
-            backlog: 1250,
-            initial_wave: 500,
-            ramp_rate: (2.0, 5.0),
-            floodgate_day: 90,
-            floodgate_rate: 55,
-            shepherding_end: 80,
-            fix_prob: (0.027, 0.0025),
-            new_race_rate: 5.0,
-            engineer_pool: 320,
-            patch_reuse_prob: 0.25,
-            ci_gating: false,
-        }
-    }
-
-    /// The Remark 1 counterfactual: same campaign, but dynamic race
-    /// detection gates CI, so no new races enter the codebase.
-    #[must_use]
-    pub fn paper_with_ci_gating() -> Self {
-        CampaignConfig {
-            ci_gating: true,
-            ..Self::paper()
-        }
-    }
-}
-
-impl Default for CampaignConfig {
-    fn default() -> Self {
-        Self::paper()
-    }
-}
-
-/// One day of campaign statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DayStats {
-    /// Day index (0-based from rollout).
-    pub day: u32,
-    /// Tasks filed this day.
-    pub filed: u32,
-    /// Tasks fixed this day.
-    pub fixed: u32,
-    /// Cumulative tasks filed.
-    pub filed_cum: u32,
-    /// Cumulative tasks fixed.
-    pub fixed_cum: u32,
-    /// Open tasks at end of day (Figure 3's y-axis).
-    pub outstanding: u32,
-}
-
-/// The outcome of a simulated campaign.
-#[derive(Debug)]
-pub struct CampaignResult {
-    /// Per-day statistics, `config.days` entries.
-    pub daily: Vec<DayStats>,
-    /// Total tasks filed (paper: ~2000 detected).
-    pub total_filed: u32,
-    /// Total tasks fixed (paper: 1011).
-    pub total_fixed: u32,
-    /// Distinct engineers who fixed tasks (paper: 210).
-    pub unique_engineers: u32,
-    /// Distinct patches (paper: 790).
-    pub unique_patches: u32,
-}
-
-impl CampaignResult {
-    /// Figure 3's series: `(day, outstanding)`.
-    #[must_use]
-    pub fn figure3_series(&self) -> Vec<(u32, u32)> {
-        self.daily.iter().map(|d| (d.day, d.outstanding)).collect()
-    }
-
-    /// Figure 4's series: `(day, cumulative created, cumulative resolved)`.
-    #[must_use]
-    pub fn figure4_series(&self) -> Vec<(u32, u32, u32)> {
-        self.daily
-            .iter()
-            .map(|d| (d.day, d.filed_cum, d.fixed_cum))
-            .collect()
-    }
-
-    /// Mean new reports per day over the last `window` days (the paper's
-    /// "about five new data races every day").
-    #[must_use]
-    pub fn steady_state_new_per_day(&self, window: u32) -> f64 {
-        let tail: Vec<&DayStats> = self
-            .daily
-            .iter()
-            .rev()
-            .take(window as usize)
-            .collect();
-        if tail.is_empty() {
-            return 0.0;
-        }
-        tail.iter().map(|d| f64::from(d.filed)).sum::<f64>() / tail.len() as f64
-    }
-
-    /// Ratio of unique patches to fixes (paper: ~78%, their proxy for the
-    /// fraction of unique root causes).
-    #[must_use]
-    pub fn unique_root_cause_ratio(&self) -> f64 {
-        if self.total_fixed == 0 {
-            return 1.0;
-        }
-        f64::from(self.unique_patches) / f64::from(self.total_fixed)
-    }
-}
-
-/// The campaign simulator.
-#[derive(Debug, Clone, Default)]
-pub struct Campaign {
-    config: CampaignConfig,
-}
-
-impl Campaign {
-    /// A campaign with the given parameters.
-    #[must_use]
-    pub fn new(config: CampaignConfig) -> Self {
-        Campaign { config }
-    }
-
-    /// The parameters.
-    #[must_use]
-    pub fn config(&self) -> &CampaignConfig {
-        &self.config
-    }
-
-    /// Runs the campaign under `seed`.
-    #[must_use]
-    pub fn run(&self, seed: u64) -> CampaignResult {
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut tracker = BugTracker::new();
-        let mut backlog = cfg.backlog;
-        let mut next_fp: u64 = 1;
-        let mut next_patch: u64 = 1;
-        let mut daily = Vec::with_capacity(cfg.days as usize);
-        let mut filed_cum = 0u32;
-        let mut fixed_cum = 0u32;
-
-        for day in 0..cfg.days {
-            // --- file new tasks ---
-            let mut filed_today = 0u32;
-            let mut file = |tracker: &mut BugTracker,
-                            rng: &mut StdRng,
-                            filed_today: &mut u32| {
-                let fp = Fingerprint(next_fp);
-                next_fp += 1;
-                let engineer = zipf(rng, cfg.engineer_pool);
-                if tracker
-                    .file(fp, day, Some(format!("eng-{engineer}")))
-                    .is_some()
-                {
-                    *filed_today += 1;
-                }
-            };
-
-            // Initial wave: the first week releases pre-rollout findings.
-            if day < 7 {
-                let per_day = cfg.initial_wave / 7;
-                for _ in 0..per_day.min(backlog) {
-                    file(&mut tracker, &mut rng, &mut filed_today);
-                    backlog -= 1;
-                }
-            }
-            // Ramp phase.
-            if day < cfg.floodgate_day {
-                let t = f64::from(day) / f64::from(cfg.floodgate_day);
-                let rate = cfg.ramp_rate.0 + t * (cfg.ramp_rate.1 - cfg.ramp_rate.0);
-                let n = poisson(&mut rng, rate).min(backlog);
-                for _ in 0..n {
-                    file(&mut tracker, &mut rng, &mut filed_today);
-                    backlog -= 1;
-                }
-            } else if backlog > 0 {
-                // Floodgate: release the rest quickly.
-                let n = cfg.floodgate_rate.min(backlog);
-                for _ in 0..n {
-                    file(&mut tracker, &mut rng, &mut filed_today);
-                    backlog -= 1;
-                }
-            }
-            // New races from fresh code, every day — unless CI gating
-            // (Remark 1) stops them at the pull request.
-            if !cfg.ci_gating {
-                let fresh = poisson(&mut rng, cfg.new_race_rate);
-                for _ in 0..fresh {
-                    file(&mut tracker, &mut rng, &mut filed_today);
-                }
-            }
-
-            // --- fix open tasks ---
-            let p = if day <= cfg.shepherding_end {
-                cfg.fix_prob.0
-            } else {
-                cfg.fix_prob.1
-            };
-            let open: Vec<_> = tracker.open_tasks().collect();
-            let mut fixed_today = 0u32;
-            let mut last_patch_today: Option<u64> = None;
-            for id in open {
-                if rng.gen_bool(p) {
-                    let engineer = zipf(&mut rng, cfg.engineer_pool);
-                    let patch = match last_patch_today {
-                        Some(prev) if rng.gen_bool(cfg.patch_reuse_prob) => prev,
-                        _ => {
-                            let p = next_patch;
-                            next_patch += 1;
-                            p
-                        }
-                    };
-                    last_patch_today = Some(patch);
-                    tracker.fix(id, day, &format!("eng-{engineer}"), patch);
-                    fixed_today += 1;
-                }
-            }
-
-            filed_cum += filed_today;
-            fixed_cum += fixed_today;
-            daily.push(DayStats {
-                day,
-                filed: filed_today,
-                fixed: fixed_today,
-                filed_cum,
-                fixed_cum,
-                outstanding: tracker.outstanding() as u32,
-            });
-        }
-
-        CampaignResult {
-            daily,
-            total_filed: tracker.total_filed() as u32,
-            total_fixed: tracker.total_fixed() as u32,
-            unique_engineers: tracker.unique_fixers() as u32,
-            unique_patches: tracker.unique_patches() as u32,
-        }
-    }
-}
-
-/// Zipf-like engineer sampling: a few prolific fixers, a long tail. Keeps
-/// the number of *distinct* fixers well below the pool size, as observed
-/// (210 engineers fixed 1011 races).
-fn zipf(rng: &mut StdRng, pool: usize) -> usize {
-    // Inverse-CDF of P(i) ∝ 1/(i+1) over [0, pool).
-    let h_n: f64 = (1..=pool).map(|i| 1.0 / i as f64).sum();
-    let target = rng.gen_range(0.0..h_n);
-    let mut acc = 0.0;
-    for i in 0..pool {
-        acc += 1.0 / (i + 1) as f64;
-        if acc >= target {
-            return i;
-        }
-    }
-    pool - 1
-}
-
-/// Poisson sampling via Knuth's method (rates here are small).
-fn poisson(rng: &mut StdRng, lambda: f64) -> u32 {
-    if lambda <= 0.0 {
-        return 0;
-    }
-    let l = (-lambda).exp();
-    let mut k = 0u32;
-    let mut p = 1.0;
-    loop {
-        p *= rng.gen_range(0.0..1.0f64);
-        if p <= l {
-            return k;
-        }
-        k += 1;
-        if k > 10_000 {
-            return k; // numerically impossible for our rates; guard anyway
-        }
-    }
-}
+pub use crate::sim::DayStats;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-
-    fn run() -> CampaignResult {
-        Campaign::new(CampaignConfig::paper()).run(7)
-    }
-
     #[test]
-    fn totals_land_near_the_paper() {
-        let r = run();
-        assert!(
-            (1600..=2800).contains(&r.total_filed),
-            "filed {} (paper ~2000+)",
-            r.total_filed
-        );
-        assert!(
-            (700..=1500).contains(&r.total_fixed),
-            "fixed {} (paper 1011)",
-            r.total_fixed
-        );
-        assert!(
-            (120..=320).contains(&r.unique_engineers),
-            "engineers {} (paper 210)",
-            r.unique_engineers
-        );
-        let ratio = r.unique_root_cause_ratio();
-        assert!(
-            (0.6..=0.95).contains(&ratio),
-            "unique-patch ratio {ratio} (paper ~0.78)"
-        );
-    }
-
-    #[test]
-    fn figure3_drops_then_rises() {
-        let r = run();
-        let out = |d: u32| r.daily[d as usize].outstanding;
-        // Drop during the shepherded phase:
-        assert!(
-            out(70) < out(10),
-            "outstanding should drop while shepherded: day10={} day70={}",
-            out(10),
-            out(70)
-        );
-        // Gradual rise after shepherding ends:
-        assert!(
-            out(175) > out(115),
-            "outstanding should rise after shepherding: day115={} day175={}",
-            out(115),
-            out(175)
-        );
-    }
-
-    #[test]
-    fn figure4_shows_the_july_surge() {
-        let r = run();
-        let created_rate = |from: u32, to: u32| {
-            f64::from(r.daily[to as usize].filed_cum - r.daily[from as usize].filed_cum)
-                / f64::from(to - from)
-        };
-        let pre = created_rate(40, 60);
-        let surge = created_rate(90, 105);
-        assert!(
-            surge > 3.0 * pre,
-            "floodgate surge missing: pre={pre:.1}/day surge={surge:.1}/day"
-        );
-        // Resolution initially keeps pace...
-        let d60 = &r.daily[60];
-        assert!(d60.fixed_cum * 2 >= d60.filed_cum);
-        // ...but creation outpaces resolution by the end.
-        let last = r.daily.last().expect("days > 0");
-        assert!(last.filed_cum > last.fixed_cum);
-    }
-
-    #[test]
-    fn steady_state_is_about_five_new_per_day() {
-        let r = run();
-        let rate = r.steady_state_new_per_day(30);
-        assert!(
-            (3.0..=8.0).contains(&rate),
-            "steady-state new/day {rate} (paper ~5)"
-        );
-    }
-
-    #[test]
-    fn campaign_is_deterministic_per_seed() {
-        let a = Campaign::new(CampaignConfig::paper()).run(9);
-        let b = Campaign::new(CampaignConfig::paper()).run(9);
-        assert_eq!(a.total_filed, b.total_filed);
-        assert_eq!(a.total_fixed, b.total_fixed);
-        assert_eq!(a.daily, {
-            let mut v = b.daily.clone();
-            v.truncate(a.daily.len());
-            v
-        });
-        let c = Campaign::new(CampaignConfig::paper()).run(10);
-        assert_ne!(a.total_filed, c.total_filed);
-    }
-
-    #[test]
-    fn ci_gating_drives_outstanding_toward_zero() {
-        // Remark 1 / §3.5: "the presence of race detection as part of a CI
-        // workflow will help ... reducing the outstanding race count to
-        // zero." With gating on, the post-floodgate outstanding count must
-        // fall instead of rising, and end well below the baseline.
-        let base = Campaign::new(CampaignConfig::paper()).run(7);
-        let gated = Campaign::new(CampaignConfig::paper_with_ci_gating()).run(7);
-        let last = |r: &CampaignResult| r.daily.last().expect("days").outstanding;
-        assert!(
-            last(&gated) < last(&base) / 2,
-            "gated {} vs baseline {}",
-            last(&gated),
-            last(&base)
-        );
-        // Baseline rises after shepherding; gated declines.
-        let out = |r: &CampaignResult, d: usize| r.daily[d].outstanding;
-        assert!(out(&gated, 179) < out(&gated, 115));
-        assert!(out(&base, 179) > out(&base, 115));
-    }
-
-    #[test]
-    fn outcome_series_have_matching_lengths() {
-        let r = run();
-        assert_eq!(r.figure3_series().len(), 180);
-        assert_eq!(r.figure4_series().len(), 180);
-        // Cumulative series are monotone.
-        let f4 = r.figure4_series();
-        for w in f4.windows(2) {
-            assert!(w[1].1 >= w[0].1);
-            assert!(w[1].2 >= w[0].2);
-        }
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_run() {
+        use super::{Campaign, CampaignConfig};
+        let r = Campaign::new(CampaignConfig::paper()).run(42);
+        assert!(r.total_filed >= 1500);
     }
 }

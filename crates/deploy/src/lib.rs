@@ -13,43 +13,64 @@
 //! 3. **files** a task in a bug tracker, suppressing duplicates only while
 //!    a task with the same fingerprint is open ([`tracker::BugTracker`]),
 //! 4. repeats daily for six months, producing the dynamics of Figures 3–4
-//!    ([`intake::Campaign`]).
+//!    ([`sim::TrackerSim`]).
 //!
-//! Naming note: this crate's simulation of the *intake* side (daily filing
-//! over simulated months) lives in [`intake`]; the execution-campaign
-//! engine that runs real detector matrices lives in `grs_fleet::campaign`.
+//! Naming note: three layers share this territory. The *execution* engine
+//! that runs real detector matrices lives in `grs_fleet::campaign`; the
+//! long-running *ingestion* server is [`service::IntakeService`]; the
+//! Figures 3–4 tracker-dynamics *simulation* is [`sim::TrackerSim`]
+//! (formerly `intake::Campaign` — [`intake`] keeps deprecated aliases).
 //!
 //! # Example
 //!
 //! ```
-//! use grs_deploy::intake::{Campaign, CampaignConfig};
+//! use grs_deploy::sim::{SimConfig, TrackerSim};
 //!
-//! let result = Campaign::new(CampaignConfig::paper()).run(42);
+//! let result = TrackerSim::new(SimConfig::paper()).run(42);
 //! assert!(result.total_filed >= 1500, "paper: ~2000 detected");
 //! assert!(result.total_fixed >= 700, "paper: 1011 fixed");
 //! ```
 
 pub mod assignee;
 pub mod batch;
+pub mod dedup;
 pub mod fingerprint;
 pub mod intake;
 pub mod pipeline;
+pub mod service;
+pub mod sim;
+pub mod store;
 pub mod tracker;
+pub mod wire;
 
 pub use assignee::{determine_assignee, AssigneeDecision, OwnerDb};
 pub use batch::RaceBatch;
-pub use intake::{Campaign, CampaignConfig, CampaignResult, DayStats};
+pub use dedup::BoundedDedup;
 pub use fingerprint::{
     naive_fingerprint, race_fingerprint, race_fingerprint_interned, Fingerprint,
 };
-pub use pipeline::{FileOutcome, Pipeline};
-pub use tracker::{BugTracker, TaskId, TaskState};
+pub use pipeline::FileOutcome;
+#[allow(deprecated)]
+pub use pipeline::Pipeline;
+pub use service::{
+    IntakeError, IntakeServer, IntakeService, IntakeStats, IntakeSummary, IntakeTicket,
+};
+pub use sim::{DayStats, SimConfig, SimResult, TrackerSim};
+pub use store::{Snapshot, SnapshotError};
+pub use tracker::{BugTracker, FixError, RestoreError, TaskId, TaskState};
 
 /// The types every deploy user imports, for `use grs_deploy::prelude::*`.
 pub mod prelude {
     pub use crate::assignee::{determine_assignee, OwnerDb};
     pub use crate::fingerprint::{race_fingerprint, Fingerprint};
-    pub use crate::intake::{Campaign, CampaignConfig, CampaignResult};
-    pub use crate::pipeline::{FileOutcome, Pipeline};
+    #[allow(deprecated)]
+    pub use crate::pipeline::Pipeline;
+    pub use crate::pipeline::FileOutcome;
+    pub use crate::service::{
+        IntakeError, IntakeHandle, IntakeServer, IntakeService, IntakeSummary,
+    };
+    pub use crate::sim::{SimConfig, SimResult, TrackerSim};
+    pub use crate::store::Snapshot;
     pub use crate::tracker::{BugTracker, TaskId, TaskState};
+    pub use crate::wire::{InProcTransport, TcpTransport, Transport};
 }

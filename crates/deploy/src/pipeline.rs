@@ -1,9 +1,13 @@
-//! The end-to-end reporting pipeline: detector output → fingerprint →
-//! assignee → tracker.
+//! The original single-threaded reporting pipeline: detector output →
+//! fingerprint → assignee → tracker.
 //!
-//! This is Figure 2's architecture in miniature: the daily workflow runs
-//! the instrumented tests (here: the explorer over simulated programs),
-//! captures race reports, deduplicates them, and files tasks to owners.
+//! This is Figure 2's architecture in miniature, kept as a thin deprecated
+//! shim. Its whole surface — [`Pipeline::submit`], [`Pipeline::submit_all`],
+//! [`Pipeline::fix`] — is subsumed by
+//! [`IntakeService`](crate::service::IntakeService), which adds the
+//! streaming trace path, bounded dedup, backpressure, snapshots, and a
+//! typed error surface. [`FileOutcome`] remains the canonical per-report
+//! verdict type and is shared with the service.
 
 use grs_detector::RaceReport;
 
@@ -43,12 +47,14 @@ pub enum FileOutcome {
 /// assert_eq!(outcomes.len(), races.len());
 /// ```
 #[derive(Default)]
+#[deprecated(note = "use grs_deploy::service::IntakeService (one facade over every ingestion path)")]
 pub struct Pipeline {
     owners: OwnerDb,
     tracker: BugTracker,
     sink: Option<std::sync::Arc<dyn grs_obs::ObsSink>>,
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pipeline")
@@ -58,6 +64,7 @@ impl std::fmt::Debug for Pipeline {
     }
 }
 
+#[allow(deprecated)]
 impl Pipeline {
     /// A pipeline with the given ownership database.
     #[must_use]
@@ -142,6 +149,7 @@ impl Pipeline {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use grs_clock::Lockset;
@@ -221,6 +229,7 @@ mod tests {
             panic!("must file");
         };
         assert_eq!(assignee.as_deref(), Some("erin"));
-        assert_eq!(p.tracker().task(task).assignee.as_deref(), Some("erin"));
+        let filed = p.tracker().task(task).expect("filed");
+        assert_eq!(filed.assignee.as_deref(), Some("erin"));
     }
 }

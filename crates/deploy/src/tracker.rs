@@ -32,7 +32,7 @@ pub enum TaskState {
 }
 
 /// One filed race task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Task id.
     pub id: TaskId,
@@ -60,6 +60,56 @@ pub struct Task {
     /// engineer can replay the *exact* interleaving offline.
     pub repro: Option<ReproArtifact>,
 }
+
+/// Why a fix request was rejected (see [`BugTracker::try_fix`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixError {
+    /// No task was ever filed under this id.
+    UnknownTask(TaskId),
+    /// The task exists but is not open.
+    AlreadyFixed(TaskId),
+}
+
+impl fmt::Display for FixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            FixError::AlreadyFixed(id) => write!(f, "task {id} is already fixed"),
+        }
+    }
+}
+
+impl std::error::Error for FixError {}
+
+/// Why a task list could not be rebuilt into a tracker (see
+/// [`BugTracker::from_tasks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreError {
+    /// Task ids must be dense and in filing order.
+    BadTaskId {
+        /// The id the position implies.
+        expected: TaskId,
+        /// The id actually found there.
+        found: TaskId,
+    },
+    /// Two open tasks share a fingerprint.
+    DuplicateOpenFingerprint(Fingerprint),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::BadTaskId { expected, found } => {
+                write!(f, "task id {found} out of filing order (expected {expected})")
+            }
+            RestoreError::DuplicateOpenFingerprint(fp) => {
+                write!(f, "two open tasks share fingerprint {fp}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 /// An in-memory bug database.
 ///
@@ -128,22 +178,80 @@ impl BugTracker {
     ///
     /// # Panics
     ///
-    /// Panics if the task does not exist or is already fixed (a tracker
-    /// invariant violation, not a user input).
+    /// Panics if the task does not exist or is already fixed. Service-side
+    /// callers that must survive bad input use [`BugTracker::try_fix`].
     pub fn fix(&mut self, id: TaskId, day: u32, engineer: &str, patch: u64) {
-        let task = &mut self.tasks[id.0 as usize];
-        assert_eq!(task.state, TaskState::Open, "double fix of {id}");
+        match self.try_fix(id, day, engineer, patch) {
+            Ok(()) => {}
+            Err(FixError::UnknownTask(id)) => panic!("fix of unknown task {id}"),
+            Err(FixError::AlreadyFixed(id)) => panic!("double fix of {id}"),
+        }
+    }
+
+    /// Marks `id` fixed on `day` by `engineer` under `patch`, reporting bad
+    /// input as a [`FixError`] instead of panicking — the form the
+    /// long-running [`IntakeService`](crate::service::IntakeService) uses,
+    /// where a fix request for a garbage-collected or double-submitted task
+    /// id is client input, not an invariant violation.
+    ///
+    /// # Errors
+    ///
+    /// [`FixError::UnknownTask`] when no task has this id,
+    /// [`FixError::AlreadyFixed`] when the task is not open.
+    pub fn try_fix(
+        &mut self,
+        id: TaskId,
+        day: u32,
+        engineer: &str,
+        patch: u64,
+    ) -> Result<(), FixError> {
+        let task = self
+            .tasks
+            .get_mut(id.0 as usize)
+            .ok_or(FixError::UnknownTask(id))?;
+        if task.state != TaskState::Open {
+            return Err(FixError::AlreadyFixed(id));
+        }
         task.state = TaskState::Fixed;
         task.fixed_day = Some(day);
         task.fixed_by = Some(engineer.to_string());
         task.patch = Some(patch);
         self.open_by_fp.remove(&task.fingerprint);
+        Ok(())
     }
 
-    /// The task for `id`.
+    /// The task for `id`, or `None` when no such task was ever filed.
     #[must_use]
-    pub fn task(&self, id: TaskId) -> &Task {
-        &self.tasks[id.0 as usize]
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(id.0 as usize)
+    }
+
+    /// Rebuilds a tracker from a task list in filing order — the restore
+    /// half of [`Snapshot`](crate::store::Snapshot). Re-derives the
+    /// open-fingerprint index and re-validates the tracker invariants that
+    /// filing maintains incrementally.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::BadTaskId`] when task ids are not dense and in
+    /// filing order, [`RestoreError::DuplicateOpenFingerprint`] when two
+    /// open tasks share a fingerprint (which filing can never produce).
+    pub fn from_tasks(tasks: Vec<Task>) -> Result<Self, RestoreError> {
+        let mut open_by_fp = HashMap::new();
+        for (i, task) in tasks.iter().enumerate() {
+            if task.id.0 != i as u64 {
+                return Err(RestoreError::BadTaskId {
+                    expected: TaskId(i as u64),
+                    found: task.id,
+                });
+            }
+            if task.state == TaskState::Open
+                && open_by_fp.insert(task.fingerprint, task.id).is_some()
+            {
+                return Err(RestoreError::DuplicateOpenFingerprint(task.fingerprint));
+            }
+        }
+        Ok(BugTracker { tasks, open_by_fp })
     }
 
     /// All tasks, in filing order.
@@ -257,13 +365,14 @@ mod tests {
         let id = t
             .file_with_repro(Fingerprint(9), 0, None, Some(artifact.clone()))
             .unwrap();
-        let task = t.task(id);
+        let task = t.task(id).expect("filed");
         assert_eq!(task.repro_seed, Some(41), "seed derived from artifact");
         assert_eq!(task.repro.as_ref(), Some(&artifact));
         // Bare `file` leaves both forms empty.
         let id2 = t.file(Fingerprint(10), 0, None).unwrap();
-        assert_eq!(t.task(id2).repro_seed, None);
-        assert!(t.task(id2).repro.is_none());
+        let task2 = t.task(id2).expect("filed");
+        assert_eq!(task2.repro_seed, None);
+        assert!(task2.repro.is_none());
     }
 
     #[test]
@@ -280,7 +389,7 @@ mod tests {
         let mut t = BugTracker::new();
         let id = t.file(Fingerprint(9), 4, Some("team-x".into())).unwrap();
         t.fix(id, 9, "carol", 55);
-        let task = t.task(id);
+        let task = t.task(id).expect("filed");
         assert_eq!(task.filed_day, 4);
         assert_eq!(task.fixed_day, Some(9));
         assert_eq!(task.assignee.as_deref(), Some("team-x"));

@@ -162,7 +162,7 @@ proptest! {
             // No fingerprint may have two open tasks.
             let mut open_fps: Vec<_> = tracker
                 .open_tasks()
-                .map(|t| tracker.task(t).fingerprint)
+                .map(|t| tracker.task(t).expect("open task exists").fingerprint)
                 .collect();
             let before = open_fps.len();
             open_fps.sort_unstable();

@@ -23,7 +23,9 @@ use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use grs_deploy::{race_fingerprint, FileOutcome, Fingerprint, Pipeline, RaceBatch};
+use grs_deploy::{race_fingerprint, FileOutcome, Fingerprint, RaceBatch};
+#[allow(deprecated)]
+use grs_deploy::Pipeline;
 use grs_detector::{default_workers, DetectorArena, DetectorChoice, ScheduleFrontier};
 use grs_obs::{CampaignTimeline, MetricsRegistry, ObsReport, ObsSink, SpanGuard, TimelineConfig};
 use grs_runtime::{
@@ -632,8 +634,24 @@ impl CampaignResult {
     }
 
     /// Files the deduplicated batch into a deployment pipeline.
+    #[allow(deprecated)]
+    #[deprecated(note = "use file_into_service with grs_deploy::service::IntakeService")]
     pub fn file_into(&self, pipeline: &mut Pipeline, day: u32) -> Vec<(Fingerprint, FileOutcome)> {
         pipeline.submit_batch(&self.batch, day)
+    }
+
+    /// Files the deduplicated batch into the intake service — the
+    /// [`CampaignResult::file_into`] successor for the unified facade.
+    ///
+    /// # Errors
+    ///
+    /// [`grs_deploy::IntakeError::ShutDown`] when the service has stopped.
+    pub fn file_into_service(
+        &self,
+        service: &grs_deploy::IntakeService,
+        day: u32,
+    ) -> Result<Vec<(Fingerprint, FileOutcome)>, grs_deploy::IntakeError> {
+        service.submit_race_batch(&self.batch, day)
     }
 }
 
@@ -1606,6 +1624,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn filing_the_batch_dedups_into_the_pipeline() {
         let c = Campaign::over_units(
             CampaignConfig::smoke().seeds_per_unit(6),
@@ -1620,6 +1639,20 @@ mod tests {
             .all(|(_, o)| matches!(o, FileOutcome::Filed { .. })));
         // Day two: all duplicates.
         let again = r.file_into(&mut pipeline, 1);
+        assert!(again.iter().all(|(_, o)| *o == FileOutcome::Duplicate));
+    }
+
+    #[test]
+    fn filing_through_the_service_matches_the_pipeline_shim() {
+        let c = Campaign::over_units(
+            CampaignConfig::smoke().seeds_per_unit(6),
+            tiny_units(),
+        );
+        let r = c.run();
+        let service = grs_deploy::IntakeService::builder().workers(1).start().unwrap();
+        let outcomes = r.file_into_service(&service, 0).unwrap();
+        assert_eq!(outcomes.len(), r.batch.len());
+        let again = r.file_into_service(&service, 1).unwrap();
         assert!(again.iter().all(|(_, o)| *o == FileOutcome::Duplicate));
     }
 

@@ -72,6 +72,29 @@ impl Histogram {
         self.total_ns.checked_div(self.count).unwrap_or(0)
     }
 
+    /// The `q`-quantile in nanoseconds (`q` in `[0, 1]`), resolved to the
+    /// upper bound of the log₂ bucket holding that rank — a conservative
+    /// (never-underestimating) quantile, clamped to the observed maximum.
+    /// Returns 0 when empty. `quantile_ns(0.5)` is the p50 and
+    /// `quantile_ns(0.99)` the p99 the intake dashboard and soak gate use.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i spans [2^i, 2^(i+1)); report its upper bound.
+                let upper = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
     /// Folds `other` into `self`.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -511,6 +534,23 @@ mod tests {
         assert_eq!(sa.counter("x"), 3);
         assert_eq!(sa.counter("y"), 7);
         assert_eq!(sa.gauge("g"), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_cumulative_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_ns(0.5), 0, "empty histogram");
+        // 99 fast observations (~1 us) and one slow outlier (~1 ms).
+        for _ in 0..99 {
+            h.observe_ns(1_000);
+        }
+        h.observe_ns(1_000_000);
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        assert!((1_000..=2_048).contains(&p50), "p50 in the fast bucket: {p50}");
+        assert!(p99 <= 2_048, "99% of mass is fast: {p99}");
+        assert_eq!(h.quantile_ns(1.0), 1_000_000, "p100 is the max");
+        assert!(h.quantile_ns(0.0) > 0, "q=0 resolves to the first bucket");
     }
 
     #[test]

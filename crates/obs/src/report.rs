@@ -284,9 +284,11 @@ impl ObsReport {
             for (k, h) in &self.snapshot.histograms {
                 let _ = writeln!(
                     s,
-                    "│   {k:<28} ×{:<8} mean {:>9} ns  max {:>9} ns",
+                    "│   {k:<28} ×{:<8} mean {:>9} ns  p50 {:>9} ns  p99 {:>9} ns  max {:>9} ns",
                     h.count,
                     h.mean_ns(),
+                    h.quantile_ns(0.5),
+                    h.quantile_ns(0.99),
                     h.max_ns
                 );
             }

@@ -523,14 +523,20 @@ fn main() {
         }
     }
 
-    // File the deduped batch into the deployment pipeline (day 0), with the
+    // File the deduped batch into the intake service (day 0), with the
     // intake stage reporting into its own registry.
     let intake_registry = Arc::new(MetricsRegistry::new());
-    let mut pipeline = Pipeline::new(OwnerDb::new()).observed(intake_registry.clone());
-    let outcomes = result.file_into(&mut pipeline, 0);
+    let service = IntakeService::builder()
+        .workers(1)
+        .observed(intake_registry.clone())
+        .start()
+        .expect("fresh service starts");
+    let outcomes = result
+        .file_into_service(&service, 0)
+        .expect("service accepts the batch");
     println!(
-        "pipeline: filed {} tasks from {} deduped races ({} raw reports)",
-        pipeline.tracker().total_filed(),
+        "intake: filed {} tasks from {} deduped races ({} raw reports)",
+        service.with_tracker(|t| t.total_filed()),
         outcomes.len(),
         result.batch.raw_reports(),
     );

@@ -1,0 +1,356 @@
+//! Intake-service soak: pre-records `.grtrace` frames from the pattern
+//! gallery, then drives them through a served [`IntakeService`] in three
+//! phases — sustained throughput over the in-process transport, a burst
+//! overload that must observe explicit `Busy` backpressure at least once,
+//! and a kill-and-restore cycle that snapshots the tracker, tears the
+//! service down, rebuilds it from disk, and checks that no filed task was
+//! lost and every re-submitted race is suppressed as a duplicate.
+//!
+//! Emits `BENCH_intake.json` for the CI gate:
+//!
+//! ```sh
+//! cargo run --release --example soak -- [--duration-ms N] [--clients N]
+//!     [--seeds N] [--out PATH] [--snapshot PATH]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use grs::deploy::service::{IntakeServer, IntakeService};
+use grs::deploy::wire::{InProcConnector, InProcTransport, RequestFrame, ResponseFrame};
+use grs::obs::MetricsRegistry;
+use grs::runtime::{record, RunConfig};
+
+/// Queue cap for the soak service: small enough that the burst phase can
+/// overflow it (backpressure must be observable), large enough that the
+/// sustained clients never trip it.
+const QUEUE_DEPTH: usize = 8;
+const SUSTAINED_CLIENTS: usize = 4;
+const DEDUP_BUDGET_WORDS: usize = 1 << 16;
+
+struct Args {
+    duration_ms: u64,
+    clients: usize,
+    seeds: u64,
+    out: String,
+    snapshot: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        duration_ms: 600,
+        clients: SUSTAINED_CLIENTS,
+        seeds: 6,
+        out: "BENCH_intake.json".to_string(),
+        snapshot: std::env::temp_dir()
+            .join("grs_soak_snapshot.bin")
+            .to_string_lossy()
+            .into_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms").parse().expect("duration: integer")
+            }
+            "--clients" => args.clients = value("--clients").parse().expect("clients: integer"),
+            "--seeds" => args.seeds = value("--seeds").parse().expect("seeds: integer"),
+            "--out" => args.out = value("--out"),
+            "--snapshot" => args.snapshot = value("--snapshot"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Records one `.grtrace` per (pattern, seed) so the upload mix contains
+/// both distinct races (fresh filings) and repeats (dedup hits).
+fn record_frames(seeds: u64) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    for pattern in grs::patterns::registry() {
+        for seed in 0..seeds {
+            let (_, trace) = record(&pattern.racy_program(), &RunConfig::with_seed(seed));
+            frames.push(trace.encode());
+        }
+    }
+    frames
+}
+
+struct ClientCounts {
+    accepted: AtomicU64,
+    busy: AtomicU64,
+}
+
+/// One synchronous upload client: sends frames round-robin, retrying a
+/// frame after the server's `retry_after_ms` hint when it gets `Busy`.
+/// With `retry` off it counts the rejection and moves on immediately —
+/// that is the burst mode.
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    connector: &InProcConnector,
+    frames: &[Vec<u8>],
+    offset: usize,
+    stop: &AtomicBool,
+    counts: &ClientCounts,
+    retry: bool,
+) {
+    let mut conn = connector.connect().expect("connect to soak server");
+    let mut i = offset;
+    while !stop.load(Ordering::Relaxed) {
+        let frame = &frames[i % frames.len()];
+        RequestFrame::TraceUpload {
+            day: 0,
+            trace: frame.clone(),
+        }
+        .write_to(&mut conn)
+        .expect("write upload");
+        match ResponseFrame::read_from(&mut conn)
+            .expect("read response")
+            .expect("server closed mid-request")
+        {
+            ResponseFrame::Accepted { .. } => {
+                counts.accepted.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+            ResponseFrame::Busy { retry_after_ms } => {
+                counts.busy.fetch_add(1, Ordering::Relaxed);
+                if retry {
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms).min(5)));
+                } else {
+                    i += 1;
+                }
+            }
+            ResponseFrame::Malformed { message } => panic!("soak upload rejected: {message}"),
+            ResponseFrame::Pong => unreachable!("no ping sent"),
+        }
+    }
+}
+
+fn run_clients(
+    connector: &InProcConnector,
+    frames: &Arc<Vec<Vec<u8>>>,
+    n: usize,
+    duration: Duration,
+    retry: bool,
+) -> (u64, u64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let counts = Arc::new(ClientCounts {
+        accepted: AtomicU64::new(0),
+        busy: AtomicU64::new(0),
+    });
+    let start = Instant::now();
+    let workers: Vec<_> = (0..n)
+        .map(|c| {
+            let connector = connector.clone();
+            let frames = Arc::clone(frames);
+            let stop = Arc::clone(&stop);
+            let counts = Arc::clone(&counts);
+            std::thread::spawn(move || {
+                client_loop(&connector, &frames, c * 17, &stop, &counts, retry)
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        counts.accepted.load(Ordering::Relaxed),
+        counts.busy.load(Ordering::Relaxed),
+        elapsed,
+    )
+}
+
+/// Peak resident set from `/proc/self/status` (`VmHWM`), in kB; 0 when
+/// the platform doesn't expose it.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args = parse_args();
+    let frames = Arc::new(record_frames(args.seeds));
+    println!(
+        "recorded {} trace frames ({} patterns × {} seeds)",
+        frames.len(),
+        grs::patterns::registry().len(),
+        args.seeds
+    );
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let snapshot_path = std::path::PathBuf::from(&args.snapshot);
+    let _ = std::fs::remove_file(&snapshot_path);
+    let service = IntakeService::builder()
+        .workers(4)
+        .queue_depth(QUEUE_DEPTH)
+        .dedup_budget(DEDUP_BUDGET_WORDS)
+        .retry_after_ms(1)
+        .snapshot_path(&snapshot_path)
+        .observed(registry.clone())
+        .start()
+        .expect("start intake service");
+    let (transport, connector) = InProcTransport::new();
+    let server = IntakeServer::spawn(service.handle(), transport);
+
+    // Phase 1: sustained throughput. A handful of polite clients (they
+    // honor the retry-after hint) must clear the 10K frames/sec bar.
+    let (accepted, _, elapsed) = run_clients(
+        &connector,
+        &frames,
+        args.clients,
+        Duration::from_millis(args.duration_ms),
+        true,
+    );
+    let throughput = accepted as f64 / elapsed;
+    println!("sustained : {accepted} frames in {elapsed:.3}s = {throughput:.0} frames/sec");
+
+    // Phase 2: burst overload. Flood the bounded queue through the async
+    // enqueue path until backpressure is observed; the wire clients below
+    // then see `Busy` responses for the same reason. The service must
+    // reject, not buffer.
+    let handle = service.handle();
+    let mut tickets = Vec::new();
+    let mut direct_busy = 0u64;
+    for i in 0.. {
+        match handle.enqueue_trace(frames[i % frames.len()].clone(), 0) {
+            Ok(t) => tickets.push(t),
+            Err(grs::deploy::IntakeError::Busy { .. }) => {
+                direct_busy += 1;
+                if direct_busy >= 8 {
+                    break;
+                }
+            }
+            Err(e) => panic!("burst enqueue: {e}"),
+        }
+        assert!(i < 1_000_000, "queue never filled: backpressure broken");
+    }
+    for t in tickets {
+        t.wait().expect("burst ticket");
+    }
+    let (_, wire_busy, _) = run_clients(
+        &connector,
+        &frames,
+        QUEUE_DEPTH * 4,
+        Duration::from_millis(100),
+        false,
+    );
+    println!("burst     : {direct_busy} direct + {wire_busy} wire Busy rejections");
+
+    // Phase 3: kill and restore. Freeze the bug database, tear the whole
+    // service down (final snapshot lands on disk via temp-then-rename),
+    // rebuild from that file, and verify nothing filed was lost and the
+    // snapshot round-trips byte-identically.
+    server.shutdown();
+    let open_before: Vec<_> = service.with_tracker(|t| {
+        let mut fps: Vec<_> = t
+            .open_tasks()
+            .filter_map(|id| t.task(id))
+            .map(|task| task.fingerprint.0)
+            .collect();
+        fps.sort_unstable();
+        fps
+    });
+    let snapshot_before = service.snapshot().encode();
+    let stats = service.shutdown().expect("shutdown with snapshot");
+
+    let restored = IntakeService::builder()
+        .workers(2)
+        .queue_depth(QUEUE_DEPTH)
+        .dedup_budget(DEDUP_BUDGET_WORDS)
+        .snapshot_path(&snapshot_path)
+        .start()
+        .expect("restore from snapshot");
+    let filed_after = restored.with_tracker(|t| t.total_filed());
+    let open_after: Vec<_> = restored.with_tracker(|t| {
+        let mut fps: Vec<_> = t
+            .open_tasks()
+            .filter_map(|id| t.task(id))
+            .map(|task| task.fingerprint.0)
+            .collect();
+        fps.sort_unstable();
+        fps
+    });
+    let lost_tasks = stats.total_filed.saturating_sub(filed_after);
+    let on_disk = std::fs::read(&snapshot_path).expect("read snapshot file");
+    let round_trip_equal = snapshot_before == on_disk
+        && restored.snapshot().encode() == snapshot_before
+        && open_before == open_after;
+
+    // Re-submit every frame once: the restored dedup cache (rewarmed from
+    // the open tasks) must suppress all of them.
+    let mut refiled = 0usize;
+    for frame in frames.iter() {
+        refiled += restored
+            .submit_trace(frame.clone(), 1)
+            .expect("resubmit after restore")
+            .filed
+            .len();
+    }
+    println!(
+        "restore   : {} tasks, {lost_tasks} lost, {refiled} re-filed (want 0), round_trip_equal={round_trip_equal}",
+        filed_after
+    );
+    restored.shutdown().expect("shutdown restored service");
+
+    let snap = registry.snapshot();
+    let latency = snap
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "intake.latency")
+        .map(|(_, h)| h.clone())
+        .expect("intake.latency histogram");
+    let p50_us = latency.quantile_ns(0.5) as f64 / 1e3;
+    let p99_us = latency.quantile_ns(0.99) as f64 / 1e3;
+    let busy_total = stats.busy_rejections;
+    let dedup_exceeded = stats.dedup_peak_words > stats.dedup_budget_words;
+    let rss = peak_rss_kb();
+    println!(
+        "latency   : p50 {p50_us:.0} µs  p99 {p99_us:.0} µs   peak RSS {rss} kB   busy {busy_total}"
+    );
+
+    let json = format!(
+        concat!(
+            r#"{{"schema_version":1,"frames":{},"throughput_fps":{:.0},"#,
+            r#""p50_us":{:.1},"p99_us":{:.1},"peak_rss_kb":{},"busy_rejections":{},"#,
+            r#""dedup":{{"budget_words":{},"peak_words":{},"evictions":{},"exceeded":{}}},"#,
+            r#""snapshot":{{"round_trip_equal":{},"lost_tasks":{}}},"#,
+            r#""queue":{{"peak_depth":{},"depth_cap":{}}}}}"#
+        ),
+        stats.traces,
+        throughput,
+        p50_us,
+        p99_us,
+        rss,
+        busy_total,
+        stats.dedup_budget_words,
+        stats.dedup_peak_words,
+        stats.dedup_evictions,
+        dedup_exceeded,
+        round_trip_equal,
+        lost_tasks,
+        stats.queue_peak,
+        QUEUE_DEPTH,
+    );
+    std::fs::write(&args.out, format!("{json}\n")).expect("write JSON summary");
+    println!("wrote {}", args.out);
+
+    assert!(busy_total >= 1, "soak never observed backpressure");
+    assert_eq!(lost_tasks, 0, "kill-and-restore lost filed tasks");
+    assert_eq!(refiled, 0, "restored service re-filed known open races");
+    assert!(round_trip_equal, "snapshot round trip not byte-identical");
+    assert!(!dedup_exceeded, "dedup cache exceeded its word budget");
+}

@@ -1,8 +1,8 @@
 //! End-to-end integration: detector output flows through the deployment
-//! pipeline exactly as in the paper's Figure 2 architecture — detect,
-//! deduplicate, assign, file, fix, re-detect.
+//! intake service exactly as in the paper's Figure 2 architecture —
+//! detect, deduplicate, assign, file, fix, re-detect.
 
-use grs::deploy::{FileOutcome, OwnerDb, Pipeline};
+use grs::deploy::{FileOutcome, IntakeService, OwnerDb};
 use grs::detector::{ExploreConfig, Explorer};
 use grs::patterns::{self, registry};
 
@@ -14,7 +14,7 @@ fn daily_run_files_unique_tasks_for_the_whole_corpus() {
     let mut owners = OwnerDb::new();
     owners.add_author("ProcessJobs", "alice", 20, true);
     owners.add_author("processOrders", "bob", 15, true);
-    let mut pipeline = Pipeline::new(owners);
+    let service = IntakeService::builder().owners(owners).workers(1).start().unwrap();
 
     let mut all_races = Vec::new();
     for pattern in registry() {
@@ -23,7 +23,7 @@ fn daily_run_files_unique_tasks_for_the_whole_corpus() {
     }
     assert!(all_races.len() >= 20, "corpus produces many races");
 
-    let outcomes = pipeline.submit_all(&all_races, 0);
+    let outcomes = service.submit_batch(&all_races, 0).unwrap();
     let filed_day1 = outcomes
         .iter()
         .filter(|o| matches!(o, FileOutcome::Filed { .. }))
@@ -32,17 +32,17 @@ fn daily_run_files_unique_tasks_for_the_whole_corpus() {
 
     // "Day 2": the same races detected again (the daily rerun) must all be
     // suppressed as duplicates while their tasks are open.
-    let outcomes2 = pipeline.submit_all(&all_races, 1);
+    let outcomes2 = service.submit_batch(&all_races, 1).unwrap();
     assert!(
         outcomes2.iter().all(|o| *o == FileOutcome::Duplicate),
         "open tasks must suppress re-detections"
     );
-    assert_eq!(pipeline.tracker().total_filed(), filed_day1);
+    assert_eq!(service.with_tracker(|t| t.total_filed()), filed_day1);
 
     // Fix one task; day 3's rerun re-files exactly that race.
-    let first_task = pipeline.tracker().tasks()[0].id;
-    pipeline.fix(first_task, 2, "alice", 1);
-    let outcomes3 = pipeline.submit_all(&all_races, 3);
+    let first_task = service.with_tracker(|t| t.tasks()[0].id);
+    service.fix(first_task, 2, "alice", 1).unwrap();
+    let outcomes3 = service.submit_batch(&all_races, 3).unwrap();
     let refiled = outcomes3
         .iter()
         .filter(|o| matches!(o, FileOutcome::Filed { .. }))
@@ -53,12 +53,12 @@ fn daily_run_files_unique_tasks_for_the_whole_corpus() {
 #[test]
 fn fixed_corpus_files_nothing() {
     let explorer = Explorer::new(ExploreConfig::quick().runs(30));
-    let mut pipeline = Pipeline::new(OwnerDb::new());
+    let service = IntakeService::builder().workers(1).start().unwrap();
     for pattern in registry() {
         let result = explorer.explore(&pattern.fixed_program());
-        pipeline.submit_all(&result.unique_races, 0);
+        service.submit_batch(&result.unique_races, 0).unwrap();
     }
-    assert_eq!(pipeline.tracker().total_filed(), 0);
+    assert_eq!(service.with_tracker(|t| t.total_filed()), 0);
 }
 
 #[test]
@@ -67,12 +67,12 @@ fn report_orientation_does_not_duplicate_tasks() {
     // observe the two accesses in different orders and at different line
     // numbers of the harness, but §3.3.1's fingerprint collapses them.
     let pattern = patterns::find("missing_lock").expect("in corpus");
-    let mut pipeline = Pipeline::new(OwnerDb::new());
+    let service = IntakeService::builder().workers(1).start().unwrap();
     let mut filed = 0;
     for base in [1_u64, 1000, 2000, 3000] {
         let explorer = Explorer::new(ExploreConfig::quick().runs(40).base_seed(base));
         let result = explorer.explore(&pattern.racy_program());
-        for o in pipeline.submit_all(&result.unique_races, 0) {
+        for o in service.submit_batch(&result.unique_races, 0).unwrap() {
             if matches!(o, FileOutcome::Filed { .. }) {
                 filed += 1;
             }
@@ -118,11 +118,13 @@ fn filed_tasks_carry_working_repro_instructions() {
     let seed = race.repro_seed.expect("explorer records the seed");
 
     // File it; the task records the repro instructions.
-    let mut pipeline = Pipeline::new(OwnerDb::new());
-    let FileOutcome::Filed { task, .. } = pipeline.submit(race, 0) else {
+    let service = IntakeService::builder().workers(1).start().unwrap();
+    let FileOutcome::Filed { task, .. } = service.submit(race, 0).unwrap() else {
         panic!("must file");
     };
-    let recorded = pipeline.tracker().task(task).repro_seed.expect("on task");
+    let recorded = service
+        .with_tracker(|t| t.task(task).expect("filed").repro_seed)
+        .expect("on task");
     assert_eq!(recorded, seed);
 
     // And the instructions WORK: the recorded seed replays the race.
